@@ -1,0 +1,59 @@
+//! Ablation benches: prints the four design-choice studies once, then
+//! benchmarks PALD against the baseline optimizers at equal probing budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempo_bench::ablations;
+use tempo_core::baselines::{Optimizer, RandomSearch, WeightedSum};
+use tempo_core::pald::{Pald, PaldConfig, QsObjective};
+
+fn toy_objective() -> impl QsObjective {
+    (6usize, 2usize, |x: &[f64], _s: u64| {
+        let f1: f64 = x.iter().map(|v| (v - 0.25) * (v - 0.25)).sum();
+        let f2: f64 = x.iter().map(|v| (v - 0.75) * (v - 0.75)).sum();
+        vec![f1, f2]
+    })
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    println!("{}", ablations::ablation_scalarization());
+    println!("{}", ablations::ablation_revert());
+    println!("{}", ablations::ablation_trust_radius());
+    println!("{}", ablations::ablation_gradients());
+
+    let mut group = c.benchmark_group("optimizer_step");
+    group.sample_size(30);
+    group.bench_function("pald", |b| {
+        b.iter_batched(
+            || Pald::new(PaldConfig { trust_radius: 0.15, probes: 5, seed: 2, ..Default::default() }),
+            |mut opt| {
+                let obj = toy_objective();
+                opt.propose(&obj, &[0.5; 6], &[0.2, f64::INFINITY])
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("weighted_sum", |b| {
+        b.iter_batched(
+            || WeightedSum::new(vec![0.5, 0.5], 0.15, 5, 2),
+            |mut opt| {
+                let obj = toy_objective();
+                opt.propose(&obj, &[0.5; 6], &[0.2, f64::INFINITY])
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("random_search", |b| {
+        b.iter_batched(
+            || RandomSearch::new(0.15, 5, 2),
+            |mut opt| {
+                let obj = toy_objective();
+                opt.propose(&obj, &[0.5; 6], &[0.2, f64::INFINITY])
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

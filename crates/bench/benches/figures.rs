@@ -1,0 +1,56 @@
+//! Figure reproduction benches: prints every figure's regenerated
+//! rows/series once at quick scale, then benchmarks one representative
+//! kernel per figure family so `cargo bench` exercises each code path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempo_bench::{fig_limits, fig_loop, fig_preemption, fig_provision, fig_workload, Scale};
+use tempo_core::scenario::{self, Scenario};
+
+fn bench_figures(c: &mut Criterion) {
+    // Regenerate and print every figure (the reproduction artifact).
+    println!("{}", fig_preemption::fig1());
+    println!("{}", fig_limits::fig2());
+    println!("{}", fig_workload::fig5(Scale::Quick));
+    println!("{}", fig_loop::fig6(Scale::Quick));
+    let f7 = fig_preemption::fig7(Scale::Quick);
+    println!("{f7}");
+    println!("{}", fig_preemption::fig8(&f7));
+    println!("{}", fig_loop::fig9(Scale::Quick));
+    println!("{}", fig_workload::fig10(Scale::Quick));
+    println!("{}", fig_loop::fig11(Scale::Quick));
+    println!("{}", fig_provision::fig12(Scale::Quick));
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    // Figure 1's scenario is cheap enough to benchmark outright.
+    group.bench_function("fig1_preemption_scenario", |b| {
+        b.iter(fig_preemption::fig1);
+    });
+    // Figures 6/9/11 are dominated by one control-loop iteration.
+    group.bench_function("fig6_one_loop_iteration", |b| {
+        b.iter_batched(
+            || Scenario::mixed(0.1, 0.25, 42),
+            |mut sc| {
+                let sched = sc.observe_current(1);
+                sc.tempo.iterate(&sched)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    // Figure 12 is dominated by reconstruction + re-prediction.
+    let load = 0.15;
+    let target = scenario::ec2_cluster().scaled(load);
+    let trace = scenario::experiment_trace(load, 3);
+    let cfg = scenario::scaled_expert(load);
+    let observed = tempo_sim::predict(&trace, &target, &cfg);
+    group.bench_function("fig12_reconstruct_and_estimate", |b| {
+        b.iter(|| {
+            let rebuilt = tempo_core::reconstruct_trace(&observed);
+            tempo_sim::predict(&rebuilt, &target, &cfg)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

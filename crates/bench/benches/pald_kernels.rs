@@ -1,0 +1,78 @@
+//! Micro-benchmarks of PALD's numerical kernels: the max-min LP, LOESS
+//! gradient fits, the MGDA min-norm point, and a complete PALD step on a
+//! synthetic objective. These dominate the Optimizer's non-simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_core::pald::{Pald, PaldConfig, QsObjective};
+use tempo_solver::loess::{loess_fit, Sample};
+use tempo_solver::mgda::min_norm_weights;
+use tempo_solver::simplex::max_min_weights;
+use tempo_solver::Matrix;
+
+fn gram(k: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..k)
+        .map(|i| (0..k).map(|j| if i == j { 2.0 } else { ((i * 7 + j * 3) % 5) as f64 / 5.0 - 0.4 }).collect())
+        .collect();
+    let j = Matrix::from_rows(&rows);
+    j.gram()
+}
+
+fn kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pald_kernels");
+    for k in [2usize, 4, 6] {
+        let g = gram(k);
+        group.bench_with_input(BenchmarkId::new("max_min_lp", k), &g, |b, g| {
+            b.iter(|| max_min_weights(g, f64::INFINITY));
+        });
+        let j = Matrix::from_rows(
+            &(0..k)
+                .map(|i| (0..8).map(|d| ((i * 13 + d * 5) % 9) as f64 / 4.0 - 1.0).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        );
+        group.bench_with_input(BenchmarkId::new("mgda_min_norm", k), &j, |b, j| {
+            b.iter(|| min_norm_weights(j, 300));
+        });
+    }
+
+    for dim in [7usize, 14, 28] {
+        let samples: Vec<Sample> = (0..3 * dim)
+            .map(|i| {
+                let x: Vec<f64> =
+                    (0..dim).map(|d| 0.5 + ((i * 31 + d * 17) % 21) as f64 / 100.0 - 0.1).collect();
+                let y: f64 = x.iter().enumerate().map(|(d, v)| (d as f64 - 3.0) * v).sum();
+                Sample { x, y }
+            })
+            .collect();
+        let x0 = vec![0.5; dim];
+        group.bench_with_input(BenchmarkId::new("loess_fit", dim), &samples, |b, s| {
+            b.iter(|| loess_fit(s, &x0, 0.5).expect("support"));
+        });
+    }
+    group.finish();
+
+    // A full PALD step on a cheap synthetic objective isolates the
+    // optimizer overhead from simulation cost.
+    let mut group = c.benchmark_group("pald_step");
+    group.sample_size(20);
+    for dim in [7usize, 14] {
+        group.bench_function(BenchmarkId::new("synthetic", dim), |b| {
+            b.iter_batched(
+                || Pald::new(PaldConfig { trust_radius: 0.15, probes: 5, seed: 1, ..Default::default() }),
+                |mut pald| {
+                    let obj = (dim, 2usize, move |x: &[f64], _s: u64| {
+                        let f1: f64 = x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum();
+                        let f2: f64 = x.iter().map(|v| (v - 0.7) * (v - 0.7)).sum();
+                        vec![f1, f2]
+                    });
+                    let x = vec![0.5; obj.dim()];
+                    pald.step(&obj, &x, &[0.1, f64::INFINITY])
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

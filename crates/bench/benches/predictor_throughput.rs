@@ -1,0 +1,51 @@
+//! §8.1's performance claim: the time-warp Schedule Predictor processes
+//! ~150,000 tasks per second (35M tasks in 4 minutes on the paper's
+//! hardware). This bench measures simulated tasks/second on progressively
+//! larger traces and on a preemption-heavy configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tempo_core::scenario;
+use tempo_sim::{predict, RmConfig};
+use tempo_workload::synthetic::ec2_experiment_model;
+use tempo_workload::time::HOUR;
+
+fn predictor_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor_throughput");
+    group.sample_size(10);
+    for (label, scale, span_hours) in [("small", 0.25, 1u64), ("medium", 0.5, 2), ("large", 1.0, 4)] {
+        let trace = ec2_experiment_model(scale).generate(0, span_hours * HOUR, 1);
+        let cluster = scenario::ec2_cluster().scaled(scale);
+        let tasks = trace.num_tasks() as u64;
+        group.throughput(Throughput::Elements(tasks));
+        group.bench_with_input(BenchmarkId::new("fair", format!("{label}/{tasks}tasks")), &trace, |b, t| {
+            b.iter(|| predict(t, &cluster, &RmConfig::fair(2)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("expert_with_preemption", format!("{label}/{tasks}tasks")),
+            &trace,
+            |b, t| {
+                let cfg = scenario::scaled_expert(scale);
+                b.iter(|| predict(t, &cluster, &cfg));
+            },
+        );
+    }
+    group.finish();
+
+    // One-shot tasks/second report in the paper's units.
+    let trace = ec2_experiment_model(1.0).generate(0, 6 * HOUR, 2);
+    let cluster = scenario::ec2_cluster();
+    let tasks = trace.num_tasks();
+    let start = std::time::Instant::now();
+    let sched = predict(&trace, &cluster, &RmConfig::fair(2));
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "\npredictor: {} tasks in {:.2}s = {:.0} tasks/s (paper: ~150,000 tasks/s); {} jobs finished\n",
+        tasks,
+        secs,
+        tasks as f64 / secs,
+        sched.jobs.iter().filter(|j| j.finish.is_some()).count()
+    );
+}
+
+criterion_group!(benches, predictor_throughput);
+criterion_main!(benches);

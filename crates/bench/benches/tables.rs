@@ -1,0 +1,30 @@
+//! Table 1 and Table 2 reproduction benches. Each prints the regenerated
+//! table once (the reproduction artifact), then benchmarks the dominant
+//! kernel so `cargo bench` tracks regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempo_bench::tables::{abc_production_config, table1, table2, Scale};
+use tempo_sim::{predict, ClusterSpec};
+use tempo_workload::abc;
+use tempo_workload::time::DAY;
+
+fn bench_tables(c: &mut Criterion) {
+    println!("{}", table1(Scale::Quick));
+    println!("{}", table2(Scale::Quick));
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_workload_generation", |b| {
+        b.iter(|| abc::abc_span(0.05, DAY, 1));
+    });
+    let trace = abc::abc_span(0.05, DAY, 2);
+    let cluster = ClusterSpec::new(60, 30);
+    let config = abc_production_config(&cluster);
+    group.bench_function("table2_prediction_pass", |b| {
+        b.iter(|| predict(&trace, &cluster, &config));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

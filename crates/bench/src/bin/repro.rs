@@ -1,0 +1,29 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p tempo-bench --release --bin repro -- all
+//! cargo run -p tempo-bench --release --bin repro -- fig6 --full
+//! ```
+
+use tempo_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if ids.is_empty() {
+        eprintln!("usage: repro <experiment|all> [--full]");
+        eprintln!("experiments: {ALL_EXPERIMENTS:?}");
+        std::process::exit(2);
+    }
+    let scale = Scale::from_full_flag(full);
+    for id in ids {
+        match run_experiment(id, scale) {
+            Ok(out) => println!("{out}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 2: static resource limits vs time-varying demand.
+//!
+//! Two tenants with anti-correlated daily load (a business-hours analytics
+//! tenant and a nightly batch tenant) share a cluster under fixed per-tenant
+//! limits. The paper's point: "while there are periods where both tenants
+//! use up all available resources, there are other periods where the
+//! configured resource limit prevents one tenant from using the resources
+//! unused by the other."
+
+use crate::report::{pct, render_table};
+use tempo_qs::{allocation_series, sample_series};
+use tempo_sim::{predict, ClusterSpec, RmConfig, TenantConfig};
+use tempo_workload::model::{ArrivalProcess, CountDist, DeadlinePolicy, JobShape, TenantModel, WorkloadModel};
+use tempo_workload::stats::{LogNormal, WeeklyProfile};
+use tempo_workload::time::{DAY, HOUR};
+use tempo_workload::trace::TaskKind;
+
+pub struct Fig2 {
+    /// `(hour, tenant A alloc, tenant B alloc)` — containers held.
+    pub hourly: Vec<(u64, i64, i64)>,
+    pub limit_a: u32,
+    pub limit_b: u32,
+    pub capacity: u32,
+    /// Hours where a tenant sat at its limit while the cluster had idle
+    /// capacity — the wasted-opportunity signature.
+    pub capped_with_idle_hours: usize,
+}
+
+pub fn fig2() -> Fig2 {
+    let capacity = 48u32;
+    let cluster = ClusterSpec::new(capacity, 1);
+    let shape = JobShape {
+        num_maps: CountDist::LogNormal { ln: LogNormal::from_median(30.0, 0.6), min: 4, max: 300 },
+        num_reduces: CountDist::Fixed(0),
+        map_secs: LogNormal::from_median(180.0, 0.6),
+        reduce_secs: LogNormal::from_median(60.0, 0.1),
+    };
+    let model = WorkloadModel::new(vec![
+        TenantModel {
+            name: "A (daytime analytics)".into(),
+            arrival: ArrivalProcess::Poisson { rate_per_hour: 9.0, profile: WeeklyProfile::business_hours() },
+            shape: shape.clone(),
+            deadline: DeadlinePolicy::None,
+            slowstart: 1.0,
+        },
+        TenantModel {
+            name: "B (nightly batch)".into(),
+            arrival: ArrivalProcess::Poisson { rate_per_hour: 9.0, profile: WeeklyProfile::nightly_batch() },
+            shape,
+            deadline: DeadlinePolicy::None,
+            slowstart: 1.0,
+        },
+    ]);
+    let trace = model.generate(0, DAY, 21);
+    // The DBA split the cluster 50/50 with hard caps, "to protect against
+    // resource hoarding".
+    let (limit_a, limit_b) = (capacity / 2, capacity / 2);
+    let config = RmConfig::new(vec![
+        TenantConfig::fair_default().with_max_share(limit_a, 1),
+        TenantConfig::fair_default().with_max_share(limit_b, 1),
+    ]);
+    let sched = predict(&trace, &cluster, &config);
+    let sa = allocation_series(&sched, 0, TaskKind::Map);
+    let sb = allocation_series(&sched, 1, TaskKind::Map);
+    let hourly: Vec<(u64, i64, i64)> = sample_series(&sa, 0, DAY, HOUR)
+        .into_iter()
+        .zip(sample_series(&sb, 0, DAY, HOUR))
+        .map(|((t, a), (_, b))| (t / HOUR, a, b))
+        .collect();
+    let capped_with_idle_hours = hourly
+        .iter()
+        .filter(|&&(_, a, b)| {
+            let idle = capacity as i64 - a - b;
+            idle > 2 && (a >= limit_a as i64 || b >= limit_b as i64)
+        })
+        .count();
+    Fig2 { hourly, limit_a, limit_b, capacity, capped_with_idle_hours }
+}
+
+impl std::fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .hourly
+            .iter()
+            .map(|&(h, a, b)| {
+                let idle = self.capacity as i64 - a - b;
+                let flag = if (a >= self.limit_a as i64 || b >= self.limit_b as i64) && idle > 2 {
+                    "CAPPED w/ idle"
+                } else {
+                    ""
+                };
+                vec![format!("{h:02}:00"), a.to_string(), b.to_string(), idle.to_string(), flag.into()]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                &format!(
+                    "Figure 2: Allocation of two tenants during a day (A limit {}, B limit {}, capacity {})",
+                    self.limit_a, self.limit_b, self.capacity
+                ),
+                &["hour", "tenant A", "tenant B", "idle", "note"],
+                &rows,
+            )
+        )?;
+        writeln!(
+            f,
+            "{} of 24 hours had a tenant pegged at its limit while capacity sat idle ({} of the day)",
+            self.capped_with_idle_hours,
+            pct(self.capped_with_idle_hours as f64 / 24.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_block_borrowing_somewhere_in_the_day() {
+        let r = fig2();
+        assert_eq!(r.hourly.len(), 24);
+        assert!(
+            r.capped_with_idle_hours >= 3,
+            "expected capped-while-idle hours, got {}",
+            r.capped_with_idle_hours
+        );
+        // Anti-correlation: A's peak hours differ from B's.
+        let peak_a = r.hourly.iter().max_by_key(|&&(_, a, _)| a).unwrap().0;
+        let peak_b = r.hourly.iter().max_by_key(|&&(_, _, b)| b).unwrap().0;
+        assert_ne!(peak_a, peak_b);
+        // Limits are never exceeded.
+        assert!(r.hourly.iter().all(|&(_, a, b)| a <= r.limit_a as i64 && b <= r.limit_b as i64));
+        assert!(r.to_string().contains("Figure 2"));
+    }
+}

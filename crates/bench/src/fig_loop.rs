@@ -1,0 +1,337 @@
+//! Figures 6, 9, 11: the end-to-end control-loop experiments.
+
+use crate::report::{fmt, pct, render_table};
+use crate::tables::Scale;
+use tempo_core::scenario::{self, Scenario};
+use tempo_core::whatif::WorkloadSource;
+use tempo_sim::observe;
+use tempo_workload::synthetic::drifting_experiment_trace;
+use tempo_workload::time::{Time, HOUR, MIN};
+
+/// `(cluster scale, workload boost, loop iterations)` per experiment scale.
+/// The boost keeps relative contention flat across stand-in sizes (see
+/// `Scenario::with_load`).
+fn loop_scale(scale: Scale) -> (f64, f64, usize) {
+    match scale {
+        Scale::Quick => (0.2, 1.0, 10),
+        Scale::Full => (1.0, 1.4, 20),
+    }
+}
+
+/// Figure 6: AJR of the best-effort tenant (normalized to the expert
+/// configuration) and deadline-violation fraction, per control-loop
+/// iteration, for 25% and 50% slack.
+pub struct Fig6 {
+    /// `(iteration, normalized AJR @25%, violations @25%, normalized AJR
+    /// @50%, violations @50%)`.
+    pub series: Vec<(usize, f64, f64, f64, f64)>,
+    pub improvement_25: f64,
+    pub improvement_50: f64,
+}
+
+pub fn fig6(scale: Scale) -> Fig6 {
+    let (load, boost, iters) = loop_scale(scale);
+    let runs: Vec<Vec<(f64, f64)>> = [0.25, 0.5]
+        .iter()
+        .enumerate()
+        .map(|(i, &slack)| {
+            let mut sc = Scenario::with_load(load, boost, scenario::mixed_slos(slack), 42);
+            let recs = sc.run(iters, 1000 + i as u64 * 555);
+            recs.iter().map(|r| (r.observed_qs[1], r.observed_qs[0])).collect()
+        })
+        .collect();
+    let base25 = runs[0][0].0.max(1e-9);
+    let base50 = runs[1][0].0.max(1e-9);
+    let mut series = Vec::with_capacity(iters);
+    // Report the best configuration found so far at each iteration (the
+    // paper's curves are monotone because the revert guard keeps the best).
+    let mut best25 = f64::INFINITY;
+    let mut best50 = f64::INFINITY;
+    for (i, (r25, r50)) in runs[0].iter().zip(&runs[1]).enumerate() {
+        best25 = best25.min(r25.0 / base25);
+        best50 = best50.min(r50.0 / base50);
+        series.push((i, best25, r25.1, best50, r50.1));
+    }
+    Fig6 { series, improvement_25: 1.0 - best25, improvement_50: 1.0 - best50 }
+}
+
+impl std::fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .series
+            .iter()
+            .map(|&(i, a25, v25, a50, v50)| {
+                vec![i.to_string(), fmt(a25), pct(v25), fmt(a50), pct(v50)]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Figure 6: best-effort AJR (normalized) and deadline violations per iteration",
+                &["iter", "AJR 25% slack", "DL viol 25%", "AJR 50% slack", "DL viol 50%"],
+                &rows,
+            )
+        )?;
+        writeln!(
+            f,
+            "AJR improvement at convergence: {} (25% slack), {} (50% slack) — paper: 50% and 58%",
+            pct(self.improvement_25),
+            pct(self.improvement_50)
+        )
+    }
+}
+
+/// Figure 9: SLOs under the original (expert) vs Tempo-optimized RM
+/// configuration with utilization constraints and slack 0 (§8.2.2).
+pub struct Fig9 {
+    /// `(label, original, optimized)` — AJR normalized to original; DL as
+    /// fraction; utilizations as fractions.
+    pub bars: Vec<(String, f64, f64)>,
+}
+
+pub fn fig9(scale: Scale) -> Fig9 {
+    let (load, boost, iters) = loop_scale(scale);
+    // Measure the expert configuration first (it supplies the utilization
+    // bounds r_i, exactly as §8.2.2 sets them).
+    let probe = Scenario::with_load(load, boost, scenario::mixed_slos(0.0), 42);
+    let expert_sched = probe.observe_current(500);
+    let end = probe.window.1;
+    let expert_util_map = expert_sched.effective_utilization(tempo_workload::TaskKind::Map, 0, end);
+    let expert_util_red = expert_sched.effective_utilization(tempo_workload::TaskKind::Reduce, 0, end);
+
+    let slos = scenario::utilization_slos(0.0, expert_util_map, expert_util_red);
+    let mut sc = Scenario::with_load(load, boost, slos, 42);
+    let expert_qs = {
+        let s = sc.observe_current(501);
+        sc.tempo.whatif.slos.evaluate(&s, 0, end)
+    };
+    let recs = sc.run(iters, 2000);
+    // Optimized = the iteration with the best proxy reading: prefer zero
+    // violations, then lowest AJR.
+    let best = recs
+        .iter()
+        .min_by(|a, b| {
+            let key = |r: &&tempo_core::IterationRecord| (r.observed_qs[0], r.observed_qs[1]);
+            key(a).partial_cmp(&key(b)).expect("finite QS")
+        })
+        .expect("at least one iteration");
+    let opt_qs = &best.observed_qs;
+    let bars = vec![
+        ("AJR".to_string(), 1.0, opt_qs[1] / expert_qs[1].max(1e-9)),
+        ("DL".to_string(), expert_qs[0], opt_qs[0]),
+        ("UTILMAP".to_string(), -expert_qs[2], -opt_qs[2]),
+        ("UTILRED".to_string(), -expert_qs[3], -opt_qs[3]),
+    ];
+    Fig9 { bars }
+}
+
+impl std::fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .bars
+            .iter()
+            .map(|(l, o, n)| vec![l.clone(), fmt(*o), fmt(*n)])
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Figure 9: SLOs under the original vs optimized RM configuration (slack = 0)",
+                &["SLO", "original", "optimized"],
+                &rows,
+            )
+        )?;
+        writeln!(f, "(AJR normalized to the original; DL is the violation fraction; UTIL are effective utilizations)")?;
+        writeln!(f, "(paper: 22% AJR improvement, 10% DL improvement, reduce utilization up, map utilization flat)")
+    }
+}
+
+/// Figure 11: SLOs for different control-loop interval lengths on a
+/// drifting workload (§8.2.3).
+pub struct Fig11 {
+    /// `(label, normalized AJR, deadline violations)`.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+pub fn fig11(scale: Scale) -> Fig11 {
+    let (load, boost, _) = loop_scale(scale);
+    let span = match scale {
+        Scale::Quick => 2 * HOUR,
+        Scale::Full => 6 * HOUR,
+    };
+    let trace = drifting_experiment_trace(load * boost, span, 77);
+    let cluster = scenario::ec2_cluster().scaled(load);
+    let expert = scenario::scaled_expert(load);
+    let slos = scenario::mixed_slos(0.25);
+
+    // Baseline: static expert configuration across the whole horizon.
+    let expert_sched = observe(&trace, &cluster, &expert, scenario::observation_noise(), 900);
+    let expert_qs = slos.evaluate(&expert_sched, 0, span);
+    let mut rows = vec![("original (static)".to_string(), 1.0, expert_qs[0])];
+
+    for &interval in &[15 * MIN, 30 * MIN, 45 * MIN] {
+        let (ajr, viol) = windowed_loop(&trace, load, interval, span, &slos);
+        rows.push((
+            format!("{}min window", interval / MIN),
+            ajr / expert_qs[1].max(1e-9),
+            viol,
+        ));
+    }
+    Fig11 { rows }
+}
+
+/// Runs the control loop with fixed-length trace windows: each iteration
+/// re-tunes on the most recent `interval` of traces, then the next window is
+/// observed under the newly installed configuration. Returns the aggregate
+/// (AJR, deadline-violation fraction) over the horizon, weighted by jobs.
+fn windowed_loop(
+    trace: &tempo_workload::Trace,
+    load: f64,
+    interval: Time,
+    span: Time,
+    slos: &tempo_qs::SloSet,
+) -> (f64, f64) {
+    use tempo_core::control::{LoopConfig, Tempo};
+    use tempo_core::pald::PaldConfig;
+    use tempo_core::space::ConfigSpace;
+    use tempo_core::whatif::WhatIfModel;
+
+    let cluster = scenario::ec2_cluster().scaled(load);
+    let space = ConfigSpace::new(2, &cluster);
+    let first = trace.window(0, interval);
+    let whatif = WhatIfModel::new(cluster.clone(), slos.clone(), WorkloadSource::Replay(first), (0, interval + interval / 2));
+    let cfg = LoopConfig {
+        pald: PaldConfig { probes: 5, trust_radius: 0.18, seed: interval, ..Default::default() },
+        // The revert guard compares QS observations taken on *different*
+        // workload windows here; under drift that conflates workload change
+        // with configuration change and vetoes real progress, so windowed
+        // re-tuning runs with the guard off (robustness instead comes from
+        // re-tuning on the freshest traces each interval).
+        revert: tempo_core::control::RevertPolicy::Off,
+        ..Default::default()
+    };
+    let mut tempo = Tempo::new(space, whatif, cfg, &scenario::scaled_expert(load));
+
+    let mut rt_weighted = 0.0;
+    let mut rt_jobs = 0usize;
+    let mut misses = 0usize;
+    let mut ddl_jobs = 0usize;
+    let mut t = 0;
+    let mut step_idx = 0u64;
+    while t + interval <= span {
+        // Observe this window's segment under the currently installed
+        // configuration.
+        let mut segment = trace.window(t, t + interval);
+        segment.shift_to_zero(t);
+        let sched = observe(
+            &segment,
+            &cluster,
+            &tempo.current_config(),
+            scenario::observation_noise(),
+            3000 + step_idx,
+        );
+        // Aggregate outcome metrics over completed jobs of this window.
+        for j in &sched.jobs {
+            if let Some(rt) = j.response_time() {
+                if j.tenant == scenario::tenant::BEST_EFFORT {
+                    rt_weighted += tempo_workload::time::to_secs_f64(rt);
+                    rt_jobs += 1;
+                }
+                if j.tenant == scenario::tenant::DEADLINE {
+                    ddl_jobs += 1;
+                    if j.missed_deadline(0.25).unwrap_or(false) {
+                        misses += 1;
+                    }
+                }
+            }
+        }
+        // Re-tune on this window's traces for the next interval.
+        tempo.set_workload(
+            WorkloadSource::Replay({
+                let mut w = trace.window(t, t + interval);
+                w.shift_to_zero(t);
+                w
+            }),
+            (0, interval + interval / 2),
+        );
+        tempo.iterate(&sched);
+        t += interval;
+        step_idx += 1;
+    }
+    (
+        if rt_jobs == 0 { 0.0 } else { rt_weighted / rt_jobs as f64 },
+        if ddl_jobs == 0 { 0.0 } else { misses as f64 / ddl_jobs as f64 },
+    )
+}
+
+impl std::fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(l, a, v)| vec![l.clone(), fmt(*a), pct(*v)])
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Figure 11: SLOs for different control-loop interval lengths (drifting workload, 25% slack)",
+                &["configuration", "AJR (normalized)", "DL violations"],
+                &rows,
+            )
+        )?;
+        writeln!(f, "(paper: smaller windows favour AJR at the cost of violations; 45min ≈ original violations with ~22% AJR win)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shows_substantial_improvement_without_violations() {
+        let r = fig6(Scale::Quick);
+        assert!(r.improvement_25 > 0.25, "25% slack improvement {}", r.improvement_25);
+        assert!(r.improvement_50 > 0.25, "50% slack improvement {}", r.improvement_50);
+        // Normalized AJR series is monotone non-increasing (best-so-far).
+        for w in r.series.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+        // Violations stay bounded (paper: drops then flattens; ours stays
+        // near zero under the strict constraint).
+        let last = r.series.last().unwrap();
+        assert!(last.2 <= 0.15, "late violations at 25% slack: {}", last.2);
+        assert!(r.to_string().contains("Figure 6"));
+    }
+
+    #[test]
+    fn fig9_improves_ajr_and_reduce_utilization() {
+        let r = fig9(Scale::Quick);
+        let get = |label: &str| {
+            r.bars
+                .iter()
+                .find(|(l, _, _)| l == label)
+                .map(|&(_, o, n)| (o, n))
+                .expect("bar present")
+        };
+        let (ajr_o, ajr_n) = get("AJR");
+        assert!(ajr_n < ajr_o, "AJR should improve: {ajr_o} → {ajr_n}");
+        let (dl_o, dl_n) = get("DL");
+        assert!(dl_n <= dl_o + 0.05, "DL must not regress: {dl_o} → {dl_n}");
+        let (um_o, um_n) = get("UTILMAP");
+        let (ur_o, ur_n) = get("UTILRED");
+        assert!(um_n >= um_o - 0.1, "map utilization ~flat: {um_o} → {um_n}");
+        assert!(ur_n >= ur_o - 0.05, "reduce utilization up-ish: {ur_o} → {ur_n}");
+    }
+
+    #[test]
+    fn fig11_windowed_adaptation_beats_static() {
+        let r = fig11(Scale::Quick);
+        assert_eq!(r.rows.len(), 4);
+        // At least one adaptive window setting improves on the static expert
+        // AJR.
+        let best_adaptive = r.rows[1..].iter().map(|&(_, a, _)| a).fold(f64::INFINITY, f64::min);
+        assert!(best_adaptive < 1.0, "adaptation should beat static: {best_adaptive}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Figures 1, 7, 8: preemption waste, weekly preemption fractions, task
+//! duration distributions.
+
+use crate::report::{cdf_row, fmt, pct, render_table};
+use crate::tables::Scale;
+use tempo_qs::{allocation_series, sample_series};
+use tempo_sim::{observe, simulate, ClusterSpec, RmConfig, SimOptions, TenantConfig};
+use tempo_workload::synthetic::{ec2_experiment_model, ec2_tenant};
+use tempo_workload::time::{to_secs_f64, DAY, MIN};
+use tempo_workload::trace::{JobSpec, TaskKind, TaskSpec, Trace};
+
+/// Figure 1: wasted utilization due to preemption — the two-tenant timeline
+/// from §2.3 where B's arrival preempts A's freshly launched tasks and the
+/// killed work (region I) drops effective utilization below 100%.
+pub struct Fig1 {
+    /// `(minute, tenant A allocation, tenant B allocation)` samples.
+    pub timeline: Vec<(u64, i64, i64)>,
+    pub preempted_tasks: usize,
+    pub wasted_container_minutes: f64,
+    pub raw_utilization: f64,
+    pub effective_utilization: f64,
+}
+
+pub fn fig1() -> Fig1 {
+    let slots = 10u32;
+    // A floods the cluster at t=0 with long tasks; B (guaranteed 5 slots,
+    // 1-minute min-share preemption timeout) arrives at t=1min.
+    let trace = Trace::new(vec![
+        JobSpec::new(0, 0, 0, vec![TaskSpec::map(10 * MIN); 10]),
+        JobSpec::new(1, 1, MIN, vec![TaskSpec::map(2 * MIN); 5]),
+    ]);
+    let config = RmConfig::new(vec![
+        TenantConfig::fair_default(),
+        TenantConfig::fair_default().with_min_share(5, 0).with_min_timeout(MIN),
+    ]);
+    let sched = simulate(&trace, &ClusterSpec::new(slots, 0), &config, &SimOptions::default());
+    let series_a = allocation_series(&sched, 0, TaskKind::Map);
+    let series_b = allocation_series(&sched, 1, TaskKind::Map);
+    let end = sched.horizon;
+    let timeline: Vec<(u64, i64, i64)> = sample_series(&series_a, 0, end, MIN)
+        .into_iter()
+        .zip(sample_series(&series_b, 0, end, MIN))
+        .map(|((t, a), (_, b))| (t / MIN, a, b))
+        .collect();
+    let preempted_tasks = sched.tasks.iter().filter(|t| t.was_preempted()).count();
+    let wasted: u64 = sched.tasks.iter().map(|t| t.wasted_time()).sum();
+    Fig1 {
+        timeline,
+        preempted_tasks,
+        wasted_container_minutes: wasted as f64 / MIN as f64,
+        raw_utilization: sched.utilization(TaskKind::Map, 0, end),
+        effective_utilization: sched.effective_utilization(TaskKind::Map, 0, end),
+    }
+}
+
+impl std::fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .timeline
+            .iter()
+            .map(|(m, a, b)| vec![m.to_string(), a.to_string(), b.to_string()])
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Figure 1: Wasted utilization due to preemption",
+                &["minute", "tenant A slots", "tenant B slots"],
+                &rows,
+            )
+        )?;
+        writeln!(
+            f,
+            "preempted tasks: {}  wasted: {:.1} container-minutes (region I)",
+            self.preempted_tasks, self.wasted_container_minutes
+        )?;
+        writeln!(
+            f,
+            "raw utilization {}  effective utilization {} (paper: 100% raw vs 80% effective in the window)",
+            pct(self.raw_utilization),
+            pct(self.effective_utilization)
+        )
+    }
+}
+
+/// Figures 7+8 inputs: a multi-day run of the deadline/best-effort mix under
+/// the expert configuration, which preempts aggressively.
+pub struct Fig7 {
+    /// `(day, map fraction deadline, map fraction best-effort,
+    ///   reduce fraction deadline, reduce fraction best-effort)`.
+    pub by_day: Vec<(usize, f64, f64, f64, f64)>,
+    pub total_map_fraction: f64,
+    pub total_reduce_fraction: f64,
+    /// Fraction of all reduce preemptions that hit the best-effort tenant.
+    pub reduce_share_best_effort: f64,
+    schedule: tempo_sim::Schedule,
+}
+
+pub fn fig7(scale: Scale) -> Fig7 {
+    let (load, days) = match scale {
+        Scale::Quick => (0.25, 2u64),
+        Scale::Full => (1.0, 7u64),
+    };
+    let cluster = crate::paper_cluster(load);
+    let trace = ec2_experiment_model(load).generate(0, days * DAY, 11);
+    let config = tempo_core::scenario::scaled_expert(load);
+    let sched = observe(&trace, &cluster, &config, tempo_core::scenario::observation_noise(), 12);
+
+    let mut by_day = Vec::new();
+    for day in 0..days as usize {
+        let (d0, d1) = (day as u64 * DAY, (day as u64 + 1) * DAY);
+        let frac = |kind: TaskKind, tenant: u16| -> f64 {
+            let mut total = 0usize;
+            let mut pre = 0usize;
+            for t in &sched.tasks {
+                if t.kind != kind || t.tenant != tenant {
+                    continue;
+                }
+                if !(d0..d1).contains(&t.runnable_at) {
+                    continue;
+                }
+                total += 1;
+                if t.was_preempted() {
+                    pre += 1;
+                }
+            }
+            if total == 0 {
+                0.0
+            } else {
+                pre as f64 / total as f64
+            }
+        };
+        by_day.push((
+            day,
+            frac(TaskKind::Map, ec2_tenant::DEADLINE),
+            frac(TaskKind::Map, ec2_tenant::BEST_EFFORT),
+            frac(TaskKind::Reduce, ec2_tenant::DEADLINE),
+            frac(TaskKind::Reduce, ec2_tenant::BEST_EFFORT),
+        ));
+    }
+    let total_map_fraction = sched.preemption_fraction(TaskKind::Map, None);
+    let total_reduce_fraction = sched.preemption_fraction(TaskKind::Reduce, None);
+    let reduce_pre_be = sched
+        .tasks
+        .iter()
+        .filter(|t| t.kind == TaskKind::Reduce && t.was_preempted() && t.tenant == ec2_tenant::BEST_EFFORT)
+        .count();
+    let reduce_pre_all = sched
+        .tasks
+        .iter()
+        .filter(|t| t.kind == TaskKind::Reduce && t.was_preempted())
+        .count();
+    Fig7 {
+        by_day,
+        total_map_fraction,
+        total_reduce_fraction,
+        reduce_share_best_effort: if reduce_pre_all == 0 {
+            0.0
+        } else {
+            reduce_pre_be as f64 / reduce_pre_all as f64
+        },
+        schedule: sched,
+    }
+}
+
+impl std::fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .by_day
+            .iter()
+            .map(|(d, md, mb, rd, rb)| {
+                vec![format!("day {d}"), pct(*md), pct(*mb), pct(*rd), pct(*rb)]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Figure 7: Task preemptions per day (expert RM configuration)",
+                &["day", "map ddl", "map best-effort", "reduce ddl", "reduce best-effort"],
+                &rows,
+            )
+        )?;
+        writeln!(
+            f,
+            "overall: {} of maps, {} of reduces preempted; {} of reduce preemptions hit the best-effort tenant",
+            pct(self.total_map_fraction),
+            pct(self.total_reduce_fraction),
+            pct(self.reduce_share_best_effort)
+        )?;
+        writeln!(f, "(paper: 6% of maps and 23% of reduces preempted over a week, reduce kills mostly best-effort)")
+    }
+}
+
+/// Figure 8: task duration CDFs (map/reduce × deadline-driven/best-effort).
+pub struct Fig8 {
+    /// Rows: (label, p10, p50, p90, p99, sparkline).
+    pub rows: Vec<Vec<String>>,
+    pub best_effort_reduce_median: f64,
+    pub deadline_reduce_median: f64,
+}
+
+pub fn fig8(fig7: &Fig7) -> Fig8 {
+    let sched = &fig7.schedule;
+    let durations = |kind: TaskKind, tenant: u16| -> Vec<f64> {
+        sched
+            .tasks
+            .iter()
+            .filter(|t| t.kind == kind && t.tenant == tenant)
+            .map(|t| to_secs_f64(t.duration))
+            .collect()
+    };
+    let mut rows = Vec::new();
+    let mut med = [0.0f64; 2];
+    for (label, kind, tenant, slot) in [
+        ("map / deadline-driven", TaskKind::Map, ec2_tenant::DEADLINE, None),
+        ("map / best-effort", TaskKind::Map, ec2_tenant::BEST_EFFORT, None),
+        ("reduce / deadline-driven", TaskKind::Reduce, ec2_tenant::DEADLINE, Some(0)),
+        ("reduce / best-effort", TaskKind::Reduce, ec2_tenant::BEST_EFFORT, Some(1)),
+    ] {
+        let d = durations(kind, tenant);
+        if let Some(s) = slot {
+            med[s] = tempo_workload::stats::quantile(&d, 0.5);
+        }
+        let mut row = vec![label.to_string()];
+        row.extend(cdf_row(&d));
+        rows.push(row);
+    }
+    Fig8 { rows, deadline_reduce_median: med[0], best_effort_reduce_median: med[1] }
+}
+
+impl std::fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Figure 8: Task duration distributions (seconds)",
+                &["class", "p10", "p50", "p90", "p99", "CDF (log-x)"],
+                &self.rows,
+            )
+        )?;
+        writeln!(
+            f,
+            "best-effort reduce median {}s vs deadline-driven {}s (paper: best-effort reduces run longest)",
+            fmt(self.best_effort_reduce_median),
+            fmt(self.deadline_reduce_median)
+        )
+    }
+}
+
+/// Quick access for Figure 9's utilization measurement: expert-config
+/// effective utilizations from the Fig 7 run.
+pub fn expert_utilizations(fig7: &Fig7) -> (f64, f64) {
+    let end = fig7.schedule.horizon;
+    (
+        fig7.schedule.effective_utilization(TaskKind::Map, 0, end),
+        fig7.schedule.effective_utilization(TaskKind::Reduce, 0, end),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_paper_shape() {
+        let r = fig1();
+        // 5 of A's tasks are killed at minute 2; region I = 5 × 2min.
+        assert_eq!(r.preempted_tasks, 5);
+        assert!((r.wasted_container_minutes - 10.0).abs() < 1e-9);
+        // Timeline: full before preemption, B holds 5 slots after.
+        let m1 = r.timeline.iter().find(|(m, _, _)| *m == 1).unwrap();
+        assert_eq!(m1.1, 10, "A holds everything during minute 1");
+        let m3 = r.timeline.iter().find(|(m, _, _)| *m == 3).unwrap();
+        assert_eq!((m3.1, m3.2), (5, 5), "B got its guarantee after the kill");
+        assert!(r.effective_utilization < r.raw_utilization);
+        let text = r.to_string();
+        assert!(text.contains("region I"));
+    }
+
+    #[test]
+    fn fig7_8_preemption_shape() {
+        let r = fig7(Scale::Quick);
+        assert!(r.total_reduce_fraction > r.total_map_fraction,
+            "reduces are preempted more: map {} reduce {}", r.total_map_fraction, r.total_reduce_fraction);
+        assert!(r.total_reduce_fraction > 0.02, "preemption actually happens: {}", r.total_reduce_fraction);
+        assert!(r.reduce_share_best_effort > 0.5, "best-effort bears reduce kills: {}", r.reduce_share_best_effort);
+        let f8 = fig8(&r);
+        assert!(f8.best_effort_reduce_median > f8.deadline_reduce_median * 0.9);
+        assert_eq!(f8.rows.len(), 4);
+        let (um, ur) = expert_utilizations(&r);
+        assert!(um > 0.05 && um <= 1.0);
+        assert!(ur > 0.05 && ur <= 1.0);
+    }
+}

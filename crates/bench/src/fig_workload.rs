@@ -1,0 +1,266 @@
+//! Figures 5 and 10: workload statistics and instant response-time series.
+
+use crate::report::{cdf_row, fmt, render_table};
+use crate::tables::{abc_production_config, Scale};
+use tempo_qs::response_time_series;
+use tempo_sim::{observe, ClusterSpec, NoiseModel, Schedule};
+use tempo_workload::abc::{self, TENANT_NAMES};
+use tempo_workload::stats::moving_average;
+use tempo_workload::synthetic::{ec2_experiment_trace, ec2_tenant};
+use tempo_workload::time::{to_secs_f64, Time, DAY, HOUR, MIN, WEEK};
+use tempo_workload::TenantId;
+
+/// Figure 5: per-tenant CDFs of job response time, wait time, #maps and
+/// #reduces for the ABC workload run on a production-like cluster.
+pub struct Fig5 {
+    /// One row group per tenant: `[response, wait, maps, reduces]` CDF rows.
+    pub tenants: Vec<Fig5Tenant>,
+}
+
+pub struct Fig5Tenant {
+    pub name: String,
+    pub response: Vec<String>,
+    pub wait: Vec<String>,
+    pub maps: Vec<String>,
+    pub reduces: Vec<String>,
+}
+
+pub fn fig5(scale: Scale) -> Fig5 {
+    let (load, span, cluster) = match scale {
+        Scale::Quick => (0.05, DAY, ClusterSpec::new(60, 30)),
+        Scale::Full => (0.3, WEEK, ClusterSpec::new(360, 180)),
+    };
+    let trace = abc::abc_span(load, span, 5);
+    let config = abc_production_config(&cluster);
+    let sched = observe(&trace, &cluster, &config, NoiseModel::production(), 6);
+    let tenants = (0..6u16)
+        .map(|tid: TenantId| {
+            let responses: Vec<f64> = sched
+                .jobs
+                .iter()
+                .filter(|j| j.tenant == tid)
+                .filter_map(|j| j.response_time())
+                .map(to_secs_f64)
+                .collect();
+            let waits: Vec<f64> = sched
+                .tenant_tasks(tid)
+                .filter_map(|t| t.wait_time())
+                .map(to_secs_f64)
+                .collect();
+            let maps: Vec<f64> = sched
+                .jobs
+                .iter()
+                .filter(|j| j.tenant == tid)
+                .map(|j| j.map_count as f64)
+                .collect();
+            let reduces: Vec<f64> = sched
+                .jobs
+                .iter()
+                .filter(|j| j.tenant == tid)
+                .map(|j| j.reduce_count as f64)
+                .collect();
+            Fig5Tenant {
+                name: TENANT_NAMES[tid as usize].into(),
+                response: cdf_row(&responses),
+                wait: cdf_row(&waits),
+                maps: cdf_row(&maps),
+                reduces: cdf_row(&reduces),
+            }
+        })
+        .collect();
+    Fig5 { tenants }
+}
+
+impl std::fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (title, pick) in [
+            ("response time [s]", 0usize),
+            ("task wait time [s]", 1),
+            ("maps per job", 2),
+            ("reduces per job", 3),
+        ] {
+            let rows: Vec<Vec<String>> = self
+                .tenants
+                .iter()
+                .map(|t| {
+                    let cells = match pick {
+                        0 => &t.response,
+                        1 => &t.wait,
+                        2 => &t.maps,
+                        _ => &t.reduces,
+                    };
+                    let mut row = vec![t.name.clone()];
+                    row.extend(cells.iter().cloned());
+                    row
+                })
+                .collect();
+            write!(
+                f,
+                "{}",
+                render_table(
+                    &format!("Figure 5: ABC workload CDF — {title}"),
+                    &["tenant", "p10", "p50", "p90", "p99", "CDF (log-x)"],
+                    &rows,
+                )
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 10: "instant" (trailing-window moving average) job response times.
+pub struct Fig10 {
+    /// Left plot: ABC week — `(hour, deadline-driven MA, best-effort MA)`.
+    pub weekly: Vec<(f64, f64, f64)>,
+    /// Right plot: two-hour EC2 experiment — `(minute, ddl MA, be MA)`.
+    pub two_hour: Vec<(f64, f64, f64)>,
+    /// Coefficient of variation of each series (periodic vs erratic check).
+    pub weekly_cv: (f64, f64),
+}
+
+pub fn fig10(scale: Scale) -> Fig10 {
+    // Left: ABC-style week; ETL is the deadline-driven series, DEV the
+    // best-effort one (the paper's "dramatically changing" series).
+    let (load, span, cluster) = match scale {
+        Scale::Quick => (0.05, 2 * DAY, ClusterSpec::new(60, 30)),
+        Scale::Full => (0.25, WEEK, ClusterSpec::new(300, 150)),
+    };
+    let trace = abc::abc_span(load, span, 7);
+    let sched = observe(&trace, &cluster, &abc_production_config(&cluster), NoiseModel::production(), 8);
+    let weekly = ma_pair(&sched, abc::tenant::ETL, abc::tenant::DEV, 30 * MIN, HOUR, span);
+
+    // Right: the EC2 two-hour experiment under the expert configuration.
+    let scale_f = match scale {
+        Scale::Quick => 0.25,
+        Scale::Full => 1.0,
+    };
+    let ec2 = ec2_experiment_trace(scale_f, 2 * HOUR, 9);
+    let cluster2 = crate::paper_cluster(scale_f);
+    let sched2 = observe(
+        &ec2,
+        &cluster2,
+        &tempo_core::scenario::scaled_expert(scale_f),
+        tempo_core::scenario::observation_noise(),
+        10,
+    );
+    let two_hour = ma_pair(&sched2, ec2_tenant::DEADLINE, ec2_tenant::BEST_EFFORT, 15 * MIN, 5 * MIN, 2 * HOUR)
+        .into_iter()
+        .map(|(h, a, b)| (h * 60.0, a, b))
+        .collect();
+
+    let cv = |series: &[(f64, f64, f64)], pick_b: bool| -> f64 {
+        let vals: Vec<f64> = series.iter().map(|&(_, a, b)| if pick_b { b } else { a }).filter(|v| *v > 0.0).collect();
+        if vals.len() < 2 {
+            return 0.0;
+        }
+        let m = tempo_workload::stats::mean(&vals);
+        let var = vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64;
+        var.sqrt() / m
+    };
+    let weekly_cv = (cv(&weekly, false), cv(&weekly, true));
+    Fig10 { weekly, two_hour, weekly_cv }
+}
+
+/// Moving-average response-time series for two tenants, sampled on a grid
+/// (hours on the x axis).
+fn ma_pair(
+    sched: &Schedule,
+    a: TenantId,
+    b: TenantId,
+    window: Time,
+    step: Time,
+    span: Time,
+) -> Vec<(f64, f64, f64)> {
+    let ma_a = moving_average(&response_time_series(sched, a), window);
+    let ma_b = moving_average(&response_time_series(sched, b), window);
+    let sample = |series: &[(Time, f64)], t: Time| -> f64 {
+        // Last MA point at or before t (0 when none yet).
+        match series.partition_point(|&(pt, _)| pt <= t) {
+            0 => 0.0,
+            n => series[n - 1].1,
+        }
+    };
+    let mut out = Vec::new();
+    let mut t = step;
+    while t <= span {
+        out.push((t as f64 / HOUR as f64, sample(&ma_a, t), sample(&ma_b, t)));
+        t += step;
+    }
+    out
+}
+
+impl std::fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .weekly
+            .iter()
+            .map(|&(h, d, b)| vec![format!("{h:.0}h"), fmt(d), fmt(b)])
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Figure 10 (left): instant job response time, ABC week [s, 30-min MA]",
+                &["time", "deadline-driven (ETL)", "best-effort (DEV)"],
+                &rows,
+            )
+        )?;
+        writeln!(
+            f,
+            "coefficient of variation: deadline-driven {} vs best-effort {} (paper: periodic vs dramatic)",
+            fmt(self.weekly_cv.0),
+            fmt(self.weekly_cv.1)
+        )?;
+        let rows2: Vec<Vec<String>> = self
+            .two_hour
+            .iter()
+            .map(|&(m, d, b)| vec![format!("{m:.0}min"), fmt(d), fmt(b)])
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Figure 10 (right): instant job response time, 2-hour EC2 experiment [s, 15-min MA]",
+                &["time", "deadline-driven", "best-effort"],
+                &rows2,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_produces_all_rows() {
+        let r = fig5(Scale::Quick);
+        assert_eq!(r.tenants.len(), 6);
+        for t in &r.tenants {
+            assert_eq!(t.response.len(), 5);
+            assert_ne!(t.response[1], "-", "tenant {} had no completed jobs", t.name);
+        }
+        // APP jobs are small: median maps below BI's.
+        let med = |cells: &[String]| cells[1].parse::<f64>().unwrap_or(f64::NAN);
+        assert!(med(&r.tenants[2].maps) < med(&r.tenants[0].maps));
+        let text = r.to_string();
+        assert!(text.contains("reduces per job"));
+    }
+
+    #[test]
+    fn fig10_series_shapes() {
+        let r = fig10(Scale::Quick);
+        assert!(!r.weekly.is_empty());
+        assert!(!r.two_hour.is_empty());
+        // Best-effort series varies more than the periodic deadline series.
+        assert!(
+            r.weekly_cv.1 > r.weekly_cv.0 * 0.8,
+            "best-effort CV {} vs deadline CV {}",
+            r.weekly_cv.1,
+            r.weekly_cv.0
+        );
+        // Two-hour series has both tenants completing jobs at some point.
+        assert!(r.two_hour.iter().any(|&(_, d, _)| d > 0.0));
+        assert!(r.two_hour.iter().any(|&(_, _, b)| b > 0.0));
+    }
+}

@@ -1,0 +1,107 @@
+//! # tempo-bench
+//!
+//! The experiment harness: regenerates **every table and figure** of the
+//! Tempo paper's evaluation (§8) plus the ablations DESIGN.md calls out.
+//! Each experiment is a library function returning a typed result whose
+//! `Display` prints the same rows/series the paper reports, so the `repro`
+//! binary, the Criterion benches, and the integration tests all share one
+//! implementation.
+//!
+//! | id | content | function |
+//! |---|---|---|
+//! | table1 | tenant characteristics | [`tables::table1`] |
+//! | table2 | prediction RAE/RSE | [`tables::table2`] |
+//! | fig1 | preemption waste | [`fig_preemption::fig1`] |
+//! | fig2 | static limits vs demand | [`fig_limits::fig2`] |
+//! | fig5 | workload CDFs | [`fig_workload::fig5`] |
+//! | fig6 | loop convergence | [`fig_loop::fig6`] |
+//! | fig7 | weekly preemptions | [`fig_preemption::fig7`] |
+//! | fig8 | duration CDFs | [`fig_preemption::fig8`] |
+//! | fig9 | original vs optimized SLOs | [`fig_loop::fig9`] |
+//! | fig10 | instant response times | [`fig_workload::fig10`] |
+//! | fig11 | interval lengths | [`fig_loop::fig11`] |
+//! | fig12 | provisioning errors | [`fig_provision::fig12`] |
+//! | ablations | design-choice studies | [`ablations`] |
+
+pub mod ablations;
+pub mod fig_limits;
+pub mod fig_loop;
+pub mod fig_preemption;
+pub mod fig_provision;
+pub mod fig_workload;
+pub mod report;
+pub mod tables;
+
+pub use tables::Scale;
+
+/// The paper's 20-node EC2 cluster scaled by `scale` (shared sizing).
+pub fn paper_cluster(scale: f64) -> tempo_sim::ClusterSpec {
+    tempo_core::scenario::ec2_cluster().scaled(scale)
+}
+
+/// Runs one experiment by id, returning its printed report. Ids match the
+/// table in the crate docs; `all` runs everything in paper order.
+pub fn run_experiment(id: &str, scale: Scale) -> Result<String, String> {
+    let out = match id {
+        "table1" => tables::table1(scale).to_string(),
+        "table2" => tables::table2(scale).to_string(),
+        "fig1" => fig_preemption::fig1().to_string(),
+        "fig2" => fig_limits::fig2().to_string(),
+        "fig5" => fig_workload::fig5(scale).to_string(),
+        "fig6" => fig_loop::fig6(scale).to_string(),
+        "fig7" => fig_preemption::fig7(scale).to_string(),
+        "fig8" => {
+            let f7 = fig_preemption::fig7(scale);
+            fig_preemption::fig8(&f7).to_string()
+        }
+        "fig9" => fig_loop::fig9(scale).to_string(),
+        "fig10" => fig_workload::fig10(scale).to_string(),
+        "fig11" => fig_loop::fig11(scale).to_string(),
+        "fig12" => fig_provision::fig12(scale).to_string(),
+        "ablations" => {
+            let mut s = String::new();
+            s.push_str(&ablations::ablation_scalarization().to_string());
+            s.push('\n');
+            s.push_str(&ablations::ablation_revert().to_string());
+            s.push('\n');
+            s.push_str(&ablations::ablation_trust_radius().to_string());
+            s.push('\n');
+            s.push_str(&ablations::ablation_gradients().to_string());
+            s
+        }
+        "all" => {
+            let mut s = String::new();
+            for id in ALL_EXPERIMENTS {
+                s.push_str(&run_experiment(id, scale)?);
+                s.push('\n');
+            }
+            s
+        }
+        other => return Err(format!("unknown experiment '{other}'; try one of {ALL_EXPERIMENTS:?} or 'all'")),
+    };
+    Ok(out)
+}
+
+/// Every experiment id, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "table1", "table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "ablations",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        assert!(run_experiment("fig99", Scale::Quick).is_err());
+    }
+
+    #[test]
+    fn cheap_experiments_run_by_id() {
+        for id in ["table1", "fig1", "fig2"] {
+            let out = run_experiment(id, Scale::Quick).unwrap();
+            assert!(!out.is_empty(), "{id} produced no output");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text report rendering for the table/figure reproductions.
+//!
+//! Every experiment prints the same rows/series the paper reports; these
+//! helpers keep the output aligned and give a crude terminal rendering of
+//! CDFs/series so shapes are eyeballable without a plotting stack.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned table: `header` then `rows`; column widths adapt.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Formats a float with sensible precision for tabulation.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// A one-line unicode sparkline of a series (min–max normalized).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !(lo.is_finite() && hi.is_finite()) || hi - lo < 1e-12 {
+        return BARS[0].to_string().repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v - lo) / (hi - lo) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders a CDF as `(p10, p50, p90, p99)` quantile summary plus sparkline of
+/// the CDF evaluated on a log-spaced grid — enough to compare shapes with
+/// the paper's log-x CDF plots.
+pub fn cdf_row(samples: &[f64]) -> Vec<String> {
+    use tempo_workload::stats::{empirical_cdf, quantile};
+    if samples.is_empty() {
+        return vec!["-".into(), "-".into(), "-".into(), "-".into(), String::new()];
+    }
+    let qs = [0.1, 0.5, 0.9, 0.99].map(|q| quantile(samples, q));
+    let lo = qs[0].max(1e-3);
+    let hi = qs[3].max(lo * 1.001);
+    let grid: Vec<f64> =
+        (0..24).map(|i| lo * (hi / lo).powf(i as f64 / 23.0)).collect();
+    let cdf = empirical_cdf(samples, &grid);
+    let mut row: Vec<String> = qs.iter().map(|&v| fmt(v)).collect();
+    row.push(sparkline(&cdf));
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            "T",
+            &["name", "v"],
+            &[vec!["aa".into(), "1".into()], vec!["bbbb".into(), "22".into()]],
+        );
+        assert!(t.contains("== T =="));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Columns aligned: "v" starts at the same offset in all rows.
+        let col = lines[1].find('v').unwrap();
+        assert_eq!(&lines[3][col..col + 1], "1");
+        assert_eq!(&lines[4][col..col + 2], "22");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table("T", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.6), "1235");
+        assert_eq!(fmt(42.34), "42.3");
+        assert_eq!(fmt(0.1234), "0.123");
+        assert_eq!(fmt(0.00012), "1.20e-4");
+        assert_eq!(pct(0.256), "25.6%");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let flat = sparkline(&[1.0, 1.0, 1.0]);
+        assert_eq!(flat.chars().count(), 3);
+        let rising = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = rising.chars().collect();
+        assert!(chars[0] < chars[2], "rising series renders rising bars");
+    }
+
+    #[test]
+    fn cdf_row_quantiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let row = cdf_row(&samples);
+        assert_eq!(row.len(), 5);
+        assert_eq!(row[1], "50.5"); // median
+        assert!(!row[4].is_empty());
+        let empty = cdf_row(&[]);
+        assert_eq!(empty[0], "-");
+    }
+}

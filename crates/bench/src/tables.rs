@@ -1,0 +1,245 @@
+//! Table 1 (tenant characteristics) and Table 2 (schedule-prediction
+//! accuracy) reproductions.
+
+use crate::report::{fmt, render_table};
+use tempo_sim::{observe, predict, prediction_error, ClusterSpec, NoiseModel, RmConfig, TenantConfig};
+use tempo_workload::abc::{self, TENANT_CHARACTERISTICS, TENANT_DEADLINE_DRIVEN, TENANT_NAMES};
+use tempo_workload::time::{Time, DAY, MIN, SEC, WEEK};
+use tempo_workload::TenantId;
+
+/// Experiment scale: `quick` keeps the harness snappy for CI; `full`
+/// approaches the paper's workload sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    pub fn from_full_flag(full: bool) -> Self {
+        if full {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+}
+
+/// Table 1: the six ABC tenants with measured workload shape.
+pub struct Table1 {
+    pub rows: Vec<Table1Row>,
+}
+
+pub struct Table1Row {
+    pub tenant: String,
+    pub characteristics: String,
+    pub deadline_driven: bool,
+    pub jobs_per_day: f64,
+    pub mean_maps: f64,
+    pub mean_reduces: f64,
+    pub mean_map_secs: f64,
+    pub mean_reduce_secs: f64,
+}
+
+pub fn table1(scale: Scale) -> Table1 {
+    let (load, span) = match scale {
+        Scale::Quick => (0.05, 2 * DAY),
+        Scale::Full => (0.3, WEEK),
+    };
+    let trace = abc::abc_span(load, span, 1);
+    let days = span as f64 / DAY as f64;
+    let rows = (0..6u16)
+        .map(|tid| {
+            let s = trace.tenant_stats(tid);
+            Table1Row {
+                tenant: TENANT_NAMES[tid as usize].to_string(),
+                characteristics: TENANT_CHARACTERISTICS[tid as usize].to_string(),
+                deadline_driven: TENANT_DEADLINE_DRIVEN[tid as usize],
+                jobs_per_day: s.jobs as f64 / days,
+                mean_maps: s.mean_maps,
+                mean_reduces: s.mean_reduces,
+                mean_map_secs: s.mean_map_secs,
+                mean_reduce_secs: s.mean_reduce_secs,
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.tenant.clone(),
+                    r.characteristics.clone(),
+                    if r.deadline_driven { "deadline" } else { "best-effort" }.into(),
+                    fmt(r.jobs_per_day),
+                    fmt(r.mean_maps),
+                    fmt(r.mean_reduces),
+                    fmt(r.mean_map_secs),
+                    fmt(r.mean_reduce_secs),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Table 1: Tenant characteristics at Company ABC",
+                &["tenant", "characteristics", "SLO class", "jobs/day", "maps/job", "reduces/job", "map s", "reduce s"],
+                &rows,
+            )
+        )
+    }
+}
+
+/// Table 2: job-finish-time prediction error (RAE / RSE) per tenant.
+pub struct Table2 {
+    pub rows: Vec<Table2Row>,
+    /// Predictor throughput measured while producing the table (tasks/s).
+    pub tasks_per_sec: f64,
+    pub total_tasks: usize,
+}
+
+pub struct Table2Row {
+    pub tenant: String,
+    pub rae: f64,
+    pub rse: f64,
+    pub jobs: usize,
+}
+
+/// Validates the Schedule Predictor exactly as §8.1: run the ABC multi-tenant
+/// workload in a noisy "production" environment, predict the same workload
+/// deterministically, and compare per-tenant job finish times.
+pub fn table2(scale: Scale) -> Table2 {
+    let (load, span, cluster) = match scale {
+        Scale::Quick => (0.05, DAY, ClusterSpec::new(60, 30)),
+        Scale::Full => (0.35, 3 * DAY, ClusterSpec::new(420, 210)),
+    };
+    let trace = abc::abc_span(load, span, 2);
+    let config = abc_production_config(&cluster);
+    let observed = observe(&trace, &cluster, &config, NoiseModel::production(), 3);
+
+    let started = std::time::Instant::now();
+    let predicted = predict(&trace, &cluster, &config);
+    let elapsed = started.elapsed().as_secs_f64();
+    let total_tasks = trace.num_tasks();
+
+    let rows = (0..6u16)
+        .map(|tid: TenantId| {
+            let e = prediction_error(&predicted, &observed, tid);
+            Table2Row { tenant: TENANT_NAMES[tid as usize].into(), rae: e.rae, rse: e.rse, jobs: e.jobs }
+        })
+        .collect();
+    Table2 { rows, tasks_per_sec: total_tasks as f64 / elapsed.max(1e-9), total_tasks }
+}
+
+/// A production-flavoured six-tenant configuration: deadline pipelines (APP,
+/// MV, ETL) get guarantees and preemption; best-effort tenants get weights
+/// only. MV's long reduces plus ETL's bursty preemption reproduce the
+/// paper's observation that MV has the worst prediction error.
+pub fn abc_production_config(cluster: &ClusterSpec) -> RmConfig {
+    let m = cluster.capacity(tempo_workload::TaskKind::Map);
+    let r = cluster.capacity(tempo_workload::TaskKind::Reduce);
+    let frac = |c: u32, f: f64| ((c as f64 * f) as u32).max(1);
+    RmConfig::new(vec![
+        // BI
+        TenantConfig::fair_default().with_weight(1.5).with_max_share(frac(m, 0.5), frac(r, 0.5)),
+        // DEV
+        TenantConfig::fair_default().with_weight(1.0).with_max_share(frac(m, 0.4), frac(r, 0.4)),
+        // APP
+        TenantConfig::fair_default()
+            .with_weight(3.0)
+            .with_min_share(frac(m, 0.1), frac(r, 0.1))
+            .with_min_timeout(30 * SEC),
+        // STR
+        TenantConfig::fair_default().with_weight(1.0).with_max_share(frac(m, 0.4), frac(r, 0.4)),
+        // MV
+        TenantConfig::fair_default()
+            .with_weight(2.0)
+            .with_min_share(frac(m, 0.15), frac(r, 0.25))
+            .with_fair_timeout(2 * MIN)
+            .with_min_timeout(45 * SEC),
+        // ETL
+        TenantConfig::fair_default()
+            .with_weight(2.5)
+            .with_min_share(frac(m, 0.2), frac(r, 0.15))
+            .with_fair_timeout(MIN)
+            .with_min_timeout(20 * SEC),
+    ])
+}
+
+impl std::fmt::Display for Table2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| vec![r.tenant.clone(), fmt(r.rae), fmt(r.rse), r.jobs.to_string()])
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Table 2: Job finish time estimation errors per tenant",
+                &["tenant", "RAE", "RSE", "jobs"],
+                &rows,
+            )
+        )?;
+        writeln!(
+            f,
+            "predictor throughput: {:.0} tasks/s over {} tasks (paper: ~150,000 tasks/s on 35M tasks)",
+            self.tasks_per_sec, self.total_tasks
+        )
+    }
+}
+
+/// Shared simulated-week span helper for figure modules.
+pub fn week_span(scale: Scale) -> Time {
+    match scale {
+        Scale::Quick => 2 * DAY,
+        Scale::Full => WEEK,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_tenants_with_table_shape() {
+        let t = table1(Scale::Quick);
+        assert_eq!(t.rows.len(), 6);
+        // MV's reduces dominate; APP is the lightest.
+        let mv = &t.rows[4];
+        let app = &t.rows[2];
+        assert!(mv.mean_reduce_secs > 10.0 * app.mean_reduce_secs);
+        assert!(app.mean_maps < 10.0);
+        // ETL and MV and APP are the deadline tenants.
+        let deadline: Vec<&str> = t
+            .rows
+            .iter()
+            .filter(|r| r.deadline_driven)
+            .map(|r| r.tenant.as_str())
+            .collect();
+        assert_eq!(deadline, vec!["APP", "MV", "ETL"]);
+        let text = t.to_string();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("ETL"));
+    }
+
+    #[test]
+    fn table2_errors_in_paper_band() {
+        let t = table2(Scale::Quick);
+        assert_eq!(t.rows.len(), 6);
+        for r in &t.rows {
+            assert!(r.jobs > 3, "tenant {} compared too few jobs ({})", r.tenant, r.jobs);
+            assert!(r.rae > 0.0 && r.rae < 0.6, "tenant {} RAE {} out of band", r.tenant, r.rae);
+            assert!(r.rse > 0.0 && r.rse < 0.8, "tenant {} RSE {} out of band", r.tenant, r.rse);
+        }
+        assert!(t.tasks_per_sec > 10_000.0, "predictor too slow: {}", t.tasks_per_sec);
+        assert!(t.to_string().contains("Table 2"));
+    }
+}

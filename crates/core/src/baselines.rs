@@ -1,0 +1,242 @@
+//! Baseline optimizers for PALD's ablation studies (§6.3, §9).
+//!
+//! The paper positions PALD against three families: weighted-sum
+//! scalarization (fails the constraint semantics — the §6.3 counterexample),
+//! evolutionary/random search (noise-sensitive, evaluation-hungry), and
+//! plain greedy candidate selection. Implementations here share PALD's
+//! probing budget so comparisons are apples-to-apples in evaluations used.
+
+use crate::pald::QsObjective;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempo_solver::loess::loess_jacobian;
+use tempo_solver::project::project_box_ball;
+
+/// A single-step optimizer interface shared by PALD and the baselines: given
+/// the current point and constraint bounds, propose the next point.
+pub trait Optimizer {
+    fn propose<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], r: &[f64]) -> Vec<f64>;
+    fn name(&self) -> &'static str;
+}
+
+impl Optimizer for crate::pald::Pald {
+    fn propose<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], r: &[f64]) -> Vec<f64> {
+        self.step(objective, x, r).x_new
+    }
+    fn name(&self) -> &'static str {
+        "pald"
+    }
+}
+
+/// Weighted-sum scalarization: descend `Σ w_i f_i` with fixed weights,
+/// ignoring the `r_i` constraints entirely. This is the §6.3 strawman: with
+/// QS vectors (5,5) and (0,7) against r=(6,6), equal weights pick (0,7) and
+/// violate the second constraint.
+pub struct WeightedSum {
+    pub weights: Vec<f64>,
+    pub trust_radius: f64,
+    pub probes: usize,
+    pub step_frac: f64,
+    history_x: Vec<Vec<f64>>,
+    history_f: Vec<Vec<f64>>,
+    rng: StdRng,
+    samples: u64,
+}
+
+impl WeightedSum {
+    pub fn new(weights: Vec<f64>, trust_radius: f64, probes: usize, seed: u64) -> Self {
+        assert!(!weights.is_empty() && weights.iter().all(|&w| w >= 0.0), "bad weights");
+        Self {
+            weights,
+            trust_radius,
+            probes,
+            step_frac: 0.6,
+            history_x: Vec::new(),
+            history_f: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            samples: 0,
+        }
+    }
+
+    fn probe(&mut self, x: &[f64], radius: f64) -> Vec<f64> {
+        let d = x.len();
+        let mut p: Vec<f64> = x
+            .iter()
+            .map(|&xi| xi + radius * (self.rng.gen::<f64>() * 2.0 - 1.0) / (d as f64).sqrt())
+            .collect();
+        project_box_ball(&mut p, 0.0, 1.0, x, radius);
+        p
+    }
+}
+
+impl Optimizer for WeightedSum {
+    fn propose<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], _r: &[f64]) -> Vec<f64> {
+        let dim = objective.dim();
+        let radius = self.trust_radius * (dim as f64).sqrt();
+        let bandwidth = 2.5 * radius;
+        let mut pts = vec![x.to_vec()];
+        for _ in 0..self.probes {
+            pts.push(self.probe(x, radius));
+        }
+        let near = self
+            .history_x
+            .iter()
+            .filter(|hx| tempo_solver::norm(&tempo_solver::linalg::sub(hx, x)) < bandwidth)
+            .count();
+        for _ in 0..(dim + 2).saturating_sub(near + pts.len()) {
+            pts.push(self.probe(x, radius));
+        }
+        for p in pts {
+            let s = self.samples;
+            self.samples += 1;
+            let f = objective.eval(&p, s);
+            self.history_x.push(p);
+            self.history_f.push(f);
+        }
+        let Some((jac, _)) = loess_jacobian(&self.history_x, &self.history_f, x, bandwidth) else {
+            return x.to_vec();
+        };
+        let grad = jac.matvec_t(&self.weights);
+        let gnorm = tempo_solver::norm(&grad);
+        let mut x_new = x.to_vec();
+        if gnorm > 1e-12 {
+            let step = self.step_frac * radius / gnorm;
+            for (xi, gi) in x_new.iter_mut().zip(&grad) {
+                *xi -= step * gi;
+            }
+            project_box_ball(&mut x_new, 0.0, 1.0, x, radius);
+        }
+        x_new
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-sum"
+    }
+}
+
+/// Random search with greedy acceptance on the scalarized objective —
+/// the simplest noise-exposed baseline.
+pub struct RandomSearch {
+    pub trust_radius: f64,
+    pub probes: usize,
+    rng: StdRng,
+    samples: u64,
+}
+
+impl RandomSearch {
+    pub fn new(trust_radius: f64, probes: usize, seed: u64) -> Self {
+        Self { trust_radius, probes, rng: StdRng::seed_from_u64(seed), samples: 0 }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn propose<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], r: &[f64]) -> Vec<f64> {
+        let dim = objective.dim();
+        let radius = self.trust_radius * (dim as f64).sqrt();
+        // Scalarization that at least knows about constraints: violations
+        // are penalized heavily.
+        let score = |f: &[f64]| -> f64 {
+            f.iter()
+                .zip(r)
+                .map(|(fi, ri)| if ri.is_finite() && fi > ri { fi + 10.0 * (fi - ri) } else { *fi })
+                .sum()
+        };
+        let s0 = self.samples;
+        self.samples += 1;
+        let mut best = x.to_vec();
+        let mut best_score = score(&objective.eval(x, s0));
+        for _ in 0..self.probes {
+            let mut p: Vec<f64> = x
+                .iter()
+                .map(|&xi| xi + radius * (self.rng.gen::<f64>() * 2.0 - 1.0) / (dim as f64).sqrt())
+                .collect();
+            project_box_ball(&mut p, 0.0, 1.0, x, radius);
+            let s = self.samples;
+            self.samples += 1;
+            let sc = score(&objective.eval(&p, s));
+            if sc < best_score {
+                best_score = sc;
+                best = p;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pald::{Pald, PaldConfig};
+
+    /// f1 = ‖x − a‖², f2 = ‖x − b‖² — the shared toy problem.
+    fn toy() -> impl QsObjective {
+        (2usize, 2usize, |x: &[f64], _s: u64| {
+            let d2 = |p: [f64; 2]| (x[0] - p[0]).powi(2) + (x[1] - p[1]).powi(2);
+            vec![d2([0.2, 0.2]), d2([0.8, 0.8])]
+        })
+    }
+
+    fn drive<Opt: Optimizer>(opt: &mut Opt, iters: usize) -> Vec<f64> {
+        let obj = toy();
+        let mut x = vec![0.95, 0.05];
+        for _ in 0..iters {
+            x = opt.propose(&obj, &x, &[10.0, 10.0]);
+        }
+        x
+    }
+
+    #[test]
+    fn weighted_sum_descends_the_scalarization() {
+        let mut ws = WeightedSum::new(vec![0.5, 0.5], 0.15, 6, 1);
+        let x = drive(&mut ws, 20);
+        let obj = toy();
+        let f = obj.eval(&x, 0);
+        // Scalarized optimum is the midpoint (0.5, 0.5) with Σf = 0.36.
+        assert!(f[0] + f[1] < 0.55, "Σf = {}", f[0] + f[1]);
+    }
+
+    #[test]
+    fn random_search_improves_somewhat() {
+        let mut rs = RandomSearch::new(0.15, 6, 2);
+        let obj = toy();
+        let start = obj.eval(&[0.95, 0.05], 0);
+        let x = drive(&mut rs, 20);
+        let end = obj.eval(&x, 0);
+        assert!(
+            end.iter().sum::<f64>() < start.iter().sum::<f64>(),
+            "random search should not regress on a smooth problem"
+        );
+    }
+
+    #[test]
+    fn scalarization_counterexample_from_section_6_3() {
+        // Two configurations with QS vectors (5,5) and (0,7); r = (6,6).
+        // Weighted sum prefers (0,7) — violating constraint 2 — while the
+        // constraint-aware score prefers (5,5).
+        let weighted = |f: &[f64]| 0.5 * f[0] + 0.5 * f[1];
+        assert!(weighted(&[0.0, 7.0]) < weighted(&[5.0, 5.0]), "weighted sum picks the violator");
+        let r = [6.0, 6.0];
+        let penalized = |f: &[f64]| -> f64 {
+            f.iter()
+                .zip(&r)
+                .map(|(fi, ri)| if fi > ri { fi + 10.0 * (fi - ri) } else { *fi })
+                .sum()
+        };
+        assert!(penalized(&[5.0, 5.0]) < penalized(&[0.0, 7.0]), "constraint-aware pick");
+    }
+
+    #[test]
+    fn optimizer_trait_is_object_usable_via_generics() {
+        // All three optimizers run through the same driver.
+        let mut pald = Pald::new(PaldConfig { trust_radius: 0.15, probes: 5, seed: 3, ..Default::default() });
+        let x_pald = drive(&mut pald, 10);
+        assert!(x_pald.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(pald.name(), "pald");
+        assert_eq!(WeightedSum::new(vec![1.0], 0.1, 3, 0).name(), "weighted-sum");
+        assert_eq!(RandomSearch::new(0.1, 3, 0).name(), "random-search");
+    }
+}

@@ -1,0 +1,51 @@
+//! # tempo-core
+//!
+//! **Tempo**: robust and self-tuning resource management for multi-tenant
+//! parallel databases — a faithful Rust reproduction of Tan & Babu
+//! (VLDB 2016).
+//!
+//! Tempo sits on top of an existing Resource Manager (here the `tempo-sim`
+//! fair-scheduler substrate) and closes the loop from declarative SLOs to
+//! low-level RM configuration:
+//!
+//! * [`space`] — the normalized RM configuration space the optimizer
+//!   searches (§3.2);
+//! * [`whatif`] — the What-if Model: Workload Generator + Schedule Predictor
+//!   + QS evaluation (§7);
+//! * [`pald`] — the PALD multi-objective optimizer: proxy model, max-min
+//!   weight LP, ρ*, LOESS gradients, projected SGD (§6);
+//! * [`control`] — the eight-step control loop with the revert-on-regression
+//!   guard (§4);
+//! * [`provision`] — cluster-size what-if estimation (§8.2.4);
+//! * [`baselines`] — weighted-sum and random-search optimizers for
+//!   ablations;
+//! * [`scenario`] — the §8.2 two-tenant end-to-end setup shared by the
+//!   examples, tests, and figure harnesses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tempo_core::scenario::Scenario;
+//!
+//! // A scaled-down §8.2.1 scenario: deadline tenant + best-effort tenant
+//! // starting from the expert DBA configuration.
+//! let mut scenario = Scenario::mixed(0.08, 0.25, 7);
+//! let records = scenario.run(3, 1);
+//! assert_eq!(records.len(), 3);
+//! // Each record carries the observed QS vector (deadline misses, AJR).
+//! assert_eq!(records[0].observed_qs.len(), 2);
+//! ```
+
+pub mod baselines;
+pub mod control;
+pub mod pald;
+pub mod provision;
+pub mod scenario;
+pub mod space;
+pub mod whatif;
+
+pub use control::{dominates, IterationRecord, LoopConfig, RevertPolicy, Tempo};
+pub use pald::{run_pald, Pald, PaldConfig, PaldStep, QsObjective};
+pub use provision::{estimate_slos, estimation_error_pct, reconstruct_trace};
+pub use space::ConfigSpace;
+pub use whatif::{WhatIfModel, WorkloadSource};

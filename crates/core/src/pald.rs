@@ -1,0 +1,569 @@
+//! PALD — PAreto Local Descent (§6 of the paper).
+//!
+//! PALD solves the multi-objective QS optimization problem (SP1)
+//!
+//! ```text
+//! minimize   E[(f₁(x;w), …, f_k(x;w))]           (Pareto sense)
+//! subject to E[f_i(x;w)] ≤ r_i  ∀i,   x ∈ X
+//! ```
+//!
+//! through the proxy problem (SP2)
+//!
+//! ```text
+//! minimize cᵀ [ f(x) − ρ·max(f(x), r) ]
+//! ```
+//!
+//! whose every solution is a solution of (SP1) for any `c > 0`, `ρ < 1`
+//! (Theorem 1 — strict monotonicity of the proxy in each `f_i`). One PALD
+//! iteration:
+//!
+//! 1. **Probe**: evaluate a handful of configurations inside the trust
+//!    region (the paper's Optimizer explores 5 candidates per control loop);
+//! 2. **Fit**: estimate the Jacobian `J` of the QS vector at `x` by LOESS
+//!    over the accumulated evaluation history (§6.3.1);
+//! 3. **Weights `c`**: if constraints are violated, solve the max-min LP
+//!    (improve the most-violated constraint fastest — max-min fairness over
+//!    SLO satisfactions); otherwise use MGDA min-norm weights (common
+//!    descent on every objective);
+//! 4. **Penalty `ρ*`**: the closed form of §6.3.1, keeping the step from
+//!    increasing any violated `f_i`;
+//! 5. **Step**: projected SGD `x ← Π(x − α∇s)` onto `box ∩ trust ball`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempo_solver::loess::loess_jacobian;
+use tempo_solver::mgda::min_norm_weights;
+use tempo_solver::project::project_box_ball;
+use tempo_solver::simplex::max_min_weights;
+use tempo_solver::Matrix;
+
+/// A (possibly noisy) vector-valued objective over normalized configuration
+/// vectors: the QS functions `f(x; w)`. `sample` indexes the stochastic
+/// draw (workload seed / noise seed); deterministic objectives ignore it.
+pub trait QsObjective: Sync {
+    fn dim(&self) -> usize;
+    fn k(&self) -> usize;
+    fn eval(&self, x: &[f64], sample: u64) -> Vec<f64>;
+}
+
+/// Blanket adapter so closures can be used in tests and ablations.
+impl<F> QsObjective for (usize, usize, F)
+where
+    F: Fn(&[f64], u64) -> Vec<f64> + Sync,
+{
+    fn dim(&self) -> usize {
+        self.0
+    }
+    fn k(&self) -> usize {
+        self.1
+    }
+    fn eval(&self, x: &[f64], sample: u64) -> Vec<f64> {
+        (self.2)(x, sample)
+    }
+}
+
+/// PALD hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaldConfig {
+    /// Trust-region radius in *normalized* distance (‖·‖/√d) — §4's maximum
+    /// distance to the current configuration, set by the DBA's risk
+    /// tolerance.
+    pub trust_radius: f64,
+    /// Candidate configurations probed per iteration (the paper uses 5).
+    pub probes: usize,
+    /// Step length as a fraction of the (raw) trust radius.
+    pub step_frac: f64,
+    /// LOESS bandwidth as a multiple of the raw trust radius.
+    pub bandwidth_mult: f64,
+    /// Cap `ε` for the max-min LP's `z` variable. The default (∞) leaves z
+    /// bounded only by the Σc ≤ 1 scale constraint, which yields the
+    /// genuine max-min weighting; a binding finite cap degenerates c.
+    pub epsilon: f64,
+    /// RNG seed for probe placement.
+    pub seed: u64,
+}
+
+impl Default for PaldConfig {
+    fn default() -> Self {
+        Self {
+            trust_radius: 0.15,
+            probes: 5,
+            step_frac: 0.6,
+            bandwidth_mult: 2.5,
+            epsilon: f64::INFINITY,
+            seed: 0,
+        }
+    }
+}
+
+/// Diagnostics of one PALD iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaldStep {
+    /// The proposed next configuration.
+    pub x_new: Vec<f64>,
+    /// LOESS-fitted QS values at the current point.
+    pub fitted: Vec<f64>,
+    /// Objective weights used (max-min LP or MGDA).
+    pub c: Vec<f64>,
+    /// The proxy penalty ρ* (0 when nothing is violated).
+    pub rho: f64,
+    /// Which constraints were treated as violated (`f_i ≥ r_i`).
+    pub violated: Vec<bool>,
+    /// ‖∇s‖ before normalization (0 ⇒ stationary, no move proposed).
+    pub grad_norm: f64,
+}
+
+/// The PALD optimizer. Holds the evaluation history that LOESS fits over;
+/// one instance should live as long as the control loop that drives it.
+pub struct Pald {
+    pub config: PaldConfig,
+    history_x: Vec<Vec<f64>>,
+    history_f: Vec<Vec<f64>>,
+    rng: StdRng,
+    sample_counter: u64,
+}
+
+impl Pald {
+    pub fn new(config: PaldConfig) -> Self {
+        assert!(config.trust_radius > 0.0 && config.trust_radius <= 1.0, "trust radius in (0,1]");
+        assert!(config.probes >= 1, "need at least one probe");
+        assert!(config.step_frac > 0.0, "step fraction must be positive");
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self { config, history_x: Vec::new(), history_f: Vec::new(), rng, sample_counter: 0 }
+    }
+
+    /// Number of stored evaluations.
+    pub fn history_len(&self) -> usize {
+        self.history_x.len()
+    }
+
+    /// Records an externally observed evaluation (e.g. the control loop's
+    /// measurement of the live cluster) so LOESS can use it.
+    pub fn record(&mut self, x: Vec<f64>, f: Vec<f64>) {
+        self.history_x.push(x);
+        self.history_f.push(f);
+    }
+
+    /// Drops all stored evaluations. Call when the objective itself changes
+    /// (e.g. the control loop re-targets a new workload window): evaluations
+    /// of *different* objectives at the same x would otherwise poison the
+    /// LOESS fit.
+    pub fn clear_history(&mut self) {
+        self.history_x.clear();
+        self.history_f.clear();
+    }
+
+    fn raw_radius(&self, dim: usize) -> f64 {
+        self.config.trust_radius * (dim as f64).sqrt()
+    }
+
+    /// Samples a probe point uniformly from `ball(x, raw_radius) ∩ box`.
+    fn sample_probe(&mut self, x: &[f64], radius: f64) -> Vec<f64> {
+        let d = x.len();
+        // Uniform in the ball: Gaussian direction scaled by U^(1/d).
+        let mut dir: Vec<f64> = (0..d).map(|_| standard_normal(&mut self.rng)).collect();
+        let n = tempo_solver::norm(&dir);
+        if n > 0.0 {
+            for v in &mut dir {
+                *v /= n;
+            }
+        }
+        let u: f64 = self.rng.gen::<f64>();
+        let r = radius * u.powf(1.0 / d as f64);
+        let mut p: Vec<f64> = x.iter().zip(&dir).map(|(xi, di)| xi + r * di).collect();
+        project_box_ball(&mut p, 0.0, 1.0, x, radius);
+        p
+    }
+
+    /// Runs one PALD iteration at `x` with constraint bounds `r` (length k;
+    /// use the current attained value for best-effort SLOs — §6.1's
+    /// ratchet). Probes the objective, refits gradients, and proposes the
+    /// next configuration.
+    pub fn step<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], r: &[f64]) -> PaldStep {
+        let dim = objective.dim();
+        let k = objective.k();
+        assert_eq!(x.len(), dim, "x dimension mismatch");
+        assert_eq!(r.len(), k, "r dimension mismatch");
+        let radius = self.raw_radius(dim);
+        let bandwidth = self.config.bandwidth_mult * radius;
+
+        // 1. Probe: the current point plus `probes` candidates in the trust
+        //    region; keep probing (bounded) until LOESS has enough support.
+        let mut new_points: Vec<Vec<f64>> = vec![x.to_vec()];
+        for _ in 0..self.config.probes {
+            new_points.push(self.sample_probe(x, radius));
+        }
+        let needed_support = dim + 2;
+        let have_near = self
+            .history_x
+            .iter()
+            .filter(|hx| tempo_solver::norm(&tempo_solver::linalg::sub(hx, x)) < bandwidth)
+            .count();
+        let extra = needed_support.saturating_sub(have_near + new_points.len());
+        for _ in 0..extra {
+            new_points.push(self.sample_probe(x, radius));
+        }
+        let mut new_evals = 0;
+        let mut f_center: Option<Vec<f64>> = None;
+        for p in new_points {
+            let s = self.sample_counter;
+            self.sample_counter += 1;
+            let f = objective.eval(&p, s);
+            assert_eq!(f.len(), k, "objective returned wrong arity");
+            if f_center.is_none() {
+                f_center = Some(f.clone()); // new_points[0] is x itself
+            }
+            self.record(p, f);
+            new_evals += 1;
+        }
+        let f_center = f_center.expect("center point evaluated");
+
+        // 2. Fit the Jacobian by LOESS over in-bandwidth history.
+        let Some((jac, fitted)) = loess_jacobian(&self.history_x, &self.history_f, x, bandwidth) else {
+            // Degenerate geometry: stay put this iteration.
+            return PaldStep {
+                x_new: x.to_vec(),
+                fitted: vec![0.0; k],
+                c: vec![1.0 / k as f64; k],
+                rho: 0.0,
+                violated: vec![false; k],
+                grad_norm: 0.0,
+            };
+        };
+
+        // 3. Violated set and the weight vector c. The paper's §6.3.1
+        //    formulas quantify over `i : ∇f_i ≠ 0 ∧ f_i ≥ r_i`: a violated
+        //    constraint whose gradient (numerically) vanishes cannot be
+        //    improved locally and would only degenerate the LP (its Gram row
+        //    is ~0, forcing z ≤ 0), so it is excluded from the rows — it
+        //    still receives weight through the other objectives' columns.
+        let violated: Vec<bool> = fitted.iter().zip(r).map(|(f, ri)| f >= ri).collect();
+        let gram = jac.gram();
+        let gnorm_max = (0..k).map(|i| gram[(i, i)].sqrt()).fold(0.0_f64, f64::max);
+        let grad_alive = |i: usize| gram[(i, i)].sqrt() > (1e-6 * gnorm_max).max(1e-12);
+        let vrows: Vec<usize> = (0..k).filter(|&i| violated[i] && grad_alive(i)).collect();
+        let any_violated = !vrows.is_empty();
+        let c = if any_violated {
+            // Max-min LP over the (live) violated rows: J_V Jᵀ c ≥ z·1.
+            let mut g_v = Matrix::zeros(vrows.len(), k);
+            for (a, &i) in vrows.iter().enumerate() {
+                for j in 0..k {
+                    g_v[(a, j)] = gram[(i, j)];
+                }
+            }
+            max_min_weights(&g_v, self.config.epsilon)
+                .unwrap_or_else(|| vec![1.0 / (k as f64).sqrt(); k])
+        } else {
+            // Feasible (or only dead-gradient violations): MGDA min-norm
+            // weights descend every objective.
+            min_norm_weights(&jac, 300).weights
+        };
+
+        // 4. ρ* by the §6.3.1 closed form (0 when nothing is violated),
+        //    over the live violated rows only.
+        let live_violated: Vec<bool> = (0..k).map(|i| violated[i] && grad_alive(i)).collect();
+        let rho = if any_violated { optimal_rho(&gram, &c, &live_violated) } else { 0.0 };
+
+        // 5. Projected SGD step on ∇s = Σ_{i∉V} c_i g_i + (1−ρ) Σ_{i∈V} c_i g_i.
+        let mut weighted = vec![0.0; k];
+        for i in 0..k {
+            weighted[i] = if violated[i] { (1.0 - rho) * c[i] } else { c[i] };
+        }
+        let grad = jac.matvec_t(&weighted);
+        let grad_norm = tempo_solver::norm(&grad);
+        let mut x_sgd = x.to_vec();
+        if grad_norm > 1e-12 {
+            let step = self.config.step_frac * radius / grad_norm;
+            for (xi, gi) in x_sgd.iter_mut().zip(&grad) {
+                *xi -= step * gi;
+            }
+            project_box_ball(&mut x_sgd, 0.0, 1.0, x, radius);
+            let s = self.sample_counter;
+            self.sample_counter += 1;
+            let f_sgd = objective.eval(&x_sgd, s);
+            self.record(x_sgd.clone(), f_sgd);
+            new_evals += 1;
+        }
+
+        // 6. Pareto-improving selection (Figure 3, step 8): among everything
+        //    evaluated in the trust region this iteration — the SGD proposal
+        //    and the probes — install the candidate with the lowest proxy
+        //    objective s(f) = Σ c_i [f_i − ρ·max(f_i, r_i)], staying put if
+        //    the fitted current value already wins. By Theorem 1, a strictly
+        //    smaller proxy value cannot be Pareto-dominated by the current
+        //    point.
+        let proxy = |f: &[f64]| -> f64 {
+            f.iter()
+                .zip(&c)
+                .zip(r)
+                .map(|((fi, ci), ri)| {
+                    let cap = if ri.is_finite() { fi.max(*ri) } else { *fi };
+                    ci * (fi - rho * cap)
+                })
+                .sum()
+        };
+        // Candidates are judged on raw evaluations throughout — comparing a
+        // raw candidate against the *fitted* center value would freeze the
+        // loop whenever the local fit is biased low.
+        let mut best_x = x.to_vec();
+        let mut best_s = proxy(&f_center);
+        for (hx, hf) in self.history_x.iter().zip(&self.history_f).rev().take(new_evals) {
+            let d = tempo_solver::norm(&tempo_solver::linalg::sub(hx, x));
+            if d > radius + 1e-9 {
+                continue;
+            }
+            let s = proxy(hf);
+            if s < best_s - 1e-12 {
+                best_s = s;
+                best_x = hx.clone();
+            }
+        }
+
+        PaldStep { x_new: best_x, fitted, c, rho, violated, grad_norm }
+    }
+}
+
+/// The optimal proxy penalty ρ* of §6.3.1.
+///
+/// Feasible range: the update must not increase any violated `f_i`, i.e.
+/// `∇f_iᵀ∇s ≥ 0` for all `i ∈ V`; within that range, ρ maximizes the
+/// worst-case improvement `min_{i∈V} ∇f_iᵀ∇s`. Both the bounds and the
+/// objective are linear in ρ, so the 1-D concave problem is solved by a
+/// dense scan (k is tiny). Falls back to 0 when conditions (9) fail (the
+/// paper guarantees them only for convex QS with an MGDA-style c).
+fn optimal_rho(gram: &Matrix, c: &[f64], violated: &[bool]) -> f64 {
+    let k = c.len();
+    let vset: Vec<usize> = (0..k).filter(|&i| violated[i]).collect();
+    if vset.is_empty() {
+        return 0.0;
+    }
+    // num_i = Σ_j c_j ⟨g_i, g_j⟩ ; vnum_i = Σ_{j∈V} c_j ⟨g_i, g_j⟩.
+    let mut num = Vec::with_capacity(vset.len());
+    let mut vnum = Vec::with_capacity(vset.len());
+    for &i in &vset {
+        let mut n = 0.0;
+        let mut vn = 0.0;
+        for j in 0..k {
+            let term = c[j] * gram[(i, j)];
+            n += term;
+            if violated[j] {
+                vn += term;
+            }
+        }
+        num.push(n);
+        vnum.push(vn);
+    }
+    // Conditions (9): Σ_j c_j⟨g_i, g_j⟩ ≥ 0 for all violated i.
+    if num.iter().any(|&n| n < 0.0) {
+        return 0.0;
+    }
+    // Feasible interval for ρ from num_i − ρ·vnum_i ≥ 0.
+    let mut lo = -10.0_f64;
+    let mut hi = 0.999_f64;
+    for (n, vn) in num.iter().zip(&vnum) {
+        if *vn > 1e-12 {
+            hi = hi.min(n / vn);
+        } else if *vn < -1e-12 {
+            lo = lo.max(n / vn);
+        }
+    }
+    if lo > hi {
+        return 0.0;
+    }
+    // Maximize min_i (num_i − ρ·vnum_i) over [lo, hi] by dense scan.
+    let mut best_rho = 0.0_f64.clamp(lo, hi);
+    let mut best_obj = f64::NEG_INFINITY;
+    let steps = 200;
+    for s in 0..=steps {
+        let rho = lo + (hi - lo) * s as f64 / steps as f64;
+        let obj = num
+            .iter()
+            .zip(&vnum)
+            .map(|(n, vn)| n - rho * vn)
+            .fold(f64::INFINITY, f64::min);
+        if obj > best_obj + 1e-15 {
+            best_obj = obj;
+            best_rho = rho;
+        }
+    }
+    best_rho
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Box–Muller (same rationale as the workload samplers: fixed RNG
+    // consumption per draw keeps runs reproducible).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Convenience driver: runs `iters` PALD iterations from `x0`, returning the
+/// trajectory of accepted points (used by tests and the ablation benches;
+/// the production path is the control loop, which interleaves observation
+/// and reversion).
+pub fn run_pald<O: QsObjective + ?Sized>(
+    objective: &O,
+    config: PaldConfig,
+    x0: Vec<f64>,
+    r: &[f64],
+    iters: usize,
+) -> Vec<PaldStep> {
+    let mut pald = Pald::new(config);
+    let mut x = x0;
+    let mut out = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let step = pald.step(objective, &x, r);
+        x = step.x_new.clone();
+        out.push(step);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_solver::linalg::sub;
+    use tempo_solver::norm;
+
+    /// Noisy two-objective quadratic: f1 = ‖x−a‖², f2 = ‖x−b‖². The Pareto
+    /// set is the segment [a, b].
+    fn two_quadratics(noise: f64) -> impl QsObjective {
+        let a = vec![0.2, 0.2];
+        let b = vec![0.8, 0.8];
+        (2usize, 2usize, move |x: &[f64], sample: u64| {
+            let jitter = |s: u64| {
+                // Deterministic pseudo-noise keyed by the sample index.
+                let h = s.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+                noise * (((h % 1000) as f64 / 1000.0) - 0.5)
+            };
+            let f1 = norm(&sub(x, &a)).powi(2) + jitter(sample);
+            let f2 = norm(&sub(x, &b)).powi(2) + jitter(sample.wrapping_add(1));
+            vec![f1, f2]
+        })
+    }
+
+    #[test]
+    fn converges_to_pareto_segment() {
+        let obj = two_quadratics(0.0);
+        let steps = run_pald(
+            &obj,
+            PaldConfig { trust_radius: 0.12, probes: 6, seed: 3, ..Default::default() },
+            vec![0.9, 0.1],
+            &[10.0, 10.0], // both satisfied: pure Pareto descent
+            25,
+        );
+        let last = steps.last().unwrap();
+        // Distance to the segment [a,b] (the diagonal x₁=x₂ between 0.2 and
+        // 0.8): for points with coordinates in range, it is |x₁−x₂|/√2.
+        let x = &last.x_new;
+        let seg_dist = (x[0] - x[1]).abs() / 2f64.sqrt();
+        assert!(seg_dist < 0.1, "far from Pareto set: {x:?}");
+        assert!(x[0] > 0.1 && x[0] < 0.9, "inside the segment span: {x:?}");
+    }
+
+    #[test]
+    fn respects_constraint_via_max_min() {
+        // f1 constrained tightly (r=0.05 ⇒ stay near a), f2 best-effort.
+        let obj = two_quadratics(0.0);
+        let steps = run_pald(
+            &obj,
+            PaldConfig { trust_radius: 0.12, probes: 6, seed: 4, ..Default::default() },
+            vec![0.9, 0.1],
+            &[0.05, 10.0],
+            30,
+        );
+        let last = steps.last().unwrap();
+        let f = obj.eval(&last.x_new, u64::MAX);
+        assert!(f[0] < 0.12, "constraint not driven down: f1={}", f[0]);
+    }
+
+    #[test]
+    fn noisy_objective_still_improves() {
+        let obj = two_quadratics(0.05);
+        let x0 = vec![0.95, 0.05];
+        let f0 = obj.eval(&x0, u64::MAX);
+        let steps = run_pald(
+            &obj,
+            PaldConfig { trust_radius: 0.1, probes: 8, seed: 5, ..Default::default() },
+            x0,
+            &[10.0, 10.0],
+            25,
+        );
+        let xf = &steps.last().unwrap().x_new;
+        let ff = obj.eval(xf, u64::MAX);
+        // Σf must drop markedly despite the noise (LOESS smoothing).
+        let s0: f64 = f0.iter().sum();
+        let sf: f64 = ff.iter().sum();
+        assert!(sf < 0.6 * s0, "no improvement under noise: {s0} → {sf}");
+    }
+
+    #[test]
+    fn step_stays_in_trust_region_and_box() {
+        let obj = two_quadratics(0.0);
+        let mut pald = Pald::new(PaldConfig { trust_radius: 0.05, probes: 5, seed: 6, ..Default::default() });
+        let x = vec![0.5, 0.02];
+        let step = pald.step(&obj, &x, &[10.0, 10.0]);
+        let raw_radius = 0.05 * (2f64).sqrt();
+        assert!(norm(&sub(&step.x_new, &x)) <= raw_radius + 1e-9);
+        assert!(step.x_new.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn stationary_point_proposes_no_move() {
+        // Single objective with minimum at the current point.
+        let obj = (2usize, 1usize, |x: &[f64], _s: u64| {
+            vec![(x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2)]
+        });
+        let mut pald = Pald::new(PaldConfig { trust_radius: 0.2, probes: 12, seed: 7, ..Default::default() });
+        let step = pald.step(&obj, &[0.5, 0.5], &[10.0]);
+        // Every trust-region candidate has a worse proxy value than the
+        // minimum itself, so the Pareto-improving selection stays put.
+        assert!(norm(&sub(&step.x_new, &[0.5, 0.5])) < 1e-9, "{:?}", step.x_new);
+    }
+
+    #[test]
+    fn violated_constraints_get_nonzero_weights() {
+        let obj = two_quadratics(0.0);
+        let mut pald = Pald::new(PaldConfig { seed: 8, ..Default::default() });
+        // Both constraints violated at this point with r = 0.
+        let step = pald.step(&obj, &[0.5, 0.5], &[0.0, 0.0]);
+        assert!(step.violated.iter().all(|&v| v));
+        assert!(step.c.iter().all(|&ci| ci >= -1e-9));
+        assert!(step.c.iter().sum::<f64>() > 0.0);
+        assert!(step.rho < 1.0);
+    }
+
+    #[test]
+    fn history_accumulates_across_steps() {
+        let obj = two_quadratics(0.0);
+        let mut pald = Pald::new(PaldConfig { probes: 5, seed: 9, ..Default::default() });
+        let mut x = vec![0.3, 0.7];
+        let h0 = pald.history_len();
+        for _ in 0..3 {
+            let s = pald.step(&obj, &x, &[10.0, 10.0]);
+            x = s.x_new;
+        }
+        assert!(pald.history_len() >= h0 + 3 * 6, "probes + center recorded each step");
+    }
+
+    #[test]
+    fn optimal_rho_zero_when_conditions_fail() {
+        // Gram with a negative row sum under c → conditions (9) fail.
+        let gram = Matrix::from_rows(&[vec![1.0, -3.0], vec![-3.0, 1.0]]);
+        let rho = optimal_rho(&gram, &[0.5, 0.5], &[true, true]);
+        assert_eq!(rho, 0.0);
+    }
+
+    #[test]
+    fn optimal_rho_bounded_below_one() {
+        let gram = Matrix::from_rows(&[vec![2.0, 0.5], vec![0.5, 1.0]]);
+        let rho = optimal_rho(&gram, &[0.7, 0.3], &[true, false]);
+        assert!(rho < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trust radius")]
+    fn rejects_bad_radius() {
+        let _ = Pald::new(PaldConfig { trust_radius: 0.0, ..Default::default() });
+    }
+}

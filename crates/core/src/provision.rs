@@ -1,0 +1,238 @@
+//! Resource provisioning: estimating SLOs on a differently-sized cluster
+//! (§8.2.4).
+//!
+//! The use case: traces were collected on the *current* cluster; the
+//! operator wants to know the SLOs the same workload would see on a bigger
+//! (or smaller) cluster before paying for it. Tempo answers by
+//! reconstructing the workload from the observed task schedule and replaying
+//! it through the Schedule Predictor against the hypothetical cluster.
+//!
+//! The reconstruction is deliberately what an operator can actually measure
+//! from RM logs: a task's "duration" is the launch→finish span of its
+//! successful attempt. On a congested small cluster that span absorbs
+//! shuffle waits and noise, so estimates degrade as the source cluster
+//! shrinks — exactly the error growth Figure 12 reports (≤ ~20% from a
+//! half-size cluster, ≤ ~35% from a quarter-size one).
+
+use tempo_qs::SloSet;
+use tempo_sim::{predict, ClusterSpec, RmConfig, Schedule};
+use tempo_workload::time::Time;
+use tempo_workload::{JobSpec, TaskSpec, Trace};
+
+/// Rebuilds a replayable trace from an observed schedule.
+///
+/// Jobs keep their observed submission times and deadlines; every task's
+/// duration is taken from its completed attempt's occupancy (launch→end).
+/// Tasks that never completed (cut off at the horizon / killed jobs) are
+/// dropped, as are jobs left with no tasks.
+pub fn reconstruct_trace(observed: &Schedule) -> Trace {
+    use std::collections::HashMap;
+    let mut tasks_by_job: HashMap<u64, Vec<TaskSpec>> = HashMap::new();
+    for t in &observed.tasks {
+        let Some(done) = t.attempts.iter().find(|a| a.outcome == tempo_sim::AttemptOutcome::Completed)
+        else {
+            continue;
+        };
+        let duration = (done.end - done.launch).max(1);
+        tasks_by_job.entry(t.job).or_default().push(TaskSpec { kind: t.kind, duration });
+    }
+    let mut jobs = Vec::new();
+    for j in &observed.jobs {
+        let Some(tasks) = tasks_by_job.remove(&j.id) else { continue };
+        if tasks.is_empty() {
+            continue;
+        }
+        jobs.push(JobSpec {
+            id: j.id,
+            tenant: j.tenant,
+            submit: j.submit,
+            deadline: j.deadline,
+            slowstart: 1.0,
+            tasks,
+        });
+    }
+    let mut trace = Trace::new(jobs);
+    trace.sort_by_submit();
+    trace
+}
+
+/// Estimates the QS vector the reconstructed workload would attain on
+/// `target` under `config`.
+pub fn estimate_slos(
+    observed: &Schedule,
+    target: &ClusterSpec,
+    config: &RmConfig,
+    slos: &SloSet,
+    window: (Time, Time),
+) -> Vec<f64> {
+    let trace = reconstruct_trace(observed);
+    let schedule = predict(&trace, target, config);
+    slos.evaluate(&schedule, window.0, window.1)
+}
+
+/// Signed relative estimation errors in percent:
+/// `100 × (estimate − truth) / |truth|` per SLO (0 when the truth is 0 and
+/// the estimate matches; ±∞ clamped to ±1000 for degenerate truths).
+pub fn estimation_error_pct(estimated: &[f64], truth: &[f64]) -> Vec<f64> {
+    assert_eq!(estimated.len(), truth.len(), "QS arity mismatch");
+    estimated
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| {
+            if t.abs() < 1e-12 {
+                if e.abs() < 1e-12 {
+                    0.0
+                } else {
+                    1000.0_f64.copysign(*e)
+                }
+            } else {
+                (100.0 * (e - t) / t.abs()).clamp(-1000.0, 1000.0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_qs::{PoolScope, QsKind, SloSpec};
+    use tempo_sim::{observe, NoiseModel, SimOptions};
+    use tempo_workload::synthetic::ec2_experiment_trace;
+    use tempo_workload::TaskKind;
+    use tempo_workload::time::{HOUR, MIN, SEC};
+
+    fn slos() -> SloSet {
+        SloSet::new(vec![
+            SloSpec::new(Some(1), QsKind::AvgResponseTime),
+            SloSpec::new(None, QsKind::Utilization { pool: PoolScope::Map, effective: false }),
+        ])
+    }
+
+    #[test]
+    fn reconstruction_preserves_job_structure() {
+        let trace = ec2_experiment_trace(0.2, 30 * MIN, 1);
+        let cluster = ClusterSpec::new(24, 12);
+        let observed = predict(&trace, &cluster, &RmConfig::fair(2));
+        let rebuilt = reconstruct_trace(&observed);
+        assert_eq!(rebuilt.len(), trace.len());
+        assert!(rebuilt.validate().is_ok());
+        for (orig, back) in trace.jobs.iter().zip(&rebuilt.jobs) {
+            assert_eq!(orig.id, back.id);
+            assert_eq!(orig.submit, back.submit);
+            assert_eq!(orig.deadline, back.deadline);
+            assert_eq!(orig.tasks.len(), back.tasks.len());
+        }
+    }
+
+    #[test]
+    fn map_durations_survive_reconstruction_exactly() {
+        // On an uncontended cluster with no noise, map occupancy == duration.
+        let trace = ec2_experiment_trace(0.1, 20 * MIN, 2);
+        let cluster = ClusterSpec::new(400, 200);
+        let observed = predict(&trace, &cluster, &RmConfig::fair(2));
+        let rebuilt = reconstruct_trace(&observed);
+        for (orig, back) in trace.jobs.iter().zip(&rebuilt.jobs) {
+            let om: Vec<_> = orig.tasks.iter().filter(|t| t.kind == TaskKind::Map).map(|t| t.duration).collect();
+            let mut bm: Vec<_> =
+                back.tasks.iter().filter(|t| t.kind == TaskKind::Map).map(|t| t.duration).collect();
+            bm.sort_unstable();
+            let mut om = om;
+            om.sort_unstable();
+            assert_eq!(om, bm, "job {}", orig.id);
+        }
+    }
+
+    #[test]
+    fn estimation_from_same_cluster_is_accurate() {
+        let trace = ec2_experiment_trace(0.3, 40 * MIN, 3);
+        let target = ClusterSpec::new(32, 16);
+        let cfg = RmConfig::fair(2);
+        let window = (0, HOUR);
+        let truth = {
+            let s = predict(&trace, &target, &cfg);
+            slos().evaluate(&s, window.0, window.1)
+        };
+        // Observe on the same (target-sized) cluster with light noise.
+        let observed = observe(
+            &trace,
+            &target,
+            &cfg,
+            NoiseModel { duration_sigma: 0.05, task_failure_prob: 0.0, job_kill_prob: 0.0 },
+            7,
+        );
+        let est = estimate_slos(&observed, &target, &cfg, &slos(), window);
+        let errs = estimation_error_pct(&est, &truth);
+        for (i, e) in errs.iter().enumerate() {
+            assert!(e.abs() < 15.0, "SLO {i} error {e}%");
+        }
+    }
+
+    #[test]
+    fn estimation_from_smaller_cluster_degrades() {
+        // The operator only has the schedule observed *within the collection
+        // window* (horizon-bounded): on an overloaded quarter-size cluster
+        // the backlog leaves jobs unfinished and their tasks drop out of the
+        // reconstruction, so the estimate degrades — Figure 12's mechanism.
+        let trace = ec2_experiment_trace(0.3, 40 * MIN, 4);
+        let target = ClusterSpec::new(32, 16);
+        let cfg = RmConfig::fair(2);
+        let window = (0, HOUR);
+        let truth = {
+            let s = predict(&trace, &target, &cfg);
+            slos().evaluate(&s, window.0, window.1)
+        };
+        let noise = NoiseModel { duration_sigma: 0.05, task_failure_prob: 0.0, job_kill_prob: 0.0 };
+        let err_of = |frac: f64, seed: u64| -> f64 {
+            let src = target.scaled(frac);
+            let observed = tempo_sim::simulate(
+                &trace,
+                &src,
+                &cfg,
+                &SimOptions { horizon: Some(window.1), noise, seed },
+            );
+            let est = estimate_slos(&observed, &target, &cfg, &slos(), window);
+            estimation_error_pct(&est, &truth)
+                .iter()
+                .map(|e| e.abs())
+                .fold(0.0, f64::max)
+        };
+        let same = err_of(1.0, 8);
+        let quarter = err_of(0.25, 8);
+        assert!(
+            quarter > same,
+            "quarter-cluster estimate should be worse: same {same}%, quarter {quarter}%"
+        );
+    }
+
+    #[test]
+    fn error_pct_edge_cases() {
+        assert_eq!(estimation_error_pct(&[1.0], &[1.0]), vec![0.0]);
+        assert!((estimation_error_pct(&[1.2], &[1.0])[0] - 20.0).abs() < 1e-9);
+        assert_eq!(estimation_error_pct(&[0.0], &[0.0]), vec![0.0]);
+        assert_eq!(estimation_error_pct(&[0.5], &[0.0]), vec![1000.0]);
+        assert_eq!(estimation_error_pct(&[-0.5], &[0.0]), vec![-1000.0]);
+        // Negative truths (negated QS metrics) use |truth| in the
+        // denominator so the sign of the error is meaningful.
+        let e = estimation_error_pct(&[-0.8], &[-1.0]);
+        assert!((e[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropped_jobs_do_not_crash_reconstruction() {
+        // Horizon cutoff leaves unfinished tasks; they are dropped.
+        let trace = ec2_experiment_trace(0.2, 30 * MIN, 5);
+        let cluster = ClusterSpec::new(8, 4);
+        let observed = tempo_sim::simulate(
+            &trace,
+            &cluster,
+            &RmConfig::fair(2),
+            &SimOptions::default().with_horizon(10 * MIN),
+        );
+        let rebuilt = reconstruct_trace(&observed);
+        assert!(rebuilt.len() <= trace.len());
+        assert!(rebuilt.validate().is_ok());
+        assert!(rebuilt.jobs.iter().all(|j| !j.tasks.is_empty()));
+        // At least a second of work survived.
+        assert!(rebuilt.jobs.iter().map(|j| j.total_work()).sum::<u64>() > SEC);
+    }
+}

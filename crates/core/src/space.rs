@@ -1,0 +1,269 @@
+//! Normalized encoding of the RM configuration space.
+//!
+//! Tempo's Optimizer works on a vector `x ∈ [0,1]^d` (problem (SP1)'s
+//! `x ∈ X`); this module maps that vector to and from a concrete
+//! [`RmConfig`]. Per tenant, seven knobs are encoded:
+//!
+//! | dims | knob | scaling |
+//! |---|---|---|
+//! | 1 | share weight | log-scale over `weight_range` |
+//! | 2 | min share (map, reduce) | linear in `[0, pool capacity]` |
+//! | 2 | max share (map, reduce) | linear in `[1, pool capacity]` |
+//! | 2 | preemption timeouts (fair, min) | log-scale over `timeout_range`; the top of the range disables preemption |
+//!
+//! Weights and timeouts are log-scaled because their effect is
+//! multiplicative: going from 1→2 weight matters as much as 4→8. The
+//! normalized l2 distance `‖x − x'‖/√d` is the metric used for the
+//! trust-region proposals of §4 (the DBA's risk budget).
+
+use serde::{Deserialize, Serialize};
+use tempo_sim::{ClusterSpec, RmConfig, TenantConfig};
+use tempo_workload::time::{Time, HOUR, SEC};
+use tempo_workload::{TaskKind, NUM_KINDS};
+
+/// Number of encoded dimensions per tenant.
+pub const DIMS_PER_TENANT: usize = 7;
+
+/// The searchable RM configuration space for a fixed tenant count and
+/// cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    pub num_tenants: usize,
+    /// Pool capacities (bounds for the share knobs).
+    pub capacity: [u32; NUM_KINDS],
+    /// `(lo, hi)` for share weights; log-scaled.
+    pub weight_range: (f64, f64),
+    /// `(lo, hi)` for preemption timeouts; log-scaled. An encoded timeout in
+    /// the top 2% of the range decodes to *disabled* — so "no preemption" is
+    /// reachable by the optimizer rather than a special case.
+    pub timeout_range: (Time, Time),
+}
+
+impl ConfigSpace {
+    pub fn new(num_tenants: usize, cluster: &ClusterSpec) -> Self {
+        assert!(num_tenants > 0, "need at least one tenant");
+        Self {
+            num_tenants,
+            capacity: [cluster.capacity(TaskKind::Map), cluster.capacity(TaskKind::Reduce)],
+            weight_range: (0.1, 10.0),
+            timeout_range: (5 * SEC, 2 * HOUR),
+        }
+    }
+
+    /// Total dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.num_tenants * DIMS_PER_TENANT
+    }
+
+    /// Decodes a normalized vector into a concrete RM configuration.
+    ///
+    /// Values outside `[0,1]` are clamped. The min-share knob is encoded as
+    /// a *fraction of the decoded max share*, which makes every point of the
+    /// unit box decode to a valid configuration (min ≤ max by construction).
+    pub fn decode(&self, x: &[f64]) -> RmConfig {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        let mut tenants = Vec::with_capacity(self.num_tenants);
+        for t in 0..self.num_tenants {
+            let v = &x[t * DIMS_PER_TENANT..(t + 1) * DIMS_PER_TENANT];
+            let weight = log_denorm(v[0], self.weight_range.0, self.weight_range.1);
+            let mut max_share = [0u32; NUM_KINDS];
+            let mut min_share = [0u32; NUM_KINDS];
+            for p in 0..NUM_KINDS {
+                let cap = self.capacity[p].max(1);
+                max_share[p] = 1 + (clamp01(v[3 + p]) * (cap - 1) as f64).round() as u32;
+                min_share[p] = (clamp01(v[1 + p]) * max_share[p] as f64).round() as u32;
+            }
+            let fair_timeout = self.decode_timeout(v[5]);
+            let min_timeout = self.decode_timeout(v[6]);
+            tenants.push(TenantConfig { weight, min_share, max_share, fair_timeout, min_timeout });
+        }
+        RmConfig::new(tenants)
+    }
+
+    /// Encodes a configuration into the normalized vector. Inverse of
+    /// [`ConfigSpace::decode`] up to rounding.
+    pub fn encode(&self, config: &RmConfig) -> Vec<f64> {
+        assert_eq!(config.num_tenants(), self.num_tenants, "tenant count mismatch");
+        let mut x = Vec::with_capacity(self.dim());
+        for tc in &config.tenants {
+            x.push(log_norm(tc.weight, self.weight_range.0, self.weight_range.1));
+            for p in 0..NUM_KINDS {
+                let max = tc.max_share[p].min(self.capacity[p]).max(1);
+                x.push(clamp01(tc.min_share[p] as f64 / max as f64));
+            }
+            for p in 0..NUM_KINDS {
+                let cap = self.capacity[p].max(1);
+                let max = tc.max_share[p].min(cap).max(1);
+                x.push(if cap == 1 { 1.0 } else { (max - 1) as f64 / (cap - 1) as f64 });
+            }
+            x.push(self.encode_timeout(tc.fair_timeout));
+            x.push(self.encode_timeout(tc.min_timeout));
+        }
+        x
+    }
+
+    fn decode_timeout(&self, v: f64) -> Option<Time> {
+        let v = clamp01(v);
+        if v > 0.98 {
+            return None; // disabled
+        }
+        let (lo, hi) = self.timeout_range;
+        let t = log_denorm(v / 0.98, lo as f64, hi as f64);
+        Some(t.round() as Time)
+    }
+
+    fn encode_timeout(&self, t: Option<Time>) -> f64 {
+        match t {
+            None => 1.0,
+            Some(t) => {
+                let (lo, hi) = self.timeout_range;
+                0.98 * log_norm(t as f64, lo as f64, hi as f64)
+            }
+        }
+    }
+
+    /// Normalized l2 distance `‖a − b‖ / √d ∈ [0, 1]` — the §4 risk metric.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), self.dim());
+        assert_eq!(b.len(), self.dim());
+        let d: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        (d / self.dim() as f64).sqrt()
+    }
+}
+
+#[inline]
+fn clamp01(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v.clamp(0.0, 1.0)
+    }
+}
+
+fn log_denorm(v: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo > 0.0 && hi > lo);
+    (lo.ln() + clamp01(v) * (hi.ln() - lo.ln())).exp()
+}
+
+fn log_norm(value: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo > 0.0 && hi > lo);
+    clamp01((value.clamp(lo, hi).ln() - lo.ln()) / (hi.ln() - lo.ln()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_workload::time::MIN;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(2, &ClusterSpec::new(100, 60))
+    }
+
+    #[test]
+    fn dim_accounting() {
+        assert_eq!(space().dim(), 14);
+    }
+
+    #[test]
+    fn decode_is_always_valid() {
+        let s = space();
+        // Corners and a few interior points of the unit box all decode to
+        // valid configs.
+        for seed in 0..50u64 {
+            let x: Vec<f64> = (0..s.dim())
+                .map(|i| ((seed * 31 + i as u64 * 17) % 101) as f64 / 100.0)
+                .collect();
+            let cfg = s.decode(&x);
+            assert!(cfg.validate().is_ok(), "invalid decode at seed {seed}: {cfg:?}");
+        }
+        // All-zero and all-one corners.
+        assert!(s.decode(&vec![0.0; s.dim()]).validate().is_ok());
+        assert!(s.decode(&vec![1.0; s.dim()]).validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let s = space();
+        let cfg = s.decode(&vec![7.5; s.dim()]);
+        assert!(cfg.validate().is_ok());
+        let cfg2 = s.decode(&vec![-3.0; s.dim()]);
+        assert!(cfg2.validate().is_ok());
+        assert!((cfg2.tenants[0].weight - 0.1).abs() < 1e-9, "clamps to weight lo");
+    }
+
+    #[test]
+    fn roundtrip_through_encode() {
+        let s = space();
+        let cfg = RmConfig::new(vec![
+            TenantConfig::fair_default()
+                .with_weight(2.0)
+                .with_min_share(20, 10)
+                .with_max_share(80, 40)
+                .with_fair_timeout(5 * MIN)
+                .with_min_timeout(MIN),
+            TenantConfig::fair_default().with_max_share(100, 60),
+        ]);
+        let x = s.encode(&cfg);
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let back = s.decode(&x);
+        for (orig, dec) in cfg.tenants.iter().zip(&back.tenants) {
+            assert!((orig.weight - dec.weight).abs() / orig.weight < 0.02);
+            assert_eq!(orig.min_share, dec.min_share);
+            assert_eq!(orig.max_share, dec.max_share);
+            match (orig.fair_timeout, dec.fair_timeout) {
+                (Some(a), Some(b)) => {
+                    assert!((a as f64 - b as f64).abs() / (a as f64) < 0.02, "{a} vs {b}")
+                }
+                (None, None) => {}
+                other => panic!("timeout mismatch {other:?}"),
+            }
+        }
+        // Tenant 1 had no timeouts: encodes to 1.0, decodes to None.
+        assert_eq!(back.tenants[1].fair_timeout, None);
+        assert_eq!(back.tenants[1].min_timeout, None);
+    }
+
+    #[test]
+    fn min_share_never_exceeds_max() {
+        let s = space();
+        // min knob at 1.0 with a small max knob.
+        let mut x = vec![0.5; s.dim()];
+        x[1] = 1.0; // min map fraction
+        x[3] = 0.0; // max map at its floor (1)
+        let cfg = s.decode(&x);
+        assert!(cfg.tenants[0].min_share[0] <= cfg.tenants[0].max_share[0]);
+        assert_eq!(cfg.tenants[0].max_share[0], 1);
+    }
+
+    #[test]
+    fn weight_is_log_scaled() {
+        let s = space();
+        let mut lo = vec![0.5; s.dim()];
+        lo[0] = 0.0;
+        let mut mid = lo.clone();
+        mid[0] = 0.5;
+        let mut hi = lo.clone();
+        hi[0] = 1.0;
+        let w_lo = s.decode(&lo).tenants[0].weight;
+        let w_mid = s.decode(&mid).tenants[0].weight;
+        let w_hi = s.decode(&hi).tenants[0].weight;
+        assert!((w_lo - 0.1).abs() < 1e-9);
+        assert!((w_hi - 10.0).abs() < 1e-9);
+        assert!((w_mid - 1.0).abs() < 1e-9, "log midpoint of 0.1..10 is 1: {w_mid}");
+    }
+
+    #[test]
+    fn distance_is_normalized() {
+        let s = space();
+        let a = vec![0.0; s.dim()];
+        let b = vec![1.0; s.dim()];
+        assert!((s.distance(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(s.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn decode_rejects_wrong_dim() {
+        let _ = space().decode(&[0.5; 3]);
+    }
+}

@@ -1,0 +1,285 @@
+//! The What-if Model (§7): predicts QS metrics for a workload under a
+//! candidate RM configuration.
+//!
+//! Prediction is split exactly as in Figure 3: the **Workload Generator**
+//! supplies the workload (trace replay or statistical model), the **Schedule
+//! Predictor** simulates the task schedule, and the QS metrics are evaluated
+//! on the result. Because (SP1) minimizes *expectations*, the model can
+//! average each candidate over several sampled workloads/noise draws, and a
+//! memo cache avoids re-simulating configurations the optimizer revisits.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use tempo_qs::SloSet;
+use tempo_sim::{simulate, ClusterSpec, NoiseModel, RmConfig, SimOptions};
+use tempo_workload::time::Time;
+use tempo_workload::{Trace, WorkloadModel};
+
+/// Where the What-if Model's workloads come from (§7.1: "replaying
+/// historical traces or using a statistical model of the workload").
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// Replay a fixed trace (identical for every sample).
+    Replay(Trace),
+    /// Sample fresh synthetic workloads from a model over `[start, end)`;
+    /// each expectation sample uses a distinct generation seed.
+    Model { model: WorkloadModel, start: Time, end: Time },
+}
+
+impl WorkloadSource {
+    fn realize(&self, seed: u64) -> Trace {
+        match self {
+            WorkloadSource::Replay(trace) => trace.clone(),
+            WorkloadSource::Model { model, start, end } => model.generate(*start, *end, seed),
+        }
+    }
+
+    /// Whether distinct samples actually differ (drives how many samples are
+    /// worth running).
+    fn is_stochastic(&self) -> bool {
+        matches!(self, WorkloadSource::Model { .. })
+    }
+}
+
+/// The What-if Model: workload source + cluster + SLOs → expected QS vector
+/// per candidate configuration.
+pub struct WhatIfModel {
+    pub cluster: ClusterSpec,
+    pub slos: SloSet,
+    pub source: WorkloadSource,
+    /// QS evaluation window `[start, end)`.
+    pub window: (Time, Time),
+    /// Samples averaged per evaluation (the `E[·]` in (SP1)).
+    pub samples: u32,
+    /// Noise injected into predictor runs. [`NoiseModel::NONE`] gives the
+    /// paper's deterministic time-warp predictor; non-zero noise lets
+    /// experiments study PALD's robustness to noisy QS measurements.
+    pub noise: NoiseModel,
+    /// Simulation cutoff (defaults to 2× the window end, leaving room for
+    /// straggler jobs to finish and count).
+    pub horizon: Option<Time>,
+    cache: Mutex<HashMap<String, Vec<f64>>>,
+}
+
+impl WhatIfModel {
+    pub fn new(cluster: ClusterSpec, slos: SloSet, source: WorkloadSource, window: (Time, Time)) -> Self {
+        assert!(window.0 < window.1, "empty QS window");
+        Self {
+            cluster,
+            slos,
+            source,
+            window,
+            samples: 1,
+            noise: NoiseModel::NONE,
+            horizon: None,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn with_samples(mut self, samples: u32) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        self.samples = samples;
+        self
+    }
+
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Number of QS objectives.
+    pub fn k(&self) -> usize {
+        self.slos.len()
+    }
+
+    fn sim_horizon(&self) -> Time {
+        self.horizon.unwrap_or_else(|| self.window.1.saturating_mul(2).max(self.window.1 + 1))
+    }
+
+    /// One prediction sample: realize workload, simulate, evaluate QS.
+    fn sample_qs(&self, config: &RmConfig, sample: u64) -> Vec<f64> {
+        let trace = self.source.realize(0x5EED ^ sample);
+        let opts = SimOptions { horizon: Some(self.sim_horizon()), noise: self.noise, seed: sample };
+        let schedule = simulate(&trace, &self.cluster, config, &opts);
+        self.slos.evaluate(&schedule, self.window.0, self.window.1)
+    }
+
+    /// Expected QS vector for a configuration (mean over samples), memoized.
+    ///
+    /// `salt` perturbs which sample seeds are drawn — optimizers that *want*
+    /// independent noisy observations (to average across control-loop
+    /// iterations) pass distinct salts and bypass the memo cache.
+    pub fn evaluate_salted(&self, config: &RmConfig, salt: u64) -> Vec<f64> {
+        let deterministic =
+            salt == 0 && self.noise.is_none() && !self.source.is_stochastic();
+        let key = if deterministic { Some(serde_json::to_string(config).expect("config serializes")) } else { None };
+        if let Some(k) = &key {
+            if let Some(hit) = self.cache.lock().get(k) {
+                return hit.clone();
+            }
+        }
+        let n = if self.noise.is_none() && !self.source.is_stochastic() { 1 } else { self.samples };
+        let mut acc = vec![0.0; self.k()];
+        for s in 0..n as u64 {
+            let qs = self.sample_qs(config, salt.wrapping_mul(1000).wrapping_add(s));
+            for (a, v) in acc.iter_mut().zip(qs) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+        if let Some(k) = key {
+            self.cache.lock().insert(k, acc.clone());
+        }
+        acc
+    }
+
+    /// Expected QS vector with the default salt.
+    pub fn evaluate(&self, config: &RmConfig) -> Vec<f64> {
+        self.evaluate_salted(config, 0)
+    }
+
+    /// Evaluates many candidates in parallel (the Optimizer explores several
+    /// RM configurations per control-loop iteration — §8.2 uses 5).
+    pub fn evaluate_batch(&self, configs: &[RmConfig]) -> Vec<Vec<f64>> {
+        if configs.len() <= 1 {
+            return configs.iter().map(|c| self.evaluate(c)).collect();
+        }
+        let mut out: Vec<Option<Vec<f64>>> = vec![None; configs.len()];
+        crossbeam::scope(|scope| {
+            let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(configs.len());
+            let chunk = configs.len().div_ceil(threads);
+            for (slot_chunk, cfg_chunk) in out.chunks_mut(chunk).zip(configs.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (slot, cfg) in slot_chunk.iter_mut().zip(cfg_chunk) {
+                        *slot = Some(self.evaluate(cfg));
+                    }
+                });
+            }
+        })
+        .expect("what-if evaluation thread panicked");
+        out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    }
+
+    /// Number of memoized evaluations (test/diagnostic hook).
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_qs::{QsKind, SloSpec};
+    use tempo_sim::TenantConfig;
+    use tempo_workload::synthetic::ec2_experiment_model;
+    use tempo_workload::time::{HOUR, MIN, SEC};
+    use tempo_workload::trace::{JobSpec, TaskSpec};
+
+    fn slos() -> SloSet {
+        SloSet::new(vec![
+            SloSpec::new(Some(0), QsKind::DeadlineMiss { gamma: 0.25 }).with_threshold(0.0),
+            SloSpec::new(Some(1), QsKind::AvgResponseTime),
+        ])
+    }
+
+    fn replay_model() -> WhatIfModel {
+        let trace = Trace::new(vec![
+            JobSpec::new(0, 0, 0, vec![TaskSpec::map(30 * SEC)]).with_deadline(2 * MIN),
+            JobSpec::new(1, 1, 10 * SEC, vec![TaskSpec::map(60 * SEC)]),
+        ]);
+        WhatIfModel::new(ClusterSpec::new(2, 1), slos(), WorkloadSource::Replay(trace), (0, 10 * MIN))
+    }
+
+    #[test]
+    fn replay_evaluation_is_deterministic_and_cached() {
+        let m = replay_model();
+        let cfg = RmConfig::fair(2);
+        let a = m.evaluate(&cfg);
+        assert_eq!(m.cache_len(), 1);
+        let b = m.evaluate(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(m.cache_len(), 1, "second call hits the cache");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0], 0.0, "deadline met");
+        assert!((a[1] - 60.0).abs() < 1e-9, "tenant 1 ran unobstructed");
+    }
+
+    #[test]
+    fn config_changes_change_qs() {
+        let m = replay_model();
+        let fair = m.evaluate(&RmConfig::fair(2));
+        // Starve tenant 1 to one slot... cluster only has 2 map slots; cap
+        // tenant 1 to share with tenant 0 running first.
+        let capped = RmConfig::new(vec![
+            TenantConfig::fair_default(),
+            TenantConfig::fair_default().with_max_share(1, 1),
+        ]);
+        let qs_capped = m.evaluate(&capped);
+        assert_eq!(m.cache_len(), 2);
+        // Same deadline outcome; response time unchanged here (slots free),
+        // but vectors must be well-formed.
+        assert_eq!(qs_capped.len(), 2);
+        assert!(qs_capped[1] >= fair[1] - 1e-9);
+    }
+
+    #[test]
+    fn model_source_averages_over_workload_draws() {
+        let m = WhatIfModel::new(
+            ClusterSpec::new(40, 20),
+            slos(),
+            WorkloadSource::Model { model: ec2_experiment_model(0.3), start: 0, end: HOUR },
+            (0, HOUR),
+        )
+        .with_samples(3);
+        let cfg = RmConfig::fair(2);
+        let a = m.evaluate(&cfg);
+        let b = m.evaluate(&cfg);
+        assert_eq!(a, b, "same salt ⇒ same expectation estimate");
+        let c = m.evaluate_salted(&cfg, 7);
+        assert_ne!(a, c, "different salt ⇒ different draws");
+        assert_eq!(m.cache_len(), 0, "stochastic sources are not memoized");
+        assert!(a[1] > 0.0, "best-effort AJR should be positive");
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let m = replay_model();
+        let cfgs = vec![
+            RmConfig::fair(2),
+            RmConfig::new(vec![
+                TenantConfig::fair_default().with_weight(3.0),
+                TenantConfig::fair_default(),
+            ]),
+            RmConfig::new(vec![
+                TenantConfig::fair_default(),
+                TenantConfig::fair_default().with_weight(3.0),
+            ]),
+        ];
+        let batch = m.evaluate_batch(&cfgs);
+        for (cfg, expect) in cfgs.iter().zip(&batch) {
+            assert_eq!(&m.evaluate(cfg), expect);
+        }
+    }
+
+    #[test]
+    fn noisy_predictor_changes_results() {
+        let mut m = replay_model();
+        m = m.with_noise(NoiseModel::production()).with_samples(2);
+        let qs = m.evaluate(&RmConfig::fair(2));
+        assert_eq!(qs.len(), 2);
+        assert_eq!(m.cache_len(), 0, "noisy evaluations are not memoized");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty QS window")]
+    fn rejects_empty_window() {
+        let _ = WhatIfModel::new(
+            ClusterSpec::new(1, 1),
+            slos(),
+            WorkloadSource::Replay(Trace::default()),
+            (MIN, MIN),
+        );
+    }
+}

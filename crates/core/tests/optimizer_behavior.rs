@@ -1,0 +1,119 @@
+//! Behavioural tests of the optimizer stack on synthetic objectives where
+//! ground truth is known: Pareto sets, max-min fairness under infeasibility,
+//! and the ratchet dynamics of best-effort SLOs.
+
+use tempo_core::pald::{run_pald, Pald, PaldConfig, QsObjective};
+use tempo_solver::linalg::sub;
+use tempo_solver::norm;
+
+/// Three conflicting quadratic objectives centred on a triangle: the Pareto
+/// set is the triangle's convex hull. PALD from any corner should end inside
+/// (near) the hull.
+#[test]
+fn converges_into_the_pareto_hull_of_three_objectives() {
+    let centres = [[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]];
+    let obj = (2usize, 3usize, move |x: &[f64], _s: u64| {
+        centres.iter().map(|c| x.iter().zip(c).map(|(xi, ci)| (xi - ci) * (xi - ci)).sum()).collect()
+    });
+    let steps = run_pald(
+        &obj,
+        PaldConfig { trust_radius: 0.12, probes: 6, seed: 11, ..Default::default() },
+        vec![0.05, 0.95],
+        &[10.0, 10.0, 10.0],
+        30,
+    );
+    let x = &steps.last().expect("steps").x_new;
+    // Inside (or within 0.1 of) the triangle: barycentric sign test.
+    let sign = |a: [f64; 2], b: [f64; 2]| (x[0] - b[0]) * (a[1] - b[1]) - (a[0] - b[0]) * (x[1] - b[1]);
+    let d1 = sign(centres[0], centres[1]);
+    let d2 = sign(centres[1], centres[2]);
+    let d3 = sign(centres[2], centres[0]);
+    let has_neg = d1 < -0.05 || d2 < -0.05 || d3 < -0.05;
+    let has_pos = d1 > 0.05 || d2 > 0.05 || d3 > 0.05;
+    assert!(!(has_neg && has_pos), "final point {x:?} far outside the Pareto hull");
+}
+
+/// Infeasible constraints: both `f1 ≤ 0.01` and `f2 ≤ 0.01` cannot hold
+/// simultaneously (optima 0.6 apart). The max-min weighting must pull the
+/// point *off* the satisfied constraint's optimum toward a compromise: the
+/// worst violation shrinks substantially and neither constraint is
+/// sacrificed. (PALD's LP balances improvement *rates*, so the fixed point
+/// is a rate-balanced compromise between the optima — a weakly
+/// Pareto-optimal point — not necessarily the exact level-balanced
+/// midpoint.)
+#[test]
+fn infeasible_constraints_reach_a_balanced_compromise() {
+    let a = [0.2, 0.5];
+    let b = [0.8, 0.5];
+    let obj = (2usize, 2usize, move |x: &[f64], _s: u64| {
+        vec![
+            norm(&sub(x, &a)).powi(2),
+            norm(&sub(x, &b)).powi(2),
+        ]
+    });
+    let x0 = vec![0.25, 0.5]; // starts close to a: f1 tiny, f2 badly violated
+    let f0 = obj.eval(&x0, 0);
+    let worst0 = f0[0].max(f0[1]);
+    let steps = run_pald(
+        &obj,
+        PaldConfig { trust_radius: 0.1, probes: 6, seed: 12, ..Default::default() },
+        x0,
+        &[0.01, 0.01],
+        40,
+    );
+    let x = &steps.last().expect("steps").x_new;
+    let f = obj.eval(x, 0);
+    let worst = f[0].max(f[1]);
+    assert!(
+        worst < 0.7 * worst0,
+        "largest violation should shrink: {worst0} → {worst} at {x:?}"
+    );
+    assert!(x[0] > 0.3 && x[0] < 0.7, "compromise strictly between the optima: {x:?}");
+    assert!(f[0] < 0.15 && f[1] < 0.25, "neither constraint sacrificed: {f:?}");
+}
+
+/// The PaldStep diagnostics expose a consistent picture: violated flags
+/// match fitted-vs-r, c lives on the (scaled) simplex, ρ < 1.
+#[test]
+fn step_diagnostics_are_consistent() {
+    let obj = (3usize, 2usize, |x: &[f64], _s: u64| {
+        vec![
+            x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum::<f64>(),
+            x.iter().map(|v| (v - 0.7) * (v - 0.7)).sum::<f64>(),
+        ]
+    });
+    let mut pald = Pald::new(PaldConfig { trust_radius: 0.15, probes: 6, seed: 13, ..Default::default() });
+    let r = [0.05, 10.0];
+    let step = pald.step(&obj, &[0.9, 0.9, 0.9], &r);
+    assert_eq!(step.violated.len(), 2);
+    for (i, v) in step.violated.iter().enumerate() {
+        assert_eq!(*v, step.fitted[i] >= r[i], "violated flag {i} disagrees with fit");
+    }
+    assert!(step.rho < 1.0);
+    assert!(step.c.iter().all(|&ci| ci >= -1e-9));
+    assert!(step.grad_norm >= 0.0);
+    assert!(step.x_new.iter().all(|&v| (0.0..=1.0).contains(&v)));
+}
+
+/// History-driven improvement: with a warm history, PALD needs fewer fresh
+/// probes per step (the extra-probe top-up only fires on cold starts).
+#[test]
+fn warm_history_reduces_probe_cost() {
+    let obj = (4usize, 1usize, |x: &[f64], _s: u64| {
+        vec![x.iter().map(|v| (v - 0.5) * (v - 0.5)).sum::<f64>()]
+    });
+    let mut pald = Pald::new(PaldConfig { trust_radius: 0.15, probes: 3, seed: 14, ..Default::default() });
+    let x = vec![0.4, 0.6, 0.4, 0.6];
+    let before = pald.history_len();
+    pald.step(&obj, &x, &[10.0]);
+    let cold_cost = pald.history_len() - before;
+    let before = pald.history_len();
+    pald.step(&obj, &x, &[10.0]);
+    let warm_cost = pald.history_len() - before;
+    assert!(
+        warm_cost < cold_cost,
+        "warm step should evaluate less: cold {cold_cost}, warm {warm_cost}"
+    );
+    // Warm cost = probes + center (+ optional SGD eval).
+    assert!(warm_cost <= 3 + 1 + 1);
+}

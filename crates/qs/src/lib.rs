@@ -1,0 +1,17 @@
+//! # tempo-qs
+//!
+//! QS (Quantitative SLO) metrics and templates — §5 of the Tempo paper.
+//!
+//! A QS turns an SLO into a loss function over the task schedule, so that
+//! "meet the SLO better" becomes "make this number smaller". This crate
+//! provides the five predefined QS metrics ([`metrics::QsKind`]), the
+//! declarative SLO templates and parser ([`slo`]), and schedule-timeline
+//! analysis utilities ([`timeline`]) used by the figure reproductions.
+
+pub mod metrics;
+pub mod slo;
+pub mod timeline;
+
+pub use metrics::{evaluate_qs, response_times, PoolScope, QsKind};
+pub use slo::{ParseError, SloSet, SloSpec};
+pub use timeline::{allocation_series, mean_level, response_time_series, sample_series, StepSeries};

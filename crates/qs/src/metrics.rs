@@ -1,0 +1,327 @@
+//! QS — Quantitative SLO metrics (§5 of the paper).
+//!
+//! A QS is a loss function over the *task schedule* produced by a workload
+//! under an RM configuration: minimizing the QS improves the SLO. All five
+//! SLO classes from the production interviews (§3.1) are covered, evaluated
+//! over a time interval `[start, end)` on the job set `J_i` of jobs
+//! *submitted and completed* within the interval.
+
+use serde::{Deserialize, Serialize};
+use tempo_sim::Schedule;
+use tempo_workload::time::{to_secs_f64, Time};
+use tempo_workload::{TaskKind, TenantId};
+
+/// Which container pools a utilization-style metric covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolScope {
+    Map,
+    Reduce,
+    /// Dominant usage across both pools (the DRF-style reading of §5.1:
+    /// "we can use the dominant resource usage when multiple resource types
+    /// are considered").
+    Dominant,
+}
+
+/// The predefined QS metric definitions of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QsKind {
+    /// `QS_AJR`: average job response time, in seconds.
+    AvgResponseTime,
+    /// Tail response time: the `q`-quantile of job response times, in
+    /// seconds. The second SLO class of §3.1 — "job response time must be
+    /// less than a given threshold" — is a per-job promise that an average
+    /// can mask; bounding a high quantile (e.g. `q = 0.95`) enforces it for
+    /// the tail.
+    ResponseTimePercentile { q: f64 },
+    /// `QS_DL`: fraction of jobs missing their deadline, with slack `gamma`
+    /// as a fraction of each job's own duration.
+    DeadlineMiss { gamma: f64 },
+    /// `QS_UTIL`: negative resource utilization (fraction of pool capacity
+    /// occupied over the interval) — negated so minimizing improves it.
+    /// `effective = true` counts only useful work (excludes preempted
+    /// attempts' lost time and shuffle idling), which is how Figure 1's
+    /// "effective utilization" is computed.
+    Utilization { pool: PoolScope, effective: bool },
+    /// `QS_THR`: negative job throughput, in jobs per hour (normalized by
+    /// the interval length so windows of different sizes compare).
+    Throughput,
+    /// `QS_FAIR`: deviation of the tenant's utilization share from the
+    /// desired share `share`. The paper writes `−|c_i + QS_UTIL|`, whose
+    /// sign would *reward* deviation under QS-minimization; we implement the
+    /// evidently intended `+|c_i − util|` (smaller = fairer).
+    Fairness { share: f64, pool: PoolScope },
+}
+
+impl QsKind {
+    /// Short identifier used in reports (AJR, DL, UTILMAP, ... as in
+    /// Figure 9's axis labels).
+    pub fn label(&self) -> String {
+        match self {
+            QsKind::AvgResponseTime => "AJR".into(),
+            QsKind::ResponseTimePercentile { q } => format!("P{:.0}RT", q * 100.0),
+            QsKind::DeadlineMiss { .. } => "DL".into(),
+            QsKind::Utilization { pool, .. } => match pool {
+                PoolScope::Map => "UTILMAP".into(),
+                PoolScope::Reduce => "UTILRED".into(),
+                PoolScope::Dominant => "UTIL".into(),
+            },
+            QsKind::Throughput => "THR".into(),
+            QsKind::Fairness { .. } => "FAIR".into(),
+        }
+    }
+}
+
+/// Evaluates one QS metric for `tenant` (or the whole cluster when `None`)
+/// over `[start, end)` of a schedule.
+///
+/// Empty job sets evaluate to 0 for job-level metrics — a window in which a
+/// tenant completed nothing carries no signal, and 0 keeps the optimizer's
+/// averaging well-defined (the expectation in (SP1) is over windows).
+pub fn evaluate_qs(
+    kind: &QsKind,
+    schedule: &Schedule,
+    tenant: Option<TenantId>,
+    start: Time,
+    end: Time,
+) -> f64 {
+    assert!(start < end, "empty evaluation window");
+    match kind {
+        QsKind::AvgResponseTime => {
+            let times = response_times(schedule, tenant, start, end);
+            if times.is_empty() {
+                0.0
+            } else {
+                times.iter().sum::<f64>() / times.len() as f64
+            }
+        }
+        QsKind::ResponseTimePercentile { q } => {
+            assert!((0.0..=1.0).contains(q), "quantile order out of range");
+            let times = response_times(schedule, tenant, start, end);
+            if times.is_empty() {
+                0.0
+            } else {
+                tempo_workload::stats::quantile(&times, *q)
+            }
+        }
+        QsKind::DeadlineMiss { gamma } => {
+            assert!(*gamma >= 0.0, "negative slack");
+            let jobs = jobs_in(schedule, tenant, start, end);
+            let with_deadline: Vec<_> = jobs.iter().filter(|j| j.deadline.is_some()).collect();
+            if with_deadline.is_empty() {
+                return 0.0;
+            }
+            let missed = with_deadline
+                .iter()
+                .filter(|j| j.missed_deadline(*gamma).unwrap_or(false))
+                .count();
+            missed as f64 / with_deadline.len() as f64
+        }
+        QsKind::Utilization { pool, effective } => -utilization(schedule, tenant, *pool, *effective, start, end),
+        QsKind::Throughput => {
+            let n = jobs_in(schedule, tenant, start, end).len();
+            let hours = to_secs_f64(end - start) / 3600.0;
+            -(n as f64) / hours
+        }
+        QsKind::Fairness { share, pool } => {
+            assert!((0.0..=1.0).contains(share), "share must be a fraction");
+            let util = utilization(schedule, tenant, *pool, false, start, end);
+            (share - util).abs()
+        }
+    }
+}
+
+/// Response times (seconds) of jobs submitted and completed in the window.
+pub fn response_times(schedule: &Schedule, tenant: Option<TenantId>, start: Time, end: Time) -> Vec<f64> {
+    jobs_in(schedule, tenant, start, end)
+        .iter()
+        .filter_map(|j| j.response_time())
+        .map(to_secs_f64)
+        .collect()
+}
+
+fn jobs_in(
+    schedule: &Schedule,
+    tenant: Option<TenantId>,
+    start: Time,
+    end: Time,
+) -> Vec<&tempo_sim::JobRecord> {
+    schedule
+        .jobs
+        .iter()
+        .filter(|j| tenant.is_none_or(|t| j.tenant == t))
+        .filter(|j| (start..end).contains(&j.submit))
+        .filter(|j| j.finish.is_some_and(|f| f < end))
+        .collect()
+}
+
+fn utilization(
+    schedule: &Schedule,
+    tenant: Option<TenantId>,
+    pool: PoolScope,
+    effective: bool,
+    start: Time,
+    end: Time,
+) -> f64 {
+    let one = |kind: TaskKind| -> f64 {
+        let avail = schedule.capacity[kind.index()] as u128 * (end - start) as u128;
+        if avail == 0 {
+            return 0.0;
+        }
+        let used = if effective {
+            schedule.useful_work_in(kind, tenant, start, end)
+        } else {
+            schedule.occupancy_in(kind, tenant, start, end)
+        };
+        used as f64 / avail as f64
+    };
+    match pool {
+        PoolScope::Map => one(TaskKind::Map),
+        PoolScope::Reduce => one(TaskKind::Reduce),
+        PoolScope::Dominant => one(TaskKind::Map).max(one(TaskKind::Reduce)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_sim::{predict, ClusterSpec, RmConfig};
+    use tempo_workload::time::{HOUR, SEC};
+    use tempo_workload::trace::{JobSpec, TaskSpec, Trace};
+
+    fn run() -> Schedule {
+        // Two tenants on a small cluster: tenant 0 has deadlines.
+        let mut jobs = Vec::new();
+        for i in 0..10u64 {
+            jobs.push(
+                JobSpec::new(i, 0, i * 30 * SEC, vec![TaskSpec::map(20 * SEC), TaskSpec::reduce(40 * SEC)])
+                    .with_deadline(i * 30 * SEC + 70 * SEC),
+            );
+        }
+        for i in 10..20u64 {
+            jobs.push(JobSpec::new(i, 1, (i - 10) * 30 * SEC, vec![TaskSpec::map(60 * SEC)]));
+        }
+        let mut t = Trace::new(jobs);
+        t.sort_by_submit();
+        predict(&t, &ClusterSpec::new(4, 2), &RmConfig::fair(2))
+    }
+
+    #[test]
+    fn ajr_counts_only_completed_in_window() {
+        let s = run();
+        let ajr = evaluate_qs(&QsKind::AvgResponseTime, &s, Some(1), 0, HOUR);
+        assert!(ajr >= 60.0, "jobs take at least their work time: {ajr}");
+        // A window before anything completes yields 0.
+        let early = evaluate_qs(&QsKind::AvgResponseTime, &s, Some(1), 0, 10 * SEC);
+        assert_eq!(early, 0.0);
+    }
+
+    #[test]
+    fn deadline_slack_reduces_misses() {
+        let s = run();
+        let strict = evaluate_qs(&QsKind::DeadlineMiss { gamma: 0.0 }, &s, Some(0), 0, HOUR);
+        let slack = evaluate_qs(&QsKind::DeadlineMiss { gamma: 0.5 }, &s, Some(0), 0, HOUR);
+        assert!((0.0..=1.0).contains(&strict));
+        assert!(slack <= strict, "slack can only forgive misses");
+        // Tenant 1 has no deadlines → metric is 0.
+        assert_eq!(evaluate_qs(&QsKind::DeadlineMiss { gamma: 0.0 }, &s, Some(1), 0, HOUR), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_negative_fraction() {
+        let s = run();
+        let u = evaluate_qs(
+            &QsKind::Utilization { pool: PoolScope::Map, effective: false },
+            &s,
+            None,
+            0,
+            10 * 30 * SEC,
+        );
+        assert!((-1.0..=0.0).contains(&u), "util {u}");
+        assert!(u < -0.1, "cluster was busy");
+        // Effective ≤ raw (idle shuffle time and preemptions drop out).
+        let e = evaluate_qs(
+            &QsKind::Utilization { pool: PoolScope::Reduce, effective: true },
+            &s,
+            None,
+            0,
+            10 * 30 * SEC,
+        );
+        let r = evaluate_qs(
+            &QsKind::Utilization { pool: PoolScope::Reduce, effective: false },
+            &s,
+            None,
+            0,
+            10 * 30 * SEC,
+        );
+        assert!(e >= r, "negated: effective {e} raw {r}");
+    }
+
+    #[test]
+    fn dominant_is_max_of_pools() {
+        let s = run();
+        let m = evaluate_qs(&QsKind::Utilization { pool: PoolScope::Map, effective: false }, &s, None, 0, HOUR);
+        let r = evaluate_qs(&QsKind::Utilization { pool: PoolScope::Reduce, effective: false }, &s, None, 0, HOUR);
+        let d = evaluate_qs(&QsKind::Utilization { pool: PoolScope::Dominant, effective: false }, &s, None, 0, HOUR);
+        assert!((d - m.min(r)).abs() < 1e-12, "negated max = min of negatives");
+    }
+
+    #[test]
+    fn throughput_normalizes_per_hour() {
+        let s = run();
+        let thr = evaluate_qs(&QsKind::Throughput, &s, None, 0, HOUR);
+        assert!((thr + 20.0).abs() < 1e-9, "20 jobs in one hour: {thr}");
+        let half = evaluate_qs(&QsKind::Throughput, &s, None, 0, HOUR / 2);
+        assert!(half <= thr, "rate in the busy half-hour is at least the hourly rate");
+    }
+
+    #[test]
+    fn fairness_measures_deviation() {
+        let s = run();
+        let util0 = -evaluate_qs(
+            &QsKind::Utilization { pool: PoolScope::Map, effective: false },
+            &s,
+            Some(0),
+            0,
+            HOUR,
+        );
+        let fair_exact =
+            evaluate_qs(&QsKind::Fairness { share: util0, pool: PoolScope::Map }, &s, Some(0), 0, HOUR);
+        assert!(fair_exact.abs() < 1e-12, "deviation from own share is zero");
+        let fair_off =
+            evaluate_qs(&QsKind::Fairness { share: (util0 + 0.5).min(1.0), pool: PoolScope::Map }, &s, Some(0), 0, HOUR);
+        assert!(fair_off > fair_exact);
+    }
+
+    #[test]
+    fn percentile_bounds_the_tail() {
+        let s = run();
+        let p50 = evaluate_qs(&QsKind::ResponseTimePercentile { q: 0.5 }, &s, Some(1), 0, HOUR);
+        let p95 = evaluate_qs(&QsKind::ResponseTimePercentile { q: 0.95 }, &s, Some(1), 0, HOUR);
+        let ajr = evaluate_qs(&QsKind::AvgResponseTime, &s, Some(1), 0, HOUR);
+        assert!(p95 >= p50, "quantiles are monotone: p50 {p50} p95 {p95}");
+        assert!(p95 >= ajr, "the tail is at least the mean here");
+        // Empty window → 0, like the other job-level metrics.
+        assert_eq!(
+            evaluate_qs(&QsKind::ResponseTimePercentile { q: 0.9 }, &s, Some(1), 0, 2),
+            0.0
+        );
+    }
+
+    #[test]
+    fn labels_match_figure9() {
+        assert_eq!(QsKind::AvgResponseTime.label(), "AJR");
+        assert_eq!(QsKind::ResponseTimePercentile { q: 0.95 }.label(), "P95RT");
+        assert_eq!(QsKind::DeadlineMiss { gamma: 0.25 }.label(), "DL");
+        assert_eq!(QsKind::Utilization { pool: PoolScope::Map, effective: true }.label(), "UTILMAP");
+        assert_eq!(QsKind::Utilization { pool: PoolScope::Reduce, effective: true }.label(), "UTILRED");
+        assert_eq!(QsKind::Throughput.label(), "THR");
+        assert_eq!(QsKind::Fairness { share: 0.5, pool: PoolScope::Dominant }.label(), "FAIR");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation window")]
+    fn rejects_empty_window() {
+        let s = run();
+        let _ = evaluate_qs(&QsKind::Throughput, &s, None, HOUR, HOUR);
+    }
+}

@@ -1,0 +1,436 @@
+//! QS templates: declarative SLO specification (§5.2).
+//!
+//! A QS template names (a) the tenant queue, (b) a predefined QS metric,
+//! (c) optional metric parameters, and (d) an optional priority. This module
+//! provides both the typed representation ([`SloSpec`]) and a small text
+//! parser so a DBA can write, verbatim from the paper's examples:
+//!
+//! ```text
+//! tenant A: avg_response_time <= 2min
+//! tenant B: deadline_miss(slack=25%) <= 5%
+//! cluster: utilization(reduce) >= 60%
+//! tenant A: throughput >= 100/h priority 2
+//! tenant B: fairness(share=30%) <= 0.1
+//! ```
+//!
+//! Thresholds become the `r_i` constraint bounds of problem (SP1); for
+//! metrics that are negated into QS form (utilization, throughput), a `>=`
+//! threshold is converted to the equivalent `<=` bound on the QS value.
+
+use crate::metrics::{evaluate_qs, PoolScope, QsKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use tempo_sim::Schedule;
+use tempo_workload::time::Time;
+use tempo_workload::TenantId;
+
+/// One SLO: a QS metric bound for a tenant (or the whole cluster).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// `None` = cluster-level SLO.
+    pub tenant: Option<TenantId>,
+    pub kind: QsKind,
+    /// The bound `r_i` in `E[f_i(x; w)] ≤ r_i`. `None` makes this a pure
+    /// best-effort objective (minimized, never constrained) — the control
+    /// loop then uses the currently-achieved value as the next `r_i`,
+    /// ratcheting improvement (§6.1).
+    pub threshold: Option<f64>,
+    /// Priority multiplier (≥ 1 promotes the SLO, §6.1).
+    pub priority: f64,
+}
+
+impl SloSpec {
+    pub fn new(tenant: Option<TenantId>, kind: QsKind) -> Self {
+        let name = match tenant {
+            Some(t) => format!("tenant{t}:{}", kind.label()),
+            None => format!("cluster:{}", kind.label()),
+        };
+        Self { name, tenant, kind, threshold: None, priority: 1.0 }
+    }
+
+    pub fn with_threshold(mut self, r: f64) -> Self {
+        self.threshold = Some(r);
+        self
+    }
+
+    pub fn with_priority(mut self, p: f64) -> Self {
+        assert!(p > 0.0, "priority must be positive");
+        self.priority = p;
+        self
+    }
+
+    /// Evaluates the (priority-weighted) QS value on a schedule window.
+    pub fn evaluate(&self, schedule: &Schedule, start: Time, end: Time) -> f64 {
+        self.priority * evaluate_qs(&self.kind, schedule, self.tenant, start, end)
+    }
+
+    /// The priority-weighted bound, aligned with [`SloSpec::evaluate`].
+    pub fn weighted_threshold(&self) -> Option<f64> {
+        self.threshold.map(|r| self.priority * r)
+    }
+}
+
+/// A set of SLOs — the input to Tempo's Optimizer.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SloSet {
+    pub slos: Vec<SloSpec>,
+}
+
+impl SloSet {
+    pub fn new(slos: Vec<SloSpec>) -> Self {
+        Self { slos }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slos.is_empty()
+    }
+
+    /// Evaluates all SLOs into a QS vector.
+    pub fn evaluate(&self, schedule: &Schedule, start: Time, end: Time) -> Vec<f64> {
+        self.slos.iter().map(|s| s.evaluate(schedule, start, end)).collect()
+    }
+
+    /// Per-SLO `r_i` bounds (weighted); `None` entries are best-effort.
+    pub fn thresholds(&self) -> Vec<Option<f64>> {
+        self.slos.iter().map(SloSpec::weighted_threshold).collect()
+    }
+
+    /// Parses a multi-line declarative spec (see module docs). `tenant_ids`
+    /// maps tenant names to ids; lines starting with `#` are comments.
+    pub fn parse(text: &str, tenant_ids: &BTreeMap<String, TenantId>) -> Result<Self, ParseError> {
+        let mut slos = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            slos.push(parse_line(line, tenant_ids).map_err(|msg| ParseError {
+                line: lineno + 1,
+                message: msg,
+            })?);
+        }
+        Ok(Self { slos })
+    }
+}
+
+/// Parse failure with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SLO parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_line(line: &str, tenant_ids: &BTreeMap<String, TenantId>) -> Result<SloSpec, String> {
+    // Grammar: <scope> ':' <metric> [comparator value] ['priority' p]
+    let (scope_str, rest) = line.split_once(':').ok_or("expected '<scope>: <metric> ...'")?;
+    let scope_str = scope_str.trim();
+    let tenant = if scope_str.eq_ignore_ascii_case("cluster") {
+        None
+    } else {
+        let name = scope_str
+            .strip_prefix("tenant")
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("unknown scope '{scope_str}' (use 'tenant <name>' or 'cluster')"))?;
+        Some(*tenant_ids.get(name).ok_or_else(|| format!("unknown tenant '{name}'"))?)
+    };
+
+    let mut rest = rest.trim().to_string();
+    // Optional trailing "priority <p>".
+    let mut priority = 1.0;
+    if let Some(pos) = rest.to_lowercase().rfind("priority") {
+        let (head, tail) = rest.split_at(pos);
+        let pval = tail["priority".len()..].trim();
+        priority = pval.parse::<f64>().map_err(|_| format!("bad priority '{pval}'"))?;
+        if priority <= 0.0 {
+            return Err("priority must be positive".into());
+        }
+        rest = head.trim().to_string();
+    }
+
+    // Split metric expression from an optional comparator clause.
+    let (metric_str, cmp) = if let Some(pos) = rest.find("<=") {
+        (rest[..pos].trim().to_string(), Some(('<', rest[pos + 2..].trim().to_string())))
+    } else if let Some(pos) = rest.find(">=") {
+        (rest[..pos].trim().to_string(), Some(('>', rest[pos + 2..].trim().to_string())))
+    } else {
+        (rest.trim().to_string(), None)
+    };
+
+    let (metric_name, args) = split_args(&metric_str)?;
+    let kind = match metric_name.as_str() {
+        "avg_response_time" | "ajr" => QsKind::AvgResponseTime,
+        "response_time_percentile" | "tail_response_time" => {
+            let q = parse_fraction(
+                args.get("q").or(args.get("")).ok_or("percentile requires q=<fraction>")?,
+            )?;
+            if !(0.0..=1.0).contains(&q) {
+                return Err(format!("quantile {q} outside [0,1]"));
+            }
+            QsKind::ResponseTimePercentile { q }
+        }
+        "deadline_miss" | "dl" => {
+            let gamma = args.get("slack").map(|v| parse_fraction(v)).transpose()?.unwrap_or(0.0);
+            QsKind::DeadlineMiss { gamma }
+        }
+        "utilization" | "util" => {
+            let pool = parse_pool(args.get("pool").or(args.get("")).map(String::as_str))?;
+            let effective = args.get("effective").map(|v| v == "true").unwrap_or(false);
+            QsKind::Utilization { pool, effective }
+        }
+        "throughput" | "thr" => QsKind::Throughput,
+        "fairness" | "fair" => {
+            let share =
+                parse_fraction(args.get("share").ok_or("fairness requires share=<fraction>")?)?;
+            let pool = parse_pool(args.get("pool").map(String::as_str))?;
+            QsKind::Fairness { share, pool }
+        }
+        other => return Err(format!("unknown metric '{other}'")),
+    };
+
+    let mut spec = SloSpec::new(tenant, kind).with_priority(priority);
+    if let Some((dir, value_str)) = cmp {
+        let value = parse_threshold(&kind, &value_str)?;
+        // Negated metrics (utilization, throughput) are specified in natural
+        // units with '>='; convert to the ≤ bound on the QS value.
+        let negated = matches!(kind, QsKind::Utilization { .. } | QsKind::Throughput);
+        let r = match (negated, dir) {
+            (true, '>') => -value,
+            (true, _) => {
+                return Err("utilization/throughput SLOs use '>=' (more is better)".into())
+            }
+            (false, '>') => return Err("this metric uses '<=' (less is better)".into()),
+            (false, _) => value,
+        };
+        spec = spec.with_threshold(r);
+    }
+    Ok(spec)
+}
+
+/// Splits `name(k=v, k2=v2)` into the name and an argument map. A single
+/// bare argument (e.g. `utilization(map)`) is keyed by `""`.
+fn split_args(s: &str) -> Result<(String, BTreeMap<String, String>), String> {
+    let mut args = BTreeMap::new();
+    let Some(open) = s.find('(') else {
+        return Ok((s.trim().to_lowercase(), args));
+    };
+    let close = s.rfind(')').ok_or("unbalanced parentheses")?;
+    let name = s[..open].trim().to_lowercase();
+    for part in s[open + 1..close].split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('=') {
+            Some((k, v)) => {
+                args.insert(k.trim().to_lowercase(), v.trim().to_lowercase());
+            }
+            None => {
+                args.insert(String::new(), part.to_lowercase());
+            }
+        }
+    }
+    Ok((name, args))
+}
+
+fn parse_pool(s: Option<&str>) -> Result<PoolScope, String> {
+    match s {
+        None | Some("dominant") => Ok(PoolScope::Dominant),
+        Some("map") => Ok(PoolScope::Map),
+        Some("reduce") => Ok(PoolScope::Reduce),
+        Some(other) => Err(format!("unknown pool '{other}'")),
+    }
+}
+
+/// Parses `25%` or `0.25` into a fraction.
+fn parse_fraction(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    if let Some(pct) = s.strip_suffix('%') {
+        let v: f64 = pct.trim().parse().map_err(|_| format!("bad percentage '{s}'"))?;
+        Ok(v / 100.0)
+    } else {
+        s.parse().map_err(|_| format!("bad fraction '{s}'"))
+    }
+}
+
+/// Parses a threshold in the metric's natural units: durations for AJR
+/// (`90s`, `2min`, `1h`), percentages/fractions for DL/UTIL, `N/h` rates for
+/// throughput, plain numbers otherwise.
+fn parse_threshold(kind: &QsKind, s: &str) -> Result<f64, String> {
+    let s = s.trim().to_lowercase();
+    match kind {
+        QsKind::AvgResponseTime | QsKind::ResponseTimePercentile { .. } => parse_duration_secs(&s),
+        QsKind::DeadlineMiss { .. } | QsKind::Utilization { .. } | QsKind::Fairness { .. } => parse_fraction(&s),
+        QsKind::Throughput => {
+            let num = s.strip_suffix("/h").or(s.strip_suffix("/hr")).unwrap_or(&s);
+            num.trim().parse().map_err(|_| format!("bad rate '{s}'"))
+        }
+    }
+}
+
+/// Parses `90s` / `2min` / `1.5h` / bare seconds into seconds.
+fn parse_duration_secs(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    let (num, mult) = if let Some(v) = s.strip_suffix("min") {
+        (v, 60.0)
+    } else if let Some(v) = s.strip_suffix('h') {
+        (v, 3600.0)
+    } else if let Some(v) = s.strip_suffix('m') {
+        (v, 60.0)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num.trim().parse().map_err(|_| format!("bad duration '{s}'"))?;
+    Ok(v * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> BTreeMap<String, TenantId> {
+        let mut m = BTreeMap::new();
+        m.insert("a".into(), 0);
+        m.insert("b".into(), 1);
+        m
+    }
+
+    #[test]
+    fn parses_paper_examples() {
+        // The two SLOs quoted in the abstract/§1.
+        let text = "\
+# SLOs from the paper's introduction
+tenant a: avg_response_time <= 2min
+tenant b: deadline_miss(slack=0%) <= 5%
+";
+        let set = SloSet::parse(text, &ids()).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.slos[0].tenant, Some(0));
+        assert_eq!(set.slos[0].kind, QsKind::AvgResponseTime);
+        assert_eq!(set.slos[0].threshold, Some(120.0));
+        assert_eq!(set.slos[1].kind, QsKind::DeadlineMiss { gamma: 0.0 });
+        assert_eq!(set.slos[1].threshold, Some(0.05));
+    }
+
+    #[test]
+    fn parses_all_metric_forms() {
+        let text = "\
+tenant a: deadline_miss(slack=25%) <= 10%
+cluster: utilization(reduce) >= 60%
+cluster: utilization(map, effective=true) >= 50%
+tenant b: throughput >= 100/h
+tenant a: fairness(share=30%) <= 0.1
+cluster: avg_response_time
+";
+        let set = SloSet::parse(text, &ids()).unwrap();
+        assert_eq!(set.len(), 6);
+        assert_eq!(set.slos[0].kind, QsKind::DeadlineMiss { gamma: 0.25 });
+        assert_eq!(
+            set.slos[1].kind,
+            QsKind::Utilization { pool: PoolScope::Reduce, effective: false }
+        );
+        assert_eq!(set.slos[1].threshold, Some(-0.6), "'>= 60%' becomes QS ≤ −0.6");
+        assert_eq!(
+            set.slos[2].kind,
+            QsKind::Utilization { pool: PoolScope::Map, effective: true }
+        );
+        assert_eq!(set.slos[3].kind, QsKind::Throughput);
+        assert_eq!(set.slos[3].threshold, Some(-100.0));
+        assert_eq!(set.slos[4].kind, QsKind::Fairness { share: 0.3, pool: PoolScope::Dominant });
+        assert_eq!(set.slos[5].threshold, None, "bare metric = best-effort objective");
+    }
+
+    #[test]
+    fn parses_percentile_metric() {
+        let set = SloSet::parse(
+            "tenant a: response_time_percentile(q=95%) <= 10min\ntenant b: tail_response_time(0.5) <= 30s",
+            &ids(),
+        )
+        .unwrap();
+        assert_eq!(set.slos[0].kind, QsKind::ResponseTimePercentile { q: 0.95 });
+        assert_eq!(set.slos[0].threshold, Some(600.0));
+        assert_eq!(set.slos[1].kind, QsKind::ResponseTimePercentile { q: 0.5 });
+        let err = SloSet::parse("tenant a: response_time_percentile <= 10s", &ids()).unwrap_err();
+        assert!(err.message.contains("requires q"));
+    }
+
+    #[test]
+    fn parses_priority() {
+        let set = SloSet::parse("tenant a: avg_response_time <= 90s priority 3", &ids()).unwrap();
+        assert_eq!(set.slos[0].priority, 3.0);
+        // Priority weights both the evaluation and the threshold
+        // consistently.
+        assert_eq!(set.slos[0].weighted_threshold(), Some(270.0));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let cases = [
+            ("no colon here", "expected"),
+            ("tenant z: avg_response_time", "unknown tenant"),
+            ("tenant a: bogus_metric <= 1", "unknown metric"),
+            ("tenant a: utilization(map) <= 10%", ">="),
+            ("tenant a: avg_response_time >= 10s", "<="),
+            ("tenant a: avg_response_time <= abc", "bad duration"),
+            ("tenant a: fairness <= 0.1", "requires share"),
+            ("tenant a: avg_response_time <= 10s priority -1", "positive"),
+            ("space: avg_response_time", "unknown scope"),
+        ];
+        for (line, needle) in cases {
+            let err = SloSet::parse(line, &ids()).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "line {line:?}: expected {needle:?} in {:?}",
+                err.message
+            );
+            assert_eq!(err.line, 1);
+        }
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(parse_duration_secs("90s").unwrap(), 90.0);
+        assert_eq!(parse_duration_secs("2min").unwrap(), 120.0);
+        assert_eq!(parse_duration_secs("2m").unwrap(), 120.0);
+        assert_eq!(parse_duration_secs("1.5h").unwrap(), 5400.0);
+        assert_eq!(parse_duration_secs("42").unwrap(), 42.0);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let set = SloSet::parse("\n# comment\n\n", &ids()).unwrap();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = SloSet::parse("tenant a: avg_response_time\nbroken", &ids()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let set = SloSet::parse("tenant a: deadline_miss(slack=25%) <= 5% priority 2", &ids()).unwrap();
+        let json = serde_json::to_string(&set).unwrap();
+        let back: SloSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(set, back);
+    }
+}

@@ -1,0 +1,165 @@
+//! Allocation timelines reconstructed from task schedules.
+//!
+//! Figure 2 of the paper plots per-tenant allocated resources over a day
+//! against the configured limits; Figure 10 plots moving-average "instant"
+//! job response times. Both are pure functions of the task schedule, so
+//! they are derived here rather than sampled inside the engine.
+
+use tempo_sim::Schedule;
+use tempo_workload::time::{to_secs_f64, Time};
+use tempo_workload::{TaskKind, TenantId};
+
+/// A right-open step function `(t, value)`: `value` holds from `t` until the
+/// next point.
+pub type StepSeries = Vec<(Time, i64)>;
+
+/// Per-tenant container occupancy over time in one pool, as a step series.
+///
+/// Events at the same instant are merged, so the series is strictly
+/// increasing in time.
+pub fn allocation_series(schedule: &Schedule, tenant: TenantId, kind: TaskKind) -> StepSeries {
+    let mut deltas: Vec<(Time, i64)> = Vec::new();
+    for t in schedule.tenant_tasks(tenant) {
+        if t.kind != kind {
+            continue;
+        }
+        for a in &t.attempts {
+            deltas.push((a.launch, 1));
+            deltas.push((a.end, -1));
+        }
+    }
+    deltas.sort_unstable();
+    let mut out: StepSeries = Vec::new();
+    let mut level = 0i64;
+    for (t, d) in deltas {
+        level += d;
+        match out.last_mut() {
+            Some(last) if last.0 == t => last.1 = level,
+            _ => out.push((t, level)),
+        }
+    }
+    out
+}
+
+/// Samples a step series at fixed intervals over `[start, end)` — convenient
+/// for plotting Figure 2-style charts.
+pub fn sample_series(series: &StepSeries, start: Time, end: Time, interval: Time) -> Vec<(Time, i64)> {
+    assert!(interval > 0, "interval must be positive");
+    let mut out = Vec::new();
+    let mut idx = 0;
+    let mut level = 0;
+    let mut t = start;
+    while t < end {
+        while idx < series.len() && series[idx].0 <= t {
+            level = series[idx].1;
+            idx += 1;
+        }
+        out.push((t, level));
+        t += interval;
+    }
+    out
+}
+
+/// Mean allocation level of a step series over `[start, end)` (containers).
+pub fn mean_level(series: &[(Time, i64)], start: Time, end: Time) -> f64 {
+    assert!(start < end, "empty window");
+    let mut total: i128 = 0;
+    let mut level = 0i64;
+    let mut prev = start;
+    for &(t, v) in series {
+        if t <= start {
+            level = v;
+            continue;
+        }
+        if t >= end {
+            break;
+        }
+        total += level as i128 * (t - prev) as i128;
+        prev = t;
+        level = v;
+    }
+    total += level as i128 * (end - prev) as i128;
+    total as f64 / (end - start) as f64
+}
+
+/// `(completion time, response time seconds)` pairs for a tenant — the raw
+/// series behind Figure 10's moving-average plot (pair with
+/// `tempo_workload::stats::moving_average`).
+pub fn response_time_series(schedule: &Schedule, tenant: TenantId) -> Vec<(Time, f64)> {
+    let mut out: Vec<(Time, f64)> = schedule
+        .jobs
+        .iter()
+        .filter(|j| j.tenant == tenant)
+        .filter_map(|j| j.finish.map(|f| (f, to_secs_f64(f - j.submit))))
+        .collect();
+    out.sort_by_key(|&(t, _)| t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_sim::{predict, ClusterSpec, RmConfig};
+    use tempo_workload::time::SEC;
+    use tempo_workload::trace::{JobSpec, TaskSpec, Trace};
+
+    fn schedule() -> Schedule {
+        let trace = Trace::new(vec![
+            JobSpec::new(0, 0, 0, vec![TaskSpec::map(10 * SEC), TaskSpec::map(10 * SEC)]),
+            JobSpec::new(1, 0, 5 * SEC, vec![TaskSpec::map(10 * SEC)]),
+        ]);
+        predict(&trace, &ClusterSpec::new(2, 1), &RmConfig::fair(1))
+    }
+
+    #[test]
+    fn allocation_series_tracks_occupancy() {
+        let s = schedule();
+        let series = allocation_series(&s, 0, TaskKind::Map);
+        // t=0: 2 running; t=10: both finish, third launches → 1; t=20: 0.
+        assert_eq!(series, vec![(0, 2), (10 * SEC, 1), (20 * SEC, 0)]);
+    }
+
+    #[test]
+    fn sampling_holds_levels() {
+        let s = schedule();
+        let series = allocation_series(&s, 0, TaskKind::Map);
+        let samples = sample_series(&series, 0, 22 * SEC, SEC);
+        assert_eq!(samples.len(), 22);
+        assert_eq!(samples[0].1, 2);
+        assert_eq!(samples[9].1, 2);
+        assert_eq!(samples[10].1, 1);
+        assert_eq!(samples[19].1, 1);
+        assert_eq!(samples[20].1, 0);
+    }
+
+    #[test]
+    fn mean_level_integrates() {
+        let s = schedule();
+        let series = allocation_series(&s, 0, TaskKind::Map);
+        // 2 slots for 10s + 1 slot for 10s over 20s = 1.5 average.
+        let m = mean_level(&series, 0, 20 * SEC);
+        assert!((m - 1.5).abs() < 1e-9, "mean {m}");
+        // Sub-window [10s, 20s) is all at level 1.
+        let m2 = mean_level(&series, 10 * SEC, 20 * SEC);
+        assert!((m2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_series_sorted_by_completion() {
+        let s = schedule();
+        let rs = response_time_series(&s, 0);
+        assert_eq!(rs.len(), 2);
+        assert!(rs.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Job 0: submit 0, finish 10 → 10s. Job 1: submit 5, finish 20 → 15s.
+        assert!((rs[0].1 - 10.0).abs() < 1e-9);
+        assert!((rs[1].1 - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tenant_series() {
+        let s = schedule();
+        assert!(allocation_series(&s, 7, TaskKind::Map).is_empty());
+        assert!(response_time_series(&s, 7).is_empty());
+        assert_eq!(mean_level(&[], 0, SEC), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end QS template tests: the declarative SLO surface evaluated
+//! against real simulated schedules, including the priority semantics of
+//! §5.2(d) and §6.1.
+
+use std::collections::BTreeMap;
+use tempo_qs::{PoolScope, QsKind, SloSet, SloSpec};
+use tempo_sim::{predict, ClusterSpec, RmConfig};
+use tempo_workload::time::{HOUR, MIN, SEC};
+use tempo_workload::trace::{JobSpec, TaskSpec, Trace};
+
+fn names() -> BTreeMap<String, u16> {
+    let mut m = BTreeMap::new();
+    m.insert("prod".into(), 0);
+    m.insert("adhoc".into(), 1);
+    m
+}
+
+/// A deterministic two-tenant schedule with known outcomes: tenant 0 runs
+/// two deadline jobs (one will miss), tenant 1 runs three best-effort jobs.
+fn schedule() -> tempo_sim::Schedule {
+    let trace = Trace::new(vec![
+        // Meets its deadline comfortably.
+        JobSpec::new(0, 0, 0, vec![TaskSpec::map(60 * SEC)]).with_deadline(3 * MIN),
+        // Duration 10min ≫ 2min deadline: always missed, even with slack.
+        JobSpec::new(1, 0, 0, vec![TaskSpec::map(10 * MIN)]).with_deadline(2 * MIN),
+        JobSpec::new(2, 1, 0, vec![TaskSpec::map(2 * MIN)]),
+        JobSpec::new(3, 1, MIN, vec![TaskSpec::map(2 * MIN)]),
+        JobSpec::new(4, 1, 2 * MIN, vec![TaskSpec::map(2 * MIN)]),
+    ]);
+    predict(&trace, &ClusterSpec::new(8, 2), &RmConfig::fair(2))
+}
+
+#[test]
+fn parsed_templates_evaluate_to_known_values() {
+    let set = SloSet::parse(
+        "\
+tenant prod: deadline_miss(slack=25%) <= 5%\n\
+tenant adhoc: avg_response_time <= 3min\n\
+cluster: throughput >= 4/h\n",
+        &names(),
+    )
+    .expect("parses");
+    let sched = schedule();
+    let qs = set.evaluate(&sched, 0, HOUR);
+    // One of tenant 0's two jobs misses its deadline → 0.5.
+    assert!((qs[0] - 0.5).abs() < 1e-12, "deadline miss fraction {}", qs[0]);
+    // Tenant 1's jobs all run 120 s unobstructed (8 slots, ≤5 tasks).
+    assert!((qs[1] - 120.0).abs() < 1e-9, "AJR {}", qs[1]);
+    // 5 jobs completed within the hour → −5 jobs/h.
+    assert!((qs[2] + 5.0).abs() < 1e-9, "throughput {}", qs[2]);
+    // Threshold satisfaction: DL violated (0.5 > 0.05), AJR satisfied,
+    // throughput satisfied (−5 ≤ −4).
+    let thresholds = set.thresholds();
+    assert!(qs[0] > thresholds[0].unwrap());
+    assert!(qs[1] <= thresholds[1].unwrap());
+    assert!(qs[2] <= thresholds[2].unwrap());
+}
+
+#[test]
+fn priority_scales_evaluation_and_threshold_consistently() {
+    let sched = schedule();
+    let base = SloSpec::new(Some(0), QsKind::DeadlineMiss { gamma: 0.25 }).with_threshold(0.05);
+    let promoted = base.clone().with_priority(3.0);
+    let (b, p) = (base.evaluate(&sched, 0, HOUR), promoted.evaluate(&sched, 0, HOUR));
+    assert!((p - 3.0 * b).abs() < 1e-12, "priority multiplies the QS value");
+    // Violation status is invariant under promotion: both sides scale.
+    let b_violated = b > base.weighted_threshold().unwrap();
+    let p_violated = p > promoted.weighted_threshold().unwrap();
+    assert_eq!(b_violated, p_violated);
+}
+
+#[test]
+fn utilization_template_tracks_schedule_accounting() {
+    let set = SloSet::parse("cluster: utilization(map) >= 1%", &names()).expect("parses");
+    let sched = schedule();
+    let qs = set.evaluate(&sched, 0, HOUR);
+    // Occupancy: 60s + 600s + 3×120s = 1020 container-seconds of maps over
+    // 8 slots × 1h.
+    let expect = 1020.0 / (8.0 * 3600.0);
+    assert!((qs[0] + expect).abs() < 1e-9, "utilization {} vs {}", qs[0], -expect);
+}
+
+#[test]
+fn fairness_template_against_dominant_usage() {
+    let sched = schedule();
+    // Tenant 1 used 360 of 1020 map container-seconds → dominant share
+    // (map pool) = 360 / (8×3600).
+    let util1 = 360.0 / (8.0 * 3600.0);
+    let spec = SloSpec::new(Some(1), QsKind::Fairness { share: util1, pool: PoolScope::Map });
+    assert!(spec.evaluate(&sched, 0, HOUR).abs() < 1e-9, "exact share ⇒ zero deviation");
+}

@@ -1,0 +1,238 @@
+//! The RM configuration space (§3.2).
+//!
+//! Modern RMs (YARN's Fair/Capacity schedulers, Mesos) expose three families
+//! of per-tenant knobs, all represented here:
+//!
+//! * **Resource shares** — a weight giving the tenant's proportion of total
+//!   resources relative to other tenants; unused quota is redistributed
+//!   proportionally.
+//! * **Resource limits** — minimum and maximum container counts a tenant may
+//!   hold at any instant.
+//! * **Preemption timeouts** — two levels: waiting below *fair share* for
+//!   `fair_timeout`, or (more critical) below the *minimum limit* for
+//!   `min_timeout`, triggers killing of the most recently launched tasks of
+//!   over-allocated tenants.
+//!
+//! Tempo's Optimizer searches exactly this space; everything here is plain
+//! data so a configuration can be encoded as a vector (see
+//! `tempo-core::space`).
+
+use serde::{Deserialize, Serialize};
+use tempo_workload::time::Time;
+use tempo_workload::{TaskKind, NUM_KINDS};
+
+/// Capacity of one container pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Total containers of this kind the RM can allocate at any instant.
+    pub capacity: u32,
+}
+
+/// The cluster as the RM sees it: a fixed number of containers per pool.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Indexed by [`TaskKind::index`].
+    pub pools: [PoolSpec; NUM_KINDS],
+}
+
+impl ClusterSpec {
+    /// A cluster with the given map/reduce container counts.
+    pub fn new(map_slots: u32, reduce_slots: u32) -> Self {
+        Self { pools: [PoolSpec { capacity: map_slots }, PoolSpec { capacity: reduce_slots }] }
+    }
+
+    /// Uniformly scales both pools (provisioning experiments, §8.2.4).
+    /// Capacities round to nearest and never drop below 1.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scale = |c: u32| ((c as f64 * factor).round() as u32).max(1);
+        Self {
+            pools: [
+                PoolSpec { capacity: scale(self.pools[0].capacity) },
+                PoolSpec { capacity: scale(self.pools[1].capacity) },
+            ],
+        }
+    }
+
+    #[inline]
+    pub fn capacity(&self, kind: TaskKind) -> u32 {
+        self.pools[kind.index()].capacity
+    }
+
+    pub fn total_capacity(&self) -> u32 {
+        self.pools.iter().map(|p| p.capacity).sum()
+    }
+}
+
+/// Per-tenant RM configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantConfig {
+    /// Relative share weight (dimensionless, > 0).
+    pub weight: f64,
+    /// Minimum guaranteed containers per pool.
+    pub min_share: [u32; NUM_KINDS],
+    /// Maximum containers per pool (caps both fair share and borrowing).
+    pub max_share: [u32; NUM_KINDS],
+    /// Preemption fires when the tenant has waited below its *fair share*
+    /// this long with unmet demand. `None` disables this level.
+    pub fair_timeout: Option<Time>,
+    /// Preemption fires when the tenant has waited below its *minimum
+    /// share* this long with unmet demand. `None` disables this level.
+    pub min_timeout: Option<Time>,
+}
+
+impl TenantConfig {
+    /// A tenant with weight 1, no guarantees, no caps, preemption disabled —
+    /// plain weighted fair sharing.
+    pub fn fair_default() -> Self {
+        Self {
+            weight: 1.0,
+            min_share: [0; NUM_KINDS],
+            max_share: [u32::MAX; NUM_KINDS],
+            fair_timeout: None,
+            min_timeout: None,
+        }
+    }
+
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    pub fn with_min_share(mut self, map: u32, reduce: u32) -> Self {
+        self.min_share = [map, reduce];
+        self
+    }
+
+    pub fn with_max_share(mut self, map: u32, reduce: u32) -> Self {
+        self.max_share = [map, reduce];
+        self
+    }
+
+    pub fn with_fair_timeout(mut self, t: Time) -> Self {
+        self.fair_timeout = Some(t);
+        self
+    }
+
+    pub fn with_min_timeout(mut self, t: Time) -> Self {
+        self.min_timeout = Some(t);
+        self
+    }
+}
+
+/// The full RM configuration: one [`TenantConfig`] per tenant id
+/// (`tenants[i]` configures tenant `i`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RmConfig {
+    pub tenants: Vec<TenantConfig>,
+}
+
+/// Problems detected by [`RmConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    NonPositiveWeight { tenant: usize },
+    MinAboveMax { tenant: usize, pool: TaskKind },
+    NoTenants,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositiveWeight { tenant } => {
+                write!(f, "tenant {tenant} has a non-positive or non-finite weight")
+            }
+            ConfigError::MinAboveMax { tenant, pool } => {
+                write!(f, "tenant {tenant} has min_share > max_share in the {pool} pool")
+            }
+            ConfigError::NoTenants => write!(f, "configuration has no tenants"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl RmConfig {
+    pub fn new(tenants: Vec<TenantConfig>) -> Self {
+        Self { tenants }
+    }
+
+    /// `n` tenants of [`TenantConfig::fair_default`].
+    pub fn fair(n: usize) -> Self {
+        Self { tenants: vec![TenantConfig::fair_default(); n] }
+    }
+
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tenants.is_empty() {
+            return Err(ConfigError::NoTenants);
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.weight.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !t.weight.is_finite() {
+                return Err(ConfigError::NonPositiveWeight { tenant: i });
+            }
+            for kind in TaskKind::ALL {
+                if t.min_share[kind.index()] > t.max_share[kind.index()] {
+                    return Err(ConfigError::MinAboveMax { tenant: i, pool: kind });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_workload::time::MIN;
+
+    #[test]
+    fn cluster_scaling() {
+        let c = ClusterSpec::new(100, 60);
+        let half = c.scaled(0.5);
+        assert_eq!(half.capacity(TaskKind::Map), 50);
+        assert_eq!(half.capacity(TaskKind::Reduce), 30);
+        assert_eq!(half.total_capacity(), 80);
+        // Never scales to zero.
+        let tiny = ClusterSpec::new(1, 1).scaled(0.01);
+        assert_eq!(tiny.total_capacity(), 2);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let t = TenantConfig::fair_default()
+            .with_weight(2.5)
+            .with_min_share(10, 5)
+            .with_max_share(50, 25)
+            .with_fair_timeout(5 * MIN)
+            .with_min_timeout(MIN);
+        assert_eq!(t.weight, 2.5);
+        assert_eq!(t.min_share, [10, 5]);
+        assert_eq!(t.max_share, [50, 25]);
+        assert_eq!(t.fair_timeout, Some(5 * MIN));
+        assert_eq!(t.min_timeout, Some(MIN));
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(RmConfig::new(vec![]).validate(), Err(ConfigError::NoTenants));
+
+        let mut cfg = RmConfig::fair(2);
+        assert!(cfg.validate().is_ok());
+
+        cfg.tenants[1].weight = 0.0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveWeight { tenant: 1 }));
+        cfg.tenants[1].weight = f64::NAN;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveWeight { tenant: 1 }));
+        cfg.tenants[1].weight = 1.0;
+
+        cfg.tenants[0].min_share = [5, 0];
+        cfg.tenants[0].max_share = [4, u32::MAX];
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::MinAboveMax { tenant: 0, pool: TaskKind::Map })
+        );
+    }
+}

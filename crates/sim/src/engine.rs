@@ -1,0 +1,1035 @@
+//! The discrete-event cluster simulator / fast Schedule Predictor.
+//!
+//! §7.2: "Our implementation computes the cluster resource usage at only the
+//! submission time, tentative finish time, and possible preemption time of
+//! each task" — the time-warp style of simulation. This engine is exactly
+//! that: state is only touched at job arrivals, task finishes/failures, and
+//! preemption-timeout checks; between events nothing happens. One engine
+//! serves both roles in the paper's architecture:
+//!
+//! * with [`NoiseModel::NONE`] it is the deterministic **Schedule Predictor**
+//!   the What-if Model queries;
+//! * with production noise it stands in for the **observed** cluster, which
+//!   is how the Table 2 prediction-error experiment gets its ground truth.
+//!
+//! Scheduling semantics implemented (matching §3.2):
+//! * weighted max-min fair sharing per pool with min/max limits
+//!   ([`crate::fairshare`]),
+//! * work-conserving redistribution of unused quota,
+//! * two-level preemption timeouts (below-fair-share and below-min-share)
+//!   that kill the *most recently launched* tasks of over-share tenants;
+//!   killed tasks restart from scratch (lost work, Figure 1),
+//! * map→reduce slow-start: reduces become runnable after a configurable
+//!   fraction of maps complete, but only begin useful work once all maps
+//!   finish — early-launched reduces idle in their containers.
+
+use crate::config::{ClusterSpec, RmConfig};
+use crate::fairshare::{fair_targets, ShareInput};
+use crate::noise::NoiseModel;
+use crate::record::{Attempt, AttemptOutcome, JobRecord, Schedule, TaskRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use tempo_workload::time::Time;
+use tempo_workload::{TaskKind, Trace, NUM_KINDS};
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Hard stop; running tasks are recorded as cut off. `None` runs until
+    /// every job completes.
+    pub horizon: Option<Time>,
+    pub noise: NoiseModel,
+    /// RNG seed for the noise stream (ignored when noise is
+    /// [`NoiseModel::NONE`], which consumes no randomness).
+    pub seed: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self { horizon: None, noise: NoiseModel::NONE, seed: 0 }
+    }
+}
+
+impl SimOptions {
+    /// The Schedule Predictor setting: no noise, run to completion.
+    pub fn deterministic() -> Self {
+        Self::default()
+    }
+
+    /// A production-like noisy run.
+    pub fn noisy(seed: u64) -> Self {
+        Self { horizon: None, noise: NoiseModel::production(), seed }
+    }
+
+    pub fn with_horizon(mut self, horizon: Time) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+}
+
+/// Simulates `trace` on `cluster` under `config`.
+///
+/// Deterministic: identical inputs (including seed) produce identical
+/// schedules. Panics if the trace or config fails validation, or if the trace
+/// references a tenant id with no configuration entry.
+pub fn simulate(trace: &Trace, cluster: &ClusterSpec, config: &RmConfig, opts: &SimOptions) -> Schedule {
+    trace.validate().expect("invalid trace");
+    config.validate().expect("invalid RM config");
+    if let Some(max_tenant) = trace.jobs.iter().map(|j| j.tenant).max() {
+        assert!(
+            (max_tenant as usize) < config.num_tenants(),
+            "trace references tenant {max_tenant} but config has {} tenants",
+            config.num_tenants()
+        );
+    }
+    Engine::new(trace, cluster, config, opts).run()
+}
+
+type TaskId = u32;
+type JobIdx = u32;
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// Which starvation level a preemption check guards (§3.2's two timeout
+/// levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Level {
+    Fair = 0,
+    Min = 1,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    JobArrive(JobIdx),
+    /// Tentative finish (or mid-run failure) of a task attempt; `epoch`
+    /// invalidates events left over from preempted attempts.
+    TaskFinish { task: TaskId, epoch: u32 },
+    PreemptCheck { tenant: u16, pool: u8, level: Level, since: Time },
+}
+
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct TaskState {
+    kind: TaskKind,
+    job: JobIdx,
+    tenant: u16,
+    duration: Time,
+    runnable_at: Time,
+    attempts: Vec<Attempt>,
+    // Current attempt (valid while `running`).
+    running: bool,
+    launch: Time,
+    launch_seq: u64,
+    work_start: Option<Time>,
+    eff_duration: Time,
+    fail_frac: Option<f64>,
+    epoch: u32,
+    /// Position in the owner tenant's `running` vector (NO_SLOT if idle).
+    run_slot: u32,
+}
+
+struct JobState {
+    maps_total: u32,
+    maps_done: u32,
+    tasks_remaining: u32,
+    maps_done_at: Option<Time>,
+    reduces_released: bool,
+    finish: Option<Time>,
+    /// Reduce task ids held back until the slow-start threshold.
+    held_reduces: Vec<TaskId>,
+    /// Launched reduces idling for the map barrier.
+    waiting_reduces: Vec<TaskId>,
+}
+
+struct TenantState {
+    queues: [VecDeque<TaskId>; NUM_KINDS],
+    running: [Vec<TaskId>; NUM_KINDS],
+    /// `starved_since[level][pool]`.
+    starved_since: [[Option<Time>; NUM_KINDS]; 2],
+}
+
+impl TenantState {
+    fn new() -> Self {
+        Self {
+            queues: [VecDeque::new(), VecDeque::new()],
+            running: [Vec::new(), Vec::new()],
+            starved_since: [[None; NUM_KINDS]; 2],
+        }
+    }
+}
+
+struct Engine<'a> {
+    trace: &'a Trace,
+    cluster: &'a ClusterSpec,
+    config: &'a RmConfig,
+    noise: NoiseModel,
+    horizon: Option<Time>,
+    rng: StdRng,
+    now: Time,
+    seq: u64,
+    launch_counter: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    tasks: Vec<TaskState>,
+    jobs: Vec<JobState>,
+    /// First task id of each job.
+    task_offsets: Vec<u32>,
+    tenants: Vec<TenantState>,
+    free: [u32; NUM_KINDS],
+    /// Fair-share targets per pool, refreshed by `compute_targets`.
+    targets: [Vec<u32>; NUM_KINDS],
+    /// Scratch buffer reused across reschedules.
+    share_inputs: Vec<ShareInput>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(trace: &'a Trace, cluster: &'a ClusterSpec, config: &'a RmConfig, opts: &SimOptions) -> Self {
+        let mut tasks = Vec::with_capacity(trace.num_tasks());
+        let mut jobs = Vec::with_capacity(trace.jobs.len());
+        let mut task_offsets = Vec::with_capacity(trace.jobs.len());
+        let mut offset = 0u32;
+        for spec in &trace.jobs {
+            task_offsets.push(offset);
+            offset += spec.tasks.len() as u32;
+            let maps_total = spec.map_count() as u32;
+            jobs.push(JobState {
+                maps_total,
+                maps_done: 0,
+                tasks_remaining: spec.tasks.len() as u32,
+                maps_done_at: None,
+                reduces_released: false,
+                finish: None,
+                held_reduces: Vec::new(),
+                waiting_reduces: Vec::new(),
+            });
+            for (jix, t) in std::iter::repeat(jobs.len() - 1).zip(spec.tasks.iter()) {
+                tasks.push(TaskState {
+                    kind: t.kind,
+                    job: jix as JobIdx,
+                    tenant: spec.tenant,
+                    duration: t.duration,
+                    runnable_at: 0,
+                    attempts: Vec::new(),
+                    running: false,
+                    launch: 0,
+                    launch_seq: 0,
+                    work_start: None,
+                    eff_duration: 0,
+                    fail_frac: None,
+                    epoch: 0,
+                    run_slot: NO_SLOT,
+                });
+            }
+        }
+        let num_tenants = config.num_tenants().max(1);
+        let mut engine = Engine {
+            trace,
+            cluster,
+            config,
+            noise: opts.noise,
+            horizon: opts.horizon,
+            rng: StdRng::seed_from_u64(opts.seed),
+            now: 0,
+            seq: 0,
+            launch_counter: 0,
+            events: BinaryHeap::with_capacity(trace.jobs.len() * 2 + 64),
+            tasks,
+            jobs,
+            task_offsets,
+            tenants: (0..num_tenants).map(|_| TenantState::new()).collect(),
+            free: [cluster.capacity(TaskKind::Map), cluster.capacity(TaskKind::Reduce)],
+            targets: [Vec::new(), Vec::new()],
+            share_inputs: Vec::with_capacity(num_tenants),
+        };
+        for (jix, spec) in trace.jobs.iter().enumerate() {
+            engine.push_event(spec.submit, EventKind::JobArrive(jix as JobIdx));
+        }
+        engine
+    }
+
+    fn push_event(&mut self, time: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn run(mut self) -> Schedule {
+        let hard_horizon = self.horizon.unwrap_or(Time::MAX);
+        let mut last_time = 0;
+        while let Some(Reverse(ev)) = self.events.pop() {
+            if ev.time > hard_horizon {
+                break;
+            }
+            self.now = ev.time;
+            last_time = ev.time;
+            self.handle(ev.kind);
+            // Drain all events at the same instant before rescheduling, so a
+            // burst of arrivals is allocated against in one pass.
+            while let Some(Reverse(peek)) = self.events.peek() {
+                if peek.time != self.now {
+                    break;
+                }
+                let Reverse(ev2) = self.events.pop().expect("peeked event vanished");
+                self.handle(ev2.kind);
+            }
+            self.reschedule();
+        }
+        let horizon = self.horizon.unwrap_or(last_time);
+        self.finalize(horizon)
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::JobArrive(jix) => self.on_job_arrive(jix),
+            EventKind::TaskFinish { task, epoch } => self.on_task_finish(task, epoch),
+            EventKind::PreemptCheck { tenant, pool, level, since } => {
+                self.on_preempt_check(tenant, pool as usize, level, since)
+            }
+        }
+    }
+
+    fn on_job_arrive(&mut self, jix: JobIdx) {
+        let spec = &self.trace.jobs[jix as usize];
+        if !self.noise.is_none() && self.noise.job_killed(&mut self.rng) {
+            // Killed at submission: the job never runs; finish stays None and
+            // its tasks never become runnable.
+            self.jobs[jix as usize].tasks_remaining = 0;
+            return;
+        }
+        let tenant = spec.tenant as usize;
+        let base = self.task_offsets[jix as usize];
+        let ntasks = spec.tasks.len() as u32;
+        let mut held = Vec::new();
+        for i in 0..ntasks {
+            let tid = base + i;
+            match self.tasks[tid as usize].kind {
+                TaskKind::Map => {
+                    self.tasks[tid as usize].runnable_at = self.now;
+                    self.tenants[tenant].queues[TaskKind::Map.index()].push_back(tid);
+                }
+                TaskKind::Reduce => held.push(tid),
+            }
+        }
+        {
+            let job = &mut self.jobs[jix as usize];
+            job.held_reduces = held;
+            if job.maps_total == 0 {
+                job.maps_done_at = Some(self.now);
+            }
+        }
+        self.maybe_release_reduces(jix);
+    }
+
+    /// Moves held reduces into the runnable queue once the slow-start
+    /// threshold `ceil(slowstart × maps_total)` is met.
+    fn maybe_release_reduces(&mut self, jix: JobIdx) {
+        let slowstart = self.trace.jobs[jix as usize].slowstart;
+        let tenant = self.trace.jobs[jix as usize].tenant as usize;
+        let held = {
+            let job = &mut self.jobs[jix as usize];
+            if job.reduces_released {
+                return;
+            }
+            let threshold = (slowstart * job.maps_total as f64).ceil() as u32;
+            if job.maps_done < threshold {
+                return;
+            }
+            job.reduces_released = true;
+            std::mem::take(&mut job.held_reduces)
+        };
+        for tid in held {
+            self.tasks[tid as usize].runnable_at = self.now;
+            self.tenants[tenant].queues[TaskKind::Reduce.index()].push_back(tid);
+        }
+    }
+
+    fn on_task_finish(&mut self, tid: TaskId, epoch: u32) {
+        {
+            let task = &self.tasks[tid as usize];
+            if !task.running || task.epoch != epoch {
+                return; // Stale event from a preempted attempt.
+            }
+        }
+        let failed = self.tasks[tid as usize].fail_frac.is_some();
+        let outcome = if failed { AttemptOutcome::Failed } else { AttemptOutcome::Completed };
+        self.release_container(tid, outcome);
+        let (tenant, kind, jix) = {
+            let t = &self.tasks[tid as usize];
+            (t.tenant as usize, t.kind, t.job)
+        };
+        if failed {
+            // Retry from scratch at the back of the queue.
+            self.tenants[tenant].queues[kind.index()].push_back(tid);
+            return;
+        }
+        let mut maps_all_done = false;
+        let mut job_done = false;
+        {
+            let job = &mut self.jobs[jix as usize];
+            job.tasks_remaining -= 1;
+            if kind == TaskKind::Map {
+                job.maps_done += 1;
+                if job.maps_done == job.maps_total {
+                    job.maps_done_at = Some(self.now);
+                    maps_all_done = true;
+                }
+            }
+            if job.tasks_remaining == 0 && job.finish.is_none() {
+                job.finish = Some(self.now);
+                job_done = true;
+            }
+        }
+        if maps_all_done {
+            // Early-launched reduces begin their real work now.
+            let waiting = std::mem::take(&mut self.jobs[jix as usize].waiting_reduces);
+            for rid in waiting {
+                self.begin_reduce_work(rid);
+            }
+        }
+        if kind == TaskKind::Map && !job_done {
+            self.maybe_release_reduces(jix);
+        }
+    }
+
+    /// Records the end of the current attempt and frees its container.
+    fn release_container(&mut self, tid: TaskId, outcome: AttemptOutcome) {
+        let (pool, tenant, slot) = {
+            let task = &mut self.tasks[tid as usize];
+            debug_assert!(task.running);
+            task.attempts.push(Attempt {
+                launch: task.launch,
+                work_start: task.work_start.unwrap_or(self.now.max(task.launch)),
+                end: self.now,
+                outcome,
+            });
+            task.running = false;
+            task.fail_frac = None;
+            task.work_start = None;
+            let slot = task.run_slot as usize;
+            task.run_slot = NO_SLOT;
+            (task.kind.index(), task.tenant as usize, slot)
+        };
+        let running = &mut self.tenants[tenant].running[pool];
+        debug_assert_eq!(running[slot], tid);
+        running.swap_remove(slot);
+        let moved = running.get(slot).copied();
+        if let Some(moved) = moved {
+            self.tasks[moved as usize].run_slot = slot as u32;
+        }
+        self.free[pool] += 1;
+    }
+
+    /// Starts the clock on a reduce that was idling for the map barrier.
+    fn begin_reduce_work(&mut self, tid: TaskId) {
+        let (finish_at, epoch) = {
+            let task = &mut self.tasks[tid as usize];
+            if !task.running {
+                return; // Preempted while waiting.
+            }
+            task.work_start = Some(self.now);
+            let finish_at = match task.fail_frac {
+                Some(frac) => self.now + ((task.eff_duration as f64 * frac).round() as Time).max(1),
+                None => self.now + task.eff_duration,
+            };
+            (finish_at, task.epoch)
+        };
+        self.push_event(finish_at, EventKind::TaskFinish { task: tid, epoch });
+    }
+
+    fn launch(&mut self, tid: TaskId) {
+        let (duration, kind, jix, tenant) = {
+            let t = &self.tasks[tid as usize];
+            (t.duration, t.kind, t.job, t.tenant as usize)
+        };
+        let eff = if self.noise.is_none() {
+            duration
+        } else {
+            self.noise.jitter_duration(&mut self.rng, duration)
+        };
+        let fail = if self.noise.is_none() { None } else { self.noise.attempt_failure(&mut self.rng) };
+        let maps_done = self.jobs[jix as usize].maps_done_at;
+        let pool = kind.index();
+
+        let epoch = {
+            let task = &mut self.tasks[tid as usize];
+            task.running = true;
+            task.launch = self.now;
+            task.launch_seq = self.launch_counter;
+            task.epoch = task.epoch.wrapping_add(1);
+            task.eff_duration = eff;
+            task.fail_frac = fail;
+            task.epoch
+        };
+        self.launch_counter += 1;
+        self.free[pool] -= 1;
+        let slot = {
+            let running = &mut self.tenants[tenant].running[pool];
+            running.push(tid);
+            (running.len() - 1) as u32
+        };
+        self.tasks[tid as usize].run_slot = slot;
+
+        let work_begins = match kind {
+            TaskKind::Map => Some(self.now),
+            TaskKind::Reduce => maps_done.map(|m| m.max(self.now)),
+        };
+        match work_begins {
+            Some(start) => {
+                let finish_at = {
+                    let task = &mut self.tasks[tid as usize];
+                    task.work_start = Some(start);
+                    match task.fail_frac {
+                        Some(frac) => start + ((task.eff_duration as f64 * frac).round() as Time).max(1),
+                        None => start + task.eff_duration,
+                    }
+                };
+                self.push_event(finish_at, EventKind::TaskFinish { task: tid, epoch });
+            }
+            None => {
+                // Reduce launched before the barrier: idles until maps_done.
+                self.jobs[jix as usize].waiting_reduces.push(tid);
+            }
+        }
+    }
+
+    /// Computes fair-share targets for one pool from current demand.
+    fn compute_targets(&mut self, pool: usize) {
+        self.share_inputs.clear();
+        for (tix, tstate) in self.tenants.iter().enumerate() {
+            let cfg = &self.config.tenants[tix];
+            let demand = (tstate.running[pool].len() + tstate.queues[pool].len()) as u64;
+            self.share_inputs.push(ShareInput {
+                weight: cfg.weight,
+                demand: demand.min(u32::MAX as u64) as u32,
+                min_share: cfg.min_share[pool],
+                max_share: cfg.max_share[pool],
+            });
+        }
+        self.targets[pool] = fair_targets(self.cluster.pools[pool].capacity, &self.share_inputs);
+    }
+
+    fn reschedule(&mut self) {
+        for pool in 0..NUM_KINDS {
+            self.compute_targets(pool);
+            self.launch_pass(pool);
+            self.update_starvation(pool);
+        }
+    }
+
+    fn launch_pass(&mut self, pool: usize) {
+        // Primary pass: fill deficits against fair targets, most-deprived
+        // tenant first (deterministic tie-break on tenant index).
+        while self.free[pool] > 0 {
+            let mut best: Option<(i64, usize)> = None;
+            for (tix, tstate) in self.tenants.iter().enumerate() {
+                if tstate.queues[pool].is_empty() {
+                    continue;
+                }
+                let running = tstate.running[pool].len() as i64;
+                let deficit = self.targets[pool][tix] as i64 - running;
+                if deficit <= 0 {
+                    continue;
+                }
+                if best.is_none_or(|(d, _)| deficit > d) {
+                    best = Some((deficit, tix));
+                }
+            }
+            let Some((_, tix)) = best else { break };
+            let tid = self.tenants[tix].queues[pool].pop_front().expect("non-empty queue");
+            self.launch(tid);
+        }
+        // Secondary pass (work conservation despite integer rounding): any
+        // queued task may take a free slot as long as its tenant stays under
+        // its max limit.
+        while self.free[pool] > 0 {
+            let mut chosen: Option<usize> = None;
+            for (tix, tstate) in self.tenants.iter().enumerate() {
+                if tstate.queues[pool].is_empty() {
+                    continue;
+                }
+                if (tstate.running[pool].len() as u64) < self.config.tenants[tix].max_share[pool] as u64 {
+                    chosen = Some(tix);
+                    break;
+                }
+            }
+            let Some(tix) = chosen else { break };
+            let tid = self.tenants[tix].queues[pool].pop_front().expect("non-empty queue");
+            self.launch(tid);
+        }
+    }
+
+    fn update_starvation(&mut self, pool: usize) {
+        for tix in 0..self.tenants.len() {
+            let (min_starved, fair_starved, min_timeout, fair_timeout) = {
+                let cfg = &self.config.tenants[tix];
+                let tstate = &self.tenants[tix];
+                let running = tstate.running[pool].len() as u32;
+                let queued = tstate.queues[pool].len() as u32;
+                let eff_demand = running.saturating_add(queued).min(cfg.max_share[pool]);
+                let min_entitle = cfg.min_share[pool].min(eff_demand);
+                let target = self.targets[pool][tix];
+                (
+                    queued > 0 && running < min_entitle,
+                    queued > 0 && running < target,
+                    cfg.min_timeout,
+                    cfg.fair_timeout,
+                )
+            };
+            self.track_level(tix, pool, Level::Min, min_starved, min_timeout);
+            self.track_level(tix, pool, Level::Fair, fair_starved, fair_timeout);
+        }
+    }
+
+    fn track_level(&mut self, tix: usize, pool: usize, level: Level, starved: bool, timeout: Option<Time>) {
+        let lix = level as usize;
+        if !starved || timeout.is_none() {
+            self.tenants[tix].starved_since[lix][pool] = None;
+            return;
+        }
+        if self.tenants[tix].starved_since[lix][pool].is_none() {
+            let since = self.now;
+            self.tenants[tix].starved_since[lix][pool] = Some(since);
+            let at = since.saturating_add(timeout.expect("checked above"));
+            self.push_event(at, EventKind::PreemptCheck { tenant: tix as u16, pool: pool as u8, level, since });
+        }
+    }
+
+    fn on_preempt_check(&mut self, tenant: u16, pool: usize, level: Level, since: Time) {
+        let tix = tenant as usize;
+        let lix = level as usize;
+        if self.tenants[tix].starved_since[lix][pool] != Some(since) {
+            return; // Starvation cleared (or re-armed) since this was scheduled.
+        }
+        // Recompute entitlement from live demand.
+        self.compute_targets(pool);
+        let (running, entitle) = {
+            let cfg = &self.config.tenants[tix];
+            let tstate = &self.tenants[tix];
+            let running = tstate.running[pool].len() as u32;
+            let queued = tstate.queues[pool].len() as u32;
+            let eff_demand = running.saturating_add(queued).min(cfg.max_share[pool]);
+            let entitle = match level {
+                Level::Min => cfg.min_share[pool].min(eff_demand),
+                Level::Fair => self.targets[pool][tix],
+            };
+            (running, entitle)
+        };
+        let mut needed = entitle.saturating_sub(running);
+        // Kill the most recently launched tasks of tenants above their fair
+        // target until the deficit is covered — never dragging a victim below
+        // its own target (mirrors Hadoop's fair-scheduler preemption).
+        while needed > 0 {
+            let mut victim: Option<(u64, TaskId)> = None;
+            for (vix, vstate) in self.tenants.iter().enumerate() {
+                if vix == tix {
+                    continue;
+                }
+                if (vstate.running[pool].len() as u32) <= self.targets[pool][vix] {
+                    continue;
+                }
+                for &tid in &vstate.running[pool] {
+                    let seq = self.tasks[tid as usize].launch_seq;
+                    if victim.is_none_or(|(s, _)| seq > s) {
+                        victim = Some((seq, tid));
+                    }
+                }
+            }
+            let Some((_, tid)) = victim else { break };
+            self.preempt_task(tid);
+            needed -= 1;
+        }
+        // Clear the marker; reschedule() (called by the event loop) launches
+        // the starved tenant into the freed slots and re-arms the timer if it
+        // is still below entitlement.
+        self.tenants[tix].starved_since[lix][pool] = None;
+    }
+
+    fn preempt_task(&mut self, tid: TaskId) {
+        let jix = self.tasks[tid as usize].job;
+        // Drop from the barrier-waiting list if it was an idle reduce.
+        let waiting = &mut self.jobs[jix as usize].waiting_reduces;
+        if let Some(pos) = waiting.iter().position(|&w| w == tid) {
+            waiting.swap_remove(pos);
+        }
+        self.release_container(tid, AttemptOutcome::Preempted);
+        // Preempted work re-queues at the front: the tenant was entitled to
+        // run it already.
+        let (tenant, pool) = {
+            let task = &self.tasks[tid as usize];
+            (task.tenant as usize, task.kind.index())
+        };
+        self.tenants[tenant].queues[pool].push_front(tid);
+    }
+
+    fn finalize(mut self, horizon: Time) -> Schedule {
+        self.now = horizon;
+        // Running tasks at the horizon are cut off (container still held).
+        for tid in 0..self.tasks.len() as u32 {
+            if self.tasks[tid as usize].running {
+                self.release_container(tid, AttemptOutcome::CutOff);
+            }
+        }
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for (jix, job) in self.jobs.iter().enumerate() {
+            let spec = &self.trace.jobs[jix];
+            jobs.push(JobRecord {
+                id: spec.id,
+                tenant: spec.tenant,
+                submit: spec.submit,
+                finish: job.finish,
+                deadline: spec.deadline,
+                map_count: spec.map_count() as u32,
+                reduce_count: spec.reduce_count() as u32,
+            });
+        }
+        let trace = self.trace;
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for t in self.tasks {
+            tasks.push(TaskRecord {
+                job: trace.jobs[t.job as usize].id,
+                tenant: t.tenant,
+                kind: t.kind,
+                runnable_at: t.runnable_at,
+                duration: t.duration,
+                attempts: t.attempts,
+            });
+        }
+        Schedule {
+            horizon,
+            capacity: [self.cluster.capacity(TaskKind::Map), self.cluster.capacity(TaskKind::Reduce)],
+            jobs,
+            tasks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TenantConfig;
+    use crate::record::TaskRecord;
+    use tempo_workload::time::{MIN, SEC};
+    use tempo_workload::trace::{JobSpec, TaskSpec};
+
+    fn one_pool_cluster(map_slots: u32) -> ClusterSpec {
+        ClusterSpec::new(map_slots, 0)
+    }
+
+    fn maps(n: usize, dur: Time) -> Vec<TaskSpec> {
+        vec![TaskSpec::map(dur); n]
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let trace = Trace::new(vec![JobSpec::new(0, 0, 0, maps(4, 10 * SEC))]);
+        let sched = simulate(&trace, &one_pool_cluster(2), &RmConfig::fair(1), &SimOptions::default());
+        // 4 tasks on 2 slots: two waves → finish at 20s.
+        assert_eq!(sched.jobs[0].finish, Some(20 * SEC));
+        assert_eq!(sched.tasks.len(), 4);
+        assert!(sched.tasks.iter().all(|t| t.finish().is_some()));
+        // First two tasks start immediately, next two wait 10s.
+        let mut waits: Vec<Time> = sched.tasks.iter().filter_map(|t| t.wait_time()).collect();
+        waits.sort_unstable();
+        assert_eq!(waits, vec![0, 0, 10 * SEC, 10 * SEC]);
+    }
+
+    #[test]
+    fn map_reduce_barrier() {
+        let job = JobSpec::new(
+            0,
+            0,
+            0,
+            vec![TaskSpec::map(10 * SEC), TaskSpec::map(30 * SEC), TaskSpec::reduce(20 * SEC)],
+        );
+        let trace = Trace::new(vec![job]);
+        let cluster = ClusterSpec::new(2, 1);
+        let sched = simulate(&trace, &cluster, &RmConfig::fair(1), &SimOptions::default());
+        // Reduce may only start once both maps complete (t=30), so the job
+        // finishes at 50s.
+        assert_eq!(sched.jobs[0].finish, Some(50 * SEC));
+        let reduce = sched.tasks.iter().find(|t| t.kind == TaskKind::Reduce).unwrap();
+        assert_eq!(reduce.attempts[0].launch, 30 * SEC);
+        assert_eq!(reduce.attempts[0].work_start, 30 * SEC);
+    }
+
+    #[test]
+    fn slowstart_launches_reduce_early_but_work_waits() {
+        let job = JobSpec::new(
+            0,
+            0,
+            0,
+            vec![TaskSpec::map(10 * SEC), TaskSpec::map(30 * SEC), TaskSpec::reduce(20 * SEC)],
+        )
+        .with_slowstart(0.5); // release reduces after 1 of 2 maps
+        let trace = Trace::new(vec![job]);
+        let cluster = ClusterSpec::new(2, 1);
+        let sched = simulate(&trace, &cluster, &RmConfig::fair(1), &SimOptions::default());
+        let reduce = sched.tasks.iter().find(|t| t.kind == TaskKind::Reduce).unwrap();
+        // Launched when the first map finished (t=10) but idled until t=30.
+        assert_eq!(reduce.attempts[0].launch, 10 * SEC);
+        assert_eq!(reduce.attempts[0].work_start, 30 * SEC);
+        assert_eq!(reduce.finish(), Some(50 * SEC));
+        // The idle wait counts as occupancy but not useful work.
+        assert_eq!(reduce.attempts[0].occupancy(), 40 * SEC);
+        assert_eq!(reduce.attempts[0].useful_work(), 20 * SEC);
+    }
+
+    #[test]
+    fn weighted_sharing_under_contention() {
+        // Two tenants with weights 1:3 and saturating demand on 8 slots.
+        let trace = Trace::new(vec![
+            JobSpec::new(0, 0, 0, maps(100, 100 * SEC)),
+            JobSpec::new(1, 1, 0, maps(100, 100 * SEC)),
+        ]);
+        let config = RmConfig::new(vec![
+            TenantConfig::fair_default().with_weight(1.0),
+            TenantConfig::fair_default().with_weight(3.0),
+        ]);
+        let sched =
+            simulate(&trace, &one_pool_cluster(8), &config, &SimOptions::default().with_horizon(90 * SEC));
+        // During the first wave tenant 0 holds 2 slots, tenant 1 holds 6.
+        let occ0 = sched.occupancy_in(TaskKind::Map, Some(0), 0, 90 * SEC);
+        let occ1 = sched.occupancy_in(TaskKind::Map, Some(1), 0, 90 * SEC);
+        let ratio = occ1 as f64 / occ0 as f64;
+        assert!((ratio - 3.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn max_share_caps_borrowing() {
+        // Tenant 0 capped at 2 slots; tenant 1 idle. Slots beyond the cap
+        // stay free even though tenant 0 has demand.
+        let trace = Trace::new(vec![JobSpec::new(0, 0, 0, maps(10, 10 * SEC))]);
+        let config = RmConfig::new(vec![
+            TenantConfig::fair_default().with_max_share(2, 0),
+            TenantConfig::fair_default(),
+        ]);
+        let sched = simulate(&trace, &one_pool_cluster(8), &config, &SimOptions::default());
+        // 10 tasks, 2 at a time → 50s.
+        assert_eq!(sched.jobs[0].finish, Some(50 * SEC));
+        let util = sched.utilization(TaskKind::Map, 0, 50 * SEC);
+        assert!((util - 0.25).abs() < 1e-9, "util {util}");
+    }
+
+    #[test]
+    fn idle_quota_is_borrowed_without_preemption() {
+        // Tenant 1 has weight 3 but no work: tenant 0 takes the whole pool.
+        let trace = Trace::new(vec![JobSpec::new(0, 0, 0, maps(8, 10 * SEC))]);
+        let config = RmConfig::new(vec![
+            TenantConfig::fair_default().with_weight(1.0),
+            TenantConfig::fair_default().with_weight(3.0),
+        ]);
+        let sched = simulate(&trace, &one_pool_cluster(8), &config, &SimOptions::default());
+        assert_eq!(sched.jobs[0].finish, Some(10 * SEC));
+    }
+
+    #[test]
+    fn figure_1_preemption_scenario() {
+        // Tenant A grabs the whole cluster at t=0 with long tasks; tenant B
+        // arrives at t=1min with a min-share guarantee and a 1-minute
+        // min-level preemption timeout. At t=2min the RM kills A's most
+        // recently launched tasks; A's lost work is region I of Figure 1.
+        let trace = Trace::new(vec![
+            JobSpec::new(0, 0, 0, maps(10, 10 * MIN)),
+            JobSpec::new(1, 1, MIN, maps(5, 2 * MIN)),
+        ]);
+        let config = RmConfig::new(vec![
+            TenantConfig::fair_default(),
+            TenantConfig::fair_default().with_min_share(5, 0).with_min_timeout(MIN),
+        ]);
+        let sched = simulate(&trace, &one_pool_cluster(10), &config, &SimOptions::default());
+
+        // B waited from t=1min; preemption at t=2min.
+        let b_tasks: Vec<&TaskRecord> = sched.tasks.iter().filter(|t| t.tenant == 1).collect();
+        assert_eq!(b_tasks.len(), 5);
+        for t in &b_tasks {
+            assert_eq!(t.attempts[0].launch, 2 * MIN, "B launches right after preemption");
+        }
+        // Exactly 5 of A's tasks were preempted, each having wasted 2min of
+        // container time.
+        let preempted: Vec<&TaskRecord> = sched.tasks.iter().filter(|t| t.was_preempted()).collect();
+        assert_eq!(preempted.len(), 5);
+        for t in &preempted {
+            assert_eq!(t.tenant, 0);
+            assert_eq!(t.wasted_time(), 2 * MIN);
+        }
+        // A's preempted tasks restart after B finishes (t=4min) and run the
+        // full 10 minutes again.
+        for t in &preempted {
+            let retry = t.attempts.last().unwrap();
+            assert_eq!(retry.launch, 4 * MIN);
+            assert_eq!(retry.outcome, AttemptOutcome::Completed);
+            assert_eq!(retry.end, 14 * MIN);
+        }
+        // Effective utilization < raw utilization because of region I.
+        let raw = sched.utilization(TaskKind::Map, 0, 4 * MIN);
+        let eff = sched.effective_utilization(TaskKind::Map, 0, 14 * MIN);
+        assert!(raw > 0.99, "cluster stayed busy: {raw}");
+        assert!(eff < 1.0);
+    }
+
+    #[test]
+    fn no_preemption_without_timeouts() {
+        // Same scenario but preemption disabled: B must wait for A's wave.
+        let trace = Trace::new(vec![
+            JobSpec::new(0, 0, 0, maps(10, 10 * MIN)),
+            JobSpec::new(1, 1, MIN, maps(5, 2 * MIN)),
+        ]);
+        let config = RmConfig::fair(2);
+        let sched = simulate(&trace, &one_pool_cluster(10), &config, &SimOptions::default());
+        assert!(sched.tasks.iter().all(|t| !t.was_preempted()));
+        let b_first = sched
+            .tasks
+            .iter()
+            .filter(|t| t.tenant == 1)
+            .filter_map(|t| t.wait_time())
+            .min()
+            .unwrap();
+        assert_eq!(b_first, 9 * MIN, "B waits for A's tasks to finish at t=10min");
+    }
+
+    #[test]
+    fn fair_level_preemption_reclaims_fair_share() {
+        // Equal weights: fair share is 5 each. A holds all 10 from t=0; B
+        // arrives at t=10s with a fair-level timeout of 30s, so the check
+        // fires at t=40s and reclaims exactly B's fair share.
+        let trace = Trace::new(vec![
+            JobSpec::new(0, 0, 0, maps(10, 10 * MIN)),
+            JobSpec::new(1, 1, 10 * SEC, maps(10, MIN)),
+        ]);
+        let config = RmConfig::new(vec![
+            TenantConfig::fair_default(),
+            TenantConfig::fair_default().with_fair_timeout(30 * SEC),
+        ]);
+        let sched = simulate(&trace, &one_pool_cluster(10), &config, &SimOptions::default());
+        let preempted = sched.tasks.iter().filter(|t| t.was_preempted()).count();
+        assert_eq!(preempted, 5, "A gives up down to its fair share");
+        let b_launches: Vec<Time> = sched
+            .tasks
+            .iter()
+            .filter(|t| t.tenant == 1)
+            .map(|t| t.attempts[0].launch)
+            .collect();
+        assert_eq!(b_launches.iter().filter(|&&l| l == 40 * SEC).count(), 5);
+    }
+
+    #[test]
+    fn preemption_never_kills_below_victim_target() {
+        // B (min share 8) arrives at t=10s while A holds all 10 slots. With
+        // B's min share carved out first, A's fair target is 1 of the 2
+        // non-guaranteed slots. The min-level check kills exactly B's
+        // entitlement (8), leaving A with 2 ≥ its target — victims are never
+        // dragged below their own target.
+        let trace = Trace::new(vec![
+            JobSpec::new(0, 0, 0, maps(10, 10 * MIN)),
+            JobSpec::new(1, 1, 10 * SEC, maps(20, MIN)),
+        ]);
+        let config = RmConfig::new(vec![
+            TenantConfig::fair_default(),
+            TenantConfig::fair_default().with_min_share(8, 0).with_min_timeout(10 * SEC),
+        ]);
+        let sched = simulate(&trace, &one_pool_cluster(10), &config, &SimOptions::default());
+        let first_wave_kills = sched
+            .tasks
+            .iter()
+            .filter(|t| {
+                t.attempts
+                    .iter()
+                    .any(|a| a.outcome == AttemptOutcome::Preempted && a.end == 20 * SEC)
+            })
+            .count();
+        assert_eq!(first_wave_kills, 8);
+        // A's two survivors ran start-to-finish without interruption.
+        let a_uninterrupted = sched
+            .tasks
+            .iter()
+            .filter(|t| t.tenant == 0)
+            .filter(|t| t.attempts.len() == 1 && t.attempts[0].launch == 0)
+            .count();
+        assert_eq!(a_uninterrupted, 2);
+    }
+
+    #[test]
+    fn horizon_cuts_off_running_tasks() {
+        let trace = Trace::new(vec![JobSpec::new(0, 0, 0, maps(2, 10 * MIN))]);
+        let sched = simulate(
+            &trace,
+            &one_pool_cluster(2),
+            &RmConfig::fair(1),
+            &SimOptions::default().with_horizon(4 * MIN),
+        );
+        assert_eq!(sched.horizon, 4 * MIN);
+        assert_eq!(sched.jobs[0].finish, None);
+        for t in &sched.tasks {
+            assert_eq!(t.attempts.len(), 1);
+            assert_eq!(t.attempts[0].outcome, AttemptOutcome::CutOff);
+            assert_eq!(t.attempts[0].end, 4 * MIN);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_noise() {
+        let trace = Trace::new(vec![
+            JobSpec::new(0, 0, 0, maps(20, 30 * SEC)),
+            JobSpec::new(1, 1, 5 * SEC, maps(20, 30 * SEC)),
+        ]);
+        let opts = SimOptions { horizon: None, noise: NoiseModel::production(), seed: 42 };
+        let a = simulate(&trace, &one_pool_cluster(4), &RmConfig::fair(2), &opts);
+        let b = simulate(&trace, &one_pool_cluster(4), &RmConfig::fair(2), &opts);
+        assert_eq!(a, b);
+        let c = simulate(
+            &trace,
+            &one_pool_cluster(4),
+            &RmConfig::fair(2),
+            &SimOptions { seed: 43, ..opts },
+        );
+        assert_ne!(a, c, "different seeds should produce different noisy runs");
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_totals() {
+        let trace = Trace::new(vec![JobSpec::new(0, 0, 0, maps(50, 30 * SEC))]);
+        let opts = SimOptions { horizon: None, noise: NoiseModel::production(), seed: 7 };
+        let sched = simulate(&trace, &one_pool_cluster(10), &RmConfig::fair(1), &opts);
+        // All tasks eventually finish even with failures/retries.
+        assert!(sched.jobs[0].finish.is_some());
+        let completed = sched.tasks.iter().filter(|t| t.finish().is_some()).count();
+        assert_eq!(completed, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace references tenant")]
+    fn rejects_unknown_tenant() {
+        let trace = Trace::new(vec![JobSpec::new(0, 5, 0, maps(1, SEC))]);
+        let _ = simulate(&trace, &one_pool_cluster(2), &RmConfig::fair(2), &SimOptions::default());
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let sched =
+            simulate(&Trace::default(), &one_pool_cluster(2), &RmConfig::fair(1), &SimOptions::default());
+        assert!(sched.jobs.is_empty());
+        assert!(sched.tasks.is_empty());
+    }
+}

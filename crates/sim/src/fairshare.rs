@@ -1,0 +1,309 @@
+//! Weighted max-min fair-share computation with min/max limits.
+//!
+//! This is the allocation policy of the Hadoop Fair Scheduler family that the
+//! paper's example in §3.2 walks through: shares 1:2:3 over 12 containers
+//! give 2/4/6; if one tenant is idle its quota is redistributed by weight; a
+//! max limit of 3 on tenant C yields 3/6/3.
+//!
+//! The algorithm is the classic two-phase water-fill:
+//!
+//! 1. every tenant is first granted `min(min_share, demand)` (scaled down
+//!    proportionally if the minimums oversubscribe the pool), then
+//! 2. the remainder is distributed proportionally to weights, iteratively
+//!    saturating tenants at their effective demand `min(demand, max_share)`.
+//!
+//! Fractional targets are converted to integers by largest-remainder
+//! rounding, so the integer targets always sum to exactly the distributable
+//! capacity.
+
+/// Per-tenant inputs to the fair-share computation for one pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShareInput {
+    pub weight: f64,
+    /// Containers the tenant could use right now (running + queued).
+    pub demand: u32,
+    pub min_share: u32,
+    pub max_share: u32,
+}
+
+impl ShareInput {
+    /// Demand clamped by the max limit — the most this tenant may hold.
+    #[inline]
+    pub fn effective_demand(&self) -> u32 {
+        self.demand.min(self.max_share)
+    }
+}
+
+/// Computes integer fair-share targets for one pool.
+///
+/// Guarantees (tested by `proptest` below):
+/// * `target[i] <= min(demand[i], max_share[i])`,
+/// * `sum(target) == min(capacity, sum(effective demand))` (work conserving),
+/// * if `sum(min(min_share, eff_demand)) <= capacity`, every tenant gets at
+///   least `min(min_share, eff_demand)` (guarantees honoured),
+/// * targets scale with weights among unsaturated tenants.
+pub fn fair_targets(capacity: u32, inputs: &[ShareInput]) -> Vec<u32> {
+    let n = inputs.len();
+    if n == 0 || capacity == 0 {
+        return vec![0; n];
+    }
+    let eff: Vec<u32> = inputs.iter().map(ShareInput::effective_demand).collect();
+    let total_eff: u64 = eff.iter().map(|&e| e as u64).sum();
+    let distributable = (capacity as u64).min(total_eff) as u32;
+    if distributable == 0 {
+        return vec![0; n];
+    }
+
+    // Phase 1: guaranteed minimums, scaled down proportionally if they
+    // oversubscribe the pool (Hadoop's behaviour when Σ minShare > capacity).
+    let want_min: Vec<u32> = inputs.iter().zip(&eff).map(|(inp, &e)| inp.min_share.min(e)).collect();
+    let total_min: u64 = want_min.iter().map(|&m| m as u64).sum();
+    let mut base: Vec<f64> = if total_min <= distributable as u64 {
+        want_min.iter().map(|&m| m as f64).collect()
+    } else {
+        let scale = distributable as f64 / total_min as f64;
+        want_min.iter().map(|&m| m as f64 * scale).collect()
+    };
+
+    // Phase 2: water-fill the remainder by weight, capped at effective
+    // demand. Iterates because saturating one tenant frees share for others.
+    let mut remaining = distributable as f64 - base.iter().sum::<f64>();
+    let mut saturated = vec![false; n];
+    for i in 0..n {
+        if base[i] >= eff[i] as f64 - 1e-9 {
+            saturated[i] = true;
+        }
+    }
+    while remaining > 1e-9 {
+        let weight_sum: f64 =
+            inputs.iter().zip(&saturated).filter(|(_, &s)| !s).map(|(inp, _)| inp.weight).sum();
+        if weight_sum <= 0.0 {
+            break;
+        }
+        let unit = remaining / weight_sum;
+        let mut newly_saturated = false;
+        let mut distributed = 0.0;
+        for i in 0..n {
+            if saturated[i] {
+                continue;
+            }
+            let grant = unit * inputs[i].weight;
+            let room = eff[i] as f64 - base[i];
+            if grant >= room - 1e-9 {
+                base[i] = eff[i] as f64;
+                distributed += room;
+                saturated[i] = true;
+                newly_saturated = true;
+            } else {
+                base[i] += grant;
+                distributed += grant;
+            }
+        }
+        remaining -= distributed;
+        if !newly_saturated {
+            // Nothing saturated this round: the proportional grants fit, so
+            // all remaining capacity was consumed.
+            break;
+        }
+    }
+
+    // Largest-remainder rounding to integers summing to `distributable`,
+    // still respecting the effective-demand caps.
+    round_targets(&base, &eff, distributable)
+}
+
+/// Largest-remainder rounding of fractional targets under per-tenant caps.
+fn round_targets(frac: &[f64], caps: &[u32], total: u32) -> Vec<u32> {
+    let n = frac.len();
+    let mut out: Vec<u32> = frac.iter().zip(caps).map(|(&f, &c)| (f.floor() as u32).min(c)).collect();
+    let mut assigned: u64 = out.iter().map(|&v| v as u64).sum();
+    // Order by descending fractional remainder, tenant index as tiebreak for
+    // determinism.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ra = frac[a] - frac[a].floor();
+        let rb = frac[b] - frac[b].floor();
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let mut idx = 0;
+    while assigned < total as u64 && idx < 10 * n.max(1) {
+        let i = order[idx % n];
+        if out[i] < caps[i] {
+            out[i] += 1;
+            assigned += 1;
+        }
+        idx += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(weight: f64, demand: u32, min: u32, max: u32) -> ShareInput {
+        ShareInput { weight, demand, min_share: min, max_share: max }
+    }
+
+    fn unlimited(weight: f64, demand: u32) -> ShareInput {
+        input(weight, demand, 0, u32::MAX)
+    }
+
+    #[test]
+    fn paper_example_basic_shares() {
+        // §3.2: shares 1:2:3, 12 containers, all saturated → 2, 4, 6.
+        let t = fair_targets(12, &[unlimited(1.0, 100), unlimited(2.0, 100), unlimited(3.0, 100)]);
+        assert_eq!(t, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn paper_example_idle_tenant_redistribution() {
+        // §3.2: C idle → A and B split 12 in ratio 1:2 → 4 and 8.
+        let t = fair_targets(12, &[unlimited(1.0, 100), unlimited(2.0, 100), unlimited(3.0, 0)]);
+        assert_eq!(t, vec![4, 8, 0]);
+    }
+
+    #[test]
+    fn paper_example_max_limit() {
+        // §3.2: C capped at 3 → A, B, C get 3, 6, 3.
+        let t = fair_targets(
+            12,
+            &[unlimited(1.0, 100), unlimited(2.0, 100), input(3.0, 100, 0, 3)],
+        );
+        assert_eq!(t, vec![3, 6, 3]);
+    }
+
+    #[test]
+    fn min_shares_guaranteed() {
+        let t = fair_targets(
+            10,
+            &[input(1.0, 10, 6, u32::MAX), unlimited(9.0, 10)],
+        );
+        assert!(t[0] >= 6, "min share must be honoured, got {t:?}");
+        assert_eq!(t.iter().sum::<u32>(), 10);
+    }
+
+    #[test]
+    fn oversubscribed_min_shares_scale_down() {
+        let t = fair_targets(
+            10,
+            &[input(1.0, 20, 12, u32::MAX), input(1.0, 20, 8, u32::MAX)],
+        );
+        assert_eq!(t.iter().sum::<u32>(), 10);
+        // 12:8 scaled onto 10 → 6:4.
+        assert_eq!(t, vec![6, 4]);
+    }
+
+    #[test]
+    fn min_share_larger_than_demand_is_clamped() {
+        let t = fair_targets(10, &[input(1.0, 2, 8, u32::MAX), unlimited(1.0, 100)]);
+        assert_eq!(t, vec![2, 8]);
+    }
+
+    #[test]
+    fn surplus_capacity_leaves_slack() {
+        let t = fair_targets(100, &[unlimited(1.0, 5), unlimited(1.0, 7)]);
+        assert_eq!(t, vec![5, 7]);
+    }
+
+    #[test]
+    fn empty_and_zero_cases() {
+        assert!(fair_targets(10, &[]).is_empty());
+        assert_eq!(fair_targets(0, &[unlimited(1.0, 5)]), vec![0]);
+        assert_eq!(fair_targets(10, &[unlimited(1.0, 0)]), vec![0]);
+    }
+
+    #[test]
+    fn rounding_preserves_total() {
+        // 3 equal tenants on 10 slots: 3.33 each → 4/3/3 after rounding.
+        let t = fair_targets(10, &[unlimited(1.0, 50), unlimited(1.0, 50), unlimited(1.0, 50)]);
+        assert_eq!(t.iter().sum::<u32>(), 10);
+        let max = *t.iter().max().unwrap();
+        let min = *t.iter().min().unwrap();
+        assert!(max - min <= 1, "near-equal split expected, got {t:?}");
+    }
+
+    #[test]
+    fn cascading_saturation() {
+        // Tenant 0 saturates at 2, freeing share for the rest.
+        let t = fair_targets(12, &[unlimited(2.0, 2), unlimited(1.0, 100), unlimited(1.0, 100)]);
+        assert_eq!(t, vec![2, 5, 5]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_inputs() -> impl Strategy<Value = (u32, Vec<ShareInput>)> {
+            let tenant = (0.1_f64..10.0, 0u32..200, 0u32..50, 0u32..250).prop_map(
+                |(weight, demand, min_share, max_raw)| ShareInput {
+                    weight,
+                    demand,
+                    min_share: min_share.min(max_raw),
+                    max_share: max_raw,
+                },
+            );
+            (0u32..500, prop::collection::vec(tenant, 0..8))
+        }
+
+        proptest! {
+            #[test]
+            fn targets_within_bounds((capacity, inputs) in arb_inputs()) {
+                let t = fair_targets(capacity, &inputs);
+                prop_assert_eq!(t.len(), inputs.len());
+                for (ti, inp) in t.iter().zip(&inputs) {
+                    prop_assert!(*ti <= inp.effective_demand());
+                }
+            }
+
+            #[test]
+            fn work_conserving((capacity, inputs) in arb_inputs()) {
+                let t = fair_targets(capacity, &inputs);
+                let total: u64 = t.iter().map(|&v| v as u64).sum();
+                let eff: u64 = inputs.iter().map(|i| i.effective_demand() as u64).sum();
+                prop_assert_eq!(total, eff.min(capacity as u64));
+            }
+
+            #[test]
+            fn min_shares_honoured_when_feasible((capacity, inputs) in arb_inputs()) {
+                let t = fair_targets(capacity, &inputs);
+                let want: u64 = inputs
+                    .iter()
+                    .map(|i| i.min_share.min(i.effective_demand()) as u64)
+                    .sum();
+                if want <= capacity as u64 {
+                    for (ti, inp) in t.iter().zip(&inputs) {
+                        prop_assert!(
+                            *ti >= inp.min_share.min(inp.effective_demand()),
+                            "target {} below guaranteed min {}",
+                            ti, inp.min_share.min(inp.effective_demand())
+                        );
+                    }
+                }
+            }
+
+            #[test]
+            fn weight_proportionality_for_unsaturated_pairs(
+                capacity in 10u32..400,
+                w1 in 0.5f64..4.0,
+                w2 in 0.5f64..4.0,
+            ) {
+                // Two tenants with unbounded demand: ratio of targets tracks
+                // the weight ratio to within rounding.
+                let t = fair_targets(
+                    capacity,
+                    &[ShareInput { weight: w1, demand: u32::MAX, min_share: 0, max_share: u32::MAX },
+                      ShareInput { weight: w2, demand: u32::MAX, min_share: 0, max_share: u32::MAX }],
+                );
+                let expect1 = capacity as f64 * w1 / (w1 + w2);
+                prop_assert!((t[0] as f64 - expect1).abs() <= 1.0);
+                prop_assert_eq!(t[0] + t[1], capacity);
+            }
+
+            #[test]
+            fn deterministic((capacity, inputs) in arb_inputs()) {
+                prop_assert_eq!(fair_targets(capacity, &inputs), fair_targets(capacity, &inputs));
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # tempo-sim
+//!
+//! Discrete-event cluster + fair-scheduler RM simulator: the substrate Tempo
+//! tunes, and its fast time-warp Schedule Predictor (§7.2 of the paper).
+//!
+//! The simulator implements the RM configuration space of §3.2 — per-tenant
+//! resource shares, min/max limits, and two-level preemption timeouts — over
+//! a cluster of map/reduce container pools, and records the full task
+//! schedule (start/end/allocation of every task attempt) that the QS metrics
+//! are defined on.
+//!
+//! ```
+//! use tempo_sim::{predict, ClusterSpec, RmConfig};
+//! use tempo_workload::{Trace, JobSpec, TaskSpec};
+//! use tempo_workload::time::SEC;
+//!
+//! let trace = Trace::new(vec![JobSpec::new(0, 0, 0, vec![TaskSpec::map(10 * SEC)])]);
+//! let schedule = predict(&trace, &ClusterSpec::new(4, 2), &RmConfig::fair(1));
+//! assert_eq!(schedule.jobs[0].finish, Some(10 * SEC));
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod fairshare;
+pub mod noise;
+pub mod predictor;
+pub mod record;
+
+pub use config::{ClusterSpec, ConfigError, PoolSpec, RmConfig, TenantConfig};
+pub use engine::{simulate, SimOptions};
+pub use fairshare::{fair_targets, ShareInput};
+pub use noise::NoiseModel;
+pub use predictor::{observe, predict, predict_until, prediction_error, PredictionError};
+pub use record::{Attempt, AttemptOutcome, JobRecord, Schedule, TaskRecord};

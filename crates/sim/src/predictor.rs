@@ -1,0 +1,169 @@
+//! The Schedule Predictor facade (§7.2).
+//!
+//! Thin, intention-revealing wrappers over [`crate::engine::simulate`]: the
+//! What-if Model asks "what task schedule would this workload produce under
+//! this RM configuration?", which is a deterministic, noise-free simulation;
+//! experiments that need an "observed" production run use the noisy variant.
+
+use crate::config::{ClusterSpec, RmConfig};
+use crate::engine::{simulate, SimOptions};
+use crate::noise::NoiseModel;
+use crate::record::Schedule;
+use tempo_workload::time::Time;
+use tempo_workload::Trace;
+
+/// Predicts the task schedule of `trace` under `config` — deterministic,
+/// runs to completion.
+pub fn predict(trace: &Trace, cluster: &ClusterSpec, config: &RmConfig) -> Schedule {
+    simulate(trace, cluster, config, &SimOptions::deterministic())
+}
+
+/// Predicts the task schedule up to `horizon`.
+pub fn predict_until(trace: &Trace, cluster: &ClusterSpec, config: &RmConfig, horizon: Time) -> Schedule {
+    simulate(trace, cluster, config, &SimOptions::deterministic().with_horizon(horizon))
+}
+
+/// Simulates an "observed" run with the given noise model — the stand-in for
+/// executing the workload on a real, noisy cluster.
+pub fn observe(
+    trace: &Trace,
+    cluster: &ClusterSpec,
+    config: &RmConfig,
+    noise: NoiseModel,
+    seed: u64,
+) -> Schedule {
+    simulate(trace, cluster, config, &SimOptions { horizon: None, noise, seed })
+}
+
+/// Prediction accuracy of job finish times against an observed schedule,
+/// using the paper's two error metrics (§8.1):
+///
+/// * RAE — relative absolute error: `Σ|p_j − l_j| / Σ|l_j − mean(l)|`
+/// * RSE — relative squared error: `sqrt(Σ(p_j − l_j)² / Σ(l_j − mean(l))²)`
+///
+/// Finish times are compared *relative to submission* (i.e. response
+/// times): absolute finish timestamps are dominated by the submission
+/// schedule itself, which would deflate both metrics' deviation-from-mean
+/// denominators into meaninglessness over a multi-day trace.
+///
+/// Only jobs that completed in both schedules are compared (killed/failed
+/// jobs have inaccurate bookkeeping in real traces too — the paper calls
+/// this out for the MV tenant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionError {
+    pub rae: f64,
+    pub rse: f64,
+    /// Number of jobs compared.
+    pub jobs: usize,
+}
+
+/// Computes RAE/RSE of predicted vs observed finish times for one tenant.
+pub fn prediction_error(
+    predicted: &Schedule,
+    observed: &Schedule,
+    tenant: tempo_workload::TenantId,
+) -> PredictionError {
+    let mut obs_by_id = std::collections::HashMap::new();
+    for j in &observed.jobs {
+        if j.tenant == tenant {
+            if let Some(rt) = j.response_time() {
+                obs_by_id.insert(j.id, rt);
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for j in &predicted.jobs {
+        if j.tenant != tenant {
+            continue;
+        }
+        let (Some(p), Some(&l)) = (j.response_time(), obs_by_id.get(&j.id)) else { continue };
+        pairs.push((p as f64, l as f64));
+    }
+    if pairs.len() < 2 {
+        return PredictionError { rae: 0.0, rse: 0.0, jobs: pairs.len() };
+    }
+    let mean_l = pairs.iter().map(|&(_, l)| l).sum::<f64>() / pairs.len() as f64;
+    let abs_err: f64 = pairs.iter().map(|&(p, l)| (p - l).abs()).sum();
+    let abs_dev: f64 = pairs.iter().map(|&(_, l)| (l - mean_l).abs()).sum();
+    let sq_err: f64 = pairs.iter().map(|&(p, l)| (p - l) * (p - l)).sum();
+    let sq_dev: f64 = pairs.iter().map(|&(_, l)| (l - mean_l) * (l - mean_l)).sum();
+    PredictionError {
+        rae: if abs_dev > 0.0 { abs_err / abs_dev } else { 0.0 },
+        rse: if sq_dev > 0.0 { (sq_err / sq_dev).sqrt() } else { 0.0 },
+        jobs: pairs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_workload::time::SEC;
+    use tempo_workload::trace::{JobSpec, TaskSpec};
+
+    fn trace() -> Trace {
+        let mut jobs = Vec::new();
+        for i in 0..30u64 {
+            jobs.push(JobSpec::new(
+                i,
+                0,
+                i * 5 * SEC,
+                vec![TaskSpec::map((10 + i % 7) * SEC), TaskSpec::reduce(20 * SEC)],
+            ));
+        }
+        Trace::new(jobs)
+    }
+
+    #[test]
+    fn predict_is_deterministic() {
+        let cluster = ClusterSpec::new(4, 2);
+        let cfg = RmConfig::fair(1);
+        let t = trace();
+        assert_eq!(predict(&t, &cluster, &cfg), predict(&t, &cluster, &cfg));
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_error() {
+        let cluster = ClusterSpec::new(4, 2);
+        let cfg = RmConfig::fair(1);
+        let t = trace();
+        let p = predict(&t, &cluster, &cfg);
+        let e = prediction_error(&p, &p, 0);
+        assert_eq!(e.jobs, 30);
+        assert!(e.rae.abs() < 1e-12);
+        assert!(e.rse.abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_observation_yields_moderate_error() {
+        let cluster = ClusterSpec::new(4, 2);
+        let cfg = RmConfig::fair(1);
+        let t = trace();
+        let p = predict(&t, &cluster, &cfg);
+        let o = observe(&t, &cluster, &cfg, NoiseModel::production(), 3);
+        let e = prediction_error(&p, &o, 0);
+        assert!(e.jobs >= 25, "most jobs complete in both runs");
+        assert!(e.rae > 0.0, "noise must create error");
+        assert!(e.rae < 1.0, "prediction should beat the mean baseline (rae {})", e.rae);
+    }
+
+    #[test]
+    fn prediction_error_handles_disjoint_jobs() {
+        let cluster = ClusterSpec::new(4, 2);
+        let cfg = RmConfig::fair(1);
+        let p = predict(&trace(), &cluster, &cfg);
+        let empty = Schedule { horizon: 0, capacity: [4, 2], jobs: vec![], tasks: vec![] };
+        let e = prediction_error(&p, &empty, 0);
+        assert_eq!(e.jobs, 0);
+        assert_eq!(e.rae, 0.0);
+    }
+
+    #[test]
+    fn predict_until_truncates() {
+        let cluster = ClusterSpec::new(1, 1);
+        let cfg = RmConfig::fair(1);
+        let t = trace();
+        let p = predict_until(&t, &cluster, &cfg, 30 * SEC);
+        assert_eq!(p.horizon, 30 * SEC);
+        assert!(p.jobs.iter().any(|j| j.finish.is_none()));
+    }
+}

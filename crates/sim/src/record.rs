@@ -1,0 +1,382 @@
+//! The task schedule produced by a simulation run.
+//!
+//! A *task schedule* — start time, end time, and resource allocation of every
+//! task run on behalf of each tenant (§3.2) — is the domain over which all QS
+//! metrics are defined, so this is the central exchange type between the
+//! Schedule Predictor, the What-if Model, and the QS evaluators.
+
+use serde::{Deserialize, Serialize};
+use tempo_workload::time::Time;
+use tempo_workload::{TaskKind, TenantId};
+
+/// Why a task attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttemptOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Killed by the RM to free resources for a starved tenant; all work is
+    /// lost and the task restarts from scratch (the mechanism of Figure 1).
+    Preempted,
+    /// Failed (noise injection); the task retries.
+    Failed,
+    /// Still occupying a container when the simulation horizon ended.
+    CutOff,
+}
+
+/// One attempt of a task: the interval it occupied a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attempt {
+    /// When the container was acquired.
+    pub launch: Time,
+    /// When useful work began. Equal to `launch` for maps; reduces launched
+    /// before the map barrier idle-wait until all maps finish.
+    pub work_start: Time,
+    /// When the container was released.
+    pub end: Time,
+    pub outcome: AttemptOutcome,
+}
+
+impl Attempt {
+    /// Container-occupancy time (drives raw utilization).
+    #[inline]
+    pub fn occupancy(&self) -> Time {
+        self.end - self.launch
+    }
+
+    /// Time spent doing work that was ultimately kept. Preempted/failed
+    /// attempts contribute zero: their work is redone.
+    #[inline]
+    pub fn useful_work(&self) -> Time {
+        match self.outcome {
+            AttemptOutcome::Completed => self.end.saturating_sub(self.work_start),
+            _ => 0,
+        }
+    }
+}
+
+/// Full history of one task across restarts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    pub job: u64,
+    pub tenant: TenantId,
+    pub kind: TaskKind,
+    /// When the task first became runnable (entered the tenant queue).
+    pub runnable_at: Time,
+    /// Base duration from the trace (pre-noise).
+    pub duration: Time,
+    pub attempts: Vec<Attempt>,
+}
+
+impl TaskRecord {
+    /// Time from becoming runnable to first acquiring a container.
+    pub fn wait_time(&self) -> Option<Time> {
+        self.attempts.first().map(|a| a.launch - self.runnable_at)
+    }
+
+    /// Completion time, if the task finished within the horizon.
+    pub fn finish(&self) -> Option<Time> {
+        self.attempts
+            .iter()
+            .find(|a| a.outcome == AttemptOutcome::Completed)
+            .map(|a| a.end)
+    }
+
+    pub fn was_preempted(&self) -> bool {
+        self.attempts.iter().any(|a| a.outcome == AttemptOutcome::Preempted)
+    }
+
+    pub fn preemption_count(&self) -> usize {
+        self.attempts.iter().filter(|a| a.outcome == AttemptOutcome::Preempted).count()
+    }
+
+    /// Container time consumed by attempts whose work was thrown away.
+    pub fn wasted_time(&self) -> Time {
+        self.attempts
+            .iter()
+            .filter(|a| matches!(a.outcome, AttemptOutcome::Preempted | AttemptOutcome::Failed))
+            .map(Attempt::occupancy)
+            .sum()
+    }
+}
+
+/// Per-job outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRecord {
+    pub id: u64,
+    pub tenant: TenantId,
+    pub submit: Time,
+    /// Completion of the job's last task, if within the horizon.
+    pub finish: Option<Time>,
+    pub deadline: Option<Time>,
+    pub map_count: u32,
+    pub reduce_count: u32,
+}
+
+impl JobRecord {
+    /// Response time (`t_f − t_s` in QS_AJR), if completed.
+    pub fn response_time(&self) -> Option<Time> {
+        self.finish.map(|f| f - self.submit)
+    }
+
+    /// Whether the job missed its deadline under slack `gamma`:
+    /// `finish > deadline + gamma × (finish − submit)` (QS_DL, §5.1 — the
+    /// slack is a fraction of the job's own duration).
+    pub fn missed_deadline(&self, gamma: f64) -> Option<bool> {
+        match (self.finish, self.deadline) {
+            (Some(f), Some(d)) => {
+                let slack = (gamma * (f - self.submit) as f64).max(0.0) as Time;
+                Some(f > d.saturating_add(slack))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Everything a simulation run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// End of the simulated horizon (all events up to here were processed).
+    pub horizon: Time,
+    /// Pool capacities in effect (echoed for utilization math).
+    pub capacity: [u32; tempo_workload::NUM_KINDS],
+    pub jobs: Vec<JobRecord>,
+    pub tasks: Vec<TaskRecord>,
+}
+
+impl Schedule {
+    /// Jobs of a tenant submitted *and completed* inside `[start, end)` —
+    /// the set `J_i` over which §5.1 defines the job-level QS metrics.
+    pub fn completed_jobs_in(&self, tenant: TenantId, start: Time, end: Time) -> Vec<&JobRecord> {
+        self.jobs
+            .iter()
+            .filter(|j| j.tenant == tenant)
+            .filter(|j| j.submit >= start && j.submit < end)
+            .filter(|j| j.finish.is_some_and(|f| f < end))
+            .collect()
+    }
+
+    /// All task records of a tenant.
+    pub fn tenant_tasks(&self, tenant: TenantId) -> impl Iterator<Item = &TaskRecord> {
+        self.tasks.iter().filter(move |t| t.tenant == tenant)
+    }
+
+    /// Fraction of tasks of `kind` (optionally restricted to one tenant)
+    /// that were preempted at least once (Figure 7's metric).
+    pub fn preemption_fraction(&self, kind: TaskKind, tenant: Option<TenantId>) -> f64 {
+        let mut total = 0usize;
+        let mut preempted = 0usize;
+        for t in &self.tasks {
+            if t.kind != kind {
+                continue;
+            }
+            if let Some(id) = tenant {
+                if t.tenant != id {
+                    continue;
+                }
+            }
+            total += 1;
+            if t.was_preempted() {
+                preempted += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            preempted as f64 / total as f64
+        }
+    }
+
+    /// Total container-time occupied in a pool over `[start, end)`,
+    /// clipping attempts to the window.
+    pub fn occupancy_in(&self, kind: TaskKind, tenant: Option<TenantId>, start: Time, end: Time) -> Time {
+        let mut sum = 0;
+        for t in &self.tasks {
+            if t.kind != kind {
+                continue;
+            }
+            if let Some(id) = tenant {
+                if t.tenant != id {
+                    continue;
+                }
+            }
+            for a in &t.attempts {
+                let s = a.launch.max(start);
+                let e = a.end.min(end);
+                if e > s {
+                    sum += e - s;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Like [`Schedule::occupancy_in`] but counting only *useful* work
+    /// (completed attempts, after their shuffle barrier) — the "effective
+    /// utilization" of Figure 1 that excludes region I.
+    pub fn useful_work_in(&self, kind: TaskKind, tenant: Option<TenantId>, start: Time, end: Time) -> Time {
+        let mut sum = 0;
+        for t in &self.tasks {
+            if t.kind != kind {
+                continue;
+            }
+            if let Some(id) = tenant {
+                if t.tenant != id {
+                    continue;
+                }
+            }
+            for a in &t.attempts {
+                if a.outcome != AttemptOutcome::Completed {
+                    continue;
+                }
+                let s = a.work_start.max(start);
+                let e = a.end.min(end);
+                if e > s {
+                    sum += e - s;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Raw pool utilization over `[start, end)`: occupied container-time
+    /// over available container-time.
+    pub fn utilization(&self, kind: TaskKind, start: Time, end: Time) -> f64 {
+        let avail = self.capacity[kind.index()] as u128 * (end.saturating_sub(start)) as u128;
+        if avail == 0 {
+            return 0.0;
+        }
+        self.occupancy_in(kind, None, start, end) as f64 / avail as f64
+    }
+
+    /// Effective pool utilization (useful work only — excludes preempted
+    /// attempts' lost work and shuffle idling).
+    pub fn effective_utilization(&self, kind: TaskKind, start: Time, end: Time) -> f64 {
+        let avail = self.capacity[kind.index()] as u128 * (end.saturating_sub(start)) as u128;
+        if avail == 0 {
+            return 0.0;
+        }
+        self.useful_work_in(kind, None, start, end) as f64 / avail as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_workload::time::SEC;
+
+    fn attempt(launch: Time, end: Time, outcome: AttemptOutcome) -> Attempt {
+        Attempt { launch, work_start: launch, end, outcome }
+    }
+
+    #[test]
+    fn attempt_accounting() {
+        let ok = attempt(10, 30, AttemptOutcome::Completed);
+        assert_eq!(ok.occupancy(), 20);
+        assert_eq!(ok.useful_work(), 20);
+        let killed = attempt(10, 30, AttemptOutcome::Preempted);
+        assert_eq!(killed.useful_work(), 0);
+        let idle_reduce = Attempt { launch: 10, work_start: 25, end: 30, outcome: AttemptOutcome::Completed };
+        assert_eq!(idle_reduce.useful_work(), 5);
+        assert_eq!(idle_reduce.occupancy(), 20);
+    }
+
+    #[test]
+    fn task_record_accessors() {
+        let t = TaskRecord {
+            job: 1,
+            tenant: 0,
+            kind: TaskKind::Map,
+            runnable_at: 5,
+            duration: 15,
+            attempts: vec![
+                attempt(10, 20, AttemptOutcome::Preempted),
+                attempt(22, 37, AttemptOutcome::Completed),
+            ],
+        };
+        assert_eq!(t.wait_time(), Some(5));
+        assert_eq!(t.finish(), Some(37));
+        assert!(t.was_preempted());
+        assert_eq!(t.preemption_count(), 1);
+        assert_eq!(t.wasted_time(), 10);
+    }
+
+    #[test]
+    fn deadline_slack_semantics() {
+        let j = JobRecord {
+            id: 1,
+            tenant: 0,
+            submit: 0,
+            finish: Some(110 * SEC),
+            deadline: Some(100 * SEC),
+            map_count: 1,
+            reduce_count: 0,
+        };
+        // No slack: 110 > 100 → missed.
+        assert_eq!(j.missed_deadline(0.0), Some(true));
+        // 25% slack of the 110s duration = 27.5s → 110 ≤ 127.5 → ok.
+        assert_eq!(j.missed_deadline(0.25), Some(false));
+        let unfinished = JobRecord { finish: None, ..j };
+        assert_eq!(unfinished.missed_deadline(0.0), None);
+        let no_deadline = JobRecord { deadline: None, ..j };
+        assert_eq!(no_deadline.missed_deadline(0.0), None);
+    }
+
+    #[test]
+    fn window_filtering() {
+        let sched = Schedule {
+            horizon: 100,
+            capacity: [10, 10],
+            jobs: vec![
+                JobRecord { id: 1, tenant: 0, submit: 10, finish: Some(50), deadline: None, map_count: 1, reduce_count: 0 },
+                JobRecord { id: 2, tenant: 0, submit: 20, finish: None, deadline: None, map_count: 1, reduce_count: 0 },
+                JobRecord { id: 3, tenant: 1, submit: 10, finish: Some(40), deadline: None, map_count: 1, reduce_count: 0 },
+                JobRecord { id: 4, tenant: 0, submit: 90, finish: Some(99), deadline: None, map_count: 1, reduce_count: 0 },
+            ],
+            tasks: vec![],
+        };
+        let in_window = sched.completed_jobs_in(0, 0, 60);
+        assert_eq!(in_window.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(sched.completed_jobs_in(0, 0, 100).len(), 2);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let sched = Schedule {
+            horizon: 100,
+            capacity: [2, 1],
+            jobs: vec![],
+            tasks: vec![
+                TaskRecord {
+                    job: 1,
+                    tenant: 0,
+                    kind: TaskKind::Map,
+                    runnable_at: 0,
+                    duration: 50,
+                    attempts: vec![attempt(0, 50, AttemptOutcome::Completed)],
+                },
+                TaskRecord {
+                    job: 1,
+                    tenant: 1,
+                    kind: TaskKind::Map,
+                    runnable_at: 0,
+                    duration: 50,
+                    attempts: vec![
+                        attempt(0, 25, AttemptOutcome::Preempted),
+                        attempt(25, 75, AttemptOutcome::Completed),
+                    ],
+                },
+            ],
+        };
+        // Occupancy over [0,100): 50 + 25 + 50 = 125 of 200 available.
+        assert!((sched.utilization(TaskKind::Map, 0, 100) - 0.625).abs() < 1e-9);
+        // Useful: 50 + 50 = 100 → 0.5 — the preempted attempt is region I.
+        assert!((sched.effective_utilization(TaskKind::Map, 0, 100) - 0.5).abs() < 1e-9);
+        // Clipping: window [0,30) sees 30 + 25 + 5 = 60 of 60 → 1.0.
+        assert!((sched.utilization(TaskKind::Map, 0, 30) - 1.0).abs() < 1e-9);
+        // Per-tenant occupancy.
+        assert_eq!(sched.occupancy_in(TaskKind::Map, Some(1), 0, 100), 75);
+        // Preemption fraction: one of two map tasks.
+        assert!((sched.preemption_fraction(TaskKind::Map, None) - 0.5).abs() < 1e-9);
+        assert_eq!(sched.preemption_fraction(TaskKind::Reduce, None), 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Property-based invariants of the RM simulator.
+//!
+//! These check global guarantees the fair-scheduler engine must uphold for
+//! *any* workload and configuration: capacity is never exceeded, max limits
+//! are never violated, schedules are causal and deterministic, preemption
+//! never fires with timeouts disabled, and accounting identities hold.
+
+use proptest::prelude::*;
+use tempo_sim::{simulate, AttemptOutcome, ClusterSpec, NoiseModel, RmConfig, Schedule, SimOptions, TenantConfig};
+use tempo_workload::time::{Time, SEC};
+use tempo_workload::trace::{JobSpec, TaskKind, TaskSpec, Trace};
+
+/// A compact generator of arbitrary multi-tenant traces.
+fn arb_trace(max_tenants: u16) -> impl Strategy<Value = Trace> {
+    let task = (0u8..2, 1u64..120).prop_map(|(kind, secs)| TaskSpec {
+        kind: if kind == 0 { TaskKind::Map } else { TaskKind::Reduce },
+        duration: secs * SEC,
+    });
+    let job = (
+        0..max_tenants,
+        0u64..600,
+        prop::collection::vec(task, 1..12),
+        prop::option::of(600u64..4000),
+        0.0f64..=1.0,
+    )
+        .prop_map(|(tenant, submit_s, tasks, deadline_s, slowstart)| {
+            let submit = submit_s * SEC;
+            JobSpec {
+                id: 0, // assigned below
+                tenant,
+                submit,
+                deadline: deadline_s.map(|d| submit + d * SEC),
+                slowstart,
+                tasks,
+            }
+        });
+    prop::collection::vec(job, 1..25).prop_map(|mut jobs| {
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = i as u64;
+        }
+        let mut t = Trace::new(jobs);
+        t.sort_by_submit();
+        t
+    })
+}
+
+fn arb_config(tenants: usize, caps: [u32; 2]) -> impl Strategy<Value = RmConfig> {
+    let tenant = (
+        0.2f64..5.0,
+        0u32..6,
+        1u32..40,
+        prop::option::of(5u64..120),
+        prop::option::of(5u64..120),
+    )
+        .prop_map(move |(weight, min_s, max_s, fair_to, min_to)| {
+            let max = [max_s.max(min_s).min(caps[0].max(1)), max_s.max(min_s).min(caps[1].max(1))];
+            TenantConfig {
+                weight,
+                min_share: [min_s.min(max[0]), min_s.min(max[1])],
+                max_share: max,
+                fair_timeout: fair_to.map(|s| s * SEC),
+                min_timeout: min_to.map(|s| s * SEC),
+            }
+        });
+    prop::collection::vec(tenant, tenants..=tenants).prop_map(RmConfig::new)
+}
+
+/// Reconstructs per-pool concurrent occupancy from attempts and asserts the
+/// cluster capacity and per-tenant max limits were never exceeded.
+fn check_capacity_and_limits(sched: &Schedule, cluster: &ClusterSpec, config: &RmConfig) {
+    for kind in TaskKind::ALL {
+        // Sweep line over launch/end events.
+        let mut events: Vec<(Time, i64, usize)> = Vec::new();
+        for t in &sched.tasks {
+            if t.kind != kind {
+                continue;
+            }
+            for a in &t.attempts {
+                events.push((a.launch, 1, t.tenant as usize));
+                events.push((a.end, -1, t.tenant as usize));
+            }
+        }
+        // Ends sort before starts at the same instant (a slot freed at time t
+        // can be reused at time t).
+        events.sort_by_key(|&(t, delta, _)| (t, delta));
+        let mut total: i64 = 0;
+        let mut per_tenant = vec![0i64; config.num_tenants()];
+        for (_, delta, tenant) in events {
+            total += delta;
+            per_tenant[tenant] += delta;
+            assert!(
+                total <= cluster.capacity(kind) as i64,
+                "pool {kind} over capacity: {total} > {}",
+                cluster.capacity(kind)
+            );
+            assert!(
+                per_tenant[tenant] <= config.tenants[tenant].max_share[kind.index()] as i64,
+                "tenant {tenant} exceeded max share in pool {kind}"
+            );
+            assert!(total >= 0 && per_tenant[tenant] >= 0, "negative occupancy");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn capacity_and_max_limits_hold(
+        trace in arb_trace(3),
+        config in arb_config(3, [6, 4]),
+        noisy in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let cluster = ClusterSpec::new(6, 4);
+        let noise = if noisy { NoiseModel::production() } else { NoiseModel::NONE };
+        let sched = simulate(&trace, &cluster, &config, &SimOptions { horizon: None, noise, seed });
+        check_capacity_and_limits(&sched, &cluster, &config);
+    }
+
+    #[test]
+    fn schedules_are_causal_and_complete(
+        trace in arb_trace(2),
+        config in arb_config(2, [5, 3]),
+    ) {
+        let cluster = ClusterSpec::new(5, 3);
+        let sched = simulate(&trace, &cluster, &config, &SimOptions::default());
+        // Every job with at least one task eventually finishes (no horizon,
+        // no noise), and no attempt precedes its task's runnable time or its
+        // job's submission.
+        let mut submit_by_job = std::collections::HashMap::new();
+        for j in &trace.jobs {
+            submit_by_job.insert(j.id, j.submit);
+        }
+        for j in &sched.jobs {
+            prop_assert!(j.finish.is_some(), "job {} never finished", j.id);
+            prop_assert!(j.finish.unwrap() >= j.submit);
+        }
+        for t in &sched.tasks {
+            let submit = submit_by_job[&t.job];
+            prop_assert!(t.runnable_at >= submit);
+            let mut prev_end = 0;
+            for a in &t.attempts {
+                prop_assert!(a.launch >= t.runnable_at, "launch before runnable");
+                prop_assert!(a.launch >= prev_end, "overlapping attempts");
+                prop_assert!(a.work_start >= a.launch);
+                prop_assert!(a.end >= a.work_start);
+                prev_end = a.end;
+            }
+            // Exactly one completed attempt, and it is the last one.
+            let completed: Vec<_> =
+                t.attempts.iter().filter(|a| a.outcome == AttemptOutcome::Completed).collect();
+            prop_assert_eq!(completed.len(), 1);
+            prop_assert_eq!(
+                t.attempts.last().unwrap().outcome,
+                AttemptOutcome::Completed
+            );
+        }
+    }
+
+    #[test]
+    fn completed_attempts_run_exactly_their_duration_without_noise(
+        trace in arb_trace(2),
+        config in arb_config(2, [5, 3]),
+    ) {
+        let cluster = ClusterSpec::new(5, 3);
+        let sched = simulate(&trace, &cluster, &config, &SimOptions::default());
+        for t in &sched.tasks {
+            for a in &t.attempts {
+                if a.outcome == AttemptOutcome::Completed {
+                    prop_assert_eq!(a.end - a.work_start, t.duration);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_preemption_when_timeouts_disabled(
+        trace in arb_trace(3),
+    ) {
+        let cluster = ClusterSpec::new(4, 2);
+        let config = RmConfig::fair(3);
+        let sched = simulate(&trace, &cluster, &config, &SimOptions::default());
+        for t in &sched.tasks {
+            prop_assert!(!t.was_preempted());
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        trace in arb_trace(3),
+        config in arb_config(3, [6, 4]),
+        seed in 0u64..50,
+    ) {
+        let cluster = ClusterSpec::new(6, 4);
+        let opts = SimOptions { horizon: None, noise: NoiseModel::production(), seed };
+        let a = simulate(&trace, &cluster, &config, &opts);
+        let b = simulate(&trace, &cluster, &config, &opts);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn horizon_never_increases_completions(
+        trace in arb_trace(2),
+        config in arb_config(2, [5, 3]),
+        horizon_s in 10u64..2000,
+    ) {
+        let cluster = ClusterSpec::new(5, 3);
+        let full = simulate(&trace, &cluster, &config, &SimOptions::default());
+        let cut = simulate(
+            &trace,
+            &cluster,
+            &config,
+            &SimOptions::default().with_horizon(horizon_s * SEC),
+        );
+        let horizon = horizon_s * SEC;
+        for (f, c) in full.jobs.iter().zip(&cut.jobs) {
+            prop_assert_eq!(f.id, c.id);
+            match c.finish {
+                // A job finished in the truncated run must finish at the same
+                // instant in the full run (prefix property of event
+                // simulation).
+                Some(cf) => {
+                    prop_assert!(cf <= horizon);
+                    prop_assert_eq!(f.finish, Some(cf));
+                }
+                None => {
+                    // Unfinished in the cut run: the full run can only finish
+                    // it at or after... its finish may be before the horizon
+                    // only if the job completed exactly at the horizon edge.
+                    if let Some(ff) = f.finish {
+                        prop_assert!(ff >= horizon,
+                            "job finished strictly before the horizon in the full run but not in the cut run");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn work_conservation_single_tenant(
+        njobs in 1usize..10,
+        width in 1usize..8,
+        dur_s in 5u64..50,
+    ) {
+        // One tenant, no limits: total completion time ≈ total work spread
+        // over the pool, i.e. the pool is busy whenever work is pending.
+        let jobs: Vec<JobSpec> = (0..njobs)
+            .map(|i| JobSpec::new(i as u64, 0, 0, vec![TaskSpec::map(dur_s * SEC); width]))
+            .collect();
+        let trace = Trace::new(jobs);
+        let slots = 4u32;
+        let cluster = ClusterSpec::new(slots, 1);
+        let sched = simulate(&trace, &cluster, &RmConfig::fair(1), &SimOptions::default());
+        let total_work = (njobs * width) as u64 * dur_s * SEC;
+        let makespan = sched.jobs.iter().filter_map(|j| j.finish).max().unwrap();
+        // Perfect packing bound and the list-scheduling bound.
+        let lower = total_work / slots as u64;
+        prop_assert!(makespan >= lower);
+        prop_assert!(makespan <= lower + dur_s * SEC, "idle slots while work pending");
+    }
+}

@@ -1,0 +1,231 @@
+//! Scenario tests for the RM engine: hand-computed schedules for the
+//! trickier interactions (two-pool coupling, failure retries, preemption of
+//! barrier-waiting reduces, timeout interplay) that unit tests and property
+//! tests don't pin down exactly.
+
+use tempo_sim::{simulate, AttemptOutcome, ClusterSpec, NoiseModel, RmConfig, SimOptions, TenantConfig};
+use tempo_workload::time::{Time, MIN, SEC};
+use tempo_workload::trace::{JobSpec, TaskKind, TaskSpec, Trace};
+
+fn maps(n: usize, dur: Time) -> Vec<TaskSpec> {
+    vec![TaskSpec::map(dur); n]
+}
+
+/// Map-pool starvation must not trigger kills in the reduce pool: the two
+/// pools have independent starvation tracking.
+#[test]
+fn preemption_is_per_pool() {
+    let trace = Trace::new(vec![
+        // A fills both pools with long tasks.
+        JobSpec::new(0, 0, 0, {
+            let mut t = maps(4, 10 * MIN);
+            t.extend(vec![TaskSpec::reduce(10 * MIN); 4]);
+            t
+        }),
+        // B needs only map slots.
+        JobSpec::new(1, 1, 30 * SEC, maps(2, MIN)),
+    ]);
+    let config = RmConfig::new(vec![
+        TenantConfig::fair_default(),
+        TenantConfig::fair_default().with_min_share(2, 2).with_min_timeout(30 * SEC),
+    ]);
+    let sched = simulate(&trace, &ClusterSpec::new(4, 4), &config, &SimOptions::default());
+    // Kills happen in the map pool only: B has no reduce demand, so A's
+    // reduces are untouched.
+    let killed_reduces = sched
+        .tasks
+        .iter()
+        .filter(|t| t.kind == TaskKind::Reduce && t.was_preempted())
+        .count();
+    assert_eq!(killed_reduces, 0, "no reduce demand ⇒ no reduce kills");
+    let killed_maps = sched
+        .tasks
+        .iter()
+        .filter(|t| t.kind == TaskKind::Map && t.was_preempted())
+        .count();
+    assert_eq!(killed_maps, 2, "B reclaims exactly its min share of maps");
+}
+
+/// A reduce preempted while idling at the map barrier is re-queued and the
+/// stale finish bookkeeping never fires.
+#[test]
+fn preempting_a_barrier_waiting_reduce_is_safe() {
+    // Tenant 0: one job whose reduce launches early (slowstart 0) while a
+    // long map holds the barrier shut. Tenant 1 arrives and preempts the
+    // idle reduce via its min-share guarantee.
+    let trace = Trace::new(vec![
+        JobSpec::new(0, 0, 0, vec![TaskSpec::map(5 * MIN), TaskSpec::reduce(MIN)]).with_slowstart(0.0),
+        JobSpec::new(1, 1, 10 * SEC, vec![TaskSpec::reduce(30 * SEC)]),
+    ]);
+    let config = RmConfig::new(vec![
+        TenantConfig::fair_default(),
+        TenantConfig::fair_default().with_min_share(0, 1).with_min_timeout(20 * SEC),
+    ]);
+    let sched = simulate(&trace, &ClusterSpec::new(1, 1), &config, &SimOptions::default());
+    let reduce0 = sched
+        .tasks
+        .iter()
+        .find(|t| t.tenant == 0 && t.kind == TaskKind::Reduce)
+        .expect("tenant 0 reduce");
+    // First attempt: launched at t=0 (slowstart 0), idled, killed at 30s.
+    assert_eq!(reduce0.attempts[0].launch, 0);
+    assert_eq!(reduce0.attempts[0].outcome, AttemptOutcome::Preempted);
+    assert_eq!(reduce0.attempts[0].end, 30 * SEC);
+    assert_eq!(reduce0.attempts[0].useful_work(), 0, "it never started real work");
+    // Tenant 1's reduce runs 30s..60s; tenant 0's reduce relaunches at 60s,
+    // idles until the map barrier opens at 5min, then runs one minute.
+    assert_eq!(reduce0.finish(), Some(6 * MIN));
+    let reduce1 = sched
+        .tasks
+        .iter()
+        .find(|t| t.tenant == 1)
+        .expect("tenant 1 reduce");
+    assert_eq!(reduce1.attempts[0].launch, 30 * SEC);
+    assert_eq!(reduce1.finish(), Some(60 * SEC));
+}
+
+/// Failed attempts retry from the back of the queue and eventually finish;
+/// wasted time is accounted.
+#[test]
+fn failures_retry_and_account_waste() {
+    let trace = Trace::new(vec![JobSpec::new(0, 0, 0, maps(30, 20 * SEC))]);
+    let noise = NoiseModel { duration_sigma: 0.0, task_failure_prob: 0.3, job_kill_prob: 0.0 };
+    let sched = simulate(
+        &trace,
+        &ClusterSpec::new(3, 1),
+        &RmConfig::fair(1),
+        &SimOptions { horizon: None, noise, seed: 5 },
+    );
+    assert!(sched.jobs[0].finish.is_some(), "retries eventually complete the job");
+    let failed_attempts: usize = sched
+        .tasks
+        .iter()
+        .map(|t| t.attempts.iter().filter(|a| a.outcome == AttemptOutcome::Failed).count())
+        .sum();
+    assert!(failed_attempts > 0, "30% failure rate must produce failures");
+    let wasted: u64 = sched.tasks.iter().map(|t| t.wasted_time()).sum();
+    assert!(wasted > 0);
+    // Every failed attempt is strictly shorter than the (noise-free) task
+    // duration — failures abort mid-run.
+    for t in &sched.tasks {
+        for a in &t.attempts {
+            if a.outcome == AttemptOutcome::Failed {
+                assert!(a.occupancy() < t.duration, "failure at fraction < 1");
+            }
+        }
+    }
+}
+
+/// Killed jobs (DBA intervention) never run and never finish.
+#[test]
+fn job_kills_drop_whole_jobs() {
+    let jobs: Vec<JobSpec> =
+        (0..200).map(|i| JobSpec::new(i, 0, i * SEC, maps(2, 10 * SEC))).collect();
+    let trace = Trace::new(jobs);
+    let noise = NoiseModel { duration_sigma: 0.0, task_failure_prob: 0.0, job_kill_prob: 0.25 };
+    let sched = simulate(
+        &trace,
+        &ClusterSpec::new(8, 1),
+        &RmConfig::fair(1),
+        &SimOptions { horizon: None, noise, seed: 6 },
+    );
+    let unfinished = sched.jobs.iter().filter(|j| j.finish.is_none()).count();
+    assert!(
+        (20..=80).contains(&unfinished),
+        "≈25% of 200 jobs should be killed, got {unfinished}"
+    );
+    // Killed jobs' tasks never got an attempt.
+    for j in sched.jobs.iter().filter(|j| j.finish.is_none()) {
+        for t in sched.tasks.iter().filter(|t| t.job == j.id) {
+            assert!(t.attempts.is_empty(), "killed job {} ran a task", j.id);
+        }
+    }
+}
+
+/// Fair-level and min-level timeouts coexist: the min level fires first
+/// (shorter timeout) and reclaims only the minimum; the fair level follows
+/// and tops the tenant up to its fair share.
+#[test]
+fn two_level_timeouts_escalate() {
+    let trace = Trace::new(vec![
+        JobSpec::new(0, 0, 0, maps(10, 20 * MIN)),
+        JobSpec::new(1, 1, 10 * SEC, maps(10, 10 * MIN)),
+    ]);
+    let config = RmConfig::new(vec![
+        TenantConfig::fair_default(),
+        TenantConfig::fair_default()
+            .with_min_share(2, 0)
+            .with_min_timeout(30 * SEC)
+            .with_fair_timeout(3 * MIN),
+    ]);
+    let sched = simulate(&trace, &ClusterSpec::new(10, 1), &config, &SimOptions::default());
+    // Min-level kill at 10s + 30s = 40s: exactly 2 tasks die.
+    let kills_at = |t: Time| -> usize {
+        sched
+            .tasks
+            .iter()
+            .flat_map(|task| task.attempts.iter())
+            .filter(|a| a.outcome == AttemptOutcome::Preempted && a.end == t)
+            .count()
+    };
+    assert_eq!(kills_at(40 * SEC), 2, "min level reclaims the 2-slot guarantee");
+    // Fair-level kill at 10s + 3min: water-filling grants tenant 1 its
+    // 2-slot minimum *plus* half the remaining 8 slots, so its fair target
+    // is 6 — the check tops it up from 2 with 4 more kills.
+    assert_eq!(kills_at(10 * SEC + 3 * MIN), 4, "fair level tops up to the fair share");
+}
+
+/// Reduce-only jobs (no map stage) start work immediately.
+#[test]
+fn reduce_only_jobs_have_no_barrier() {
+    let trace = Trace::new(vec![JobSpec::new(0, 0, 0, vec![TaskSpec::reduce(MIN); 3])]);
+    let sched = simulate(&trace, &ClusterSpec::new(1, 3), &RmConfig::fair(1), &SimOptions::default());
+    assert_eq!(sched.jobs[0].finish, Some(MIN));
+    for t in &sched.tasks {
+        assert_eq!(t.attempts[0].work_start, t.attempts[0].launch, "no shuffle wait");
+    }
+}
+
+/// Weights below 1 still get service (no starvation of low-weight tenants
+/// by rounding).
+#[test]
+fn tiny_weights_still_progress() {
+    let trace = Trace::new(vec![
+        JobSpec::new(0, 0, 0, maps(50, 30 * SEC)),
+        JobSpec::new(1, 1, 0, maps(50, 30 * SEC)),
+    ]);
+    let config = RmConfig::new(vec![
+        TenantConfig::fair_default().with_weight(0.05),
+        TenantConfig::fair_default().with_weight(5.0),
+    ]);
+    let sched = simulate(&trace, &ClusterSpec::new(4, 1), &config, &SimOptions::default());
+    assert!(sched.jobs[0].finish.is_some(), "low-weight tenant finishes eventually");
+    assert!(sched.jobs[1].finish.is_some());
+    assert!(
+        sched.jobs[1].finish.unwrap() <= sched.jobs[0].finish.unwrap(),
+        "high-weight tenant finishes no later"
+    );
+}
+
+/// A preempted task that is the *most recent launch* of its own tenant is
+/// never selected as a victim for that same tenant's starvation (no
+/// self-preemption).
+#[test]
+fn no_self_preemption() {
+    let trace = Trace::new(vec![
+        JobSpec::new(0, 0, 0, maps(8, 10 * MIN)),
+        JobSpec::new(1, 1, 5 * SEC, maps(8, 10 * MIN)),
+    ]);
+    let config = RmConfig::new(vec![
+        TenantConfig::fair_default().with_min_share(4, 0).with_min_timeout(20 * SEC),
+        TenantConfig::fair_default().with_min_share(4, 0).with_min_timeout(20 * SEC),
+    ]);
+    let sched = simulate(&trace, &ClusterSpec::new(8, 1), &config, &SimOptions::default());
+    // Tenant 1 preempts tenant 0 down to its fair share; tenant 0 (still at
+    // its fair share) must not then kill tenant 1's fresh tasks in a storm.
+    let preempted_of = |tenant: u16| {
+        sched.tasks.iter().filter(|t| t.tenant == tenant && t.was_preempted()).count()
+    };
+    assert_eq!(preempted_of(0), 4, "half the pool changes hands once");
+    assert_eq!(preempted_of(1), 0, "no retaliatory kills");
+}

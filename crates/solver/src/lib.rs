@@ -1,0 +1,28 @@
+//! # tempo-solver
+//!
+//! Dense numerical kernels for Tempo's PALD optimizer, built from scratch
+//! because the Rust optimization/control ecosystem is thin (the reproduction
+//! calibration calls this out explicitly):
+//!
+//! * [`linalg`] — small dense matrices, Cholesky/ridge solves, weighted
+//!   least squares;
+//! * [`simplex`] — two-phase simplex LP, including PALD's max-min fairness
+//!   program for the weight vector `c` (§6.3.1);
+//! * [`loess`] — locally weighted linear regression for gradient estimation
+//!   from noisy QS evaluations (Cleveland & Devlin 1988, cited in §6.3.1);
+//! * [`mgda`] — Désidéri's multiple-gradient-descent min-norm point, used
+//!   when no SLO constraint is violated;
+//! * [`project`] — box / trust-region projections for the projected SGD
+//!   update (§4's risk-bounded proposals).
+
+pub mod linalg;
+pub mod loess;
+pub mod mgda;
+pub mod project;
+pub mod simplex;
+
+pub use linalg::{dot, norm, normalize, weighted_least_squares, Matrix};
+pub use loess::{loess_fit, loess_jacobian, LocalFit, Sample};
+pub use mgda::{common_descent_direction, min_norm_weights, MinNorm};
+pub use project::{project_ball, project_box, project_box_ball};
+pub use simplex::{max_min_weights, solve_lp, LpResult};

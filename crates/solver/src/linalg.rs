@@ -1,0 +1,339 @@
+//! Small dense linear algebra.
+//!
+//! PALD's subproblems are tiny (a handful of SLOs × a few dozen RM
+//! parameters), so a simple row-major dense matrix with Cholesky-based
+//! solves is the right tool — no external linear-algebra crate needed.
+
+use std::fmt;
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `A x` for a length-`cols` vector.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+    }
+
+    /// `Aᵀ x` for a length-`rows` vector.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += xi * a;
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `A Aᵀ` (rows × rows) — the pairwise gradient inner
+    /// products PALD's ρ* formula is built from.
+    pub fn gram(&self) -> Matrix {
+        let n = self.rows;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = dot(self.row(i), self.row(j));
+                g[(i, j)] = v;
+                g[(j, i)] = v;
+            }
+        }
+        g
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` by Cholesky,
+    /// adding a ridge `λI` escalation if the factorization fails (noisy
+    /// normal equations are routinely near-singular).
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve_spd needs a square matrix");
+        assert_eq!(b.len(), self.rows, "dimension mismatch");
+        let mut ridge = 0.0;
+        for _ in 0..8 {
+            if let Some(chol) = self.cholesky(ridge) {
+                return Some(chol.solve(b));
+            }
+            ridge = if ridge == 0.0 { 1e-10 } else { ridge * 100.0 };
+        }
+        None
+    }
+
+    /// Cholesky factor of `A + ridge·I`, if (numerically) positive definite.
+    fn cholesky(&self, ridge: f64) -> Option<Cholesky> {
+        let n = self.rows;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)] + if i == j { ridge } else { 0.0 };
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Some(Cholesky { n, l })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+struct Cholesky {
+    n: usize,
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        // Forward substitution L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[i * n + k] * yk;
+            }
+            y[i] = sum / self.l[i * n + i];
+        }
+        // Back substitution Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[k * n + i] * xk;
+            }
+            x[i] = sum / self.l[i * n + i];
+        }
+        x
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `a − b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// `a + s·b` (axpy).
+pub fn add_scaled(a: &[f64], s: f64, b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + s * y).collect()
+}
+
+/// In-place scale.
+pub fn scale(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// Normalizes to unit l2 norm; returns false (leaving `a` untouched) for a
+/// zero/non-finite vector.
+pub fn normalize(a: &mut [f64]) -> bool {
+    let n = norm(a);
+    if n > 0.0 && n.is_finite() {
+        scale(a, 1.0 / n);
+        true
+    } else {
+        false
+    }
+}
+
+/// Solves the weighted least-squares problem `min Σ w_i (y_i − xᵢᵀβ)²` via
+/// normal equations `(XᵀWX) β = XᵀWy` with Cholesky + ridge escalation.
+/// Rows of `x` are observations. Returns `None` if the system is too
+/// degenerate even with ridge.
+pub fn weighted_least_squares(x: &Matrix, y: &[f64], w: &[f64]) -> Option<Vec<f64>> {
+    let n = x.rows();
+    let d = x.cols();
+    assert_eq!(y.len(), n, "y dimension mismatch");
+    assert_eq!(w.len(), n, "w dimension mismatch");
+    let mut xtwx = Matrix::zeros(d, d);
+    let mut xtwy = vec![0.0; d];
+    for i in 0..n {
+        let wi = w[i];
+        if wi <= 0.0 {
+            continue;
+        }
+        let row = x.row(i);
+        for a in 0..d {
+            xtwy[a] += wi * row[a] * y[i];
+            for b in a..d {
+                xtwx[(a, b)] += wi * row[a] * row[b];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for a in 0..d {
+        for b in 0..a {
+            xtwx[(a, b)] = xtwx[(b, a)];
+        }
+    }
+    xtwx.solve_spd(&xtwy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.matvec_t(&[1.0, 1.0]), vec![4.0, 6.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 1.0]), vec![2.0, 3.0]);
+        assert_eq!(add_scaled(&[1.0, 1.0], 2.0, &[1.0, 2.0]), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn gram_is_pairwise_dots() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0]]);
+        let g = a.gram();
+        assert_eq!(g[(0, 0)], 1.0);
+        assert_eq!(g[(0, 1)], 1.0);
+        assert_eq!(g[(1, 1)], 2.0);
+        assert_eq!(g[(1, 0)], g[(0, 1)]);
+    }
+
+    #[test]
+    fn spd_solve_recovers_solution() {
+        // A = MᵀM + I is SPD.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let mut a = m.gram();
+        a[(0, 0)] += 1.0;
+        a[(1, 1)] += 1.0;
+        let x_true = vec![0.5, -1.5];
+        let b = a.matvec(&x_true);
+        let x = a.solve_spd(&b).unwrap();
+        assert!((x[0] - x_true[0]).abs() < 1e-9);
+        assert!((x[1] - x_true[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_solves_with_ridge() {
+        // Rank-1 matrix: plain Cholesky fails, ridge fallback succeeds.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let x = a.solve_spd(&[2.0, 2.0]);
+        assert!(x.is_some());
+        let x = x.unwrap();
+        // Ridge solution approximates the min-norm solution [1, 1].
+        assert!((x[0] - 1.0).abs() < 1e-3 && (x[1] - 1.0).abs() < 1e-3, "{x:?}");
+    }
+
+    #[test]
+    fn normalize_handles_zero() {
+        let mut v = vec![0.0, 0.0];
+        assert!(!normalize(&mut v));
+        let mut v = vec![3.0, 4.0];
+        assert!(normalize(&mut v));
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wls_recovers_linear_model() {
+        // y = 2 + 3x with exact data; design matrix has intercept column.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 5.0).collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x).collect();
+        let w = vec![1.0; xs.len()];
+        let beta = weighted_least_squares(&Matrix::from_rows(&rows), &y, &w).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wls_respects_weights() {
+        // Two inconsistent points; the heavier one dominates.
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let beta = weighted_least_squares(&x, &[0.0, 10.0], &[1.0, 99.0]).unwrap();
+        assert!((beta[0] - 9.9).abs() < 1e-9, "{beta:?}");
+    }
+}

@@ -1,0 +1,217 @@
+//! LOESS — locally weighted linear regression for gradient estimation.
+//!
+//! §6.3.1: "PALD uses the stochastic gradient descent for solving the proxy
+//! problem, and the gradients are estimated using the well-known LOESS
+//! [Cleveland & Devlin 1988]". Each QS metric is an expensive, noisy
+//! function of the RM configuration (every evaluation is a task-schedule
+//! simulation), so PALD keeps a history of `(x, f(x))` evaluations and fits
+//! a local linear model around the current configuration; the fitted slope
+//! is the gradient estimate.
+
+use crate::linalg::{norm, sub, weighted_least_squares, Matrix};
+
+/// The classic tricube kernel `(1 − u³)³` on `[0, 1)`.
+#[inline]
+pub fn tricube(u: f64) -> f64 {
+    if !(0.0..1.0).contains(&u) {
+        0.0
+    } else {
+        let t = 1.0 - u * u * u;
+        t * t * t
+    }
+}
+
+/// A single evaluation record: configuration vector and the observed value
+/// of one objective there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub x: Vec<f64>,
+    pub y: f64,
+}
+
+/// Local linear fit around `x0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalFit {
+    /// Estimated value at `x0` (the local intercept).
+    pub value: f64,
+    /// Estimated gradient at `x0`.
+    pub gradient: Vec<f64>,
+    /// Number of samples with non-zero weight.
+    pub support: usize,
+}
+
+/// Fits a local linear model `y ≈ value + gradientᵀ(x − x0)` from samples
+/// within `bandwidth` of `x0` (tricube-weighted by normalized distance).
+///
+/// Returns `None` when fewer than `dim + 1` samples carry weight — the
+/// minimum for the normal equations to be determined (the ridge fallback
+/// still guards against collinear designs above that threshold).
+pub fn loess_fit(samples: &[Sample], x0: &[f64], bandwidth: f64) -> Option<LocalFit> {
+    assert!(bandwidth > 0.0, "bandwidth must be positive");
+    let dim = x0.len();
+    let mut rows = Vec::new();
+    let mut ys = Vec::new();
+    let mut ws = Vec::new();
+    for s in samples {
+        assert_eq!(s.x.len(), dim, "sample dimension mismatch");
+        let d = norm(&sub(&s.x, x0));
+        let w = tricube(d / bandwidth);
+        if w <= 0.0 {
+            continue;
+        }
+        // Design row: [1, (x − x0)].
+        let mut row = Vec::with_capacity(dim + 1);
+        row.push(1.0);
+        row.extend(sub(&s.x, x0));
+        rows.push(row);
+        ys.push(s.y);
+        ws.push(w);
+    }
+    let support = rows.len();
+    if support < dim + 1 {
+        return None;
+    }
+    let beta = weighted_least_squares(&Matrix::from_rows(&rows), &ys, &ws)?;
+    Some(LocalFit { value: beta[0], gradient: beta[1..].to_vec(), support })
+}
+
+/// Jacobian estimation for `k` objectives sharing the same sample locations:
+/// `values[i][j]` is objective `j` observed at `xs[i]`. Returns the k×d
+/// Jacobian (rows are per-objective gradients) and the fitted values at
+/// `x0`, or `None` if any objective lacks support.
+pub fn loess_jacobian(
+    xs: &[Vec<f64>],
+    values: &[Vec<f64>],
+    x0: &[f64],
+    bandwidth: f64,
+) -> Option<(Matrix, Vec<f64>)> {
+    assert_eq!(xs.len(), values.len(), "xs/values length mismatch");
+    let k = values.first().map_or(0, Vec::len);
+    if k == 0 {
+        return None;
+    }
+    let mut grads = Vec::with_capacity(k);
+    let mut fitted = Vec::with_capacity(k);
+    for j in 0..k {
+        let samples: Vec<Sample> = xs
+            .iter()
+            .zip(values)
+            .map(|(x, v)| {
+                assert_eq!(v.len(), k, "ragged objective values");
+                Sample { x: x.clone(), y: v[j] }
+            })
+            .collect();
+        let fit = loess_fit(&samples, x0, bandwidth)?;
+        grads.push(fit.gradient);
+        fitted.push(fit.value);
+    }
+    Some((Matrix::from_rows(&grads), fitted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn tricube_shape() {
+        assert_eq!(tricube(0.0), 1.0);
+        assert_eq!(tricube(1.0), 0.0);
+        assert_eq!(tricube(2.0), 0.0);
+        assert_eq!(tricube(-0.1), 0.0);
+        assert!(tricube(0.3) > tricube(0.7));
+    }
+
+    fn grid_samples(f: impl Fn(&[f64]) -> f64) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for i in -3i32..=3 {
+            for j in -3i32..=3 {
+                let x = vec![0.5 + i as f64 * 0.05, 0.5 + j as f64 * 0.05];
+                let y = f(&x);
+                out.push(Sample { x, y });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exact_linear_recovery() {
+        let samples = grid_samples(|x| 1.0 + 2.0 * x[0] - 3.0 * x[1]);
+        let fit = loess_fit(&samples, &[0.5, 0.5], 0.5).unwrap();
+        assert!((fit.value - (1.0 + 1.0 - 1.5)).abs() < 1e-9);
+        assert!((fit.gradient[0] - 2.0).abs() < 1e-9);
+        assert!((fit.gradient[1] + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_gradient_at_center() {
+        // f = (x−0.5)² + (y−0.5)²: gradient at the center is ~0 even though
+        // the function is curved.
+        let samples = grid_samples(|x| (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2));
+        let fit = loess_fit(&samples, &[0.5, 0.5], 0.5).unwrap();
+        assert!(fit.gradient[0].abs() < 1e-6);
+        assert!(fit.gradient[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_gradient_estimation() {
+        // The whole point of LOESS in PALD: tolerable gradient estimates from
+        // noisy evaluations.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut samples = grid_samples(|x| 4.0 * x[0] - 2.0 * x[1]);
+        for s in &mut samples {
+            s.y += rng.gen_range(-0.05..0.05);
+        }
+        let fit = loess_fit(&samples, &[0.5, 0.5], 0.5).unwrap();
+        assert!((fit.gradient[0] - 4.0).abs() < 0.5, "g0 {}", fit.gradient[0]);
+        assert!((fit.gradient[1] + 2.0).abs() < 0.5, "g1 {}", fit.gradient[1]);
+    }
+
+    #[test]
+    fn locality_ignores_far_samples() {
+        // A far-away outlier must not influence the local fit.
+        let mut samples = grid_samples(|x| x[0]);
+        samples.push(Sample { x: vec![5.0, 5.0], y: -1000.0 });
+        let fit = loess_fit(&samples, &[0.5, 0.5], 0.5).unwrap();
+        assert!((fit.gradient[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_support_returns_none() {
+        let samples = vec![
+            Sample { x: vec![0.5, 0.5], y: 1.0 },
+            Sample { x: vec![0.51, 0.5], y: 1.1 },
+        ];
+        assert!(loess_fit(&samples, &[0.5, 0.5], 0.3).is_none());
+        // Samples outside the bandwidth do not count as support.
+        let far = vec![
+            Sample { x: vec![9.0, 9.0], y: 0.0 },
+            Sample { x: vec![9.1, 9.0], y: 0.0 },
+            Sample { x: vec![9.0, 9.1], y: 0.0 },
+            Sample { x: vec![9.1, 9.1], y: 0.0 },
+        ];
+        assert!(loess_fit(&far, &[0.0, 0.0], 0.5).is_none());
+    }
+
+    #[test]
+    fn jacobian_stacks_gradients() {
+        let xs: Vec<Vec<f64>> = grid_samples(|_| 0.0).into_iter().map(|s| s.x).collect();
+        let values: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![2.0 * x[0], -x[1] + 3.0])
+            .collect();
+        let (jac, fitted) = loess_jacobian(&xs, &values, &[0.5, 0.5], 0.5).unwrap();
+        assert_eq!(jac.rows(), 2);
+        assert!((jac[(0, 0)] - 2.0).abs() < 1e-9);
+        assert!(jac[(0, 1)].abs() < 1e-9);
+        assert!((jac[(1, 1)] + 1.0).abs() < 1e-9);
+        assert!((fitted[0] - 1.0).abs() < 1e-9);
+        assert!((fitted[1] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobian_none_on_empty() {
+        assert!(loess_jacobian(&[], &[], &[0.5], 0.5).is_none());
+    }
+}

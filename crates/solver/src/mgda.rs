@@ -1,0 +1,257 @@
+//! MGDA-style min-norm weighting (Désidéri 2012).
+//!
+//! When no SLO constraint is violated, PALD still descends *all* QS metrics
+//! simultaneously. The multiple-gradient descent algorithm picks the
+//! minimum-norm element of the convex hull of the objective gradients; the
+//! negated min-norm point is a common descent direction (it has non-negative
+//! inner product with every gradient), and its convex weights are the `c`
+//! vector satisfying condition (9) of the paper for convex QS functions.
+//!
+//! The min-norm problem `min ‖Jᵀλ‖² s.t. λ ∈ simplex` is solved with
+//! Frank–Wolfe iterations using the exact two-point line search — the
+//! standard approach for MGDA-style problems, and plenty accurate at k ≤ 8.
+
+use crate::linalg::Matrix;
+
+/// Result of the min-norm computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinNorm {
+    /// Convex-combination weights over the gradients (simplex point).
+    pub weights: Vec<f64>,
+    /// `‖Jᵀλ‖²` at the optimum; ~0 means the gradients' hull contains the
+    /// origin (a Pareto-stationary point — no common descent direction).
+    pub norm_sq: f64,
+}
+
+/// Computes the min-norm point of the convex hull of the rows of `jac`.
+///
+/// For `k ≤ 12` objectives the simplex-constrained QP is solved *exactly* by
+/// enumerating active sets (2^k − 1 supports; trivial at PALD's scale, and
+/// immune to Frank–Wolfe's zig-zag stalling on faces). Larger problems fall
+/// back to `max_iter` Frank–Wolfe steps. Panics on an empty Jacobian.
+pub fn min_norm_weights(jac: &Matrix, max_iter: usize) -> MinNorm {
+    let k = jac.rows();
+    assert!(k > 0, "min_norm_weights on empty Jacobian");
+    let g = jac.gram();
+    if k <= 12 {
+        if let Some(exact) = min_norm_exact(&g) {
+            return exact;
+        }
+    }
+    frank_wolfe(&g, max_iter)
+}
+
+/// Exact active-set enumeration: the optimum with support `S` satisfies
+/// `G_SS λ_S = μ·1`, `Σλ_S = 1`, `λ_S ≥ 0`, and `(Gλ)_i ≥ μ` off-support.
+fn min_norm_exact(g: &Matrix) -> Option<MinNorm> {
+    let k = g.rows();
+    let mut best: Option<MinNorm> = None;
+    for mask in 1u32..(1 << k) {
+        let support: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
+        let s = support.len();
+        // Solve G_SS y = 1, then λ_S = y / Σy (scales to the simplex).
+        let mut gss = Matrix::zeros(s, s);
+        for (a, &i) in support.iter().enumerate() {
+            for (b, &j) in support.iter().enumerate() {
+                gss[(a, b)] = g[(i, j)];
+            }
+        }
+        let Some(y) = gss.solve_spd(&vec![1.0; s]) else { continue };
+        let ysum: f64 = y.iter().sum();
+        if ysum.abs() < 1e-12 {
+            continue;
+        }
+        let mut lambda = vec![0.0; k];
+        let mut ok = true;
+        for (a, &i) in support.iter().enumerate() {
+            let li = y[a] / ysum;
+            if li < -1e-9 {
+                ok = false;
+                break;
+            }
+            lambda[i] = li.max(0.0);
+        }
+        if !ok {
+            continue;
+        }
+        let v = g.matvec(&lambda);
+        let mu: f64 = lambda.iter().zip(&v).map(|(l, vi)| l * vi).sum();
+        // Off-support optimality (KKT): every excluded gradient's inner
+        // product with the candidate point must be ≥ μ.
+        let optimal = (0..k).all(|i| lambda[i] > 0.0 || v[i] >= mu - 1e-9);
+        if !optimal {
+            continue;
+        }
+        let candidate = MinNorm { weights: lambda, norm_sq: mu.max(0.0) };
+        if best.as_ref().is_none_or(|b| candidate.norm_sq < b.norm_sq) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+fn frank_wolfe(g: &Matrix, max_iter: usize) -> MinNorm {
+    let k = g.rows();
+    // Start from the single best row (smallest self-norm).
+    let mut best0 = 0;
+    for i in 1..k {
+        if g[(i, i)] < g[(best0, best0)] {
+            best0 = i;
+        }
+    }
+    let mut lambda = vec![0.0; k];
+    lambda[best0] = 1.0;
+
+    // Frank–Wolfe: v = G λ; pick the coordinate with the smallest vᵢ (linear
+    // minimization over the simplex); exact step toward that vertex.
+    for _ in 0..max_iter {
+        let v = g.matvec(&lambda);
+        let mut t = 0;
+        for i in 1..k {
+            if v[i] < v[t] {
+                t = i;
+            }
+        }
+        // Current value λᵀGλ and the gap.
+        let lgl: f64 = lambda.iter().zip(&v).map(|(l, vi)| l * vi).sum();
+        let gap = lgl - v[t];
+        if gap <= 1e-12 {
+            break;
+        }
+        // Exact line search for min over γ of ‖(1−γ)a + γ b‖² where a = Jᵀλ,
+        // b = Jᵀe_t: γ* = (aᵀa − aᵀb) / (aᵀa − 2aᵀb + bᵀb).
+        let aa = lgl;
+        let ab = v[t];
+        let bb = g[(t, t)];
+        let denom = aa - 2.0 * ab + bb;
+        let gamma = if denom <= 1e-15 { 1.0 } else { ((aa - ab) / denom).clamp(0.0, 1.0) };
+        for (i, l) in lambda.iter_mut().enumerate() {
+            *l *= 1.0 - gamma;
+            if i == t {
+                *l += gamma;
+            }
+        }
+    }
+    let v = g.matvec(&lambda);
+    let norm_sq = lambda.iter().zip(&v).map(|(l, vi)| l * vi).sum::<f64>().max(0.0);
+    MinNorm { weights: lambda, norm_sq }
+}
+
+/// The common descent direction `−Jᵀλ` for the min-norm weights (zero vector
+/// at Pareto-stationarity).
+pub fn common_descent_direction(jac: &Matrix, mn: &MinNorm) -> Vec<f64> {
+    let mut d = jac.matvec_t(&mn.weights);
+    for x in &mut d {
+        *x = -*x;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::dot;
+
+    fn mat(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn single_gradient_gets_weight_one() {
+        let j = mat(&[&[3.0, 4.0]]);
+        let mn = min_norm_weights(&j, 100);
+        assert_eq!(mn.weights, vec![1.0]);
+        assert!((mn.norm_sq - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orthogonal_gradients_balance_by_inverse_norms() {
+        // g1=(1,0), g2=(0,2): min-norm point of segment is closer to g1;
+        // analytic λ = (4/5, 1/5).
+        let j = mat(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let mn = min_norm_weights(&j, 500);
+        assert!((mn.weights[0] - 0.8).abs() < 1e-3, "{:?}", mn.weights);
+        assert!((mn.weights[1] - 0.2).abs() < 1e-3);
+        // ‖(0.8, 0.4)‖² = 0.8.
+        assert!((mn.norm_sq - 0.8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn opposing_gradients_reach_zero() {
+        // Hull of (1,0) and (−1,0) contains the origin: Pareto-stationary.
+        let j = mat(&[&[1.0, 0.0], &[-1.0, 0.0]]);
+        let mn = min_norm_weights(&j, 500);
+        assert!(mn.norm_sq < 1e-9, "norm_sq {}", mn.norm_sq);
+        assert!((mn.weights[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn descent_direction_descends_every_objective() {
+        let j = mat(&[&[1.0, 0.2, -0.3], &[0.1, 1.0, 0.4], &[-0.2, 0.3, 1.0]]);
+        let mn = min_norm_weights(&j, 500);
+        let d = common_descent_direction(&j, &mn);
+        if mn.norm_sq > 1e-9 {
+            for i in 0..3 {
+                let slope = dot(j.row(i), &d);
+                assert!(slope <= 1e-7, "objective {i} would increase: slope {slope}");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_stay_on_simplex() {
+        let j = mat(&[&[2.0, -1.0], &[-0.5, 1.5], &[1.0, 1.0]]);
+        let mn = min_norm_weights(&j, 500);
+        let sum: f64 = mn.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(mn.weights.iter().all(|&w| w >= -1e-12));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn min_norm_never_exceeds_any_vertex(
+                k in 1usize..5,
+                d in 1usize..4,
+                vals in prop::collection::vec(-3.0f64..3.0, 32),
+            ) {
+                let rows: Vec<Vec<f64>> = (0..k)
+                    .map(|i| (0..d).map(|j| vals[(i * d + j) % vals.len()]).collect())
+                    .collect();
+                let j = Matrix::from_rows(&rows);
+                let mn = min_norm_weights(&j, 300);
+                // The min-norm point is no longer than any single gradient.
+                for i in 0..k {
+                    let gi_sq = dot(j.row(i), j.row(i));
+                    prop_assert!(mn.norm_sq <= gi_sq + 1e-7);
+                }
+                let sum: f64 = mn.weights.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6);
+            }
+
+            #[test]
+            fn descent_direction_has_nonpositive_slopes(
+                k in 2usize..5,
+                vals in prop::collection::vec(-2.0f64..2.0, 24),
+            ) {
+                let rows: Vec<Vec<f64>> = (0..k)
+                    .map(|i| (0..3).map(|j| vals[(i * 3 + j) % vals.len()]).collect())
+                    .collect();
+                let j = Matrix::from_rows(&rows);
+                let mn = min_norm_weights(&j, 500);
+                if mn.norm_sq > 1e-6 {
+                    let dir = common_descent_direction(&j, &mn);
+                    for i in 0..k {
+                        // FW tolerance: allow a sliver of positivity.
+                        prop_assert!(dot(j.row(i), &dir) <= 1e-4);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Feasible-region projections for PALD's projected SGD step.
+//!
+//! The RM configuration vector lives in the unit box (normalized encoding),
+//! and §4 additionally restricts each proposal to "a given maximum distance
+//! to the currently used RM configuration" under the normalized l2 norm —
+//! the DBA's risk-tolerance trust region. Both projections are exact.
+
+use crate::linalg::{norm, sub};
+
+/// Projects `x` onto the box `[lo, hi]^d` in place.
+pub fn project_box(x: &mut [f64], lo: f64, hi: f64) {
+    assert!(lo <= hi, "empty box");
+    for v in x {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+/// Projects `x` onto the l2 ball of `radius` around `center`, in place.
+pub fn project_ball(x: &mut [f64], center: &[f64], radius: f64) {
+    assert_eq!(x.len(), center.len(), "dimension mismatch");
+    assert!(radius >= 0.0, "negative radius");
+    let d = norm(&sub(x, center));
+    if d <= radius || d == 0.0 {
+        return;
+    }
+    let scale = radius / d;
+    for (xi, ci) in x.iter_mut().zip(center) {
+        *xi = ci + (*xi - ci) * scale;
+    }
+}
+
+/// Projects onto `box ∩ ball` by alternating projections (Dykstra-lite).
+///
+/// Both sets are convex with non-empty intersection whenever `center` lies
+/// in the box, so a few alternations converge; 16 rounds is far beyond what
+/// the unit box needs at PALD's tolerances.
+pub fn project_box_ball(x: &mut [f64], lo: f64, hi: f64, center: &[f64], radius: f64) {
+    for _ in 0..16 {
+        project_box(x, lo, hi);
+        let inside_ball = norm(&sub(x, center)) <= radius + 1e-12;
+        if inside_ball {
+            return;
+        }
+        project_ball(x, center, radius);
+        let inside_box = x.iter().all(|&v| (lo - 1e-12..=hi + 1e-12).contains(&v));
+        if inside_box {
+            project_box(x, lo, hi); // snap the 1e-12 tolerance
+            return;
+        }
+    }
+    // Fall back to something feasible-ish: clamp into the box.
+    project_box(x, lo, hi);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::norm;
+
+    #[test]
+    fn box_projection_clamps() {
+        let mut x = vec![-0.5, 0.5, 1.5];
+        project_box(&mut x, 0.0, 1.0);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn ball_projection_scales_to_surface() {
+        let mut x = vec![3.0, 4.0];
+        project_ball(&mut x, &[0.0, 0.0], 1.0);
+        assert!((norm(&x) - 1.0).abs() < 1e-12);
+        assert!((x[0] - 0.6).abs() < 1e-12 && (x[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ball_projection_keeps_interior_points() {
+        let mut x = vec![0.1, 0.1];
+        let before = x.clone();
+        project_ball(&mut x, &[0.0, 0.0], 1.0);
+        assert_eq!(x, before);
+    }
+
+    #[test]
+    fn box_ball_intersection() {
+        // Center in a corner: the feasible set is the quarter-ball.
+        let center = vec![0.0, 0.0];
+        let mut x = vec![2.0, 2.0];
+        project_box_ball(&mut x, 0.0, 1.0, &center, 0.5);
+        assert!(norm(&x) <= 0.5 + 1e-9);
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Direction preserved (diagonal).
+        assert!((x[0] - x[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_ball_degenerate_radius() {
+        let center = vec![0.5, 0.5];
+        let mut x = vec![0.9, 0.1];
+        project_box_ball(&mut x, 0.0, 1.0, &center, 0.0);
+        assert!((x[0] - 0.5).abs() < 1e-9 && (x[1] - 0.5).abs() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::linalg::sub;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn box_ball_result_is_feasible(
+                x in prop::collection::vec(-3.0f64..3.0, 1..6),
+                c_raw in prop::collection::vec(0.0f64..1.0, 6),
+                radius in 0.01f64..2.0,
+            ) {
+                let d = x.len();
+                let center: Vec<f64> = c_raw[..d].to_vec();
+                let mut p = x.clone();
+                project_box_ball(&mut p, 0.0, 1.0, &center, radius);
+                prop_assert!(p.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+                prop_assert!(norm(&sub(&p, &center)) <= radius + 1e-6);
+            }
+
+            #[test]
+            fn projection_is_idempotent(
+                x in prop::collection::vec(-3.0f64..3.0, 1..6),
+                c_raw in prop::collection::vec(0.0f64..1.0, 6),
+                radius in 0.01f64..2.0,
+            ) {
+                let d = x.len();
+                let center: Vec<f64> = c_raw[..d].to_vec();
+                let mut once = x.clone();
+                project_box_ball(&mut once, 0.0, 1.0, &center, radius);
+                let mut twice = once.clone();
+                project_box_ball(&mut twice, 0.0, 1.0, &center, radius);
+                for (a, b) in once.iter().zip(&twice) {
+                    prop_assert!((a - b).abs() < 1e-7);
+                }
+            }
+        }
+    }
+}

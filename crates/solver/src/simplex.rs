@@ -1,0 +1,452 @@
+//! Two-phase dense simplex solver for small linear programs.
+//!
+//! PALD's max-min fairness subproblem (§6.3.1) is the LP
+//!
+//! ```text
+//!     maximize  z
+//!     subject to (J_V Jᵀ) c ≥ z·1,   c ≥ 0,   z ≤ ε
+//! ```
+//!
+//! whose dimensions are tiny (k SLOs), so a textbook dense tableau simplex
+//! with Bland's anti-cycling rule is entirely adequate. The general entry
+//! point solves `max cᵀx s.t. Ax ≤ b, x ≥ 0` with arbitrary-sign `b`
+//! (phase 1 drives artificial variables out when `b` has negative entries).
+
+use crate::linalg::Matrix;
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal solution and objective value.
+    Optimal { x: Vec<f64>, objective: f64 },
+    Infeasible,
+    Unbounded,
+}
+
+impl LpResult {
+    /// The solution vector, if optimal.
+    pub fn solution(&self) -> Option<&[f64]> {
+        match self {
+            LpResult::Optimal { x, .. } => Some(x),
+            _ => None,
+        }
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `max cᵀx  s.t.  A x ≤ b,  x ≥ 0`.
+///
+/// `a` is m×n; `b` length m; `c` length n. Handles negative `b` entries via
+/// a phase-1 feasibility search with artificial variables.
+pub fn solve_lp(a: &Matrix, b: &[f64], c: &[f64]) -> LpResult {
+    let m = a.rows();
+    let n = a.cols();
+    assert_eq!(b.len(), m, "b dimension mismatch");
+    assert_eq!(c.len(), n, "c dimension mismatch");
+
+    // Tableau layout: columns [x (n) | slacks (m) | artificials (≤m) | rhs].
+    // Rows with negative b are negated so rhs ≥ 0, turning their slack
+    // coefficient to −1 and requiring an artificial basis column.
+    let mut need_artificial = vec![false; m];
+    let mut n_art = 0;
+    for i in 0..m {
+        if b[i] < 0.0 {
+            need_artificial[i] = true;
+            n_art += 1;
+        }
+    }
+    let width = n + m + n_art + 1;
+    let mut t = vec![vec![0.0; width]; m];
+    let mut basis = vec![0usize; m];
+    let mut art_col = n + m;
+    for i in 0..m {
+        let flip = if need_artificial[i] { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t[i][j] = flip * a[(i, j)];
+        }
+        t[i][n + i] = flip; // slack
+        t[i][width - 1] = flip * b[i];
+        if need_artificial[i] {
+            t[i][art_col] = 1.0;
+            basis[i] = art_col;
+            art_col += 1;
+        } else {
+            basis[i] = n + i;
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials (as max of −Σ artificials).
+    if n_art > 0 {
+        let mut obj = vec![0.0; width];
+        for o in obj.iter_mut().take(n + m + n_art).skip(n + m) {
+            *o = -1.0;
+        }
+        // Express the objective in terms of non-basic variables.
+        reduce_objective(&mut obj, &t, &basis);
+        if !pivot_loop(&mut t, &mut basis, &mut obj) {
+            return LpResult::Unbounded; // cannot happen for phase 1, defensive
+        }
+        // After reduction, obj[rhs] tracks −(objective value); the phase-1
+        // objective is −Σ artificials, so obj[rhs] = Σ artificials.
+        let infeas = obj[width - 1];
+        if infeas > 1e-7 {
+            return LpResult::Infeasible;
+        }
+        // Drive any artificial still in the basis out (degenerate case).
+        for i in 0..m {
+            if basis[i] >= n + m {
+                if let Some(j) = (0..n + m).find(|&j| t[i][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, i, j, &mut obj);
+                }
+            }
+        }
+    }
+
+    // Phase 2: the real objective (zeroing artificial columns so they never
+    // re-enter).
+    let mut obj = vec![0.0; width];
+    for (j, &cj) in c.iter().enumerate() {
+        obj[j] = cj;
+    }
+    reduce_objective(&mut obj, &t, &basis);
+    // Forbid artificials from re-entering.
+    for o in obj.iter_mut().take(n + m + n_art).skip(n + m) {
+        *o = f64::NEG_INFINITY;
+    }
+    if !pivot_loop(&mut t, &mut basis, &mut obj) {
+        return LpResult::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][width - 1];
+        }
+    }
+    let objective = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    LpResult::Optimal { x, objective }
+}
+
+/// Rewrites the objective row in terms of non-basic variables.
+fn reduce_objective(obj: &mut [f64], t: &[Vec<f64>], basis: &[usize]) {
+    let width = obj.len();
+    for (i, &bi) in basis.iter().enumerate() {
+        let coef = obj[bi];
+        if coef.abs() > EPS {
+            for (o, tv) in obj.iter_mut().zip(&t[i]).take(width) {
+                *o -= coef * tv;
+            }
+        }
+    }
+}
+
+/// Runs simplex pivots to optimality. Returns false on unboundedness.
+fn pivot_loop(t: &mut [Vec<f64>], basis: &mut [usize], obj: &mut [f64]) -> bool {
+    let width = obj.len();
+    let ncols = width - 1;
+    for _ in 0..10_000 {
+        // Entering column: most positive reduced cost; Bland's rule kicks in
+        // near degeneracy (smallest index among positives) to prevent cycles.
+        let mut enter = None;
+        let mut best = EPS;
+        for (j, &oj) in obj.iter().enumerate().take(ncols) {
+            if oj.is_finite() && oj > best {
+                best = oj;
+                enter = Some(j);
+            }
+        }
+        let Some(enter) = enter else { return true };
+        // Leaving row: minimum ratio test.
+        let mut leave = None;
+        let mut best_ratio = f64::INFINITY;
+        for (i, row) in t.iter().enumerate() {
+            if row[enter] > EPS {
+                let ratio = row[width - 1] / row[enter];
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l: usize| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else { return false };
+        pivot(t, basis, leave, enter, obj);
+    }
+    // Iteration cap exceeded: treat as numerically stuck but optimal-ish.
+    true
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, obj: &mut [f64]) {
+    let width = obj.len();
+    let p = t[row][col];
+    for v in t[row].iter_mut().take(width) {
+        *v /= p;
+    }
+    let pivot_row = t[row].clone();
+    for (i, ti) in t.iter_mut().enumerate() {
+        if i != row && ti[col].abs() > EPS {
+            let f = ti[col];
+            for (v, pv) in ti.iter_mut().zip(&pivot_row).take(width) {
+                *v -= f * pv;
+            }
+        }
+    }
+    if obj[col].is_finite() && obj[col].abs() > EPS {
+        let f = obj[col];
+        for j in 0..width {
+            if obj[j].is_finite() {
+                obj[j] -= f * t[row][j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+/// Solves PALD's max-min direction program (§6.3.1):
+///
+/// ```text
+///     maximize  z    s.t.   G c ≥ z·1,   c ≥ 0,   z ≤ ε
+/// ```
+///
+/// where `G = J_V Jᵀ` has one row per *violated* constraint and one column
+/// per objective (an m×k matrix; square when everything is violated).
+/// Returned `c` (length = `g.cols()`) is normalized to unit l2 norm. `None`
+/// if the LP is infeasible or the optimal `c` is zero (no useful common
+/// descent weighting exists).
+pub fn max_min_weights(g: &Matrix, epsilon: f64) -> Option<Vec<f64>> {
+    let m = g.rows();
+    let k = g.cols();
+    if k == 0 || m == 0 {
+        return None;
+    }
+    // Variables: [c_1..c_k, z⁺, z⁻] with z = z⁺ − z⁻ (z may be negative when
+    // the constraints conflict — that is exactly the max-min compromise).
+    // Constraints: −G c + z⁺ − z⁻ ≤ 0 (row-wise), z⁺ − z⁻ ≤ ε,
+    // and Σc ≤ 1 to bound the scale (c is normalized afterwards).
+    let n = k + 2;
+    let mut rows = Vec::with_capacity(m + 2);
+    for i in 0..m {
+        let mut row = vec![0.0; n];
+        for j in 0..k {
+            row[j] = -g[(i, j)];
+        }
+        row[k] = 1.0;
+        row[k + 1] = -1.0;
+        rows.push(row);
+    }
+    let mut b = vec![0.0; m];
+    // The paper's `z ≤ ε` cap keeps the LP bounded; with the Σc ≤ 1 scale
+    // bound below it is already bounded, so an infinite ε simply omits the
+    // row. A *binding* finite cap would make every feasible c tie at z = ε
+    // and let the solver return degenerate weights — callers that want the
+    // genuine max-min weighting should pass ε = ∞.
+    if epsilon.is_finite() {
+        let mut zcap = vec![0.0; n];
+        zcap[k] = 1.0;
+        zcap[k + 1] = -1.0;
+        rows.push(zcap);
+        b.push(epsilon);
+    }
+    let mut csum = vec![0.0; n];
+    for cj in csum.iter_mut().take(k) {
+        *cj = 1.0;
+    }
+    rows.push(csum);
+    let a = Matrix::from_rows(&rows);
+    b.push(1.0);
+    let mut obj = vec![0.0; n];
+    obj[k] = 1.0;
+    obj[k + 1] = -1.0;
+    // Tiny bonus on Σc breaks degenerate ties (e.g. perfectly conflicting
+    // gradients where z* = 0) toward a non-zero, balanced c instead of c = 0.
+    for cj in obj.iter_mut().take(k) {
+        *cj = 1e-6;
+    }
+    match solve_lp(&a, &b, &obj) {
+        LpResult::Optimal { x, .. } => {
+            let mut c: Vec<f64> = x[..k].to_vec();
+            if crate::linalg::normalize(&mut c) {
+                Some(c)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn textbook_lp() {
+        // max 3x + 2y  s.t. x + y ≤ 4, x + 3y ≤ 6 → x=4, y=0, obj=12.
+        let a = mat(&[&[1.0, 1.0], &[1.0, 3.0]]);
+        let r = solve_lp(&a, &[4.0, 6.0], &[3.0, 2.0]);
+        match r {
+            LpResult::Optimal { x, objective } => {
+                assert!((objective - 12.0).abs() < 1e-7);
+                assert!((x[0] - 4.0).abs() < 1e-7);
+                assert!(x[1].abs() < 1e-7);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_with_interior_optimum() {
+        // max x + y  s.t. x ≤ 2, y ≤ 3 → 5 at (2,3).
+        let a = mat(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let r = solve_lp(&a, &[2.0, 3.0], &[1.0, 1.0]);
+        match r {
+            LpResult::Optimal { x, objective } => {
+                assert!((objective - 5.0).abs() < 1e-7);
+                assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 3.0).abs() < 1e-7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with only y constrained.
+        let a = mat(&[&[0.0, 1.0]]);
+        assert_eq!(solve_lp(&a, &[1.0], &[1.0, 0.0]), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ −1 with x ≥ 0.
+        let a = mat(&[&[1.0]]);
+        assert_eq!(solve_lp(&a, &[-1.0], &[1.0]), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_feasible() {
+        // x ≥ 2 (as −x ≤ −2), x ≤ 5, max −x → x=2.
+        let a = mat(&[&[-1.0], &[1.0]]);
+        let r = solve_lp(&a, &[-2.0, 5.0], &[-1.0]);
+        match r {
+            LpResult::Optimal { x, objective } => {
+                assert!((x[0] - 2.0).abs() < 1e-7);
+                assert!((objective + 2.0).abs() < 1e-7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_via_pair_of_inequalities() {
+        // x + y = 3 and max 2x + y → x=3, y=0.
+        let a = mat(&[&[1.0, 1.0], &[-1.0, -1.0]]);
+        let r = solve_lp(&a, &[3.0, -3.0], &[2.0, 1.0]);
+        match r {
+            LpResult::Optimal { x, objective } => {
+                assert!((objective - 6.0).abs() < 1e-6);
+                assert!((x[0] - 3.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_min_on_identity_gram_is_uniform() {
+        // Orthonormal gradients: the most violated constraint is improved
+        // fastest by equal weights.
+        let g = Matrix::identity(3);
+        let c = max_min_weights(&g, 1.0).unwrap();
+        for i in 0..3 {
+            assert!((c[i] - 1.0 / (3f64).sqrt()).abs() < 1e-6, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn max_min_handles_conflicting_gradients() {
+        // Two anti-parallel gradients: G = [[1,-1],[-1,1]]. No direction
+        // improves both; the LP still returns a balanced compromise with
+        // z ≤ 0 rather than failing.
+        let g = mat(&[&[1.0, -1.0], &[-1.0, 1.0]]);
+        let c = max_min_weights(&g, 1.0).unwrap();
+        assert!((c[0] - c[1]).abs() < 1e-6, "symmetric weights expected: {c:?}");
+    }
+
+    #[test]
+    fn max_min_prefers_violated_row_balance() {
+        // One "easy" gradient (large norm) and one hard: weights shift toward
+        // the hard one so the *min* improvement is maximized.
+        let g = mat(&[&[4.0, 0.0], &[0.0, 1.0]]);
+        let c = max_min_weights(&g, 10.0).unwrap();
+        assert!(c[1] > c[0], "harder constraint gets more weight: {c:?}");
+        // Check Gc is (near) equalized.
+        let gc0 = 4.0 * c[0];
+        let gc1 = 1.0 * c[1];
+        assert!((gc0 - gc1).abs() / gc0.max(gc1) < 0.05, "{gc0} vs {gc1}");
+    }
+
+    #[test]
+    fn empty_gram_yields_none() {
+        assert_eq!(max_min_weights(&Matrix::zeros(0, 0), 1.0), None);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn optimal_solutions_are_feasible(
+                m in 1usize..5,
+                n in 1usize..5,
+                seed_vals in prop::collection::vec(-3.0f64..3.0, 64),
+                b_vals in prop::collection::vec(0.1f64..5.0, 8),
+                c_vals in prop::collection::vec(-2.0f64..2.0, 8),
+            ) {
+                let mut rows = Vec::new();
+                for i in 0..m {
+                    rows.push((0..n).map(|j| seed_vals[(i * n + j) % seed_vals.len()]).collect::<Vec<_>>());
+                }
+                let a = Matrix::from_rows(&rows);
+                let b: Vec<f64> = (0..m).map(|i| b_vals[i % b_vals.len()]).collect();
+                let c: Vec<f64> = (0..n).map(|j| c_vals[j % c_vals.len()]).collect();
+                if let LpResult::Optimal { x, .. } = solve_lp(&a, &b, &c) {
+                    // Feasibility: Ax ≤ b + tol, x ≥ −tol.
+                    let ax = a.matvec(&x);
+                    for i in 0..m {
+                        prop_assert!(ax[i] <= b[i] + 1e-6, "row {i}: {} > {}", ax[i], b[i]);
+                    }
+                    for xi in &x {
+                        prop_assert!(*xi >= -1e-9);
+                    }
+                }
+            }
+
+            #[test]
+            fn max_min_weights_are_unit_nonneg(
+                k in 1usize..5,
+                vals in prop::collection::vec(-2.0f64..2.0, 32),
+            ) {
+                // Build a PSD Gram matrix from random gradient rows.
+                let rows: Vec<Vec<f64>> = (0..k)
+                    .map(|i| (0..3).map(|j| vals[(i * 3 + j) % vals.len()]).collect())
+                    .collect();
+                let j = Matrix::from_rows(&rows);
+                let g = j.gram();
+                if let Some(c) = max_min_weights(&g, 1.0) {
+                    prop_assert!((crate::linalg::norm(&c) - 1.0).abs() < 1e-6);
+                    for ci in &c {
+                        prop_assert!(*ci >= -1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

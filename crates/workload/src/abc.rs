@@ -1,0 +1,254 @@
+//! Company ABC tenant archetypes (Table 1 of the paper).
+//!
+//! Company ABC runs a multi-tenant database on a 700-node Hadoop cluster with
+//! six tenants whose characteristics the paper tabulates:
+//!
+//! | Tenant | Characteristics |
+//! |---|---|
+//! | BI  | I/O-intensive SQL queries |
+//! | DEV | Mixture of different types of jobs |
+//! | APP | Small, lightweight jobs |
+//! | STR | Hadoop streaming jobs |
+//! | MV  | Long-running, CPU-intensive |
+//! | ETL | I/O-intensive, periodic but bursty |
+//!
+//! ETL and MV carry deadlines (missing them has multi-day business impact,
+//! §2.1); APP is a high-priority production app where ~30% of jobs missed
+//! deadlines; BI, DEV, STR are best-effort. The parameters below are chosen
+//! to reproduce the qualitative trace features the paper reports: lognormal
+//! durations with very long MV reduces (2–6 h completion variance, §2.2),
+//! bursty hourly ETL whose input shrinks on weekends (§2.4), diurnal BI, and
+//! Figure 5/8-style duration and width CDFs.
+
+use crate::model::{ArrivalProcess, CountDist, DeadlinePolicy, JobShape, TenantModel, WorkloadModel};
+use crate::stats::{LogNormal, WeeklyProfile};
+use crate::time::{Time, HOUR, MIN, WEEK};
+use crate::trace::{TenantId, Trace};
+
+/// Dense tenant ids of the six ABC tenants, in Table 1 order.
+pub mod tenant {
+    use super::TenantId;
+    pub const BI: TenantId = 0;
+    pub const DEV: TenantId = 1;
+    pub const APP: TenantId = 2;
+    pub const STR: TenantId = 3;
+    pub const MV: TenantId = 4;
+    pub const ETL: TenantId = 5;
+}
+
+/// Table-1 order tenant names.
+pub const TENANT_NAMES: [&str; 6] = ["BI", "DEV", "APP", "STR", "MV", "ETL"];
+
+/// One-line characteristics, straight from Table 1 (used by the Table 1
+/// reproduction report).
+pub const TENANT_CHARACTERISTICS: [&str; 6] = [
+    "I/O-intensive SQL queries",
+    "Mixture of different types of jobs",
+    "Small, lightweight jobs",
+    "Hadoop streaming jobs",
+    "Long-running, CPU-intensive",
+    "I/O-intensive, periodic but bursty",
+];
+
+/// Whether each tenant is deadline-driven (`true`) or best-effort (§2.1).
+pub const TENANT_DEADLINE_DRIVEN: [bool; 6] = [false, false, true, false, true, true];
+
+/// Builds the six-tenant ABC workload model at a load `scale` (1.0 ≈ a
+/// 600-container cluster's worth of work; scale down for unit tests).
+pub fn abc_model(scale: f64) -> WorkloadModel {
+    assert!(scale > 0.0, "scale must be positive");
+    let s = scale;
+    let bi = TenantModel {
+        name: "BI".into(),
+        // Analysts work business hours; queries scan large tables (many maps).
+        arrival: ArrivalProcess::Poisson { rate_per_hour: 40.0 * s, profile: WeeklyProfile::business_hours() },
+        shape: JobShape {
+            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(40.0, 0.9), min: 1, max: 2000 },
+            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(4.0, 0.7), min: 0, max: 100 },
+            map_secs: LogNormal::from_median(45.0, 0.8),
+            reduce_secs: LogNormal::from_median(90.0, 0.8),
+        },
+        deadline: DeadlinePolicy::None,
+        slowstart: 1.0,
+    };
+    let dev = TenantModel {
+        name: "DEV".into(),
+        // Development runs: broad mixture, high variance in everything.
+        arrival: ArrivalProcess::Poisson { rate_per_hour: 30.0 * s, profile: WeeklyProfile::business_hours() },
+        shape: JobShape {
+            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(20.0, 1.3), min: 1, max: 3000 },
+            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(2.0, 1.1), min: 0, max: 300 },
+            map_secs: LogNormal::from_median(35.0, 1.2),
+            reduce_secs: LogNormal::from_median(120.0, 1.2),
+        },
+        deadline: DeadlinePolicy::None,
+        slowstart: 1.0,
+    };
+    let app = TenantModel {
+        name: "APP".into(),
+        // High-priority production application: a steady stream of small jobs
+        // with tight relative deadlines (~30% missed in production, §2.1).
+        arrival: ArrivalProcess::Poisson { rate_per_hour: 90.0 * s, profile: WeeklyProfile::flat() },
+        shape: JobShape {
+            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(4.0, 0.5), min: 1, max: 40 },
+            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(1.0, 0.4), min: 0, max: 8 },
+            map_secs: LogNormal::from_median(12.0, 0.5),
+            reduce_secs: LogNormal::from_median(25.0, 0.5),
+        },
+        deadline: DeadlinePolicy::Relative { factor: 3.0, parallelism: 8, floor: 2 * MIN },
+        slowstart: 1.0,
+    };
+    let str_t = TenantModel {
+        name: "STR".into(),
+        // Hadoop streaming: map-heavy, medium duration, few reduces.
+        arrival: ArrivalProcess::Poisson { rate_per_hour: 18.0 * s, profile: WeeklyProfile::flat() },
+        shape: JobShape {
+            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(60.0, 0.8), min: 2, max: 1500 },
+            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(1.0, 0.8), min: 0, max: 20 },
+            map_secs: LogNormal::from_median(150.0, 0.9),
+            reduce_secs: LogNormal::from_median(200.0, 0.9),
+        },
+        deadline: DeadlinePolicy::None,
+        slowstart: 1.0,
+    };
+    let mv = TenantModel {
+        name: "MV".into(),
+        // Materialized-view refresh: few runs per day, enormous reduces
+        // (completion varies 2–6 hours, §2.2); hard deadlines.
+        arrival: ArrivalProcess::Periodic {
+            period: 6 * HOUR,
+            burst: (3.0 * s).round().max(1.0) as u32,
+            jitter: 20 * MIN,
+            profile: WeeklyProfile::flat(),
+        },
+        shape: JobShape {
+            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(120.0, 0.6), min: 10, max: 3000 },
+            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(25.0, 0.5), min: 4, max: 200 },
+            map_secs: LogNormal::from_median(90.0, 0.7),
+            reduce_secs: LogNormal::from_median(2400.0, 1.0),
+        },
+        deadline: DeadlinePolicy::NextPeriod { period: 6 * HOUR },
+        slowstart: 0.6,
+    };
+    let etl = TenantModel {
+        name: "ETL".into(),
+        // Hourly ingest bursts; completion of one recurring job varies 5–60
+        // minutes (§2.2); input shrinks on weekends (§2.4).
+        arrival: ArrivalProcess::Periodic {
+            period: HOUR,
+            burst: (6.0 * s).round().max(1.0) as u32,
+            jitter: 5 * MIN,
+            profile: WeeklyProfile::weekday_heavy(),
+        },
+        shape: JobShape {
+            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(80.0, 0.7), min: 5, max: 2500 },
+            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(8.0, 0.5), min: 1, max: 80 },
+            map_secs: LogNormal::from_median(60.0, 0.7),
+            reduce_secs: LogNormal::from_median(300.0, 0.9),
+        },
+        deadline: DeadlinePolicy::NextPeriod { period: HOUR },
+        slowstart: 0.8,
+    };
+    WorkloadModel::new(vec![bi, dev, app, str_t, mv, etl])
+}
+
+/// Generates one simulated week of the ABC workload at the given load scale.
+pub fn abc_week(scale: f64, seed: u64) -> Trace {
+    abc_model(scale).generate(0, WEEK, seed)
+}
+
+/// Generates `span` of ABC workload at the given load scale.
+pub fn abc_span(scale: f64, span: Time, seed: u64) -> Trace {
+    abc_model(scale).generate(0, span, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{day_of_week, DAY};
+    use crate::trace::TaskKind;
+
+    #[test]
+    fn week_has_all_tenants_and_valid_structure() {
+        let t = abc_week(0.05, 1);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.tenants(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn deadline_tenants_match_table1() {
+        let t = abc_week(0.05, 2);
+        for (tid, driven) in TENANT_DEADLINE_DRIVEN.iter().enumerate() {
+            let sub = t.filter_tenant(tid as TenantId);
+            assert!(!sub.is_empty(), "tenant {tid} generated no jobs");
+            let with_dl = sub.jobs.iter().filter(|j| j.deadline.is_some()).count();
+            if *driven {
+                assert_eq!(with_dl, sub.len(), "tenant {tid} should be fully deadline-driven");
+            } else {
+                assert_eq!(with_dl, 0, "tenant {tid} should be best-effort");
+            }
+        }
+    }
+
+    #[test]
+    fn mv_reduces_dominate_durations() {
+        // Table 1 / Figure 8: MV is long-running with the heaviest reduces.
+        let t = abc_week(0.05, 3);
+        let stats_mv = t.tenant_stats(tenant::MV);
+        let stats_app = t.tenant_stats(tenant::APP);
+        assert!(stats_mv.mean_reduce_secs > 15.0 * stats_app.mean_reduce_secs);
+        assert!(stats_app.mean_map_secs < 30.0, "APP jobs are lightweight");
+    }
+
+    #[test]
+    fn etl_is_weekend_suppressed() {
+        let t = abc_week(0.2, 4);
+        let etl = t.filter_tenant(tenant::ETL);
+        let weekend = etl.jobs.iter().filter(|j| day_of_week(j.submit) >= 5).count();
+        let weekday = etl.len() - weekend;
+        assert!(
+            weekday as f64 / 5.0 > 2.0 * (weekend as f64 / 2.0).max(0.5),
+            "weekday {weekday} weekend {weekend}"
+        );
+    }
+
+    #[test]
+    fn bi_is_diurnal() {
+        let t = abc_span(0.2, 2 * DAY, 5);
+        let bi = t.filter_tenant(tenant::BI);
+        let daytime = bi
+            .jobs
+            .iter()
+            .filter(|j| (10..18).contains(&crate::time::hour_of_day(j.submit)))
+            .count();
+        let night = bi.jobs.iter().filter(|j| crate::time::hour_of_day(j.submit) < 5).count();
+        assert!(daytime > 3 * night.max(1), "daytime {daytime} night {night}");
+    }
+
+    #[test]
+    fn load_scale_scales_job_counts() {
+        let small = abc_week(0.05, 6).len();
+        let large = abc_week(0.2, 6).len();
+        assert!(large as f64 > 2.5 * small as f64, "small {small} large {large}");
+    }
+
+    #[test]
+    fn mixture_tenant_has_highest_variance() {
+        // DEV is "a mixture of different types of jobs": its duration spread
+        // should exceed APP's.
+        let t = abc_week(0.1, 7);
+        let spread = |tid: TenantId| {
+            let durs: Vec<f64> = t
+                .filter_tenant(tid)
+                .jobs
+                .iter()
+                .flat_map(|j| j.tasks.iter())
+                .filter(|ts| ts.kind == TaskKind::Map)
+                .map(|ts| crate::time::to_secs_f64(ts.duration).ln())
+                .collect();
+            let m = crate::stats::mean(&durs);
+            durs.iter().map(|d| (d - m) * (d - m)).sum::<f64>() / durs.len() as f64
+        };
+        assert!(spread(tenant::DEV) > 2.0 * spread(tenant::APP));
+    }
+}

@@ -1,0 +1,246 @@
+//! Trace serialization: human-readable JSON and a compact binary format.
+//!
+//! Production traces are large (the ABC validation trace has 35 million
+//! tasks), so alongside the inspectable JSON format there is a fixed-layout
+//! little-endian binary codec built on `bytes` that is ~10× smaller and much
+//! faster to parse. Both formats round-trip exactly.
+
+use crate::time::Time;
+use crate::trace::{JobSpec, TaskKind, TaskSpec, Trace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic prefix of the binary trace format ("TPO1").
+const MAGIC: u32 = 0x5450_4F31;
+
+/// Errors from the binary decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    BadMagic(u32),
+    Truncated { need: usize, have: usize },
+    BadKind(u8),
+    BadSlowstart,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic(m) => write!(f, "bad magic 0x{m:08X}"),
+            CodecError::Truncated { need, have } => write!(f, "truncated input: need {need} bytes, have {have}"),
+            CodecError::BadKind(k) => write!(f, "invalid task kind byte {k}"),
+            CodecError::BadSlowstart => write!(f, "slowstart outside [0,1]"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes a trace to pretty JSON.
+pub fn to_json(trace: &Trace) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(trace)
+}
+
+/// Parses a trace from JSON.
+pub fn from_json(s: &str) -> serde_json::Result<Trace> {
+    serde_json::from_str(s)
+}
+
+/// Serializes a trace as JSON Lines (one job per line) — convenient for
+/// streaming very large traces through Unix tooling.
+pub fn to_jsonl(trace: &Trace) -> serde_json::Result<String> {
+    let mut out = String::new();
+    for job in &trace.jobs {
+        out.push_str(&serde_json::to_string(job)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses JSON Lines back into a trace. Blank lines are skipped.
+pub fn from_jsonl(s: &str) -> serde_json::Result<Trace> {
+    let mut jobs = Vec::new();
+    for line in s.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        jobs.push(serde_json::from_str::<JobSpec>(line)?);
+    }
+    Ok(Trace::new(jobs))
+}
+
+/// Encodes a trace into the compact binary format.
+///
+/// Layout (all little-endian):
+/// `magic:u32, njobs:u64, [job: id:u64, tenant:u16, submit:u64,
+/// has_deadline:u8, deadline:u64?, slowstart:f64, ntasks:u32,
+/// [task: kind:u8, duration:u64]]`.
+pub fn to_binary(trace: &Trace) -> Bytes {
+    // Exact size precomputation avoids reallocation on multi-million-task
+    // traces.
+    let mut size = 4 + 8;
+    for job in &trace.jobs {
+        size += 8 + 2 + 8 + 1 + if job.deadline.is_some() { 8 } else { 0 } + 8 + 4;
+        size += job.tasks.len() * 9;
+    }
+    let mut buf = BytesMut::with_capacity(size);
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(trace.jobs.len() as u64);
+    for job in &trace.jobs {
+        buf.put_u64_le(job.id);
+        buf.put_u16_le(job.tenant);
+        buf.put_u64_le(job.submit);
+        match job.deadline {
+            Some(d) => {
+                buf.put_u8(1);
+                buf.put_u64_le(d);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_f64_le(job.slowstart);
+        buf.put_u32_le(job.tasks.len() as u32);
+        for t in &job.tasks {
+            buf.put_u8(t.kind.index() as u8);
+            buf.put_u64_le(t.duration);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes the binary format produced by [`to_binary`].
+pub fn from_binary(mut data: Bytes) -> Result<Trace, CodecError> {
+    let check = |buf: &Bytes, need: usize| {
+        if buf.remaining() < need {
+            Err(CodecError::Truncated { need, have: buf.remaining() })
+        } else {
+            Ok(())
+        }
+    };
+    check(&data, 12)?;
+    let magic = data.get_u32_le();
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let njobs = data.get_u64_le() as usize;
+    let mut jobs = Vec::with_capacity(njobs.min(1 << 24));
+    for _ in 0..njobs {
+        check(&data, 8 + 2 + 8 + 1)?;
+        let id = data.get_u64_le();
+        let tenant = data.get_u16_le();
+        let submit: Time = data.get_u64_le();
+        let has_deadline = data.get_u8();
+        let deadline = if has_deadline != 0 {
+            check(&data, 8)?;
+            Some(data.get_u64_le())
+        } else {
+            None
+        };
+        check(&data, 8 + 4)?;
+        let slowstart = data.get_f64_le();
+        if !(0.0..=1.0).contains(&slowstart) || slowstart.is_nan() {
+            return Err(CodecError::BadSlowstart);
+        }
+        let ntasks = data.get_u32_le() as usize;
+        check(&data, ntasks * 9)?;
+        let mut tasks = Vec::with_capacity(ntasks);
+        for _ in 0..ntasks {
+            let kind = match data.get_u8() {
+                0 => TaskKind::Map,
+                1 => TaskKind::Reduce,
+                k => return Err(CodecError::BadKind(k)),
+            };
+            let duration = data.get_u64_le();
+            tasks.push(TaskSpec { kind, duration });
+        }
+        jobs.push(JobSpec { id, tenant, submit, deadline, slowstart, tasks });
+    }
+    Ok(Trace::new(jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{HOUR, SEC};
+
+    fn sample_trace() -> Trace {
+        let mut jobs = Vec::new();
+        for i in 0..50u64 {
+            let mut j = JobSpec::new(
+                i,
+                (i % 3) as u16,
+                i * 7 * SEC,
+                vec![TaskSpec::map(10 * SEC + i), TaskSpec::reduce(20 * SEC + i)],
+            );
+            if i % 2 == 0 {
+                j = j.with_deadline(i * 7 * SEC + HOUR);
+            }
+            jobs.push(j.with_slowstart(0.5 + (i % 4) as f64 * 0.1));
+        }
+        Trace::new(jobs)
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample_trace();
+        let s = to_json(&t).unwrap();
+        assert_eq!(from_json(&s).unwrap(), t);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_blank_lines() {
+        let t = sample_trace();
+        let mut s = to_jsonl(&t).unwrap();
+        s.push_str("\n\n");
+        assert_eq!(from_jsonl(&s).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample_trace();
+        let b = to_binary(&t);
+        assert_eq!(from_binary(b).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let t = sample_trace();
+        let b = to_binary(&t).len();
+        let j = to_json(&t).unwrap().len();
+        assert!(b * 4 < j, "binary {b} vs json {j}");
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert_eq!(from_binary(Bytes::from_static(b"xx")), Err(CodecError::Truncated { need: 12, have: 2 }));
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(0xDEAD_BEEF);
+        bad.put_u64_le(0);
+        assert_eq!(from_binary(bad.freeze()), Err(CodecError::BadMagic(0xDEAD_BEEF)));
+    }
+
+    #[test]
+    fn binary_rejects_truncated_job() {
+        let t = sample_trace();
+        let b = to_binary(&t);
+        let cut = b.slice(0..b.len() - 3);
+        assert!(matches!(from_binary(cut), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn binary_rejects_bad_kind() {
+        let t = Trace::new(vec![JobSpec::new(1, 0, 0, vec![TaskSpec::map(SEC)])]);
+        let b = to_binary(&t);
+        let mut raw = b.to_vec();
+        // Kind byte of the single task sits 9 bytes from the end.
+        let pos = raw.len() - 9;
+        raw[pos] = 9;
+        assert_eq!(from_binary(Bytes::from(raw)), Err(CodecError::BadKind(9)));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::default();
+        assert_eq!(from_binary(to_binary(&t)).unwrap(), t);
+        assert_eq!(from_jsonl(&to_jsonl(&t).unwrap()).unwrap(), t);
+    }
+}

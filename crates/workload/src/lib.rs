@@ -1,0 +1,31 @@
+//! # tempo-workload
+//!
+//! Workload substrate for the Tempo reproduction: trace data model,
+//! statistical workload models, and the concrete tenant archetypes used by
+//! the paper's evaluation (Company ABC's six tenants, Facebook-like and
+//! Cloudera-like traces, and the two-tenant EC2 experiment mix).
+//!
+//! The paper's Workload Generator (§7.1) supports two modes, both provided
+//! here:
+//!
+//! 1. **Trace replay** — [`trace::Trace`] is the replayable submission log,
+//!    with JSON and compact binary codecs in [`codec`] and SWIM-style
+//!    scale-down in [`swim`].
+//! 2. **Statistical models** — [`model::WorkloadModel`] samples synthetic
+//!    workloads with the distributional families observed in production
+//!    (lognormal task durations, Poisson/periodic arrivals), can be fitted
+//!    from historical traces, and supports extrapolations such as "grow the
+//!    data size by 30%".
+
+pub mod abc;
+pub mod codec;
+pub mod model;
+pub mod stats;
+pub mod swim;
+pub mod synthetic;
+pub mod time;
+pub mod trace;
+
+pub use model::{ArrivalProcess, CountDist, DeadlinePolicy, JobShape, TenantModel, WorkloadModel};
+pub use time::Time;
+pub use trace::{JobSpec, TaskKind, TaskSpec, TenantId, Trace, NUM_KINDS};

@@ -1,0 +1,528 @@
+//! Statistical workload models (the paper's Workload Generator, §7.1).
+//!
+//! Tempo can either replay historical traces or sample from a statistical
+//! model trained on them. The model route lets the Optimizer (a) generate
+//! multiple synthetic workloads with the same distribution to test parameter
+//! sensitivity, and (b) extrapolate — e.g. "grow the data size by 30%"
+//! (§7.1). Following the paper's observations, task durations are lognormal
+//! and arrivals are (possibly modulated) Poisson; recurring pipelines use a
+//! periodic arrival process instead.
+
+use crate::stats::{poisson_arrivals, BoundedPareto, LogNormal, WeeklyProfile};
+use crate::time::{from_secs_f64, Time, SEC};
+use crate::trace::{JobSpec, TaskSpec, TenantId, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Distribution over per-job task counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CountDist {
+    /// Exactly `n` tasks per job.
+    Fixed(u32),
+    /// `round(LogNormal)` clamped to `[min, max]` — matches the skewed job
+    /// widths in the ABC trace (Figure 5's maps/reduces CDFs).
+    LogNormal { ln: LogNormal, min: u32, max: u32 },
+    /// Bounded Pareto, for the Facebook/Cloudera-style heavy tails where a
+    /// handful of giant jobs dominate.
+    Pareto { p: BoundedPareto },
+}
+
+impl CountDist {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            CountDist::Fixed(n) => *n,
+            CountDist::LogNormal { ln, min, max } => {
+                let v = ln.sample(rng).round();
+                (v.max(0.0) as u32).clamp(*min, *max)
+            }
+            CountDist::Pareto { p } => p.sample(rng).round().max(0.0) as u32,
+        }
+    }
+
+    /// Approximate mean, used for deadline derivation and capacity planning.
+    pub fn mean(&self) -> f64 {
+        match self {
+            CountDist::Fixed(n) => *n as f64,
+            CountDist::LogNormal { ln, min, max } => ln.mean().clamp(*min as f64, *max as f64),
+            CountDist::Pareto { p } => {
+                // Mean of the truncated Pareto; fall back to midpoint at alpha=1.
+                let a = p.alpha;
+                if (a - 1.0).abs() < 1e-9 {
+                    (p.max - p.min) / (p.max / p.min).ln()
+                } else {
+                    let la = p.min.powf(a);
+                    (la * a / (a - 1.0)) * (p.min.powf(1.0 - a) - p.max.powf(1.0 - a))
+                        / (1.0 - (p.min / p.max).powf(a))
+                }
+            }
+        }
+    }
+}
+
+/// How a tenant's jobs arrive over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// (In)homogeneous Poisson process: `rate_per_hour` modulated by a weekly
+    /// profile (§7.1's observed arrival family).
+    Poisson { rate_per_hour: f64, profile: WeeklyProfile },
+    /// Recurring pipeline: a burst of `burst` jobs every `period`, each job
+    /// jittered uniformly within `[0, jitter]`. Models ETL/MV schedules
+    /// ("periodic but bursty", Table 1).
+    Periodic { period: Time, burst: u32, jitter: Time, profile: WeeklyProfile },
+}
+
+impl ArrivalProcess {
+    /// Samples absolute submission times in `[start, end)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, start: Time, end: Time) -> Vec<Time> {
+        match self {
+            ArrivalProcess::Poisson { rate_per_hour, profile } => {
+                poisson_arrivals(rng, *rate_per_hour, profile, start, end)
+            }
+            ArrivalProcess::Periodic { period, burst, jitter, profile } => {
+                let mut out = Vec::new();
+                assert!(*period > 0, "periodic arrival requires a positive period");
+                let mut t = start - start % *period;
+                while t < end {
+                    if t >= start {
+                        // The day-of-week profile scales the burst size (ETL input
+                        // shrinks on weekends — Concern D).
+                        let scale = profile.multiplier_at(t);
+                        let n = ((*burst as f64) * scale).round().max(0.0) as u32;
+                        for _ in 0..n {
+                            let j = if *jitter > 0 { rng.gen_range(0..=*jitter) } else { 0 };
+                            let at = t + j;
+                            if at < end {
+                                out.push(at);
+                            }
+                        }
+                    }
+                    t += *period;
+                }
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Expected jobs per hour (long-run average), for reporting.
+    pub fn mean_rate_per_hour(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_per_hour, profile } => {
+                let avg_h: f64 = profile.hourly.iter().sum::<f64>() / 24.0;
+                let avg_d: f64 = profile.daily.iter().sum::<f64>() / 7.0;
+                rate_per_hour * avg_h * avg_d
+            }
+            ArrivalProcess::Periodic { period, burst, profile, .. } => {
+                let avg_d: f64 = profile.daily.iter().sum::<f64>() / 7.0;
+                *burst as f64 * avg_d * (crate::time::HOUR as f64 / *period as f64)
+            }
+        }
+    }
+}
+
+/// How deadlines are attached to a tenant's jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeadlinePolicy {
+    /// Best-effort tenant: no deadlines.
+    None,
+    /// `deadline = submit + max(factor × est_makespan(parallelism), floor)` —
+    /// the common "finish within k× of the ideal run" contract for recurring
+    /// jobs.
+    Relative { factor: f64, parallelism: u32, floor: Time },
+    /// Deadline at the next multiple of `period` (ETL: "the deadline is the
+    /// start of the next run", §3.1).
+    NextPeriod { period: Time },
+}
+
+impl DeadlinePolicy {
+    pub fn deadline_for(&self, job: &JobSpec) -> Option<Time> {
+        match self {
+            DeadlinePolicy::None => None,
+            DeadlinePolicy::Relative { factor, parallelism, floor } => {
+                let est = job.est_makespan(*parallelism) as f64 * factor;
+                Some(job.submit + (est as Time).max(*floor))
+            }
+            DeadlinePolicy::NextPeriod { period } => {
+                assert!(*period > 0, "NextPeriod deadline requires a positive period");
+                Some((job.submit / period + 1) * period)
+            }
+        }
+    }
+}
+
+/// The per-job shape distributions of a tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobShape {
+    pub num_maps: CountDist,
+    pub num_reduces: CountDist,
+    /// Map task duration in **seconds** (lognormal per §7.1).
+    pub map_secs: LogNormal,
+    /// Reduce task duration in **seconds**.
+    pub reduce_secs: LogNormal,
+}
+
+impl JobShape {
+    /// Samples the task list of one job.
+    pub fn sample_tasks<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TaskSpec> {
+        let nm = self.num_maps.sample(rng);
+        let nr = self.num_reduces.sample(rng);
+        let mut tasks = Vec::with_capacity((nm + nr) as usize);
+        for _ in 0..nm {
+            tasks.push(TaskSpec::map(from_secs_f64(self.map_secs.sample(rng)).max(SEC / 10)));
+        }
+        for _ in 0..nr {
+            tasks.push(TaskSpec::reduce(from_secs_f64(self.reduce_secs.sample(rng)).max(SEC / 10)));
+        }
+        if tasks.is_empty() {
+            // A job must have at least one task; degenerate draws become a
+            // minimal map-only job.
+            tasks.push(TaskSpec::map(from_secs_f64(self.map_secs.sample(rng)).max(SEC / 10)));
+        }
+        tasks
+    }
+}
+
+/// A complete statistical model of one tenant's workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantModel {
+    pub name: String,
+    pub arrival: ArrivalProcess,
+    pub shape: JobShape,
+    pub deadline: DeadlinePolicy,
+    /// Map→reduce slow-start fraction applied to generated jobs.
+    pub slowstart: f64,
+}
+
+impl TenantModel {
+    /// Scales the data size processed per job by `factor`: task counts grow
+    /// with data volume while per-task durations stay fixed (the MapReduce
+    /// split model). This implements the "what if data grows by 30%"
+    /// extrapolation called out in §7.1.
+    pub fn scale_data_size(&mut self, factor: f64) {
+        assert!(factor > 0.0, "scale factor must be positive");
+        scale_count(&mut self.shape.num_maps, factor);
+        scale_count(&mut self.shape.num_reduces, factor);
+    }
+}
+
+fn scale_count(c: &mut CountDist, factor: f64) {
+    match c {
+        CountDist::Fixed(n) => *n = ((*n as f64 * factor).round() as u32).max(1),
+        CountDist::LogNormal { ln, min, max } => {
+            ln.mu += factor.ln();
+            *min = ((*min as f64 * factor).round() as u32).max(1);
+            *max = ((*max as f64 * factor).round() as u32).max(*min);
+        }
+        CountDist::Pareto { p } => {
+            p.min *= factor;
+            p.max *= factor;
+        }
+    }
+}
+
+/// A multi-tenant workload model: tenant index in `tenants` is the
+/// [`TenantId`] used in generated traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadModel {
+    pub tenants: Vec<TenantModel>,
+}
+
+impl WorkloadModel {
+    pub fn new(tenants: Vec<TenantModel>) -> Self {
+        Self { tenants }
+    }
+
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    pub fn tenant_names(&self) -> Vec<&str> {
+        self.tenants.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Generates a trace over `[start, end)`. Same `(model, window, seed)` ⇒
+    /// identical trace, which the What-if Model relies on to compare RM
+    /// configurations on a common workload.
+    pub fn generate(&self, start: Time, end: Time, seed: u64) -> Trace {
+        assert!(start < end, "generation window must be non-empty");
+        let mut jobs = Vec::new();
+        let mut id: u64 = 0;
+        for (tix, tm) in self.tenants.iter().enumerate() {
+            // Independent per-tenant streams: adding a tenant does not perturb
+            // the others' workloads.
+            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tix as u64 + 1)));
+            let submits = tm.arrival.sample(&mut rng, start, end);
+            for submit in submits {
+                let tasks = tm.shape.sample_tasks(&mut rng);
+                let mut job = JobSpec::new(id, tix as TenantId, submit, tasks).with_slowstart(tm.slowstart);
+                job.deadline = tm.deadline.deadline_for(&job);
+                id += 1;
+                jobs.push(job);
+            }
+        }
+        let mut trace = Trace::new(jobs);
+        trace.sort_by_submit();
+        // Ids were assigned per tenant in submission bursts; renumber in
+        // submit order for readability while keeping uniqueness.
+        for (i, j) in trace.jobs.iter_mut().enumerate() {
+            j.id = i as u64;
+        }
+        trace
+    }
+
+    /// Fits a model to a historical trace (one tenant model per tenant id in
+    /// the trace). Arrivals are fit as homogeneous Poisson (rate = jobs per
+    /// hour over the span); durations and widths by lognormal MLE. This is
+    /// the "statistical model ... trained from historical traces" of §7.1.
+    pub fn fit(trace: &Trace, names: &[&str]) -> WorkloadModel {
+        let (start, end) = trace.submit_span().unwrap_or((0, 1));
+        let span_hours = ((end - start).max(1)) as f64 / crate::time::HOUR as f64;
+        let mut tenants = Vec::new();
+        for tid in trace.tenants() {
+            let sub = trace.filter_tenant(tid);
+            let map_secs: Vec<f64> = sub
+                .jobs
+                .iter()
+                .flat_map(|j| j.tasks.iter())
+                .filter(|t| t.kind == crate::trace::TaskKind::Map)
+                .map(|t| crate::time::to_secs_f64(t.duration))
+                .collect();
+            let red_secs: Vec<f64> = sub
+                .jobs
+                .iter()
+                .flat_map(|j| j.tasks.iter())
+                .filter(|t| t.kind == crate::trace::TaskKind::Reduce)
+                .map(|t| crate::time::to_secs_f64(t.duration))
+                .collect();
+            let widths: Vec<f64> = sub.jobs.iter().map(|j| j.map_count().max(1) as f64).collect();
+            let rwidths: Vec<f64> = sub.jobs.iter().map(|j| j.reduce_count() as f64).collect();
+            let rate = sub.len() as f64 / span_hours;
+            let name = names.get(tid as usize).map_or_else(|| format!("tenant-{tid}"), |s| s.to_string());
+            let max_w = widths.iter().copied().fold(1.0_f64, f64::max) as u32;
+            let max_r = rwidths.iter().copied().fold(0.0_f64, f64::max) as u32;
+            tenants.push(TenantModel {
+                name,
+                arrival: ArrivalProcess::Poisson { rate_per_hour: rate, profile: WeeklyProfile::flat() },
+                shape: JobShape {
+                    num_maps: CountDist::LogNormal {
+                        ln: LogNormal::fit(&widths).unwrap_or(LogNormal::new(0.0, 0.0)),
+                        min: 1,
+                        max: max_w.max(1),
+                    },
+                    num_reduces: CountDist::LogNormal {
+                        ln: LogNormal::fit(&rwidths).unwrap_or(LogNormal::new(f64::NEG_INFINITY, 0.0)),
+                        min: 0,
+                        max: max_r,
+                    },
+                    map_secs: LogNormal::fit(&map_secs).unwrap_or(LogNormal::new(0.0, 0.0)),
+                    reduce_secs: LogNormal::fit(&red_secs).unwrap_or(LogNormal::new(0.0, 0.0)),
+                },
+                deadline: DeadlinePolicy::None,
+                slowstart: sub.jobs.first().map_or(1.0, |j| j.slowstart),
+            });
+        }
+        WorkloadModel::new(tenants)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{DAY, HOUR, MIN};
+
+    fn simple_shape() -> JobShape {
+        JobShape {
+            num_maps: CountDist::Fixed(4),
+            num_reduces: CountDist::Fixed(2),
+            map_secs: LogNormal::from_median(30.0, 0.5),
+            reduce_secs: LogNormal::from_median(120.0, 0.5),
+        }
+    }
+
+    #[test]
+    fn count_dist_sampling() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(CountDist::Fixed(7).sample(&mut rng), 7);
+        let d = CountDist::LogNormal { ln: LogNormal::from_median(10.0, 0.6), min: 2, max: 50 };
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            assert!((2..=50).contains(&v));
+        }
+        let p = CountDist::Pareto { p: BoundedPareto::new(1.1, 1.0, 400.0) };
+        for _ in 0..200 {
+            assert!(p.sample(&mut rng) <= 400);
+        }
+    }
+
+    #[test]
+    fn count_dist_means_are_sane() {
+        assert!((CountDist::Fixed(3).mean() - 3.0).abs() < 1e-12);
+        let p = CountDist::Pareto { p: BoundedPareto::new(1.5, 1.0, 100.0) };
+        let mut rng = StdRng::seed_from_u64(3);
+        let emp: f64 =
+            (0..20_000).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
+        assert!((p.mean() - emp).abs() / emp < 0.1, "analytic {} empirical {emp}", p.mean());
+    }
+
+    #[test]
+    fn periodic_arrivals_fire_once_per_period() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = ArrivalProcess::Periodic { period: HOUR, burst: 3, jitter: MIN, profile: WeeklyProfile::flat() };
+        let arr = p.sample(&mut rng, 0, 6 * HOUR);
+        assert_eq!(arr.len(), 18);
+        for (i, t) in arr.iter().enumerate() {
+            let period_idx = (i / 3) as u64;
+            assert!(*t >= period_idx * HOUR && *t <= period_idx * HOUR + MIN);
+        }
+    }
+
+    #[test]
+    fn periodic_respects_start_offset() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = ArrivalProcess::Periodic { period: HOUR, burst: 1, jitter: 0, profile: WeeklyProfile::flat() };
+        let arr = p.sample(&mut rng, 90 * MIN, 5 * HOUR);
+        // Bursts at 2h, 3h, 4h (1h and 1.5h are before start).
+        assert_eq!(arr, vec![2 * HOUR, 3 * HOUR, 4 * HOUR]);
+    }
+
+    #[test]
+    fn periodic_weekend_scaling() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = ArrivalProcess::Periodic {
+            period: HOUR,
+            burst: 4,
+            jitter: 0,
+            profile: WeeklyProfile::weekday_heavy(),
+        };
+        let arr = p.sample(&mut rng, 0, crate::time::WEEK);
+        let weekend = arr.iter().filter(|&&t| crate::time::day_of_week(t) >= 5).count();
+        let weekday = arr.len() - weekend;
+        assert!(weekday > 3 * weekend, "weekday {weekday} weekend {weekend}");
+    }
+
+    #[test]
+    fn deadline_policies() {
+        let job = JobSpec::new(1, 0, 30 * MIN, vec![TaskSpec::map(10 * MIN)]);
+        assert_eq!(DeadlinePolicy::None.deadline_for(&job), None);
+        let rel = DeadlinePolicy::Relative { factor: 2.0, parallelism: 1, floor: 5 * MIN };
+        // est_makespan = 10m work + 10m straggler = 20m; ×2 = 40m.
+        assert_eq!(rel.deadline_for(&job), Some(30 * MIN + 40 * MIN));
+        let np = DeadlinePolicy::NextPeriod { period: HOUR };
+        assert_eq!(np.deadline_for(&job), Some(HOUR));
+        let at_boundary = JobSpec::new(2, 0, HOUR, vec![TaskSpec::map(MIN)]);
+        assert_eq!(np.deadline_for(&at_boundary), Some(2 * HOUR));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let model = WorkloadModel::new(vec![
+            TenantModel {
+                name: "a".into(),
+                arrival: ArrivalProcess::Poisson { rate_per_hour: 20.0, profile: WeeklyProfile::flat() },
+                shape: simple_shape(),
+                deadline: DeadlinePolicy::None,
+                slowstart: 1.0,
+            },
+            TenantModel {
+                name: "b".into(),
+                arrival: ArrivalProcess::Periodic { period: HOUR, burst: 2, jitter: MIN, profile: WeeklyProfile::flat() },
+                shape: simple_shape(),
+                deadline: DeadlinePolicy::NextPeriod { period: HOUR },
+                slowstart: 0.8,
+            },
+        ]);
+        let t1 = model.generate(0, DAY, 42);
+        let t2 = model.generate(0, DAY, 42);
+        assert_eq!(t1, t2, "same seed must reproduce the same trace");
+        let t3 = model.generate(0, DAY, 43);
+        assert_ne!(t1, t3, "different seeds should differ");
+        assert!(t1.validate().is_ok());
+        assert!(t1.len() > 300, "expected a day of jobs, got {}", t1.len());
+        // Tenant b's jobs carry deadlines; tenant a's do not.
+        for j in &t1.jobs {
+            if j.tenant == 1 {
+                assert!(j.deadline.is_some());
+                assert!((j.slowstart - 0.8).abs() < 1e-12);
+            } else {
+                assert!(j.deadline.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_tenant_does_not_perturb_existing_streams() {
+        let t_a = TenantModel {
+            name: "a".into(),
+            arrival: ArrivalProcess::Poisson { rate_per_hour: 10.0, profile: WeeklyProfile::flat() },
+            shape: simple_shape(),
+            deadline: DeadlinePolicy::None,
+            slowstart: 1.0,
+        };
+        let t_b = TenantModel { name: "b".into(), ..t_a.clone() };
+        let solo = WorkloadModel::new(vec![t_a.clone()]).generate(0, DAY, 7);
+        let duo = WorkloadModel::new(vec![t_a, t_b]).generate(0, DAY, 7);
+        let solo_submits: Vec<Time> = solo.jobs.iter().map(|j| j.submit).collect();
+        let duo_submits: Vec<Time> = duo.jobs.iter().filter(|j| j.tenant == 0).map(|j| j.submit).collect();
+        assert_eq!(solo_submits, duo_submits);
+    }
+
+    #[test]
+    fn scale_data_size_grows_widths_not_durations() {
+        let mut tm = TenantModel {
+            name: "etl".into(),
+            arrival: ArrivalProcess::Poisson { rate_per_hour: 5.0, profile: WeeklyProfile::flat() },
+            shape: simple_shape(),
+            deadline: DeadlinePolicy::None,
+            slowstart: 1.0,
+        };
+        let before_dur = tm.shape.map_secs;
+        tm.scale_data_size(1.3);
+        assert_eq!(tm.shape.map_secs, before_dur);
+        match tm.shape.num_maps {
+            CountDist::Fixed(n) => assert_eq!(n, 5), // round(4 × 1.3)
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fit_recovers_rate_and_durations() {
+        let truth = WorkloadModel::new(vec![TenantModel {
+            name: "x".into(),
+            arrival: ArrivalProcess::Poisson { rate_per_hour: 40.0, profile: WeeklyProfile::flat() },
+            shape: JobShape {
+                num_maps: CountDist::Fixed(10),
+                num_reduces: CountDist::Fixed(3),
+                map_secs: LogNormal::from_median(50.0, 0.4),
+                reduce_secs: LogNormal::from_median(200.0, 0.4),
+            },
+            deadline: DeadlinePolicy::None,
+            slowstart: 1.0,
+        }]);
+        let trace = truth.generate(0, 2 * DAY, 11);
+        let fitted = WorkloadModel::fit(&trace, &["x"]);
+        assert_eq!(fitted.num_tenants(), 1);
+        let f = &fitted.tenants[0];
+        match &f.arrival {
+            ArrivalProcess::Poisson { rate_per_hour, .. } => {
+                assert!((rate_per_hour - 40.0).abs() < 4.0, "rate {rate_per_hour}");
+            }
+            _ => unreachable!(),
+        }
+        assert!((f.shape.map_secs.median() - 50.0).abs() < 5.0);
+        assert!((f.shape.reduce_secs.median() - 200.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn empty_shape_draw_yields_minimal_job() {
+        let shape = JobShape {
+            num_maps: CountDist::Fixed(0),
+            num_reduces: CountDist::Fixed(0),
+            map_secs: LogNormal::from_median(10.0, 0.1),
+            reduce_secs: LogNormal::from_median(10.0, 0.1),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let tasks = shape.sample_tasks(&mut rng);
+        assert_eq!(tasks.len(), 1);
+    }
+}

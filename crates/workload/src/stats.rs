@@ -1,0 +1,444 @@
+//! Statistical primitives used by the workload models.
+//!
+//! §7.1 of the paper reports that in the production traces "the task duration
+//! approximately follows a lognormal distribution, and the job arrival
+//! approximately follows a Poisson process". These samplers implement exactly
+//! those families (plus a bounded Pareto for heavy-tailed job widths seen in
+//! the Facebook/Cloudera traces) without pulling in an external distribution
+//! crate: everything reduces to a uniform source through standard transforms
+//! (Box–Muller, inverse-CDF).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+///
+/// The polar variant is avoided deliberately: Box–Muller consumes a fixed
+/// number of uniforms per call, which keeps the RNG stream — and therefore
+/// the whole simulation — reproducible across refactors that reorder rejection
+/// loops.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against u1 == 0, which would produce ln(0) = -inf.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal distribution `N(mean, sd^2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    pub mean: f64,
+    pub sd: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0, "standard deviation must be non-negative");
+        Self { mean, sd }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * std_normal(rng)
+    }
+}
+
+/// A lognormal distribution parameterised by the mean/sd of `ln X`.
+///
+/// This is the paper's task-duration family. `median = exp(mu)` makes the
+/// parameters easy to read in the tenant archetype tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X`.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Self { mu, sigma }
+    }
+
+    /// Builds the distribution from its median and the sd of the log.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        Self::new(median.ln(), sigma)
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * std_normal(rng)).exp()
+    }
+
+    /// Distribution mean `exp(mu + sigma^2/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Distribution median `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Maximum-likelihood fit from positive samples.
+    ///
+    /// Used when training a workload model from historical traces (§7.1).
+    /// Non-positive samples are ignored; returns `None` when fewer than two
+    /// usable samples exist.
+    pub fn fit(samples: &[f64]) -> Option<Self> {
+        let logs: Vec<f64> = samples.iter().copied().filter(|&x| x > 0.0).map(f64::ln).collect();
+        if logs.len() < 2 {
+            return None;
+        }
+        let n = logs.len() as f64;
+        let mu = logs.iter().sum::<f64>() / n;
+        let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / n;
+        Some(Self::new(mu, var.sqrt()))
+    }
+}
+
+/// An exponential distribution with the given rate (events per unit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    pub rate: f64,
+}
+
+impl Exponential {
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Self { rate }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+/// A bounded (truncated) Pareto distribution on `[min, max]`.
+///
+/// Captures the heavy-tailed job widths of the Facebook/Cloudera traces: the
+/// vast majority of jobs are tiny while a few giants dominate cluster load
+/// (cf. SWIM's published MapReduce workload characterisations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundedPareto {
+    pub alpha: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl BoundedPareto {
+    pub fn new(alpha: f64, min: f64, max: f64) -> Self {
+        assert!(alpha > 0.0 && min > 0.0 && max > min, "invalid bounded Pareto parameters");
+        Self { alpha, min, max }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF of the truncated Pareto.
+        let u: f64 = rng.gen::<f64>();
+        let la = self.min.powf(self.alpha);
+        let ha = self.max.powf(self.alpha);
+        let x = (-(u * (1.0 - la / ha) - 1.0)).powf(-1.0 / self.alpha) * self.min;
+        x.clamp(self.min, self.max)
+    }
+}
+
+/// A weekly rate-modulation profile: 24 hourly multipliers composed with 7
+/// daily multipliers.
+///
+/// Models Concern D (§2.4): "ETL jobs process Web activity logs which come in
+/// much smaller quantities on weekends", and the diurnal BI analyst pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeeklyProfile {
+    /// Multiplier per hour of day (index 0 = midnight..1am).
+    pub hourly: [f64; 24],
+    /// Multiplier per day of week (index 0 = first simulated day).
+    pub daily: [f64; 7],
+}
+
+impl Default for WeeklyProfile {
+    fn default() -> Self {
+        Self::flat()
+    }
+}
+
+impl WeeklyProfile {
+    /// Constant multiplier 1 everywhere.
+    pub fn flat() -> Self {
+        Self { hourly: [1.0; 24], daily: [1.0; 7] }
+    }
+
+    /// A business-hours profile: ramps up 8am–6pm, quiet nights, subdued
+    /// weekends (days 5 and 6).
+    pub fn business_hours() -> Self {
+        let mut hourly = [0.25; 24];
+        for (h, m) in hourly.iter_mut().enumerate() {
+            *m = match h {
+                8..=9 => 0.9,
+                10..=17 => 1.0,
+                18..=19 => 0.7,
+                20..=22 => 0.4,
+                _ => 0.15,
+            };
+        }
+        Self { hourly, daily: [1.0, 1.0, 1.0, 1.0, 1.0, 0.35, 0.3] }
+    }
+
+    /// Nightly-batch profile: load concentrated after midnight (typical for
+    /// ETL/MV pipelines that must finish before the business day).
+    pub fn nightly_batch() -> Self {
+        let mut hourly = [0.1; 24];
+        for (h, m) in hourly.iter_mut().enumerate() {
+            *m = match h {
+                0..=4 => 1.0,
+                5..=6 => 0.6,
+                22..=23 => 0.5,
+                _ => 0.1,
+            };
+        }
+        Self { hourly, daily: [1.0; 7] }
+    }
+
+    /// Weekend-subdued variant of a flat profile.
+    pub fn weekday_heavy() -> Self {
+        Self { hourly: [1.0; 24], daily: [1.0, 1.0, 1.0, 1.0, 1.0, 0.3, 0.25] }
+    }
+
+    /// The multiplier in effect at time `t`.
+    pub fn multiplier_at(&self, t: crate::time::Time) -> f64 {
+        self.hourly[crate::time::hour_of_day(t)] * self.daily[crate::time::day_of_week(t)]
+    }
+
+    /// The largest multiplier anywhere in the week (used as the thinning
+    /// envelope for inhomogeneous Poisson sampling).
+    pub fn max_multiplier(&self) -> f64 {
+        let hmax = self.hourly.iter().copied().fold(0.0_f64, f64::max);
+        let dmax = self.daily.iter().copied().fold(0.0_f64, f64::max);
+        hmax * dmax
+    }
+}
+
+/// Generates arrival timestamps of an inhomogeneous Poisson process on
+/// `[start, end)` with base rate `rate_per_hour` modulated by `profile`,
+/// using Lewis–Shedler thinning.
+pub fn poisson_arrivals<R: Rng + ?Sized>(
+    rng: &mut R,
+    rate_per_hour: f64,
+    profile: &WeeklyProfile,
+    start: crate::time::Time,
+    end: crate::time::Time,
+) -> Vec<crate::time::Time> {
+    use crate::time::{from_secs_f64, to_secs_f64, HOUR};
+    let mut out = Vec::new();
+    if rate_per_hour <= 0.0 || start >= end {
+        return out;
+    }
+    let envelope = rate_per_hour * profile.max_multiplier();
+    if envelope <= 0.0 {
+        return out;
+    }
+    let exp = Exponential::new(envelope / to_secs_f64(HOUR));
+    let mut t = start;
+    loop {
+        let gap = from_secs_f64(exp.sample(rng)).max(1);
+        t = t.saturating_add(gap);
+        if t >= end {
+            break;
+        }
+        let accept_p = profile.multiplier_at(t) / profile.max_multiplier();
+        if rng.gen::<f64>() < accept_p {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Empirical CDF evaluated at the given probe points.
+///
+/// Returns `P[X <= probe]` for each probe; `samples` need not be sorted.
+pub fn empirical_cdf(samples: &[f64], probes: &[f64]) -> Vec<f64> {
+    if samples.is_empty() {
+        return vec![0.0; probes.len()];
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF samples"));
+    probes
+        .iter()
+        .map(|&p| {
+            let idx = sorted.partition_point(|&x| x <= p);
+            idx as f64 / sorted.len() as f64
+        })
+        .collect()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of the samples, by linear interpolation.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile order out of range");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile samples"));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Arithmetic mean; 0 for an empty slice (callers treat empty windows as
+/// contributing no signal rather than NaN-poisoning downstream optimisation).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// Moving average of `(t, value)` series over a trailing window, evaluated at
+/// each point's own timestamp. Used for the "instant job response time"
+/// series of Figure 10 (30-minute trailing window in the paper).
+pub fn moving_average(points: &[(crate::time::Time, f64)], window: crate::time::Time) -> Vec<(crate::time::Time, f64)> {
+    let mut pts = points.to_vec();
+    pts.sort_by_key(|&(t, _)| t);
+    let mut out = Vec::with_capacity(pts.len());
+    let mut lo = 0usize;
+    let mut sum = 0.0;
+    for hi in 0..pts.len() {
+        sum += pts[hi].1;
+        while pts[lo].0 + window < pts[hi].0 {
+            sum -= pts[lo].1;
+            lo += 1;
+        }
+        out.push((pts[hi].0, sum / (hi - lo + 1) as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{HOUR, SEC, WEEK};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = rng(1);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| std_normal(&mut r)).collect();
+        let m = mean(&samples);
+        let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let d = LogNormal::from_median(60.0, 0.8);
+        assert!((d.median() - 60.0).abs() < 1e-9);
+        let mut r = rng(2);
+        let samples: Vec<f64> = (0..60_000).map(|_| d.sample(&mut r)).collect();
+        let med = quantile(&samples, 0.5);
+        assert!((med / 60.0 - 1.0).abs() < 0.05, "sample median {med}");
+        assert!((mean(&samples) / d.mean() - 1.0).abs() < 0.08);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let truth = LogNormal::new(3.0, 0.5);
+        let mut r = rng(3);
+        let samples: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut r)).collect();
+        let fit = LogNormal::fit(&samples).unwrap();
+        assert!((fit.mu - truth.mu).abs() < 0.02, "mu {}", fit.mu);
+        assert!((fit.sigma - truth.sigma).abs() < 0.02, "sigma {}", fit.sigma);
+    }
+
+    #[test]
+    fn lognormal_fit_rejects_degenerate_input() {
+        assert!(LogNormal::fit(&[]).is_none());
+        assert!(LogNormal::fit(&[1.0]).is_none());
+        assert!(LogNormal::fit(&[-1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(0.5);
+        let mut r = rng(4);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        assert!((mean(&samples) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_skew() {
+        let d = BoundedPareto::new(1.2, 1.0, 1000.0);
+        let mut r = rng(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| (1.0..=1000.0).contains(&x)));
+        // Heavy tail: median far below mean.
+        assert!(quantile(&samples, 0.5) < mean(&samples) / 1.5);
+    }
+
+    #[test]
+    fn homogeneous_poisson_rate() {
+        let mut r = rng(6);
+        let arr = poisson_arrivals(&mut r, 30.0, &WeeklyProfile::flat(), 0, 100 * HOUR);
+        let rate = arr.len() as f64 / 100.0;
+        assert!((rate - 30.0).abs() < 2.0, "rate {rate}");
+    }
+
+    #[test]
+    fn inhomogeneous_poisson_follows_profile() {
+        let mut r = rng(7);
+        let profile = WeeklyProfile::business_hours();
+        let arr = poisson_arrivals(&mut r, 60.0, &profile, 0, WEEK);
+        let day_count = arr.iter().filter(|&&t| crate::time::hour_of_day(t) >= 10 && crate::time::hour_of_day(t) < 18).count();
+        let night_count = arr.iter().filter(|&&t| crate::time::hour_of_day(t) < 5).count();
+        assert!(day_count > 3 * night_count, "day {day_count} night {night_count}");
+        // Weekend suppression.
+        let weekend = arr.iter().filter(|&&t| crate::time::day_of_week(t) >= 5).count();
+        let weekday = arr.len() - weekend;
+        assert!(weekday as f64 / 5.0 > 2.0 * weekend as f64 / 2.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_sorted_and_in_range() {
+        let mut r = rng(8);
+        let arr = poisson_arrivals(&mut r, 120.0, &WeeklyProfile::flat(), 5 * HOUR, 6 * HOUR);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|&t| (5 * HOUR..6 * HOUR).contains(&t)));
+    }
+
+    #[test]
+    fn empty_or_zero_rate_poisson() {
+        let mut r = rng(9);
+        assert!(poisson_arrivals(&mut r, 0.0, &WeeklyProfile::flat(), 0, HOUR).is_empty());
+        assert!(poisson_arrivals(&mut r, 5.0, &WeeklyProfile::flat(), HOUR, HOUR).is_empty());
+    }
+
+    #[test]
+    fn cdf_and_quantile() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        let cdf = empirical_cdf(&samples, &[0.5, 2.0, 10.0]);
+        assert_eq!(cdf, vec![0.0, 0.5, 1.0]);
+        assert!((quantile(&samples, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&samples, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&samples, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_windows() {
+        let pts = vec![(0, 1.0), (10 * SEC, 3.0), (100 * SEC, 10.0)];
+        let ma = moving_average(&pts, 20 * SEC);
+        assert_eq!(ma.len(), 3);
+        assert!((ma[0].1 - 1.0).abs() < 1e-12);
+        assert!((ma[1].1 - 2.0).abs() < 1e-12);
+        assert!((ma[2].1 - 10.0).abs() < 1e-12, "old points expire");
+    }
+}

@@ -1,0 +1,205 @@
+//! SWIM-style trace scaling.
+//!
+//! SWIM ("Statistical Workload Injector for MapReduce", Chen et al.) replays
+//! production traces on smaller clusters by sampling jobs and shrinking their
+//! footprints while preserving the workload's distributional shape. The
+//! paper scales the ABC/Facebook/Cloudera traces onto a 20-node EC2 cluster
+//! the same way (§8.2), and the provisioning experiment (§8.2.4) replays one
+//! workload against 100%/50%/25% clusters.
+
+use crate::time::Time;
+use crate::trace::{JobSpec, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a SWIM-style scale-down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleParams {
+    /// Probability of keeping each job (thinning the arrival process).
+    pub job_sample_frac: f64,
+    /// Multiplier on per-job task counts (shrinking data footprints).
+    pub task_scale: f64,
+    /// Multiplier on task durations (slower/faster hardware).
+    pub duration_scale: f64,
+    /// Multiplier on the time axis (compressing the replay horizon).
+    pub time_compression: f64,
+}
+
+impl Default for ScaleParams {
+    fn default() -> Self {
+        Self { job_sample_frac: 1.0, task_scale: 1.0, duration_scale: 1.0, time_compression: 1.0 }
+    }
+}
+
+impl ScaleParams {
+    /// The classic "replay a big-cluster trace on a cluster `f`× the size"
+    /// recipe: keep all jobs but shrink each one's parallelism by `f`.
+    pub fn cluster_fraction(f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "cluster fraction must be in (0,1]");
+        Self { job_sample_frac: 1.0, task_scale: f, duration_scale: 1.0, time_compression: 1.0 }
+    }
+
+    fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.job_sample_frac), "job_sample_frac in [0,1]");
+        assert!(self.task_scale > 0.0, "task_scale must be positive");
+        assert!(self.duration_scale > 0.0, "duration_scale must be positive");
+        assert!(self.time_compression > 0.0, "time_compression must be positive");
+    }
+}
+
+/// Scales a trace per `params`. Deterministic given `seed`.
+///
+/// Task counts are scaled with randomised rounding so that a 0.5 scale of a
+/// fleet of 3-map jobs still averages 1.5 maps rather than collapsing to 1.
+/// Deadlines keep their *relative slack* (deadline − submit is scaled by the
+/// duration and time factors), mirroring how SWIM-scaled experiments keep
+/// deadline tightness comparable across cluster sizes.
+pub fn scale_trace(trace: &Trace, params: ScaleParams, seed: u64) -> Trace {
+    params.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::with_capacity(trace.jobs.len());
+    for job in &trace.jobs {
+        if params.job_sample_frac < 1.0 && rng.gen::<f64>() >= params.job_sample_frac {
+            continue;
+        }
+        let submit = scale_time(job.submit, params.time_compression);
+        let mut tasks = Vec::new();
+        // Scale each kind's population independently with randomised rounding.
+        for kind in crate::trace::TaskKind::ALL {
+            let of_kind: Vec<Time> =
+                job.tasks.iter().filter(|t| t.kind == kind).map(|t| t.duration).collect();
+            if of_kind.is_empty() {
+                continue;
+            }
+            let target = of_kind.len() as f64 * params.task_scale;
+            let mut n = target.floor() as usize;
+            if rng.gen::<f64>() < target - n as f64 {
+                n += 1;
+            }
+            // A job that had tasks of this kind keeps at least one, so the
+            // map→reduce structure survives scaling.
+            n = n.max(1);
+            for i in 0..n {
+                let base = of_kind[i % of_kind.len()];
+                let dur = scale_time(base, params.duration_scale).max(1);
+                tasks.push(crate::trace::TaskSpec { kind, duration: dur });
+            }
+        }
+        if tasks.is_empty() {
+            continue;
+        }
+        let deadline = job.deadline.map(|d| {
+            let slack = d.saturating_sub(job.submit);
+            submit + scale_time(slack, params.duration_scale * params.time_compression)
+        });
+        jobs.push(JobSpec {
+            id: job.id,
+            tenant: job.tenant,
+            submit,
+            deadline,
+            slowstart: job.slowstart,
+            tasks,
+        });
+    }
+    let mut out = Trace::new(jobs);
+    out.sort_by_submit();
+    for (i, j) in out.jobs.iter_mut().enumerate() {
+        j.id = i as u64;
+    }
+    out
+}
+
+fn scale_time(t: Time, factor: f64) -> Time {
+    let v = t as f64 * factor;
+    if v >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        v.round() as Time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{HOUR, SEC};
+    use crate::trace::{TaskKind, TaskSpec};
+
+    fn base_trace() -> Trace {
+        let mut jobs = Vec::new();
+        for i in 0..200u64 {
+            let tasks = vec![
+                TaskSpec::map(30 * SEC),
+                TaskSpec::map(30 * SEC),
+                TaskSpec::map(30 * SEC),
+                TaskSpec::map(30 * SEC),
+                TaskSpec::reduce(120 * SEC),
+                TaskSpec::reduce(120 * SEC),
+            ];
+            jobs.push(JobSpec::new(i, (i % 2) as u16, i * 30 * SEC, tasks).with_deadline(i * 30 * SEC + HOUR));
+        }
+        Trace::new(jobs)
+    }
+
+    #[test]
+    fn identity_scale_preserves_everything_but_ids() {
+        let t = base_trace();
+        let s = scale_trace(&t, ScaleParams::default(), 1);
+        assert_eq!(s.len(), t.len());
+        assert_eq!(s.num_tasks(), t.num_tasks());
+        assert_eq!(s.jobs[0].submit, t.jobs[0].submit);
+        assert_eq!(s.jobs[0].deadline, t.jobs[0].deadline);
+    }
+
+    #[test]
+    fn job_sampling_thins() {
+        let t = base_trace();
+        let s = scale_trace(&t, ScaleParams { job_sample_frac: 0.5, ..Default::default() }, 2);
+        assert!((60..140).contains(&s.len()), "kept {}", s.len());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn task_scaling_preserves_structure_and_average() {
+        let t = base_trace();
+        let s = scale_trace(&t, ScaleParams::cluster_fraction(0.5), 3);
+        assert_eq!(s.len(), t.len());
+        for j in &s.jobs {
+            assert!(j.map_count() >= 1, "map stage survives");
+            assert!(j.reduce_count() >= 1, "reduce stage survives");
+        }
+        let maps: usize = s.jobs.iter().map(|j| j.map_count()).sum();
+        let expected = t.jobs.iter().map(|j| j.map_count()).sum::<usize>() / 2;
+        let ratio = maps as f64 / expected as f64;
+        assert!((0.9..1.1).contains(&ratio), "scaled maps {maps} expected ~{expected}");
+    }
+
+    #[test]
+    fn duration_and_time_scaling() {
+        let t = base_trace();
+        let s = scale_trace(
+            &t,
+            ScaleParams { duration_scale: 2.0, time_compression: 0.5, ..Default::default() },
+            4,
+        );
+        assert_eq!(s.jobs[1].submit, t.jobs[1].submit / 2);
+        let d = s.jobs[0].tasks.iter().find(|x| x.kind == TaskKind::Map).unwrap().duration;
+        assert_eq!(d, 60 * SEC);
+        // Deadline slack scaled by duration_scale × time_compression = 1.0.
+        let slack = s.jobs[0].deadline.unwrap() - s.jobs[0].submit;
+        assert_eq!(slack, HOUR);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = base_trace();
+        let p = ScaleParams { job_sample_frac: 0.7, task_scale: 0.3, ..Default::default() };
+        assert_eq!(scale_trace(&t, p, 9), scale_trace(&t, p, 9));
+        assert_ne!(scale_trace(&t, p, 9), scale_trace(&t, p, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster fraction")]
+    fn rejects_bad_fraction() {
+        let _ = ScaleParams::cluster_fraction(0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulated-time representation shared by the whole workspace.
+//!
+//! Time is a `u64` count of **microseconds** since the start of the simulated
+//! horizon. Integer time keeps event ordering exact and deterministic (no
+//! float accumulation drift), which the Schedule Predictor relies on: the
+//! paper's time-warp simulation only touches state at task submission,
+//! tentative finish, and preemption-check instants, so two runs with the same
+//! seed must interleave identically.
+
+/// Simulated time or duration, in microseconds.
+pub type Time = u64;
+
+/// One microsecond.
+pub const US: Time = 1;
+/// One millisecond.
+pub const MS: Time = 1_000;
+/// One second.
+pub const SEC: Time = 1_000_000;
+/// One minute.
+pub const MIN: Time = 60 * SEC;
+/// One hour.
+pub const HOUR: Time = 60 * MIN;
+/// One day.
+pub const DAY: Time = 24 * HOUR;
+/// One week.
+pub const WEEK: Time = 7 * DAY;
+
+/// Converts fractional seconds to [`Time`], saturating at zero for negative
+/// inputs (sampled durations can round below zero only through noise bugs;
+/// clamping keeps the simulator total-order safe).
+#[inline]
+pub fn from_secs_f64(secs: f64) -> Time {
+    if secs <= 0.0 {
+        return 0;
+    }
+    let us = secs * SEC as f64;
+    if us >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        us.round() as Time
+    }
+}
+
+/// Converts a [`Time`] to fractional seconds.
+#[inline]
+pub fn to_secs_f64(t: Time) -> f64 {
+    t as f64 / SEC as f64
+}
+
+/// Hour-of-day (0..24) for a timestamp, assuming the horizon starts at
+/// midnight on day 0.
+#[inline]
+pub fn hour_of_day(t: Time) -> usize {
+    ((t % DAY) / HOUR) as usize
+}
+
+/// Day-of-week (0..7) for a timestamp; day 0 is the first simulated day.
+#[inline]
+pub fn day_of_week(t: Time) -> usize {
+    ((t % WEEK) / DAY) as usize
+}
+
+/// Human-readable rendering (`1h02m03s`-style) used by the report printers.
+pub fn format_duration(t: Time) -> String {
+    let total_secs = t / SEC;
+    let h = total_secs / 3600;
+    let m = (total_secs % 3600) / 60;
+    let s = total_secs % 60;
+    if h > 0 {
+        format!("{h}h{m:02}m{s:02}s")
+    } else if m > 0 {
+        format!("{m}m{s:02}s")
+    } else {
+        let frac_ms = (t % SEC) / MS;
+        if total_secs == 0 && frac_ms > 0 {
+            format!("{frac_ms}ms")
+        } else {
+            format!("{s}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_roundtrip() {
+        assert_eq!(from_secs_f64(1.5), 1_500_000);
+        assert!((to_secs_f64(from_secs_f64(123.456)) - 123.456).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_seconds_clamp_to_zero() {
+        assert_eq!(from_secs_f64(-3.0), 0);
+        assert_eq!(from_secs_f64(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn huge_seconds_saturate() {
+        assert_eq!(from_secs_f64(f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn calendar_helpers() {
+        assert_eq!(hour_of_day(0), 0);
+        assert_eq!(hour_of_day(3 * HOUR + 5 * MIN), 3);
+        assert_eq!(hour_of_day(DAY + HOUR), 1);
+        assert_eq!(day_of_week(0), 0);
+        assert_eq!(day_of_week(6 * DAY + 23 * HOUR), 6);
+        assert_eq!(day_of_week(WEEK + DAY), 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(500 * MS), "500ms");
+        assert_eq!(format_duration(59 * SEC), "59s");
+        assert_eq!(format_duration(61 * SEC), "1m01s");
+        assert_eq!(format_duration(3 * HOUR + 2 * MIN + SEC), "3h02m01s");
+    }
+}

@@ -1,0 +1,116 @@
+//! Workload-model integration tests: fit → generate round-trips, scaling
+//! semantics, and codec interop on realistic multi-tenant traces.
+
+use proptest::prelude::*;
+use tempo_workload::abc;
+use tempo_workload::codec;
+use tempo_workload::model::{ArrivalProcess, WorkloadModel};
+use tempo_workload::swim::{scale_trace, ScaleParams};
+use tempo_workload::time::{DAY, HOUR};
+
+/// Fitting a model to a trace generated from a known model, then generating
+/// from the fit, preserves the aggregate workload shape (the §7.1 training
+/// loop is self-consistent).
+#[test]
+fn fit_generate_fixpoint_preserves_aggregates() {
+    let truth = abc::abc_model(0.08);
+    let trace = truth.generate(0, 2 * DAY, 3);
+    let names: Vec<&str> = abc::TENANT_NAMES.to_vec();
+    let fitted = WorkloadModel::fit(&trace, &names);
+    assert_eq!(fitted.num_tenants(), 6);
+    let regen = fitted.generate(0, 2 * DAY, 4);
+
+    // Aggregate totals agree within sampling tolerance.
+    let jobs_ratio = regen.len() as f64 / trace.len() as f64;
+    assert!((0.7..1.4).contains(&jobs_ratio), "job count ratio {jobs_ratio}");
+    let work = |t: &tempo_workload::Trace| -> f64 {
+        t.jobs.iter().map(|j| j.total_work() as f64).sum::<f64>()
+    };
+    let work_ratio = work(&regen) / work(&trace);
+    assert!((0.4..2.5).contains(&work_ratio), "total work ratio {work_ratio}");
+
+    // Per-tenant mean durations carry over (medians of lognormals).
+    for tid in 0..6u16 {
+        let a = trace.tenant_stats(tid);
+        let b = regen.tenant_stats(tid);
+        if a.jobs < 10 || b.jobs < 10 {
+            continue; // MV generates few jobs at this scale
+        }
+        let ratio = b.mean_map_secs / a.mean_map_secs;
+        assert!((0.5..2.0).contains(&ratio), "tenant {tid} map duration ratio {ratio}");
+    }
+}
+
+/// The fitted arrival rate matches the empirical rate, and data-size scaling
+/// raises per-job work without touching the rate.
+#[test]
+fn fitted_rates_and_scaling_compose() {
+    let truth = abc::abc_model(0.1);
+    let trace = truth.generate(0, 2 * DAY, 7);
+    let mut fitted = WorkloadModel::fit(&trace, &abc::TENANT_NAMES.to_vec());
+    let bi = trace.tenant_stats(abc::tenant::BI);
+    let empirical_rate = bi.jobs as f64 / 48.0;
+    match &fitted.tenants[abc::tenant::BI as usize].arrival {
+        ArrivalProcess::Poisson { rate_per_hour, .. } => {
+            assert!(
+                (rate_per_hour / empirical_rate - 1.0).abs() < 0.05,
+                "fit {} vs empirical {}",
+                rate_per_hour,
+                empirical_rate
+            );
+        }
+        other => panic!("BI should fit as Poisson, got {other:?}"),
+    }
+    // Grow the data size 30% (the §7.1 extrapolation): per-job maps grow,
+    // rates stay.
+    let before = fitted.generate(0, DAY, 9);
+    for t in &mut fitted.tenants {
+        t.scale_data_size(1.3);
+    }
+    let after = fitted.generate(0, DAY, 9);
+    let maps = |t: &tempo_workload::Trace| -> f64 {
+        t.jobs.iter().map(|j| j.map_count() as f64).sum::<f64>() / t.len().max(1) as f64
+    };
+    let growth = maps(&after) / maps(&before);
+    assert!((1.1..1.6).contains(&growth), "mean maps/job growth {growth}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SWIM scaling then binary codec round-trips exactly for arbitrary
+    /// parameter combinations on a real generated trace.
+    #[test]
+    fn scaled_traces_roundtrip_binary(
+        frac in 0.2f64..1.0,
+        dur in 0.5f64..2.0,
+        seed in 0u64..20,
+    ) {
+        let trace = abc::abc_span(0.05, 12 * HOUR, seed);
+        let scaled = scale_trace(
+            &trace,
+            ScaleParams { job_sample_frac: frac, task_scale: frac, duration_scale: dur, time_compression: 1.0 },
+            seed,
+        );
+        prop_assert!(scaled.validate().is_ok());
+        let bytes = codec::to_binary(&scaled);
+        let back = codec::from_binary(bytes).expect("decodes");
+        prop_assert_eq!(back, scaled);
+    }
+
+    /// Cluster-fraction scaling preserves total work within sampling noise
+    /// of the per-kind randomized rounding.
+    #[test]
+    fn cluster_fraction_scaling_preserves_mean_work(
+        frac in 0.3f64..0.9,
+        seed in 0u64..20,
+    ) {
+        let trace = abc::abc_span(0.08, 12 * HOUR, 100 + seed);
+        let scaled = scale_trace(&trace, ScaleParams::cluster_fraction(frac), seed);
+        let work = |t: &tempo_workload::Trace| t.jobs.iter().map(|j| j.total_work() as f64).sum::<f64>();
+        let ratio = work(&scaled) / (work(&trace) * frac);
+        // Randomized rounding keeps expectation; small jobs clamp at ≥1 task
+        // per kind, so allow upward bias.
+        prop_assert!((0.85..1.6).contains(&ratio), "work ratio {ratio}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Resource provisioning: "what cluster size do I need for these SLOs?"
+//! (§8.2.4 as a decision-support tool).
+//!
+//! ```text
+//! cargo run -p tempo-examples --release --bin provisioning
+//! ```
+//!
+//! Collects a (noisy, horizon-bounded) trace of the current cluster, then
+//! uses Tempo's reconstruction + Schedule Predictor to estimate the SLOs of
+//! the same workload on candidate cluster sizes — finding the cheapest
+//! cluster that still meets the deadline SLO.
+
+use tempo_core::provision::{estimate_slos, reconstruct_trace};
+use tempo_core::scenario;
+use tempo_qs::{QsKind, SloSet, SloSpec};
+use tempo_sim::{simulate, predict, SimOptions};
+use tempo_workload::time::HOUR;
+
+fn main() {
+    let scale = 0.25;
+    let current = scenario::ec2_cluster().scaled(scale);
+    let config = scenario::scaled_expert(scale);
+    let trace = scenario::experiment_trace(scale, 9);
+    let window = (0, 2 * HOUR);
+
+    let slos = SloSet::new(vec![
+        SloSpec::new(Some(scenario::tenant::DEADLINE), QsKind::DeadlineMiss { gamma: 0.25 })
+            .with_threshold(0.05),
+        SloSpec::new(Some(scenario::tenant::BEST_EFFORT), QsKind::AvgResponseTime),
+    ]);
+
+    // What the operator actually has: the observed schedule of the current
+    // cluster, collected over a two-hour window in a noisy environment.
+    let observed = simulate(
+        &trace,
+        &current,
+        &config,
+        &SimOptions {
+            horizon: Some(window.1),
+            noise: scenario::observation_noise(),
+            seed: 4,
+        },
+    );
+    let rebuilt = reconstruct_trace(&observed);
+    println!(
+        "observed {} jobs / {} tasks on the current cluster ({} map + {} reduce containers)",
+        rebuilt.len(),
+        rebuilt.num_tasks(),
+        current.pools[0].capacity,
+        current.pools[1].capacity,
+    );
+
+    println!("\n{:<18} {:>16} {:>18}  verdict", "candidate size", "deadline misses", "best-effort AJR");
+    let mut cheapest_ok: Option<f64> = None;
+    for frac in [0.5, 0.75, 1.0, 1.5, 2.0] {
+        let candidate = current.scaled(frac);
+        let est = estimate_slos(&observed, &candidate, &config, &slos, window);
+        let ok = est[0] <= 0.05;
+        if ok && cheapest_ok.is_none() {
+            cheapest_ok = Some(frac);
+        }
+        println!(
+            "{:<18} {:>15.1}% {:>17.1}s  {}",
+            format!("{:.0}% of current", frac * 100.0),
+            est[0] * 100.0,
+            est[1],
+            if ok { "meets deadline SLO" } else { "violates deadline SLO" },
+        );
+    }
+    match cheapest_ok {
+        Some(f) => println!("\ncheapest candidate meeting the deadline SLO: {:.0}% of the current cluster", f * 100.0),
+        None => println!("\nno candidate met the deadline SLO — provision more than 2×"),
+    }
+
+    // Sanity: compare the estimate against ground truth at 100%.
+    let truth = {
+        let s = predict(&trace, &current, &config);
+        slos.evaluate(&s, window.0, window.1)
+    };
+    let est = estimate_slos(&observed, &current, &config, &slos, window);
+    println!(
+        "\nestimate vs ground truth at 100%: AJR {:.1}s vs {:.1}s, misses {:.1}% vs {:.1}%",
+        est[1],
+        truth[1],
+        est[0] * 100.0,
+        truth[0] * 100.0,
+    );
+}

@@ -1,0 +1,109 @@
+//! Quickstart: declare SLOs, let Tempo tune the RM.
+//!
+//! ```text
+//! cargo run -p tempo-examples --release --bin quickstart
+//! ```
+//!
+//! Builds the paper's §8.2.1 setting end to end, but from the public API —
+//! a deadline-driven tenant and a best-effort tenant on a simulated 20-node
+//! cluster — with the SLOs written in the declarative template language, and
+//! runs a handful of Tempo control-loop iterations starting from a
+//! hand-tuned "expert" configuration.
+
+use std::collections::BTreeMap;
+use tempo_core::control::{LoopConfig, Tempo};
+use tempo_core::pald::PaldConfig;
+use tempo_core::space::ConfigSpace;
+use tempo_core::whatif::{WhatIfModel, WorkloadSource};
+use tempo_qs::SloSet;
+use tempo_sim::observe;
+use tempo_workload::synthetic::ec2_experiment_trace;
+use tempo_workload::time::{HOUR, MIN};
+
+fn main() {
+    // 1. The workload: a two-hour trace with a deadline-driven tenant
+    //    ("etl") and a best-effort tenant ("analytics"). In production this
+    //    would be the job history your RM already logs.
+    let scale = 0.25;
+    let trace = ec2_experiment_trace(scale, 2 * HOUR, 7);
+    let cluster = tempo_core::scenario::ec2_cluster().scaled(scale);
+    println!(
+        "workload: {} jobs / {} tasks on a {}+{} container cluster",
+        trace.len(),
+        trace.num_tasks(),
+        cluster.pools[0].capacity,
+        cluster.pools[1].capacity,
+    );
+
+    // 2. The SLOs, declared exactly like the paper's examples. Tenant "etl"
+    //    may miss no deadlines (25% slack); tenant "analytics" wants the
+    //    lowest response time Tempo can find (no threshold = best-effort,
+    //    ratcheted each iteration).
+    let mut tenants = BTreeMap::new();
+    tenants.insert("etl".to_string(), 0u16);
+    tenants.insert("analytics".to_string(), 1u16);
+    let slos = SloSet::parse(
+        "\
+        # deadline pipeline: no violations tolerated\n\
+        tenant etl: deadline_miss(slack=25%) <= 0%\n\
+        # exploratory analytics: just make it fast\n\
+        tenant analytics: avg_response_time\n",
+        &tenants,
+    )
+    .expect("SLO spec parses");
+    println!("SLOs: {:?}", slos.slos.iter().map(|s| s.name.clone()).collect::<Vec<_>>());
+
+    // 3. Tempo: What-if Model over the recent traces + PALD + control loop,
+    //    starting from the DBA's expert configuration.
+    let whatif = WhatIfModel::new(
+        cluster.clone(),
+        slos,
+        WorkloadSource::Replay(trace.clone()),
+        (0, 2 * HOUR + 30 * MIN),
+    );
+    let space = ConfigSpace::new(2, &cluster);
+    let expert = tempo_core::scenario::scaled_expert(scale);
+    let mut tempo = Tempo::new(
+        space,
+        whatif,
+        LoopConfig {
+            pald: PaldConfig { probes: 5, trust_radius: 0.18, seed: 1, ..Default::default() },
+            ..Default::default()
+        },
+        &expert,
+    );
+
+    // 4. The control loop: observe the (simulated, noisy) cluster under the
+    //    current configuration, let Tempo install a better one, repeat.
+    println!("\niter  deadline-miss  best-effort AJR  reverted");
+    for i in 0..8u64 {
+        let observed = observe(
+            &trace,
+            &cluster,
+            &tempo.current_config(),
+            tempo_core::scenario::observation_noise(),
+            100 + i,
+        );
+        let rec = tempo.iterate(&observed);
+        println!(
+            "{:>4}  {:>13.1}%  {:>14.1}s  {}",
+            rec.iteration,
+            rec.observed_qs[0] * 100.0,
+            rec.observed_qs[1],
+            if rec.reverted { "yes" } else { "" },
+        );
+    }
+
+    let final_config = tempo.current_config();
+    println!("\nfinal RM configuration installed by Tempo:");
+    for (i, t) in final_config.tenants.iter().enumerate() {
+        println!(
+            "  tenant {i}: weight {:.2}, min {:?}, max {:?}, fair/min preemption timeouts {:?}/{:?}",
+            t.weight,
+            t.min_share,
+            t.max_share,
+            t.fair_timeout.map(tempo_workload::time::format_duration),
+            t.min_timeout.map(tempo_workload::time::format_duration),
+        );
+    }
+}

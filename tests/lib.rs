@@ -1,0 +1,2 @@
+//! Integration-test crate for the Tempo workspace; all tests live in
+//! `tests/tests/`.

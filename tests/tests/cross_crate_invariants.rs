@@ -1,0 +1,98 @@
+//! Cross-crate property tests: any statistically generated workload, run
+//! under any configuration decoded from the optimizer's search space, must
+//! uphold the scheduler's global invariants and produce well-formed QS
+//! values.
+
+use proptest::prelude::*;
+use tempo_core::space::ConfigSpace;
+use tempo_qs::{evaluate_qs, PoolScope, QsKind};
+use tempo_sim::{simulate, ClusterSpec, NoiseModel, SimOptions};
+use tempo_workload::synthetic::ec2_experiment_model;
+use tempo_workload::time::MIN;
+use tempo_workload::TaskKind;
+
+proptest! {
+    // Each case simulates a few hundred tasks; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decoded_configs_run_generated_workloads_safely(
+        xs in prop::collection::vec(0.0f64..1.0, 14),
+        gen_seed in 0u64..50,
+        sim_seed in 0u64..50,
+        noisy in any::<bool>(),
+    ) {
+        let cluster = ClusterSpec::new(12, 6);
+        let space = ConfigSpace::new(2, &cluster);
+        let config = space.decode(&xs);
+        prop_assert!(config.validate().is_ok());
+
+        let trace = ec2_experiment_model(0.05).generate(0, 30 * MIN, gen_seed);
+        let noise = if noisy { NoiseModel::production() } else { NoiseModel::NONE };
+        let sched = simulate(
+            &trace,
+            &cluster,
+            &config,
+            &SimOptions { horizon: Some(90 * MIN), noise, seed: sim_seed },
+        );
+
+        // Capacity invariant via a sweep line per pool.
+        for kind in TaskKind::ALL {
+            let mut events: Vec<(u64, i64)> = Vec::new();
+            for t in &sched.tasks {
+                if t.kind != kind {
+                    continue;
+                }
+                for a in &t.attempts {
+                    events.push((a.launch, 1));
+                    events.push((a.end, -1));
+                }
+            }
+            events.sort_unstable();
+            let mut level = 0i64;
+            for (_, d) in events {
+                level += d;
+                prop_assert!(level <= cluster.capacity(kind) as i64);
+            }
+        }
+
+        // QS metrics are finite and in their documented ranges.
+        let (w0, w1) = (0, 60 * MIN);
+        let dl = evaluate_qs(&QsKind::DeadlineMiss { gamma: 0.25 }, &sched, Some(0), w0, w1);
+        prop_assert!((0.0..=1.0).contains(&dl));
+        let ajr = evaluate_qs(&QsKind::AvgResponseTime, &sched, Some(1), w0, w1);
+        prop_assert!(ajr.is_finite() && ajr >= 0.0);
+        for pool in [PoolScope::Map, PoolScope::Reduce, PoolScope::Dominant] {
+            let u = evaluate_qs(&QsKind::Utilization { pool, effective: false }, &sched, None, w0, w1);
+            prop_assert!((-1.0 - 1e-9..=0.0).contains(&u), "utilization out of range: {u}");
+            let e = evaluate_qs(&QsKind::Utilization { pool, effective: true }, &sched, None, w0, w1);
+            prop_assert!(e >= u - 1e-9, "effective ≤ raw (negated): {e} vs {u}");
+        }
+        let thr = evaluate_qs(&QsKind::Throughput, &sched, None, w0, w1);
+        prop_assert!(thr <= 0.0);
+        let fair = evaluate_qs(&QsKind::Fairness { share: 0.4, pool: PoolScope::Dominant }, &sched, Some(0), w0, w1);
+        prop_assert!((0.0..=1.0).contains(&fair));
+    }
+
+    #[test]
+    fn provisioning_reconstruction_is_replayable(
+        gen_seed in 0u64..30,
+        frac in 0.25f64..1.0,
+    ) {
+        let target = ClusterSpec::new(16, 8);
+        let source = target.scaled(frac);
+        let trace = ec2_experiment_model(0.05).generate(0, 20 * MIN, gen_seed);
+        let observed = simulate(
+            &trace,
+            &source,
+            &tempo_sim::RmConfig::fair(2),
+            &SimOptions { horizon: Some(40 * MIN), noise: NoiseModel::NONE, seed: 0 },
+        );
+        let rebuilt = tempo_core::reconstruct_trace(&observed);
+        prop_assert!(rebuilt.validate().is_ok());
+        prop_assert!(rebuilt.len() <= trace.len());
+        // Replaying the reconstruction must itself be safe.
+        let replay = simulate(&rebuilt, &target, &tempo_sim::RmConfig::fair(2), &SimOptions::default());
+        prop_assert!(replay.jobs.iter().all(|j| j.finish.is_some()));
+    }
+}

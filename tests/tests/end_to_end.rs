@@ -1,0 +1,155 @@
+//! End-to-end integration: declarative SLOs → workload → simulator →
+//! QS → PALD → control loop, across all crates.
+
+use std::collections::BTreeMap;
+use tempo_core::control::{LoopConfig, Tempo};
+use tempo_core::pald::PaldConfig;
+use tempo_core::space::ConfigSpace;
+use tempo_core::whatif::{WhatIfModel, WorkloadSource};
+use tempo_qs::SloSet;
+use tempo_sim::{observe, predict, ClusterSpec, NoiseModel, RmConfig};
+use tempo_workload::synthetic::ec2_experiment_trace;
+use tempo_workload::time::{HOUR, MIN};
+
+fn tenant_names() -> BTreeMap<String, u16> {
+    let mut m = BTreeMap::new();
+    m.insert("etl".into(), 0);
+    m.insert("adhoc".into(), 1);
+    m
+}
+
+/// The full paper pipeline driven from the declarative surface only.
+#[test]
+fn declarative_slos_drive_the_loop() {
+    let slos = SloSet::parse(
+        "tenant etl: deadline_miss(slack=25%) <= 0%\ntenant adhoc: avg_response_time\n",
+        &tenant_names(),
+    )
+    .expect("parses");
+    let scale = 0.15;
+    let cluster = tempo_core::scenario::ec2_cluster().scaled(scale);
+    let trace = ec2_experiment_trace(scale, HOUR, 21);
+    let whatif = WhatIfModel::new(cluster.clone(), slos, WorkloadSource::Replay(trace.clone()), (0, HOUR + 20 * MIN));
+    let space = ConfigSpace::new(2, &cluster);
+    let mut tempo = Tempo::new(
+        space,
+        whatif,
+        LoopConfig {
+            pald: PaldConfig { probes: 5, trust_radius: 0.18, seed: 3, ..Default::default() },
+            ..Default::default()
+        },
+        &tempo_core::scenario::scaled_expert(scale),
+    );
+
+    let mut first_ajr = None;
+    let mut best_ajr = f64::INFINITY;
+    for i in 0..6u64 {
+        let sched = observe(
+            &trace,
+            &cluster,
+            &tempo.current_config(),
+            tempo_core::scenario::observation_noise(),
+            400 + i,
+        );
+        let rec = tempo.iterate(&sched);
+        first_ajr.get_or_insert(rec.observed_qs[1]);
+        best_ajr = best_ajr.min(rec.observed_qs[1]);
+        // The installed configuration always validates and stays inside the
+        // trust region of the previous one.
+        assert!(tempo.current_config().validate().is_ok());
+    }
+    let first = first_ajr.expect("ran at least once");
+    assert!(
+        best_ajr <= first,
+        "loop should never lose track of the best config: first {first}, best {best_ajr}"
+    );
+}
+
+/// Reproducibility across the whole stack: same seeds ⇒ identical schedules,
+/// QS vectors, and controller decisions.
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let scale = 0.1;
+        let cluster = tempo_core::scenario::ec2_cluster().scaled(scale);
+        let trace = ec2_experiment_trace(scale, HOUR, 5);
+        let slos = tempo_core::scenario::mixed_slos(0.25);
+        let whatif =
+            WhatIfModel::new(cluster.clone(), slos, WorkloadSource::Replay(trace.clone()), (0, HOUR + 10 * MIN));
+        let mut tempo = Tempo::new(
+            ConfigSpace::new(2, &cluster),
+            whatif,
+            LoopConfig {
+                pald: PaldConfig { probes: 4, trust_radius: 0.15, seed: 9, ..Default::default() },
+                ..Default::default()
+            },
+            &tempo_core::scenario::scaled_expert(scale),
+        );
+        let mut qs_log = Vec::new();
+        for i in 0..3u64 {
+            let sched = observe(
+                &trace,
+                &cluster,
+                &tempo.current_config(),
+                tempo_core::scenario::observation_noise(),
+                i,
+            );
+            qs_log.push(tempo.iterate(&sched).observed_qs);
+        }
+        (qs_log, tempo.current_config())
+    };
+    let (qs_a, cfg_a) = run();
+    let (qs_b, cfg_b) = run();
+    assert_eq!(qs_a, qs_b);
+    assert_eq!(cfg_a, cfg_b);
+}
+
+/// Trace serialization feeds back into the pipeline unchanged.
+#[test]
+fn trace_codecs_roundtrip_through_simulation() {
+    let trace = ec2_experiment_trace(0.1, 30 * MIN, 6);
+    let cluster = ClusterSpec::new(24, 12);
+    let cfg = RmConfig::fair(2);
+    let direct = predict(&trace, &cluster, &cfg);
+
+    let json = tempo_workload::codec::to_json(&trace).unwrap();
+    let from_json = tempo_workload::codec::from_json(&json).unwrap();
+    assert_eq!(predict(&from_json, &cluster, &cfg), direct);
+
+    let bin = tempo_workload::codec::to_binary(&trace);
+    let from_bin = tempo_workload::codec::from_binary(bin).unwrap();
+    assert_eq!(predict(&from_bin, &cluster, &cfg), direct);
+
+    let jsonl = tempo_workload::codec::to_jsonl(&trace).unwrap();
+    let from_jsonl = tempo_workload::codec::from_jsonl(&jsonl).unwrap();
+    assert_eq!(predict(&from_jsonl, &cluster, &cfg), direct);
+}
+
+/// RM configurations survive a JSON round-trip and still decode/encode
+/// through the optimizer's configuration space.
+#[test]
+fn config_serialization_interops_with_space() {
+    let cluster = ClusterSpec::new(50, 25);
+    let space = ConfigSpace::new(3, &cluster);
+    let x: Vec<f64> = (0..space.dim()).map(|i| (i as f64 * 0.37) % 1.0).collect();
+    let cfg = space.decode(&x);
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: RmConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+    // Re-encoding the decoded config is a fixed point (decode ∘ encode = id
+    // on decoded configs).
+    let x2 = space.encode(&back);
+    assert_eq!(space.decode(&x2), cfg);
+}
+
+/// The noisy observer and the deterministic predictor agree when noise is
+/// zero: the "observed cluster" really is the predictor plus noise.
+#[test]
+fn observer_equals_predictor_without_noise() {
+    let trace = ec2_experiment_trace(0.1, 30 * MIN, 8);
+    let cluster = ClusterSpec::new(24, 12);
+    let cfg = tempo_core::scenario::scaled_expert(0.2);
+    let a = predict(&trace, &cluster, &cfg);
+    let b = observe(&trace, &cluster, &cfg, NoiseModel::NONE, 123);
+    assert_eq!(a, b);
+}

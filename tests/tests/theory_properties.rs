@@ -1,0 +1,134 @@
+//! Property-based checks of the paper's theoretical claims, across crates.
+
+use proptest::prelude::*;
+use tempo_core::control::dominates;
+use tempo_solver::simplex::max_min_weights;
+use tempo_solver::Matrix;
+
+/// Theorem 1's engine: the proxy objective `s(f) = Σ c_i [f_i − ρ·max(f_i,
+/// r_i)]` is strictly increasing in every `f_i` whenever `c > 0` and
+/// `ρ < 1`. (Monotonicity is what makes every SP2 solution an SP1 solution.)
+fn proxy(f: &[f64], c: &[f64], r: &[f64], rho: f64) -> f64 {
+    f.iter()
+        .zip(c)
+        .zip(r)
+        .map(|((fi, ci), ri)| ci * (fi - rho * fi.max(*ri)))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn theorem1_proxy_is_strictly_monotone(
+        k in 1usize..5,
+        f_vals in prop::collection::vec(-5.0f64..5.0, 8),
+        c_vals in prop::collection::vec(0.05f64..2.0, 8),
+        r_vals in prop::collection::vec(-5.0f64..5.0, 8),
+        rho in -3.0f64..0.99,
+        bump_idx in 0usize..8,
+        bump in 0.01f64..2.0,
+    ) {
+        let f: Vec<f64> = f_vals[..k].to_vec();
+        let c: Vec<f64> = c_vals[..k].to_vec();
+        let r: Vec<f64> = r_vals[..k].to_vec();
+        let mut f_worse = f.clone();
+        f_worse[bump_idx % k] += bump;
+        prop_assert!(
+            proxy(&f_worse, &c, &r, rho) > proxy(&f, &c, &r, rho),
+            "increasing any f_i must increase the proxy (ρ={rho})"
+        );
+    }
+
+    /// Corollary used by PALD's candidate selection: if candidate A has a
+    /// strictly smaller proxy value than B, then B does not dominate A.
+    #[test]
+    fn smaller_proxy_is_never_dominated(
+        k in 1usize..5,
+        fa in prop::collection::vec(-5.0f64..5.0, 8),
+        fb in prop::collection::vec(-5.0f64..5.0, 8),
+        c_vals in prop::collection::vec(0.05f64..2.0, 8),
+        r_vals in prop::collection::vec(-5.0f64..5.0, 8),
+        rho in -3.0f64..0.99,
+    ) {
+        let fa: Vec<f64> = fa[..k].to_vec();
+        let fb: Vec<f64> = fb[..k].to_vec();
+        let c: Vec<f64> = c_vals[..k].to_vec();
+        let r: Vec<f64> = r_vals[..k].to_vec();
+        if proxy(&fa, &c, &r, rho) < proxy(&fb, &c, &r, rho) {
+            prop_assert!(!dominates(&fb, &fa, 0.0), "B dominating A would contradict monotonicity");
+        }
+    }
+
+    /// Max-min fairness of the LP weights: the achieved min row value
+    /// `min_i (Gc)_i` is within tolerance of the optimum over the simplex
+    /// (verified against a dense grid for k = 2).
+    #[test]
+    fn max_min_lp_maximizes_worst_row(
+        g00 in 0.1f64..4.0,
+        g01 in -2.0f64..2.0,
+        g10 in -2.0f64..2.0,
+        g11 in 0.1f64..4.0,
+    ) {
+        let g = Matrix::from_rows(&[vec![g00, g01], vec![g10, g11]]);
+        let Some(c) = max_min_weights(&g, f64::INFINITY) else {
+            return Ok(()); // no useful weighting exists for this instance
+        };
+        // Normalize to Σ = 1 for comparison with the grid (LP bounds Σc ≤ 1,
+        // returns l2-normalized c).
+        let sum: f64 = c.iter().sum();
+        prop_assume!(sum > 1e-9);
+        let c1: Vec<f64> = c.iter().map(|v| v / sum).collect();
+        let val = |cv: &[f64]| {
+            let gc = g.matvec(cv);
+            gc.into_iter().fold(f64::INFINITY, f64::min)
+        };
+        let lp_val = val(&c1);
+        let mut grid_best = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let a = i as f64 / 100.0;
+            grid_best = grid_best.max(val(&[a, 1.0 - a]));
+        }
+        prop_assert!(
+            lp_val >= grid_best - 0.05 * grid_best.abs().max(1.0),
+            "LP min-row {lp_val} vs grid optimum {grid_best}"
+        );
+    }
+
+    /// Pareto-dominance is a strict partial order on QS vectors.
+    #[test]
+    fn dominance_is_irreflexive_antisymmetric_transitive(
+        a in prop::collection::vec(-3.0f64..3.0, 3),
+        b in prop::collection::vec(-3.0f64..3.0, 3),
+        c in prop::collection::vec(-3.0f64..3.0, 3),
+    ) {
+        prop_assert!(!dominates(&a, &a, 0.0), "irreflexive");
+        if dominates(&a, &b, 0.0) {
+            prop_assert!(!dominates(&b, &a, 0.0), "antisymmetric");
+        }
+        if dominates(&a, &b, 0.0) && dominates(&b, &c, 0.0) {
+            prop_assert!(dominates(&a, &c, 0.0), "transitive");
+        }
+    }
+}
+
+/// The §6.3 counterexample, verbatim: QS vectors (5,5) and (0,7) with
+/// r = (6,6). Weighted-sum scalarization picks the constraint violator; the
+/// proxy with ρ < 1 and the violated term penalized picks (5,5) once ρ
+/// reflects the violation.
+#[test]
+fn section_6_3_counterexample() {
+    let r = [6.0, 6.0];
+    let c = [0.5, 0.5];
+    let feasible = [5.0, 5.0];
+    let violating = [0.0, 7.0];
+    // Weighted sum (ρ = 0): prefers the violator.
+    assert!(proxy(&violating, &c, &r, 0.0) < proxy(&feasible, &c, &r, 0.0));
+    // Proxy with a negative ρ (penalizing max(f, r)) flips the preference:
+    // s(feasible) = 5 − 6ρ vs s(violating) = 3.5 − 6.5ρ cross at ρ = −3.
+    let rho = -4.0;
+    assert!(
+        proxy(&feasible, &c, &r, rho) < proxy(&violating, &c, &r, rho),
+        "the proxy must prefer the feasible vector"
+    );
+}
