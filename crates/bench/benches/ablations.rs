@@ -24,7 +24,14 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(30);
     group.bench_function("pald", |b| {
         b.iter_batched(
-            || Pald::new(PaldConfig { trust_radius: 0.15, probes: 5, seed: 2, ..Default::default() }),
+            || {
+                Pald::new(PaldConfig {
+                    trust_radius: 0.15,
+                    probes: 5,
+                    seed: 2,
+                    ..Default::default()
+                })
+            },
             |mut opt| {
                 let obj = toy_objective();
                 opt.propose(&obj, &[0.5; 6], &[0.2, f64::INFINITY])

@@ -11,7 +11,11 @@ use tempo_solver::Matrix;
 
 fn gram(k: usize) -> Matrix {
     let rows: Vec<Vec<f64>> = (0..k)
-        .map(|i| (0..k).map(|j| if i == j { 2.0 } else { ((i * 7 + j * 3) % 5) as f64 / 5.0 - 0.4 }).collect())
+        .map(|i| {
+            (0..k)
+                .map(|j| if i == j { 2.0 } else { ((i * 7 + j * 3) % 5) as f64 / 5.0 - 0.4 })
+                .collect()
+        })
         .collect();
     let j = Matrix::from_rows(&rows);
     j.gram()
@@ -26,7 +30,9 @@ fn kernels(c: &mut Criterion) {
         });
         let j = Matrix::from_rows(
             &(0..k)
-                .map(|i| (0..8).map(|d| ((i * 13 + d * 5) % 9) as f64 / 4.0 - 1.0).collect::<Vec<_>>())
+                .map(|i| {
+                    (0..8).map(|d| ((i * 13 + d * 5) % 9) as f64 / 4.0 - 1.0).collect::<Vec<_>>()
+                })
                 .collect::<Vec<_>>(),
         );
         group.bench_with_input(BenchmarkId::new("mgda_min_norm", k), &j, |b, j| {
@@ -57,7 +63,14 @@ fn kernels(c: &mut Criterion) {
     for dim in [7usize, 14] {
         group.bench_function(BenchmarkId::new("synthetic", dim), |b| {
             b.iter_batched(
-                || Pald::new(PaldConfig { trust_radius: 0.15, probes: 5, seed: 1, ..Default::default() }),
+                || {
+                    Pald::new(PaldConfig {
+                        trust_radius: 0.15,
+                        probes: 5,
+                        seed: 1,
+                        ..Default::default()
+                    })
+                },
                 |mut pald| {
                     let obj = (dim, 2usize, move |x: &[f64], _s: u64| {
                         let f1: f64 = x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum();

@@ -12,14 +12,19 @@ use tempo_workload::time::HOUR;
 fn predictor_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("predictor_throughput");
     group.sample_size(10);
-    for (label, scale, span_hours) in [("small", 0.25, 1u64), ("medium", 0.5, 2), ("large", 1.0, 4)] {
+    for (label, scale, span_hours) in [("small", 0.25, 1u64), ("medium", 0.5, 2), ("large", 1.0, 4)]
+    {
         let trace = ec2_experiment_model(scale).generate(0, span_hours * HOUR, 1);
         let cluster = scenario::ec2_cluster().scaled(scale);
         let tasks = trace.num_tasks() as u64;
         group.throughput(Throughput::Elements(tasks));
-        group.bench_with_input(BenchmarkId::new("fair", format!("{label}/{tasks}tasks")), &trace, |b, t| {
-            b.iter(|| predict(t, &cluster, &RmConfig::fair(2)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fair", format!("{label}/{tasks}tasks")),
+            &trace,
+            |b, t| {
+                b.iter(|| predict(t, &cluster, &RmConfig::fair(2)));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("expert_with_preemption", format!("{label}/{tasks}tasks")),
             &trace,

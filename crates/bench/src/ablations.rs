@@ -9,7 +9,7 @@ use crate::report::{fmt, pct, render_table};
 use tempo_core::baselines::{Optimizer, RandomSearch, WeightedSum};
 use tempo_core::control::RevertPolicy;
 use tempo_core::pald::{Pald, PaldConfig, QsObjective};
-use tempo_core::scenario::{self, Scenario};
+use tempo_core::scenario::ec2_scenario;
 use tempo_solver::loess::{loess_fit, Sample};
 use tempo_solver::{dot, norm};
 
@@ -21,9 +21,8 @@ fn constrained_objective(noise: f64) -> impl QsObjective {
             let h = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(23);
             noise * (((h % 1000) as f64 / 1000.0) - 0.5)
         };
-        let d2 = |c: [f64; 3]| -> f64 {
-            x.iter().zip(c).map(|(xi, ci)| (xi - ci) * (xi - ci)).sum()
-        };
+        let d2 =
+            |c: [f64; 3]| -> f64 { x.iter().zip(c).map(|(xi, ci)| (xi - ci) * (xi - ci)).sum() };
         vec![
             4.0 * d2([0.2, 0.2, 0.5]) + jitter(sample),
             4.0 * d2([0.8, 0.8, 0.5]) + jitter(sample.wrapping_add(1)),
@@ -47,7 +46,8 @@ pub fn ablation_scalarization() -> AblationScalarization {
     let mut rows = Vec::new();
 
     let obj = constrained_objective(0.02);
-    let mut pald = Pald::new(PaldConfig { trust_radius: 0.12, probes: 6, seed: 5, ..Default::default() });
+    let mut pald =
+        Pald::new(PaldConfig { trust_radius: 0.12, probes: 6, seed: 5, ..Default::default() });
     let mut ws = WeightedSum::new(vec![0.5, 0.5], 0.12, 6, 5);
     let mut rs = RandomSearch::new(0.12, 6, 5);
     let mut drive = |name: &str, opt: &mut dyn FnMut(&[f64]) -> Vec<f64>| {
@@ -101,38 +101,19 @@ pub fn ablation_revert() -> AblationRevert {
     ] {
         // Heavier-than-production observation noise: the guard only matters
         // when observations can look bad by chance.
-        let mut sc = Scenario::mixed(0.15, 0.25, 42);
-        sc.tempo = {
-            // Rebuild the controller with the requested policy.
-            let cluster = sc.cluster.clone();
-            let whatif = tempo_core::whatif::WhatIfModel::new(
-                cluster.clone(),
-                scenario::mixed_slos(0.25),
-                tempo_core::whatif::WorkloadSource::Replay(sc.trace.clone()),
-                sc.window,
-            );
-            let space = tempo_core::space::ConfigSpace::new(2, &cluster);
-            let cfg = tempo_core::control::LoopConfig {
-                pald: PaldConfig { probes: 5, trust_radius: 0.18, seed: 42, ..Default::default() },
-                revert: policy,
-                ..Default::default()
-            };
-            tempo_core::control::Tempo::new(space, whatif, cfg, &scenario::scaled_expert(0.15))
-        };
         let noise = tempo_sim::NoiseModel {
             duration_sigma: 0.35,
             task_failure_prob: 0.02,
             job_kill_prob: 0.0,
         };
+        let mut sc = ec2_scenario(0.15, 1.0, 0.25, 42)
+            .observation_noise(noise)
+            .revert(policy)
+            .build()
+            .expect("valid EC2 preset");
         let mut recs = Vec::new();
         for i in 0..8u64 {
-            let sched = tempo_sim::observe(
-                &sc.trace,
-                &sc.cluster,
-                &sc.tempo.current_config(),
-                noise,
-                7000 + i,
-            );
+            let sched = sc.observe_current(7000 + i);
             recs.push(sc.tempo.iterate(&sched));
         }
         let base = recs[0].observed_qs[1];
@@ -174,22 +155,10 @@ pub struct AblationTrustRadius {
 pub fn ablation_trust_radius() -> AblationTrustRadius {
     let mut rows = Vec::new();
     for &radius in &[0.05, 0.15, 0.3] {
-        let mut sc = Scenario::mixed(0.15, 0.25, 42);
-        sc.tempo = {
-            let cluster = sc.cluster.clone();
-            let whatif = tempo_core::whatif::WhatIfModel::new(
-                cluster.clone(),
-                scenario::mixed_slos(0.25),
-                tempo_core::whatif::WorkloadSource::Replay(sc.trace.clone()),
-                sc.window,
-            );
-            let space = tempo_core::space::ConfigSpace::new(2, &cluster);
-            let cfg = tempo_core::control::LoopConfig {
-                pald: PaldConfig { probes: 5, trust_radius: radius, seed: 42, ..Default::default() },
-                ..Default::default()
-            };
-            tempo_core::control::Tempo::new(space, whatif, cfg, &scenario::scaled_expert(0.15))
-        };
+        let mut sc = ec2_scenario(0.15, 1.0, 0.25, 42)
+            .pald(PaldConfig { probes: 5, trust_radius: radius, seed: 42, ..Default::default() })
+            .build()
+            .expect("valid EC2 preset");
         let recs = sc.run(8, 8000);
         let base = recs[0].observed_qs[1];
         let best = recs.iter().map(|r| r.observed_qs[1] / base).fold(f64::INFINITY, f64::min);
@@ -230,9 +199,8 @@ pub fn ablation_gradients() -> AblationGradients {
     let mut rng = StdRng::seed_from_u64(9);
     let dim = 6;
     let truth: Vec<f64> = (0..dim).map(|i| (i as f64 - 2.0) / 2.0).collect();
-    let noisy = |x: &[f64], rng: &mut StdRng| -> f64 {
-        dot(x, &truth) + rng.gen_range(-0.05..0.05)
-    };
+    let noisy =
+        |x: &[f64], rng: &mut StdRng| -> f64 { dot(x, &truth) + rng.gen_range(-0.05..0.05) };
     let x0 = vec![0.5; dim];
     let n_evals = 40;
 
@@ -266,11 +234,8 @@ pub fn ablation_gradients() -> AblationGradients {
 
 impl std::fmt::Display for AblationGradients {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let rows: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|(n, c)| vec![n.clone(), pct(*c)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.rows.iter().map(|(n, c)| vec![n.clone(), pct(*c)]).collect();
         write!(
             f,
             "{}",

@@ -8,9 +8,10 @@
 //! unused by the other."
 
 use crate::report::{pct, render_table};
-use tempo_qs::{allocation_series, sample_series};
-use tempo_sim::{predict, ClusterSpec, RmConfig, TenantConfig};
-use tempo_workload::model::{ArrivalProcess, CountDist, DeadlinePolicy, JobShape, TenantModel, WorkloadModel};
+use tempo_core::spec::{ScenarioSpec, TenantSpec};
+use tempo_qs::{allocation_series, sample_series, QsKind};
+use tempo_sim::{predict, ClusterSpec, TenantConfig};
+use tempo_workload::model::{ArrivalProcess, CountDist, DeadlinePolicy, JobShape, TenantModel};
 use tempo_workload::stats::{LogNormal, WeeklyProfile};
 use tempo_workload::time::{DAY, HOUR};
 use tempo_workload::trace::TaskKind;
@@ -35,31 +36,45 @@ pub fn fig2() -> Fig2 {
         map_secs: LogNormal::from_median(180.0, 0.6),
         reduce_secs: LogNormal::from_median(60.0, 0.1),
     };
-    let model = WorkloadModel::new(vec![
-        TenantModel {
-            name: "A (daytime analytics)".into(),
-            arrival: ArrivalProcess::Poisson { rate_per_hour: 9.0, profile: WeeklyProfile::business_hours() },
-            shape: shape.clone(),
-            deadline: DeadlinePolicy::None,
-            slowstart: 1.0,
-        },
-        TenantModel {
-            name: "B (nightly batch)".into(),
-            arrival: ArrivalProcess::Poisson { rate_per_hour: 9.0, profile: WeeklyProfile::nightly_batch() },
-            shape,
-            deadline: DeadlinePolicy::None,
-            slowstart: 1.0,
-        },
-    ]);
-    let trace = model.generate(0, DAY, 21);
     // The DBA split the cluster 50/50 with hard caps, "to protect against
     // resource hoarding".
     let (limit_a, limit_b) = (capacity / 2, capacity / 2);
-    let config = RmConfig::new(vec![
-        TenantConfig::fair_default().with_max_share(limit_a, 1),
-        TenantConfig::fair_default().with_max_share(limit_b, 1),
-    ]);
-    let sched = predict(&trace, &cluster, &config);
+    let sc = ScenarioSpec::new(cluster.clone())
+        .tenant(
+            TenantSpec::new(TenantModel {
+                name: "A (daytime analytics)".into(),
+                arrival: ArrivalProcess::Poisson {
+                    rate_per_hour: 9.0,
+                    profile: WeeklyProfile::business_hours(),
+                },
+                shape: shape.clone(),
+                deadline: DeadlinePolicy::None,
+                slowstart: 1.0,
+            })
+            .with_rm(TenantConfig::fair_default().with_max_share(limit_a, 1))
+            .with_slo(QsKind::AvgResponseTime),
+        )
+        .tenant(
+            TenantSpec::new(TenantModel {
+                name: "B (nightly batch)".into(),
+                arrival: ArrivalProcess::Poisson {
+                    rate_per_hour: 9.0,
+                    profile: WeeklyProfile::nightly_batch(),
+                },
+                shape,
+                deadline: DeadlinePolicy::None,
+                slowstart: 1.0,
+            })
+            .with_rm(TenantConfig::fair_default().with_max_share(limit_b, 1))
+            .with_slo(QsKind::AvgResponseTime),
+        )
+        .span(DAY)
+        .seed(21)
+        .build()
+        .expect("valid two-tenant limits scenario");
+    // Deterministic prediction (no noise) under the capped configuration,
+    // straight from the spec's composed parts.
+    let sched = predict(&sc.trace, &sc.cluster, &sc.tempo.current_config());
     let sa = allocation_series(&sched, 0, TaskKind::Map);
     let sb = allocation_series(&sched, 1, TaskKind::Map);
     let hourly: Vec<(u64, i64, i64)> = sample_series(&sa, 0, DAY, HOUR)
@@ -89,7 +104,13 @@ impl std::fmt::Display for Fig2 {
                 } else {
                     ""
                 };
-                vec![format!("{h:02}:00"), a.to_string(), b.to_string(), idle.to_string(), flag.into()]
+                vec![
+                    format!("{h:02}:00"),
+                    a.to_string(),
+                    b.to_string(),
+                    idle.to_string(),
+                    flag.into(),
+                ]
             })
             .collect();
         write!(

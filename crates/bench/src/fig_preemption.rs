@@ -4,8 +4,8 @@
 use crate::report::{cdf_row, fmt, pct, render_table};
 use crate::tables::Scale;
 use tempo_qs::{allocation_series, sample_series};
-use tempo_sim::{observe, simulate, ClusterSpec, RmConfig, SimOptions, TenantConfig};
-use tempo_workload::synthetic::{ec2_experiment_model, ec2_tenant};
+use tempo_sim::{simulate, ClusterSpec, RmConfig, SimOptions, TenantConfig};
+use tempo_workload::synthetic::ec2_tenant;
 use tempo_workload::time::{to_secs_f64, DAY, MIN};
 use tempo_workload::trace::{JobSpec, TaskKind, TaskSpec, Trace};
 
@@ -101,10 +101,13 @@ pub fn fig7(scale: Scale) -> Fig7 {
         Scale::Quick => (0.25, 2u64),
         Scale::Full => (1.0, 7u64),
     };
-    let cluster = crate::paper_cluster(load);
-    let trace = ec2_experiment_model(load).generate(0, days * DAY, 11);
-    let config = tempo_core::scenario::scaled_expert(load);
-    let sched = observe(&trace, &cluster, &config, tempo_core::scenario::observation_noise(), 12);
+    // Multi-day §8.2 scenario under the expert configuration (slack only
+    // affects SLO bookkeeping, not the observed schedule).
+    let sc = tempo_core::scenario::ec2_scenario(load, 1.0, 0.25, 11)
+        .span(days * DAY)
+        .build()
+        .expect("valid EC2 preset");
+    let sched = sc.observe_current(12);
 
     let mut by_day = Vec::new();
     for day in 0..days as usize {
@@ -143,13 +146,12 @@ pub fn fig7(scale: Scale) -> Fig7 {
     let reduce_pre_be = sched
         .tasks
         .iter()
-        .filter(|t| t.kind == TaskKind::Reduce && t.was_preempted() && t.tenant == ec2_tenant::BEST_EFFORT)
+        .filter(|t| {
+            t.kind == TaskKind::Reduce && t.was_preempted() && t.tenant == ec2_tenant::BEST_EFFORT
+        })
         .count();
-    let reduce_pre_all = sched
-        .tasks
-        .iter()
-        .filter(|t| t.kind == TaskKind::Reduce && t.was_preempted())
-        .count();
+    let reduce_pre_all =
+        sched.tasks.iter().filter(|t| t.kind == TaskKind::Reduce && t.was_preempted()).count();
     Fig7 {
         by_day,
         total_map_fraction,
@@ -282,10 +284,22 @@ mod tests {
     #[test]
     fn fig7_8_preemption_shape() {
         let r = fig7(Scale::Quick);
-        assert!(r.total_reduce_fraction > r.total_map_fraction,
-            "reduces are preempted more: map {} reduce {}", r.total_map_fraction, r.total_reduce_fraction);
-        assert!(r.total_reduce_fraction > 0.02, "preemption actually happens: {}", r.total_reduce_fraction);
-        assert!(r.reduce_share_best_effort > 0.5, "best-effort bears reduce kills: {}", r.reduce_share_best_effort);
+        assert!(
+            r.total_reduce_fraction > r.total_map_fraction,
+            "reduces are preempted more: map {} reduce {}",
+            r.total_map_fraction,
+            r.total_reduce_fraction
+        );
+        assert!(
+            r.total_reduce_fraction > 0.02,
+            "preemption actually happens: {}",
+            r.total_reduce_fraction
+        );
+        assert!(
+            r.reduce_share_best_effort > 0.5,
+            "best-effort bears reduce kills: {}",
+            r.reduce_share_best_effort
+        );
         let f8 = fig8(&r);
         assert!(f8.best_effort_reduce_median > f8.deadline_reduce_median * 0.9);
         assert_eq!(f8.rows.len(), 4);

@@ -35,12 +35,14 @@ pub fn fig12(scale: Scale) -> Fig12 {
         Scale::Quick => 0.25,
         Scale::Full => 1.0,
     };
-    let target = scenario::ec2_cluster().scaled(load);
     // Run the workload at ~55% of the target's capacity: the paper's
     // experiment cluster had headroom, which is what makes the half-size
     // estimate usable (≤20% error) while the quarter-size one degrades.
-    let trace = scenario::experiment_trace(load * 0.55, 55);
-    let config = scenario::scaled_expert(load);
+    // `load_boost` scales only the workload, exactly what headroom means.
+    let sc = scenario::ec2_scenario(load, 0.55, 0.25, 55).build().expect("valid EC2 preset");
+    let target = sc.cluster.clone();
+    let config = sc.tempo.current_config();
+    let trace = sc.trace;
     let slos = fig12_slos();
     let window = (0, 2 * HOUR);
 
@@ -102,7 +104,13 @@ impl std::fmt::Display for Fig12 {
             "{}",
             render_table(
                 "Figure 12: SLO estimation error for the full-size cluster, by trace source",
-                &["trace source", "best-effort latency", "deadline latency", "map util", "reduce util"],
+                &[
+                    "trace source",
+                    "best-effort latency",
+                    "deadline latency",
+                    "map util",
+                    "reduce util"
+                ],
                 &rows,
             )
         )?;

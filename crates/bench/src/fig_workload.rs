@@ -1,12 +1,13 @@
 //! Figures 5 and 10: workload statistics and instant response-time series.
 
 use crate::report::{cdf_row, fmt, render_table};
-use crate::tables::{abc_production_config, Scale};
+use crate::tables::Scale;
+use tempo_core::scenario::abc_scenario;
 use tempo_qs::response_time_series;
-use tempo_sim::{observe, ClusterSpec, NoiseModel, Schedule};
+use tempo_sim::{NoiseModel, Schedule};
 use tempo_workload::abc::{self, TENANT_NAMES};
 use tempo_workload::stats::moving_average;
-use tempo_workload::synthetic::{ec2_experiment_trace, ec2_tenant};
+use tempo_workload::synthetic::ec2_tenant;
 use tempo_workload::time::{to_secs_f64, Time, DAY, HOUR, MIN, WEEK};
 use tempo_workload::TenantId;
 
@@ -26,13 +27,16 @@ pub struct Fig5Tenant {
 }
 
 pub fn fig5(scale: Scale) -> Fig5 {
-    let (load, span, cluster) = match scale {
-        Scale::Quick => (0.05, DAY, ClusterSpec::new(60, 30)),
-        Scale::Full => (0.3, WEEK, ClusterSpec::new(360, 180)),
+    let (load, span) = match scale {
+        Scale::Quick => (0.05, DAY),
+        Scale::Full => (0.3, WEEK),
     };
-    let trace = abc::abc_span(load, span, 5);
-    let config = abc_production_config(&cluster);
-    let sched = observe(&trace, &cluster, &config, NoiseModel::production(), 6);
+    let sc = abc_scenario(load, 0.25, 5)
+        .span(span)
+        .observation_noise(NoiseModel::production())
+        .build()
+        .expect("valid ABC preset");
+    let sched = sc.observe_current(6);
     let tenants = (0..6u16)
         .map(|tid: TenantId| {
             let responses: Vec<f64> = sched
@@ -42,17 +46,10 @@ pub fn fig5(scale: Scale) -> Fig5 {
                 .filter_map(|j| j.response_time())
                 .map(to_secs_f64)
                 .collect();
-            let waits: Vec<f64> = sched
-                .tenant_tasks(tid)
-                .filter_map(|t| t.wait_time())
-                .map(to_secs_f64)
-                .collect();
-            let maps: Vec<f64> = sched
-                .jobs
-                .iter()
-                .filter(|j| j.tenant == tid)
-                .map(|j| j.map_count as f64)
-                .collect();
+            let waits: Vec<f64> =
+                sched.tenant_tasks(tid).filter_map(|t| t.wait_time()).map(to_secs_f64).collect();
+            let maps: Vec<f64> =
+                sched.jobs.iter().filter(|j| j.tenant == tid).map(|j| j.map_count as f64).collect();
             let reduces: Vec<f64> = sched
                 .jobs
                 .iter()
@@ -121,12 +118,16 @@ pub struct Fig10 {
 pub fn fig10(scale: Scale) -> Fig10 {
     // Left: ABC-style week; ETL is the deadline-driven series, DEV the
     // best-effort one (the paper's "dramatically changing" series).
-    let (load, span, cluster) = match scale {
-        Scale::Quick => (0.05, 2 * DAY, ClusterSpec::new(60, 30)),
-        Scale::Full => (0.25, WEEK, ClusterSpec::new(300, 150)),
+    let (load, span) = match scale {
+        Scale::Quick => (0.05, 2 * DAY),
+        Scale::Full => (0.25, WEEK),
     };
-    let trace = abc::abc_span(load, span, 7);
-    let sched = observe(&trace, &cluster, &abc_production_config(&cluster), NoiseModel::production(), 8);
+    let sc = abc_scenario(load, 0.25, 7)
+        .span(span)
+        .observation_noise(NoiseModel::production())
+        .build()
+        .expect("valid ABC preset");
+    let sched = sc.observe_current(8);
     let weekly = ma_pair(&sched, abc::tenant::ETL, abc::tenant::DEV, 30 * MIN, HOUR, span);
 
     // Right: the EC2 two-hour experiment under the expert configuration.
@@ -134,22 +135,28 @@ pub fn fig10(scale: Scale) -> Fig10 {
         Scale::Quick => 0.25,
         Scale::Full => 1.0,
     };
-    let ec2 = ec2_experiment_trace(scale_f, 2 * HOUR, 9);
-    let cluster2 = crate::paper_cluster(scale_f);
-    let sched2 = observe(
-        &ec2,
-        &cluster2,
-        &tempo_core::scenario::scaled_expert(scale_f),
-        tempo_core::scenario::observation_noise(),
-        10,
-    );
-    let two_hour = ma_pair(&sched2, ec2_tenant::DEADLINE, ec2_tenant::BEST_EFFORT, 15 * MIN, 5 * MIN, 2 * HOUR)
-        .into_iter()
-        .map(|(h, a, b)| (h * 60.0, a, b))
-        .collect();
+    let sc2 = tempo_core::scenario::ec2_scenario(scale_f, 1.0, 0.25, 9)
+        .build()
+        .expect("valid EC2 preset");
+    let sched2 = sc2.observe_current(10);
+    let two_hour = ma_pair(
+        &sched2,
+        ec2_tenant::DEADLINE,
+        ec2_tenant::BEST_EFFORT,
+        15 * MIN,
+        5 * MIN,
+        2 * HOUR,
+    )
+    .into_iter()
+    .map(|(h, a, b)| (h * 60.0, a, b))
+    .collect();
 
     let cv = |series: &[(f64, f64, f64)], pick_b: bool| -> f64 {
-        let vals: Vec<f64> = series.iter().map(|&(_, a, b)| if pick_b { b } else { a }).filter(|v| *v > 0.0).collect();
+        let vals: Vec<f64> = series
+            .iter()
+            .map(|&(_, a, b)| if pick_b { b } else { a })
+            .filter(|v| *v > 0.0)
+            .collect();
         if vals.len() < 2 {
             return 0.0;
         }
@@ -191,11 +198,8 @@ fn ma_pair(
 
 impl std::fmt::Display for Fig10 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let rows: Vec<Vec<String>> = self
-            .weekly
-            .iter()
-            .map(|&(h, d, b)| vec![format!("{h:.0}h"), fmt(d), fmt(b)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.weekly.iter().map(|&(h, d, b)| vec![format!("{h:.0}h"), fmt(d), fmt(b)]).collect();
         write!(
             f,
             "{}",

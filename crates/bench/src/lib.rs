@@ -34,11 +34,6 @@ pub mod tables;
 
 pub use tables::Scale;
 
-/// The paper's 20-node EC2 cluster scaled by `scale` (shared sizing).
-pub fn paper_cluster(scale: f64) -> tempo_sim::ClusterSpec {
-    tempo_core::scenario::ec2_cluster().scaled(scale)
-}
-
 /// Runs one experiment by id, returning its printed report. Ids match the
 /// table in the crate docs; `all` runs everything in paper order.
 pub fn run_experiment(id: &str, scale: Scale) -> Result<String, String> {
@@ -77,15 +72,30 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<String, String> {
             }
             s
         }
-        other => return Err(format!("unknown experiment '{other}'; try one of {ALL_EXPERIMENTS:?} or 'all'")),
+        other => {
+            return Err(format!(
+                "unknown experiment '{other}'; try one of {ALL_EXPERIMENTS:?} or 'all'"
+            ))
+        }
     };
     Ok(out)
 }
 
 /// Every experiment id, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "table1", "table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "ablations",
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
 ];
 
 #[cfg(test)]

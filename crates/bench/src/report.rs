@@ -88,8 +88,7 @@ pub fn cdf_row(samples: &[f64]) -> Vec<String> {
     let qs = [0.1, 0.5, 0.9, 0.99].map(|q| quantile(samples, q));
     let lo = qs[0].max(1e-3);
     let hi = qs[3].max(lo * 1.001);
-    let grid: Vec<f64> =
-        (0..24).map(|i| lo * (hi / lo).powf(i as f64 / 23.0)).collect();
+    let grid: Vec<f64> = (0..24).map(|i| lo * (hi / lo).powf(i as f64 / 23.0)).collect();
     let cdf = empirical_cdf(samples, &grid);
     let mut row: Vec<String> = qs.iter().map(|&v| fmt(v)).collect();
     row.push(sparkline(&cdf));

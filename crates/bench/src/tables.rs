@@ -2,9 +2,10 @@
 //! accuracy) reproductions.
 
 use crate::report::{fmt, render_table};
-use tempo_sim::{observe, predict, prediction_error, ClusterSpec, NoiseModel, RmConfig, TenantConfig};
-use tempo_workload::abc::{self, TENANT_CHARACTERISTICS, TENANT_DEADLINE_DRIVEN, TENANT_NAMES};
-use tempo_workload::time::{Time, DAY, MIN, SEC, WEEK};
+use tempo_core::scenario::abc_scenario;
+use tempo_sim::{predict, prediction_error, NoiseModel};
+use tempo_workload::abc::{TENANT_CHARACTERISTICS, TENANT_DEADLINE_DRIVEN, TENANT_NAMES};
+use tempo_workload::time::{Time, DAY, WEEK};
 use tempo_workload::TenantId;
 
 /// Experiment scale: `quick` keeps the harness snappy for CI; `full`
@@ -46,7 +47,7 @@ pub fn table1(scale: Scale) -> Table1 {
         Scale::Quick => (0.05, 2 * DAY),
         Scale::Full => (0.3, WEEK),
     };
-    let trace = abc::abc_span(load, span, 1);
+    let trace = abc_scenario(load, 0.25, 1).span(span).build().expect("valid ABC preset").trace;
     let days = span as f64 / DAY as f64;
     let rows = (0..6u16)
         .map(|tid| {
@@ -89,7 +90,16 @@ impl std::fmt::Display for Table1 {
             "{}",
             render_table(
                 "Table 1: Tenant characteristics at Company ABC",
-                &["tenant", "characteristics", "SLO class", "jobs/day", "maps/job", "reduces/job", "map s", "reduce s"],
+                &[
+                    "tenant",
+                    "characteristics",
+                    "SLO class",
+                    "jobs/day",
+                    "maps/job",
+                    "reduces/job",
+                    "map s",
+                    "reduce s"
+                ],
                 &rows,
             )
         )
@@ -115,62 +125,43 @@ pub struct Table2Row {
 /// workload in a noisy "production" environment, predict the same workload
 /// deterministically, and compare per-tenant job finish times.
 pub fn table2(scale: Scale) -> Table2 {
-    let (load, span, cluster) = match scale {
-        Scale::Quick => (0.05, DAY, ClusterSpec::new(60, 30)),
-        Scale::Full => (0.35, 3 * DAY, ClusterSpec::new(420, 210)),
+    let (load, span) = match scale {
+        Scale::Quick => (0.05, DAY),
+        Scale::Full => (0.35, 3 * DAY),
     };
-    let trace = abc::abc_span(load, span, 2);
-    let config = abc_production_config(&cluster);
-    let observed = observe(&trace, &cluster, &config, NoiseModel::production(), 3);
+    // The ABC preset's cluster sizing matches the paper's validation setup
+    // ((60, 30) at quick scale); production-grade observation noise stands
+    // in for the real cluster.
+    let sc = abc_scenario(load, 0.25, 2)
+        .span(span)
+        .observation_noise(NoiseModel::production())
+        .build()
+        .expect("valid ABC preset");
+    let config = sc.tempo.current_config();
+    let observed = sc.observe_current(3);
 
     let started = std::time::Instant::now();
-    let predicted = predict(&trace, &cluster, &config);
+    let predicted = predict(&sc.trace, &sc.cluster, &config);
     let elapsed = started.elapsed().as_secs_f64();
-    let total_tasks = trace.num_tasks();
+    let total_tasks = sc.trace.num_tasks();
 
     let rows = (0..6u16)
         .map(|tid: TenantId| {
             let e = prediction_error(&predicted, &observed, tid);
-            Table2Row { tenant: TENANT_NAMES[tid as usize].into(), rae: e.rae, rse: e.rse, jobs: e.jobs }
+            Table2Row {
+                tenant: TENANT_NAMES[tid as usize].into(),
+                rae: e.rae,
+                rse: e.rse,
+                jobs: e.jobs,
+            }
         })
         .collect();
     Table2 { rows, tasks_per_sec: total_tasks as f64 / elapsed.max(1e-9), total_tasks }
 }
 
-/// A production-flavoured six-tenant configuration: deadline pipelines (APP,
-/// MV, ETL) get guarantees and preemption; best-effort tenants get weights
-/// only. MV's long reduces plus ETL's bursty preemption reproduce the
-/// paper's observation that MV has the worst prediction error.
-pub fn abc_production_config(cluster: &ClusterSpec) -> RmConfig {
-    let m = cluster.capacity(tempo_workload::TaskKind::Map);
-    let r = cluster.capacity(tempo_workload::TaskKind::Reduce);
-    let frac = |c: u32, f: f64| ((c as f64 * f) as u32).max(1);
-    RmConfig::new(vec![
-        // BI
-        TenantConfig::fair_default().with_weight(1.5).with_max_share(frac(m, 0.5), frac(r, 0.5)),
-        // DEV
-        TenantConfig::fair_default().with_weight(1.0).with_max_share(frac(m, 0.4), frac(r, 0.4)),
-        // APP
-        TenantConfig::fair_default()
-            .with_weight(3.0)
-            .with_min_share(frac(m, 0.1), frac(r, 0.1))
-            .with_min_timeout(30 * SEC),
-        // STR
-        TenantConfig::fair_default().with_weight(1.0).with_max_share(frac(m, 0.4), frac(r, 0.4)),
-        // MV
-        TenantConfig::fair_default()
-            .with_weight(2.0)
-            .with_min_share(frac(m, 0.15), frac(r, 0.25))
-            .with_fair_timeout(2 * MIN)
-            .with_min_timeout(45 * SEC),
-        // ETL
-        TenantConfig::fair_default()
-            .with_weight(2.5)
-            .with_min_share(frac(m, 0.2), frac(r, 0.15))
-            .with_fair_timeout(MIN)
-            .with_min_timeout(20 * SEC),
-    ])
-}
+/// The production-flavoured six-tenant configuration now lives with the ABC
+/// scenario preset in `tempo-core`; re-exported for the figure harnesses.
+pub use tempo_core::scenario::abc_production_config;
 
 impl std::fmt::Display for Table2 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -218,12 +209,8 @@ mod tests {
         assert!(mv.mean_reduce_secs > 10.0 * app.mean_reduce_secs);
         assert!(app.mean_maps < 10.0);
         // ETL and MV and APP are the deadline tenants.
-        let deadline: Vec<&str> = t
-            .rows
-            .iter()
-            .filter(|r| r.deadline_driven)
-            .map(|r| r.tenant.as_str())
-            .collect();
+        let deadline: Vec<&str> =
+            t.rows.iter().filter(|r| r.deadline_driven).map(|r| r.tenant.as_str()).collect();
         assert_eq!(deadline, vec!["APP", "MV", "ETL"]);
         let text = t.to_string();
         assert!(text.contains("Table 1"));

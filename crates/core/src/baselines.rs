@@ -15,12 +15,18 @@ use tempo_solver::project::project_box_ball;
 /// A single-step optimizer interface shared by PALD and the baselines: given
 /// the current point and constraint bounds, propose the next point.
 pub trait Optimizer {
-    fn propose<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], r: &[f64]) -> Vec<f64>;
+    fn propose<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], r: &[f64])
+        -> Vec<f64>;
     fn name(&self) -> &'static str;
 }
 
 impl Optimizer for crate::pald::Pald {
-    fn propose<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], r: &[f64]) -> Vec<f64> {
+    fn propose<O: QsObjective + ?Sized>(
+        &mut self,
+        objective: &O,
+        x: &[f64],
+        r: &[f64],
+    ) -> Vec<f64> {
         self.step(objective, x, r).x_new
     }
     fn name(&self) -> &'static str {
@@ -70,7 +76,12 @@ impl WeightedSum {
 }
 
 impl Optimizer for WeightedSum {
-    fn propose<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], _r: &[f64]) -> Vec<f64> {
+    fn propose<O: QsObjective + ?Sized>(
+        &mut self,
+        objective: &O,
+        x: &[f64],
+        _r: &[f64],
+    ) -> Vec<f64> {
         let dim = objective.dim();
         let radius = self.trust_radius * (dim as f64).sqrt();
         let bandwidth = 2.5 * radius;
@@ -130,7 +141,12 @@ impl RandomSearch {
 }
 
 impl Optimizer for RandomSearch {
-    fn propose<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], r: &[f64]) -> Vec<f64> {
+    fn propose<O: QsObjective + ?Sized>(
+        &mut self,
+        objective: &O,
+        x: &[f64],
+        r: &[f64],
+    ) -> Vec<f64> {
         let dim = objective.dim();
         let radius = self.trust_radius * (dim as f64).sqrt();
         // Scalarization that at least knows about constraints: violations
@@ -221,10 +237,7 @@ mod tests {
         assert!(weighted(&[0.0, 7.0]) < weighted(&[5.0, 5.0]), "weighted sum picks the violator");
         let r = [6.0, 6.0];
         let penalized = |f: &[f64]| -> f64 {
-            f.iter()
-                .zip(&r)
-                .map(|(fi, ri)| if fi > ri { fi + 10.0 * (fi - ri) } else { *fi })
-                .sum()
+            f.iter().zip(&r).map(|(fi, ri)| if fi > ri { fi + 10.0 * (fi - ri) } else { *fi }).sum()
         };
         assert!(penalized(&[5.0, 5.0]) < penalized(&[0.0, 7.0]), "constraint-aware pick");
     }
@@ -232,7 +245,8 @@ mod tests {
     #[test]
     fn optimizer_trait_is_object_usable_via_generics() {
         // All three optimizers run through the same driver.
-        let mut pald = Pald::new(PaldConfig { trust_radius: 0.15, probes: 5, seed: 3, ..Default::default() });
+        let mut pald =
+            Pald::new(PaldConfig { trust_radius: 0.15, probes: 5, seed: 3, ..Default::default() });
         let x_pald = drive(&mut pald, 10);
         assert!(x_pald.iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert_eq!(pald.name(), "pald");

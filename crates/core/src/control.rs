@@ -66,7 +66,12 @@ pub struct LoopConfig {
 
 impl Default for LoopConfig {
     fn default() -> Self {
-        Self { pald: PaldConfig::default(), revert: RevertPolicy::Dominated, revert_tol: 0.02, ratchet: true }
+        Self {
+            pald: PaldConfig::default(),
+            revert: RevertPolicy::Dominated,
+            revert_tol: 0.02,
+            ratchet: true,
+        }
     }
 }
 
@@ -121,14 +126,14 @@ impl Tempo {
     /// Creates a controller starting from `initial` (e.g. the expert
     /// configuration). `whatif.slos` defines the QS vector; SLOs without
     /// thresholds start with `r_i = +∞` and are ratcheted from observations.
-    pub fn new(space: ConfigSpace, whatif: WhatIfModel, config: LoopConfig, initial: &RmConfig) -> Self {
+    pub fn new(
+        space: ConfigSpace,
+        whatif: WhatIfModel,
+        config: LoopConfig,
+        initial: &RmConfig,
+    ) -> Self {
         let x = space.encode(initial);
-        let r = whatif
-            .slos
-            .thresholds()
-            .iter()
-            .map(|t| t.unwrap_or(f64::INFINITY))
-            .collect();
+        let r = whatif.slos.thresholds().iter().map(|t| t.unwrap_or(f64::INFINITY)).collect();
         let pald = Pald::new(config.pald.clone());
         Self { space, whatif, config, pald, x, prev: None, r, iteration: 0 }
     }
@@ -185,7 +190,11 @@ impl Tempo {
                 if t.is_none() {
                     let candidate = observed_qs[i];
                     if candidate.is_finite() {
-                        self.r[i] = if self.r[i].is_finite() { self.r[i].min(candidate) } else { candidate };
+                        self.r[i] = if self.r[i].is_finite() {
+                            self.r[i].min(candidate)
+                        } else {
+                            candidate
+                        };
                     }
                 }
             }
@@ -198,7 +207,13 @@ impl Tempo {
         self.prev = Some((base_x, observed_qs.clone()));
         self.x = step.x_new;
 
-        IterationRecord { iteration, config: under_config, observed_qs, r: self.r.clone(), reverted }
+        IterationRecord {
+            iteration,
+            config: under_config,
+            observed_qs,
+            r: self.r.clone(),
+            reverted,
+        }
     }
 
     /// Swaps the workload window the What-if Model optimizes over — the
@@ -206,7 +221,11 @@ impl Tempo {
     /// interval of the most recent job traces). The optimizer's evaluation
     /// history is cleared: QS values measured against the old window are not
     /// comparable to the new objective and would poison the LOESS fit.
-    pub fn set_workload(&mut self, source: crate::whatif::WorkloadSource, window: (tempo_workload::Time, tempo_workload::Time)) {
+    pub fn set_workload(
+        &mut self,
+        source: crate::whatif::WorkloadSource,
+        window: (tempo_workload::Time, tempo_workload::Time),
+    ) {
         assert!(window.0 < window.1, "empty QS window");
         self.whatif.source = source;
         self.whatif.window = window;
@@ -244,7 +263,11 @@ mod tests {
                         id,
                         0,
                         burst * 2 * MIN + j * SEC,
-                        vec![TaskSpec::map(20 * SEC), TaskSpec::map(20 * SEC), TaskSpec::reduce(40 * SEC)],
+                        vec![
+                            TaskSpec::map(20 * SEC),
+                            TaskSpec::map(20 * SEC),
+                            TaskSpec::reduce(40 * SEC),
+                        ],
                     )
                     .with_deadline(burst * 2 * MIN + 2 * MIN),
                 );
@@ -252,7 +275,12 @@ mod tests {
             }
         }
         for i in 0..40u64 {
-            jobs.push(JobSpec::new(id, 1, i * 15 * SEC, vec![TaskSpec::map(30 * SEC), TaskSpec::reduce(60 * SEC)]));
+            jobs.push(JobSpec::new(
+                id,
+                1,
+                i * 15 * SEC,
+                vec![TaskSpec::map(30 * SEC), TaskSpec::reduce(60 * SEC)],
+            ));
             id += 1;
         }
         let mut t = Trace::new(jobs);
@@ -271,7 +299,10 @@ mod tests {
         // Pathological: best-effort tenant hard-capped, deadline tenant has
         // aggressive preemption.
         RmConfig::new(vec![
-            TenantConfig::fair_default().with_weight(4.0).with_min_timeout(10 * SEC).with_min_share(4, 2),
+            TenantConfig::fair_default()
+                .with_weight(4.0)
+                .with_min_timeout(10 * SEC)
+                .with_min_share(4, 2),
             TenantConfig::fair_default().with_max_share(2, 1),
         ])
     }

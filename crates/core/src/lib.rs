@@ -19,8 +19,12 @@
 //! * [`provision`] — cluster-size what-if estimation (§8.2.4);
 //! * [`baselines`] — weighted-sum and random-search optimizers for
 //!   ablations;
-//! * [`scenario`] — the §8.2 two-tenant end-to-end setup shared by the
-//!   examples, tests, and figure harnesses.
+//! * [`spec`] — the N-tenant [`spec::ScenarioSpec`] pipeline composing
+//!   workload archetypes, SLO sets, and RM configurations into runnable
+//!   end-to-end scenarios;
+//! * [`scenario`] — preset specs: the paper's §8.2 two-tenant EC2 setup and
+//!   the six-tenant Company-ABC mix, shared by the examples, tests, and
+//!   figure harnesses.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +39,27 @@
 //! // Each record carries the observed QS vector (deadline misses, AJR).
 //! assert_eq!(records[0].observed_qs.len(), 2);
 //! ```
+//!
+//! Arbitrary tenant mixes compose through the builder instead of the
+//! presets — see [`spec::ScenarioSpec`]:
+//!
+//! ```
+//! use tempo_core::spec::{ScenarioSpec, TenantSpec};
+//! use tempo_qs::QsKind;
+//! use tempo_sim::ClusterSpec;
+//! use tempo_workload::synthetic::facebook_like_tenant;
+//! use tempo_workload::time::MIN;
+//!
+//! let mut scenario = ScenarioSpec::new(ClusterSpec::new(12, 6))
+//!     .tenant(TenantSpec::new(facebook_like_tenant("a", 40.0)).with_slo(QsKind::AvgResponseTime))
+//!     .tenant(TenantSpec::new(facebook_like_tenant("b", 20.0)).with_slo(QsKind::AvgResponseTime))
+//!     .tenant(TenantSpec::new(facebook_like_tenant("c", 10.0)).with_slo(QsKind::AvgResponseTime))
+//!     .span(30 * MIN)
+//!     .seed(1)
+//!     .build()
+//!     .expect("three-tenant scenario");
+//! assert_eq!(scenario.run(1, 0)[0].observed_qs.len(), 3);
+//! ```
 
 pub mod baselines;
 pub mod control;
@@ -42,10 +67,12 @@ pub mod pald;
 pub mod provision;
 pub mod scenario;
 pub mod space;
+pub mod spec;
 pub mod whatif;
 
 pub use control::{dominates, IterationRecord, LoopConfig, RevertPolicy, Tempo};
 pub use pald::{run_pald, Pald, PaldConfig, PaldStep, QsObjective};
 pub use provision::{estimate_slos, estimation_error_pct, reconstruct_trace};
 pub use space::ConfigSpace;
+pub use spec::{Scenario, ScenarioSpec, SpecError, TenantSpec, WhatIfSource};
 pub use whatif::{WhatIfModel, WorkloadSource};

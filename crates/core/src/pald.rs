@@ -179,7 +179,12 @@ impl Pald {
     /// use the current attained value for best-effort SLOs — §6.1's
     /// ratchet). Probes the objective, refits gradients, and proposes the
     /// next configuration.
-    pub fn step<O: QsObjective + ?Sized>(&mut self, objective: &O, x: &[f64], r: &[f64]) -> PaldStep {
+    pub fn step<O: QsObjective + ?Sized>(
+        &mut self,
+        objective: &O,
+        x: &[f64],
+        r: &[f64],
+    ) -> PaldStep {
         let dim = objective.dim();
         let k = objective.k();
         assert_eq!(x.len(), dim, "x dimension mismatch");
@@ -219,7 +224,8 @@ impl Pald {
         let f_center = f_center.expect("center point evaluated");
 
         // 2. Fit the Jacobian by LOESS over in-bandwidth history.
-        let Some((jac, fitted)) = loess_jacobian(&self.history_x, &self.history_f, x, bandwidth) else {
+        let Some((jac, fitted)) = loess_jacobian(&self.history_x, &self.history_f, x, bandwidth)
+        else {
             // Degenerate geometry: stay put this iteration.
             return PaldStep {
                 x_new: x.to_vec(),
@@ -376,11 +382,7 @@ fn optimal_rho(gram: &Matrix, c: &[f64], violated: &[bool]) -> f64 {
     let steps = 200;
     for s in 0..=steps {
         let rho = lo + (hi - lo) * s as f64 / steps as f64;
-        let obj = num
-            .iter()
-            .zip(&vnum)
-            .map(|(n, vn)| n - rho * vn)
-            .fold(f64::INFINITY, f64::min);
+        let obj = num.iter().zip(&vnum).map(|(n, vn)| n - rho * vn).fold(f64::INFINITY, f64::min);
         if obj > best_obj + 1e-15 {
             best_obj = obj;
             best_rho = rho;
@@ -500,7 +502,8 @@ mod tests {
     #[test]
     fn step_stays_in_trust_region_and_box() {
         let obj = two_quadratics(0.0);
-        let mut pald = Pald::new(PaldConfig { trust_radius: 0.05, probes: 5, seed: 6, ..Default::default() });
+        let mut pald =
+            Pald::new(PaldConfig { trust_radius: 0.05, probes: 5, seed: 6, ..Default::default() });
         let x = vec![0.5, 0.02];
         let step = pald.step(&obj, &x, &[10.0, 10.0]);
         let raw_radius = 0.05 * (2f64).sqrt();
@@ -514,7 +517,8 @@ mod tests {
         let obj = (2usize, 1usize, |x: &[f64], _s: u64| {
             vec![(x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2)]
         });
-        let mut pald = Pald::new(PaldConfig { trust_radius: 0.2, probes: 12, seed: 7, ..Default::default() });
+        let mut pald =
+            Pald::new(PaldConfig { trust_radius: 0.2, probes: 12, seed: 7, ..Default::default() });
         let step = pald.step(&obj, &[0.5, 0.5], &[10.0]);
         // Every trust-region candidate has a worse proxy value than the
         // minimum itself, so the Pareto-improving selection stays put.

@@ -29,7 +29,8 @@ pub fn reconstruct_trace(observed: &Schedule) -> Trace {
     use std::collections::HashMap;
     let mut tasks_by_job: HashMap<u64, Vec<TaskSpec>> = HashMap::new();
     for t in &observed.tasks {
-        let Some(done) = t.attempts.iter().find(|a| a.outcome == tempo_sim::AttemptOutcome::Completed)
+        let Some(done) =
+            t.attempts.iter().find(|a| a.outcome == tempo_sim::AttemptOutcome::Completed)
         else {
             continue;
         };
@@ -98,8 +99,8 @@ mod tests {
     use tempo_qs::{PoolScope, QsKind, SloSpec};
     use tempo_sim::{observe, NoiseModel, SimOptions};
     use tempo_workload::synthetic::ec2_experiment_trace;
-    use tempo_workload::TaskKind;
     use tempo_workload::time::{HOUR, MIN, SEC};
+    use tempo_workload::TaskKind;
 
     fn slos() -> SloSet {
         SloSet::new(vec![
@@ -132,7 +133,8 @@ mod tests {
         let observed = predict(&trace, &cluster, &RmConfig::fair(2));
         let rebuilt = reconstruct_trace(&observed);
         for (orig, back) in trace.jobs.iter().zip(&rebuilt.jobs) {
-            let om: Vec<_> = orig.tasks.iter().filter(|t| t.kind == TaskKind::Map).map(|t| t.duration).collect();
+            let om: Vec<_> =
+                orig.tasks.iter().filter(|t| t.kind == TaskKind::Map).map(|t| t.duration).collect();
             let mut bm: Vec<_> =
                 back.tasks.iter().filter(|t| t.kind == TaskKind::Map).map(|t| t.duration).collect();
             bm.sort_unstable();
@@ -191,10 +193,7 @@ mod tests {
                 &SimOptions { horizon: Some(window.1), noise, seed },
             );
             let est = estimate_slos(&observed, &target, &cfg, &slos(), window);
-            estimation_error_pct(&est, &truth)
-                .iter()
-                .map(|e| e.abs())
-                .fold(0.0, f64::max)
+            estimation_error_pct(&est, &truth).iter().map(|e| e.abs()).fold(0.0, f64::max)
         };
         let same = err_of(1.0, 8);
         let quarter = err_of(0.25, 8);

@@ -170,9 +170,8 @@ mod tests {
         // Corners and a few interior points of the unit box all decode to
         // valid configs.
         for seed in 0..50u64 {
-            let x: Vec<f64> = (0..s.dim())
-                .map(|i| ((seed * 31 + i as u64 * 17) % 101) as f64 / 100.0)
-                .collect();
+            let x: Vec<f64> =
+                (0..s.dim()).map(|i| ((seed * 31 + i as u64 * 17) % 101) as f64 / 100.0).collect();
             let cfg = s.decode(&x);
             assert!(cfg.validate().is_ok(), "invalid decode at seed {seed}: {cfg:?}");
         }

@@ -62,7 +62,12 @@ pub struct WhatIfModel {
 }
 
 impl WhatIfModel {
-    pub fn new(cluster: ClusterSpec, slos: SloSet, source: WorkloadSource, window: (Time, Time)) -> Self {
+    pub fn new(
+        cluster: ClusterSpec,
+        slos: SloSet,
+        source: WorkloadSource,
+        window: (Time, Time),
+    ) -> Self {
         assert!(window.0 < window.1, "empty QS window");
         Self {
             cluster,
@@ -99,7 +104,8 @@ impl WhatIfModel {
     /// One prediction sample: realize workload, simulate, evaluate QS.
     fn sample_qs(&self, config: &RmConfig, sample: u64) -> Vec<f64> {
         let trace = self.source.realize(0x5EED ^ sample);
-        let opts = SimOptions { horizon: Some(self.sim_horizon()), noise: self.noise, seed: sample };
+        let opts =
+            SimOptions { horizon: Some(self.sim_horizon()), noise: self.noise, seed: sample };
         let schedule = simulate(&trace, &self.cluster, config, &opts);
         self.slos.evaluate(&schedule, self.window.0, self.window.1)
     }
@@ -110,9 +116,12 @@ impl WhatIfModel {
     /// independent noisy observations (to average across control-loop
     /// iterations) pass distinct salts and bypass the memo cache.
     pub fn evaluate_salted(&self, config: &RmConfig, salt: u64) -> Vec<f64> {
-        let deterministic =
-            salt == 0 && self.noise.is_none() && !self.source.is_stochastic();
-        let key = if deterministic { Some(serde_json::to_string(config).expect("config serializes")) } else { None };
+        let deterministic = salt == 0 && self.noise.is_none() && !self.source.is_stochastic();
+        let key = if deterministic {
+            Some(serde_json::to_string(config).expect("config serializes"))
+        } else {
+            None
+        };
         if let Some(k) = &key {
             if let Some(hit) = self.cache.lock().get(k) {
                 return hit.clone();
@@ -148,7 +157,8 @@ impl WhatIfModel {
         }
         let mut out: Vec<Option<Vec<f64>>> = vec![None; configs.len()];
         crossbeam::scope(|scope| {
-            let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(configs.len());
+            let threads =
+                std::thread::available_parallelism().map_or(4, |n| n.get()).min(configs.len());
             let chunk = configs.len().div_ceil(threads);
             for (slot_chunk, cfg_chunk) in out.chunks_mut(chunk).zip(configs.chunks(chunk)) {
                 scope.spawn(move |_| {
@@ -189,7 +199,12 @@ mod tests {
             JobSpec::new(0, 0, 0, vec![TaskSpec::map(30 * SEC)]).with_deadline(2 * MIN),
             JobSpec::new(1, 1, 10 * SEC, vec![TaskSpec::map(60 * SEC)]),
         ]);
-        WhatIfModel::new(ClusterSpec::new(2, 1), slos(), WorkloadSource::Replay(trace), (0, 10 * MIN))
+        WhatIfModel::new(
+            ClusterSpec::new(2, 1),
+            slos(),
+            WorkloadSource::Replay(trace),
+            (0, 10 * MIN),
+        )
     }
 
     #[test]

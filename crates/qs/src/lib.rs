@@ -14,4 +14,6 @@ pub mod timeline;
 
 pub use metrics::{evaluate_qs, response_times, PoolScope, QsKind};
 pub use slo::{ParseError, SloSet, SloSpec};
-pub use timeline::{allocation_series, mean_level, response_time_series, sample_series, StepSeries};
+pub use timeline::{
+    allocation_series, mean_level, response_time_series, sample_series, StepSeries,
+};

@@ -110,13 +110,13 @@ pub fn evaluate_qs(
             if with_deadline.is_empty() {
                 return 0.0;
             }
-            let missed = with_deadline
-                .iter()
-                .filter(|j| j.missed_deadline(*gamma).unwrap_or(false))
-                .count();
+            let missed =
+                with_deadline.iter().filter(|j| j.missed_deadline(*gamma).unwrap_or(false)).count();
             missed as f64 / with_deadline.len() as f64
         }
-        QsKind::Utilization { pool, effective } => -utilization(schedule, tenant, *pool, *effective, start, end),
+        QsKind::Utilization { pool, effective } => {
+            -utilization(schedule, tenant, *pool, *effective, start, end)
+        }
         QsKind::Throughput => {
             let n = jobs_in(schedule, tenant, start, end).len();
             let hours = to_secs_f64(end - start) / 3600.0;
@@ -131,7 +131,12 @@ pub fn evaluate_qs(
 }
 
 /// Response times (seconds) of jobs submitted and completed in the window.
-pub fn response_times(schedule: &Schedule, tenant: Option<TenantId>, start: Time, end: Time) -> Vec<f64> {
+pub fn response_times(
+    schedule: &Schedule,
+    tenant: Option<TenantId>,
+    start: Time,
+    end: Time,
+) -> Vec<f64> {
     jobs_in(schedule, tenant, start, end)
         .iter()
         .filter_map(|j| j.response_time())
@@ -193,8 +198,13 @@ mod tests {
         let mut jobs = Vec::new();
         for i in 0..10u64 {
             jobs.push(
-                JobSpec::new(i, 0, i * 30 * SEC, vec![TaskSpec::map(20 * SEC), TaskSpec::reduce(40 * SEC)])
-                    .with_deadline(i * 30 * SEC + 70 * SEC),
+                JobSpec::new(
+                    i,
+                    0,
+                    i * 30 * SEC,
+                    vec![TaskSpec::map(20 * SEC), TaskSpec::reduce(40 * SEC)],
+                )
+                .with_deadline(i * 30 * SEC + 70 * SEC),
             );
         }
         for i in 10..20u64 {
@@ -259,9 +269,27 @@ mod tests {
     #[test]
     fn dominant_is_max_of_pools() {
         let s = run();
-        let m = evaluate_qs(&QsKind::Utilization { pool: PoolScope::Map, effective: false }, &s, None, 0, HOUR);
-        let r = evaluate_qs(&QsKind::Utilization { pool: PoolScope::Reduce, effective: false }, &s, None, 0, HOUR);
-        let d = evaluate_qs(&QsKind::Utilization { pool: PoolScope::Dominant, effective: false }, &s, None, 0, HOUR);
+        let m = evaluate_qs(
+            &QsKind::Utilization { pool: PoolScope::Map, effective: false },
+            &s,
+            None,
+            0,
+            HOUR,
+        );
+        let r = evaluate_qs(
+            &QsKind::Utilization { pool: PoolScope::Reduce, effective: false },
+            &s,
+            None,
+            0,
+            HOUR,
+        );
+        let d = evaluate_qs(
+            &QsKind::Utilization { pool: PoolScope::Dominant, effective: false },
+            &s,
+            None,
+            0,
+            HOUR,
+        );
         assert!((d - m.min(r)).abs() < 1e-12, "negated max = min of negatives");
     }
 
@@ -284,11 +312,21 @@ mod tests {
             0,
             HOUR,
         );
-        let fair_exact =
-            evaluate_qs(&QsKind::Fairness { share: util0, pool: PoolScope::Map }, &s, Some(0), 0, HOUR);
+        let fair_exact = evaluate_qs(
+            &QsKind::Fairness { share: util0, pool: PoolScope::Map },
+            &s,
+            Some(0),
+            0,
+            HOUR,
+        );
         assert!(fair_exact.abs() < 1e-12, "deviation from own share is zero");
-        let fair_off =
-            evaluate_qs(&QsKind::Fairness { share: (util0 + 0.5).min(1.0), pool: PoolScope::Map }, &s, Some(0), 0, HOUR);
+        let fair_off = evaluate_qs(
+            &QsKind::Fairness { share: (util0 + 0.5).min(1.0), pool: PoolScope::Map },
+            &s,
+            Some(0),
+            0,
+            HOUR,
+        );
         assert!(fair_off > fair_exact);
     }
 
@@ -301,10 +339,7 @@ mod tests {
         assert!(p95 >= p50, "quantiles are monotone: p50 {p50} p95 {p95}");
         assert!(p95 >= ajr, "the tail is at least the mean here");
         // Empty window → 0, like the other job-level metrics.
-        assert_eq!(
-            evaluate_qs(&QsKind::ResponseTimePercentile { q: 0.9 }, &s, Some(1), 0, 2),
-            0.0
-        );
+        assert_eq!(evaluate_qs(&QsKind::ResponseTimePercentile { q: 0.9 }, &s, Some(1), 0, 2), 0.0);
     }
 
     #[test]
@@ -312,8 +347,14 @@ mod tests {
         assert_eq!(QsKind::AvgResponseTime.label(), "AJR");
         assert_eq!(QsKind::ResponseTimePercentile { q: 0.95 }.label(), "P95RT");
         assert_eq!(QsKind::DeadlineMiss { gamma: 0.25 }.label(), "DL");
-        assert_eq!(QsKind::Utilization { pool: PoolScope::Map, effective: true }.label(), "UTILMAP");
-        assert_eq!(QsKind::Utilization { pool: PoolScope::Reduce, effective: true }.label(), "UTILRED");
+        assert_eq!(
+            QsKind::Utilization { pool: PoolScope::Map, effective: true }.label(),
+            "UTILMAP"
+        );
+        assert_eq!(
+            QsKind::Utilization { pool: PoolScope::Reduce, effective: true }.label(),
+            "UTILRED"
+        );
         assert_eq!(QsKind::Throughput.label(), "THR");
         assert_eq!(QsKind::Fairness { share: 0.5, pool: PoolScope::Dominant }.label(), "FAIR");
     }

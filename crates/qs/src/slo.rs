@@ -111,10 +111,10 @@ impl SloSet {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            slos.push(parse_line(line, tenant_ids).map_err(|msg| ParseError {
-                line: lineno + 1,
-                message: msg,
-            })?);
+            slos.push(
+                parse_line(line, tenant_ids)
+                    .map_err(|msg| ParseError { line: lineno + 1, message: msg })?,
+            );
         }
         Ok(Self { slos })
     }
@@ -142,11 +142,10 @@ fn parse_line(line: &str, tenant_ids: &BTreeMap<String, TenantId>) -> Result<Slo
     let tenant = if scope_str.eq_ignore_ascii_case("cluster") {
         None
     } else {
-        let name = scope_str
-            .strip_prefix("tenant")
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .ok_or_else(|| format!("unknown scope '{scope_str}' (use 'tenant <name>' or 'cluster')"))?;
+        let name =
+            scope_str.strip_prefix("tenant").map(str::trim).filter(|s| !s.is_empty()).ok_or_else(
+                || format!("unknown scope '{scope_str}' (use 'tenant <name>' or 'cluster')"),
+            )?;
         Some(*tenant_ids.get(name).ok_or_else(|| format!("unknown tenant '{name}'"))?)
     };
 
@@ -211,9 +210,7 @@ fn parse_line(line: &str, tenant_ids: &BTreeMap<String, TenantId>) -> Result<Slo
         let negated = matches!(kind, QsKind::Utilization { .. } | QsKind::Throughput);
         let r = match (negated, dir) {
             (true, '>') => -value,
-            (true, _) => {
-                return Err("utilization/throughput SLOs use '>=' (more is better)".into())
-            }
+            (true, _) => return Err("utilization/throughput SLOs use '>=' (more is better)".into()),
             (false, '>') => return Err("this metric uses '<=' (less is better)".into()),
             (false, _) => value,
         };
@@ -275,7 +272,9 @@ fn parse_threshold(kind: &QsKind, s: &str) -> Result<f64, String> {
     let s = s.trim().to_lowercase();
     match kind {
         QsKind::AvgResponseTime | QsKind::ResponseTimePercentile { .. } => parse_duration_secs(&s),
-        QsKind::DeadlineMiss { .. } | QsKind::Utilization { .. } | QsKind::Fairness { .. } => parse_fraction(&s),
+        QsKind::DeadlineMiss { .. } | QsKind::Utilization { .. } | QsKind::Fairness { .. } => {
+            parse_fraction(&s)
+        }
         QsKind::Throughput => {
             let num = s.strip_suffix("/h").or(s.strip_suffix("/hr")).unwrap_or(&s);
             num.trim().parse().map_err(|_| format!("bad rate '{s}'"))
@@ -347,10 +346,7 @@ cluster: avg_response_time
             QsKind::Utilization { pool: PoolScope::Reduce, effective: false }
         );
         assert_eq!(set.slos[1].threshold, Some(-0.6), "'>= 60%' becomes QS ≤ −0.6");
-        assert_eq!(
-            set.slos[2].kind,
-            QsKind::Utilization { pool: PoolScope::Map, effective: true }
-        );
+        assert_eq!(set.slos[2].kind, QsKind::Utilization { pool: PoolScope::Map, effective: true });
         assert_eq!(set.slos[3].kind, QsKind::Throughput);
         assert_eq!(set.slos[3].threshold, Some(-100.0));
         assert_eq!(set.slos[4].kind, QsKind::Fairness { share: 0.3, pool: PoolScope::Dominant });
@@ -428,7 +424,8 @@ cluster: avg_response_time
 
     #[test]
     fn serde_roundtrip() {
-        let set = SloSet::parse("tenant a: deadline_miss(slack=25%) <= 5% priority 2", &ids()).unwrap();
+        let set =
+            SloSet::parse("tenant a: deadline_miss(slack=25%) <= 5% priority 2", &ids()).unwrap();
         let json = serde_json::to_string(&set).unwrap();
         let back: SloSet = serde_json::from_str(&json).unwrap();
         assert_eq!(set, back);

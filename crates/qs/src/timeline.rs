@@ -43,7 +43,12 @@ pub fn allocation_series(schedule: &Schedule, tenant: TenantId, kind: TaskKind) 
 
 /// Samples a step series at fixed intervals over `[start, end)` — convenient
 /// for plotting Figure 2-style charts.
-pub fn sample_series(series: &StepSeries, start: Time, end: Time, interval: Time) -> Vec<(Time, i64)> {
+pub fn sample_series(
+    series: &StepSeries,
+    start: Time,
+    end: Time,
+    interval: Time,
+) -> Vec<(Time, i64)> {
     assert!(interval > 0, "interval must be positive");
     let mut out = Vec::new();
     let mut idx = 0;

@@ -170,7 +170,9 @@ impl RmConfig {
             return Err(ConfigError::NoTenants);
         }
         for (i, t) in self.tenants.iter().enumerate() {
-            if t.weight.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !t.weight.is_finite() {
+            if t.weight.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+                || !t.weight.is_finite()
+            {
                 return Err(ConfigError::NonPositiveWeight { tenant: i });
             }
             for kind in TaskKind::ALL {

@@ -74,7 +74,12 @@ impl SimOptions {
 /// Deterministic: identical inputs (including seed) produce identical
 /// schedules. Panics if the trace or config fails validation, or if the trace
 /// references a tenant id with no configuration entry.
-pub fn simulate(trace: &Trace, cluster: &ClusterSpec, config: &RmConfig, opts: &SimOptions) -> Schedule {
+pub fn simulate(
+    trace: &Trace,
+    cluster: &ClusterSpec,
+    config: &RmConfig,
+    opts: &SimOptions,
+) -> Schedule {
     trace.validate().expect("invalid trace");
     config.validate().expect("invalid RM config");
     if let Some(max_tenant) = trace.jobs.iter().map(|j| j.tenant).max() {
@@ -105,8 +110,16 @@ enum EventKind {
     JobArrive(JobIdx),
     /// Tentative finish (or mid-run failure) of a task attempt; `epoch`
     /// invalidates events left over from preempted attempts.
-    TaskFinish { task: TaskId, epoch: u32 },
-    PreemptCheck { tenant: u16, pool: u8, level: Level, since: Time },
+    TaskFinish {
+        task: TaskId,
+        epoch: u32,
+    },
+    PreemptCheck {
+        tenant: u16,
+        pool: u8,
+        level: Level,
+        since: Time,
+    },
 }
 
 struct Event {
@@ -205,7 +218,12 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(trace: &'a Trace, cluster: &'a ClusterSpec, config: &'a RmConfig, opts: &SimOptions) -> Self {
+    fn new(
+        trace: &'a Trace,
+        cluster: &'a ClusterSpec,
+        config: &'a RmConfig,
+        opts: &SimOptions,
+    ) -> Self {
         let mut tasks = Vec::with_capacity(trace.num_tasks());
         let mut jobs = Vec::with_capacity(trace.jobs.len());
         let mut task_offsets = Vec::with_capacity(trace.jobs.len());
@@ -468,7 +486,8 @@ impl<'a> Engine<'a> {
         } else {
             self.noise.jitter_duration(&mut self.rng, duration)
         };
-        let fail = if self.noise.is_none() { None } else { self.noise.attempt_failure(&mut self.rng) };
+        let fail =
+            if self.noise.is_none() { None } else { self.noise.attempt_failure(&mut self.rng) };
         let maps_done = self.jobs[jix as usize].maps_done_at;
         let pool = kind.index();
 
@@ -501,7 +520,9 @@ impl<'a> Engine<'a> {
                     let task = &mut self.tasks[tid as usize];
                     task.work_start = Some(start);
                     match task.fail_frac {
-                        Some(frac) => start + ((task.eff_duration as f64 * frac).round() as Time).max(1),
+                        Some(frac) => {
+                            start + ((task.eff_duration as f64 * frac).round() as Time).max(1)
+                        }
                         None => start + task.eff_duration,
                     }
                 };
@@ -569,7 +590,9 @@ impl<'a> Engine<'a> {
                 if tstate.queues[pool].is_empty() {
                     continue;
                 }
-                if (tstate.running[pool].len() as u64) < self.config.tenants[tix].max_share[pool] as u64 {
+                if (tstate.running[pool].len() as u64)
+                    < self.config.tenants[tix].max_share[pool] as u64
+                {
                     chosen = Some(tix);
                     break;
                 }
@@ -602,7 +625,14 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn track_level(&mut self, tix: usize, pool: usize, level: Level, starved: bool, timeout: Option<Time>) {
+    fn track_level(
+        &mut self,
+        tix: usize,
+        pool: usize,
+        level: Level,
+        starved: bool,
+        timeout: Option<Time>,
+    ) {
         let lix = level as usize;
         if !starved || timeout.is_none() {
             self.tenants[tix].starved_since[lix][pool] = None;
@@ -612,7 +642,10 @@ impl<'a> Engine<'a> {
             let since = self.now;
             self.tenants[tix].starved_since[lix][pool] = Some(since);
             let at = since.saturating_add(timeout.expect("checked above"));
-            self.push_event(at, EventKind::PreemptCheck { tenant: tix as u16, pool: pool as u8, level, since });
+            self.push_event(
+                at,
+                EventKind::PreemptCheck { tenant: tix as u16, pool: pool as u8, level, since },
+            );
         }
     }
 
@@ -718,7 +751,10 @@ impl<'a> Engine<'a> {
         }
         Schedule {
             horizon,
-            capacity: [self.cluster.capacity(TaskKind::Map), self.cluster.capacity(TaskKind::Reduce)],
+            capacity: [
+                self.cluster.capacity(TaskKind::Map),
+                self.cluster.capacity(TaskKind::Reduce),
+            ],
             jobs,
             tasks,
         }
@@ -744,7 +780,8 @@ mod tests {
     #[test]
     fn single_job_runs_to_completion() {
         let trace = Trace::new(vec![JobSpec::new(0, 0, 0, maps(4, 10 * SEC))]);
-        let sched = simulate(&trace, &one_pool_cluster(2), &RmConfig::fair(1), &SimOptions::default());
+        let sched =
+            simulate(&trace, &one_pool_cluster(2), &RmConfig::fair(1), &SimOptions::default());
         // 4 tasks on 2 slots: two waves → finish at 20s.
         assert_eq!(sched.jobs[0].finish, Some(20 * SEC));
         assert_eq!(sched.tasks.len(), 4);
@@ -807,8 +844,12 @@ mod tests {
             TenantConfig::fair_default().with_weight(1.0),
             TenantConfig::fair_default().with_weight(3.0),
         ]);
-        let sched =
-            simulate(&trace, &one_pool_cluster(8), &config, &SimOptions::default().with_horizon(90 * SEC));
+        let sched = simulate(
+            &trace,
+            &one_pool_cluster(8),
+            &config,
+            &SimOptions::default().with_horizon(90 * SEC),
+        );
         // During the first wave tenant 0 holds 2 slots, tenant 1 holds 6.
         let occ0 = sched.occupancy_in(TaskKind::Map, Some(0), 0, 90 * SEC);
         let occ1 = sched.occupancy_in(TaskKind::Map, Some(1), 0, 90 * SEC);
@@ -868,7 +909,8 @@ mod tests {
         }
         // Exactly 5 of A's tasks were preempted, each having wasted 2min of
         // container time.
-        let preempted: Vec<&TaskRecord> = sched.tasks.iter().filter(|t| t.was_preempted()).collect();
+        let preempted: Vec<&TaskRecord> =
+            sched.tasks.iter().filter(|t| t.was_preempted()).collect();
         assert_eq!(preempted.len(), 5);
         for t in &preempted {
             assert_eq!(t.tenant, 0);
@@ -925,12 +967,8 @@ mod tests {
         let sched = simulate(&trace, &one_pool_cluster(10), &config, &SimOptions::default());
         let preempted = sched.tasks.iter().filter(|t| t.was_preempted()).count();
         assert_eq!(preempted, 5, "A gives up down to its fair share");
-        let b_launches: Vec<Time> = sched
-            .tasks
-            .iter()
-            .filter(|t| t.tenant == 1)
-            .map(|t| t.attempts[0].launch)
-            .collect();
+        let b_launches: Vec<Time> =
+            sched.tasks.iter().filter(|t| t.tenant == 1).map(|t| t.attempts[0].launch).collect();
         assert_eq!(b_launches.iter().filter(|&&l| l == 40 * SEC).count(), 5);
     }
 
@@ -1027,8 +1065,12 @@ mod tests {
 
     #[test]
     fn empty_trace_is_fine() {
-        let sched =
-            simulate(&Trace::default(), &one_pool_cluster(2), &RmConfig::fair(1), &SimOptions::default());
+        let sched = simulate(
+            &Trace::default(),
+            &one_pool_cluster(2),
+            &RmConfig::fair(1),
+            &SimOptions::default(),
+        );
         assert!(sched.jobs.is_empty());
         assert!(sched.tasks.is_empty());
     }

@@ -56,7 +56,8 @@ pub fn fair_targets(capacity: u32, inputs: &[ShareInput]) -> Vec<u32> {
 
     // Phase 1: guaranteed minimums, scaled down proportionally if they
     // oversubscribe the pool (Hadoop's behaviour when Σ minShare > capacity).
-    let want_min: Vec<u32> = inputs.iter().zip(&eff).map(|(inp, &e)| inp.min_share.min(e)).collect();
+    let want_min: Vec<u32> =
+        inputs.iter().zip(&eff).map(|(inp, &e)| inp.min_share.min(e)).collect();
     let total_min: u64 = want_min.iter().map(|&m| m as u64).sum();
     let mut base: Vec<f64> = if total_min <= distributable as u64 {
         want_min.iter().map(|&m| m as f64).collect()
@@ -115,7 +116,8 @@ pub fn fair_targets(capacity: u32, inputs: &[ShareInput]) -> Vec<u32> {
 /// Largest-remainder rounding of fractional targets under per-tenant caps.
 fn round_targets(frac: &[f64], caps: &[u32], total: u32) -> Vec<u32> {
     let n = frac.len();
-    let mut out: Vec<u32> = frac.iter().zip(caps).map(|(&f, &c)| (f.floor() as u32).min(c)).collect();
+    let mut out: Vec<u32> =
+        frac.iter().zip(caps).map(|(&f, &c)| (f.floor() as u32).min(c)).collect();
     let mut assigned: u64 = out.iter().map(|&v| v as u64).sum();
     // Order by descending fractional remainder, tenant index as tiebreak for
     // determinism.
@@ -166,29 +168,21 @@ mod tests {
     #[test]
     fn paper_example_max_limit() {
         // §3.2: C capped at 3 → A, B, C get 3, 6, 3.
-        let t = fair_targets(
-            12,
-            &[unlimited(1.0, 100), unlimited(2.0, 100), input(3.0, 100, 0, 3)],
-        );
+        let t =
+            fair_targets(12, &[unlimited(1.0, 100), unlimited(2.0, 100), input(3.0, 100, 0, 3)]);
         assert_eq!(t, vec![3, 6, 3]);
     }
 
     #[test]
     fn min_shares_guaranteed() {
-        let t = fair_targets(
-            10,
-            &[input(1.0, 10, 6, u32::MAX), unlimited(9.0, 10)],
-        );
+        let t = fair_targets(10, &[input(1.0, 10, 6, u32::MAX), unlimited(9.0, 10)]);
         assert!(t[0] >= 6, "min share must be honoured, got {t:?}");
         assert_eq!(t.iter().sum::<u32>(), 10);
     }
 
     #[test]
     fn oversubscribed_min_shares_scale_down() {
-        let t = fair_targets(
-            10,
-            &[input(1.0, 20, 12, u32::MAX), input(1.0, 20, 8, u32::MAX)],
-        );
+        let t = fair_targets(10, &[input(1.0, 20, 12, u32::MAX), input(1.0, 20, 8, u32::MAX)]);
         assert_eq!(t.iter().sum::<u32>(), 10);
         // 12:8 scaled onto 10 → 6:4.
         assert_eq!(t, vec![6, 4]);

@@ -103,7 +103,8 @@ mod tests {
         let noise = NoiseModel { duration_sigma: 0.3, ..NoiseModel::NONE };
         let mut rng = StdRng::seed_from_u64(2);
         let base = 100 * SEC;
-        let samples: Vec<f64> = (0..20_000).map(|_| noise.jitter_duration(&mut rng, base) as f64).collect();
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| noise.jitter_duration(&mut rng, base) as f64).collect();
         assert!(samples.iter().all(|&s| s >= 1.0));
         let median = tempo_workload::stats::quantile(&samples, 0.5);
         assert!((median / base as f64 - 1.0).abs() < 0.03, "median ratio {}", median / base as f64);

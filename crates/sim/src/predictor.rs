@@ -19,7 +19,12 @@ pub fn predict(trace: &Trace, cluster: &ClusterSpec, config: &RmConfig) -> Sched
 }
 
 /// Predicts the task schedule up to `horizon`.
-pub fn predict_until(trace: &Trace, cluster: &ClusterSpec, config: &RmConfig, horizon: Time) -> Schedule {
+pub fn predict_until(
+    trace: &Trace,
+    cluster: &ClusterSpec,
+    config: &RmConfig,
+    horizon: Time,
+) -> Schedule {
     simulate(trace, cluster, config, &SimOptions::deterministic().with_horizon(horizon))
 }
 

@@ -75,10 +75,7 @@ impl TaskRecord {
 
     /// Completion time, if the task finished within the horizon.
     pub fn finish(&self) -> Option<Time> {
-        self.attempts
-            .iter()
-            .find(|a| a.outcome == AttemptOutcome::Completed)
-            .map(|a| a.end)
+        self.attempts.iter().find(|a| a.outcome == AttemptOutcome::Completed).map(|a| a.end)
     }
 
     pub fn was_preempted(&self) -> bool {
@@ -188,7 +185,13 @@ impl Schedule {
 
     /// Total container-time occupied in a pool over `[start, end)`,
     /// clipping attempts to the window.
-    pub fn occupancy_in(&self, kind: TaskKind, tenant: Option<TenantId>, start: Time, end: Time) -> Time {
+    pub fn occupancy_in(
+        &self,
+        kind: TaskKind,
+        tenant: Option<TenantId>,
+        start: Time,
+        end: Time,
+    ) -> Time {
         let mut sum = 0;
         for t in &self.tasks {
             if t.kind != kind {
@@ -213,7 +216,13 @@ impl Schedule {
     /// Like [`Schedule::occupancy_in`] but counting only *useful* work
     /// (completed attempts, after their shuffle barrier) — the "effective
     /// utilization" of Figure 1 that excludes region I.
-    pub fn useful_work_in(&self, kind: TaskKind, tenant: Option<TenantId>, start: Time, end: Time) -> Time {
+    pub fn useful_work_in(
+        &self,
+        kind: TaskKind,
+        tenant: Option<TenantId>,
+        start: Time,
+        end: Time,
+    ) -> Time {
         let mut sum = 0;
         for t in &self.tasks {
             if t.kind != kind {
@@ -275,7 +284,8 @@ mod tests {
         assert_eq!(ok.useful_work(), 20);
         let killed = attempt(10, 30, AttemptOutcome::Preempted);
         assert_eq!(killed.useful_work(), 0);
-        let idle_reduce = Attempt { launch: 10, work_start: 25, end: 30, outcome: AttemptOutcome::Completed };
+        let idle_reduce =
+            Attempt { launch: 10, work_start: 25, end: 30, outcome: AttemptOutcome::Completed };
         assert_eq!(idle_reduce.useful_work(), 5);
         assert_eq!(idle_reduce.occupancy(), 20);
     }
@@ -327,10 +337,42 @@ mod tests {
             horizon: 100,
             capacity: [10, 10],
             jobs: vec![
-                JobRecord { id: 1, tenant: 0, submit: 10, finish: Some(50), deadline: None, map_count: 1, reduce_count: 0 },
-                JobRecord { id: 2, tenant: 0, submit: 20, finish: None, deadline: None, map_count: 1, reduce_count: 0 },
-                JobRecord { id: 3, tenant: 1, submit: 10, finish: Some(40), deadline: None, map_count: 1, reduce_count: 0 },
-                JobRecord { id: 4, tenant: 0, submit: 90, finish: Some(99), deadline: None, map_count: 1, reduce_count: 0 },
+                JobRecord {
+                    id: 1,
+                    tenant: 0,
+                    submit: 10,
+                    finish: Some(50),
+                    deadline: None,
+                    map_count: 1,
+                    reduce_count: 0,
+                },
+                JobRecord {
+                    id: 2,
+                    tenant: 0,
+                    submit: 20,
+                    finish: None,
+                    deadline: None,
+                    map_count: 1,
+                    reduce_count: 0,
+                },
+                JobRecord {
+                    id: 3,
+                    tenant: 1,
+                    submit: 10,
+                    finish: Some(40),
+                    deadline: None,
+                    map_count: 1,
+                    reduce_count: 0,
+                },
+                JobRecord {
+                    id: 4,
+                    tenant: 0,
+                    submit: 90,
+                    finish: Some(99),
+                    deadline: None,
+                    map_count: 1,
+                    reduce_count: 0,
+                },
             ],
             tasks: vec![],
         };

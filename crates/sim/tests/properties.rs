@@ -6,7 +6,9 @@
 //! never fires with timeouts disabled, and accounting identities hold.
 
 use proptest::prelude::*;
-use tempo_sim::{simulate, AttemptOutcome, ClusterSpec, NoiseModel, RmConfig, Schedule, SimOptions, TenantConfig};
+use tempo_sim::{
+    simulate, AttemptOutcome, ClusterSpec, NoiseModel, RmConfig, Schedule, SimOptions, TenantConfig,
+};
 use tempo_workload::time::{Time, SEC};
 use tempo_workload::trace::{JobSpec, TaskKind, TaskSpec, Trace};
 
@@ -45,23 +47,19 @@ fn arb_trace(max_tenants: u16) -> impl Strategy<Value = Trace> {
 }
 
 fn arb_config(tenants: usize, caps: [u32; 2]) -> impl Strategy<Value = RmConfig> {
-    let tenant = (
-        0.2f64..5.0,
-        0u32..6,
-        1u32..40,
-        prop::option::of(5u64..120),
-        prop::option::of(5u64..120),
-    )
-        .prop_map(move |(weight, min_s, max_s, fair_to, min_to)| {
-            let max = [max_s.max(min_s).min(caps[0].max(1)), max_s.max(min_s).min(caps[1].max(1))];
-            TenantConfig {
-                weight,
-                min_share: [min_s.min(max[0]), min_s.min(max[1])],
-                max_share: max,
-                fair_timeout: fair_to.map(|s| s * SEC),
-                min_timeout: min_to.map(|s| s * SEC),
-            }
-        });
+    let tenant =
+        (0.2f64..5.0, 0u32..6, 1u32..40, prop::option::of(5u64..120), prop::option::of(5u64..120))
+            .prop_map(move |(weight, min_s, max_s, fair_to, min_to)| {
+                let max =
+                    [max_s.max(min_s).min(caps[0].max(1)), max_s.max(min_s).min(caps[1].max(1))];
+                TenantConfig {
+                    weight,
+                    min_share: [min_s.min(max[0]), min_s.min(max[1])],
+                    max_share: max,
+                    fair_timeout: fair_to.map(|s| s * SEC),
+                    min_timeout: min_to.map(|s| s * SEC),
+                }
+            });
     prop::collection::vec(tenant, tenants..=tenants).prop_map(RmConfig::new)
 }
 

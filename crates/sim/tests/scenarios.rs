@@ -3,7 +3,9 @@
 //! barrier-waiting reduces, timeout interplay) that unit tests and property
 //! tests don't pin down exactly.
 
-use tempo_sim::{simulate, AttemptOutcome, ClusterSpec, NoiseModel, RmConfig, SimOptions, TenantConfig};
+use tempo_sim::{
+    simulate, AttemptOutcome, ClusterSpec, NoiseModel, RmConfig, SimOptions, TenantConfig,
+};
 use tempo_workload::time::{Time, MIN, SEC};
 use tempo_workload::trace::{JobSpec, TaskKind, TaskSpec, Trace};
 
@@ -32,17 +34,11 @@ fn preemption_is_per_pool() {
     let sched = simulate(&trace, &ClusterSpec::new(4, 4), &config, &SimOptions::default());
     // Kills happen in the map pool only: B has no reduce demand, so A's
     // reduces are untouched.
-    let killed_reduces = sched
-        .tasks
-        .iter()
-        .filter(|t| t.kind == TaskKind::Reduce && t.was_preempted())
-        .count();
+    let killed_reduces =
+        sched.tasks.iter().filter(|t| t.kind == TaskKind::Reduce && t.was_preempted()).count();
     assert_eq!(killed_reduces, 0, "no reduce demand ⇒ no reduce kills");
-    let killed_maps = sched
-        .tasks
-        .iter()
-        .filter(|t| t.kind == TaskKind::Map && t.was_preempted())
-        .count();
+    let killed_maps =
+        sched.tasks.iter().filter(|t| t.kind == TaskKind::Map && t.was_preempted()).count();
     assert_eq!(killed_maps, 2, "B reclaims exactly its min share of maps");
 }
 
@@ -54,7 +50,8 @@ fn preempting_a_barrier_waiting_reduce_is_safe() {
     // long map holds the barrier shut. Tenant 1 arrives and preempts the
     // idle reduce via its min-share guarantee.
     let trace = Trace::new(vec![
-        JobSpec::new(0, 0, 0, vec![TaskSpec::map(5 * MIN), TaskSpec::reduce(MIN)]).with_slowstart(0.0),
+        JobSpec::new(0, 0, 0, vec![TaskSpec::map(5 * MIN), TaskSpec::reduce(MIN)])
+            .with_slowstart(0.0),
         JobSpec::new(1, 1, 10 * SEC, vec![TaskSpec::reduce(30 * SEC)]),
     ]);
     let config = RmConfig::new(vec![
@@ -75,11 +72,7 @@ fn preempting_a_barrier_waiting_reduce_is_safe() {
     // Tenant 1's reduce runs 30s..60s; tenant 0's reduce relaunches at 60s,
     // idles until the map barrier opens at 5min, then runs one minute.
     assert_eq!(reduce0.finish(), Some(6 * MIN));
-    let reduce1 = sched
-        .tasks
-        .iter()
-        .find(|t| t.tenant == 1)
-        .expect("tenant 1 reduce");
+    let reduce1 = sched.tasks.iter().find(|t| t.tenant == 1).expect("tenant 1 reduce");
     assert_eq!(reduce1.attempts[0].launch, 30 * SEC);
     assert_eq!(reduce1.finish(), Some(60 * SEC));
 }
@@ -130,10 +123,7 @@ fn job_kills_drop_whole_jobs() {
         &SimOptions { horizon: None, noise, seed: 6 },
     );
     let unfinished = sched.jobs.iter().filter(|j| j.finish.is_none()).count();
-    assert!(
-        (20..=80).contains(&unfinished),
-        "≈25% of 200 jobs should be killed, got {unfinished}"
-    );
+    assert!((20..=80).contains(&unfinished), "≈25% of 200 jobs should be killed, got {unfinished}");
     // Killed jobs' tasks never got an attempt.
     for j in sched.jobs.iter().filter(|j| j.finish.is_none()) {
         for t in sched.tasks.iter().filter(|t| t.job == j.id) {
@@ -179,7 +169,8 @@ fn two_level_timeouts_escalate() {
 #[test]
 fn reduce_only_jobs_have_no_barrier() {
     let trace = Trace::new(vec![JobSpec::new(0, 0, 0, vec![TaskSpec::reduce(MIN); 3])]);
-    let sched = simulate(&trace, &ClusterSpec::new(1, 3), &RmConfig::fair(1), &SimOptions::default());
+    let sched =
+        simulate(&trace, &ClusterSpec::new(1, 3), &RmConfig::fair(1), &SimOptions::default());
     assert_eq!(sched.jobs[0].finish, Some(MIN));
     for t in &sched.tasks {
         assert_eq!(t.attempts[0].work_start, t.attempts[0].launch, "no shuffle wait");

@@ -179,10 +179,8 @@ mod tests {
 
     #[test]
     fn insufficient_support_returns_none() {
-        let samples = vec![
-            Sample { x: vec![0.5, 0.5], y: 1.0 },
-            Sample { x: vec![0.51, 0.5], y: 1.1 },
-        ];
+        let samples =
+            vec![Sample { x: vec![0.5, 0.5], y: 1.0 }, Sample { x: vec![0.51, 0.5], y: 1.1 }];
         assert!(loess_fit(&samples, &[0.5, 0.5], 0.3).is_none());
         // Samples outside the bandwidth do not count as support.
         let far = vec![
@@ -197,10 +195,7 @@ mod tests {
     #[test]
     fn jacobian_stacks_gradients() {
         let xs: Vec<Vec<f64>> = grid_samples(|_| 0.0).into_iter().map(|s| s.x).collect();
-        let values: Vec<Vec<f64>> = xs
-            .iter()
-            .map(|x| vec![2.0 * x[0], -x[1] + 3.0])
-            .collect();
+        let values: Vec<Vec<f64>> = xs.iter().map(|x| vec![2.0 * x[0], -x[1] + 3.0]).collect();
         let (jac, fitted) = loess_jacobian(&xs, &values, &[0.5, 0.5], 0.5).unwrap();
         assert_eq!(jac.rows(), 2);
         assert!((jac[(0, 0)] - 2.0).abs() < 1e-9);

@@ -18,7 +18,10 @@ use crate::linalg::Matrix;
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpResult {
     /// Optimal solution and objective value.
-    Optimal { x: Vec<f64>, objective: f64 },
+    Optimal {
+        x: Vec<f64>,
+        objective: f64,
+    },
     Infeasible,
     Unbounded,
 }
@@ -164,7 +167,8 @@ fn pivot_loop(t: &mut [Vec<f64>], basis: &mut [usize], obj: &mut [f64]) -> bool 
             if row[enter] > EPS {
                 let ratio = row[width - 1] / row[enter];
                 if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS && leave.is_some_and(|l: usize| basis[i] < basis[l]))
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l: usize| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leave = Some(i);

@@ -20,7 +20,9 @@
 //! bursty hourly ETL whose input shrinks on weekends (§2.4), diurnal BI, and
 //! Figure 5/8-style duration and width CDFs.
 
-use crate::model::{ArrivalProcess, CountDist, DeadlinePolicy, JobShape, TenantModel, WorkloadModel};
+use crate::model::{
+    ArrivalProcess, CountDist, DeadlinePolicy, JobShape, TenantModel, WorkloadModel,
+};
 use crate::stats::{LogNormal, WeeklyProfile};
 use crate::time::{Time, HOUR, MIN, WEEK};
 use crate::trace::{TenantId, Trace};
@@ -61,10 +63,21 @@ pub fn abc_model(scale: f64) -> WorkloadModel {
     let bi = TenantModel {
         name: "BI".into(),
         // Analysts work business hours; queries scan large tables (many maps).
-        arrival: ArrivalProcess::Poisson { rate_per_hour: 40.0 * s, profile: WeeklyProfile::business_hours() },
+        arrival: ArrivalProcess::Poisson {
+            rate_per_hour: 40.0 * s,
+            profile: WeeklyProfile::business_hours(),
+        },
         shape: JobShape {
-            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(40.0, 0.9), min: 1, max: 2000 },
-            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(4.0, 0.7), min: 0, max: 100 },
+            num_maps: CountDist::LogNormal {
+                ln: LogNormal::from_median(40.0, 0.9),
+                min: 1,
+                max: 2000,
+            },
+            num_reduces: CountDist::LogNormal {
+                ln: LogNormal::from_median(4.0, 0.7),
+                min: 0,
+                max: 100,
+            },
             map_secs: LogNormal::from_median(45.0, 0.8),
             reduce_secs: LogNormal::from_median(90.0, 0.8),
         },
@@ -74,10 +87,21 @@ pub fn abc_model(scale: f64) -> WorkloadModel {
     let dev = TenantModel {
         name: "DEV".into(),
         // Development runs: broad mixture, high variance in everything.
-        arrival: ArrivalProcess::Poisson { rate_per_hour: 30.0 * s, profile: WeeklyProfile::business_hours() },
+        arrival: ArrivalProcess::Poisson {
+            rate_per_hour: 30.0 * s,
+            profile: WeeklyProfile::business_hours(),
+        },
         shape: JobShape {
-            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(20.0, 1.3), min: 1, max: 3000 },
-            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(2.0, 1.1), min: 0, max: 300 },
+            num_maps: CountDist::LogNormal {
+                ln: LogNormal::from_median(20.0, 1.3),
+                min: 1,
+                max: 3000,
+            },
+            num_reduces: CountDist::LogNormal {
+                ln: LogNormal::from_median(2.0, 1.1),
+                min: 0,
+                max: 300,
+            },
             map_secs: LogNormal::from_median(35.0, 1.2),
             reduce_secs: LogNormal::from_median(120.0, 1.2),
         },
@@ -88,10 +112,21 @@ pub fn abc_model(scale: f64) -> WorkloadModel {
         name: "APP".into(),
         // High-priority production application: a steady stream of small jobs
         // with tight relative deadlines (~30% missed in production, §2.1).
-        arrival: ArrivalProcess::Poisson { rate_per_hour: 90.0 * s, profile: WeeklyProfile::flat() },
+        arrival: ArrivalProcess::Poisson {
+            rate_per_hour: 90.0 * s,
+            profile: WeeklyProfile::flat(),
+        },
         shape: JobShape {
-            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(4.0, 0.5), min: 1, max: 40 },
-            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(1.0, 0.4), min: 0, max: 8 },
+            num_maps: CountDist::LogNormal {
+                ln: LogNormal::from_median(4.0, 0.5),
+                min: 1,
+                max: 40,
+            },
+            num_reduces: CountDist::LogNormal {
+                ln: LogNormal::from_median(1.0, 0.4),
+                min: 0,
+                max: 8,
+            },
             map_secs: LogNormal::from_median(12.0, 0.5),
             reduce_secs: LogNormal::from_median(25.0, 0.5),
         },
@@ -101,10 +136,21 @@ pub fn abc_model(scale: f64) -> WorkloadModel {
     let str_t = TenantModel {
         name: "STR".into(),
         // Hadoop streaming: map-heavy, medium duration, few reduces.
-        arrival: ArrivalProcess::Poisson { rate_per_hour: 18.0 * s, profile: WeeklyProfile::flat() },
+        arrival: ArrivalProcess::Poisson {
+            rate_per_hour: 18.0 * s,
+            profile: WeeklyProfile::flat(),
+        },
         shape: JobShape {
-            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(60.0, 0.8), min: 2, max: 1500 },
-            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(1.0, 0.8), min: 0, max: 20 },
+            num_maps: CountDist::LogNormal {
+                ln: LogNormal::from_median(60.0, 0.8),
+                min: 2,
+                max: 1500,
+            },
+            num_reduces: CountDist::LogNormal {
+                ln: LogNormal::from_median(1.0, 0.8),
+                min: 0,
+                max: 20,
+            },
             map_secs: LogNormal::from_median(150.0, 0.9),
             reduce_secs: LogNormal::from_median(200.0, 0.9),
         },
@@ -122,8 +168,16 @@ pub fn abc_model(scale: f64) -> WorkloadModel {
             profile: WeeklyProfile::flat(),
         },
         shape: JobShape {
-            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(120.0, 0.6), min: 10, max: 3000 },
-            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(25.0, 0.5), min: 4, max: 200 },
+            num_maps: CountDist::LogNormal {
+                ln: LogNormal::from_median(120.0, 0.6),
+                min: 10,
+                max: 3000,
+            },
+            num_reduces: CountDist::LogNormal {
+                ln: LogNormal::from_median(25.0, 0.5),
+                min: 4,
+                max: 200,
+            },
             map_secs: LogNormal::from_median(90.0, 0.7),
             reduce_secs: LogNormal::from_median(2400.0, 1.0),
         },
@@ -141,8 +195,16 @@ pub fn abc_model(scale: f64) -> WorkloadModel {
             profile: WeeklyProfile::weekday_heavy(),
         },
         shape: JobShape {
-            num_maps: CountDist::LogNormal { ln: LogNormal::from_median(80.0, 0.7), min: 5, max: 2500 },
-            num_reduces: CountDist::LogNormal { ln: LogNormal::from_median(8.0, 0.5), min: 1, max: 80 },
+            num_maps: CountDist::LogNormal {
+                ln: LogNormal::from_median(80.0, 0.7),
+                min: 5,
+                max: 2500,
+            },
+            num_reduces: CountDist::LogNormal {
+                ln: LogNormal::from_median(8.0, 0.5),
+                min: 1,
+                max: 80,
+            },
             map_secs: LogNormal::from_median(60.0, 0.7),
             reduce_secs: LogNormal::from_median(300.0, 0.9),
         },

@@ -26,7 +26,9 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::BadMagic(m) => write!(f, "bad magic 0x{m:08X}"),
-            CodecError::Truncated { need, have } => write!(f, "truncated input: need {need} bytes, have {have}"),
+            CodecError::Truncated { need, have } => {
+                write!(f, "truncated input: need {need} bytes, have {have}")
+            }
             CodecError::BadKind(k) => write!(f, "invalid task kind byte {k}"),
             CodecError::BadSlowstart => write!(f, "slowstart outside [0,1]"),
         }
@@ -211,7 +213,10 @@ mod tests {
 
     #[test]
     fn binary_rejects_garbage() {
-        assert_eq!(from_binary(Bytes::from_static(b"xx")), Err(CodecError::Truncated { need: 12, have: 2 }));
+        assert_eq!(
+            from_binary(Bytes::from_static(b"xx")),
+            Err(CodecError::Truncated { need: 12, have: 2 })
+        );
         let mut bad = BytesMut::new();
         bad.put_u32_le(0xDEAD_BEEF);
         bad.put_u64_le(0);

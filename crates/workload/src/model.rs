@@ -251,11 +251,14 @@ impl WorkloadModel {
         for (tix, tm) in self.tenants.iter().enumerate() {
             // Independent per-tenant streams: adding a tenant does not perturb
             // the others' workloads.
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tix as u64 + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tix as u64 + 1)),
+            );
             let submits = tm.arrival.sample(&mut rng, start, end);
             for submit in submits {
                 let tasks = tm.shape.sample_tasks(&mut rng);
-                let mut job = JobSpec::new(id, tix as TenantId, submit, tasks).with_slowstart(tm.slowstart);
+                let mut job =
+                    JobSpec::new(id, tix as TenantId, submit, tasks).with_slowstart(tm.slowstart);
                 job.deadline = tm.deadline.deadline_for(&job);
                 id += 1;
                 jobs.push(job);
@@ -298,12 +301,16 @@ impl WorkloadModel {
             let widths: Vec<f64> = sub.jobs.iter().map(|j| j.map_count().max(1) as f64).collect();
             let rwidths: Vec<f64> = sub.jobs.iter().map(|j| j.reduce_count() as f64).collect();
             let rate = sub.len() as f64 / span_hours;
-            let name = names.get(tid as usize).map_or_else(|| format!("tenant-{tid}"), |s| s.to_string());
+            let name =
+                names.get(tid as usize).map_or_else(|| format!("tenant-{tid}"), |s| s.to_string());
             let max_w = widths.iter().copied().fold(1.0_f64, f64::max) as u32;
             let max_r = rwidths.iter().copied().fold(0.0_f64, f64::max) as u32;
             tenants.push(TenantModel {
                 name,
-                arrival: ArrivalProcess::Poisson { rate_per_hour: rate, profile: WeeklyProfile::flat() },
+                arrival: ArrivalProcess::Poisson {
+                    rate_per_hour: rate,
+                    profile: WeeklyProfile::flat(),
+                },
                 shape: JobShape {
                     num_maps: CountDist::LogNormal {
                         ln: LogNormal::fit(&widths).unwrap_or(LogNormal::new(0.0, 0.0)),
@@ -311,7 +318,8 @@ impl WorkloadModel {
                         max: max_w.max(1),
                     },
                     num_reduces: CountDist::LogNormal {
-                        ln: LogNormal::fit(&rwidths).unwrap_or(LogNormal::new(f64::NEG_INFINITY, 0.0)),
+                        ln: LogNormal::fit(&rwidths)
+                            .unwrap_or(LogNormal::new(f64::NEG_INFINITY, 0.0)),
                         min: 0,
                         max: max_r,
                     },
@@ -360,15 +368,19 @@ mod tests {
         assert!((CountDist::Fixed(3).mean() - 3.0).abs() < 1e-12);
         let p = CountDist::Pareto { p: BoundedPareto::new(1.5, 1.0, 100.0) };
         let mut rng = StdRng::seed_from_u64(3);
-        let emp: f64 =
-            (0..20_000).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
+        let emp: f64 = (0..20_000).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
         assert!((p.mean() - emp).abs() / emp < 0.1, "analytic {} empirical {emp}", p.mean());
     }
 
     #[test]
     fn periodic_arrivals_fire_once_per_period() {
         let mut rng = StdRng::seed_from_u64(2);
-        let p = ArrivalProcess::Periodic { period: HOUR, burst: 3, jitter: MIN, profile: WeeklyProfile::flat() };
+        let p = ArrivalProcess::Periodic {
+            period: HOUR,
+            burst: 3,
+            jitter: MIN,
+            profile: WeeklyProfile::flat(),
+        };
         let arr = p.sample(&mut rng, 0, 6 * HOUR);
         assert_eq!(arr.len(), 18);
         for (i, t) in arr.iter().enumerate() {
@@ -380,7 +392,12 @@ mod tests {
     #[test]
     fn periodic_respects_start_offset() {
         let mut rng = StdRng::seed_from_u64(2);
-        let p = ArrivalProcess::Periodic { period: HOUR, burst: 1, jitter: 0, profile: WeeklyProfile::flat() };
+        let p = ArrivalProcess::Periodic {
+            period: HOUR,
+            burst: 1,
+            jitter: 0,
+            profile: WeeklyProfile::flat(),
+        };
         let arr = p.sample(&mut rng, 90 * MIN, 5 * HOUR);
         // Bursts at 2h, 3h, 4h (1h and 1.5h are before start).
         assert_eq!(arr, vec![2 * HOUR, 3 * HOUR, 4 * HOUR]);
@@ -419,14 +436,22 @@ mod tests {
         let model = WorkloadModel::new(vec![
             TenantModel {
                 name: "a".into(),
-                arrival: ArrivalProcess::Poisson { rate_per_hour: 20.0, profile: WeeklyProfile::flat() },
+                arrival: ArrivalProcess::Poisson {
+                    rate_per_hour: 20.0,
+                    profile: WeeklyProfile::flat(),
+                },
                 shape: simple_shape(),
                 deadline: DeadlinePolicy::None,
                 slowstart: 1.0,
             },
             TenantModel {
                 name: "b".into(),
-                arrival: ArrivalProcess::Periodic { period: HOUR, burst: 2, jitter: MIN, profile: WeeklyProfile::flat() },
+                arrival: ArrivalProcess::Periodic {
+                    period: HOUR,
+                    burst: 2,
+                    jitter: MIN,
+                    profile: WeeklyProfile::flat(),
+                },
                 shape: simple_shape(),
                 deadline: DeadlinePolicy::NextPeriod { period: HOUR },
                 slowstart: 0.8,
@@ -454,7 +479,10 @@ mod tests {
     fn adding_a_tenant_does_not_perturb_existing_streams() {
         let t_a = TenantModel {
             name: "a".into(),
-            arrival: ArrivalProcess::Poisson { rate_per_hour: 10.0, profile: WeeklyProfile::flat() },
+            arrival: ArrivalProcess::Poisson {
+                rate_per_hour: 10.0,
+                profile: WeeklyProfile::flat(),
+            },
             shape: simple_shape(),
             deadline: DeadlinePolicy::None,
             slowstart: 1.0,
@@ -463,7 +491,8 @@ mod tests {
         let solo = WorkloadModel::new(vec![t_a.clone()]).generate(0, DAY, 7);
         let duo = WorkloadModel::new(vec![t_a, t_b]).generate(0, DAY, 7);
         let solo_submits: Vec<Time> = solo.jobs.iter().map(|j| j.submit).collect();
-        let duo_submits: Vec<Time> = duo.jobs.iter().filter(|j| j.tenant == 0).map(|j| j.submit).collect();
+        let duo_submits: Vec<Time> =
+            duo.jobs.iter().filter(|j| j.tenant == 0).map(|j| j.submit).collect();
         assert_eq!(solo_submits, duo_submits);
     }
 
@@ -489,7 +518,10 @@ mod tests {
     fn fit_recovers_rate_and_durations() {
         let truth = WorkloadModel::new(vec![TenantModel {
             name: "x".into(),
-            arrival: ArrivalProcess::Poisson { rate_per_hour: 40.0, profile: WeeklyProfile::flat() },
+            arrival: ArrivalProcess::Poisson {
+                rate_per_hour: 40.0,
+                profile: WeeklyProfile::flat(),
+            },
             shape: JobShape {
                 num_maps: CountDist::Fixed(10),
                 num_reduces: CountDist::Fixed(3),

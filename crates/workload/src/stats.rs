@@ -300,7 +300,10 @@ pub fn mean(samples: &[f64]) -> f64 {
 /// Moving average of `(t, value)` series over a trailing window, evaluated at
 /// each point's own timestamp. Used for the "instant job response time"
 /// series of Figure 10 (30-minute trailing window in the paper).
-pub fn moving_average(points: &[(crate::time::Time, f64)], window: crate::time::Time) -> Vec<(crate::time::Time, f64)> {
+pub fn moving_average(
+    points: &[(crate::time::Time, f64)],
+    window: crate::time::Time,
+) -> Vec<(crate::time::Time, f64)> {
     let mut pts = points.to_vec();
     pts.sort_by_key(|&(t, _)| t);
     let mut out = Vec::with_capacity(pts.len());
@@ -398,7 +401,10 @@ mod tests {
         let mut r = rng(7);
         let profile = WeeklyProfile::business_hours();
         let arr = poisson_arrivals(&mut r, 60.0, &profile, 0, WEEK);
-        let day_count = arr.iter().filter(|&&t| crate::time::hour_of_day(t) >= 10 && crate::time::hour_of_day(t) < 18).count();
+        let day_count = arr
+            .iter()
+            .filter(|&&t| crate::time::hour_of_day(t) >= 10 && crate::time::hour_of_day(t) < 18)
+            .count();
         let night_count = arr.iter().filter(|&&t| crate::time::hour_of_day(t) < 5).count();
         assert!(day_count > 3 * night_count, "day {day_count} night {night_count}");
         // Weekend suppression.

@@ -135,7 +135,10 @@ mod tests {
                 TaskSpec::reduce(120 * SEC),
                 TaskSpec::reduce(120 * SEC),
             ];
-            jobs.push(JobSpec::new(i, (i % 2) as u16, i * 30 * SEC, tasks).with_deadline(i * 30 * SEC + HOUR));
+            jobs.push(
+                JobSpec::new(i, (i % 2) as u16, i * 30 * SEC, tasks)
+                    .with_deadline(i * 30 * SEC + HOUR),
+            );
         }
         Trace::new(jobs)
     }

@@ -175,7 +175,9 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
             TraceError::EmptyJob(id) => write!(f, "job {id} has no tasks"),
-            TraceError::DeadlineBeforeSubmit(id) => write!(f, "job {id} deadline precedes submission"),
+            TraceError::DeadlineBeforeSubmit(id) => {
+                write!(f, "job {id} deadline precedes submission")
+            }
             TraceError::BadSlowstart(id) => write!(f, "job {id} slowstart outside [0,1]"),
         }
     }

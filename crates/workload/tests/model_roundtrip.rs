@@ -47,7 +47,7 @@ fn fit_generate_fixpoint_preserves_aggregates() {
 fn fitted_rates_and_scaling_compose() {
     let truth = abc::abc_model(0.1);
     let trace = truth.generate(0, 2 * DAY, 7);
-    let mut fitted = WorkloadModel::fit(&trace, &abc::TENANT_NAMES.to_vec());
+    let mut fitted = WorkloadModel::fit(&trace, abc::TENANT_NAMES.as_ref());
     let bi = trace.tenant_stats(abc::tenant::BI);
     let empirical_rate = bi.jobs as f64 / 48.0;
     match &fitted.tenants[abc::tenant::BI as usize].arrival {

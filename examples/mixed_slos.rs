@@ -2,85 +2,88 @@
 //! fairness (§5's full QS menu).
 //!
 //! ```text
-//! cargo run -p tempo-examples --release --bin mixed_slos
+//! cargo run --release -p tempo-tests --example mixed_slos
 //! ```
 //!
-//! Runs the six-tenant Company-ABC workload on a simulated production
-//! cluster, attaches a different SLO class to each tenant, and reports every
+//! Composes the six-tenant Company-ABC workload through the `ScenarioSpec`
+//! builder, attaches a different SLO class to each tenant, and reports every
 //! QS metric under (a) plain fair sharing and (b) a Tempo-tuned
 //! configuration — demonstrating multi-objective trade-off handling beyond
 //! the two-tenant paper scenarios.
 
-use tempo_core::control::{LoopConfig, Tempo};
 use tempo_core::pald::PaldConfig;
-use tempo_core::space::ConfigSpace;
-use tempo_core::whatif::{WhatIfModel, WorkloadSource};
-use tempo_qs::{PoolScope, QsKind, SloSet, SloSpec};
-use tempo_sim::{observe, ClusterSpec, RmConfig};
+use tempo_core::spec::{ScenarioSpec, TenantSpec};
+use tempo_qs::{PoolScope, QsKind, SloSpec};
+use tempo_sim::ClusterSpec;
 use tempo_workload::abc;
 use tempo_workload::time::{DAY, HOUR};
 
 fn main() {
-    let cluster = ClusterSpec::new(72, 36);
-    let trace = abc::abc_span(0.06, DAY, 3);
+    // One SLO class per tenant, from §5.1 (plus priorities). Every tenant
+    // starts from plain fair sharing (the TenantSpec default) — Tempo has to
+    // discover the shares/limits/preemption itself.
+    let models = abc::abc_model(0.06);
+    let [bi, dev, app, str_t, mv, etl]: [tempo_workload::TenantModel; 6] =
+        models.tenants.try_into().expect("ABC has six tenants");
+    let spec = ScenarioSpec::new(ClusterSpec::new(72, 36))
+        // BI analysts: low response time (best-effort, ratcheted).
+        .tenant(TenantSpec::new(bi).with_slo(QsKind::AvgResponseTime))
+        // DEV: at least 25% of the dominant share (fairness).
+        .tenant(
+            TenantSpec::new(dev)
+                .with_slo_bound(QsKind::Fairness { share: 0.25, pool: PoolScope::Dominant }, 0.15),
+        )
+        // APP: throughput floor.
+        .tenant(TenantSpec::new(app).with_slo_bound(QsKind::Throughput, -40.0))
+        // STR rides along with no SLO of its own.
+        .tenant(TenantSpec::new(str_t))
+        // MV: deadlines, standard priority.
+        .tenant(TenantSpec::new(mv).with_slo_bound(QsKind::DeadlineMiss { gamma: 0.25 }, 0.1))
+        // ETL: hard deadlines, promoted priority (§6.1 weighting).
+        .tenant(
+            TenantSpec::new(etl).with_slo_spec(
+                SloSpec::new(None, QsKind::DeadlineMiss { gamma: 0.25 })
+                    .with_threshold(0.05)
+                    .with_priority(2.0),
+            ),
+        )
+        // Cluster operator: keep reduce containers busy.
+        .cluster_slo(
+            SloSpec::new(None, QsKind::Utilization { pool: PoolScope::Reduce, effective: true })
+                .with_threshold(-0.3),
+        )
+        .span(DAY)
+        .window(0, DAY + 2 * HOUR)
+        .observation_noise(tempo_core::scenario::observation_noise())
+        .seed(3)
+        .pald(PaldConfig { probes: 6, trust_radius: 0.15, seed: 2, ..Default::default() });
+
+    let labels: Vec<String> = spec.slo_set().slos.iter().map(|s| s.name.clone()).collect();
+    let mut scenario = spec.build().expect("valid six-tenant scenario");
     println!(
         "ABC workload: {} jobs / {} tasks over one day; tenants: {:?}",
-        trace.len(),
-        trace.num_tasks(),
-        abc::TENANT_NAMES
+        scenario.trace.len(),
+        scenario.trace.num_tasks(),
+        scenario.names,
     );
 
-    // One SLO per class from §5.1 (plus priorities):
-    let slos = SloSet::new(vec![
-        // ETL: hard deadlines, promoted priority (§6.1 weighting).
-        SloSpec::new(Some(abc::tenant::ETL), QsKind::DeadlineMiss { gamma: 0.25 })
-            .with_threshold(0.05)
-            .with_priority(2.0),
-        // MV: deadlines too, standard priority.
-        SloSpec::new(Some(abc::tenant::MV), QsKind::DeadlineMiss { gamma: 0.25 }).with_threshold(0.1),
-        // BI analysts: low response time (best-effort, ratcheted).
-        SloSpec::new(Some(abc::tenant::BI), QsKind::AvgResponseTime),
-        // Cluster operator: keep reduce containers busy.
-        SloSpec::new(None, QsKind::Utilization { pool: PoolScope::Reduce, effective: true })
-            .with_threshold(-0.3),
-        // DEV: at least 25% of the dominant share (fairness).
-        SloSpec::new(Some(abc::tenant::DEV), QsKind::Fairness { share: 0.25, pool: PoolScope::Dominant })
-            .with_threshold(0.15),
-        // APP: throughput floor.
-        SloSpec::new(Some(abc::tenant::APP), QsKind::Throughput).with_threshold(-40.0),
-    ]);
-    let labels: Vec<String> = slos.slos.iter().map(|s| s.name.clone()).collect();
-
-    let window = (0, DAY + 2 * HOUR);
-    let baseline = RmConfig::fair(6);
-    let base_sched = observe(&trace, &cluster, &baseline, tempo_core::scenario::observation_noise(), 1);
-    let base_qs = slos.evaluate(&base_sched, window.0, window.1);
-
-    let whatif = WhatIfModel::new(cluster.clone(), slos, WorkloadSource::Replay(trace.clone()), window);
-    let space = ConfigSpace::new(6, &cluster);
-    let mut tempo = Tempo::new(
-        space,
-        whatif,
-        LoopConfig {
-            pald: PaldConfig { probes: 6, trust_radius: 0.15, seed: 2, ..Default::default() },
-            ..Default::default()
-        },
-        &baseline,
-    );
+    // Fair-share baseline: the initial configuration *is* plain fair
+    // sharing, so the first observation measures it.
+    let base_sched = scenario.observe_current(1);
+    let (w0, w1) = scenario.window;
+    let base_qs = scenario.tempo.whatif.slos.evaluate(&base_sched, w0, w1);
 
     println!("\ntuning 6 tenants × 7 knobs = 42 dimensions…");
     let mut last_qs = base_qs.clone();
     for i in 0..6u64 {
-        let sched = observe(
-            &trace,
-            &cluster,
-            &tempo.current_config(),
-            tempo_core::scenario::observation_noise(),
-            10 + i,
-        );
-        let rec = tempo.iterate(&sched);
+        let sched = scenario.observe_current(10 + i);
+        let rec = scenario.tempo.iterate(&sched);
         last_qs = rec.observed_qs.clone();
-        println!("  iteration {} done{}", i, if rec.reverted { " (reverted previous change)" } else { "" });
+        println!(
+            "  iteration {} done{}",
+            i,
+            if rec.reverted { " (reverted previous change)" } else { "" }
+        );
     }
 
     println!("\n{:<24} {:>12} {:>12}", "QS metric", "fair-share", "tempo");

@@ -1,7 +1,7 @@
 //! Quickstart: declare SLOs, let Tempo tune the RM.
 //!
 //! ```text
-//! cargo run -p tempo-examples --release --bin quickstart
+//! cargo run --release -p tempo-tests --example quickstart
 //! ```
 //!
 //! Builds the paper's §8.2.1 setting end to end, but from the public API —
@@ -10,81 +10,54 @@
 //! runs a handful of Tempo control-loop iterations starting from a
 //! hand-tuned "expert" configuration.
 
-use std::collections::BTreeMap;
-use tempo_core::control::{LoopConfig, Tempo};
-use tempo_core::pald::PaldConfig;
-use tempo_core::space::ConfigSpace;
-use tempo_core::whatif::{WhatIfModel, WorkloadSource};
-use tempo_qs::SloSet;
-use tempo_sim::observe;
-use tempo_workload::synthetic::ec2_experiment_trace;
-use tempo_workload::time::{HOUR, MIN};
+use tempo_core::scenario;
 
 fn main() {
-    // 1. The workload: a two-hour trace with a deadline-driven tenant
-    //    ("etl") and a best-effort tenant ("analytics"). In production this
-    //    would be the job history your RM already logs.
+    // 1. The scenario: the §8.2 EC2 preset supplies the cluster, the expert
+    //    starting configuration, and the two workload archetypes; we rename
+    //    the tenants and swap in SLOs written in the declarative template
+    //    language (§5.2). In production the workload models would be fitted
+    //    from the job history your RM already logs.
     let scale = 0.25;
-    let trace = ec2_experiment_trace(scale, 2 * HOUR, 7);
-    let cluster = tempo_core::scenario::ec2_cluster().scaled(scale);
-    println!(
-        "workload: {} jobs / {} tasks on a {}+{} container cluster",
-        trace.len(),
-        trace.num_tasks(),
-        cluster.pools[0].capacity,
-        cluster.pools[1].capacity,
-    );
+    let mut spec = scenario::ec2_scenario(scale, 1.0, 0.25, 7);
+    for (tenant, name) in spec.tenants.iter_mut().zip(["etl", "analytics"]) {
+        tenant.name = name.to_string();
+        tenant.slos.clear(); // replaced by the declarative block below
+    }
 
     // 2. The SLOs, declared exactly like the paper's examples. Tenant "etl"
     //    may miss no deadlines (25% slack); tenant "analytics" wants the
     //    lowest response time Tempo can find (no threshold = best-effort,
     //    ratcheted each iteration).
-    let mut tenants = BTreeMap::new();
-    tenants.insert("etl".to_string(), 0u16);
-    tenants.insert("analytics".to_string(), 1u16);
-    let slos = SloSet::parse(
-        "\
-        # deadline pipeline: no violations tolerated\n\
-        tenant etl: deadline_miss(slack=25%) <= 0%\n\
-        # exploratory analytics: just make it fast\n\
-        tenant analytics: avg_response_time\n",
-        &tenants,
-    )
-    .expect("SLO spec parses");
-    println!("SLOs: {:?}", slos.slos.iter().map(|s| s.name.clone()).collect::<Vec<_>>());
-
-    // 3. Tempo: What-if Model over the recent traces + PALD + control loop,
-    //    starting from the DBA's expert configuration.
-    let whatif = WhatIfModel::new(
-        cluster.clone(),
-        slos,
-        WorkloadSource::Replay(trace.clone()),
-        (0, 2 * HOUR + 30 * MIN),
+    let mut scenario = spec
+        .parsed_slos(
+            "\
+            # deadline pipeline: no violations tolerated\n\
+            tenant etl: deadline_miss(slack=25%) <= 0%\n\
+            # exploratory analytics: just make it fast\n\
+            tenant analytics: avg_response_time\n",
+        )
+        .expect("SLO spec parses")
+        .build()
+        .expect("valid scenario");
+    println!(
+        "workload: {} jobs / {} tasks on a {}+{} container cluster",
+        scenario.trace.len(),
+        scenario.trace.num_tasks(),
+        scenario.cluster.pools[0].capacity,
+        scenario.cluster.pools[1].capacity,
     );
-    let space = ConfigSpace::new(2, &cluster);
-    let expert = tempo_core::scenario::scaled_expert(scale);
-    let mut tempo = Tempo::new(
-        space,
-        whatif,
-        LoopConfig {
-            pald: PaldConfig { probes: 5, trust_radius: 0.18, seed: 1, ..Default::default() },
-            ..Default::default()
-        },
-        &expert,
+    println!(
+        "SLOs: {:?}",
+        scenario.tempo.whatif.slos.slos.iter().map(|s| s.name.clone()).collect::<Vec<_>>()
     );
 
-    // 4. The control loop: observe the (simulated, noisy) cluster under the
+    // 3. The control loop: observe the (simulated, noisy) cluster under the
     //    current configuration, let Tempo install a better one, repeat.
     println!("\niter  deadline-miss  best-effort AJR  reverted");
     for i in 0..8u64 {
-        let observed = observe(
-            &trace,
-            &cluster,
-            &tempo.current_config(),
-            tempo_core::scenario::observation_noise(),
-            100 + i,
-        );
-        let rec = tempo.iterate(&observed);
+        let observed = scenario.observe_current(100 + i);
+        let rec = scenario.tempo.iterate(&observed);
         println!(
             "{:>4}  {:>13.1}%  {:>14.1}s  {}",
             rec.iteration,
@@ -94,11 +67,11 @@ fn main() {
         );
     }
 
-    let final_config = tempo.current_config();
+    let final_config = scenario.tempo.current_config();
     println!("\nfinal RM configuration installed by Tempo:");
-    for (i, t) in final_config.tenants.iter().enumerate() {
+    for (name, t) in scenario.names.iter().zip(&final_config.tenants) {
         println!(
-            "  tenant {i}: weight {:.2}, min {:?}, max {:?}, fair/min preemption timeouts {:?}/{:?}",
+            "  {name}: weight {:.2}, min {:?}, max {:?}, fair/min preemption timeouts {:?}/{:?}",
             t.weight,
             t.min_share,
             t.max_share,

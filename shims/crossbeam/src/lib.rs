@@ -1,0 +1,52 @@
+//! Offline stand-in for the `crossbeam::scope` API, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63, which makes the external
+//! dependency unnecessary for the narrow scoped fork-join use here).
+//!
+//! Panics in spawned threads propagate when the scope joins (std resumes the
+//! unwind in the parent), so the `Result` is always `Ok` — same observable
+//! behaviour as crossbeam for callers that `.expect()` the scope result.
+
+use std::any::Any;
+
+/// Scope handle passed to the closure; `spawn` mirrors crossbeam's signature
+/// where the spawned closure receives the scope again (for nested spawns).
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        inner.spawn(move || f(&Scope(inner)))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing spawns are allowed; joins all
+/// spawned threads before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_borrowed_slots() {
+        let mut slots = vec![0u32; 8];
+        super::scope(|scope| {
+            for (i, chunk) in slots.chunks_mut(3).enumerate() {
+                scope.spawn(move |_| {
+                    for v in chunk {
+                        *v = i as u32 + 1;
+                    }
+                });
+            }
+        })
+        .expect("scope joins cleanly");
+        assert_eq!(slots, vec![1, 1, 1, 2, 2, 2, 3, 3]);
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait over ranges / tuples / `prop_map`, the
+//! `prop::collection::vec` and `prop::option::of` combinators, `any::<T>()`,
+//! the `proptest!` macro (including `#![proptest_config(...)]`), and the
+//! `prop_assert*` / `prop_assume!` macros. Cases are generated from a fixed
+//! seed so failures are reproducible; there is **no shrinking** — a failing
+//! case panics with the sampled inputs left to the assertion message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (`ProptestConfig` in the real crate).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Finite full-range doubles; non-finite values are opt-in upstream
+        // and none of the workspace tests want them.
+        (rng.gen::<f64>() - 0.5) * 2e9
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Combinator modules, re-exported as `prop::...` from the prelude.
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// `vec(element, len_range)` strategy.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.gen_range(self.size.lo..=self.size.hi);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// `of(strategy)` — `None` about half the time.
+        pub struct OptionStrategy<S>(S);
+
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                if rng.gen_bool(0.5) {
+                    Some(self.0.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Inclusive element-count bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Explicit test-case failure (the `Err` side of proptest bodies that
+/// `return Ok(())` early or propagate errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Drives one property: samples `cases` inputs and applies the test closure.
+/// Called by the `proptest!` macro. Failures panic (no shrinking).
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    strategy: S,
+    mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    // Fixed seed: deterministic CI, reproducible failures.
+    let mut rng = StdRng::seed_from_u64(0x7E57_CA5E_5EED);
+    for case in 0..config.cases {
+        if let Err(e) = test(strategy.generate(&mut rng)) {
+            panic!("property failed on case {case}: {e}");
+        }
+    }
+}
+
+/// Everything a property-test module imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Expands to an early `Ok` return from the per-case closure (a skipped case
+/// counts as a pass in this no-shrinking runner).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// The `proptest! { ... }` block: an optional inner
+/// `#![proptest_config(...)]` attribute followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// One `#[test] fn` per repetition; each re-parses its argument list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::__proptest_args! { __config, $body, [] [] $($args)* }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Token-muncher splitting `pat in strategy, pat in strategy, ...` on
+/// top-level commas. State: `[collected (pat, strategy) pairs] [current pair
+/// being accumulated] <remaining tokens>`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    // End of input with a pending pair: flush and emit.
+    ($config:ident, $body:block, [$($done:tt)*] [$pat:pat_param in $($strat:tt)+]) => {
+        $crate::__proptest_emit! { $config, $body, $($done)* [$pat in $($strat)+] }
+    };
+    // End of input after a trailing comma.
+    ($config:ident, $body:block, [$($done:tt)*] []) => {
+        $crate::__proptest_emit! { $config, $body, $($done)* }
+    };
+    // Top-level comma: seal the current pair.
+    ($config:ident, $body:block, [$($done:tt)*] [$pat:pat_param in $($strat:tt)+] , $($rest:tt)*) => {
+        $crate::__proptest_args! { $config, $body, [$($done)* [$pat in $($strat)+]] [] $($rest)* }
+    };
+    // Any other token joins the pair being accumulated.
+    ($config:ident, $body:block, [$($done:tt)*] [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__proptest_args! { $config, $body, [$($done)*] [$($cur)* $next] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_emit {
+    ($config:ident, $body:block, $([$pat:pat_param in $($strat:tt)+])+) => {
+        $crate::run_cases(&$config, ($(($($strat)+),)+), |($($pat,)+)| {
+            let _ = $body;
+            Ok(())
+        });
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tagged(max: u8) -> impl Strategy<Value = (u8, bool)> {
+        (0u8..max, any::<bool>()).prop_map(|(v, flag)| (v, flag))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_collections_stay_in_bounds(
+            x in 3u32..17,
+            v in prop::collection::vec(0.0f64..=1.0, 2..6),
+            opt in prop::option::of(1u64..9),
+            t in tagged(5),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|f| (0.0..=1.0).contains(f)));
+            if let Some(o) = opt {
+                prop_assert!((1..9).contains(&o));
+            }
+            prop_assert!(t.0 < 5);
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let strat = (0u64..1000, prop::collection::vec(0i32..5, 1..4));
+        let collect = || {
+            let mut out = Vec::new();
+            crate::run_cases(
+                &ProptestConfig::with_cases(20),
+                (strat.0.clone(), prop::collection::vec(0i32..5, 1..4)),
+                |v| {
+                    out.push(v);
+                    Ok(())
+                },
+            );
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,375 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stub. `syn`/`quote` are unavailable offline, so this parses the item's
+//! `TokenStream` directly; it supports exactly the shapes the workspace
+//! derives on — non-generic structs (named, tuple, unit) and enums with
+//! unit, tuple, and struct variants — and fails loudly on anything else.
+//!
+//! Only field *names* and variant *shapes* matter for codegen: the generated
+//! impls delegate every leaf to `serde::Serialize` / `serde::Deserialize`,
+//! so field types never need to be parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive stub generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_top_level_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive stub: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, found {other:?}"),
+    }
+}
+
+/// `a: T, pub b: U<V, W>, ...` → `["a", "b"]`. Types are skipped by scanning
+/// to the next comma outside `<...>` (grouped delimiters are opaque tokens).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive stub: expected ':' after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+    }
+    fields
+}
+
+/// Advances past one type up to (and over) the next top-level `,`.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Number of top-level comma-separated entries in a tuple field list.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        count += 1;
+        skip_type(&tokens, &mut pos);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to the next variant (covers `= discriminant` tails too).
+        while let Some(tok) = tokens.get(pos) {
+            pos += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            (name, format!("serde::Value::Map(vec![{}])", entries.join(", ")))
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> =
+                (0..*arity).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            (name, format!("serde::Value::Seq(vec![{}])", entries.join(", ")))
+        }
+        Item::UnitStruct { name } => (name, "serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\"))"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                             serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                                 serde::Value::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                                 serde::Value::Map(vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(", ")))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::Value::field(__map, \"{f}\"))\
+                         .map_err(|e| serde::Error::new(format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let __map = value.as_map().ok_or_else(|| serde::Error::new(\"expected map for \
+                     {name}\"))?;\n        Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, format!("Ok({name}(serde::Deserialize::from_value(value)?))"))
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __seq = value.as_seq().ok_or_else(|| serde::Error::new(\"expected sequence \
+                     for {name}\"))?;\n        if __seq.len() != {arity} {{ return \
+                     Err(serde::Error::new(\"wrong tuple arity for {name}\")); }}\n        \
+                     Ok({name}({}))",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (name, format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!("\"{vn}\" => Ok({name}::{vn})"),
+                        VariantShape::Tuple(1) => format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(__payload)\
+                             .map_err(|e| serde::Error::new(format!(\"{name}::{vn}: {{e}}\")))?))"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__seq[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __seq = __payload.as_seq().ok_or_else(|| \
+                                 serde::Error::new(\"expected sequence for {name}::{vn}\"))?; if \
+                                 __seq.len() != {n} {{ return Err(serde::Error::new(\"wrong arity \
+                                 for {name}::{vn}\")); }} Ok({name}::{vn}({})) }}",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::Value::field(\
+                                         __m, \"{f}\")).map_err(|e| serde::Error::new(format!(\
+                                         \"{name}::{vn}.{f}: {{e}}\")))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __m = __payload.as_map().ok_or_else(|| \
+                                 serde::Error::new(\"expected map for {name}::{vn}\"))?; \
+                                 Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "if let Some(__s) = value.as_str() {{\n            match __s {{ {} _ => return \
+                     Err(serde::Error::new(format!(\"unknown variant '{{__s}}' of {name}\"))) }}\n        \
+                     }}\n        let __map = value.as_map().ok_or_else(|| serde::Error::new(\
+                     \"expected string or single-entry map for enum {name}\"))?;\n        if \
+                     __map.len() != 1 {{ return Err(serde::Error::new(\"expected single-entry map \
+                     for enum {name}\")); }}\n        let (__tag, __payload) = (&__map[0].0, \
+                     &__map[0].1);\n        match __tag.as_str() {{ {}, __other => \
+                     Err(serde::Error::new(format!(\"unknown variant '{{__other}}' of {name}\"))) }}",
+                    unit_arms.join(" "),
+                    tagged_arms.join(", ")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(value: &serde::Value) -> \
+         Result<Self, serde::Error> {{\n        {body}\n    }}\n}}"
+    )
+}

@@ -1,62 +1,43 @@
 //! End-to-end integration: declarative SLOs → workload → simulator →
 //! QS → PALD → control loop, across all crates.
 
-use std::collections::BTreeMap;
-use tempo_core::control::{LoopConfig, Tempo};
 use tempo_core::pald::PaldConfig;
+use tempo_core::scenario::ec2_scenario;
 use tempo_core::space::ConfigSpace;
-use tempo_core::whatif::{WhatIfModel, WorkloadSource};
-use tempo_qs::SloSet;
 use tempo_sim::{observe, predict, ClusterSpec, NoiseModel, RmConfig};
 use tempo_workload::synthetic::ec2_experiment_trace;
 use tempo_workload::time::{HOUR, MIN};
 
-fn tenant_names() -> BTreeMap<String, u16> {
-    let mut m = BTreeMap::new();
-    m.insert("etl".into(), 0);
-    m.insert("adhoc".into(), 1);
-    m
-}
-
 /// The full paper pipeline driven from the declarative surface only.
 #[test]
 fn declarative_slos_drive_the_loop() {
-    let slos = SloSet::parse(
-        "tenant etl: deadline_miss(slack=25%) <= 0%\ntenant adhoc: avg_response_time\n",
-        &tenant_names(),
-    )
-    .expect("parses");
     let scale = 0.15;
-    let cluster = tempo_core::scenario::ec2_cluster().scaled(scale);
-    let trace = ec2_experiment_trace(scale, HOUR, 21);
-    let whatif = WhatIfModel::new(cluster.clone(), slos, WorkloadSource::Replay(trace.clone()), (0, HOUR + 20 * MIN));
-    let space = ConfigSpace::new(2, &cluster);
-    let mut tempo = Tempo::new(
-        space,
-        whatif,
-        LoopConfig {
-            pald: PaldConfig { probes: 5, trust_radius: 0.18, seed: 3, ..Default::default() },
-            ..Default::default()
-        },
-        &tempo_core::scenario::scaled_expert(scale),
-    );
+    let mut spec = ec2_scenario(scale, 1.0, 0.25, 21)
+        .span(HOUR)
+        .window(0, HOUR + 20 * MIN)
+        .pald(PaldConfig { probes: 5, trust_radius: 0.18, seed: 3, ..Default::default() });
+    for (tenant, name) in spec.tenants.iter_mut().zip(["etl", "adhoc"]) {
+        tenant.name = name.to_string();
+        tenant.slos.clear();
+    }
+    let mut sc = spec
+        .parsed_slos(
+            "tenant etl: deadline_miss(slack=25%) <= 0%\ntenant adhoc: avg_response_time\n",
+        )
+        .expect("parses")
+        .build()
+        .expect("valid spec");
 
     let mut first_ajr = None;
     let mut best_ajr = f64::INFINITY;
     for i in 0..6u64 {
-        let sched = observe(
-            &trace,
-            &cluster,
-            &tempo.current_config(),
-            tempo_core::scenario::observation_noise(),
-            400 + i,
-        );
-        let rec = tempo.iterate(&sched);
+        let sched = sc.observe_current(400 + i);
+        let rec = sc.tempo.iterate(&sched);
         first_ajr.get_or_insert(rec.observed_qs[1]);
         best_ajr = best_ajr.min(rec.observed_qs[1]);
         // The installed configuration always validates and stays inside the
         // trust region of the previous one.
-        assert!(tempo.current_config().validate().is_ok());
+        assert!(sc.tempo.current_config().validate().is_ok());
     }
     let first = first_ajr.expect("ran at least once");
     assert!(
@@ -65,38 +46,23 @@ fn declarative_slos_drive_the_loop() {
     );
 }
 
-/// Reproducibility across the whole stack: same seeds ⇒ identical schedules,
-/// QS vectors, and controller decisions.
+/// Reproducibility across the whole stack: same seeds ⇒ identical scenarios,
+/// schedules, QS vectors, and controller decisions.
 #[test]
 fn pipeline_is_deterministic() {
     let run = || {
-        let scale = 0.1;
-        let cluster = tempo_core::scenario::ec2_cluster().scaled(scale);
-        let trace = ec2_experiment_trace(scale, HOUR, 5);
-        let slos = tempo_core::scenario::mixed_slos(0.25);
-        let whatif =
-            WhatIfModel::new(cluster.clone(), slos, WorkloadSource::Replay(trace.clone()), (0, HOUR + 10 * MIN));
-        let mut tempo = Tempo::new(
-            ConfigSpace::new(2, &cluster),
-            whatif,
-            LoopConfig {
-                pald: PaldConfig { probes: 4, trust_radius: 0.15, seed: 9, ..Default::default() },
-                ..Default::default()
-            },
-            &tempo_core::scenario::scaled_expert(scale),
-        );
+        let mut sc = ec2_scenario(0.1, 1.0, 0.25, 5)
+            .span(HOUR)
+            .window(0, HOUR + 10 * MIN)
+            .pald(PaldConfig { probes: 4, trust_radius: 0.15, seed: 9, ..Default::default() })
+            .build()
+            .expect("valid spec");
         let mut qs_log = Vec::new();
         for i in 0..3u64 {
-            let sched = observe(
-                &trace,
-                &cluster,
-                &tempo.current_config(),
-                tempo_core::scenario::observation_noise(),
-                i,
-            );
-            qs_log.push(tempo.iterate(&sched).observed_qs);
+            let sched = sc.observe_current(i);
+            qs_log.push(sc.tempo.iterate(&sched).observed_qs);
         }
-        (qs_log, tempo.current_config())
+        (qs_log, sc.tempo.current_config())
     };
     let (qs_a, cfg_a) = run();
     let (qs_b, cfg_b) = run();

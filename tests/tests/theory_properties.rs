@@ -9,11 +9,7 @@ use tempo_solver::Matrix;
 /// r_i)]` is strictly increasing in every `f_i` whenever `c > 0` and
 /// `ρ < 1`. (Monotonicity is what makes every SP2 solution an SP1 solution.)
 fn proxy(f: &[f64], c: &[f64], r: &[f64], rho: f64) -> f64 {
-    f.iter()
-        .zip(c)
-        .zip(r)
-        .map(|((fi, ci), ri)| ci * (fi - rho * fi.max(*ri)))
-        .sum()
+    f.iter().zip(c).zip(r).map(|((fi, ci), ri)| ci * (fi - rho * fi.max(*ri))).sum()
 }
 
 proptest! {
