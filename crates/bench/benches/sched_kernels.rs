@@ -1,0 +1,53 @@
+//! Allocation-kernel throughput for the scheduler backends.
+//!
+//! The engine invokes `SchedulerBackend::allocate` on every scheduling
+//! event, so this kernel bounds what-if evaluation throughput. FairShare
+//! and Capacity are O(n²) water-fills; DRF is O(capacity × n) progressive
+//! filling; FIFO is an O(n log n) sort — the spread shows up directly here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempo_sched::{ResourceVec, SchedPolicy, TenantDemand, NUM_RESOURCES};
+
+/// A deterministic synthetic tenant mix: weights, demands, guarantees, and
+/// caps spread like the ABC production configuration.
+fn demands(n: usize, capacity: &ResourceVec) -> Vec<TenantDemand> {
+    (0..n)
+        .map(|t| {
+            let mut demand = [0u32; NUM_RESOURCES];
+            let mut min_share = [0u32; NUM_RESOURCES];
+            let mut max_share = [0u32; NUM_RESOURCES];
+            for r in 0..NUM_RESOURCES {
+                let cap = capacity[r];
+                demand[r] = (t as u32 * 31 + r as u32 * 17 + 3) % (2 * cap);
+                min_share[r] = if t % 2 == 0 { cap / (2 * n as u32).max(1) } else { 0 };
+                max_share[r] = if t % 3 == 0 { cap / 2 + 1 } else { cap };
+            }
+            TenantDemand {
+                weight: 0.5 + (t % 5) as f64,
+                demand,
+                min_share,
+                max_share,
+                stamp: [(97 * t as u64 + 13) % 50, (53 * t as u64 + 7) % 50],
+            }
+        })
+        .collect()
+}
+
+fn kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_kernels");
+    let capacity: ResourceVec = [120, 60];
+    for n in [2usize, 6, 16] {
+        let d = demands(n, &capacity);
+        for policy in SchedPolicy::ALL {
+            let mut backend = policy.backend();
+            let mut targets = Vec::new();
+            group.bench_with_input(BenchmarkId::new(policy.label(), n), &d, |b, d| {
+                b.iter(|| backend.allocate(&capacity, d, &mut targets));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

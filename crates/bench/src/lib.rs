@@ -21,9 +21,11 @@
 //! | fig10 | instant response times | [`fig_workload::fig10`] |
 //! | fig11 | interval lengths | [`fig_loop::fig11`] |
 //! | fig12 | provisioning errors | [`fig_provision::fig12`] |
+//! | fig_backends | scheduler-backend frontiers | [`fig_backends::fig_backends`] |
 //! | ablations | design-choice studies | [`ablations`] |
 
 pub mod ablations;
+pub mod fig_backends;
 pub mod fig_limits;
 pub mod fig_loop;
 pub mod fig_preemption;
@@ -53,6 +55,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<String, String> {
         "fig10" => fig_workload::fig10(scale).to_string(),
         "fig11" => fig_loop::fig11(scale).to_string(),
         "fig12" => fig_provision::fig12(scale).to_string(),
+        "fig_backends" => fig_backends::fig_backends(scale).to_string(),
         "ablations" => {
             let mut s = String::new();
             s.push_str(&ablations::ablation_scalarization().to_string());
@@ -81,8 +84,8 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<String, String> {
     Ok(out)
 }
 
-/// Every experiment id, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+/// Every experiment id, in paper order (repo-original experiments after).
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "table1",
     "table2",
     "fig1",
@@ -95,6 +98,7 @@ pub const ALL_EXPERIMENTS: [&str; 13] = [
     "fig10",
     "fig11",
     "fig12",
+    "fig_backends",
     "ablations",
 ];
 

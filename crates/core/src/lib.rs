@@ -5,11 +5,12 @@
 //! (VLDB 2016).
 //!
 //! Tempo sits on top of an existing Resource Manager (here the `tempo-sim`
-//! fair-scheduler substrate) and closes the loop from declarative SLOs to
-//! low-level RM configuration:
+//! substrate, whose allocation policy is a pluggable `tempo-sched` backend:
+//! fair-share, DRF, capacity, or FIFO) and closes the loop from declarative
+//! SLOs to low-level RM configuration:
 //!
 //! * [`space`] — the normalized RM configuration space the optimizer
-//!   searches (§3.2);
+//!   searches (§3.2), encoding each scheduler backend's *native* knobs;
 //! * [`whatif`] — the What-if Model: Workload Generator + Schedule Predictor
 //!   + QS evaluation (§7);
 //! * [`pald`] — the PALD multi-objective optimizer: proxy model, max-min
@@ -20,11 +21,14 @@
 //! * [`baselines`] — weighted-sum and random-search optimizers for
 //!   ablations;
 //! * [`spec`] — the N-tenant [`spec::ScenarioSpec`] pipeline composing
-//!   workload archetypes, SLO sets, and RM configurations into runnable
+//!   workload archetypes, SLO sets, RM configurations, and a scheduler
+//!   backend choice ([`spec::ScenarioSpec::backend`]) into runnable
 //!   end-to-end scenarios;
 //! * [`scenario`] — preset specs: the paper's §8.2 two-tenant EC2 setup and
 //!   the six-tenant Company-ABC mix, shared by the examples, tests, and
-//!   figure harnesses.
+//!   figure harnesses — each also buildable under all four scheduler
+//!   backends ([`scenario::ec2_backend_specs`],
+//!   [`scenario::abc_backend_specs`]).
 //!
 //! ## Quickstart
 //!

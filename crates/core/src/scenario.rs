@@ -16,7 +16,7 @@
 use crate::pald::PaldConfig;
 use crate::spec::{ScenarioSpec, TenantSpec};
 use tempo_qs::{PoolScope, QsKind, SloSet, SloSpec};
-use tempo_sim::{ClusterSpec, NoiseModel, RmConfig, TenantConfig};
+use tempo_sim::{ClusterSpec, NoiseModel, RmConfig, SchedPolicy, TenantConfig};
 use tempo_workload::abc::{self, TENANT_DEADLINE_DRIVEN};
 use tempo_workload::synthetic::ec2_experiment_trace;
 use tempo_workload::time::{HOUR, SEC};
@@ -204,6 +204,27 @@ impl Scenario {
     pub fn mixed(scale: f64, slack: f64, seed: u64) -> Self {
         ec2_scenario(scale, 1.0, slack, seed).build().expect("EC2 preset is always valid")
     }
+}
+
+/// The §8.2 two-tenant EC2 spec under each stock scheduler backend, in
+/// [`SchedPolicy::ALL`] order — the comparison set of `examples/backends.rs`
+/// and the backend figures.
+pub fn ec2_backend_specs(
+    scale: f64,
+    load_boost: f64,
+    slack: f64,
+    seed: u64,
+) -> Vec<(SchedPolicy, ScenarioSpec)> {
+    SchedPolicy::ALL
+        .into_iter()
+        .map(|p| (p, ec2_scenario(scale, load_boost, slack, seed).backend(p)))
+        .collect()
+}
+
+/// The six-tenant Company-ABC spec under each stock scheduler backend, in
+/// [`SchedPolicy::ALL`] order (the `fig_backends` comparison set).
+pub fn abc_backend_specs(scale: f64, slack: f64, seed: u64) -> Vec<(SchedPolicy, ScenarioSpec)> {
+    SchedPolicy::ALL.into_iter().map(|p| (p, abc_scenario(scale, slack, seed).backend(p))).collect()
 }
 
 /// The expert configuration scaled to a smaller stand-in cluster.

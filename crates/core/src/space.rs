@@ -2,30 +2,32 @@
 //!
 //! Tempo's Optimizer works on a vector `x ∈ [0,1]^d` (problem (SP1)'s
 //! `x ∈ X`); this module maps that vector to and from a concrete
-//! [`RmConfig`]. Per tenant, seven knobs are encoded:
+//! [`RmConfig`]. The encoding is **per scheduler backend**: each
+//! [`SchedPolicy`] exposes its native knobs, so PALD tunes exactly the
+//! parameters the installed policy actually reads. Per tenant:
 //!
-//! | dims | knob | scaling |
+//! | policy | dims | knobs |
 //! |---|---|---|
-//! | 1 | share weight | log-scale over `weight_range` |
-//! | 2 | min share (map, reduce) | linear in `[0, pool capacity]` |
-//! | 2 | max share (map, reduce) | linear in `[1, pool capacity]` |
-//! | 2 | preemption timeouts (fair, min) | log-scale over `timeout_range`; the top of the range disables preemption |
+//! | `FairShare` | 7 | share weight · min share ×2 · max share ×2 · preemption timeouts ×2 |
+//! | `Capacity` | 6 | guaranteed capacity ×2 · maximum capacity ×2 · preemption timeouts ×2 |
+//! | `Drf` | 2 | share weight · fair-level preemption timeout |
+//! | `Fifo` | 2 | max share ×2 |
 //!
-//! Weights and timeouts are log-scaled because their effect is
-//! multiplicative: going from 1→2 weight matters as much as 4→8. The
+//! Scalings: weights and timeouts are log-scaled because their effect is
+//! multiplicative (going from 1→2 weight matters as much as 4→8); timeouts
+//! in the top 2% of the range decode to *disabled*; share knobs are linear
+//! in pool capacity, with min/guaranteed encoded as a fraction of the
+//! decoded max so every point of the unit box is a valid configuration. The
 //! normalized l2 distance `‖x − x'‖/√d` is the metric used for the
 //! trust-region proposals of §4 (the DBA's risk budget).
 
 use serde::{Deserialize, Serialize};
-use tempo_sim::{ClusterSpec, RmConfig, TenantConfig};
+use tempo_sim::{ClusterSpec, RmConfig, SchedPolicy, TenantConfig};
 use tempo_workload::time::{Time, HOUR, SEC};
 use tempo_workload::{TaskKind, NUM_KINDS};
 
-/// Number of encoded dimensions per tenant.
-pub const DIMS_PER_TENANT: usize = 7;
-
-/// The searchable RM configuration space for a fixed tenant count and
-/// cluster.
+/// The searchable RM configuration space for a fixed tenant count, cluster,
+/// and scheduler backend.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConfigSpace {
     pub num_tenants: usize,
@@ -37,9 +39,13 @@ pub struct ConfigSpace {
     /// the top 2% of the range decodes to *disabled* — so "no preemption" is
     /// reachable by the optimizer rather than a special case.
     pub timeout_range: (Time, Time),
+    /// The scheduler backend whose native knobs this space encodes; decoded
+    /// configurations carry it as [`RmConfig::policy`].
+    pub policy: SchedPolicy,
 }
 
 impl ConfigSpace {
+    /// A space over the default fair-share backend.
     pub fn new(num_tenants: usize, cluster: &ClusterSpec) -> Self {
         assert!(num_tenants > 0, "need at least one tenant");
         Self {
@@ -47,59 +53,169 @@ impl ConfigSpace {
             capacity: [cluster.capacity(TaskKind::Map), cluster.capacity(TaskKind::Reduce)],
             weight_range: (0.1, 10.0),
             timeout_range: (5 * SEC, 2 * HOUR),
+            policy: SchedPolicy::FairShare,
+        }
+    }
+
+    /// Re-targets the space at another backend's native knob set.
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Encoded dimensions per tenant under this space's policy.
+    pub fn dims_per_tenant(&self) -> usize {
+        match self.policy {
+            SchedPolicy::FairShare => 7,
+            SchedPolicy::Capacity => 6,
+            SchedPolicy::Drf => 2,
+            SchedPolicy::Fifo => 2,
         }
     }
 
     /// Total dimensionality `d`.
     pub fn dim(&self) -> usize {
-        self.num_tenants * DIMS_PER_TENANT
+        self.num_tenants * self.dims_per_tenant()
     }
 
-    /// Decodes a normalized vector into a concrete RM configuration.
+    /// Decodes a normalized vector into a concrete RM configuration (with
+    /// [`RmConfig::policy`] set to this space's backend).
     ///
     /// Values outside `[0,1]` are clamped. The min-share knob is encoded as
     /// a *fraction of the decoded max share*, which makes every point of the
     /// unit box decode to a valid configuration (min ≤ max by construction).
     pub fn decode(&self, x: &[f64]) -> RmConfig {
         assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        let k = self.dims_per_tenant();
         let mut tenants = Vec::with_capacity(self.num_tenants);
         for t in 0..self.num_tenants {
-            let v = &x[t * DIMS_PER_TENANT..(t + 1) * DIMS_PER_TENANT];
-            let weight = log_denorm(v[0], self.weight_range.0, self.weight_range.1);
-            let mut max_share = [0u32; NUM_KINDS];
-            let mut min_share = [0u32; NUM_KINDS];
-            for p in 0..NUM_KINDS {
-                let cap = self.capacity[p].max(1);
-                max_share[p] = 1 + (clamp01(v[3 + p]) * (cap - 1) as f64).round() as u32;
-                min_share[p] = (clamp01(v[1 + p]) * max_share[p] as f64).round() as u32;
-            }
-            let fair_timeout = self.decode_timeout(v[5]);
-            let min_timeout = self.decode_timeout(v[6]);
-            tenants.push(TenantConfig { weight, min_share, max_share, fair_timeout, min_timeout });
+            let v = &x[t * k..(t + 1) * k];
+            tenants.push(match self.policy {
+                SchedPolicy::FairShare => {
+                    let (min_share, max_share) = self.decode_shares(&v[1..5]);
+                    TenantConfig {
+                        weight: log_denorm(v[0], self.weight_range.0, self.weight_range.1),
+                        min_share,
+                        max_share,
+                        fair_timeout: self.decode_timeout(v[5]),
+                        min_timeout: self.decode_timeout(v[6]),
+                    }
+                }
+                SchedPolicy::Capacity => {
+                    // Guaranteed/maximum queue capacity; the backend ignores
+                    // the weight field (borrowing is guarantee-proportional).
+                    let (min_share, max_share) = self.decode_shares(&v[0..4]);
+                    TenantConfig {
+                        weight: 1.0,
+                        min_share,
+                        max_share,
+                        fair_timeout: self.decode_timeout(v[4]),
+                        min_timeout: self.decode_timeout(v[5]),
+                    }
+                }
+                SchedPolicy::Drf => TenantConfig {
+                    // DRF has no min/max queue capacities of its own: caps
+                    // stay at the pool size (non-binding), so min-level
+                    // starvation can never arm and only the fair-level
+                    // timeout is a live knob.
+                    weight: log_denorm(v[0], self.weight_range.0, self.weight_range.1),
+                    min_share: [0; NUM_KINDS],
+                    max_share: [self.capacity[0].max(1), self.capacity[1].max(1)],
+                    fair_timeout: self.decode_timeout(v[1]),
+                    min_timeout: None,
+                },
+                SchedPolicy::Fifo => {
+                    // The degenerate baseline: only per-pool caps are
+                    // tunable; no weights, guarantees, or preemption.
+                    let mut max_share = [0u32; NUM_KINDS];
+                    for p in 0..NUM_KINDS {
+                        max_share[p] = self.decode_max(v[p], p);
+                    }
+                    TenantConfig {
+                        weight: 1.0,
+                        min_share: [0; NUM_KINDS],
+                        max_share,
+                        fair_timeout: None,
+                        min_timeout: None,
+                    }
+                }
+            });
         }
-        RmConfig::new(tenants)
+        RmConfig::new(tenants).with_policy(self.policy)
+    }
+
+    /// Decodes one max-share knob: linear in `[1, pool capacity]`.
+    fn decode_max(&self, v: f64, pool: usize) -> u32 {
+        let cap = self.capacity[pool].max(1);
+        1 + (clamp01(v) * (cap - 1) as f64).round() as u32
+    }
+
+    /// Encodes one max-share value (inverse of [`ConfigSpace::decode_max`]).
+    fn encode_max(&self, max_share: u32, pool: usize) -> f64 {
+        let cap = self.capacity[pool].max(1);
+        let max = max_share.min(cap).max(1);
+        if cap == 1 {
+            1.0
+        } else {
+            (max - 1) as f64 / (cap - 1) as f64
+        }
+    }
+
+    /// Decodes the 4-knob share block `[min frac ×2, max ×2]` shared by the
+    /// FairShare and Capacity layouts.
+    fn decode_shares(&self, v: &[f64]) -> ([u32; NUM_KINDS], [u32; NUM_KINDS]) {
+        let mut max_share = [0u32; NUM_KINDS];
+        let mut min_share = [0u32; NUM_KINDS];
+        for p in 0..NUM_KINDS {
+            max_share[p] = self.decode_max(v[2 + p], p);
+            min_share[p] = (clamp01(v[p]) * max_share[p] as f64).round() as u32;
+        }
+        (min_share, max_share)
     }
 
     /// Encodes a configuration into the normalized vector. Inverse of
-    /// [`ConfigSpace::decode`] up to rounding.
+    /// [`ConfigSpace::decode`] up to rounding. The configuration's policy
+    /// must match the space's.
     pub fn encode(&self, config: &RmConfig) -> Vec<f64> {
         assert_eq!(config.num_tenants(), self.num_tenants, "tenant count mismatch");
+        assert_eq!(config.policy, self.policy, "scheduler policy mismatch");
         let mut x = Vec::with_capacity(self.dim());
         for tc in &config.tenants {
-            x.push(log_norm(tc.weight, self.weight_range.0, self.weight_range.1));
-            for p in 0..NUM_KINDS {
-                let max = tc.max_share[p].min(self.capacity[p]).max(1);
-                x.push(clamp01(tc.min_share[p] as f64 / max as f64));
+            match self.policy {
+                SchedPolicy::FairShare => {
+                    x.push(log_norm(tc.weight, self.weight_range.0, self.weight_range.1));
+                    self.encode_shares(tc, &mut x);
+                    x.push(self.encode_timeout(tc.fair_timeout));
+                    x.push(self.encode_timeout(tc.min_timeout));
+                }
+                SchedPolicy::Capacity => {
+                    self.encode_shares(tc, &mut x);
+                    x.push(self.encode_timeout(tc.fair_timeout));
+                    x.push(self.encode_timeout(tc.min_timeout));
+                }
+                SchedPolicy::Drf => {
+                    x.push(log_norm(tc.weight, self.weight_range.0, self.weight_range.1));
+                    x.push(self.encode_timeout(tc.fair_timeout));
+                }
+                SchedPolicy::Fifo => {
+                    for p in 0..NUM_KINDS {
+                        x.push(self.encode_max(tc.max_share[p], p));
+                    }
+                }
             }
-            for p in 0..NUM_KINDS {
-                let cap = self.capacity[p].max(1);
-                let max = tc.max_share[p].min(cap).max(1);
-                x.push(if cap == 1 { 1.0 } else { (max - 1) as f64 / (cap - 1) as f64 });
-            }
-            x.push(self.encode_timeout(tc.fair_timeout));
-            x.push(self.encode_timeout(tc.min_timeout));
         }
         x
+    }
+
+    /// Encodes the 4-knob share block `[min frac ×2, max ×2]`.
+    fn encode_shares(&self, tc: &TenantConfig, x: &mut Vec<f64>) {
+        for p in 0..NUM_KINDS {
+            let max = tc.max_share[p].min(self.capacity[p]).max(1);
+            x.push(clamp01(tc.min_share[p] as f64 / max as f64));
+        }
+        for p in 0..NUM_KINDS {
+            x.push(self.encode_max(tc.max_share[p], p));
+        }
     }
 
     fn decode_timeout(&self, v: f64) -> Option<Time> {
@@ -162,6 +278,85 @@ mod tests {
     #[test]
     fn dim_accounting() {
         assert_eq!(space().dim(), 14);
+        assert_eq!(space().with_policy(SchedPolicy::Capacity).dim(), 12);
+        assert_eq!(space().with_policy(SchedPolicy::Drf).dim(), 4);
+        assert_eq!(space().with_policy(SchedPolicy::Fifo).dim(), 4);
+    }
+
+    #[test]
+    fn every_policy_decodes_validly_across_the_unit_box() {
+        for policy in SchedPolicy::ALL {
+            let s = space().with_policy(policy);
+            for seed in 0..25u64 {
+                let x: Vec<f64> = (0..s.dim())
+                    .map(|i| ((seed * 31 + i as u64 * 17) % 101) as f64 / 100.0)
+                    .collect();
+                let cfg = s.decode(&x);
+                assert_eq!(cfg.policy, policy);
+                assert!(cfg.validate().is_ok(), "{policy}: invalid decode at seed {seed}: {cfg:?}");
+            }
+            assert!(s.decode(&vec![0.0; s.dim()]).validate().is_ok(), "{policy}: zero corner");
+            assert!(s.decode(&vec![1.0; s.dim()]).validate().is_ok(), "{policy}: one corner");
+        }
+    }
+
+    #[test]
+    fn per_policy_roundtrips() {
+        // Capacity: guarantees + caps + timeouts survive the roundtrip.
+        let s = space().with_policy(SchedPolicy::Capacity);
+        let cfg = RmConfig::new(vec![
+            TenantConfig::fair_default()
+                .with_min_share(30, 12)
+                .with_max_share(80, 40)
+                .with_fair_timeout(5 * MIN)
+                .with_min_timeout(MIN),
+            TenantConfig::fair_default().with_min_share(10, 6).with_max_share(100, 60),
+        ])
+        .with_policy(SchedPolicy::Capacity);
+        let back = s.decode(&s.encode(&cfg));
+        assert_eq!(back.policy, SchedPolicy::Capacity);
+        for (orig, dec) in cfg.tenants.iter().zip(&back.tenants) {
+            assert_eq!(orig.min_share, dec.min_share);
+            assert_eq!(orig.max_share, dec.max_share);
+        }
+        assert!(back.tenants[0].fair_timeout.is_some());
+        assert_eq!(back.tenants[1].fair_timeout, None);
+
+        // DRF: the weight and fair-level timeout survive; caps pin to the
+        // pool sizes and the (inert) min-level timeout is dropped.
+        let s = space().with_policy(SchedPolicy::Drf);
+        let cfg = RmConfig::new(vec![
+            TenantConfig::fair_default().with_weight(4.0).with_fair_timeout(5 * MIN),
+            TenantConfig::fair_default().with_weight(0.5),
+        ])
+        .with_policy(SchedPolicy::Drf);
+        let back = s.decode(&s.encode(&cfg));
+        for (orig, dec) in cfg.tenants.iter().zip(&back.tenants) {
+            assert!((orig.weight - dec.weight).abs() / orig.weight < 0.02);
+            assert_eq!(dec.min_share, [0, 0]);
+            assert_eq!(dec.max_share, [100, 60]);
+            assert_eq!(dec.min_timeout, None, "min-level preemption can never arm under DRF");
+        }
+        assert!(back.tenants[0].fair_timeout.is_some());
+
+        // FIFO: only the caps are knobs.
+        let s = space().with_policy(SchedPolicy::Fifo);
+        let cfg = RmConfig::new(vec![
+            TenantConfig::fair_default().with_max_share(70, 25),
+            TenantConfig::fair_default(),
+        ])
+        .with_policy(SchedPolicy::Fifo);
+        let back = s.decode(&s.encode(&cfg));
+        assert_eq!(back.tenants[0].max_share, [70, 25]);
+        assert_eq!(back.tenants[0].fair_timeout, None);
+        assert_eq!(back.tenants[0].min_timeout, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler policy mismatch")]
+    fn encode_rejects_policy_mismatch() {
+        let s = space().with_policy(SchedPolicy::Drf);
+        let _ = s.encode(&RmConfig::fair(2));
     }
 
     #[test]

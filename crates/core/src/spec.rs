@@ -43,7 +43,9 @@ use crate::whatif::{WhatIfModel, WorkloadSource};
 use std::collections::BTreeMap;
 use std::fmt;
 use tempo_qs::{ParseError, QsKind, SloSet, SloSpec};
-use tempo_sim::{observe, ClusterSpec, ConfigError, NoiseModel, RmConfig, Schedule, TenantConfig};
+use tempo_sim::{
+    observe, ClusterSpec, ConfigError, NoiseModel, RmConfig, SchedPolicy, Schedule, TenantConfig,
+};
 use tempo_workload::time::{Time, HOUR};
 use tempo_workload::{TenantId, TenantModel, Trace, WorkloadModel};
 
@@ -180,6 +182,9 @@ pub struct ScenarioSpec {
     pub tenants: Vec<TenantSpec>,
     /// The cluster the RM schedules onto.
     pub cluster: ClusterSpec,
+    /// The scheduler backend the RM runs (and whose native knobs the
+    /// optimizer tunes). Defaults to the paper's fair-share substrate.
+    pub backend: SchedPolicy,
     /// Cluster-level SLOs (utilization, total throughput, ...).
     pub cluster_slos: Vec<SloSpec>,
     /// Trace-generation horizon `[0, span)`.
@@ -215,6 +220,7 @@ impl ScenarioSpec {
         Self {
             tenants: Vec::new(),
             cluster,
+            backend: SchedPolicy::FairShare,
             cluster_slos: Vec::new(),
             span: 2 * HOUR,
             window: None,
@@ -231,6 +237,14 @@ impl ScenarioSpec {
     /// Adds a tenant; its id is its insertion position.
     pub fn tenant(mut self, tenant: TenantSpec) -> Self {
         self.tenants.push(tenant);
+        self
+    }
+
+    /// Swaps the scheduler backend (fair-share, DRF, capacity, FIFO). The
+    /// per-tenant RM configs are carried over and interpreted in the new
+    /// backend's native terms; the optimizer searches that backend's knobs.
+    pub fn backend(mut self, backend: SchedPolicy) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -340,9 +354,10 @@ impl ScenarioSpec {
         WorkloadModel::new(self.tenants.iter().map(|t| t.workload.clone()).collect())
     }
 
-    /// The initial RM configuration this spec composes.
+    /// The initial RM configuration this spec composes (under this spec's
+    /// scheduler backend).
     pub fn initial_config(&self) -> RmConfig {
-        RmConfig::new(self.tenants.iter().map(|t| t.rm.clone()).collect())
+        RmConfig::new(self.tenants.iter().map(|t| t.rm.clone()).collect()).with_policy(self.backend)
     }
 
     /// The full SLO set (tenant SLOs in tenant order, then cluster SLOs),
@@ -407,7 +422,7 @@ impl ScenarioSpec {
         let whatif = WhatIfModel::new(self.cluster.clone(), slos, source, window)
             .with_samples(self.whatif_samples.max(1))
             .with_noise(self.whatif_noise);
-        let space = ConfigSpace::new(self.tenants.len(), &self.cluster);
+        let space = ConfigSpace::new(self.tenants.len(), &self.cluster).with_policy(self.backend);
         let tempo = Tempo::new(space, whatif, self.loop_config, &initial);
         Ok(Scenario {
             names: self.tenants.iter().map(|t| t.name.clone()).collect(),
@@ -568,6 +583,22 @@ mod tests {
         let recs = sc.run(2, 9);
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].observed_qs.len(), 3);
+    }
+
+    #[test]
+    fn backend_flows_to_initial_config_and_config_space() {
+        let spec = ScenarioSpec::new(ClusterSpec::new(10, 5))
+            .tenant(tiny_tenant("a"))
+            .tenant(tiny_tenant("b"))
+            .span(20 * MIN)
+            .backend(SchedPolicy::Drf);
+        assert_eq!(spec.initial_config().policy, SchedPolicy::Drf);
+        let mut sc = spec.build().expect("valid DRF scenario");
+        assert_eq!(sc.tempo.current_config().policy, SchedPolicy::Drf);
+        // The optimizer searches DRF's native knobs: 2 dims × 2 tenants.
+        assert_eq!(sc.tempo.current_x().len(), 4);
+        let recs = sc.run(1, 2);
+        assert_eq!(recs[0].observed_qs.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! A hierarchical Capacity scheduler: per-queue guaranteed capacity with
+//! elastic borrowing (the YARN CapacityScheduler model).
+//!
+//! Each tenant is a leaf queue with a *guaranteed capacity* (its
+//! [`TenantDemand::min_share`], in containers) and an elastic *maximum
+//! capacity* ([`TenantDemand::max_share`]). Allocation per resource pool:
+//!
+//! 1. every queue is granted `min(demand, guaranteed)` — scaled down
+//!    proportionally if the guarantees oversubscribe the pool;
+//! 2. leftover capacity is lent to still-hungry queues **proportionally to
+//!    their guaranteed capacities** (YARN's elastic resource order; queues
+//!    with a zero guarantee borrow with unit weight so they are not starved),
+//!    never past their maximum capacity.
+//!
+//! The distribution machinery is the same iterative water-fill + largest-
+//! remainder rounding as [`crate::fairshare`] — Capacity *is* weighted
+//! max-min with the weights pinned to the guarantees, which is exactly the
+//! behavioural difference from [`crate::FairShare`]: operators express
+//! entitlement as capacity fractions, not free-floating share weights.
+//!
+//! With [`Capacity::with_groups`], leaves are grouped under parent queues
+//! (a two-level hierarchy, root → parents → leaves): capacity is first
+//! divided among parents by their summed guarantees, then within each parent
+//! among its leaves. The engine uses the flat (one-leaf-per-parent) form;
+//! the hierarchy is exercised by unit tests and available to future
+//! scenario presets.
+
+use crate::fairshare::{fair_targets_into, ShareInput, WaterfillScratch};
+use crate::{ResourceVec, SchedulerBackend, TenantDemand, NUM_RESOURCES};
+
+/// The Capacity backend. See the module docs for the policy.
+#[derive(Debug, Default, Clone)]
+pub struct Capacity {
+    /// Parent queue of each leaf (`groups[t]` = parent id). `None` = flat.
+    groups: Option<Vec<usize>>,
+    inputs: Vec<ShareInput>,
+    scratch: WaterfillScratch,
+    out: Vec<u32>,
+    group_inputs: Vec<ShareInput>,
+    group_out: Vec<u32>,
+    members: Vec<usize>,
+}
+
+impl Capacity {
+    /// Every tenant is its own top-level queue (what the simulation engine
+    /// instantiates).
+    pub fn flat() -> Self {
+        Self::default()
+    }
+
+    /// Groups leaves under parent queues: `groups[t]` is tenant `t`'s parent
+    /// id. Parent ids must be dense (`0..num_groups`).
+    pub fn with_groups(groups: Vec<usize>) -> Self {
+        Self { groups: Some(groups), ..Self::default() }
+    }
+
+    /// Elastic-borrowing weight of a queue: proportional to its guarantee,
+    /// with unit weight for zero-guarantee queues so they still borrow.
+    #[inline]
+    fn borrow_weight(guaranteed: u32) -> f64 {
+        (guaranteed as f64).max(1.0)
+    }
+
+    /// One-level allocation of `capacity` among `demands` (already filtered
+    /// to one parent's members when hierarchical).
+    fn allocate_level(&mut self, capacity: u32, resource: usize, demands: &[TenantDemand]) {
+        self.inputs.clear();
+        self.inputs.extend(demands.iter().map(|d| ShareInput {
+            weight: Self::borrow_weight(d.min_share[resource]),
+            demand: d.demand[resource],
+            min_share: d.min_share[resource],
+            max_share: d.max_share[resource],
+        }));
+        fair_targets_into(capacity, &self.inputs, &mut self.scratch, &mut self.out);
+    }
+}
+
+impl SchedulerBackend for Capacity {
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn allocate(
+        &mut self,
+        capacity: &ResourceVec,
+        demands: &[TenantDemand],
+        targets: &mut Vec<ResourceVec>,
+    ) {
+        let n = demands.len();
+        targets.clear();
+        targets.resize(n, [0; NUM_RESOURCES]);
+        let groups = self.groups.take();
+        for r in 0..NUM_RESOURCES {
+            match &groups {
+                None => {
+                    self.allocate_level(capacity[r], r, demands);
+                    for (t, &v) in self.out.iter().enumerate() {
+                        targets[t][r] = v;
+                    }
+                }
+                Some(parent_of) => {
+                    assert_eq!(parent_of.len(), n, "one parent per tenant");
+                    let num_groups = parent_of.iter().copied().max().map_or(0, |g| g + 1);
+                    // Stage 1: divide the pool among parent queues. A parent
+                    // aggregates its leaves: summed guarantees (also its
+                    // borrowing weight), demands, and caps.
+                    self.group_inputs.clear();
+                    for g in 0..num_groups {
+                        let mut guaranteed = 0u64;
+                        let mut demand = 0u64;
+                        let mut max = 0u64;
+                        for (t, d) in demands.iter().enumerate() {
+                            if parent_of[t] != g {
+                                continue;
+                            }
+                            guaranteed += d.min_share[r] as u64;
+                            demand += d.demand[r].min(d.max_share[r]) as u64;
+                            max += d.max_share[r].min(capacity[r]) as u64;
+                        }
+                        let clamp = |v: u64| v.min(u32::MAX as u64) as u32;
+                        self.group_inputs.push(ShareInput {
+                            weight: Self::borrow_weight(clamp(guaranteed)),
+                            demand: clamp(demand),
+                            min_share: clamp(guaranteed),
+                            max_share: clamp(max),
+                        });
+                    }
+                    fair_targets_into(
+                        capacity[r],
+                        &self.group_inputs,
+                        &mut self.scratch,
+                        &mut self.group_out,
+                    );
+                    // Stage 2: each parent's grant is divided among its
+                    // leaves by the same policy.
+                    for g in 0..num_groups {
+                        let share = self.group_out[g];
+                        self.members.clear();
+                        self.members.extend((0..n).filter(|&t| parent_of[t] == g));
+                        self.inputs.clear();
+                        self.inputs.extend(self.members.iter().map(|&t| {
+                            let d = &demands[t];
+                            ShareInput {
+                                weight: Self::borrow_weight(d.min_share[r]),
+                                demand: d.demand[r],
+                                min_share: d.min_share[r],
+                                max_share: d.max_share[r],
+                            }
+                        }));
+                        fair_targets_into(share, &self.inputs, &mut self.scratch, &mut self.out);
+                        for (i, &t) in self.members.iter().enumerate() {
+                            targets[t][r] = self.out[i];
+                        }
+                    }
+                }
+            }
+        }
+        self.groups = groups;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue(guaranteed: [u32; 2], max: [u32; 2], demand: [u32; 2]) -> TenantDemand {
+        TenantDemand {
+            weight: 1.0,
+            demand,
+            min_share: guaranteed,
+            max_share: max,
+            stamp: [u64::MAX; NUM_RESOURCES],
+        }
+    }
+
+    fn allocate(backend: &mut Capacity, cap: ResourceVec, d: &[TenantDemand]) -> Vec<ResourceVec> {
+        let mut targets = Vec::new();
+        backend.allocate(&cap, d, &mut targets);
+        targets
+    }
+
+    #[test]
+    fn guarantees_are_honoured_then_surplus_is_lent() {
+        // Queue 0 guaranteed 6, queue 1 guaranteed 2; queue 1 idle → queue 0
+        // borrows everything up to its cap.
+        let t = allocate(
+            &mut Capacity::flat(),
+            [12, 0],
+            &[queue([6, 0], [12, 0], [100, 0]), queue([2, 0], [12, 0], [0, 0])],
+        );
+        assert_eq!(t[0][0], 12);
+        assert_eq!(t[1][0], 0);
+    }
+
+    #[test]
+    fn elastic_borrowing_is_proportional_to_guarantees() {
+        // 12 spare containers beyond guarantees; queues guaranteed 6 and 2
+        // both hungry → surplus splits 3:1 on top of the guarantees.
+        let t = allocate(
+            &mut Capacity::flat(),
+            [20, 0],
+            &[queue([6, 0], [20, 0], [100, 0]), queue([2, 0], [20, 0], [100, 0])],
+        );
+        assert_eq!(t[0][0] + t[1][0], 20);
+        // 6 + 9 = 15 vs 2 + 3 = 5.
+        assert_eq!(t[0][0], 15);
+        assert_eq!(t[1][0], 5);
+    }
+
+    #[test]
+    fn max_capacity_stops_borrowing() {
+        let t = allocate(
+            &mut Capacity::flat(),
+            [20, 0],
+            &[queue([6, 0], [8, 0], [100, 0]), queue([2, 0], [20, 0], [100, 0])],
+        );
+        assert_eq!(t[0][0], 8, "capped at maximum capacity");
+        assert_eq!(t[1][0], 12, "the rest flows to the open queue");
+    }
+
+    #[test]
+    fn oversubscribed_guarantees_scale_down() {
+        let t = allocate(
+            &mut Capacity::flat(),
+            [10, 0],
+            &[queue([12, 0], [20, 0], [100, 0]), queue([8, 0], [20, 0], [100, 0])],
+        );
+        assert_eq!(t[0][0] + t[1][0], 10);
+        assert_eq!(t[0][0], 6);
+        assert_eq!(t[1][0], 4);
+    }
+
+    #[test]
+    fn zero_guarantee_queues_still_borrow() {
+        let t = allocate(
+            &mut Capacity::flat(),
+            [10, 0],
+            &[queue([4, 0], [10, 0], [4, 0]), queue([0, 0], [10, 0], [100, 0])],
+        );
+        assert_eq!(t[0][0], 4);
+        assert_eq!(t[1][0], 6, "unguaranteed queue takes the surplus");
+    }
+
+    #[test]
+    fn both_pools_allocate_independently() {
+        let t = allocate(
+            &mut Capacity::flat(),
+            [10, 6],
+            &[queue([6, 2], [10, 6], [100, 1]), queue([2, 4], [10, 6], [100, 100])],
+        );
+        assert_eq!(t[0][0] + t[1][0], 10);
+        assert_eq!(t[0][1], 1, "reduce demand satisfied");
+        assert_eq!(t[1][1], 5);
+    }
+
+    #[test]
+    fn hierarchy_divides_between_parents_first() {
+        // Parent A = {0, 1} guaranteed 6+2, parent B = {2} guaranteed 2.
+        // Pool of 20: parents get 16 (A, guarantees 8 + borrowing weight 8)
+        // vs 4 (B); then A's 16 splits 6:2 → 12:4 internally.
+        let mut backend = Capacity::with_groups(vec![0, 0, 1]);
+        let t = allocate(
+            &mut backend,
+            [20, 0],
+            &[
+                queue([6, 0], [20, 0], [100, 0]),
+                queue([2, 0], [20, 0], [100, 0]),
+                queue([2, 0], [20, 0], [100, 0]),
+            ],
+        );
+        assert_eq!(t.iter().map(|a| a[0]).sum::<u32>(), 20);
+        assert_eq!(t[0][0] + t[1][0], 16, "parent A's elastic share");
+        assert_eq!(t[2][0], 4, "parent B's elastic share");
+        assert_eq!(t[0][0], 12);
+        assert_eq!(t[1][0], 4);
+    }
+
+    #[test]
+    fn hierarchy_keeps_borrowing_inside_the_parent_when_siblings_are_idle() {
+        // Leaf 1 is idle: its quota stays inside parent A (leaf 0 takes it)
+        // before anything spills to parent B — the defining hierarchical
+        // behaviour.
+        let mut backend = Capacity::with_groups(vec![0, 0, 1]);
+        let t = allocate(
+            &mut backend,
+            [16, 0],
+            &[
+                queue([4, 0], [16, 0], [100, 0]),
+                queue([4, 0], [16, 0], [0, 0]),
+                queue([8, 0], [16, 0], [8, 0]),
+            ],
+        );
+        assert_eq!(t[2][0], 8, "parent B takes only its demand");
+        assert_eq!(t[0][0], 8, "leaf 0 absorbs its idle sibling's quota");
+        assert_eq!(t[1][0], 0);
+    }
+
+    #[test]
+    fn flat_and_singleton_hierarchy_agree() {
+        let demands = [
+            queue([6, 3], [20, 10], [100, 100]),
+            queue([2, 1], [20, 10], [9, 9]),
+            queue([0, 0], [5, 5], [100, 100]),
+        ];
+        let cap = [20, 10];
+        let flat = allocate(&mut Capacity::flat(), cap, &demands);
+        let singleton = allocate(&mut Capacity::with_groups(vec![0, 1, 2]), cap, &demands);
+        assert_eq!(flat, singleton);
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let demands = [queue([6, 2], [12, 8], [100, 100]), queue([2, 4], [12, 8], [50, 3])];
+        let mut backend = Capacity::flat();
+        let a = allocate(&mut backend, [12, 8], &demands);
+        let b = allocate(&mut backend, [12, 8], &demands);
+        assert_eq!(a, b);
+    }
+}

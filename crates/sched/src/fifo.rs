@@ -1,0 +1,121 @@
+//! First-in-first-out: the degenerate baseline every RM paper measures
+//! against (Hadoop's original JobQueueTaskScheduler).
+//!
+//! Per resource pool, tenants are served in order of their head-of-line
+//! arrival stamp ([`TenantDemand::stamp`]): the earliest-waiting tenant is
+//! granted its full effective demand before the next tenant sees a single
+//! container. No weights, no guarantees — only the max-share cap bounds a
+//! grant — so a long-running early tenant starves everyone behind it, which
+//! is exactly the pathology fair sharing (and Tempo's tuning of it) exists
+//! to fix.
+
+use crate::{ResourceVec, SchedulerBackend, TenantDemand, NUM_RESOURCES};
+
+/// The FIFO backend.
+#[derive(Debug, Default, Clone)]
+pub struct Fifo {
+    order: Vec<usize>,
+}
+
+impl Fifo {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedulerBackend for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn allocate(
+        &mut self,
+        capacity: &ResourceVec,
+        demands: &[TenantDemand],
+        targets: &mut Vec<ResourceVec>,
+    ) {
+        let n = demands.len();
+        targets.clear();
+        targets.resize(n, [0; NUM_RESOURCES]);
+        for r in 0..NUM_RESOURCES {
+            self.order.clear();
+            self.order.extend(0..n);
+            // Earliest head-of-line work first; tenant index breaks ties
+            // deterministically. Tenants with nothing queued (stamp = MAX)
+            // sort last but still receive capacity for work they already
+            // hold, keeping the pool bound honest.
+            self.order.sort_by_key(|&t| (demands[t].stamp[r], t));
+            let mut remaining = capacity[r];
+            for &t in &self.order {
+                if remaining == 0 {
+                    break;
+                }
+                let grant = demands[t].effective_demand(r).min(remaining);
+                targets[t][r] = grant;
+                remaining -= grant;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arriving(stamp: u64, map: u32, reduce: u32) -> TenantDemand {
+        TenantDemand {
+            weight: 1.0,
+            demand: [map, reduce],
+            min_share: [0; NUM_RESOURCES],
+            max_share: [u32::MAX; NUM_RESOURCES],
+            stamp: [stamp; NUM_RESOURCES],
+        }
+    }
+
+    fn allocate(cap: ResourceVec, d: &[TenantDemand]) -> Vec<ResourceVec> {
+        let mut fifo = Fifo::new();
+        let mut targets = Vec::new();
+        fifo.allocate(&cap, d, &mut targets);
+        targets
+    }
+
+    #[test]
+    fn earliest_tenant_takes_everything_it_wants() {
+        let t = allocate([10, 0], &[arriving(50, 8, 0), arriving(10, 8, 0)]);
+        assert_eq!(t[1][0], 8, "earlier arrival served first");
+        assert_eq!(t[0][0], 2, "later arrival gets the leftovers");
+    }
+
+    #[test]
+    fn ties_break_by_tenant_index() {
+        let t = allocate([6, 0], &[arriving(5, 10, 0), arriving(5, 10, 0)]);
+        assert_eq!(t[0][0], 6);
+        assert_eq!(t[1][0], 0);
+    }
+
+    #[test]
+    fn max_share_still_caps_the_head_of_line() {
+        let mut d = arriving(1, 100, 0);
+        d.max_share = [4, 4];
+        let t = allocate([10, 0], &[d, arriving(2, 100, 0)]);
+        assert_eq!(t[0][0], 4);
+        assert_eq!(t[1][0], 6);
+    }
+
+    #[test]
+    fn pools_are_ordered_independently() {
+        let mut a = arriving(1, 5, 5);
+        a.stamp = [1, 9];
+        let mut b = arriving(2, 5, 5);
+        b.stamp = [2, 3];
+        let t = allocate([5, 5], &[a, b]);
+        assert_eq!(t[0][0], 5, "a leads the map pool");
+        assert_eq!(t[1][1], 5, "b leads the reduce pool");
+    }
+
+    #[test]
+    fn surplus_capacity_leaves_slack() {
+        let t = allocate([100, 100], &[arriving(1, 3, 2), arriving(2, 4, 1)]);
+        assert_eq!(t, vec![[3, 2], [4, 1]]);
+    }
+}

@@ -1,0 +1,286 @@
+//! # tempo-sched
+//!
+//! Pluggable scheduler backends for the `tempo-sim` RM substrate.
+//!
+//! Tempo (§3.2 of the paper) tunes one concrete RM policy — the Hadoop Fair
+//! Scheduler — but policy choice and resource dimensionality dominate tenant
+//! outcomes as much as any knob setting (Garofalakis & Ioannidis,
+//! *Multi-Resource Parallel Query Scheduling and Optimization*; Kunjir et
+//! al., *ROBUS*). This crate makes the scheduler a swappable subsystem: the
+//! simulation engine dispatches every allocation decision through the
+//! [`SchedulerBackend`] trait, and four policies implement it.
+//!
+//! ## The trait contract
+//!
+//! A backend is a pure allocation policy over *demand vectors*:
+//!
+//! * [`SchedulerBackend::allocate`] receives, per tenant, a
+//!   [`TenantDemand`] — current demand, min/max limits, share weight, and a
+//!   head-of-line arrival stamp, each across all [`NUM_RESOURCES`] resource
+//!   dimensions (map containers and reduce containers in `tempo-sim`) — and
+//!   fills one integer target vector per tenant. Targets must satisfy
+//!   `target[t][r] <= min(demand[t][r], max_share[t][r])` and
+//!   `sum_t target[t][r] <= capacity[r]`; work-conserving backends meet the
+//!   second bound with equality whenever unmet effective demand remains.
+//! * [`SchedulerBackend::select_victim`] picks which running task to kill
+//!   when preemption must reclaim capacity for a starved tenant. The engine
+//!   offers only tasks of tenants currently *above* their target; the
+//!   default picks the most recently launched one (Hadoop fair-scheduler
+//!   preemption), and backends may override (DRF kills from the tenant with
+//!   the highest dominant share first).
+//!
+//! Backends take `&mut self` so they can keep scratch buffers across calls:
+//! `allocate` sits on the simulator's per-event hot path and is invoked
+//! thousands of times per what-if evaluation, so implementations here do not
+//! allocate after warm-up.
+//!
+//! ## The backends
+//!
+//! | backend | policy it reproduces |
+//! |---|---|
+//! | [`FairShare`] | Hadoop Fair Scheduler: weighted max-min water-fill per pool with min/max limits (§3.2 of the Tempo paper) |
+//! | [`Drf`] | Dominant Resource Fairness (Ghodsi et al., NSDI 2011): weighted progressive filling on dominant shares across both resource dimensions |
+//! | [`Capacity`] | YARN Capacity Scheduler: per-queue guaranteed capacity with elastic borrowing proportional to guarantees, optionally under a two-level queue hierarchy |
+//! | [`Fifo`] | The degenerate baseline: earliest head-of-line work first, until saturation |
+//!
+//! [`SchedPolicy`] names the four stock backends so a policy choice can ride
+//! inside a serialized RM configuration; [`SchedPolicy::backend`]
+//! instantiates the matching allocator.
+
+pub mod capacity;
+pub mod drf;
+pub mod fairshare;
+pub mod fifo;
+
+use serde::{Deserialize, Serialize};
+
+pub use capacity::Capacity;
+pub use drf::Drf;
+pub use fairshare::{fair_targets, FairShare, ShareInput};
+pub use fifo::Fifo;
+
+/// Number of resource dimensions a backend allocates over. `tempo-sim`
+/// schedules map and reduce container pools, so this mirrors
+/// `tempo_workload::NUM_KINDS` (asserted at the engine boundary).
+pub const NUM_RESOURCES: usize = 2;
+
+/// One integer allocation (or demand) per resource dimension.
+pub type ResourceVec = [u32; NUM_RESOURCES];
+
+/// Per-tenant inputs to one allocation decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantDemand {
+    /// Relative share weight (dimensionless, > 0). Read by [`FairShare`]
+    /// (max-min weights) and [`Drf`] (weighted dominant shares).
+    pub weight: f64,
+    /// Containers the tenant could use right now (running + queued), per
+    /// resource.
+    pub demand: ResourceVec,
+    /// Guaranteed minimum per resource. [`FairShare`] treats it as the
+    /// min-share floor; [`Capacity`] treats it as the queue's guaranteed
+    /// capacity.
+    pub min_share: ResourceVec,
+    /// Hard cap per resource (bounds both the fair target and borrowing).
+    pub max_share: ResourceVec,
+    /// Arrival time of the tenant's head-of-line queued work per resource
+    /// (`u64::MAX` when nothing is queued). Only [`Fifo`] orders by it.
+    pub stamp: [u64; NUM_RESOURCES],
+}
+
+impl TenantDemand {
+    /// Demand clamped by the max limit — the most this tenant may hold.
+    #[inline]
+    pub fn effective_demand(&self, resource: usize) -> u32 {
+        self.demand[resource].min(self.max_share[resource])
+    }
+}
+
+/// One preemptable running task, offered to
+/// [`SchedulerBackend::select_victim`]. The engine only offers tasks of
+/// tenants currently above their allocation target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimCandidate {
+    /// Owning tenant id.
+    pub tenant: usize,
+    /// Global launch order of the task's current attempt (higher = launched
+    /// later).
+    pub launch_seq: u64,
+}
+
+/// A scheduling policy: demand vectors in, integer per-tenant allocation
+/// targets out, plus preemption-victim selection.
+pub trait SchedulerBackend {
+    /// Short stable identifier (reports, bench labels).
+    fn name(&self) -> &'static str;
+
+    /// Computes integer allocation targets for every tenant across all
+    /// resource dimensions. `targets` is cleared and resized to
+    /// `demands.len()`; implementations must uphold the per-tenant cap
+    /// `target[t][r] <= min(demand[t][r], max_share[t][r])` and the pool
+    /// bound `sum_t target[t][r] <= capacity[r]`.
+    fn allocate(
+        &mut self,
+        capacity: &ResourceVec,
+        demands: &[TenantDemand],
+        targets: &mut Vec<ResourceVec>,
+    );
+
+    /// Picks the task to preempt among `candidates` (all running tasks of
+    /// over-target tenants), returning an index into `candidates`. The
+    /// default mirrors the Hadoop Fair Scheduler: kill the most recently
+    /// launched task, so the least work is lost.
+    fn select_victim(&mut self, candidates: &[VictimCandidate]) -> Option<usize> {
+        candidates.iter().enumerate().max_by_key(|(_, c)| c.launch_seq).map(|(i, _)| i)
+    }
+}
+
+/// The stock backends, as plain data so a policy choice can be carried
+/// inside a serialized RM configuration and searched by the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Weighted max-min fair sharing with min/max limits (the paper's §3.2
+    /// substrate; the pre-subsystem engine behaviour, bit for bit).
+    #[default]
+    FairShare,
+    /// Dominant Resource Fairness over both resource dimensions.
+    Drf,
+    /// Per-queue guaranteed capacity with elastic borrowing.
+    Capacity,
+    /// First-in-first-out over head-of-line arrival times.
+    Fifo,
+}
+
+impl SchedPolicy {
+    /// Every stock policy, in presentation order.
+    pub const ALL: [SchedPolicy; 4] =
+        [SchedPolicy::FairShare, SchedPolicy::Drf, SchedPolicy::Capacity, SchedPolicy::Fifo];
+
+    /// Short stable label (matches the backend's `name()`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPolicy::FairShare => "fair-share",
+            SchedPolicy::Drf => "drf",
+            SchedPolicy::Capacity => "capacity",
+            SchedPolicy::Fifo => "fifo",
+        }
+    }
+
+    /// Instantiates the matching allocator.
+    pub fn backend(self) -> Box<dyn SchedulerBackend + Send> {
+        match self {
+            SchedPolicy::FairShare => Box::new(FairShare::new()),
+            SchedPolicy::Drf => Box::new(Drf::new()),
+            SchedPolicy::Capacity => Box::new(Capacity::flat()),
+            SchedPolicy::Fifo => Box::new(Fifo::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SchedPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fair-share" | "fairshare" | "fair" => Ok(SchedPolicy::FairShare),
+            "drf" => Ok(SchedPolicy::Drf),
+            "capacity" => Ok(SchedPolicy::Capacity),
+            "fifo" => Ok(SchedPolicy::Fifo),
+            other => Err(format!("unknown scheduler policy '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A demand with unbounded caps and no guarantees.
+    pub(crate) fn plain(weight: f64, map: u32, reduce: u32) -> TenantDemand {
+        TenantDemand {
+            weight,
+            demand: [map, reduce],
+            min_share: [0; NUM_RESOURCES],
+            max_share: [u32::MAX; NUM_RESOURCES],
+            stamp: [u64::MAX; NUM_RESOURCES],
+        }
+    }
+
+    #[test]
+    fn policy_roundtrips_through_labels() {
+        for p in SchedPolicy::ALL {
+            assert_eq!(p.label().parse::<SchedPolicy>().unwrap(), p);
+            assert_eq!(p.backend().name(), p.label());
+        }
+        assert!("nosuch".parse::<SchedPolicy>().is_err());
+    }
+
+    #[test]
+    fn policy_serde_roundtrip() {
+        for p in SchedPolicy::ALL {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: SchedPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn default_victim_is_most_recently_launched() {
+        let mut b = FairShare::new();
+        let candidates = [
+            VictimCandidate { tenant: 0, launch_seq: 3 },
+            VictimCandidate { tenant: 1, launch_seq: 9 },
+            VictimCandidate { tenant: 0, launch_seq: 5 },
+        ];
+        assert_eq!(b.select_victim(&candidates), Some(1));
+        assert_eq!(b.select_victim(&[]), None);
+    }
+
+    #[test]
+    fn every_backend_respects_caps_and_pool_bounds() {
+        let demands = [
+            TenantDemand {
+                weight: 2.0,
+                demand: [30, 7],
+                min_share: [4, 0],
+                max_share: [10, 5],
+                stamp: [3, 8],
+            },
+            plain(1.0, 50, 50),
+            TenantDemand {
+                weight: 0.5,
+                demand: [0, 20],
+                min_share: [0, 2],
+                max_share: [6, 9],
+                stamp: [1, 2],
+            },
+        ];
+        let capacity = [12, 8];
+        let mut targets = Vec::new();
+        for policy in SchedPolicy::ALL {
+            let mut backend = policy.backend();
+            backend.allocate(&capacity, &demands, &mut targets);
+            assert_eq!(targets.len(), demands.len(), "{policy}");
+            for r in 0..NUM_RESOURCES {
+                let mut total = 0u64;
+                for (t, d) in demands.iter().enumerate() {
+                    assert!(
+                        targets[t][r] <= d.effective_demand(r),
+                        "{policy}: tenant {t} resource {r} over effective demand: {targets:?}"
+                    );
+                    total += targets[t][r] as u64;
+                }
+                assert!(total <= capacity[r] as u64, "{policy}: pool {r} oversubscribed");
+                // Work conservation: all four stock backends fill the pool
+                // when unmet effective demand remains.
+                let eff: u64 = demands.iter().map(|d| d.effective_demand(r) as u64).sum();
+                assert_eq!(total, eff.min(capacity[r] as u64), "{policy}: pool {r} underfilled");
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! `tempo-core::space`).
 
 use serde::{Deserialize, Serialize};
+use tempo_sched::SchedPolicy;
 use tempo_workload::time::Time;
 use tempo_workload::{TaskKind, NUM_KINDS};
 
@@ -121,10 +122,17 @@ impl TenantConfig {
 }
 
 /// The full RM configuration: one [`TenantConfig`] per tenant id
-/// (`tenants[i]` configures tenant `i`).
+/// (`tenants[i]` configures tenant `i`) plus the scheduler backend that
+/// interprets those knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RmConfig {
     pub tenants: Vec<TenantConfig>,
+    /// Which [`tempo_sched`] backend performs the allocation. Each backend
+    /// reads the per-tenant knobs in its own native terms: `FairShare` uses
+    /// all of them, `Capacity` reads `min_share` as guaranteed queue
+    /// capacity and `max_share` as the elastic cap, `Drf` reads `weight`
+    /// and `max_share`, and `Fifo` reads only `max_share`.
+    pub policy: SchedPolicy,
 }
 
 /// Problems detected by [`RmConfig::validate`].
@@ -152,13 +160,21 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 impl RmConfig {
+    /// A configuration under the default fair-share policy.
     pub fn new(tenants: Vec<TenantConfig>) -> Self {
-        Self { tenants }
+        Self { tenants, policy: SchedPolicy::FairShare }
     }
 
     /// `n` tenants of [`TenantConfig::fair_default`].
     pub fn fair(n: usize) -> Self {
-        Self { tenants: vec![TenantConfig::fair_default(); n] }
+        Self::new(vec![TenantConfig::fair_default(); n])
+    }
+
+    /// Swaps the scheduler backend (the tenant knobs are unchanged; each
+    /// backend interprets them natively).
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     pub fn num_tenants(&self) -> usize {

@@ -13,26 +13,35 @@
 //!   is how the Table 2 prediction-error experiment gets its ground truth.
 //!
 //! Scheduling semantics implemented (matching §3.2):
-//! * weighted max-min fair sharing per pool with min/max limits
-//!   ([`crate::fairshare`]),
+//! * allocation targets computed by a pluggable [`SchedulerBackend`]
+//!   (selected by [`RmConfig::policy`]) — the default [`FairShare`] backend
+//!   is weighted max-min fair sharing per pool with min/max limits, and
+//!   DRF / Capacity / FIFO backends swap in without touching the engine,
 //! * work-conserving redistribution of unused quota,
 //! * two-level preemption timeouts (below-fair-share and below-min-share)
-//!   that kill the *most recently launched* tasks of over-share tenants;
-//!   killed tasks restart from scratch (lost work, Figure 1),
+//!   whose victims the backend selects (default: the *most recently
+//!   launched* tasks of over-share tenants); killed tasks restart from
+//!   scratch (lost work, Figure 1),
 //! * map→reduce slow-start: reduces become runnable after a configurable
 //!   fraction of maps complete, but only begin useful work once all maps
 //!   finish — early-launched reduces idle in their containers.
+//!
+//! [`SchedulerBackend`]: tempo_sched::SchedulerBackend
+//! [`FairShare`]: tempo_sched::FairShare
 
 use crate::config::{ClusterSpec, RmConfig};
-use crate::fairshare::{fair_targets, ShareInput};
 use crate::noise::NoiseModel;
 use crate::record::{Attempt, AttemptOutcome, JobRecord, Schedule, TaskRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use tempo_sched::{SchedulerBackend, TenantDemand, VictimCandidate, NUM_RESOURCES};
 use tempo_workload::time::Time;
 use tempo_workload::{TaskKind, Trace, NUM_KINDS};
+
+// The backends allocate over exactly the engine's container pools.
+const _: () = assert!(NUM_RESOURCES == NUM_KINDS);
 
 /// Simulation options.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,10 +220,15 @@ struct Engine<'a> {
     task_offsets: Vec<u32>,
     tenants: Vec<TenantState>,
     free: [u32; NUM_KINDS],
-    /// Fair-share targets per pool, refreshed by `compute_targets`.
-    targets: [Vec<u32>; NUM_KINDS],
-    /// Scratch buffer reused across reschedules.
-    share_inputs: Vec<ShareInput>,
+    /// The allocation policy ([`RmConfig::policy`]).
+    backend: Box<dyn SchedulerBackend + Send>,
+    /// Allocation targets per tenant per pool, refreshed by
+    /// `compute_targets`.
+    targets: Vec<[u32; NUM_KINDS]>,
+    /// Scratch buffers reused across reschedules.
+    demands: Vec<TenantDemand>,
+    victims: Vec<VictimCandidate>,
+    victim_tasks: Vec<TaskId>,
 }
 
 impl<'a> Engine<'a> {
@@ -278,8 +292,11 @@ impl<'a> Engine<'a> {
             task_offsets,
             tenants: (0..num_tenants).map(|_| TenantState::new()).collect(),
             free: [cluster.capacity(TaskKind::Map), cluster.capacity(TaskKind::Reduce)],
-            targets: [Vec::new(), Vec::new()],
-            share_inputs: Vec::with_capacity(num_tenants),
+            backend: config.policy.backend(),
+            targets: Vec::with_capacity(num_tenants),
+            demands: Vec::with_capacity(num_tenants),
+            victims: Vec::new(),
+            victim_tasks: Vec::new(),
         };
         for (jix, spec) in trace.jobs.iter().enumerate() {
             engine.push_event(spec.submit, EventKind::JobArrive(jix as JobIdx));
@@ -535,25 +552,38 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Computes fair-share targets for one pool from current demand.
-    fn compute_targets(&mut self, pool: usize) {
-        self.share_inputs.clear();
+    /// Refreshes the per-tenant allocation targets for every pool by handing
+    /// the current demand vectors to the scheduler backend.
+    fn compute_targets(&mut self) {
+        self.demands.clear();
         for (tix, tstate) in self.tenants.iter().enumerate() {
             let cfg = &self.config.tenants[tix];
-            let demand = (tstate.running[pool].len() + tstate.queues[pool].len()) as u64;
-            self.share_inputs.push(ShareInput {
+            let mut demand = [0u32; NUM_KINDS];
+            let mut stamp = [u64::MAX; NUM_KINDS];
+            for pool in 0..NUM_KINDS {
+                let d = (tstate.running[pool].len() + tstate.queues[pool].len()) as u64;
+                demand[pool] = d.min(u32::MAX as u64) as u32;
+                // Head-of-line arrival time (FIFO ordering); preempted work
+                // re-queued at the front keeps its original arrival.
+                if let Some(&front) = tstate.queues[pool].front() {
+                    stamp[pool] = self.tasks[front as usize].runnable_at;
+                }
+            }
+            self.demands.push(TenantDemand {
                 weight: cfg.weight,
-                demand: demand.min(u32::MAX as u64) as u32,
-                min_share: cfg.min_share[pool],
-                max_share: cfg.max_share[pool],
+                demand,
+                min_share: cfg.min_share,
+                max_share: cfg.max_share,
+                stamp,
             });
         }
-        self.targets[pool] = fair_targets(self.cluster.pools[pool].capacity, &self.share_inputs);
+        let capacity = [self.cluster.pools[0].capacity, self.cluster.pools[1].capacity];
+        self.backend.allocate(&capacity, &self.demands, &mut self.targets);
     }
 
     fn reschedule(&mut self) {
+        self.compute_targets();
         for pool in 0..NUM_KINDS {
-            self.compute_targets(pool);
             self.launch_pass(pool);
             self.update_starvation(pool);
         }
@@ -569,7 +599,7 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 let running = tstate.running[pool].len() as i64;
-                let deficit = self.targets[pool][tix] as i64 - running;
+                let deficit = self.targets[tix][pool] as i64 - running;
                 if deficit <= 0 {
                     continue;
                 }
@@ -612,7 +642,7 @@ impl<'a> Engine<'a> {
                 let queued = tstate.queues[pool].len() as u32;
                 let eff_demand = running.saturating_add(queued).min(cfg.max_share[pool]);
                 let min_entitle = cfg.min_share[pool].min(eff_demand);
-                let target = self.targets[pool][tix];
+                let target = self.targets[tix][pool];
                 (
                     queued > 0 && running < min_entitle,
                     queued > 0 && running < target,
@@ -656,7 +686,7 @@ impl<'a> Engine<'a> {
             return; // Starvation cleared (or re-armed) since this was scheduled.
         }
         // Recompute entitlement from live demand.
-        self.compute_targets(pool);
+        self.compute_targets();
         let (running, entitle) = {
             let cfg = &self.config.tenants[tix];
             let tstate = &self.tenants[tix];
@@ -665,31 +695,36 @@ impl<'a> Engine<'a> {
             let eff_demand = running.saturating_add(queued).min(cfg.max_share[pool]);
             let entitle = match level {
                 Level::Min => cfg.min_share[pool].min(eff_demand),
-                Level::Fair => self.targets[pool][tix],
+                Level::Fair => self.targets[tix][pool],
             };
             (running, entitle)
         };
         let mut needed = entitle.saturating_sub(running);
-        // Kill the most recently launched tasks of tenants above their fair
-        // target until the deficit is covered — never dragging a victim below
-        // its own target (mirrors Hadoop's fair-scheduler preemption).
+        // Offer the backend every running task of tenants above their
+        // target and kill its pick, until the deficit is covered — never
+        // dragging a victim below its own target. The default backend policy
+        // kills the most recently launched task (Hadoop's fair-scheduler
+        // preemption).
         while needed > 0 {
-            let mut victim: Option<(u64, TaskId)> = None;
+            self.victims.clear();
+            self.victim_tasks.clear();
             for (vix, vstate) in self.tenants.iter().enumerate() {
                 if vix == tix {
                     continue;
                 }
-                if (vstate.running[pool].len() as u32) <= self.targets[pool][vix] {
+                if (vstate.running[pool].len() as u32) <= self.targets[vix][pool] {
                     continue;
                 }
                 for &tid in &vstate.running[pool] {
-                    let seq = self.tasks[tid as usize].launch_seq;
-                    if victim.is_none_or(|(s, _)| seq > s) {
-                        victim = Some((seq, tid));
-                    }
+                    self.victims.push(VictimCandidate {
+                        tenant: vix,
+                        launch_seq: self.tasks[tid as usize].launch_seq,
+                    });
+                    self.victim_tasks.push(tid);
                 }
             }
-            let Some((_, tid)) = victim else { break };
+            let Some(pick) = self.backend.select_victim(&self.victims) else { break };
+            let tid = self.victim_tasks[pick];
             self.preempt_task(tid);
             needed -= 1;
         }

@@ -1,13 +1,16 @@
 //! # tempo-sim
 //!
-//! Discrete-event cluster + fair-scheduler RM simulator: the substrate Tempo
-//! tunes, and its fast time-warp Schedule Predictor (§7.2 of the paper).
+//! Discrete-event cluster + RM simulator: the substrate Tempo tunes, and its
+//! fast time-warp Schedule Predictor (§7.2 of the paper).
 //!
 //! The simulator implements the RM configuration space of §3.2 — per-tenant
 //! resource shares, min/max limits, and two-level preemption timeouts — over
 //! a cluster of map/reduce container pools, and records the full task
 //! schedule (start/end/allocation of every task attempt) that the QS metrics
-//! are defined on.
+//! are defined on. Allocation policy is pluggable: [`RmConfig::policy`]
+//! selects a `tempo-sched` backend (fair-share, DRF, capacity, or FIFO) and
+//! the engine dispatches every target computation and preemption-victim
+//! choice through the [`SchedulerBackend`] trait.
 //!
 //! ```
 //! use tempo_sim::{predict, ClusterSpec, RmConfig};
@@ -21,14 +24,18 @@
 
 pub mod config;
 pub mod engine;
-pub mod fairshare;
 pub mod noise;
 pub mod predictor;
 pub mod record;
 
 pub use config::{ClusterSpec, ConfigError, PoolSpec, RmConfig, TenantConfig};
 pub use engine::{simulate, SimOptions};
-pub use fairshare::{fair_targets, ShareInput};
+// The allocation kernels live in `tempo-sched`; re-exported so existing
+// `tempo_sim::fair_targets` call sites keep compiling.
 pub use noise::NoiseModel;
 pub use predictor::{observe, predict, predict_until, prediction_error, PredictionError};
 pub use record::{Attempt, AttemptOutcome, JobRecord, Schedule, TaskRecord};
+pub use tempo_sched::{
+    fair_targets, Capacity, Drf, FairShare, Fifo, SchedPolicy, SchedulerBackend, ShareInput,
+    TenantDemand,
+};
