@@ -1,0 +1,117 @@
+//! The predict→optimize hot path (§6–§7): What-if evaluations/sec with the
+//! probe batch evaluated serially vs fanned out across cores, and full PALD
+//! iterations/sec at 1 thread vs all cores. The batched/serial ratio is the
+//! headline number — ≥2× expected on a ≥4-core machine, ~1× on one core
+//! (the batch path short-circuits to the serial loop, so single-threaded
+//! timings stay within noise of the pre-batch optimizer).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tempo_bench::perf::probe_configs;
+use tempo_core::pald::{Pald, PaldConfig};
+use tempo_core::whatif::{WhatIfModel, WorkloadSource};
+use tempo_core::{scenario, ConfigSpace, WhatIfObjective};
+use tempo_workload::time::HOUR;
+
+const WL_SCALE: f64 = 0.06;
+const PROBES: usize = 16;
+
+fn bench_model(threads: usize) -> (WhatIfModel, ConfigSpace, Vec<f64>) {
+    let cluster = scenario::ec2_cluster().scaled(WL_SCALE);
+    let trace = tempo_workload::synthetic::ec2_experiment_model(WL_SCALE).generate(0, HOUR / 2, 7);
+    let model = WhatIfModel::new(
+        cluster.clone(),
+        scenario::mixed_slos(0.25),
+        WorkloadSource::replay(trace),
+        (0, HOUR / 2),
+    )
+    .with_threads(threads);
+    let space = ConfigSpace::new(2, &cluster);
+    let x0 = space.encode(&scenario::scaled_expert(WL_SCALE));
+    (model, space, x0)
+}
+
+fn predict_optimize(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut group = c.benchmark_group("whatif_eval");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PROBES as u64));
+    let (model, space, x0) = bench_model(cores);
+    let probes = probe_configs(&space, &x0, PROBES);
+    let mut salt = 1u64;
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            for cfg in &probes {
+                criterion::black_box(model.evaluate_salted(cfg, salt));
+                salt += 1;
+            }
+        })
+    });
+    let mut salt = 1_000_000u64;
+    group.bench_function(format!("batched/{cores}threads"), |b| {
+        b.iter(|| {
+            criterion::black_box(model.evaluate_batch_salted(&probes, salt));
+            salt += PROBES as u64;
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("pald_iteration");
+    group.sample_size(10);
+    for threads in [1usize, cores] {
+        let (model, space, x0) = bench_model(threads);
+        let r: Vec<f64> =
+            model.slos.thresholds().iter().map(|t| t.unwrap_or(f64::INFINITY)).collect();
+        group.bench_function(format!("{threads}threads"), |b| {
+            b.iter(|| {
+                let objective = WhatIfObjective::new(&space, &model);
+                let mut pald = Pald::new(PaldConfig { probes: 5, seed: 11, ..Default::default() });
+                let mut x = x0.clone();
+                for _ in 0..3 {
+                    let step = pald.step(&objective, &x, &r);
+                    x = step.x_new;
+                }
+                criterion::black_box(x)
+            })
+        });
+        if threads == cores && cores == 1 {
+            break; // one-core machine: both rows would be the same config
+        }
+    }
+    group.finish();
+
+    // One-shot speedup report in the acceptance-criteria units.
+    let (model, space, x0) = bench_model(cores);
+    let probes = probe_configs(&space, &x0, PROBES);
+    let time = |f: &mut dyn FnMut()| {
+        f(); // warm-up
+        let start = std::time::Instant::now();
+        for _ in 0..3 {
+            f();
+        }
+        start.elapsed().as_secs_f64() / 3.0
+    };
+    let mut salt = 1u64;
+    let serial = time(&mut || {
+        for cfg in &probes {
+            criterion::black_box(model.evaluate_salted(cfg, salt));
+            salt += 1;
+        }
+    });
+    let mut salt = 1_000_000u64;
+    let batched = time(&mut || {
+        criterion::black_box(model.evaluate_batch_salted(&probes, salt));
+        salt += PROBES as u64;
+    });
+    println!(
+        "\npredict_optimize: {} probes — serial {:.1} evals/s, batched {:.1} evals/s on {} cores = {:.2}x\n",
+        PROBES,
+        PROBES as f64 / serial,
+        PROBES as f64 / batched,
+        cores,
+        serial / batched
+    );
+}
+
+criterion_group!(benches, predict_optimize);
+criterion_main!(benches);

@@ -1,27 +1,81 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, and measure the
+//! predict→optimize hot path.
 //!
 //! ```text
 //! cargo run -p tempo-bench --release --bin repro -- all
 //! cargo run -p tempo-bench --release --bin repro -- fig6 --full
+//! cargo run -p tempo-bench --release --bin repro -- perf --out BENCH_pr3.json
+//! cargo run -p tempo-bench --release --bin repro -- perf --baseline BENCH_pr3.json
 //! ```
+//!
+//! Independent experiments run concurrently (bounded by the machine's
+//! cores); output order always matches the order the ids were given.
+//!
+//! `perf` measures What-if evaluations/sec, PALD iterations/sec, and
+//! predictor tasks/sec. `--out FILE` writes the JSON report; `--baseline
+//! FILE` compares against a committed report and exits non-zero when
+//! evaluations/sec regressed by more than 30%.
 
-use tempo_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+use tempo_bench::{perf, run_experiments_parallel, Scale, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale = Scale::from_full_flag(full);
+    if args.first().map(String::as_str) == Some("perf") {
+        run_perf(&args[1..], scale);
+        return;
+    }
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     if ids.is_empty() {
-        eprintln!("usage: repro <experiment|all> [--full]");
+        eprintln!("usage: repro <experiment|all|perf> [--full] [perf: --out FILE --baseline FILE]");
         eprintln!("experiments: {ALL_EXPERIMENTS:?}");
         std::process::exit(2);
     }
-    let scale = Scale::from_full_flag(full);
-    for id in ids {
-        match run_experiment(id, scale) {
+    // The harness parallelizes across experiments; unless the caller pinned
+    // a width, keep each experiment's inner What-if batches serial so the
+    // two levels don't multiply into cores² threads. (Safe: main is still
+    // single-threaded here.)
+    if (ids.len() > 1 || ids.contains(&"all")) && std::env::var_os("TEMPO_THREADS").is_none() {
+        std::env::set_var("TEMPO_THREADS", "1");
+    }
+    let mut failed = false;
+    for result in run_experiments_parallel(&ids, scale) {
+        match result {
             Ok(out) => println!("{out}"),
             Err(e) => {
                 eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Handles `repro perf [--full] [--out FILE] [--baseline FILE]`.
+fn run_perf(args: &[String], scale: Scale) {
+    let flag_value =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let report = perf::perf(scale);
+    println!("{report}");
+    if let Some(path) = flag_value("--out") {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json + "\n").expect("write perf report");
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value("--baseline") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline: perf::PerfReport =
+            serde_json::from_str(&text).expect("baseline report parses");
+        match perf::check_against_baseline(&report, &baseline) {
+            Ok(verdict) => println!("perf gate vs {path}:\n{verdict}"),
+            Err(verdict) => {
+                eprintln!(
+                    "perf gate vs {path} FAILED (>30% evaluations/sec regression):\n{verdict}"
+                );
                 std::process::exit(1);
             }
         }

@@ -260,7 +260,7 @@ fn windowed_loop(
         }
         // Re-tune on this window's traces for the next interval.
         tempo.set_workload(
-            WorkloadSource::Replay({
+            WorkloadSource::replay({
                 let mut w = trace.window(t, t + interval);
                 w.shift_to_zero(t);
                 w

@@ -31,6 +31,7 @@ pub mod fig_loop;
 pub mod fig_preemption;
 pub mod fig_provision;
 pub mod fig_workload;
+pub mod perf;
 pub mod report;
 pub mod tables;
 
@@ -68,9 +69,12 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<String, String> {
             s
         }
         "all" => {
+            // Same expansion (and parallelism) as the multi-id path; this
+            // arm only folds the per-id results into one report, aborting on
+            // the first error per the signature.
             let mut s = String::new();
-            for id in ALL_EXPERIMENTS {
-                s.push_str(&run_experiment(id, scale)?);
+            for out in run_experiments_parallel(&["all"], scale) {
+                s.push_str(&out?);
                 s.push('\n');
             }
             s
@@ -82,6 +86,55 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<String, String> {
         }
     };
     Ok(out)
+}
+
+/// Runs several experiments concurrently — they are fully independent pure
+/// functions — bounded by the machine's available parallelism, and returns
+/// the results in **input order** so `repro`'s output is stable no matter
+/// how the workers interleave. `all` expands to [`ALL_EXPERIMENTS`] here, so
+/// this is the single expansion path.
+///
+/// Callers that parallelize at this level should pin the inner What-if
+/// batch width (e.g. `TEMPO_THREADS=1`, as the `repro` binary does) —
+/// otherwise every worker fans its probe batches out across all cores too,
+/// oversubscribing the machine ~cores².
+pub fn run_experiments_parallel(ids: &[&str], scale: Scale) -> Vec<Result<String, String>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let ids: Vec<&str> = ids
+        .iter()
+        .flat_map(|id| if *id == "all" { ALL_EXPERIMENTS.to_vec() } else { vec![*id] })
+        .collect();
+    let ids = &ids[..];
+    if ids.len() <= 1 {
+        return ids.iter().map(|id| run_experiment(id, scale)).collect();
+    }
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(ids.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<String, String>>>> =
+        ids.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Work-stealing by index: long experiments (fig6, ablations)
+                // don't serialize behind short ones.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ids.len() {
+                    break;
+                }
+                let result = run_experiment(ids[i], scale);
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every experiment slot filled")
+        })
+        .collect()
 }
 
 /// Every experiment id, in paper order (repo-original experiments after).
@@ -117,5 +170,16 @@ mod tests {
             let out = run_experiment(id, Scale::Quick).unwrap();
             assert!(!out.is_empty(), "{id} produced no output");
         }
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order_and_output() {
+        let ids = ["fig2", "table1", "fig99", "fig1"];
+        let parallel = run_experiments_parallel(&ids, Scale::Quick);
+        assert_eq!(parallel.len(), ids.len());
+        for (id, got) in ids.iter().zip(&parallel) {
+            assert_eq!(got, &run_experiment(id, Scale::Quick), "{id} diverged");
+        }
+        assert!(parallel[2].is_err(), "unknown id stays an error in its own slot");
     }
 }

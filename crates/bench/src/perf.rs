@@ -1,0 +1,264 @@
+//! `repro perf` — throughput of the predict→optimize hot path.
+//!
+//! Measures the loop the whole system's responsiveness hangs on (§6–§7):
+//! What-if evaluations per second (serial vs batched across cores), full
+//! PALD iterations per second, and the raw Schedule Predictor task rate.
+//! The numbers are emitted as JSON so CI can gate on regressions against the
+//! committed `BENCH_pr3.json` baseline.
+
+use crate::report::{fmt, render_table};
+use crate::Scale;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tempo_core::pald::{Pald, PaldConfig};
+use tempo_core::whatif::{WhatIfModel, WorkloadSource};
+use tempo_core::{scenario, ConfigSpace, WhatIfObjective};
+use tempo_sim::{predict, RmConfig};
+use tempo_workload::time::HOUR;
+
+/// Throughput numbers for the predict→optimize hot path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// `quick` (CI smoke) or `full`.
+    pub scale: String,
+    /// Worker threads the batched paths used.
+    pub threads: u64,
+    /// Tasks in the benchmark trace.
+    pub trace_tasks: u64,
+    /// What-if evaluations/sec, probes evaluated one-by-one (the pre-batch
+    /// optimizer behaviour; also the 1-thread reference for the speedup).
+    pub whatif_evals_per_sec_serial: f64,
+    /// What-if evaluations/sec through `evaluate_batch_salted`.
+    pub whatif_evals_per_sec_batched: f64,
+    /// `batched / serial` — ≥ 2 expected on a ≥ 4-core machine, ~1 on one
+    /// core (the batch path short-circuits to the serial loop).
+    pub batch_speedup: f64,
+    /// Full PALD iterations (probe batch + LOESS fit + LP/MGDA + step)/sec.
+    pub pald_iters_per_sec: f64,
+    /// Schedule Predictor throughput in simulated tasks/sec (paper §8.1
+    /// reports ~150k/s).
+    pub predictor_tasks_per_sec: f64,
+}
+
+/// Fraction of an evaluations/sec baseline a run may lose before the CI
+/// perf-smoke gate fails (30%, per the bench-trajectory policy).
+pub const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// Runs `work` (which reports how many units it processed) until enough
+/// wall-clock has accumulated for a stable rate, and returns units/sec.
+fn rate(min_secs: f64, min_rounds: usize, mut work: impl FnMut() -> u64) -> f64 {
+    // Warm-up round: fills sim pools and caches outside the timed window.
+    work();
+    let start = Instant::now();
+    let mut units = 0u64;
+    let mut rounds = 0usize;
+    while rounds < min_rounds || start.elapsed().as_secs_f64() < min_secs {
+        units += work();
+        rounds += 1;
+    }
+    units as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The probe set: the expert configuration plus deterministic perturbations
+/// of its encoding — the shape of one PALD probe batch, widened so the
+/// parallel path has enough work per round.
+pub fn probe_configs(space: &ConfigSpace, x0: &[f64], count: usize) -> Vec<RmConfig> {
+    let mut probes = Vec::with_capacity(count);
+    let mut state = 0x243F6A8885A308D3u64; // deterministic LCG, no wall-clock
+    for _ in 0..count {
+        let x: Vec<f64> = x0
+            .iter()
+            .map(|&v| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let jitter = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5; // [-0.5, 0.5)
+                (v + 0.3 * jitter).clamp(0.0, 1.0)
+            })
+            .collect();
+        probes.push(space.decode(&x));
+    }
+    probes
+}
+
+/// Measures the hot path at the given scale.
+pub fn perf(scale: Scale) -> PerfReport {
+    // Per-evaluation work must dwarf a scoped-thread spawn (~tens of µs) or
+    // the batched path can't show its speedup, hence a trace in the
+    // thousands of tasks even at smoke scale.
+    let (wl_scale, span, probe_count, min_secs) = match scale {
+        Scale::Quick => (0.15, HOUR, 16, 0.5),
+        Scale::Full => (0.4, 2 * HOUR, 32, 2.0),
+    };
+    let cluster = scenario::ec2_cluster().scaled(wl_scale);
+    let trace = tempo_workload::synthetic::ec2_experiment_model(wl_scale).generate(0, span, 7);
+    let trace_tasks = trace.num_tasks() as u64;
+    let window = (0, span);
+
+    let model = WhatIfModel::new(
+        cluster.clone(),
+        scenario::mixed_slos(0.25),
+        WorkloadSource::replay(trace.clone()),
+        window,
+    );
+    let threads = model.batch_threads() as u64;
+    let space = ConfigSpace::new(2, &cluster);
+    let x0 = space.encode(&scenario::scaled_expert(wl_scale));
+    let probes = probe_configs(&space, &x0, probe_count);
+
+    // Distinct salts per probe (like PALD's sample ids) keep the memo cache
+    // out of the picture: both paths measure real simulations.
+    let mut salt = 1u64;
+    let serial = rate(min_secs, 2, || {
+        for cfg in &probes {
+            std::hint::black_box(model.evaluate_salted(cfg, salt));
+            salt += 1;
+        }
+        probes.len() as u64
+    });
+    let mut salt = 1_000_000u64;
+    let batched = rate(min_secs, 2, || {
+        std::hint::black_box(model.evaluate_batch_salted(&probes, salt));
+        salt += probes.len() as u64;
+        probes.len() as u64
+    });
+
+    let r = model.slos.thresholds().iter().map(|t| t.unwrap_or(f64::INFINITY)).collect::<Vec<_>>();
+    let pald_iters = rate(min_secs, 1, || {
+        let objective = WhatIfObjective::new(&space, &model);
+        let mut pald = Pald::new(PaldConfig { probes: 5, seed: 11, ..Default::default() });
+        let mut x = x0.clone();
+        let iters = 4u64;
+        for _ in 0..iters {
+            let step = pald.step(&objective, &x, &r);
+            x = step.x_new;
+        }
+        iters
+    });
+
+    let fair = RmConfig::fair(2);
+    let predictor = rate(min_secs, 2, || {
+        std::hint::black_box(predict(&trace, &cluster, &fair));
+        trace_tasks
+    });
+
+    PerfReport {
+        scale: match scale {
+            Scale::Quick => "quick".into(),
+            Scale::Full => "full".into(),
+        },
+        threads,
+        trace_tasks,
+        whatif_evals_per_sec_serial: serial,
+        whatif_evals_per_sec_batched: batched,
+        batch_speedup: if serial > 0.0 { batched / serial } else { 0.0 },
+        pald_iters_per_sec: pald_iters,
+        predictor_tasks_per_sec: predictor,
+    }
+}
+
+/// Compares a fresh report against a committed baseline: evaluations/sec
+/// (serial and batched) may not regress more than [`REGRESSION_TOLERANCE`].
+/// Returns a human-readable verdict, `Err` when the gate fails.
+pub fn check_against_baseline(
+    current: &PerfReport,
+    baseline: &PerfReport,
+) -> Result<String, String> {
+    let floor = 1.0 - REGRESSION_TOLERANCE;
+    let mut lines = Vec::new();
+    let mut failed = false;
+    for (name, cur, base) in [
+        (
+            "whatif_evals_per_sec_serial",
+            current.whatif_evals_per_sec_serial,
+            baseline.whatif_evals_per_sec_serial,
+        ),
+        (
+            "whatif_evals_per_sec_batched",
+            current.whatif_evals_per_sec_batched,
+            baseline.whatif_evals_per_sec_batched,
+        ),
+    ] {
+        let ratio = if base > 0.0 { cur / base } else { f64::INFINITY };
+        let ok = ratio >= floor;
+        failed |= !ok;
+        lines.push(format!(
+            "{} {name}: {} vs baseline {} ({:.0}% of baseline, floor {:.0}%)",
+            if ok { "ok  " } else { "FAIL" },
+            fmt(cur),
+            fmt(base),
+            ratio * 100.0,
+            floor * 100.0
+        ));
+    }
+    let summary = lines.join("\n");
+    if failed {
+        Err(summary)
+    } else {
+        Ok(summary)
+    }
+}
+
+impl std::fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows = vec![
+            vec!["whatif evals/sec (serial)".into(), fmt(self.whatif_evals_per_sec_serial)],
+            vec!["whatif evals/sec (batched)".into(), fmt(self.whatif_evals_per_sec_batched)],
+            vec!["batch speedup".into(), format!("{:.2}x", self.batch_speedup)],
+            vec!["PALD iterations/sec".into(), fmt(self.pald_iters_per_sec)],
+            vec!["predictor tasks/sec".into(), fmt(self.predictor_tasks_per_sec)],
+        ];
+        writeln!(
+            f,
+            "{}(scale {}, {} worker threads, {} tasks in trace)",
+            render_table("repro perf — predict→optimize hot path", &["metric", "value"], &rows),
+            self.scale,
+            self.threads,
+            self.trace_tasks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = PerfReport {
+            scale: "quick".into(),
+            threads: 4,
+            trace_tasks: 1234,
+            whatif_evals_per_sec_serial: 10.5,
+            whatif_evals_per_sec_batched: 31.5,
+            batch_speedup: 3.0,
+            pald_iters_per_sec: 2.25,
+            predictor_tasks_per_sec: 150_000.0,
+        };
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.threads, 4);
+        assert!((back.whatif_evals_per_sec_batched - 31.5).abs() < 1e-9);
+        assert!(r.to_string().contains("batch speedup"));
+    }
+
+    #[test]
+    fn regression_gate_trips_beyond_tolerance() {
+        let mut base = PerfReport {
+            scale: "quick".into(),
+            threads: 1,
+            trace_tasks: 10,
+            whatif_evals_per_sec_serial: 100.0,
+            whatif_evals_per_sec_batched: 100.0,
+            batch_speedup: 1.0,
+            pald_iters_per_sec: 1.0,
+            predictor_tasks_per_sec: 1.0,
+        };
+        let current = base.clone();
+        assert!(check_against_baseline(&current, &base).is_ok());
+        // 25% down: inside the 30% budget.
+        base.whatif_evals_per_sec_serial = 133.0;
+        assert!(check_against_baseline(&current, &base).is_ok());
+        // 50% down: gate fails.
+        base.whatif_evals_per_sec_batched = 200.0;
+        assert!(check_against_baseline(&current, &base).is_err());
+    }
+}

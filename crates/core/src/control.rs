@@ -105,9 +105,22 @@ pub struct Tempo {
 
 /// Adapter exposing the What-if Model to PALD as a vector objective over
 /// normalized configuration vectors.
-struct WhatIfObjective<'a> {
+///
+/// Probe batches are evaluated in parallel: each point decodes to an
+/// `RmConfig` and the whole batch goes through
+/// [`WhatIfModel::evaluate_batch_salted`], which fans the simulations out
+/// across [`WhatIfModel::batch_threads`] workers while preserving the serial
+/// path's per-point sample ids — so trajectories are bit-identical under any
+/// thread count.
+pub struct WhatIfObjective<'a> {
     space: &'a ConfigSpace,
     whatif: &'a WhatIfModel,
+}
+
+impl<'a> WhatIfObjective<'a> {
+    pub fn new(space: &'a ConfigSpace, whatif: &'a WhatIfModel) -> Self {
+        Self { space, whatif }
+    }
 }
 
 impl QsObjective for WhatIfObjective<'_> {
@@ -119,6 +132,10 @@ impl QsObjective for WhatIfObjective<'_> {
     }
     fn eval(&self, x: &[f64], sample: u64) -> Vec<f64> {
         self.whatif.evaluate_salted(&self.space.decode(x), sample)
+    }
+    fn eval_batch(&self, points: &[Vec<f64>], first_sample: u64) -> Vec<Vec<f64>> {
+        let configs: Vec<_> = points.iter().map(|x| self.space.decode(x)).collect();
+        self.whatif.evaluate_batch_salted(&configs, first_sample)
     }
 }
 
@@ -202,7 +219,7 @@ impl Tempo {
 
         // Steps 2–8: optimize over the What-if Model and install the result.
         let base_x = self.x.clone();
-        let objective = WhatIfObjective { space: &self.space, whatif: &self.whatif };
+        let objective = WhatIfObjective::new(&self.space, &self.whatif);
         let step = self.pald.step(&objective, &base_x, &self.r);
         self.prev = Some((base_x, observed_qs.clone()));
         self.x = step.x_new;
@@ -229,6 +246,10 @@ impl Tempo {
         assert!(window.0 < window.1, "empty QS window");
         self.whatif.source = source;
         self.whatif.window = window;
+        // The memo cache is keyed on the configuration alone; entries
+        // computed against the old workload/window would silently answer
+        // for the new one.
+        self.whatif.clear_cache();
         self.pald.clear_history();
         self.prev = None;
     }
@@ -311,7 +332,7 @@ mod tests {
         let cluster = ClusterSpec::new(8, 4);
         let trace = contention_trace();
         let window = (0, 12 * MIN);
-        let whatif = WhatIfModel::new(cluster, slos(), WorkloadSource::Replay(trace), window);
+        let whatif = WhatIfModel::new(cluster, slos(), WorkloadSource::replay(trace), window);
         let space = ConfigSpace::new(2, &ClusterSpec::new(8, 4));
         let cfg = LoopConfig {
             pald: PaldConfig { probes: 4, trust_radius: 0.2, seed, ..Default::default() },
@@ -400,7 +421,28 @@ mod tests {
     #[test]
     fn set_workload_swaps_window() {
         let mut tempo = make_tempo(RevertPolicy::Dominated, 16);
-        tempo.set_workload(WorkloadSource::Replay(contention_trace()), (MIN, 5 * MIN));
+        tempo.set_workload(WorkloadSource::replay(contention_trace()), (MIN, 5 * MIN));
         assert_eq!(tempo.whatif.window, (MIN, 5 * MIN));
+    }
+
+    #[test]
+    fn set_workload_invalidates_memo_cache() {
+        // The memo key encodes only the config: after a workload swap the
+        // same config must be re-simulated, not answered from the old trace.
+        let mut tempo = make_tempo(RevertPolicy::Dominated, 17);
+        let cfg = tempo.current_config();
+        let qs_before = tempo.whatif.evaluate(&cfg);
+        assert_eq!(tempo.whatif.cache_len(), 1);
+        // A much lighter workload: only the best-effort stream.
+        let light = Trace::new(vec![JobSpec::new(
+            0,
+            1,
+            0,
+            vec![TaskSpec::map(30 * SEC), TaskSpec::reduce(60 * SEC)],
+        )]);
+        tempo.set_workload(WorkloadSource::replay(light), (0, 10 * MIN));
+        assert_eq!(tempo.whatif.cache_len(), 0, "stale entries dropped");
+        let qs_after = tempo.whatif.evaluate(&cfg);
+        assert_ne!(qs_before, qs_after, "same config re-evaluated against the new workload");
     }
 }

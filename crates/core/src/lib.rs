@@ -74,7 +74,7 @@ pub mod space;
 pub mod spec;
 pub mod whatif;
 
-pub use control::{dominates, IterationRecord, LoopConfig, RevertPolicy, Tempo};
+pub use control::{dominates, IterationRecord, LoopConfig, RevertPolicy, Tempo, WhatIfObjective};
 pub use pald::{run_pald, Pald, PaldConfig, PaldStep, QsObjective};
 pub use provision::{estimate_slos, estimation_error_pct, reconstruct_trace};
 pub use space::ConfigSpace;

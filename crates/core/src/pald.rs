@@ -44,6 +44,23 @@ pub trait QsObjective: Sync {
     fn dim(&self) -> usize;
     fn k(&self) -> usize;
     fn eval(&self, x: &[f64], sample: u64) -> Vec<f64>;
+
+    /// Evaluates a batch of points whose sample ids are
+    /// `first_sample..first_sample + points.len()`, in input order.
+    ///
+    /// The default is the serial loop. Implementations may evaluate
+    /// concurrently (the What-if objective fans probes out across cores),
+    /// but must return exactly what the serial loop would: `out[i] ==
+    /// eval(points[i], first_sample + i)`, so the optimizer's recorded
+    /// history — and therefore its trajectory — is identical under any
+    /// thread count.
+    fn eval_batch(&self, points: &[Vec<f64>], first_sample: u64) -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| self.eval(p, first_sample.wrapping_add(i as u64)))
+            .collect()
+    }
 }
 
 /// Blanket adapter so closures can be used in tests and ablations.
@@ -137,6 +154,12 @@ impl Pald {
         self.history_x.len()
     }
 
+    /// The full evaluation history `(x, f)` in record order (diagnostics and
+    /// the thread-count determinism suite).
+    pub fn history(&self) -> (&[Vec<f64>], &[Vec<f64>]) {
+        (&self.history_x, &self.history_f)
+    }
+
     /// Records an externally observed evaluation (e.g. the control loop's
     /// measurement of the live cluster) so LOESS can use it.
     pub fn record(&mut self, x: Vec<f64>, f: Vec<f64>) {
@@ -208,12 +231,17 @@ impl Pald {
         for _ in 0..extra {
             new_points.push(self.sample_probe(x, radius));
         }
+        // Sample ids are pre-assigned in probe order, then the whole batch is
+        // handed to the objective at once — a parallel objective evaluates
+        // the probes concurrently, yet the recorded history below is
+        // byte-identical to the old one-by-one loop.
+        let first_sample = self.sample_counter;
+        self.sample_counter += new_points.len() as u64;
+        let evals = objective.eval_batch(&new_points, first_sample);
+        assert_eq!(evals.len(), new_points.len(), "objective returned wrong batch size");
         let mut new_evals = 0;
         let mut f_center: Option<Vec<f64>> = None;
-        for p in new_points {
-            let s = self.sample_counter;
-            self.sample_counter += 1;
-            let f = objective.eval(&p, s);
+        for (p, f) in new_points.into_iter().zip(evals) {
             assert_eq!(f.len(), k, "objective returned wrong arity");
             if f_center.is_none() {
                 f_center = Some(f.clone()); // new_points[0] is x itself

@@ -414,7 +414,7 @@ impl ScenarioSpec {
             None => self.workload_model().generate(0, self.span, self.seed),
         };
         let source = match self.whatif_source {
-            WhatIfSource::Replay => WorkloadSource::Replay(trace.clone()),
+            WhatIfSource::Replay => WorkloadSource::replay(trace.clone()),
             WhatIfSource::Model => {
                 WorkloadSource::Model { model: self.workload_model(), start: 0, end: self.span }
             }

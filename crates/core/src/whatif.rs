@@ -10,27 +10,38 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use tempo_qs::SloSet;
 use tempo_sim::{simulate, ClusterSpec, NoiseModel, RmConfig, SimOptions};
 use tempo_workload::time::Time;
-use tempo_workload::{Trace, WorkloadModel};
+use tempo_workload::{Trace, WorkloadModel, NUM_KINDS};
 
 /// Where the What-if Model's workloads come from (§7.1: "replaying
 /// historical traces or using a statistical model of the workload").
 #[derive(Debug, Clone)]
 pub enum WorkloadSource {
-    /// Replay a fixed trace (identical for every sample).
-    Replay(Trace),
+    /// Replay a fixed trace (identical for every sample). Shared, not owned:
+    /// every prediction sample borrows the same `Arc` instead of cloning the
+    /// whole trace.
+    Replay(Arc<Trace>),
     /// Sample fresh synthetic workloads from a model over `[start, end)`;
     /// each expectation sample uses a distinct generation seed.
     Model { model: WorkloadModel, start: Time, end: Time },
 }
 
 impl WorkloadSource {
-    fn realize(&self, seed: u64) -> Trace {
+    /// Replay source from an owned trace.
+    pub fn replay(trace: Trace) -> Self {
+        WorkloadSource::Replay(Arc::new(trace))
+    }
+
+    fn realize(&self, seed: u64) -> Arc<Trace> {
         match self {
-            WorkloadSource::Replay(trace) => trace.clone(),
-            WorkloadSource::Model { model, start, end } => model.generate(*start, *end, seed),
+            WorkloadSource::Replay(trace) => Arc::clone(trace),
+            WorkloadSource::Model { model, start, end } => {
+                Arc::new(model.generate(*start, *end, seed))
+            }
         }
     }
 
@@ -58,7 +69,114 @@ pub struct WhatIfModel {
     /// Simulation cutoff (defaults to 2× the window end, leaving room for
     /// straggler jobs to finish and count).
     pub horizon: Option<Time>,
-    cache: Mutex<HashMap<String, Vec<f64>>>,
+    /// Worker-thread override for batched evaluation (`None` = `TEMPO_THREADS`
+    /// env var, falling back to the machine's available parallelism).
+    threads: Option<usize>,
+    cache: MemoCache,
+    /// Simulations actually run (diagnostic: cache-hit/dedup accounting).
+    sims: AtomicU64,
+}
+
+/// Number of independently locked cache shards. Sixteen keeps lock
+/// contention negligible for any plausible probe batch width while staying
+/// cheap to scan for `len()`.
+const CACHE_SHARDS: usize = 16;
+
+/// One memoized configuration: the QS vector once computed, plus (in debug
+/// builds) the full config encoding so 64-bit key collisions are detected
+/// instead of silently returning the wrong tenant's prediction.
+struct CacheSlot {
+    qs: OnceLock<Vec<f64>>,
+    #[cfg(debug_assertions)]
+    encoding: String,
+}
+
+/// Sharded memo cache keyed by a 64-bit config hash.
+///
+/// Concurrency contract: the shard lock is held only to look up / insert the
+/// slot, never during simulation. The slot's `OnceLock` serializes
+/// computation per configuration — the first evaluator wins and everyone
+/// else blocks until the value lands, so a batch containing the same
+/// configuration twice simulates it exactly once.
+#[derive(Default)]
+struct MemoCache {
+    shards: [Mutex<HashMap<u64, Arc<CacheSlot>>>; CACHE_SHARDS],
+}
+
+impl MemoCache {
+    /// Looks up (or installs) the slot for `config`.
+    fn slot(&self, config: &RmConfig) -> Arc<CacheSlot> {
+        let hash = config_hash(config);
+        let slot = {
+            let mut shard = self.shards[hash as usize % CACHE_SHARDS].lock();
+            Arc::clone(shard.entry(hash).or_insert_with(|| {
+                Arc::new(CacheSlot {
+                    qs: OnceLock::new(),
+                    #[cfg(debug_assertions)]
+                    encoding: serde_json::to_string(config).expect("config serializes"),
+                })
+            }))
+        };
+        #[cfg(debug_assertions)]
+        {
+            let encoding = serde_json::to_string(config).expect("config serializes");
+            assert_eq!(
+                slot.encoding, encoding,
+                "64-bit config hash collision on {hash:#018x}; widen the key"
+            );
+        }
+        slot
+    }
+
+    /// Drops every entry (the key encodes only the configuration, so a
+    /// workload/window change invalidates the whole cache).
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Number of fully computed entries.
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().filter(|slot| slot.qs.get().is_some()).count())
+            .sum()
+    }
+}
+
+/// 64-bit structural hash of an RM configuration — the memo key. A
+/// splitmix64-style mix per field keeps avalanche strong enough that
+/// accidental collisions are ~impossible at optimizer scales (billions of
+/// configs for a 50% birthday bound); debug builds verify against the full
+/// encoding anyway.
+fn config_hash(config: &RmConfig) -> u64 {
+    #[inline]
+    fn mix(h: u64, v: u64) -> u64 {
+        let mut x = (h ^ v).wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+    let policy_tag = match config.policy {
+        tempo_sim::SchedPolicy::FairShare => 0u64,
+        tempo_sim::SchedPolicy::Drf => 1,
+        tempo_sim::SchedPolicy::Capacity => 2,
+        tempo_sim::SchedPolicy::Fifo => 3,
+    };
+    let mut h = mix(0x7E3A90_u64, policy_tag);
+    h = mix(h, config.tenants.len() as u64);
+    let opt = |t: Option<Time>| t.map_or(u64::MAX, |v| v ^ 0x5851F42D4C957F2D);
+    for t in &config.tenants {
+        h = mix(h, t.weight.to_bits());
+        for pool in 0..NUM_KINDS {
+            h = mix(h, t.min_share[pool] as u64);
+            h = mix(h, t.max_share[pool] as u64);
+        }
+        h = mix(h, opt(t.fair_timeout));
+        h = mix(h, opt(t.min_timeout));
+    }
+    h
 }
 
 impl WhatIfModel {
@@ -77,7 +195,9 @@ impl WhatIfModel {
             samples: 1,
             noise: NoiseModel::NONE,
             horizon: None,
-            cache: Mutex::new(HashMap::new()),
+            threads: None,
+            cache: MemoCache::default(),
+            sims: AtomicU64::new(0),
         }
     }
 
@@ -92,6 +212,38 @@ impl WhatIfModel {
         self
     }
 
+    /// Pins the worker-thread count used by batched evaluation.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(Some(threads));
+        self
+    }
+
+    /// Sets (or clears) the worker-thread override; `Some(1)` forces the
+    /// serial path.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        if let Some(t) = threads {
+            assert!(t >= 1, "need at least one worker thread");
+        }
+        self.threads = threads;
+    }
+
+    /// Worker threads a batched evaluation will use: the explicit override,
+    /// else the `TEMPO_THREADS` environment variable, else every available
+    /// core.
+    pub fn batch_threads(&self) -> usize {
+        if let Some(t) = self.threads {
+            return t;
+        }
+        if let Some(t) =
+            std::env::var("TEMPO_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            if t >= 1 {
+                return t;
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
     /// Number of QS objectives.
     pub fn k(&self) -> usize {
         self.slos.len()
@@ -103,6 +255,7 @@ impl WhatIfModel {
 
     /// One prediction sample: realize workload, simulate, evaluate QS.
     fn sample_qs(&self, config: &RmConfig, sample: u64) -> Vec<f64> {
+        self.sims.fetch_add(1, Ordering::Relaxed);
         let trace = self.source.realize(0x5EED ^ sample);
         let opts =
             SimOptions { horizon: Some(self.sim_horizon()), noise: self.noise, seed: sample };
@@ -110,23 +263,9 @@ impl WhatIfModel {
         self.slos.evaluate(&schedule, self.window.0, self.window.1)
     }
 
-    /// Expected QS vector for a configuration (mean over samples), memoized.
-    ///
-    /// `salt` perturbs which sample seeds are drawn — optimizers that *want*
-    /// independent noisy observations (to average across control-loop
-    /// iterations) pass distinct salts and bypass the memo cache.
-    pub fn evaluate_salted(&self, config: &RmConfig, salt: u64) -> Vec<f64> {
-        let deterministic = salt == 0 && self.noise.is_none() && !self.source.is_stochastic();
-        let key = if deterministic {
-            Some(serde_json::to_string(config).expect("config serializes"))
-        } else {
-            None
-        };
-        if let Some(k) = &key {
-            if let Some(hit) = self.cache.lock().get(k) {
-                return hit.clone();
-            }
-        }
+    /// Uncached expectation estimate: mean of `samples` simulations (one for
+    /// fully deterministic models).
+    fn compute_qs(&self, config: &RmConfig, salt: u64) -> Vec<f64> {
         let n = if self.noise.is_none() && !self.source.is_stochastic() { 1 } else { self.samples };
         let mut acc = vec![0.0; self.k()];
         for s in 0..n as u64 {
@@ -138,10 +277,22 @@ impl WhatIfModel {
         for a in &mut acc {
             *a /= n as f64;
         }
-        if let Some(k) = key {
-            self.cache.lock().insert(k, acc.clone());
-        }
         acc
+    }
+
+    /// Expected QS vector for a configuration (mean over samples), memoized.
+    ///
+    /// `salt` perturbs which sample seeds are drawn — optimizers that *want*
+    /// independent noisy observations (to average across control-loop
+    /// iterations) pass distinct salts and bypass the memo cache.
+    pub fn evaluate_salted(&self, config: &RmConfig, salt: u64) -> Vec<f64> {
+        let deterministic = salt == 0 && self.noise.is_none() && !self.source.is_stochastic();
+        if !deterministic {
+            return self.compute_qs(config, salt);
+        }
+        // First writer wins; concurrent evaluators of the same config block
+        // on the OnceLock instead of racing duplicate simulations.
+        self.cache.slot(config).qs.get_or_init(|| self.compute_qs(config, 0)).clone()
     }
 
     /// Expected QS vector with the default salt.
@@ -150,31 +301,73 @@ impl WhatIfModel {
     }
 
     /// Evaluates many candidates in parallel (the Optimizer explores several
-    /// RM configurations per control-loop iteration — §8.2 uses 5).
+    /// RM configurations per control-loop iteration — §8.2 uses 5), all with
+    /// the default salt. Results are in input order; duplicate
+    /// configurations in a deterministic batch simulate at most once (the
+    /// memo cache serializes them).
     pub fn evaluate_batch(&self, configs: &[RmConfig]) -> Vec<Vec<f64>> {
-        if configs.len() <= 1 {
-            return configs.iter().map(|c| self.evaluate(c)).collect();
-        }
-        let mut out: Vec<Option<Vec<f64>>> = vec![None; configs.len()];
-        crossbeam::scope(|scope| {
-            let threads =
-                std::thread::available_parallelism().map_or(4, |n| n.get()).min(configs.len());
-            let chunk = configs.len().div_ceil(threads);
-            for (slot_chunk, cfg_chunk) in out.chunks_mut(chunk).zip(configs.chunks(chunk)) {
-                scope.spawn(move |_| {
-                    for (slot, cfg) in slot_chunk.iter_mut().zip(cfg_chunk) {
-                        *slot = Some(self.evaluate(cfg));
-                    }
-                });
-            }
+        self.batch_map(configs.len(), |i| self.evaluate(&configs[i]))
+    }
+
+    /// Evaluates `configs[i]` with salt `first_salt + i`, in parallel. This
+    /// is PALD's probe-batch entry point: the salts are the pre-assigned
+    /// sample ids, so the result vector is byte-identical to calling
+    /// [`Self::evaluate_salted`] serially in input order — regardless of the
+    /// worker-thread count.
+    pub fn evaluate_batch_salted(&self, configs: &[RmConfig], first_salt: u64) -> Vec<Vec<f64>> {
+        self.batch_map(configs.len(), |i| {
+            self.evaluate_salted(&configs[i], first_salt.wrapping_add(i as u64))
         })
-        .expect("what-if evaluation thread panicked");
+    }
+
+    /// Order-preserving parallel map over `0..n` evaluations, chunked across
+    /// [`Self::batch_threads`] workers; serial when one thread (or one item)
+    /// makes spawning pointless.
+    fn batch_map<F>(&self, n: usize, eval: F) -> Vec<Vec<f64>>
+    where
+        F: Fn(usize) -> Vec<f64> + Sync,
+    {
+        let threads = self.batch_threads().min(n);
+        let mut out: Vec<Option<Vec<f64>>> = vec![None; n];
+        if threads <= 1 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = Some(eval(i));
+            }
+        } else {
+            let chunk = n.div_ceil(threads);
+            crossbeam::scope(|scope| {
+                for (ci, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+                    let eval = &eval;
+                    scope.spawn(move |_| {
+                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = Some(eval(ci * chunk + j));
+                        }
+                    });
+                }
+            })
+            .expect("what-if evaluation thread panicked");
+        }
         out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    }
+
+    /// Invalidates the memo cache. **Must** be called after mutating
+    /// `source`, `window`, `noise`, or anything else an evaluation depends
+    /// on: the cache key encodes only the RM configuration, so stale entries
+    /// would silently answer for the old workload. ([`crate::Tempo::set_workload`]
+    /// does this for the control loop.)
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     /// Number of memoized evaluations (test/diagnostic hook).
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.len()
+    }
+
+    /// Total simulations run so far (test/diagnostic hook: batch dedup and
+    /// cache hits keep this below the evaluation count).
+    pub fn sim_count(&self) -> u64 {
+        self.sims.load(Ordering::Relaxed)
     }
 }
 
@@ -202,7 +395,7 @@ mod tests {
         WhatIfModel::new(
             ClusterSpec::new(2, 1),
             slos(),
-            WorkloadSource::Replay(trace),
+            WorkloadSource::replay(trace),
             (0, 10 * MIN),
         )
     }
@@ -293,7 +486,7 @@ mod tests {
         let _ = WhatIfModel::new(
             ClusterSpec::new(1, 1),
             slos(),
-            WorkloadSource::Replay(Trace::default()),
+            WorkloadSource::replay(Trace::default()),
             (MIN, MIN),
         );
     }

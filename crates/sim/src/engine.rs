@@ -83,11 +83,32 @@ impl SimOptions {
 /// Deterministic: identical inputs (including seed) produce identical
 /// schedules. Panics if the trace or config fails validation, or if the trace
 /// references a tenant id with no configuration entry.
+///
+/// Scratch buffers (event heap, per-task/tenant state) come from a
+/// thread-local [`SimPool`], so repeated calls on one thread — the
+/// predict→optimize hot path — reuse their allocations. Callers that want
+/// explicit control over the pool use [`simulate_pooled`].
 pub fn simulate(
     trace: &Trace,
     cluster: &ClusterSpec,
     config: &RmConfig,
     opts: &SimOptions,
+) -> Schedule {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<SimPool> = std::cell::RefCell::new(SimPool::new());
+    }
+    SCRATCH.with(|pool| simulate_pooled(trace, cluster, config, opts, &mut pool.borrow_mut()))
+}
+
+/// [`simulate`] with an explicit scratch pool: state vectors and the event
+/// heap are taken from (and returned to) `pool`, so a caller looping over
+/// many simulations pays the allocation cost once.
+pub fn simulate_pooled(
+    trace: &Trace,
+    cluster: &ClusterSpec,
+    config: &RmConfig,
+    opts: &SimOptions,
+    pool: &mut SimPool,
 ) -> Schedule {
     trace.validate().expect("invalid trace");
     config.validate().expect("invalid RM config");
@@ -98,7 +119,7 @@ pub fn simulate(
             config.num_tenants()
         );
     }
-    Engine::new(trace, cluster, config, opts).run()
+    Engine::new(trace, cluster, config, opts, pool).run()
 }
 
 type TaskId = u32;
@@ -201,27 +222,36 @@ impl TenantState {
             starved_since: [[None; NUM_KINDS]; 2],
         }
     }
+
+    /// Clears per-run state while keeping the queue/running allocations.
+    fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for r in &mut self.running {
+            r.clear();
+        }
+        self.starved_since = [[None; NUM_KINDS]; 2];
+    }
 }
 
-struct Engine<'a> {
-    trace: &'a Trace,
-    cluster: &'a ClusterSpec,
-    config: &'a RmConfig,
-    noise: NoiseModel,
-    horizon: Option<Time>,
-    rng: StdRng,
-    now: Time,
-    seq: u64,
-    launch_counter: u64,
+/// Reusable scratch state for the simulator.
+///
+/// One run of the engine needs an event heap, per-task/per-job/per-tenant
+/// state vectors, and allocation scratch buffers. On the predict→optimize
+/// hot path the What-if Model runs thousands of simulations back to back, so
+/// re-allocating all of that per call dominates small-trace runs. A
+/// `SimPool` owns those buffers and [`simulate_pooled`] reuses them across
+/// calls; every buffer is fully reset per run, so pooling never changes
+/// results.
+#[derive(Default)]
+pub struct SimPool {
     events: BinaryHeap<Reverse<Event>>,
     tasks: Vec<TaskState>,
     jobs: Vec<JobState>,
     /// First task id of each job.
     task_offsets: Vec<u32>,
     tenants: Vec<TenantState>,
-    free: [u32; NUM_KINDS],
-    /// The allocation policy ([`RmConfig::policy`]).
-    backend: Box<dyn SchedulerBackend + Send>,
     /// Allocation targets per tenant per pool, refreshed by
     /// `compute_targets`.
     targets: Vec<[u32; NUM_KINDS]>,
@@ -231,22 +261,31 @@ struct Engine<'a> {
     victim_tasks: Vec<TaskId>,
 }
 
-impl<'a> Engine<'a> {
-    fn new(
-        trace: &'a Trace,
-        cluster: &'a ClusterSpec,
-        config: &'a RmConfig,
-        opts: &SimOptions,
-    ) -> Self {
-        let mut tasks = Vec::with_capacity(trace.num_tasks());
-        let mut jobs = Vec::with_capacity(trace.jobs.len());
-        let mut task_offsets = Vec::with_capacity(trace.jobs.len());
+impl SimPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets all buffers for a fresh run over `trace`/`config`.
+    fn reset(&mut self, trace: &Trace, config: &RmConfig) {
+        self.events.clear();
+        self.tasks.clear();
+        self.jobs.clear();
+        self.task_offsets.clear();
+        self.targets.clear();
+        self.demands.clear();
+        self.victims.clear();
+        self.victim_tasks.clear();
+
+        self.tasks.reserve(trace.num_tasks());
+        self.jobs.reserve(trace.jobs.len());
+        self.task_offsets.reserve(trace.jobs.len());
         let mut offset = 0u32;
         for spec in &trace.jobs {
-            task_offsets.push(offset);
+            self.task_offsets.push(offset);
             offset += spec.tasks.len() as u32;
             let maps_total = spec.map_count() as u32;
-            jobs.push(JobState {
+            self.jobs.push(JobState {
                 maps_total,
                 maps_done: 0,
                 tasks_remaining: spec.tasks.len() as u32,
@@ -256,8 +295,8 @@ impl<'a> Engine<'a> {
                 held_reduces: Vec::new(),
                 waiting_reduces: Vec::new(),
             });
-            for (jix, t) in std::iter::repeat(jobs.len() - 1).zip(spec.tasks.iter()) {
-                tasks.push(TaskState {
+            for (jix, t) in std::iter::repeat(self.jobs.len() - 1).zip(spec.tasks.iter()) {
+                self.tasks.push(TaskState {
                     kind: t.kind,
                     job: jix as JobIdx,
                     tenant: spec.tenant,
@@ -275,7 +314,44 @@ impl<'a> Engine<'a> {
                 });
             }
         }
+
         let num_tenants = config.num_tenants().max(1);
+        self.tenants.truncate(num_tenants);
+        for t in &mut self.tenants {
+            t.reset();
+        }
+        while self.tenants.len() < num_tenants {
+            self.tenants.push(TenantState::new());
+        }
+    }
+}
+
+struct Engine<'a> {
+    trace: &'a Trace,
+    cluster: &'a ClusterSpec,
+    config: &'a RmConfig,
+    noise: NoiseModel,
+    horizon: Option<Time>,
+    rng: StdRng,
+    now: Time,
+    seq: u64,
+    launch_counter: u64,
+    free: [u32; NUM_KINDS],
+    /// The allocation policy ([`RmConfig::policy`]).
+    backend: Box<dyn SchedulerBackend + Send>,
+    /// All growable per-run state, borrowed from the caller's pool.
+    pool: &'a mut SimPool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        trace: &'a Trace,
+        cluster: &'a ClusterSpec,
+        config: &'a RmConfig,
+        opts: &SimOptions,
+        pool: &'a mut SimPool,
+    ) -> Self {
+        pool.reset(trace, config);
         let mut engine = Engine {
             trace,
             cluster,
@@ -286,17 +362,9 @@ impl<'a> Engine<'a> {
             now: 0,
             seq: 0,
             launch_counter: 0,
-            events: BinaryHeap::with_capacity(trace.jobs.len() * 2 + 64),
-            tasks,
-            jobs,
-            task_offsets,
-            tenants: (0..num_tenants).map(|_| TenantState::new()).collect(),
             free: [cluster.capacity(TaskKind::Map), cluster.capacity(TaskKind::Reduce)],
             backend: config.policy.backend(),
-            targets: Vec::with_capacity(num_tenants),
-            demands: Vec::with_capacity(num_tenants),
-            victims: Vec::new(),
-            victim_tasks: Vec::new(),
+            pool,
         };
         for (jix, spec) in trace.jobs.iter().enumerate() {
             engine.push_event(spec.submit, EventKind::JobArrive(jix as JobIdx));
@@ -307,13 +375,13 @@ impl<'a> Engine<'a> {
     fn push_event(&mut self, time: Time, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        self.pool.events.push(Reverse(Event { time, seq, kind }));
     }
 
     fn run(mut self) -> Schedule {
         let hard_horizon = self.horizon.unwrap_or(Time::MAX);
         let mut last_time = 0;
-        while let Some(Reverse(ev)) = self.events.pop() {
+        while let Some(Reverse(ev)) = self.pool.events.pop() {
             if ev.time > hard_horizon {
                 break;
             }
@@ -322,11 +390,11 @@ impl<'a> Engine<'a> {
             self.handle(ev.kind);
             // Drain all events at the same instant before rescheduling, so a
             // burst of arrivals is allocated against in one pass.
-            while let Some(Reverse(peek)) = self.events.peek() {
+            while let Some(Reverse(peek)) = self.pool.events.peek() {
                 if peek.time != self.now {
                     break;
                 }
-                let Reverse(ev2) = self.events.pop().expect("peeked event vanished");
+                let Reverse(ev2) = self.pool.events.pop().expect("peeked event vanished");
                 self.handle(ev2.kind);
             }
             self.reschedule();
@@ -350,25 +418,25 @@ impl<'a> Engine<'a> {
         if !self.noise.is_none() && self.noise.job_killed(&mut self.rng) {
             // Killed at submission: the job never runs; finish stays None and
             // its tasks never become runnable.
-            self.jobs[jix as usize].tasks_remaining = 0;
+            self.pool.jobs[jix as usize].tasks_remaining = 0;
             return;
         }
         let tenant = spec.tenant as usize;
-        let base = self.task_offsets[jix as usize];
+        let base = self.pool.task_offsets[jix as usize];
         let ntasks = spec.tasks.len() as u32;
         let mut held = Vec::new();
         for i in 0..ntasks {
             let tid = base + i;
-            match self.tasks[tid as usize].kind {
+            match self.pool.tasks[tid as usize].kind {
                 TaskKind::Map => {
-                    self.tasks[tid as usize].runnable_at = self.now;
-                    self.tenants[tenant].queues[TaskKind::Map.index()].push_back(tid);
+                    self.pool.tasks[tid as usize].runnable_at = self.now;
+                    self.pool.tenants[tenant].queues[TaskKind::Map.index()].push_back(tid);
                 }
                 TaskKind::Reduce => held.push(tid),
             }
         }
         {
-            let job = &mut self.jobs[jix as usize];
+            let job = &mut self.pool.jobs[jix as usize];
             job.held_reduces = held;
             if job.maps_total == 0 {
                 job.maps_done_at = Some(self.now);
@@ -383,7 +451,7 @@ impl<'a> Engine<'a> {
         let slowstart = self.trace.jobs[jix as usize].slowstart;
         let tenant = self.trace.jobs[jix as usize].tenant as usize;
         let held = {
-            let job = &mut self.jobs[jix as usize];
+            let job = &mut self.pool.jobs[jix as usize];
             if job.reduces_released {
                 return;
             }
@@ -395,34 +463,34 @@ impl<'a> Engine<'a> {
             std::mem::take(&mut job.held_reduces)
         };
         for tid in held {
-            self.tasks[tid as usize].runnable_at = self.now;
-            self.tenants[tenant].queues[TaskKind::Reduce.index()].push_back(tid);
+            self.pool.tasks[tid as usize].runnable_at = self.now;
+            self.pool.tenants[tenant].queues[TaskKind::Reduce.index()].push_back(tid);
         }
     }
 
     fn on_task_finish(&mut self, tid: TaskId, epoch: u32) {
         {
-            let task = &self.tasks[tid as usize];
+            let task = &self.pool.tasks[tid as usize];
             if !task.running || task.epoch != epoch {
                 return; // Stale event from a preempted attempt.
             }
         }
-        let failed = self.tasks[tid as usize].fail_frac.is_some();
+        let failed = self.pool.tasks[tid as usize].fail_frac.is_some();
         let outcome = if failed { AttemptOutcome::Failed } else { AttemptOutcome::Completed };
         self.release_container(tid, outcome);
         let (tenant, kind, jix) = {
-            let t = &self.tasks[tid as usize];
+            let t = &self.pool.tasks[tid as usize];
             (t.tenant as usize, t.kind, t.job)
         };
         if failed {
             // Retry from scratch at the back of the queue.
-            self.tenants[tenant].queues[kind.index()].push_back(tid);
+            self.pool.tenants[tenant].queues[kind.index()].push_back(tid);
             return;
         }
         let mut maps_all_done = false;
         let mut job_done = false;
         {
-            let job = &mut self.jobs[jix as usize];
+            let job = &mut self.pool.jobs[jix as usize];
             job.tasks_remaining -= 1;
             if kind == TaskKind::Map {
                 job.maps_done += 1;
@@ -438,7 +506,7 @@ impl<'a> Engine<'a> {
         }
         if maps_all_done {
             // Early-launched reduces begin their real work now.
-            let waiting = std::mem::take(&mut self.jobs[jix as usize].waiting_reduces);
+            let waiting = std::mem::take(&mut self.pool.jobs[jix as usize].waiting_reduces);
             for rid in waiting {
                 self.begin_reduce_work(rid);
             }
@@ -451,7 +519,7 @@ impl<'a> Engine<'a> {
     /// Records the end of the current attempt and frees its container.
     fn release_container(&mut self, tid: TaskId, outcome: AttemptOutcome) {
         let (pool, tenant, slot) = {
-            let task = &mut self.tasks[tid as usize];
+            let task = &mut self.pool.tasks[tid as usize];
             debug_assert!(task.running);
             task.attempts.push(Attempt {
                 launch: task.launch,
@@ -466,12 +534,12 @@ impl<'a> Engine<'a> {
             task.run_slot = NO_SLOT;
             (task.kind.index(), task.tenant as usize, slot)
         };
-        let running = &mut self.tenants[tenant].running[pool];
+        let running = &mut self.pool.tenants[tenant].running[pool];
         debug_assert_eq!(running[slot], tid);
         running.swap_remove(slot);
         let moved = running.get(slot).copied();
         if let Some(moved) = moved {
-            self.tasks[moved as usize].run_slot = slot as u32;
+            self.pool.tasks[moved as usize].run_slot = slot as u32;
         }
         self.free[pool] += 1;
     }
@@ -479,7 +547,7 @@ impl<'a> Engine<'a> {
     /// Starts the clock on a reduce that was idling for the map barrier.
     fn begin_reduce_work(&mut self, tid: TaskId) {
         let (finish_at, epoch) = {
-            let task = &mut self.tasks[tid as usize];
+            let task = &mut self.pool.tasks[tid as usize];
             if !task.running {
                 return; // Preempted while waiting.
             }
@@ -495,7 +563,7 @@ impl<'a> Engine<'a> {
 
     fn launch(&mut self, tid: TaskId) {
         let (duration, kind, jix, tenant) = {
-            let t = &self.tasks[tid as usize];
+            let t = &self.pool.tasks[tid as usize];
             (t.duration, t.kind, t.job, t.tenant as usize)
         };
         let eff = if self.noise.is_none() {
@@ -505,11 +573,11 @@ impl<'a> Engine<'a> {
         };
         let fail =
             if self.noise.is_none() { None } else { self.noise.attempt_failure(&mut self.rng) };
-        let maps_done = self.jobs[jix as usize].maps_done_at;
+        let maps_done = self.pool.jobs[jix as usize].maps_done_at;
         let pool = kind.index();
 
         let epoch = {
-            let task = &mut self.tasks[tid as usize];
+            let task = &mut self.pool.tasks[tid as usize];
             task.running = true;
             task.launch = self.now;
             task.launch_seq = self.launch_counter;
@@ -521,11 +589,11 @@ impl<'a> Engine<'a> {
         self.launch_counter += 1;
         self.free[pool] -= 1;
         let slot = {
-            let running = &mut self.tenants[tenant].running[pool];
+            let running = &mut self.pool.tenants[tenant].running[pool];
             running.push(tid);
             (running.len() - 1) as u32
         };
-        self.tasks[tid as usize].run_slot = slot;
+        self.pool.tasks[tid as usize].run_slot = slot;
 
         let work_begins = match kind {
             TaskKind::Map => Some(self.now),
@@ -534,7 +602,7 @@ impl<'a> Engine<'a> {
         match work_begins {
             Some(start) => {
                 let finish_at = {
-                    let task = &mut self.tasks[tid as usize];
+                    let task = &mut self.pool.tasks[tid as usize];
                     task.work_start = Some(start);
                     match task.fail_frac {
                         Some(frac) => {
@@ -547,7 +615,7 @@ impl<'a> Engine<'a> {
             }
             None => {
                 // Reduce launched before the barrier: idles until maps_done.
-                self.jobs[jix as usize].waiting_reduces.push(tid);
+                self.pool.jobs[jix as usize].waiting_reduces.push(tid);
             }
         }
     }
@@ -555,8 +623,8 @@ impl<'a> Engine<'a> {
     /// Refreshes the per-tenant allocation targets for every pool by handing
     /// the current demand vectors to the scheduler backend.
     fn compute_targets(&mut self) {
-        self.demands.clear();
-        for (tix, tstate) in self.tenants.iter().enumerate() {
+        self.pool.demands.clear();
+        for (tix, tstate) in self.pool.tenants.iter().enumerate() {
             let cfg = &self.config.tenants[tix];
             let mut demand = [0u32; NUM_KINDS];
             let mut stamp = [u64::MAX; NUM_KINDS];
@@ -566,10 +634,10 @@ impl<'a> Engine<'a> {
                 // Head-of-line arrival time (FIFO ordering); preempted work
                 // re-queued at the front keeps its original arrival.
                 if let Some(&front) = tstate.queues[pool].front() {
-                    stamp[pool] = self.tasks[front as usize].runnable_at;
+                    stamp[pool] = self.pool.tasks[front as usize].runnable_at;
                 }
             }
-            self.demands.push(TenantDemand {
+            self.pool.demands.push(TenantDemand {
                 weight: cfg.weight,
                 demand,
                 min_share: cfg.min_share,
@@ -578,7 +646,7 @@ impl<'a> Engine<'a> {
             });
         }
         let capacity = [self.cluster.pools[0].capacity, self.cluster.pools[1].capacity];
-        self.backend.allocate(&capacity, &self.demands, &mut self.targets);
+        self.backend.allocate(&capacity, &self.pool.demands, &mut self.pool.targets);
     }
 
     fn reschedule(&mut self) {
@@ -594,12 +662,12 @@ impl<'a> Engine<'a> {
         // tenant first (deterministic tie-break on tenant index).
         while self.free[pool] > 0 {
             let mut best: Option<(i64, usize)> = None;
-            for (tix, tstate) in self.tenants.iter().enumerate() {
+            for (tix, tstate) in self.pool.tenants.iter().enumerate() {
                 if tstate.queues[pool].is_empty() {
                     continue;
                 }
                 let running = tstate.running[pool].len() as i64;
-                let deficit = self.targets[tix][pool] as i64 - running;
+                let deficit = self.pool.targets[tix][pool] as i64 - running;
                 if deficit <= 0 {
                     continue;
                 }
@@ -608,7 +676,7 @@ impl<'a> Engine<'a> {
                 }
             }
             let Some((_, tix)) = best else { break };
-            let tid = self.tenants[tix].queues[pool].pop_front().expect("non-empty queue");
+            let tid = self.pool.tenants[tix].queues[pool].pop_front().expect("non-empty queue");
             self.launch(tid);
         }
         // Secondary pass (work conservation despite integer rounding): any
@@ -616,7 +684,7 @@ impl<'a> Engine<'a> {
         // its max limit.
         while self.free[pool] > 0 {
             let mut chosen: Option<usize> = None;
-            for (tix, tstate) in self.tenants.iter().enumerate() {
+            for (tix, tstate) in self.pool.tenants.iter().enumerate() {
                 if tstate.queues[pool].is_empty() {
                     continue;
                 }
@@ -628,21 +696,21 @@ impl<'a> Engine<'a> {
                 }
             }
             let Some(tix) = chosen else { break };
-            let tid = self.tenants[tix].queues[pool].pop_front().expect("non-empty queue");
+            let tid = self.pool.tenants[tix].queues[pool].pop_front().expect("non-empty queue");
             self.launch(tid);
         }
     }
 
     fn update_starvation(&mut self, pool: usize) {
-        for tix in 0..self.tenants.len() {
+        for tix in 0..self.pool.tenants.len() {
             let (min_starved, fair_starved, min_timeout, fair_timeout) = {
                 let cfg = &self.config.tenants[tix];
-                let tstate = &self.tenants[tix];
+                let tstate = &self.pool.tenants[tix];
                 let running = tstate.running[pool].len() as u32;
                 let queued = tstate.queues[pool].len() as u32;
                 let eff_demand = running.saturating_add(queued).min(cfg.max_share[pool]);
                 let min_entitle = cfg.min_share[pool].min(eff_demand);
-                let target = self.targets[tix][pool];
+                let target = self.pool.targets[tix][pool];
                 (
                     queued > 0 && running < min_entitle,
                     queued > 0 && running < target,
@@ -665,12 +733,12 @@ impl<'a> Engine<'a> {
     ) {
         let lix = level as usize;
         if !starved || timeout.is_none() {
-            self.tenants[tix].starved_since[lix][pool] = None;
+            self.pool.tenants[tix].starved_since[lix][pool] = None;
             return;
         }
-        if self.tenants[tix].starved_since[lix][pool].is_none() {
+        if self.pool.tenants[tix].starved_since[lix][pool].is_none() {
             let since = self.now;
-            self.tenants[tix].starved_since[lix][pool] = Some(since);
+            self.pool.tenants[tix].starved_since[lix][pool] = Some(since);
             let at = since.saturating_add(timeout.expect("checked above"));
             self.push_event(
                 at,
@@ -682,20 +750,20 @@ impl<'a> Engine<'a> {
     fn on_preempt_check(&mut self, tenant: u16, pool: usize, level: Level, since: Time) {
         let tix = tenant as usize;
         let lix = level as usize;
-        if self.tenants[tix].starved_since[lix][pool] != Some(since) {
+        if self.pool.tenants[tix].starved_since[lix][pool] != Some(since) {
             return; // Starvation cleared (or re-armed) since this was scheduled.
         }
         // Recompute entitlement from live demand.
         self.compute_targets();
         let (running, entitle) = {
             let cfg = &self.config.tenants[tix];
-            let tstate = &self.tenants[tix];
+            let tstate = &self.pool.tenants[tix];
             let running = tstate.running[pool].len() as u32;
             let queued = tstate.queues[pool].len() as u32;
             let eff_demand = running.saturating_add(queued).min(cfg.max_share[pool]);
             let entitle = match level {
                 Level::Min => cfg.min_share[pool].min(eff_demand),
-                Level::Fair => self.targets[tix][pool],
+                Level::Fair => self.pool.targets[tix][pool],
             };
             (running, entitle)
         };
@@ -706,38 +774,38 @@ impl<'a> Engine<'a> {
         // kills the most recently launched task (Hadoop's fair-scheduler
         // preemption).
         while needed > 0 {
-            self.victims.clear();
-            self.victim_tasks.clear();
-            for (vix, vstate) in self.tenants.iter().enumerate() {
+            self.pool.victims.clear();
+            self.pool.victim_tasks.clear();
+            for (vix, vstate) in self.pool.tenants.iter().enumerate() {
                 if vix == tix {
                     continue;
                 }
-                if (vstate.running[pool].len() as u32) <= self.targets[vix][pool] {
+                if (vstate.running[pool].len() as u32) <= self.pool.targets[vix][pool] {
                     continue;
                 }
                 for &tid in &vstate.running[pool] {
-                    self.victims.push(VictimCandidate {
+                    self.pool.victims.push(VictimCandidate {
                         tenant: vix,
-                        launch_seq: self.tasks[tid as usize].launch_seq,
+                        launch_seq: self.pool.tasks[tid as usize].launch_seq,
                     });
-                    self.victim_tasks.push(tid);
+                    self.pool.victim_tasks.push(tid);
                 }
             }
-            let Some(pick) = self.backend.select_victim(&self.victims) else { break };
-            let tid = self.victim_tasks[pick];
+            let Some(pick) = self.backend.select_victim(&self.pool.victims) else { break };
+            let tid = self.pool.victim_tasks[pick];
             self.preempt_task(tid);
             needed -= 1;
         }
         // Clear the marker; reschedule() (called by the event loop) launches
         // the starved tenant into the freed slots and re-arms the timer if it
         // is still below entitlement.
-        self.tenants[tix].starved_since[lix][pool] = None;
+        self.pool.tenants[tix].starved_since[lix][pool] = None;
     }
 
     fn preempt_task(&mut self, tid: TaskId) {
-        let jix = self.tasks[tid as usize].job;
+        let jix = self.pool.tasks[tid as usize].job;
         // Drop from the barrier-waiting list if it was an idle reduce.
-        let waiting = &mut self.jobs[jix as usize].waiting_reduces;
+        let waiting = &mut self.pool.jobs[jix as usize].waiting_reduces;
         if let Some(pos) = waiting.iter().position(|&w| w == tid) {
             waiting.swap_remove(pos);
         }
@@ -745,22 +813,22 @@ impl<'a> Engine<'a> {
         // Preempted work re-queues at the front: the tenant was entitled to
         // run it already.
         let (tenant, pool) = {
-            let task = &self.tasks[tid as usize];
+            let task = &self.pool.tasks[tid as usize];
             (task.tenant as usize, task.kind.index())
         };
-        self.tenants[tenant].queues[pool].push_front(tid);
+        self.pool.tenants[tenant].queues[pool].push_front(tid);
     }
 
     fn finalize(mut self, horizon: Time) -> Schedule {
         self.now = horizon;
         // Running tasks at the horizon are cut off (container still held).
-        for tid in 0..self.tasks.len() as u32 {
-            if self.tasks[tid as usize].running {
+        for tid in 0..self.pool.tasks.len() as u32 {
+            if self.pool.tasks[tid as usize].running {
                 self.release_container(tid, AttemptOutcome::CutOff);
             }
         }
-        let mut jobs = Vec::with_capacity(self.jobs.len());
-        for (jix, job) in self.jobs.iter().enumerate() {
+        let mut jobs = Vec::with_capacity(self.pool.jobs.len());
+        for (jix, job) in self.pool.jobs.iter().enumerate() {
             let spec = &self.trace.jobs[jix];
             jobs.push(JobRecord {
                 id: spec.id,
@@ -773,15 +841,17 @@ impl<'a> Engine<'a> {
             });
         }
         let trace = self.trace;
-        let mut tasks = Vec::with_capacity(self.tasks.len());
-        for t in self.tasks {
+        let mut tasks = Vec::with_capacity(self.pool.tasks.len());
+        // Attempts move out into the records (they are the returned data);
+        // the pooled TaskState shells stay behind for reuse.
+        for t in self.pool.tasks.iter_mut() {
             tasks.push(TaskRecord {
                 job: trace.jobs[t.job as usize].id,
                 tenant: t.tenant,
                 kind: t.kind,
                 runnable_at: t.runnable_at,
                 duration: t.duration,
-                attempts: t.attempts,
+                attempts: std::mem::take(&mut t.attempts),
             });
         }
         Schedule {
@@ -1089,6 +1159,38 @@ mod tests {
         assert!(sched.jobs[0].finish.is_some());
         let completed = sched.tasks.iter().filter(|t| t.finish().is_some()).count();
         assert_eq!(completed, 50);
+    }
+
+    #[test]
+    fn pooled_reuse_is_invisible() {
+        // Interleave differently shaped traces/configs through one pool and
+        // check every schedule matches a fresh-pool run: stale state from a
+        // previous (bigger) run must never leak into the next.
+        let big = Trace::new(vec![
+            JobSpec::new(0, 0, 0, maps(30, 20 * SEC)),
+            JobSpec::new(1, 1, 5 * SEC, maps(12, 45 * SEC)),
+            JobSpec::new(2, 2, 0, vec![TaskSpec::map(10 * SEC), TaskSpec::reduce(30 * SEC)]),
+        ]);
+        let small = Trace::new(vec![JobSpec::new(0, 0, 0, maps(3, 10 * SEC))]);
+        let preempt_cfg = RmConfig::new(vec![
+            TenantConfig::fair_default(),
+            TenantConfig::fair_default().with_min_share(4, 1).with_min_timeout(10 * SEC),
+            TenantConfig::fair_default().with_weight(2.0),
+        ]);
+        let runs: Vec<(&Trace, RmConfig, SimOptions)> = vec![
+            (&big, preempt_cfg.clone(), SimOptions::default()),
+            (&small, RmConfig::fair(1), SimOptions::default()),
+            (&big, RmConfig::fair(3), SimOptions::noisy(9)),
+            (&small, RmConfig::fair(1), SimOptions::default().with_horizon(15 * SEC)),
+            (&big, preempt_cfg, SimOptions::default()),
+        ];
+        let mut pool = SimPool::new();
+        let cluster = ClusterSpec::new(6, 2);
+        for (trace, cfg, opts) in &runs {
+            let pooled = simulate_pooled(trace, &cluster, cfg, opts, &mut pool);
+            let fresh = simulate_pooled(trace, &cluster, cfg, opts, &mut SimPool::new());
+            assert_eq!(pooled, fresh);
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod predictor;
 pub mod record;
 
 pub use config::{ClusterSpec, ConfigError, PoolSpec, RmConfig, TenantConfig};
-pub use engine::{simulate, SimOptions};
+pub use engine::{simulate, simulate_pooled, SimOptions, SimPool};
 // The allocation kernels live in `tempo-sched`; re-exported so existing
 // `tempo_sim::fair_targets` call sites keep compiling.
 pub use noise::NoiseModel;

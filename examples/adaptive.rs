@@ -99,7 +99,7 @@ fn main() {
             scenario::observation_noise(),
             80 + idx,
         );
-        sc.tempo.set_workload(WorkloadSource::Replay(segment), (0, interval + interval / 2));
+        sc.tempo.set_workload(WorkloadSource::replay(segment), (0, interval + interval / 2));
         sc.tempo.iterate(&sched);
         t += interval;
         idx += 1;
