@@ -48,7 +48,7 @@ fn predictor_throughput(c: &mut Criterion) {
         tasks,
         secs,
         tasks as f64 / secs,
-        sched.jobs.iter().filter(|j| j.finish.is_some()).count()
+        sched.jobs().filter(|j| j.finish.is_some()).count()
     );
 }
 

@@ -1,0 +1,69 @@
+//! QS metric scan throughput over the columnar schedule records.
+//!
+//! The What-if Model's cost per probe is simulate + QS evaluation; this
+//! bench isolates the evaluation half — the linear scans over
+//! `ScheduleColumns` — on realistic §8.2-shaped schedules, per metric
+//! family: job-column scans (AJR, deadline miss, throughput), flat
+//! attempt-column integrals (utilization/occupancy), and the task-column
+//! preemption fraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tempo_core::scenario;
+use tempo_qs::{evaluate_qs, PoolScope, QsKind};
+use tempo_sim::{observe, Schedule};
+use tempo_workload::synthetic::ec2_experiment_model;
+use tempo_workload::time::HOUR;
+use tempo_workload::TaskKind;
+
+fn scenario_schedule(scale: f64, hours: u64) -> Schedule {
+    let trace = ec2_experiment_model(scale).generate(0, hours * HOUR, 3);
+    let cluster = scenario::ec2_cluster().scaled(scale);
+    // A noisy run under the preemption-prone expert config produces retries
+    // and kills, so the attempt columns carry multi-attempt tasks.
+    observe(&trace, &cluster, &scenario::scaled_expert(scale), scenario::observation_noise(), 9)
+}
+
+fn qs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qs_scan");
+    for (label, scale, hours) in [("small", 0.25, 1u64), ("large", 1.0, 4)] {
+        let sched = scenario_schedule(scale, hours);
+        let (w0, w1) = (0, hours * HOUR);
+        let shape = format!("{label}/{}j/{}a", sched.num_jobs(), sched.columns.num_attempts());
+
+        group.throughput(Throughput::Elements(sched.num_jobs() as u64));
+        group.bench_with_input(BenchmarkId::new("job_columns", &shape), &sched, |b, s| {
+            b.iter(|| {
+                let ajr = evaluate_qs(&QsKind::AvgResponseTime, s, Some(1), w0, w1);
+                let dl = evaluate_qs(&QsKind::DeadlineMiss { gamma: 0.25 }, s, Some(0), w0, w1);
+                let thr = evaluate_qs(&QsKind::Throughput, s, None, w0, w1);
+                (ajr, dl, thr)
+            });
+        });
+
+        group.throughput(Throughput::Elements(sched.columns.num_attempts() as u64));
+        group.bench_with_input(BenchmarkId::new("attempt_columns", &shape), &sched, |b, s| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for pool in [PoolScope::Map, PoolScope::Reduce] {
+                    for effective in [false, true] {
+                        acc +=
+                            evaluate_qs(&QsKind::Utilization { pool, effective }, s, None, w0, w1);
+                    }
+                }
+                acc
+            });
+        });
+
+        group.throughput(Throughput::Elements(sched.num_tasks() as u64));
+        group.bench_with_input(BenchmarkId::new("task_columns", &shape), &sched, |b, s| {
+            b.iter(|| {
+                s.preemption_fraction(TaskKind::Map, None)
+                    + s.preemption_fraction(TaskKind::Reduce, Some(1))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, qs_scan);
+criterion_main!(benches);

@@ -244,7 +244,7 @@ fn windowed_loop(
             3000 + step_idx,
         );
         // Aggregate outcome metrics over completed jobs of this window.
-        for j in &sched.jobs {
+        for j in sched.jobs() {
             if let Some(rt) = j.response_time() {
                 if j.tenant == scenario::tenant::BEST_EFFORT {
                     rt_weighted += tempo_workload::time::to_secs_f64(rt);

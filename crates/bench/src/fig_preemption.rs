@@ -36,14 +36,14 @@ pub fn fig1() -> Fig1 {
     let sched = simulate(&trace, &ClusterSpec::new(slots, 0), &config, &SimOptions::default());
     let series_a = allocation_series(&sched, 0, TaskKind::Map);
     let series_b = allocation_series(&sched, 1, TaskKind::Map);
-    let end = sched.horizon;
+    let end = sched.horizon();
     let timeline: Vec<(u64, i64, i64)> = sample_series(&series_a, 0, end, MIN)
         .into_iter()
         .zip(sample_series(&series_b, 0, end, MIN))
         .map(|((t, a), (_, b))| (t / MIN, a, b))
         .collect();
-    let preempted_tasks = sched.tasks.iter().filter(|t| t.was_preempted()).count();
-    let wasted: u64 = sched.tasks.iter().map(|t| t.wasted_time()).sum();
+    let preempted_tasks = sched.tasks().filter(|t| t.was_preempted()).count();
+    let wasted: u64 = sched.tasks().map(|t| t.wasted_time()).sum();
     Fig1 {
         timeline,
         preempted_tasks,
@@ -115,7 +115,7 @@ pub fn fig7(scale: Scale) -> Fig7 {
         let frac = |kind: TaskKind, tenant: u16| -> f64 {
             let mut total = 0usize;
             let mut pre = 0usize;
-            for t in &sched.tasks {
+            for t in sched.tasks() {
                 if t.kind != kind || t.tenant != tenant {
                     continue;
                 }
@@ -144,14 +144,13 @@ pub fn fig7(scale: Scale) -> Fig7 {
     let total_map_fraction = sched.preemption_fraction(TaskKind::Map, None);
     let total_reduce_fraction = sched.preemption_fraction(TaskKind::Reduce, None);
     let reduce_pre_be = sched
-        .tasks
-        .iter()
+        .tasks()
         .filter(|t| {
             t.kind == TaskKind::Reduce && t.was_preempted() && t.tenant == ec2_tenant::BEST_EFFORT
         })
         .count();
     let reduce_pre_all =
-        sched.tasks.iter().filter(|t| t.kind == TaskKind::Reduce && t.was_preempted()).count();
+        sched.tasks().filter(|t| t.kind == TaskKind::Reduce && t.was_preempted()).count();
     Fig7 {
         by_day,
         total_map_fraction,
@@ -206,8 +205,7 @@ pub fn fig8(fig7: &Fig7) -> Fig8 {
     let sched = &fig7.schedule;
     let durations = |kind: TaskKind, tenant: u16| -> Vec<f64> {
         sched
-            .tasks
-            .iter()
+            .tasks()
             .filter(|t| t.kind == kind && t.tenant == tenant)
             .map(|t| to_secs_f64(t.duration))
             .collect()
@@ -254,7 +252,7 @@ impl std::fmt::Display for Fig8 {
 /// Quick access for Figure 9's utilization measurement: expert-config
 /// effective utilizations from the Fig 7 run.
 pub fn expert_utilizations(fig7: &Fig7) -> (f64, f64) {
-    let end = fig7.schedule.horizon;
+    let end = fig7.schedule.horizon();
     (
         fig7.schedule.effective_utilization(TaskKind::Map, 0, end),
         fig7.schedule.effective_utilization(TaskKind::Reduce, 0, end),

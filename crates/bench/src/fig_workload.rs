@@ -40,8 +40,7 @@ pub fn fig5(scale: Scale) -> Fig5 {
     let tenants = (0..6u16)
         .map(|tid: TenantId| {
             let responses: Vec<f64> = sched
-                .jobs
-                .iter()
+                .jobs()
                 .filter(|j| j.tenant == tid)
                 .filter_map(|j| j.response_time())
                 .map(to_secs_f64)
@@ -49,13 +48,9 @@ pub fn fig5(scale: Scale) -> Fig5 {
             let waits: Vec<f64> =
                 sched.tenant_tasks(tid).filter_map(|t| t.wait_time()).map(to_secs_f64).collect();
             let maps: Vec<f64> =
-                sched.jobs.iter().filter(|j| j.tenant == tid).map(|j| j.map_count as f64).collect();
-            let reduces: Vec<f64> = sched
-                .jobs
-                .iter()
-                .filter(|j| j.tenant == tid)
-                .map(|j| j.reduce_count as f64)
-                .collect();
+                sched.jobs().filter(|j| j.tenant == tid).map(|j| j.map_count as f64).collect();
+            let reduces: Vec<f64> =
+                sched.jobs().filter(|j| j.tenant == tid).map(|j| j.reduce_count as f64).collect();
             Fig5Tenant {
                 name: TENANT_NAMES[tid as usize].into(),
                 response: cdf_row(&responses),

@@ -4,7 +4,7 @@
 //! What-if evaluations per second (serial vs batched across cores), full
 //! PALD iterations per second, and the raw Schedule Predictor task rate.
 //! The numbers are emitted as JSON so CI can gate on regressions against the
-//! committed `BENCH_pr3.json` baseline.
+//! committed `BENCH_pr4.json` baseline.
 
 use crate::report::{fmt, render_table};
 use crate::Scale;
@@ -33,6 +33,13 @@ pub struct PerfReport {
     /// `batched / serial` — ≥ 2 expected on a ≥ 4-core machine, ~1 on one
     /// core (the batch path short-circuits to the serial loop).
     pub batch_speedup: f64,
+    /// What-if evaluations/sec on the stochastic ABC scenario: each
+    /// evaluation samples fresh synthetic workloads from the six-tenant ABC
+    /// model (bypassing the memo cache), so this isolates the raw
+    /// simulate+QS-scan path — the number the columnar records and calendar
+    /// queue exist to improve. `NaN` when read from a pre-PR4 baseline
+    /// (absent fields deserialize as null → NaN), which skips its gate.
+    pub whatif_evals_per_sec_abc_stochastic: f64,
     /// Full PALD iterations (probe batch + LOESS fit + LP/MGDA + step)/sec.
     pub pald_iters_per_sec: f64,
     /// Schedule Predictor throughput in simulated tasks/sec (paper §8.1
@@ -140,6 +147,31 @@ pub fn perf(scale: Scale) -> PerfReport {
         trace_tasks
     });
 
+    // Stochastic ABC: six tenants, synthetic workload draws per evaluation —
+    // nothing memoizable, so every eval pays full simulate + QS scans.
+    let abc_cluster = scenario::ec2_cluster().scaled(wl_scale);
+    let abc_model = WhatIfModel::new(
+        abc_cluster.clone(),
+        scenario::mixed_slos(0.25),
+        WorkloadSource::Model {
+            model: tempo_workload::abc::abc_model(wl_scale * 0.5),
+            start: 0,
+            end: span,
+        },
+        window,
+    )
+    .with_samples(2);
+    let abc_space = ConfigSpace::new(6, &abc_cluster);
+    let abc_probes = probe_configs(&abc_space, &vec![0.5; abc_space.dim()], probe_count / 2);
+    let mut salt = 1u64;
+    let abc_stochastic = rate(min_secs, 2, || {
+        for cfg in &abc_probes {
+            std::hint::black_box(abc_model.evaluate_salted(cfg, salt));
+            salt += 1;
+        }
+        abc_probes.len() as u64
+    });
+
     PerfReport {
         scale: match scale {
             Scale::Quick => "quick".into(),
@@ -150,6 +182,7 @@ pub fn perf(scale: Scale) -> PerfReport {
         whatif_evals_per_sec_serial: serial,
         whatif_evals_per_sec_batched: batched,
         batch_speedup: if serial > 0.0 { batched / serial } else { 0.0 },
+        whatif_evals_per_sec_abc_stochastic: abc_stochastic,
         pald_iters_per_sec: pald_iters,
         predictor_tasks_per_sec: predictor,
     }
@@ -165,7 +198,7 @@ pub fn check_against_baseline(
     let floor = 1.0 - REGRESSION_TOLERANCE;
     let mut lines = Vec::new();
     let mut failed = false;
-    for (name, cur, base) in [
+    let mut metrics = vec![
         (
             "whatif_evals_per_sec_serial",
             current.whatif_evals_per_sec_serial,
@@ -176,7 +209,16 @@ pub fn check_against_baseline(
             current.whatif_evals_per_sec_batched,
             baseline.whatif_evals_per_sec_batched,
         ),
-    ] {
+    ];
+    // Pre-PR4 baselines lack the ABC metric (NaN after parse): skip its gate.
+    if baseline.whatif_evals_per_sec_abc_stochastic.is_finite() {
+        metrics.push((
+            "whatif_evals_per_sec_abc_stochastic",
+            current.whatif_evals_per_sec_abc_stochastic,
+            baseline.whatif_evals_per_sec_abc_stochastic,
+        ));
+    }
+    for (name, cur, base) in metrics {
         let ratio = if base > 0.0 { cur / base } else { f64::INFINITY };
         let ok = ratio >= floor;
         failed |= !ok;
@@ -203,6 +245,10 @@ impl std::fmt::Display for PerfReport {
             vec!["whatif evals/sec (serial)".into(), fmt(self.whatif_evals_per_sec_serial)],
             vec!["whatif evals/sec (batched)".into(), fmt(self.whatif_evals_per_sec_batched)],
             vec!["batch speedup".into(), format!("{:.2}x", self.batch_speedup)],
+            vec![
+                "whatif evals/sec (ABC stochastic)".into(),
+                fmt(self.whatif_evals_per_sec_abc_stochastic),
+            ],
             vec!["PALD iterations/sec".into(), fmt(self.pald_iters_per_sec)],
             vec!["predictor tasks/sec".into(), fmt(self.predictor_tasks_per_sec)],
         ];
@@ -230,6 +276,7 @@ mod tests {
             whatif_evals_per_sec_serial: 10.5,
             whatif_evals_per_sec_batched: 31.5,
             batch_speedup: 3.0,
+            whatif_evals_per_sec_abc_stochastic: 4.5,
             pald_iters_per_sec: 2.25,
             predictor_tasks_per_sec: 150_000.0,
         };
@@ -249,6 +296,7 @@ mod tests {
             whatif_evals_per_sec_serial: 100.0,
             whatif_evals_per_sec_batched: 100.0,
             batch_speedup: 1.0,
+            whatif_evals_per_sec_abc_stochastic: 100.0,
             pald_iters_per_sec: 1.0,
             predictor_tasks_per_sec: 1.0,
         };

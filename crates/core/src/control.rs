@@ -243,13 +243,10 @@ impl Tempo {
         source: crate::whatif::WorkloadSource,
         window: (tempo_workload::Time, tempo_workload::Time),
     ) {
-        assert!(window.0 < window.1, "empty QS window");
-        self.whatif.source = source;
-        self.whatif.window = window;
-        // The memo cache is keyed on the configuration alone; entries
-        // computed against the old workload/window would silently answer
-        // for the new one.
-        self.whatif.clear_cache();
+        // The memo cache survives the swap: its key carries the
+        // workload/window identity, so old-window entries can't answer for
+        // the new window — and revisiting a window re-hits its entries.
+        self.whatif.set_source_window(source, window);
         self.pald.clear_history();
         self.prev = None;
     }
@@ -426,13 +423,16 @@ mod tests {
     }
 
     #[test]
-    fn set_workload_invalidates_memo_cache() {
-        // The memo key encodes only the config: after a workload swap the
-        // same config must be re-simulated, not answered from the old trace.
+    fn set_workload_scopes_memo_entries_to_their_window() {
+        // The memo key carries the workload/window identity: after a swap
+        // the same config must be re-simulated (old entries can't answer for
+        // the new context), but returning to the original workload re-hits
+        // the surviving entries without a single new simulation.
         let mut tempo = make_tempo(RevertPolicy::Dominated, 17);
         let cfg = tempo.current_config();
         let qs_before = tempo.whatif.evaluate(&cfg);
         assert_eq!(tempo.whatif.cache_len(), 1);
+        assert_eq!(tempo.whatif.sim_count(), 1);
         // A much lighter workload: only the best-effort stream.
         let light = Trace::new(vec![JobSpec::new(
             0,
@@ -441,8 +441,13 @@ mod tests {
             vec![TaskSpec::map(30 * SEC), TaskSpec::reduce(60 * SEC)],
         )]);
         tempo.set_workload(WorkloadSource::replay(light), (0, 10 * MIN));
-        assert_eq!(tempo.whatif.cache_len(), 0, "stale entries dropped");
         let qs_after = tempo.whatif.evaluate(&cfg);
         assert_ne!(qs_before, qs_after, "same config re-evaluated against the new workload");
+        assert_eq!(tempo.whatif.sim_count(), 2, "new context forced a fresh simulation");
+        assert_eq!(tempo.whatif.cache_len(), 2, "both contexts' entries coexist");
+        // Back to the original workload/window: pure cache hit.
+        tempo.set_workload(WorkloadSource::replay(contention_trace()), (0, 12 * MIN));
+        assert_eq!(tempo.whatif.evaluate(&cfg), qs_before, "revisited window answers identically");
+        assert_eq!(tempo.whatif.sim_count(), 2, "no re-simulation on the revisited window");
     }
 }

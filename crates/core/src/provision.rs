@@ -28,7 +28,7 @@ use tempo_workload::{JobSpec, TaskSpec, Trace};
 pub fn reconstruct_trace(observed: &Schedule) -> Trace {
     use std::collections::HashMap;
     let mut tasks_by_job: HashMap<u64, Vec<TaskSpec>> = HashMap::new();
-    for t in &observed.tasks {
+    for t in observed.tasks() {
         let Some(done) =
             t.attempts.iter().find(|a| a.outcome == tempo_sim::AttemptOutcome::Completed)
         else {
@@ -38,7 +38,7 @@ pub fn reconstruct_trace(observed: &Schedule) -> Trace {
         tasks_by_job.entry(t.job).or_default().push(TaskSpec { kind: t.kind, duration });
     }
     let mut jobs = Vec::new();
-    for j in &observed.jobs {
+    for j in observed.jobs() {
         let Some(tasks) = tasks_by_job.remove(&j.id) else { continue };
         if tasks.is_empty() {
             continue;

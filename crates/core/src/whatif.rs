@@ -72,6 +72,11 @@ pub struct WhatIfModel {
     /// Worker-thread override for batched evaluation (`None` = `TEMPO_THREADS`
     /// env var, falling back to the machine's available parallelism).
     threads: Option<usize>,
+    /// Content hash of (source, window), mixed into every memo key so cached
+    /// predictions are scoped to the workload context they were computed
+    /// against. Kept in sync by [`WhatIfModel::set_source_window`] /
+    /// [`WhatIfModel::refresh_context`].
+    context: u64,
     cache: MemoCache,
     /// Simulations actually run (diagnostic: cache-hit/dedup accounting).
     sims: AtomicU64,
@@ -82,16 +87,22 @@ pub struct WhatIfModel {
 /// cheap to scan for `len()`.
 const CACHE_SHARDS: usize = 16;
 
-/// One memoized configuration: the QS vector once computed, plus (in debug
-/// builds) the full config encoding so 64-bit key collisions are detected
-/// instead of silently returning the wrong tenant's prediction.
+/// One memoized configuration × prediction context: the QS vector once
+/// computed, plus (in debug builds) the full key encoding so 64-bit key
+/// collisions are detected instead of silently returning the wrong
+/// prediction.
 struct CacheSlot {
     qs: OnceLock<Vec<f64>>,
     #[cfg(debug_assertions)]
     encoding: String,
 }
 
-/// Sharded memo cache keyed by a 64-bit config hash.
+/// Sharded memo cache keyed by a 64-bit hash of (workload/window context,
+/// RM configuration).
+///
+/// The context half of the key lets entries from different re-tuning windows
+/// coexist: [`crate::Tempo::set_workload`] swaps the window without clearing,
+/// and revisiting an earlier window re-hits its entries.
 ///
 /// Concurrency contract: the shard lock is held only to look up / insert the
 /// slot, never during simulation. The slot's `OnceLock` serializes
@@ -104,32 +115,31 @@ struct MemoCache {
 }
 
 impl MemoCache {
-    /// Looks up (or installs) the slot for `config`.
-    fn slot(&self, config: &RmConfig) -> Arc<CacheSlot> {
-        let hash = config_hash(config);
+    /// Looks up (or installs) the slot for `config` under context `token`.
+    fn slot(&self, token: u64, config: &RmConfig) -> Arc<CacheSlot> {
+        let hash = mix(token, config_hash(config));
         let slot = {
             let mut shard = self.shards[hash as usize % CACHE_SHARDS].lock();
             Arc::clone(shard.entry(hash).or_insert_with(|| {
                 Arc::new(CacheSlot {
                     qs: OnceLock::new(),
                     #[cfg(debug_assertions)]
-                    encoding: serde_json::to_string(config).expect("config serializes"),
+                    encoding: full_encoding(token, config),
                 })
             }))
         };
         #[cfg(debug_assertions)]
         {
-            let encoding = serde_json::to_string(config).expect("config serializes");
             assert_eq!(
-                slot.encoding, encoding,
-                "64-bit config hash collision on {hash:#018x}; widen the key"
+                slot.encoding,
+                full_encoding(token, config),
+                "64-bit memo key collision on {hash:#018x}; widen the key"
             );
         }
         slot
     }
 
-    /// Drops every entry (the key encodes only the configuration, so a
-    /// workload/window change invalidates the whole cache).
+    /// Drops every entry across all contexts.
     fn clear(&self) {
         for shard in &self.shards {
             shard.lock().clear();
@@ -145,19 +155,60 @@ impl MemoCache {
     }
 }
 
-/// 64-bit structural hash of an RM configuration — the memo key. A
-/// splitmix64-style mix per field keeps avalanche strong enough that
-/// accidental collisions are ~impossible at optimizer scales (billions of
-/// configs for a 50% birthday bound); debug builds verify against the full
-/// encoding anyway.
-fn config_hash(config: &RmConfig) -> u64 {
-    #[inline]
-    fn mix(h: u64, v: u64) -> u64 {
-        let mut x = (h ^ v).wrapping_add(0x9E3779B97F4A7C15);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-        x ^ (x >> 31)
+/// Splitmix64-style field mixer shared by the memo-key hashes: strong enough
+/// avalanche that accidental collisions are ~impossible at optimizer scales
+/// (billions of keys for a 50% birthday bound); debug builds verify against
+/// the full encoding anyway.
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = (h ^ v).wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Full (context, config) encoding backing the debug collision check.
+#[cfg(debug_assertions)]
+fn full_encoding(token: u64, config: &RmConfig) -> String {
+    format!("{token:#018x}|{}", serde_json::to_string(config).expect("config serializes"))
+}
+
+/// Content hash of the prediction context — workload source identity plus
+/// the QS window — mixed into every memo key. Replay sources hash the trace
+/// *content*, so re-installing an equal trace (e.g. returning to an earlier
+/// re-tuning window) lands on the same keys and re-hits the cache.
+fn context_token(source: &WorkloadSource, window: (Time, Time)) -> u64 {
+    let mut h = mix(0xC0_11_7E_57, window.0);
+    h = mix(h, window.1);
+    match source {
+        WorkloadSource::Replay(trace) => {
+            h = mix(h, trace.jobs.len() as u64);
+            for j in &trace.jobs {
+                h = mix(h, j.id);
+                h = mix(h, j.tenant as u64);
+                h = mix(h, j.submit);
+                h = mix(h, j.deadline.map_or(u64::MAX, |d| d ^ 0x5851F42D4C957F2D));
+                h = mix(h, j.slowstart.to_bits());
+                h = mix(h, j.tasks.len() as u64);
+                for t in &j.tasks {
+                    h = mix(h, t.kind.index() as u64);
+                    h = mix(h, t.duration);
+                }
+            }
+        }
+        // Stochastic sources are never memoized; a coarse tag suffices.
+        WorkloadSource::Model { start, end, .. } => {
+            h = mix(h, 1);
+            h = mix(h, *start);
+            h = mix(h, *end);
+        }
     }
+    h
+}
+
+/// 64-bit structural hash of an RM configuration — the config half of the
+/// memo key.
+fn config_hash(config: &RmConfig) -> u64 {
     let policy_tag = match config.policy {
         tempo_sim::SchedPolicy::FairShare => 0u64,
         tempo_sim::SchedPolicy::Drf => 1,
@@ -187,6 +238,7 @@ impl WhatIfModel {
         window: (Time, Time),
     ) -> Self {
         assert!(window.0 < window.1, "empty QS window");
+        let context = context_token(&source, window);
         Self {
             cluster,
             slos,
@@ -196,9 +248,28 @@ impl WhatIfModel {
             noise: NoiseModel::NONE,
             horizon: None,
             threads: None,
+            context,
             cache: MemoCache::default(),
             sims: AtomicU64::new(0),
         }
+    }
+
+    /// Swaps the workload source and QS window, re-deriving the memo-cache
+    /// context. Cached predictions for *other* contexts stay: re-tuning
+    /// loops that revisit a window (or re-install an identical trace) keep
+    /// their hits instead of re-simulating from scratch.
+    pub fn set_source_window(&mut self, source: WorkloadSource, window: (Time, Time)) {
+        assert!(window.0 < window.1, "empty QS window");
+        self.source = source;
+        self.window = window;
+        self.refresh_context();
+    }
+
+    /// Re-derives the memo context from the current `source`/`window`. Call
+    /// after mutating those fields directly (prefer
+    /// [`WhatIfModel::set_source_window`], which does it for you).
+    pub fn refresh_context(&mut self) {
+        self.context = context_token(&self.source, self.window);
     }
 
     pub fn with_samples(mut self, samples: u32) -> Self {
@@ -292,7 +363,7 @@ impl WhatIfModel {
         }
         // First writer wins; concurrent evaluators of the same config block
         // on the OnceLock instead of racing duplicate simulations.
-        self.cache.slot(config).qs.get_or_init(|| self.compute_qs(config, 0)).clone()
+        self.cache.slot(self.context, config).qs.get_or_init(|| self.compute_qs(config, 0)).clone()
     }
 
     /// Expected QS vector with the default salt.
@@ -350,11 +421,11 @@ impl WhatIfModel {
         out.into_iter().map(|v| v.expect("all slots filled")).collect()
     }
 
-    /// Invalidates the memo cache. **Must** be called after mutating
-    /// `source`, `window`, `noise`, or anything else an evaluation depends
-    /// on: the cache key encodes only the RM configuration, so stale entries
-    /// would silently answer for the old workload. ([`crate::Tempo::set_workload`]
-    /// does this for the control loop.)
+    /// Invalidates the memo cache across every context. Rarely needed now
+    /// that the key carries the workload/window identity — use it after
+    /// mutating something the context hash does *not* cover (e.g. `horizon`,
+    /// `cluster`, or `slos` in place), or to bound memory across many
+    /// windows.
     pub fn clear_cache(&self) {
         self.cache.clear();
     }
@@ -469,6 +540,37 @@ mod tests {
         for (cfg, expect) in cfgs.iter().zip(&batch) {
             assert_eq!(&m.evaluate(cfg), expect);
         }
+    }
+
+    #[test]
+    fn cache_entries_survive_window_swaps_and_rehit() {
+        let mut m = replay_model();
+        let cfg = RmConfig::fair(2);
+        let first = m.evaluate(&cfg);
+        assert_eq!(m.sim_count(), 1);
+
+        // Shrink the window: same trace, different context → re-simulate.
+        let original_source = m.source.clone();
+        m.set_source_window(original_source.clone(), (0, 5 * MIN));
+        let narrow = m.evaluate(&cfg);
+        assert_eq!(m.sim_count(), 2, "window change is a distinct memo context");
+        assert_eq!(m.cache_len(), 2, "old window's entry survives");
+
+        // Swap back: pure hit, no third simulation.
+        m.set_source_window(original_source, (0, 10 * MIN));
+        assert_eq!(m.evaluate(&cfg), first);
+        assert_eq!(m.sim_count(), 2, "revisited window re-hit its entry");
+
+        // A content-identical trace built from scratch lands on the same
+        // keys (the token hashes trace content, not identity).
+        let rebuilt = Trace::new(vec![
+            JobSpec::new(0, 0, 0, vec![TaskSpec::map(30 * SEC)]).with_deadline(2 * MIN),
+            JobSpec::new(1, 1, 10 * SEC, vec![TaskSpec::map(60 * SEC)]),
+        ]);
+        m.set_source_window(WorkloadSource::replay(rebuilt), (0, 10 * MIN));
+        assert_eq!(m.evaluate(&cfg), first);
+        assert_eq!(m.sim_count(), 2, "equal content ⇒ equal context token ⇒ hit");
+        let _ = narrow;
     }
 
     #[test]

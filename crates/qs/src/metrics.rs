@@ -5,9 +5,16 @@
 //! SLO classes from the production interviews (§3.1) are covered, evaluated
 //! over a time interval `[start, end)` on the job set `J_i` of jobs
 //! *submitted and completed* within the interval.
+//!
+//! Every evaluator is a single pass over the schedule's columnar records
+//! ([`tempo_sim::ScheduleColumns`]): the window/tenant predicates fold into
+//! 0/1 masks multiplied into the accumulators, so the inner loops stay
+//! branch-free over contiguous columns — this is the read side of the
+//! predict→optimize hot path, which evaluates thousands of schedules per
+//! control iteration.
 
 use serde::{Deserialize, Serialize};
-use tempo_sim::Schedule;
+use tempo_sim::{tenant_mask, Schedule, ScheduleColumns, NO_TIME};
 use tempo_workload::time::{to_secs_f64, Time};
 use tempo_workload::{TaskKind, TenantId};
 
@@ -85,13 +92,30 @@ pub fn evaluate_qs(
     end: Time,
 ) -> f64 {
     assert!(start < end, "empty evaluation window");
+    let cols = &schedule.columns;
     match kind {
         QsKind::AvgResponseTime => {
-            let times = response_times(schedule, tenant, start, end);
-            if times.is_empty() {
+            // One masked scan: filtered-out rows contribute exactly 0.0 to
+            // the sum, so the float accumulation order matches a filtered
+            // collect-then-sum bit for bit.
+            let (any, want) = tenant_mask(tenant);
+            let mut sum = 0.0f64;
+            let mut n = 0u64;
+            for i in 0..cols.num_jobs() {
+                let sub = cols.job_submit[i];
+                let fin = cols.job_finish[i];
+                // NO_TIME (unfinished) fails `fin < end` by construction.
+                let keep = (any | (cols.job_tenant[i] == want))
+                    & (sub >= start)
+                    & (sub < end)
+                    & (fin < end);
+                sum += to_secs_f64(fin.wrapping_sub(sub)) * keep as u64 as f64;
+                n += keep as u64;
+            }
+            if n == 0 {
                 0.0
             } else {
-                times.iter().sum::<f64>() / times.len() as f64
+                sum / n as f64
             }
         }
         QsKind::ResponseTimePercentile { q } => {
@@ -105,20 +129,35 @@ pub fn evaluate_qs(
         }
         QsKind::DeadlineMiss { gamma } => {
             assert!(*gamma >= 0.0, "negative slack");
-            let jobs = jobs_in(schedule, tenant, start, end);
-            let with_deadline: Vec<_> = jobs.iter().filter(|j| j.deadline.is_some()).collect();
-            if with_deadline.is_empty() {
+            let (any, want) = tenant_mask(tenant);
+            let mut with_deadline = 0u64;
+            let mut missed = 0u64;
+            for i in 0..cols.num_jobs() {
+                let sub = cols.job_submit[i];
+                let fin = cols.job_finish[i];
+                let dl = cols.job_deadline[i];
+                let keep = (any | (cols.job_tenant[i] == want))
+                    & (sub >= start)
+                    & (sub < end)
+                    & (fin < end)
+                    & (dl != NO_TIME);
+                // Same slack arithmetic as `JobRecord::missed_deadline`;
+                // the wrapping ops only ever see garbage on masked-out rows.
+                let slack = (gamma * fin.wrapping_sub(sub) as f64).max(0.0) as Time;
+                let miss = fin > dl.saturating_add(slack);
+                with_deadline += keep as u64;
+                missed += (keep & miss) as u64;
+            }
+            if with_deadline == 0 {
                 return 0.0;
             }
-            let missed =
-                with_deadline.iter().filter(|j| j.missed_deadline(*gamma).unwrap_or(false)).count();
-            missed as f64 / with_deadline.len() as f64
+            missed as f64 / with_deadline as f64
         }
         QsKind::Utilization { pool, effective } => {
             -utilization(schedule, tenant, *pool, *effective, start, end)
         }
         QsKind::Throughput => {
-            let n = jobs_in(schedule, tenant, start, end).len();
+            let n = count_jobs_in(cols, tenant, start, end);
             let hours = to_secs_f64(end - start) / 3600.0;
             -(n as f64) / hours
         }
@@ -137,26 +176,31 @@ pub fn response_times(
     start: Time,
     end: Time,
 ) -> Vec<f64> {
-    jobs_in(schedule, tenant, start, end)
-        .iter()
-        .filter_map(|j| j.response_time())
-        .map(to_secs_f64)
-        .collect()
+    let cols = &schedule.columns;
+    let (any, want) = tenant_mask(tenant);
+    let mut out = Vec::new();
+    for i in 0..cols.num_jobs() {
+        let sub = cols.job_submit[i];
+        let fin = cols.job_finish[i];
+        if (any | (cols.job_tenant[i] == want)) & (sub >= start) & (sub < end) & (fin < end) {
+            out.push(to_secs_f64(fin - sub));
+        }
+    }
+    out
 }
 
-fn jobs_in(
-    schedule: &Schedule,
-    tenant: Option<TenantId>,
-    start: Time,
-    end: Time,
-) -> Vec<&tempo_sim::JobRecord> {
-    schedule
-        .jobs
-        .iter()
-        .filter(|j| tenant.is_none_or(|t| j.tenant == t))
-        .filter(|j| (start..end).contains(&j.submit))
-        .filter(|j| j.finish.is_some_and(|f| f < end))
-        .collect()
+/// Number of jobs submitted and completed in the window (`|J_i|`).
+fn count_jobs_in(cols: &ScheduleColumns, tenant: Option<TenantId>, start: Time, end: Time) -> u64 {
+    let (any, want) = tenant_mask(tenant);
+    let mut n = 0u64;
+    for i in 0..cols.num_jobs() {
+        let sub = cols.job_submit[i];
+        n += ((any | (cols.job_tenant[i] == want))
+            & (sub >= start)
+            & (sub < end)
+            & (cols.job_finish[i] < end)) as u64;
+    }
+    n
 }
 
 fn utilization(
@@ -168,7 +212,7 @@ fn utilization(
     end: Time,
 ) -> f64 {
     let one = |kind: TaskKind| -> f64 {
-        let avail = schedule.capacity[kind.index()] as u128 * (end - start) as u128;
+        let avail = schedule.capacity()[kind.index()] as u128 * (end - start) as u128;
         if avail == 0 {
             return 0.0;
         }

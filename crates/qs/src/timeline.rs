@@ -18,15 +18,17 @@ pub type StepSeries = Vec<(Time, i64)>;
 /// Events at the same instant are merged, so the series is strictly
 /// increasing in time.
 pub fn allocation_series(schedule: &Schedule, tenant: TenantId, kind: TaskKind) -> StepSeries {
+    // Flat pass over the attempt columns: the denormalized per-attempt
+    // tenant/kind columns make this a filter over contiguous memory.
+    let cols = &schedule.columns;
     let mut deltas: Vec<(Time, i64)> = Vec::new();
-    for t in schedule.tenant_tasks(tenant) {
-        if t.kind != kind {
+    for i in 0..cols.num_attempts() {
+        if cols.att_tenant[i] != tenant || cols.att_kind[i] != kind {
             continue;
         }
-        for a in &t.attempts {
-            deltas.push((a.launch, 1));
-            deltas.push((a.end, -1));
-        }
+        let a = &cols.attempts[i];
+        deltas.push((a.launch, 1));
+        deltas.push((a.end, -1));
     }
     deltas.sort_unstable();
     let mut out: StepSeries = Vec::new();
@@ -91,12 +93,14 @@ pub fn mean_level(series: &[(Time, i64)], start: Time, end: Time) -> f64 {
 /// series behind Figure 10's moving-average plot (pair with
 /// `tempo_workload::stats::moving_average`).
 pub fn response_time_series(schedule: &Schedule, tenant: TenantId) -> Vec<(Time, f64)> {
-    let mut out: Vec<(Time, f64)> = schedule
-        .jobs
-        .iter()
-        .filter(|j| j.tenant == tenant)
-        .filter_map(|j| j.finish.map(|f| (f, to_secs_f64(f - j.submit))))
-        .collect();
+    let cols = &schedule.columns;
+    let mut out: Vec<(Time, f64)> = Vec::new();
+    for i in 0..cols.num_jobs() {
+        let fin = cols.job_finish[i];
+        if cols.job_tenant[i] == tenant && fin != tempo_sim::NO_TIME {
+            out.push((fin, to_secs_f64(fin - cols.job_submit[i])));
+        }
+    }
     out.sort_by_key(|&(t, _)| t);
     out
 }

@@ -1,0 +1,340 @@
+//! A calendar (bucket) queue for the engine's pending-event set.
+//!
+//! The discrete-event engine's schedules are *dense*: most pending events sit
+//! within a short span of the simulation clock (tentative task finishes and
+//! preemption checks), plus a thinner tail of far-future job arrivals. A
+//! binary heap pays `O(log n)` per operation on that shape; a calendar queue
+//! — an array of time buckets cycled like the months of a wall calendar
+//! (Brown, CACM 1988) — pays amortized `O(1)`: events hash into
+//! `(time / width) mod nbuckets`, and pop scans forward from the clock's
+//! bucket, where the next event almost always sits.
+//!
+//! This implementation preserves the engine's determinism contract exactly:
+//! entries pop in strictly increasing `(time, seq)` order, where `seq` is the
+//! insertion sequence number — the same tie-break the previous
+//! `BinaryHeap<Reverse<Event>>` used. Buckets are power-of-two sized so the
+//! slot hash is a shift-and-mask, and the width is re-derived from the live
+//! event-time spread on every resize. All storage is retained by
+//! [`CalendarQueue::clear`], so a pooled queue (see `SimPool`) allocates only
+//! while growing toward a workload's high-water mark.
+
+use tempo_workload::time::Time;
+
+/// Minimum (and initial) bucket count; small enough that empty scans are
+/// cheap, large enough to avoid immediate regrowth on real traces.
+const MIN_BUCKETS: usize = 16;
+/// Grow when the population exceeds `buckets × GROW_AT` …
+const GROW_AT: usize = 2;
+/// … shrink when it falls below `buckets / SHRINK_AT` (hysteresis: 16× apart
+/// so pop/push cycles at a boundary never thrash rebuilds).
+const SHRINK_AT: usize = 8;
+/// Default `log2(bucket width)` before the first resize derives a real one:
+/// 2^20 µs ≈ 1 s, the right order for task-level events.
+const DEFAULT_SHIFT: u32 = 20;
+
+struct Entry<T> {
+    time: Time,
+    seq: u64,
+    item: T,
+}
+
+/// A monotone priority queue over `(Time, insertion-seq)` keys.
+///
+/// "Monotone" is the engine's invariant, asserted in debug builds: nothing is
+/// ever pushed earlier than the last popped time (events are only scheduled
+/// at or after `now`). The queue exploits it — pop never looks behind the
+/// clock — but never *depends* on bucket luck for correctness: if the
+/// forward scan finds nothing within one calendar year, a direct min-scan
+/// over all buckets takes over.
+pub struct CalendarQueue<T> {
+    /// Power-of-two bucket array; `buckets[(t >> shift) & mask]`.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// `log2` of the bucket width in microseconds.
+    shift: u32,
+    len: usize,
+    /// Time of the last pop — the floor under every remaining entry.
+    clock: Time,
+    /// Next insertion sequence number (the FIFO tie-break at equal times).
+    seq: u64,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(MIN_BUCKETS);
+        buckets.resize_with(MIN_BUCKETS, Vec::new);
+        Self { buckets, shift: DEFAULT_SHIFT, len: 0, clock: 0, seq: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the queue, resetting the clock and sequence counter while
+    /// keeping every bucket's allocation for the next run.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+        self.clock = 0;
+        self.seq = 0;
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: Time) -> usize {
+        ((time >> self.shift) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Inserts `item` at `time`. Entries at equal times pop in insertion
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// If `time` precedes the last popped time. The queue is monotone by
+    /// contract, and pop's forward slot scan relies on it — a silent
+    /// past-time insert would corrupt pop order, so the contract is enforced
+    /// unconditionally (one predictable compare per push).
+    pub fn push(&mut self, time: Time, item: T) {
+        assert!(time >= self.clock, "pushed into the past: {time} < {}", self.clock);
+        let seq = self.seq;
+        self.seq += 1;
+        let b = self.bucket_of(time);
+        self.buckets[b].push(Entry { time, seq, item });
+        self.len += 1;
+        if self.len > self.buckets.len() * GROW_AT {
+            self.rebuild();
+        }
+    }
+
+    /// Removes and returns the entry with the smallest `(time, seq)` key.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len();
+        let mask = nbuckets - 1;
+        let start_slot = self.clock >> self.shift;
+        // Fast path: walk slots forward from the clock. The first slot
+        // holding an entry is the minimum-time slot (every entry is at or
+        // after the clock), and within a slot the linear scan picks the
+        // `(time, seq)` minimum.
+        for lap in 0..nbuckets as u64 {
+            let slot = start_slot.wrapping_add(lap);
+            let b = (slot as usize) & mask;
+            if let Some(i) = Self::min_in_slot(&self.buckets[b], self.shift, slot) {
+                return Some(self.take(b, i));
+            }
+        }
+        // Sparse tail: nothing within a full calendar year of the clock.
+        // Fall back to a direct min-scan; correctness never rides on the
+        // bucket geometry.
+        let mut best: Option<(Time, u64, usize, usize)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (i, e) in bucket.iter().enumerate() {
+                if best.is_none_or(|(t, s, _, _)| (e.time, e.seq) < (t, s)) {
+                    best = Some((e.time, e.seq, b, i));
+                }
+            }
+        }
+        let (_, _, b, i) = best.expect("len > 0 but no entry found");
+        Some(self.take(b, i))
+    }
+
+    /// Removes and returns the next entry **only if** its time is exactly
+    /// `time` — which must be the current clock, i.e. the time just popped;
+    /// passing a later time would skip over earlier entries, so the clock
+    /// match is enforced. This is the engine's same-instant drain: one
+    /// bucket probe instead of a full peek/pop cycle.
+    pub fn pop_at(&mut self, time: Time) -> Option<T> {
+        assert!(time == self.clock, "pop_at({time}) off the clock {}", self.clock);
+        if self.len == 0 {
+            return None;
+        }
+        // A hit in this bucket is globally minimal: every entry is ≥ `time`
+        // (monotonicity) and `time` hashes to exactly this bucket.
+        let b = self.bucket_of(time);
+        let mut best: Option<usize> = None;
+        for (i, e) in self.buckets[b].iter().enumerate() {
+            if e.time != time {
+                continue;
+            }
+            if best.is_none_or(|j| e.seq < self.buckets[b][j].seq) {
+                best = Some(i);
+            }
+        }
+        best.map(|i| self.take(b, i).1)
+    }
+
+    /// Index of the `(time, seq)`-minimal entry of `bucket` whose time falls
+    /// in calendar `slot`, if any.
+    fn min_in_slot(bucket: &[Entry<T>], shift: u32, slot: u64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in bucket.iter().enumerate() {
+            if e.time >> shift != slot {
+                continue;
+            }
+            if best.is_none_or(|j| (e.time, e.seq) < (bucket[j].time, bucket[j].seq)) {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    fn take(&mut self, b: usize, i: usize) -> (Time, T) {
+        let e = self.buckets[b].swap_remove(i);
+        self.len -= 1;
+        self.clock = e.time;
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / SHRINK_AT {
+            self.rebuild();
+        }
+        (e.time, e.item)
+    }
+
+    /// Re-sizes the bucket array to the live population and re-derives the
+    /// bucket width from the event-time spread (targeting ~1 entry per
+    /// occupied bucket), then redistributes every entry. Deterministic: a
+    /// pure function of the queue contents.
+    fn rebuild(&mut self) {
+        let mut entries: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            entries.append(b);
+        }
+        let target = self.len.next_power_of_two().clamp(MIN_BUCKETS, 1 << 20);
+        if target != self.buckets.len() {
+            self.buckets.resize_with(target, Vec::new);
+        }
+        if !entries.is_empty() {
+            let lo = entries.iter().map(|e| e.time).min().expect("non-empty");
+            let hi = entries.iter().map(|e| e.time).max().expect("non-empty");
+            let gap = (hi - lo) / entries.len() as Time;
+            self.shift = if gap <= 1 { 0 } else { 63 - gap.leading_zeros() }.min(42);
+        }
+        for e in entries {
+            let b = self.bucket_of(e.time);
+            self.buckets[b].push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Drains `q` and a reference heap pushed with the same sequence,
+    /// asserting identical pop order.
+    fn assert_matches_heap(times: &[Time]) {
+        let mut q = CalendarQueue::new();
+        let mut heap = BinaryHeap::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(t, seq);
+            heap.push(Reverse((t, seq as u64, seq)));
+        }
+        while let Some(Reverse((t, _, item))) = heap.pop() {
+            assert_eq!(q.pop(), Some((t, item)));
+        }
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        assert_matches_heap(&[5, 3, 3, 9, 3, 1, 1, 9, 0]);
+    }
+
+    #[test]
+    fn survives_growth_and_wide_spreads() {
+        // Enough entries to force several rebuilds, spread over hours.
+        let times: Vec<Time> = (0..500u64).map(|i| (i * 7919) % 3_600_000_000).collect();
+        assert_matches_heap(&times);
+    }
+
+    #[test]
+    fn all_equal_times_pop_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100 {
+            q.push(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn pop_at_drains_only_the_current_instant() {
+        let mut q = CalendarQueue::new();
+        q.push(10, 'a');
+        q.push(10, 'b');
+        q.push(11, 'c');
+        assert_eq!(q.pop(), Some((10, 'a')));
+        assert_eq!(q.pop_at(10), Some('b'));
+        assert_eq!(q.pop_at(10), None, "next entry is later");
+        assert_eq!(q.pop(), Some((11, 'c')));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = CalendarQueue::new();
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut state = 0x12345u64;
+        let mut clock: Time = 0;
+        for round in 0..2000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if round % 3 != 2 || heap.is_empty() {
+                // Push at or after the current clock (the engine invariant).
+                let t = clock + (state >> 40) % 5_000_000;
+                q.push(t, round);
+                heap.push(Reverse((t, seq, round)));
+                seq += 1;
+            } else {
+                let Reverse((t, _, item)) = heap.pop().expect("non-empty");
+                assert_eq!(q.pop(), Some((t, item)));
+                clock = t;
+            }
+        }
+        while let Some(Reverse((t, _, item))) = heap.pop() {
+            assert_eq!(q.pop(), Some((t, item)));
+        }
+    }
+
+    #[test]
+    fn shrinks_after_drain_and_clears_for_reuse() {
+        let mut q = CalendarQueue::new();
+        for i in 0..1000u64 {
+            q.push(i * 1000, i);
+        }
+        for _ in 0..995 {
+            q.pop();
+        }
+        assert_eq!(q.len(), 5);
+        q.clear();
+        assert!(q.is_empty());
+        // Reused queue starts a fresh sequence space at clock 0.
+        q.push(3, 77);
+        q.push(1, 88);
+        assert_eq!(q.pop(), Some((1, 88)));
+        assert_eq!(q.pop(), Some((3, 77)));
+    }
+
+    #[test]
+    fn far_future_tail_is_found_by_fallback() {
+        let mut q = CalendarQueue::new();
+        // One event a simulated year away: far outside any calendar lap.
+        q.push(365 * 24 * 3_600_000_000, 'z');
+        q.push(5, 'a');
+        assert_eq!(q.pop(), Some((5, 'a')));
+        assert_eq!(q.pop(), Some((365 * 24 * 3_600_000_000, 'z')));
+    }
+}

@@ -29,13 +29,13 @@
 //! [`SchedulerBackend`]: tempo_sched::SchedulerBackend
 //! [`FairShare`]: tempo_sched::FairShare
 
+use crate::calendar::CalendarQueue;
 use crate::config::{ClusterSpec, RmConfig};
 use crate::noise::NoiseModel;
-use crate::record::{Attempt, AttemptOutcome, JobRecord, Schedule, TaskRecord};
+use crate::record::{Attempt, AttemptOutcome, JobRecord, Schedule, ScheduleColumns};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use tempo_sched::{SchedulerBackend, TenantDemand, VictimCandidate, NUM_RESOURCES};
 use tempo_workload::time::Time;
 use tempo_workload::{TaskKind, Trace, NUM_KINDS};
@@ -126,6 +126,8 @@ type TaskId = u32;
 type JobIdx = u32;
 
 const NO_SLOT: u32 = u32::MAX;
+/// Null link in the pooled attempt arena's per-task chains.
+const NO_ATT: u32 = u32::MAX;
 
 /// Which starvation level a preemption check guards (§3.2's two timeout
 /// levels).
@@ -152,36 +154,17 @@ enum EventKind {
     },
 }
 
-struct Event {
-    time: Time,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
-}
-
 struct TaskState {
     kind: TaskKind,
     job: JobIdx,
     tenant: u16,
     duration: Time,
     runnable_at: Time,
-    attempts: Vec<Attempt>,
+    /// Head/tail of this task's attempt chain in the pool's attempt arena
+    /// ([`NO_ATT`] while empty). Attempts live in one pooled slab instead of
+    /// a per-task `Vec`, so restart-heavy runs allocate nothing per task.
+    first_att: u32,
+    last_att: u32,
     // Current attempt (valid while `running`).
     running: bool,
     launch: Time,
@@ -246,11 +229,19 @@ impl TenantState {
 /// results.
 #[derive(Default)]
 pub struct SimPool {
-    events: BinaryHeap<Reverse<Event>>,
+    /// Pending events, keyed `(time, insertion-seq)` — a calendar queue:
+    /// amortized O(1) insert/pop on the dense event sets the predictor
+    /// produces, with the exact pop order of the old binary heap.
+    events: CalendarQueue<EventKind>,
     tasks: Vec<TaskState>,
     jobs: Vec<JobState>,
     /// First task id of each job.
     task_offsets: Vec<u32>,
+    /// Slab of task attempts, chained per task through `att_next`
+    /// (task-order is restored at finalize when the chains are flattened
+    /// into the schedule's columnar attempt spans).
+    att_arena: Vec<Attempt>,
+    att_next: Vec<u32>,
     tenants: Vec<TenantState>,
     /// Allocation targets per tenant per pool, refreshed by
     /// `compute_targets`.
@@ -272,6 +263,8 @@ impl SimPool {
         self.tasks.clear();
         self.jobs.clear();
         self.task_offsets.clear();
+        self.att_arena.clear();
+        self.att_next.clear();
         self.targets.clear();
         self.demands.clear();
         self.victims.clear();
@@ -302,7 +295,8 @@ impl SimPool {
                     tenant: spec.tenant,
                     duration: t.duration,
                     runnable_at: 0,
-                    attempts: Vec::new(),
+                    first_att: NO_ATT,
+                    last_att: NO_ATT,
                     running: false,
                     launch: 0,
                     launch_seq: 0,
@@ -334,7 +328,6 @@ struct Engine<'a> {
     horizon: Option<Time>,
     rng: StdRng,
     now: Time,
-    seq: u64,
     launch_counter: u64,
     free: [u32; NUM_KINDS],
     /// The allocation policy ([`RmConfig::policy`]).
@@ -360,7 +353,6 @@ impl<'a> Engine<'a> {
             horizon: opts.horizon,
             rng: StdRng::seed_from_u64(opts.seed),
             now: 0,
-            seq: 0,
             launch_counter: 0,
             free: [cluster.capacity(TaskKind::Map), cluster.capacity(TaskKind::Reduce)],
             backend: config.policy.backend(),
@@ -373,29 +365,25 @@ impl<'a> Engine<'a> {
     }
 
     fn push_event(&mut self, time: Time, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.pool.events.push(Reverse(Event { time, seq, kind }));
+        // The queue assigns insertion sequence numbers, preserving the FIFO
+        // tie-break at equal times the event heap used.
+        self.pool.events.push(time, kind);
     }
 
     fn run(mut self) -> Schedule {
         let hard_horizon = self.horizon.unwrap_or(Time::MAX);
         let mut last_time = 0;
-        while let Some(Reverse(ev)) = self.pool.events.pop() {
-            if ev.time > hard_horizon {
+        while let Some((time, kind)) = self.pool.events.pop() {
+            if time > hard_horizon {
                 break;
             }
-            self.now = ev.time;
-            last_time = ev.time;
-            self.handle(ev.kind);
+            self.now = time;
+            last_time = time;
+            self.handle(kind);
             // Drain all events at the same instant before rescheduling, so a
             // burst of arrivals is allocated against in one pass.
-            while let Some(Reverse(peek)) = self.pool.events.peek() {
-                if peek.time != self.now {
-                    break;
-                }
-                let Reverse(ev2) = self.pool.events.pop().expect("peeked event vanished");
-                self.handle(ev2.kind);
+            while let Some(kind2) = self.pool.events.pop_at(self.now) {
+                self.handle(kind2);
             }
             self.reschedule();
         }
@@ -516,17 +504,28 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Records the end of the current attempt and frees its container.
+    /// Records the end of the current attempt (appending it to the pooled
+    /// attempt arena, chained onto the task) and frees its container.
     fn release_container(&mut self, tid: TaskId, outcome: AttemptOutcome) {
+        let now = self.now;
+        let p = &mut *self.pool;
         let (pool, tenant, slot) = {
-            let task = &mut self.pool.tasks[tid as usize];
+            let task = &mut p.tasks[tid as usize];
             debug_assert!(task.running);
-            task.attempts.push(Attempt {
+            let att_ix = p.att_arena.len() as u32;
+            p.att_arena.push(Attempt {
                 launch: task.launch,
-                work_start: task.work_start.unwrap_or(self.now.max(task.launch)),
-                end: self.now,
+                work_start: task.work_start.unwrap_or(now.max(task.launch)),
+                end: now,
                 outcome,
             });
+            p.att_next.push(NO_ATT);
+            if task.last_att == NO_ATT {
+                task.first_att = att_ix;
+            } else {
+                p.att_next[task.last_att as usize] = att_ix;
+            }
+            task.last_att = att_ix;
             task.running = false;
             task.fail_frac = None;
             task.work_start = None;
@@ -534,12 +533,12 @@ impl<'a> Engine<'a> {
             task.run_slot = NO_SLOT;
             (task.kind.index(), task.tenant as usize, slot)
         };
-        let running = &mut self.pool.tenants[tenant].running[pool];
+        let running = &mut p.tenants[tenant].running[pool];
         debug_assert_eq!(running[slot], tid);
         running.swap_remove(slot);
         let moved = running.get(slot).copied();
         if let Some(moved) = moved {
-            self.pool.tasks[moved as usize].run_slot = slot as u32;
+            p.tasks[moved as usize].run_slot = slot as u32;
         }
         self.free[pool] += 1;
     }
@@ -819,6 +818,11 @@ impl<'a> Engine<'a> {
         self.pool.tenants[tenant].queues[pool].push_front(tid);
     }
 
+    /// Flattens the pooled run state into the columnar schedule: job columns
+    /// from the job table, task columns in task order, and each task's
+    /// attempt chain walked out of the arena into a contiguous task-major
+    /// span. The arena itself stays in the pool for the next run — only the
+    /// output columns are freshly allocated.
     fn finalize(mut self, horizon: Time) -> Schedule {
         self.now = horizon;
         // Running tasks at the horizon are cut off (container still held).
@@ -827,10 +831,17 @@ impl<'a> Engine<'a> {
                 self.release_container(tid, AttemptOutcome::CutOff);
             }
         }
-        let mut jobs = Vec::with_capacity(self.pool.jobs.len());
+        let trace = self.trace;
+        let mut columns = ScheduleColumns::with_capacity(
+            horizon,
+            [self.cluster.capacity(TaskKind::Map), self.cluster.capacity(TaskKind::Reduce)],
+            self.pool.jobs.len(),
+            self.pool.tasks.len(),
+            self.pool.att_arena.len(),
+        );
         for (jix, job) in self.pool.jobs.iter().enumerate() {
-            let spec = &self.trace.jobs[jix];
-            jobs.push(JobRecord {
+            let spec = &trace.jobs[jix];
+            columns.push_job(JobRecord {
                 id: spec.id,
                 tenant: spec.tenant,
                 submit: spec.submit,
@@ -840,29 +851,28 @@ impl<'a> Engine<'a> {
                 reduce_count: spec.reduce_count() as u32,
             });
         }
-        let trace = self.trace;
-        let mut tasks = Vec::with_capacity(self.pool.tasks.len());
-        // Attempts move out into the records (they are the returned data);
-        // the pooled TaskState shells stay behind for reuse.
-        for t in self.pool.tasks.iter_mut() {
-            tasks.push(TaskRecord {
-                job: trace.jobs[t.job as usize].id,
-                tenant: t.tenant,
-                kind: t.kind,
-                runnable_at: t.runnable_at,
-                duration: t.duration,
-                attempts: std::mem::take(&mut t.attempts),
-            });
+        let arena = &self.pool.att_arena;
+        let next = &self.pool.att_next;
+        for t in &self.pool.tasks {
+            // Walk this task's arena chain lazily; `push_task` owns every
+            // column invariant (spans, denormalized tenant/kind, preempt
+            // counts).
+            let chain =
+                std::iter::successors((t.first_att != NO_ATT).then_some(t.first_att), |&ix| {
+                    let n = next[ix as usize];
+                    (n != NO_ATT).then_some(n)
+                })
+                .map(|ix| arena[ix as usize]);
+            columns.push_task(
+                trace.jobs[t.job as usize].id,
+                t.tenant,
+                t.kind,
+                t.runnable_at,
+                t.duration,
+                chain,
+            );
         }
-        Schedule {
-            horizon,
-            capacity: [
-                self.cluster.capacity(TaskKind::Map),
-                self.cluster.capacity(TaskKind::Reduce),
-            ],
-            jobs,
-            tasks,
-        }
+        Schedule { columns }
     }
 }
 
@@ -870,7 +880,6 @@ impl<'a> Engine<'a> {
 mod tests {
     use super::*;
     use crate::config::TenantConfig;
-    use crate::record::TaskRecord;
     use tempo_workload::time::{MIN, SEC};
     use tempo_workload::trace::{JobSpec, TaskSpec};
 
@@ -888,11 +897,11 @@ mod tests {
         let sched =
             simulate(&trace, &one_pool_cluster(2), &RmConfig::fair(1), &SimOptions::default());
         // 4 tasks on 2 slots: two waves → finish at 20s.
-        assert_eq!(sched.jobs[0].finish, Some(20 * SEC));
-        assert_eq!(sched.tasks.len(), 4);
-        assert!(sched.tasks.iter().all(|t| t.finish().is_some()));
+        assert_eq!(sched.job(0).finish, Some(20 * SEC));
+        assert_eq!(sched.num_tasks(), 4);
+        assert!(sched.tasks().all(|t| t.finish().is_some()));
         // First two tasks start immediately, next two wait 10s.
-        let mut waits: Vec<Time> = sched.tasks.iter().filter_map(|t| t.wait_time()).collect();
+        let mut waits: Vec<Time> = sched.tasks().filter_map(|t| t.wait_time()).collect();
         waits.sort_unstable();
         assert_eq!(waits, vec![0, 0, 10 * SEC, 10 * SEC]);
     }
@@ -910,8 +919,8 @@ mod tests {
         let sched = simulate(&trace, &cluster, &RmConfig::fair(1), &SimOptions::default());
         // Reduce may only start once both maps complete (t=30), so the job
         // finishes at 50s.
-        assert_eq!(sched.jobs[0].finish, Some(50 * SEC));
-        let reduce = sched.tasks.iter().find(|t| t.kind == TaskKind::Reduce).unwrap();
+        assert_eq!(sched.job(0).finish, Some(50 * SEC));
+        let reduce = sched.tasks().find(|t| t.kind == TaskKind::Reduce).unwrap();
         assert_eq!(reduce.attempts[0].launch, 30 * SEC);
         assert_eq!(reduce.attempts[0].work_start, 30 * SEC);
     }
@@ -928,7 +937,7 @@ mod tests {
         let trace = Trace::new(vec![job]);
         let cluster = ClusterSpec::new(2, 1);
         let sched = simulate(&trace, &cluster, &RmConfig::fair(1), &SimOptions::default());
-        let reduce = sched.tasks.iter().find(|t| t.kind == TaskKind::Reduce).unwrap();
+        let reduce = sched.tasks().find(|t| t.kind == TaskKind::Reduce).unwrap();
         // Launched when the first map finished (t=10) but idled until t=30.
         assert_eq!(reduce.attempts[0].launch, 10 * SEC);
         assert_eq!(reduce.attempts[0].work_start, 30 * SEC);
@@ -973,7 +982,7 @@ mod tests {
         ]);
         let sched = simulate(&trace, &one_pool_cluster(8), &config, &SimOptions::default());
         // 10 tasks, 2 at a time → 50s.
-        assert_eq!(sched.jobs[0].finish, Some(50 * SEC));
+        assert_eq!(sched.job(0).finish, Some(50 * SEC));
         let util = sched.utilization(TaskKind::Map, 0, 50 * SEC);
         assert!((util - 0.25).abs() < 1e-9, "util {util}");
     }
@@ -987,7 +996,7 @@ mod tests {
             TenantConfig::fair_default().with_weight(3.0),
         ]);
         let sched = simulate(&trace, &one_pool_cluster(8), &config, &SimOptions::default());
-        assert_eq!(sched.jobs[0].finish, Some(10 * SEC));
+        assert_eq!(sched.job(0).finish, Some(10 * SEC));
     }
 
     #[test]
@@ -1007,15 +1016,14 @@ mod tests {
         let sched = simulate(&trace, &one_pool_cluster(10), &config, &SimOptions::default());
 
         // B waited from t=1min; preemption at t=2min.
-        let b_tasks: Vec<&TaskRecord> = sched.tasks.iter().filter(|t| t.tenant == 1).collect();
+        let b_tasks: Vec<_> = sched.tasks().filter(|t| t.tenant == 1).collect();
         assert_eq!(b_tasks.len(), 5);
         for t in &b_tasks {
             assert_eq!(t.attempts[0].launch, 2 * MIN, "B launches right after preemption");
         }
         // Exactly 5 of A's tasks were preempted, each having wasted 2min of
         // container time.
-        let preempted: Vec<&TaskRecord> =
-            sched.tasks.iter().filter(|t| t.was_preempted()).collect();
+        let preempted: Vec<_> = sched.tasks().filter(|t| t.was_preempted()).collect();
         assert_eq!(preempted.len(), 5);
         for t in &preempted {
             assert_eq!(t.tenant, 0);
@@ -1045,14 +1053,9 @@ mod tests {
         ]);
         let config = RmConfig::fair(2);
         let sched = simulate(&trace, &one_pool_cluster(10), &config, &SimOptions::default());
-        assert!(sched.tasks.iter().all(|t| !t.was_preempted()));
-        let b_first = sched
-            .tasks
-            .iter()
-            .filter(|t| t.tenant == 1)
-            .filter_map(|t| t.wait_time())
-            .min()
-            .unwrap();
+        assert!(sched.tasks().all(|t| !t.was_preempted()));
+        let b_first =
+            sched.tasks().filter(|t| t.tenant == 1).filter_map(|t| t.wait_time()).min().unwrap();
         assert_eq!(b_first, 9 * MIN, "B waits for A's tasks to finish at t=10min");
     }
 
@@ -1070,10 +1073,10 @@ mod tests {
             TenantConfig::fair_default().with_fair_timeout(30 * SEC),
         ]);
         let sched = simulate(&trace, &one_pool_cluster(10), &config, &SimOptions::default());
-        let preempted = sched.tasks.iter().filter(|t| t.was_preempted()).count();
+        let preempted = sched.tasks().filter(|t| t.was_preempted()).count();
         assert_eq!(preempted, 5, "A gives up down to its fair share");
         let b_launches: Vec<Time> =
-            sched.tasks.iter().filter(|t| t.tenant == 1).map(|t| t.attempts[0].launch).collect();
+            sched.tasks().filter(|t| t.tenant == 1).map(|t| t.attempts[0].launch).collect();
         assert_eq!(b_launches.iter().filter(|&&l| l == 40 * SEC).count(), 5);
     }
 
@@ -1094,8 +1097,7 @@ mod tests {
         ]);
         let sched = simulate(&trace, &one_pool_cluster(10), &config, &SimOptions::default());
         let first_wave_kills = sched
-            .tasks
-            .iter()
+            .tasks()
             .filter(|t| {
                 t.attempts
                     .iter()
@@ -1105,8 +1107,7 @@ mod tests {
         assert_eq!(first_wave_kills, 8);
         // A's two survivors ran start-to-finish without interruption.
         let a_uninterrupted = sched
-            .tasks
-            .iter()
+            .tasks()
             .filter(|t| t.tenant == 0)
             .filter(|t| t.attempts.len() == 1 && t.attempts[0].launch == 0)
             .count();
@@ -1122,9 +1123,9 @@ mod tests {
             &RmConfig::fair(1),
             &SimOptions::default().with_horizon(4 * MIN),
         );
-        assert_eq!(sched.horizon, 4 * MIN);
-        assert_eq!(sched.jobs[0].finish, None);
-        for t in &sched.tasks {
+        assert_eq!(sched.horizon(), 4 * MIN);
+        assert_eq!(sched.job(0).finish, None);
+        for t in sched.tasks() {
             assert_eq!(t.attempts.len(), 1);
             assert_eq!(t.attempts[0].outcome, AttemptOutcome::CutOff);
             assert_eq!(t.attempts[0].end, 4 * MIN);
@@ -1156,8 +1157,8 @@ mod tests {
         let opts = SimOptions { horizon: None, noise: NoiseModel::production(), seed: 7 };
         let sched = simulate(&trace, &one_pool_cluster(10), &RmConfig::fair(1), &opts);
         // All tasks eventually finish even with failures/retries.
-        assert!(sched.jobs[0].finish.is_some());
-        let completed = sched.tasks.iter().filter(|t| t.finish().is_some()).count();
+        assert!(sched.job(0).finish.is_some());
+        let completed = sched.tasks().filter(|t| t.finish().is_some()).count();
         assert_eq!(completed, 50);
     }
 
@@ -1208,7 +1209,7 @@ mod tests {
             &RmConfig::fair(1),
             &SimOptions::default(),
         );
-        assert!(sched.jobs.is_empty());
-        assert!(sched.tasks.is_empty());
+        assert_eq!(sched.num_jobs(), 0);
+        assert_eq!(sched.num_tasks(), 0);
     }
 }

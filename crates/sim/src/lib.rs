@@ -19,22 +19,32 @@
 //!
 //! let trace = Trace::new(vec![JobSpec::new(0, 0, 0, vec![TaskSpec::map(10 * SEC)])]);
 //! let schedule = predict(&trace, &ClusterSpec::new(4, 2), &RmConfig::fair(1));
-//! assert_eq!(schedule.jobs[0].finish, Some(10 * SEC));
+//! assert_eq!(schedule.job(0).finish, Some(10 * SEC));
 //! ```
+//!
+//! Schedules are stored **columnar** ([`ScheduleColumns`]) — the QS metrics
+//! scan contiguous columns — with the row API ([`JobRecord`], [`TaskView`])
+//! preserved as cheap views; the engine's pending-event set is a
+//! [`CalendarQueue`] rather than a binary heap.
 
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod noise;
 pub mod predictor;
 pub mod record;
 
+pub use calendar::CalendarQueue;
 pub use config::{ClusterSpec, ConfigError, PoolSpec, RmConfig, TenantConfig};
 pub use engine::{simulate, simulate_pooled, SimOptions, SimPool};
 // The allocation kernels live in `tempo-sched`; re-exported so existing
 // `tempo_sim::fair_targets` call sites keep compiling.
 pub use noise::NoiseModel;
 pub use predictor::{observe, predict, predict_until, prediction_error, PredictionError};
-pub use record::{Attempt, AttemptOutcome, JobRecord, Schedule, TaskRecord};
+pub use record::{
+    tenant_mask, Attempt, AttemptOutcome, JobRecord, Schedule, ScheduleColumns, TaskRecord,
+    TaskView, NO_TIME,
+};
 pub use tempo_sched::{
     fair_targets, Capacity, Drf, FairShare, Fifo, SchedPolicy, SchedulerBackend, ShareInput,
     TenantDemand,

@@ -69,7 +69,7 @@ pub fn prediction_error(
     tenant: tempo_workload::TenantId,
 ) -> PredictionError {
     let mut obs_by_id = std::collections::HashMap::new();
-    for j in &observed.jobs {
+    for j in observed.jobs() {
         if j.tenant == tenant {
             if let Some(rt) = j.response_time() {
                 obs_by_id.insert(j.id, rt);
@@ -77,7 +77,7 @@ pub fn prediction_error(
         }
     }
     let mut pairs: Vec<(f64, f64)> = Vec::new();
-    for j in &predicted.jobs {
+    for j in predicted.jobs() {
         if j.tenant != tenant {
             continue;
         }
@@ -156,7 +156,7 @@ mod tests {
         let cluster = ClusterSpec::new(4, 2);
         let cfg = RmConfig::fair(1);
         let p = predict(&trace(), &cluster, &cfg);
-        let empty = Schedule { horizon: 0, capacity: [4, 2], jobs: vec![], tasks: vec![] };
+        let empty = Schedule::from_rows(0, [4, 2], vec![], vec![]);
         let e = prediction_error(&p, &empty, 0);
         assert_eq!(e.jobs, 0);
         assert_eq!(e.rae, 0.0);
@@ -168,7 +168,7 @@ mod tests {
         let cfg = RmConfig::fair(1);
         let t = trace();
         let p = predict_until(&t, &cluster, &cfg, 30 * SEC);
-        assert_eq!(p.horizon, 30 * SEC);
-        assert!(p.jobs.iter().any(|j| j.finish.is_none()));
+        assert_eq!(p.horizon(), 30 * SEC);
+        assert!(p.jobs().any(|j| j.finish.is_none()));
     }
 }

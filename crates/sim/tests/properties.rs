@@ -69,11 +69,11 @@ fn check_capacity_and_limits(sched: &Schedule, cluster: &ClusterSpec, config: &R
     for kind in TaskKind::ALL {
         // Sweep line over launch/end events.
         let mut events: Vec<(Time, i64, usize)> = Vec::new();
-        for t in &sched.tasks {
+        for t in sched.tasks() {
             if t.kind != kind {
                 continue;
             }
-            for a in &t.attempts {
+            for a in t.attempts {
                 events.push((a.launch, 1, t.tenant as usize));
                 events.push((a.end, -1, t.tenant as usize));
             }
@@ -130,15 +130,15 @@ proptest! {
         for j in &trace.jobs {
             submit_by_job.insert(j.id, j.submit);
         }
-        for j in &sched.jobs {
+        for j in sched.jobs() {
             prop_assert!(j.finish.is_some(), "job {} never finished", j.id);
             prop_assert!(j.finish.unwrap() >= j.submit);
         }
-        for t in &sched.tasks {
+        for t in sched.tasks() {
             let submit = submit_by_job[&t.job];
             prop_assert!(t.runnable_at >= submit);
             let mut prev_end = 0;
-            for a in &t.attempts {
+            for a in t.attempts {
                 prop_assert!(a.launch >= t.runnable_at, "launch before runnable");
                 prop_assert!(a.launch >= prev_end, "overlapping attempts");
                 prop_assert!(a.work_start >= a.launch);
@@ -163,8 +163,8 @@ proptest! {
     ) {
         let cluster = ClusterSpec::new(5, 3);
         let sched = simulate(&trace, &cluster, &config, &SimOptions::default());
-        for t in &sched.tasks {
-            for a in &t.attempts {
+        for t in sched.tasks() {
+            for a in t.attempts {
                 if a.outcome == AttemptOutcome::Completed {
                     prop_assert_eq!(a.end - a.work_start, t.duration);
                 }
@@ -179,7 +179,7 @@ proptest! {
         let cluster = ClusterSpec::new(4, 2);
         let config = RmConfig::fair(3);
         let sched = simulate(&trace, &cluster, &config, &SimOptions::default());
-        for t in &sched.tasks {
+        for t in sched.tasks() {
             prop_assert!(!t.was_preempted());
         }
     }
@@ -212,7 +212,7 @@ proptest! {
             &SimOptions::default().with_horizon(horizon_s * SEC),
         );
         let horizon = horizon_s * SEC;
-        for (f, c) in full.jobs.iter().zip(&cut.jobs) {
+        for (f, c) in full.jobs().zip(cut.jobs()) {
             prop_assert_eq!(f.id, c.id);
             match c.finish {
                 // A job finished in the truncated run must finish at the same
@@ -251,7 +251,7 @@ proptest! {
         let cluster = ClusterSpec::new(slots, 1);
         let sched = simulate(&trace, &cluster, &RmConfig::fair(1), &SimOptions::default());
         let total_work = (njobs * width) as u64 * dur_s * SEC;
-        let makespan = sched.jobs.iter().filter_map(|j| j.finish).max().unwrap();
+        let makespan = sched.jobs().filter_map(|j| j.finish).max().unwrap();
         // Perfect packing bound and the list-scheduling bound.
         let lower = total_work / slots as u64;
         prop_assert!(makespan >= lower);

@@ -35,10 +35,10 @@ fn preemption_is_per_pool() {
     // Kills happen in the map pool only: B has no reduce demand, so A's
     // reduces are untouched.
     let killed_reduces =
-        sched.tasks.iter().filter(|t| t.kind == TaskKind::Reduce && t.was_preempted()).count();
+        sched.tasks().filter(|t| t.kind == TaskKind::Reduce && t.was_preempted()).count();
     assert_eq!(killed_reduces, 0, "no reduce demand ⇒ no reduce kills");
     let killed_maps =
-        sched.tasks.iter().filter(|t| t.kind == TaskKind::Map && t.was_preempted()).count();
+        sched.tasks().filter(|t| t.kind == TaskKind::Map && t.was_preempted()).count();
     assert_eq!(killed_maps, 2, "B reclaims exactly its min share of maps");
 }
 
@@ -60,8 +60,7 @@ fn preempting_a_barrier_waiting_reduce_is_safe() {
     ]);
     let sched = simulate(&trace, &ClusterSpec::new(1, 1), &config, &SimOptions::default());
     let reduce0 = sched
-        .tasks
-        .iter()
+        .tasks()
         .find(|t| t.tenant == 0 && t.kind == TaskKind::Reduce)
         .expect("tenant 0 reduce");
     // First attempt: launched at t=0 (slowstart 0), idled, killed at 30s.
@@ -72,7 +71,7 @@ fn preempting_a_barrier_waiting_reduce_is_safe() {
     // Tenant 1's reduce runs 30s..60s; tenant 0's reduce relaunches at 60s,
     // idles until the map barrier opens at 5min, then runs one minute.
     assert_eq!(reduce0.finish(), Some(6 * MIN));
-    let reduce1 = sched.tasks.iter().find(|t| t.tenant == 1).expect("tenant 1 reduce");
+    let reduce1 = sched.tasks().find(|t| t.tenant == 1).expect("tenant 1 reduce");
     assert_eq!(reduce1.attempts[0].launch, 30 * SEC);
     assert_eq!(reduce1.finish(), Some(60 * SEC));
 }
@@ -89,19 +88,18 @@ fn failures_retry_and_account_waste() {
         &RmConfig::fair(1),
         &SimOptions { horizon: None, noise, seed: 5 },
     );
-    assert!(sched.jobs[0].finish.is_some(), "retries eventually complete the job");
+    assert!(sched.job(0).finish.is_some(), "retries eventually complete the job");
     let failed_attempts: usize = sched
-        .tasks
-        .iter()
+        .tasks()
         .map(|t| t.attempts.iter().filter(|a| a.outcome == AttemptOutcome::Failed).count())
         .sum();
     assert!(failed_attempts > 0, "30% failure rate must produce failures");
-    let wasted: u64 = sched.tasks.iter().map(|t| t.wasted_time()).sum();
+    let wasted: u64 = sched.tasks().map(|t| t.wasted_time()).sum();
     assert!(wasted > 0);
     // Every failed attempt is strictly shorter than the (noise-free) task
     // duration — failures abort mid-run.
-    for t in &sched.tasks {
-        for a in &t.attempts {
+    for t in sched.tasks() {
+        for a in t.attempts {
             if a.outcome == AttemptOutcome::Failed {
                 assert!(a.occupancy() < t.duration, "failure at fraction < 1");
             }
@@ -122,11 +120,11 @@ fn job_kills_drop_whole_jobs() {
         &RmConfig::fair(1),
         &SimOptions { horizon: None, noise, seed: 6 },
     );
-    let unfinished = sched.jobs.iter().filter(|j| j.finish.is_none()).count();
+    let unfinished = sched.jobs().filter(|j| j.finish.is_none()).count();
     assert!((20..=80).contains(&unfinished), "≈25% of 200 jobs should be killed, got {unfinished}");
     // Killed jobs' tasks never got an attempt.
-    for j in sched.jobs.iter().filter(|j| j.finish.is_none()) {
-        for t in sched.tasks.iter().filter(|t| t.job == j.id) {
+    for j in sched.jobs().filter(|j| j.finish.is_none()) {
+        for t in sched.tasks().filter(|t| t.job == j.id) {
             assert!(t.attempts.is_empty(), "killed job {} ran a task", j.id);
         }
     }
@@ -152,8 +150,7 @@ fn two_level_timeouts_escalate() {
     // Min-level kill at 10s + 30s = 40s: exactly 2 tasks die.
     let kills_at = |t: Time| -> usize {
         sched
-            .tasks
-            .iter()
+            .tasks()
             .flat_map(|task| task.attempts.iter())
             .filter(|a| a.outcome == AttemptOutcome::Preempted && a.end == t)
             .count()
@@ -171,8 +168,8 @@ fn reduce_only_jobs_have_no_barrier() {
     let trace = Trace::new(vec![JobSpec::new(0, 0, 0, vec![TaskSpec::reduce(MIN); 3])]);
     let sched =
         simulate(&trace, &ClusterSpec::new(1, 3), &RmConfig::fair(1), &SimOptions::default());
-    assert_eq!(sched.jobs[0].finish, Some(MIN));
-    for t in &sched.tasks {
+    assert_eq!(sched.job(0).finish, Some(MIN));
+    for t in sched.tasks() {
         assert_eq!(t.attempts[0].work_start, t.attempts[0].launch, "no shuffle wait");
     }
 }
@@ -190,10 +187,10 @@ fn tiny_weights_still_progress() {
         TenantConfig::fair_default().with_weight(5.0),
     ]);
     let sched = simulate(&trace, &ClusterSpec::new(4, 1), &config, &SimOptions::default());
-    assert!(sched.jobs[0].finish.is_some(), "low-weight tenant finishes eventually");
-    assert!(sched.jobs[1].finish.is_some());
+    assert!(sched.job(0).finish.is_some(), "low-weight tenant finishes eventually");
+    assert!(sched.job(1).finish.is_some());
     assert!(
-        sched.jobs[1].finish.unwrap() <= sched.jobs[0].finish.unwrap(),
+        sched.job(1).finish.unwrap() <= sched.job(0).finish.unwrap(),
         "high-weight tenant finishes no later"
     );
 }
@@ -214,9 +211,8 @@ fn no_self_preemption() {
     let sched = simulate(&trace, &ClusterSpec::new(8, 1), &config, &SimOptions::default());
     // Tenant 1 preempts tenant 0 down to its fair share; tenant 0 (still at
     // its fair share) must not then kill tenant 1's fresh tasks in a storm.
-    let preempted_of = |tenant: u16| {
-        sched.tasks.iter().filter(|t| t.tenant == tenant && t.was_preempted()).count()
-    };
+    let preempted_of =
+        |tenant: u16| sched.tasks().filter(|t| t.tenant == tenant && t.was_preempted()).count();
     assert_eq!(preempted_of(0), 4, "half the pool changes hands once");
     assert_eq!(preempted_of(1), 0, "no retaliatory kills");
 }

@@ -55,7 +55,7 @@ fn main() {
             let mut rts = Vec::new();
             let mut misses = 0;
             let mut ddl = 0;
-            for j in &sched.jobs {
+            for j in sched.jobs() {
                 if let Some(rt) = j.response_time() {
                     if j.tenant == ec2_tenant::BEST_EFFORT {
                         rts.push(to_secs_f64(rt));

@@ -206,11 +206,8 @@ fn all_backends_run_and_differ_end_to_end() {
     for policy in SchedPolicy::ALL {
         let config = expert.clone().with_policy(policy);
         let sched = simulate(&trace, &cluster, &config, &SimOptions::deterministic());
-        assert_eq!(sched.jobs.len(), trace.len(), "{policy}");
-        assert!(
-            sched.jobs.iter().all(|j| j.finish.is_some()),
-            "{policy}: every job runs to completion"
-        );
+        assert_eq!(sched.num_jobs(), trace.len(), "{policy}");
+        assert!(sched.jobs().all(|j| j.finish.is_some()), "{policy}: every job runs to completion");
         schedules.push((policy, sched));
     }
     for i in 0..schedules.len() {

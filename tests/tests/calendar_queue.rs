@@ -1,0 +1,195 @@
+//! The calendar queue's contract with the engine: pop order must be exactly
+//! the old binary heap's `(time, insertion-seq)` order on *any* event
+//! sequence, and the engine built on it must stay deterministic — including
+//! across scratch-pool reuse and serde — on schedules engineered to stress
+//! the queue (same-instant bursts, preemption storms, far-future tails,
+//! resize churn).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tempo_sim::{
+    simulate, simulate_pooled, CalendarQueue, ClusterSpec, NoiseModel, RmConfig, SimOptions,
+    SimPool, TenantConfig,
+};
+use tempo_workload::time::{Time, MIN, SEC};
+use tempo_workload::trace::{JobSpec, TaskSpec, Trace};
+
+/// Replays a (push | pop)* script against both the calendar queue and a
+/// `BinaryHeap<Reverse<(time, seq)>>` — the engine's previous event store —
+/// asserting identical pop sequences.
+fn pin_against_heap(script: impl IntoIterator<Item = Option<Time>>) {
+    let mut q: CalendarQueue<u64> = CalendarQueue::new();
+    let mut heap: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut clock: Time = 0;
+    for op in script {
+        match op {
+            Some(offset) => {
+                // The engine never schedules into the past: all pushes land
+                // at or after the last popped time.
+                let t = clock + offset;
+                q.push(t, seq);
+                heap.push(Reverse((t, seq)));
+                seq += 1;
+            }
+            None => {
+                let expect = heap.pop().map(|Reverse((t, s))| (t, s));
+                assert_eq!(q.pop(), expect, "pop diverged from the binary heap");
+                if let Some((t, _)) = expect {
+                    clock = t;
+                }
+            }
+        }
+    }
+    while let Some(Reverse((t, s))) = heap.pop() {
+        assert_eq!(q.pop(), Some((t, s)));
+    }
+    assert!(q.pop().is_none());
+}
+
+#[test]
+fn equal_time_storm_pops_in_insertion_order() {
+    // 200 events at one instant, interleaved with drains — the job-arrival
+    // burst shape.
+    let mut script = Vec::new();
+    for _ in 0..200 {
+        script.push(Some(0));
+    }
+    for _ in 0..150 {
+        script.push(None);
+    }
+    for _ in 0..50 {
+        script.push(Some(0));
+    }
+    pin_against_heap(script);
+}
+
+#[test]
+fn adversarial_mixed_offsets_match_heap() {
+    // Deterministic pseudo-random mix of dense offsets, zero offsets, and
+    // far-future spikes, with pops woven through — crosses several resize
+    // thresholds in both directions.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut step = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut script = Vec::new();
+    for round in 0..4000u64 {
+        let r = step();
+        if round % 5 == 4 {
+            script.push(None);
+        } else {
+            let offset = match r % 7 {
+                0 => 0,                     // same-instant burst
+                1..=4 => r % 3_000_000,     // dense near-term events
+                5 => 30 * 60 * 1_000_000,   // half an hour out
+                _ => 24 * 3600 * 1_000_000, // a day out (fallback path)
+            };
+            script.push(Some(offset));
+        }
+    }
+    for _ in 0..4000 {
+        script.push(None);
+    }
+    pin_against_heap(script);
+}
+
+#[test]
+fn bucket_collisions_across_years_stay_ordered() {
+    // Offsets chosen to alias into the same buckets across calendar years
+    // (multiples of large powers of two), so pop must distinguish slots, not
+    // just bucket indices.
+    let mut script = Vec::new();
+    for i in 0..64u64 {
+        script.push(Some((64 - i) * (1 << 24)));
+        script.push(Some(0));
+    }
+    for _ in 0..128 {
+        script.push(None);
+    }
+    pin_against_heap(script);
+}
+
+/// Preemption-heavy, burst-heavy trace: many same-instant arrivals, two
+/// starvation timeouts firing, reduce barriers, and noise-driven retries.
+fn stress_trace() -> Trace {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    // Same-instant burst of map+reduce jobs from three tenants.
+    for wave in 0..4u64 {
+        for tenant in 0..3u16 {
+            for _ in 0..3 {
+                jobs.push(JobSpec::new(
+                    id,
+                    tenant,
+                    wave * 2 * MIN,
+                    vec![
+                        TaskSpec::map(40 * SEC),
+                        TaskSpec::map(70 * SEC),
+                        TaskSpec::reduce(50 * SEC),
+                    ],
+                ));
+                id += 1;
+            }
+        }
+    }
+    // A long-task tenant to preempt.
+    jobs.push(JobSpec::new(id, 0, 0, vec![TaskSpec::map(20 * MIN); 6]));
+    let mut t = Trace::new(jobs);
+    t.sort_by_submit();
+    t
+}
+
+fn stress_config() -> RmConfig {
+    RmConfig::new(vec![
+        TenantConfig::fair_default(),
+        TenantConfig::fair_default().with_min_share(2, 1).with_min_timeout(15 * SEC),
+        TenantConfig::fair_default().with_fair_timeout(30 * SEC).with_weight(2.0),
+    ])
+}
+
+#[test]
+fn engine_determinism_on_calendar_stress_schedule() {
+    let trace = stress_trace();
+    let cluster = ClusterSpec::new(6, 3);
+    let config = stress_config();
+    for opts in [
+        SimOptions::default(),
+        SimOptions::default().with_horizon(7 * MIN),
+        SimOptions { horizon: None, noise: NoiseModel::production(), seed: 23 },
+    ] {
+        let fresh_a = simulate_pooled(&trace, &cluster, &config, &opts, &mut SimPool::new());
+        let fresh_b = simulate_pooled(&trace, &cluster, &config, &opts, &mut SimPool::new());
+        assert_eq!(fresh_a, fresh_b, "fresh-pool runs diverged");
+        // Pool reuse across differently-shaped runs must be invisible, and
+        // the serde encoding (the figure/fixture format) must be stable.
+        let pooled = simulate(&trace, &cluster, &config, &opts);
+        assert_eq!(pooled, fresh_a, "thread-local pool reuse changed the schedule");
+        assert_eq!(
+            serde_json::to_string(&pooled).unwrap(),
+            serde_json::to_string(&fresh_a).unwrap(),
+            "serde encoding unstable"
+        );
+    }
+}
+
+#[test]
+fn preemption_storm_is_pool_reuse_invariant() {
+    // Alternate the stress schedule with a tiny trace through one pool so
+    // stale calendar/arena state from the big run would surface immediately.
+    let big = stress_trace();
+    let small = Trace::new(vec![JobSpec::new(0, 0, 0, vec![TaskSpec::map(10 * SEC)])]);
+    let cluster = ClusterSpec::new(6, 3);
+    let config = stress_config();
+    let small_config = RmConfig::fair(1);
+    let mut pool = SimPool::new();
+    for _ in 0..3 {
+        let a = simulate_pooled(&big, &cluster, &config, &SimOptions::default(), &mut pool);
+        let fresh =
+            simulate_pooled(&big, &cluster, &config, &SimOptions::default(), &mut SimPool::new());
+        assert_eq!(a, fresh);
+        let b = simulate_pooled(&small, &cluster, &small_config, &SimOptions::default(), &mut pool);
+        assert_eq!(b.job(0).finish, Some(10 * SEC));
+    }
+}

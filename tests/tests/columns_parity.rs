@@ -1,0 +1,290 @@
+//! Row/column parity of the schedule representation.
+//!
+//! The columnar [`ScheduleColumns`] is the canonical product of the engine;
+//! the row API (`JobRecord` / `TaskView`) and serde encoding are views over
+//! it. These properties pin the two representations together on random
+//! scenarios: lossless row round-trips, byte-identical serde against the
+//! legacy row-of-structs derive, and *exact* (bit-for-bit) agreement between
+//! every column-scan QS metric and a straight row-scan reference.
+
+use proptest::prelude::*;
+use serde::Serialize;
+use tempo_qs::{evaluate_qs, response_times, PoolScope, QsKind};
+use tempo_sim::{
+    simulate, AttemptOutcome, ClusterSpec, JobRecord, NoiseModel, RmConfig, Schedule, SimOptions,
+    TaskRecord, TenantConfig,
+};
+use tempo_workload::time::{Time, SEC};
+use tempo_workload::trace::{JobSpec, TaskKind, TaskSpec, Trace};
+use tempo_workload::{TenantId, NUM_KINDS};
+
+/// A compact generator of arbitrary multi-tenant traces (mirrors the
+/// engine's own property suite).
+fn arb_trace(max_tenants: u16) -> impl Strategy<Value = Trace> {
+    let task = (0u8..2, 1u64..90).prop_map(|(kind, secs)| TaskSpec {
+        kind: if kind == 0 { TaskKind::Map } else { TaskKind::Reduce },
+        duration: secs * SEC,
+    });
+    let job = (
+        0..max_tenants,
+        0u64..400,
+        prop::collection::vec(task, 1..8),
+        prop::option::of(400u64..3000),
+        0.0f64..=1.0,
+    )
+        .prop_map(|(tenant, submit_s, tasks, deadline_s, slowstart)| {
+            let submit = submit_s * SEC;
+            JobSpec {
+                id: 0,
+                tenant,
+                submit,
+                deadline: deadline_s.map(|d| submit + d * SEC),
+                slowstart,
+                tasks,
+            }
+        });
+    prop::collection::vec(job, 1..18).prop_map(|mut jobs| {
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = i as u64;
+        }
+        let mut t = Trace::new(jobs);
+        t.sort_by_submit();
+        t
+    })
+}
+
+/// A config space wide enough to exercise preemption and caps.
+fn arb_config(tenants: usize) -> impl Strategy<Value = RmConfig> {
+    let tenant =
+        (0.2f64..4.0, 0u32..4, 1u32..8, prop::option::of(5u64..90), prop::option::of(5u64..90))
+            .prop_map(|(weight, min_s, max_s, fair_to, min_to)| TenantConfig {
+                weight,
+                min_share: [min_s.min(max_s.max(min_s)), min_s.min(max_s.max(min_s))],
+                max_share: [max_s.max(min_s), max_s.max(min_s)],
+                fair_timeout: fair_to.map(|s| s * SEC),
+                min_timeout: min_to.map(|s| s * SEC),
+            });
+    prop::collection::vec(tenant, tenants..=tenants).prop_map(RmConfig::new)
+}
+
+/// The legacy row-of-structs schedule shape, with the derive the old
+/// `Schedule` used — the serde ground truth.
+#[derive(Serialize)]
+struct LegacySchedule {
+    horizon: Time,
+    capacity: [u32; NUM_KINDS],
+    jobs: Vec<JobRecord>,
+    tasks: Vec<TaskRecord>,
+}
+
+// ---- row-scan reference implementations (the pre-columnar algorithms,
+// ---- expressed over the row views) ----
+
+fn ref_jobs_in(s: &Schedule, tenant: Option<TenantId>, start: Time, end: Time) -> Vec<JobRecord> {
+    s.jobs()
+        .filter(|j| tenant.is_none_or(|t| j.tenant == t))
+        .filter(|j| (start..end).contains(&j.submit))
+        .filter(|j| j.finish.is_some_and(|f| f < end))
+        .collect()
+}
+
+fn ref_avg_response_time(s: &Schedule, tenant: Option<TenantId>, start: Time, end: Time) -> f64 {
+    let times: Vec<f64> = ref_jobs_in(s, tenant, start, end)
+        .iter()
+        .filter_map(|j| j.response_time())
+        .map(tempo_workload::time::to_secs_f64)
+        .collect();
+    if times.is_empty() {
+        0.0
+    } else {
+        times.iter().sum::<f64>() / times.len() as f64
+    }
+}
+
+fn ref_deadline_miss(
+    s: &Schedule,
+    tenant: Option<TenantId>,
+    gamma: f64,
+    start: Time,
+    end: Time,
+) -> f64 {
+    let jobs = ref_jobs_in(s, tenant, start, end);
+    let with_deadline: Vec<_> = jobs.iter().filter(|j| j.deadline.is_some()).collect();
+    if with_deadline.is_empty() {
+        return 0.0;
+    }
+    let missed = with_deadline.iter().filter(|j| j.missed_deadline(gamma).unwrap_or(false)).count();
+    missed as f64 / with_deadline.len() as f64
+}
+
+fn ref_occupancy_in(
+    s: &Schedule,
+    kind: TaskKind,
+    tenant: Option<TenantId>,
+    start: Time,
+    end: Time,
+) -> Time {
+    let mut sum = 0;
+    for t in s.tasks() {
+        if t.kind != kind || tenant.is_some_and(|id| t.tenant != id) {
+            continue;
+        }
+        for a in t.attempts {
+            let lo = a.launch.max(start);
+            let hi = a.end.min(end);
+            if hi > lo {
+                sum += hi - lo;
+            }
+        }
+    }
+    sum
+}
+
+fn ref_useful_work_in(
+    s: &Schedule,
+    kind: TaskKind,
+    tenant: Option<TenantId>,
+    start: Time,
+    end: Time,
+) -> Time {
+    let mut sum = 0;
+    for t in s.tasks() {
+        if t.kind != kind || tenant.is_some_and(|id| t.tenant != id) {
+            continue;
+        }
+        for a in t.attempts {
+            if a.outcome != AttemptOutcome::Completed {
+                continue;
+            }
+            let lo = a.work_start.max(start);
+            let hi = a.end.min(end);
+            if hi > lo {
+                sum += hi - lo;
+            }
+        }
+    }
+    sum
+}
+
+fn ref_preemption_fraction(s: &Schedule, kind: TaskKind, tenant: Option<TenantId>) -> f64 {
+    let mut total = 0usize;
+    let mut preempted = 0usize;
+    for t in s.tasks() {
+        if t.kind != kind || tenant.is_some_and(|id| t.tenant != id) {
+            continue;
+        }
+        total += 1;
+        preempted += t.was_preempted() as usize;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        preempted as f64 / total as f64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Columns → rows → columns is lossless, and the serde encoding equals
+    /// the legacy row-struct derive byte for byte.
+    #[test]
+    fn columns_round_trip_rows_and_serde(
+        trace in arb_trace(3),
+        config in arb_config(3),
+        noisy in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let cluster = ClusterSpec::new(5, 3);
+        let noise = if noisy { NoiseModel::production() } else { NoiseModel::NONE };
+        let sched = simulate(&trace, &cluster, &config, &SimOptions { horizon: None, noise, seed });
+        sched.columns.check_invariants();
+
+        // Lossless row round-trip.
+        let jobs: Vec<JobRecord> = sched.jobs().collect();
+        let tasks: Vec<TaskRecord> = sched.to_task_records();
+        let rebuilt = Schedule::from_rows(sched.horizon(), sched.capacity(), jobs.clone(), tasks.clone());
+        prop_assert_eq!(&rebuilt, &sched, "rows lost information");
+
+        // Byte-identical serde against the legacy encoding, and a lossless
+        // deserialize back into columns.
+        let legacy = LegacySchedule {
+            horizon: sched.horizon(),
+            capacity: sched.capacity(),
+            jobs,
+            tasks,
+        };
+        let json = serde_json::to_string(&sched).expect("schedule serializes");
+        prop_assert_eq!(&json, &serde_json::to_string(&legacy).expect("legacy serializes"));
+        let back: Schedule = serde_json::from_str(&json).expect("schedule deserializes");
+        prop_assert_eq!(&back, &sched);
+    }
+
+    /// Every QS metric's column scan agrees bit-for-bit with the row-scan
+    /// reference on random schedules, windows, and tenant filters.
+    #[test]
+    fn qs_metrics_agree_between_row_and_column_scans(
+        trace in arb_trace(3),
+        config in arb_config(3),
+        noisy in any::<bool>(),
+        seed in 0u64..500,
+        start_s in 0u64..300,
+        len_s in 1u64..2000,
+        tenant_pick in 0u8..4,
+    ) {
+        let cluster = ClusterSpec::new(5, 3);
+        let noise = if noisy { NoiseModel::production() } else { NoiseModel::NONE };
+        let sched = simulate(&trace, &cluster, &config, &SimOptions { horizon: None, noise, seed });
+        let (start, end) = (start_s * SEC, (start_s + len_s) * SEC);
+        let tenant: Option<TenantId> = if tenant_pick == 3 { None } else { Some(tenant_pick as TenantId) };
+
+        // Job-level metrics. Exact equality: the masked column scans add
+        // only exact zeros for filtered rows, so the float streams match.
+        prop_assert_eq!(
+            evaluate_qs(&QsKind::AvgResponseTime, &sched, tenant, start, end),
+            ref_avg_response_time(&sched, tenant, start, end)
+        );
+        for gamma in [0.0, 0.25, 1.0] {
+            prop_assert_eq!(
+                evaluate_qs(&QsKind::DeadlineMiss { gamma }, &sched, tenant, start, end),
+                ref_deadline_miss(&sched, tenant, gamma, start, end)
+            );
+        }
+        let expect_thr = -(ref_jobs_in(&sched, tenant, start, end).len() as f64)
+            / (tempo_workload::time::to_secs_f64(end - start) / 3600.0);
+        prop_assert_eq!(evaluate_qs(&QsKind::Throughput, &sched, tenant, start, end), expect_thr);
+        let rts = response_times(&sched, tenant, start, end);
+        let expect_rts: Vec<f64> = ref_jobs_in(&sched, tenant, start, end)
+            .iter()
+            .filter_map(|j| j.response_time())
+            .map(tempo_workload::time::to_secs_f64)
+            .collect();
+        prop_assert_eq!(rts, expect_rts);
+
+        // Occupancy / useful-work integrals and the preemption fraction.
+        for kind in TaskKind::ALL {
+            prop_assert_eq!(
+                sched.occupancy_in(kind, tenant, start, end),
+                ref_occupancy_in(&sched, kind, tenant, start, end)
+            );
+            prop_assert_eq!(
+                sched.useful_work_in(kind, tenant, start, end),
+                ref_useful_work_in(&sched, kind, tenant, start, end)
+            );
+            prop_assert_eq!(
+                sched.preemption_fraction(kind, tenant),
+                ref_preemption_fraction(&sched, kind, tenant)
+            );
+        }
+
+        // Utilization-family QS kinds ride on the integrals above; spot-pin
+        // them too (exact: same operands, same division).
+        for pool in [PoolScope::Map, PoolScope::Reduce, PoolScope::Dominant] {
+            for effective in [false, true] {
+                let u = evaluate_qs(
+                    &QsKind::Utilization { pool, effective }, &sched, tenant, start, end);
+                prop_assert!(u.is_finite());
+            }
+        }
+    }
+}

@@ -39,11 +39,11 @@ proptest! {
         // Capacity invariant via a sweep line per pool.
         for kind in TaskKind::ALL {
             let mut events: Vec<(u64, i64)> = Vec::new();
-            for t in &sched.tasks {
+            for t in sched.tasks() {
                 if t.kind != kind {
                     continue;
                 }
-                for a in &t.attempts {
+                for a in t.attempts {
                     events.push((a.launch, 1));
                     events.push((a.end, -1));
                 }
@@ -93,6 +93,6 @@ proptest! {
         prop_assert!(rebuilt.len() <= trace.len());
         // Replaying the reconstruction must itself be safe.
         let replay = simulate(&rebuilt, &target, &tempo_sim::RmConfig::fair(2), &SimOptions::default());
-        prop_assert!(replay.jobs.iter().all(|j| j.finish.is_some()));
+        prop_assert!(replay.jobs().all(|j| j.finish.is_some()));
     }
 }

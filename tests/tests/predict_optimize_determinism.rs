@@ -173,6 +173,23 @@ fn batched_duplicates_simulate_exactly_once() {
 }
 
 #[test]
+fn ec2_observed_schedule_is_stable_across_builds_and_serde() {
+    // Determinism-suite extension for the columnar/calendar engine: the
+    // §8.2 scenario's observed schedule — the figure fixtures' data source —
+    // must be identical across independent scenario builds, and its serde
+    // encoding (the row-view JSON) must be stable too.
+    let build = || scenario::ec2_scenario(0.04, 1.0, 0.25, 11).build().expect("scenario builds");
+    let a = build().observe_current(5);
+    let b = build().observe_current(5);
+    assert_eq!(a, b, "observed schedules diverged across builds");
+    assert_eq!(
+        serde_json::to_string(&a).expect("schedule serializes"),
+        serde_json::to_string(&b).expect("schedule serializes"),
+        "schedule serde encoding unstable"
+    );
+}
+
+#[test]
 fn full_scenario_trajectory_identical_across_thread_counts() {
     // The §8.2 EC2 scenario end to end: observed schedules, reverts,
     // ratchets, and installed configurations must not depend on how many
