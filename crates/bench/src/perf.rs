@@ -9,10 +9,13 @@
 use crate::report::{fmt, render_table};
 use crate::Scale;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 use tempo_core::pald::{Pald, PaldConfig};
 use tempo_core::whatif::{WhatIfModel, WorkloadSource};
 use tempo_core::{scenario, ConfigSpace, WhatIfObjective};
+use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
+use tempo_serve::{ControllerRuntime, SimClock};
 use tempo_sim::{predict, RmConfig};
 use tempo_workload::time::HOUR;
 
@@ -45,6 +48,15 @@ pub struct PerfReport {
     /// Schedule Predictor throughput in simulated tasks/sec (paper §8.1
     /// reports ~150k/s).
     pub predictor_tasks_per_sec: f64,
+    /// Concurrent tenancy domains hosted by the serve-runtime measurement
+    /// (`f64` so pre-PR5 baselines parse: absent → NaN, gate skipped).
+    pub serve_domains: f64,
+    /// Control-loop decisions/sec sustained by a sharded
+    /// `tempo_serve::ControllerRuntime` hosting `serve_domains` domains
+    /// under continuous ingest (the serving layer's headline number).
+    pub serve_decisions_per_sec: f64,
+    /// Job submissions/sec ingested by the same runtime while deciding.
+    pub serve_ingest_events_per_sec: f64,
 }
 
 /// Fraction of an evaluations/sec baseline a run may lose before the CI
@@ -172,6 +184,12 @@ pub fn perf(scale: Scale) -> PerfReport {
         abc_probes.len() as u64
     });
 
+    let serve_domains: u64 = match scale {
+        Scale::Quick => 64,
+        Scale::Full => 256,
+    };
+    let (serve_decisions, serve_events) = serve_throughput(serve_domains, min_secs);
+
     PerfReport {
         scale: match scale {
             Scale::Quick => "quick".into(),
@@ -185,7 +203,51 @@ pub fn perf(scale: Scale) -> PerfReport {
         whatif_evals_per_sec_abc_stochastic: abc_stochastic,
         pald_iters_per_sec: pald_iters,
         predictor_tasks_per_sec: predictor,
+        serve_domains: serve_domains as f64,
+        serve_decisions_per_sec: serve_decisions,
+        serve_ingest_events_per_sec: serve_events,
     }
+}
+
+/// Sustained multi-domain serving throughput: a sharded
+/// [`ControllerRuntime`] hosting `domains` contention domains under a
+/// rolling sim clock, every sweep ingesting a fresh burst per domain and
+/// advancing the whole fleet. Returns `(decisions/sec, ingest events/sec)`.
+fn serve_throughput(domains: u64, min_secs: f64) -> (f64, f64) {
+    let clock = Arc::new(SimClock::new());
+    let shards = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let runtime = ControllerRuntime::new(shards, Arc::<SimClock>::clone(&clock));
+    let ids: Vec<u64> = (0..domains)
+        .map(|i| {
+            runtime
+                .create_domain(contention_spec(&format!("perf-{i}"), i))
+                .expect("create perf domain")
+        })
+        .collect();
+
+    let sweep = |round: u64| -> u64 {
+        let base = round * (DEMO_WINDOW / 8);
+        for &id in &ids {
+            runtime.ingest(id, contention_burst(base, 4, id ^ round)).expect("ingest");
+        }
+        clock.advance(DEMO_WINDOW / 8);
+        runtime.advance_all().iter().filter(|(_, rec)| !rec.skipped).count() as u64
+    };
+
+    // Warm-up sweep (fills pools, first window installs), then timed loop.
+    sweep(0);
+    let started = Instant::now();
+    let mut decisions = 0u64;
+    let mut events = 0u64;
+    let mut round = 1u64;
+    while round < 3 || started.elapsed().as_secs_f64() < min_secs {
+        decisions += sweep(round);
+        events += 4 * domains;
+        round += 1;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    runtime.shutdown();
+    (decisions as f64 / elapsed, events as f64 / elapsed)
 }
 
 /// Compares a fresh report against a committed baseline: evaluations/sec
@@ -216,6 +278,14 @@ pub fn check_against_baseline(
             "whatif_evals_per_sec_abc_stochastic",
             current.whatif_evals_per_sec_abc_stochastic,
             baseline.whatif_evals_per_sec_abc_stochastic,
+        ));
+    }
+    // Pre-PR5 baselines lack the serve-runtime metric: same skip rule.
+    if baseline.serve_decisions_per_sec.is_finite() {
+        metrics.push((
+            "serve_decisions_per_sec",
+            current.serve_decisions_per_sec,
+            baseline.serve_decisions_per_sec,
         ));
     }
     for (name, cur, base) in metrics {
@@ -251,6 +321,11 @@ impl std::fmt::Display for PerfReport {
             ],
             vec!["PALD iterations/sec".into(), fmt(self.pald_iters_per_sec)],
             vec!["predictor tasks/sec".into(), fmt(self.predictor_tasks_per_sec)],
+            vec![
+                format!("serve decisions/sec ({} domains)", self.serve_domains),
+                fmt(self.serve_decisions_per_sec),
+            ],
+            vec!["serve ingest events/sec".into(), fmt(self.serve_ingest_events_per_sec)],
         ];
         writeln!(
             f,
@@ -279,12 +354,40 @@ mod tests {
             whatif_evals_per_sec_abc_stochastic: 4.5,
             pald_iters_per_sec: 2.25,
             predictor_tasks_per_sec: 150_000.0,
+            serve_domains: 64.0,
+            serve_decisions_per_sec: 2000.0,
+            serve_ingest_events_per_sec: 12_000.0,
         };
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.threads, 4);
         assert!((back.whatif_evals_per_sec_batched - 31.5).abs() < 1e-9);
+        assert!((back.serve_decisions_per_sec - 2000.0).abs() < 1e-9);
         assert!(r.to_string().contains("batch speedup"));
+        assert!(r.to_string().contains("serve decisions/sec"));
+    }
+
+    #[test]
+    fn pre_pr5_baselines_skip_the_serve_gate() {
+        // A baseline without serve fields parses (absent → NaN) and its
+        // serve gate is skipped.
+        let old = r#"{
+            "scale": "quick", "threads": 1, "trace_tasks": 10,
+            "whatif_evals_per_sec_serial": 100.0,
+            "whatif_evals_per_sec_batched": 100.0,
+            "batch_speedup": 1.0,
+            "whatif_evals_per_sec_abc_stochastic": 100.0,
+            "pald_iters_per_sec": 1.0,
+            "predictor_tasks_per_sec": 1.0
+        }"#;
+        let baseline: PerfReport = serde_json::from_str(old).unwrap();
+        assert!(baseline.serve_decisions_per_sec.is_nan());
+        let mut current = baseline.clone();
+        current.serve_domains = 64.0;
+        current.serve_decisions_per_sec = 123.0;
+        current.serve_ingest_events_per_sec = 456.0;
+        let verdict = check_against_baseline(&current, &baseline).unwrap();
+        assert!(!verdict.contains("serve_decisions_per_sec"));
     }
 
     #[test]
@@ -299,6 +402,9 @@ mod tests {
             whatif_evals_per_sec_abc_stochastic: 100.0,
             pald_iters_per_sec: 1.0,
             predictor_tasks_per_sec: 1.0,
+            serve_domains: 64.0,
+            serve_decisions_per_sec: 100.0,
+            serve_ingest_events_per_sec: 100.0,
         };
         let current = base.clone();
         assert!(check_against_baseline(&current, &base).is_ok());

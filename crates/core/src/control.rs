@@ -16,7 +16,7 @@
 //! softened variant (revert only when measurably *worse*) is what survives
 //! production noise. The ablation bench compares the policies.
 
-use crate::pald::{Pald, PaldConfig, QsObjective};
+use crate::pald::{Pald, PaldConfig, PaldSnapshot, QsObjective};
 use crate::space::ConfigSpace;
 use crate::whatif::WhatIfModel;
 use serde::{Deserialize, Serialize};
@@ -62,6 +62,13 @@ pub struct LoopConfig {
     /// Ratchet best-effort SLOs: use the best QS value attained so far as
     /// the next iteration's bound `r_i` (§6.1).
     pub ratchet: bool,
+    /// Clear the What-if memo cache after this many [`Tempo::set_workload`]
+    /// window swaps (`None` = never). Entries from different windows coexist
+    /// in the cache (the key carries the workload context), which is what
+    /// makes revisited windows cheap — but a daemon that re-tunes every few
+    /// minutes for weeks accumulates contexts it will never revisit. Pair
+    /// with [`WhatIfModel::set_cache_capacity`] for an entry-level LRU bound.
+    pub clear_cache_windows: Option<u32>,
 }
 
 impl Default for LoopConfig {
@@ -71,6 +78,7 @@ impl Default for LoopConfig {
             revert: RevertPolicy::Dominated,
             revert_tol: 0.02,
             ratchet: true,
+            clear_cache_windows: None,
         }
     }
 }
@@ -101,6 +109,29 @@ pub struct Tempo {
     prev: Option<(Vec<f64>, Vec<f64>)>, // (x before last change, its observed QS)
     r: Vec<f64>,
     iteration: usize,
+    /// Window swaps since the memo cache was last cleared (the
+    /// [`LoopConfig::clear_cache_windows`] counter).
+    windows_since_clear: u32,
+}
+
+/// Resumable controller state — everything [`Tempo`] mutates across
+/// iterations, detached from the (re-constructible) space/What-if wiring.
+///
+/// Restoring into a controller built with the same `space`, `whatif`
+/// context, and `config` ([`Tempo::restore_state`]) continues bit-identically
+/// to the never-snapshotted run; pair with [`WhatIfModel::export_cache`] to
+/// also resume with a warm memo cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TempoSnapshot {
+    /// Current normalized configuration vector.
+    pub x: Vec<f64>,
+    /// `(x before last change, its observed QS)` for the revert guard.
+    pub prev: Option<(Vec<f64>, Vec<f64>)>,
+    /// Current constraint bounds (including ratchet progress).
+    pub r: Vec<f64>,
+    pub iteration: u64,
+    pub windows_since_clear: u32,
+    pub pald: PaldSnapshot,
 }
 
 /// Adapter exposing the What-if Model to PALD as a vector objective over
@@ -152,7 +183,46 @@ impl Tempo {
         let x = space.encode(initial);
         let r = whatif.slos.thresholds().iter().map(|t| t.unwrap_or(f64::INFINITY)).collect();
         let pald = Pald::new(config.pald.clone());
-        Self { space, whatif, config, pald, x, prev: None, r, iteration: 0 }
+        Self { space, whatif, config, pald, x, prev: None, r, iteration: 0, windows_since_clear: 0 }
+    }
+
+    /// Captures the controller's resumable state (see [`TempoSnapshot`]).
+    pub fn snapshot(&self) -> TempoSnapshot {
+        TempoSnapshot {
+            x: self.x.clone(),
+            prev: self.prev.clone(),
+            r: self.r.clone(),
+            iteration: self.iteration as u64,
+            windows_since_clear: self.windows_since_clear,
+            pald: self.pald.snapshot(),
+        }
+    }
+
+    /// Restores state captured by [`Tempo::snapshot`]. The controller must
+    /// have been built with the same `space`, What-if context, and
+    /// [`LoopConfig`] as the snapshotted one; subsequent
+    /// [`Tempo::iterate`] calls are then bit-identical to a
+    /// never-snapshotted controller fed the same observations.
+    pub fn restore_state(&mut self, snapshot: TempoSnapshot) {
+        assert_eq!(snapshot.x.len(), self.space.dim(), "snapshot dimension mismatch");
+        assert_eq!(snapshot.r.len(), self.whatif.k(), "snapshot QS arity mismatch");
+        self.x = snapshot.x;
+        self.prev = snapshot.prev;
+        self.r = snapshot.r;
+        self.iteration = snapshot.iteration as usize;
+        self.windows_since_clear = snapshot.windows_since_clear;
+        self.pald = Pald::restore(self.config.pald.clone(), snapshot.pald);
+    }
+
+    /// The PALD optimizer driving this controller (read-only: trajectory
+    /// diagnostics and the serve/direct parity suite).
+    pub fn pald(&self) -> &Pald {
+        &self.pald
+    }
+
+    /// Control-loop iterations run so far.
+    pub fn iteration(&self) -> usize {
+        self.iteration
     }
 
     /// The configuration the cluster should currently run.
@@ -235,20 +305,37 @@ impl Tempo {
 
     /// Swaps the workload window the What-if Model optimizes over — the
     /// adaptivity mechanism of §8.2.3 (each iteration uses a fixed-length
-    /// interval of the most recent job traces). The optimizer's evaluation
-    /// history is cleared: QS values measured against the old window are not
-    /// comparable to the new objective and would poison the LOESS fit.
+    /// interval of the most recent job traces).
+    ///
+    /// Two kinds of accumulated state are treated differently:
+    ///
+    /// * the **optimizer's evaluation history** is cleared — QS values
+    ///   measured against the old window are evaluations of a *different*
+    ///   objective and would poison the LOESS fit;
+    /// * the **What-if memo cache survives** — its key hashes the
+    ///   workload/window context, so old-window entries can never answer for
+    ///   the new window, and revisiting a window (or re-installing a
+    ///   content-identical trace) re-hits its entries without re-simulating.
+    ///
+    /// Unbounded context accumulation is capped by
+    /// [`LoopConfig::clear_cache_windows`]: after that many swaps the cache
+    /// is dropped wholesale (long-running daemons also bound entries with
+    /// [`WhatIfModel::set_cache_capacity`]).
     pub fn set_workload(
         &mut self,
         source: crate::whatif::WorkloadSource,
         window: (tempo_workload::Time, tempo_workload::Time),
     ) {
-        // The memo cache survives the swap: its key carries the
-        // workload/window identity, so old-window entries can't answer for
-        // the new window — and revisiting a window re-hits its entries.
         self.whatif.set_source_window(source, window);
         self.pald.clear_history();
         self.prev = None;
+        self.windows_since_clear += 1;
+        if let Some(n) = self.config.clear_cache_windows {
+            if self.windows_since_clear >= n.max(1) {
+                self.whatif.clear_cache();
+                self.windows_since_clear = 0;
+            }
+        }
     }
 }
 
@@ -420,6 +507,53 @@ mod tests {
         let mut tempo = make_tempo(RevertPolicy::Dominated, 16);
         tempo.set_workload(WorkloadSource::replay(contention_trace()), (MIN, 5 * MIN));
         assert_eq!(tempo.whatif.window, (MIN, 5 * MIN));
+    }
+
+    #[test]
+    fn clear_cache_windows_drops_cache_at_threshold() {
+        let mut tempo = make_tempo(RevertPolicy::Dominated, 18);
+        tempo.config.clear_cache_windows = Some(2);
+        let cfg = tempo.current_config();
+        tempo.whatif.evaluate(&cfg);
+        assert_eq!(tempo.whatif.cache_len(), 1);
+        // First swap: under threshold, entries survive.
+        tempo.set_workload(WorkloadSource::replay(contention_trace()), (0, 11 * MIN));
+        assert_eq!(tempo.whatif.cache_len(), 1);
+        // Second swap: threshold reached, cache dropped across all contexts.
+        tempo.set_workload(WorkloadSource::replay(contention_trace()), (0, 10 * MIN));
+        assert_eq!(tempo.whatif.cache_len(), 0, "window-count watermark clears the cache");
+        // Counter resets: the next swap is under threshold again.
+        tempo.whatif.evaluate(&tempo.current_config());
+        tempo.set_workload(WorkloadSource::replay(contention_trace()), (0, 9 * MIN));
+        assert_eq!(tempo.whatif.cache_len(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_loop_bit_identically() {
+        let mut straight = make_tempo(RevertPolicy::Dominated, 19);
+        for i in 0..3 {
+            let sched = observe_current(&straight, 400 + i);
+            straight.iterate(&sched);
+        }
+        let snap = straight.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let parsed: TempoSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, snap, "snapshot survives its wire encoding");
+
+        // A freshly built controller with the same wiring, restored from the
+        // snapshot, must continue exactly like the uninterrupted one.
+        let mut resumed = make_tempo(RevertPolicy::Dominated, 19);
+        resumed.whatif.import_cache(&straight.whatif.export_cache());
+        resumed.restore_state(parsed);
+        assert_eq!(resumed.current_config(), straight.current_config());
+        for i in 0..3 {
+            let sched = observe_current(&straight, 500 + i);
+            let a = straight.iterate(&sched);
+            let b = resumed.iterate(&sched);
+            assert_eq!(a, b, "restored controller diverged at step {i}");
+        }
+        assert_eq!(resumed.current_x(), straight.current_x());
+        assert_eq!(resumed.pald().history(), straight.pald().history());
     }
 
     #[test]

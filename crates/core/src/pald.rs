@@ -30,7 +30,8 @@
 //! 5. **Step**: projected SGD `x ← Π(x − α∇s)` onto `box ∩ trust ball`.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
 use tempo_solver::loess::loess_jacobian;
 use tempo_solver::mgda::min_norm_weights;
 use tempo_solver::project::project_box_ball;
@@ -130,13 +131,60 @@ pub struct PaldStep {
     pub grad_norm: f64,
 }
 
+/// Probe-placement RNG with a draw odometer.
+///
+/// Serializing the generator's internal state would couple snapshots to the
+/// vendored RNG's representation; counting `next_u64` draws instead makes a
+/// [`PaldSnapshot`] portable — restore re-seeds from `config.seed` and
+/// replays the stream to the recorded position, which works for any
+/// deterministic generator behind the `rand` facade.
+struct CountedRng {
+    inner: StdRng,
+    draws: u64,
+}
+
+impl CountedRng {
+    fn seeded(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed), draws: 0 }
+    }
+
+    /// Re-seeds and fast-forwards the stream to `draws`.
+    fn replayed(seed: u64, draws: u64) -> Self {
+        let mut rng = Self::seeded(seed);
+        for _ in 0..draws {
+            rng.next_u64();
+        }
+        rng
+    }
+}
+
+impl RngCore for CountedRng {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
+
+/// Resumable optimizer state: the evaluation history LOESS fits over plus
+/// the sample/RNG stream positions. Restoring into a [`Pald`] built from the
+/// same [`PaldConfig`] continues bit-identically to the never-snapshotted
+/// run ([`Pald::restore`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaldSnapshot {
+    pub history_x: Vec<Vec<f64>>,
+    pub history_f: Vec<Vec<f64>>,
+    pub sample_counter: u64,
+    /// `next_u64` draws consumed by probe placement so far.
+    pub rng_draws: u64,
+}
+
 /// The PALD optimizer. Holds the evaluation history that LOESS fits over;
 /// one instance should live as long as the control loop that drives it.
 pub struct Pald {
     pub config: PaldConfig,
     history_x: Vec<Vec<f64>>,
     history_f: Vec<Vec<f64>>,
-    rng: StdRng,
+    rng: CountedRng,
     sample_counter: u64,
 }
 
@@ -145,8 +193,32 @@ impl Pald {
         assert!(config.trust_radius > 0.0 && config.trust_radius <= 1.0, "trust radius in (0,1]");
         assert!(config.probes >= 1, "need at least one probe");
         assert!(config.step_frac > 0.0, "step fraction must be positive");
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = CountedRng::seeded(config.seed);
         Self { config, history_x: Vec::new(), history_f: Vec::new(), rng, sample_counter: 0 }
+    }
+
+    /// Captures the optimizer's resumable state (history + stream
+    /// positions). Pair with [`Pald::restore`] for warm daemon restarts.
+    pub fn snapshot(&self) -> PaldSnapshot {
+        PaldSnapshot {
+            history_x: self.history_x.clone(),
+            history_f: self.history_f.clone(),
+            sample_counter: self.sample_counter,
+            rng_draws: self.rng.draws,
+        }
+    }
+
+    /// Rebuilds an optimizer from a snapshot taken under the same `config`.
+    /// The probe RNG is re-seeded from `config.seed` and fast-forwarded to
+    /// the snapshot's draw position, so subsequent [`Pald::step`]s are
+    /// bit-identical to a never-snapshotted instance.
+    pub fn restore(config: PaldConfig, snapshot: PaldSnapshot) -> Self {
+        let mut pald = Pald::new(config);
+        pald.rng = CountedRng::replayed(pald.config.seed, snapshot.rng_draws);
+        pald.history_x = snapshot.history_x;
+        pald.history_f = snapshot.history_f;
+        pald.sample_counter = snapshot.sample_counter;
+        pald
     }
 
     /// Number of stored evaluations.
@@ -419,7 +491,7 @@ fn optimal_rho(gram: &Matrix, c: &[f64], violated: &[bool]) -> f64 {
     best_rho
 }
 
-fn standard_normal(rng: &mut StdRng) -> f64 {
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Box–Muller (same rationale as the workload samplers: fixed RNG
     // consumption per draw keeps runs reproducible).
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -597,5 +669,35 @@ mod tests {
     #[should_panic(expected = "trust radius")]
     fn rejects_bad_radius() {
         let _ = Pald::new(PaldConfig { trust_radius: 0.0, ..Default::default() });
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let obj = two_quadratics(0.02);
+        let config = PaldConfig { trust_radius: 0.12, probes: 5, seed: 21, ..Default::default() };
+        let r = [10.0, 10.0];
+
+        // Reference: uninterrupted run.
+        let mut straight = Pald::new(config.clone());
+        let mut x = vec![0.85, 0.15];
+        for _ in 0..3 {
+            x = straight.step(&obj, &x, &r).x_new;
+        }
+        let mid = straight.snapshot();
+        let json = serde_json::to_string(&mid).unwrap();
+        let parsed: PaldSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, mid, "snapshot survives its wire encoding");
+
+        // Restored copy must walk the same trajectory as the original.
+        let mut resumed = Pald::restore(config, parsed);
+        let mut xr = x.clone();
+        for _ in 0..3 {
+            let a = straight.step(&obj, &x, &r);
+            let b = resumed.step(&obj, &xr, &r);
+            assert_eq!(a, b, "restored optimizer diverged");
+            x = a.x_new;
+            xr = b.x_new;
+        }
+        assert_eq!(straight.history(), resumed.history());
     }
 }

@@ -10,7 +10,7 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use tempo_qs::SloSet;
 use tempo_sim::{simulate, ClusterSpec, NoiseModel, RmConfig, SimOptions};
@@ -90,11 +90,16 @@ const CACHE_SHARDS: usize = 16;
 /// One memoized configuration × prediction context: the QS vector once
 /// computed, plus (in debug builds) the full key encoding so 64-bit key
 /// collisions are detected instead of silently returning the wrong
-/// prediction.
+/// prediction. `last_used` is the LRU clock reading of the most recent
+/// lookup — the eviction watermark's victim-selection key.
 struct CacheSlot {
     qs: OnceLock<Vec<f64>>,
+    last_used: AtomicU64,
+    /// `None` for entries imported from a snapshot, whose original full
+    /// encoding is no longer available (their values were collision-checked
+    /// when first computed).
     #[cfg(debug_assertions)]
-    encoding: String,
+    encoding: Option<String>,
 }
 
 /// Sharded memo cache keyed by a 64-bit hash of (workload/window context,
@@ -112,31 +117,65 @@ struct CacheSlot {
 #[derive(Default)]
 struct MemoCache {
     shards: [Mutex<HashMap<u64, Arc<CacheSlot>>>; CACHE_SHARDS],
+    /// Monotonic LRU clock; every lookup stamps its slot with a fresh tick.
+    tick: AtomicU64,
+    /// Total-entry watermark (0 = unbounded). Long-running serve domains
+    /// accumulate contexts across re-tuning windows; the watermark evicts
+    /// least-recently-used entries instead of growing without bound.
+    capacity: AtomicUsize,
 }
 
 impl MemoCache {
     /// Looks up (or installs) the slot for `config` under context `token`.
     fn slot(&self, token: u64, config: &RmConfig) -> Arc<CacheSlot> {
         let hash = mix(token, config_hash(config));
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let slot = {
             let mut shard = self.shards[hash as usize % CACHE_SHARDS].lock();
-            Arc::clone(shard.entry(hash).or_insert_with(|| {
+            let slot = Arc::clone(shard.entry(hash).or_insert_with(|| {
                 Arc::new(CacheSlot {
                     qs: OnceLock::new(),
+                    last_used: AtomicU64::new(now),
                     #[cfg(debug_assertions)]
-                    encoding: full_encoding(token, config),
+                    encoding: Some(full_encoding(token, config)),
                 })
-            }))
+            }));
+            slot.last_used.store(now, Ordering::Relaxed);
+            self.enforce_watermark(&mut shard, hash);
+            slot
         };
         #[cfg(debug_assertions)]
-        {
+        if let Some(encoding) = &slot.encoding {
             assert_eq!(
-                slot.encoding,
+                *encoding,
                 full_encoding(token, config),
                 "64-bit memo key collision on {hash:#018x}; widen the key"
             );
         }
         slot
+    }
+
+    /// Evicts least-recently-used entries from `shard` until it is within
+    /// its share of the watermark. The just-touched `keep` entry is never a
+    /// victim. Evicting a still-computing slot is safe: waiters hold their
+    /// own `Arc` and finish normally — only future lookups re-simulate.
+    fn enforce_watermark(&self, shard: &mut HashMap<u64, Arc<CacheSlot>>, keep: u64) {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        if capacity == 0 {
+            return;
+        }
+        let per_shard = capacity.div_ceil(CACHE_SHARDS).max(1);
+        while shard.len() > per_shard {
+            let victim = shard
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => shard.remove(&k),
+                None => break,
+            };
+        }
     }
 
     /// Drops every entry across all contexts.
@@ -152,6 +191,44 @@ impl MemoCache {
             .iter()
             .map(|s| s.lock().values().filter(|slot| slot.qs.get().is_some()).count())
             .sum()
+    }
+
+    /// Every fully computed `(key, qs)` pair, key-sorted so snapshots are
+    /// byte-stable across runs.
+    fn export(&self) -> Vec<(u64, Vec<f64>)> {
+        let mut out: Vec<(u64, Vec<f64>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .filter_map(|(k, slot)| slot.qs.get().map(|qs| (*k, qs.clone())))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Re-installs exported entries as already-computed slots. Existing keys
+    /// keep their current value (first writer wins, matching the OnceLock
+    /// discipline).
+    fn import(&self, entries: &[(u64, Vec<f64>)]) {
+        for (key, qs) in entries {
+            let now = self.tick.fetch_add(1, Ordering::Relaxed);
+            let mut shard = self.shards[*key as usize % CACHE_SHARDS].lock();
+            shard.entry(*key).or_insert_with(|| {
+                let slot = CacheSlot {
+                    qs: OnceLock::new(),
+                    last_used: AtomicU64::new(now),
+                    #[cfg(debug_assertions)]
+                    encoding: None,
+                };
+                slot.qs.set(qs.clone()).expect("fresh slot accepts its value");
+                Arc::new(slot)
+            });
+            self.enforce_watermark(&mut shard, *key);
+        }
     }
 }
 
@@ -287,6 +364,44 @@ impl WhatIfModel {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.set_threads(Some(threads));
         self
+    }
+
+    /// Bounds the memo cache to roughly `capacity` entries with
+    /// least-recently-used eviction (see [`WhatIfModel::set_cache_capacity`]).
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        self.set_cache_capacity(Some(capacity));
+        self
+    }
+
+    /// Sets (or clears, with `None`) the memo-cache LRU watermark. The bound
+    /// is enforced per shard, so the effective ceiling is `capacity` rounded
+    /// up to a multiple of the shard count. Eviction only affects *when* a
+    /// configuration is re-simulated, never the values returned —
+    /// deterministic evaluations are identical either way.
+    pub fn set_cache_capacity(&self, capacity: Option<usize>) {
+        self.cache.capacity.store(capacity.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// The configured LRU watermark (`None` = unbounded).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        match self.cache.capacity.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// Exports every computed memo entry as `(key, qs)` pairs, key-sorted —
+    /// the warm-cache half of a daemon snapshot. Keys are the full 64-bit
+    /// (context, config) hashes, so entries re-imported into a model with
+    /// the same workload/window context hit immediately.
+    pub fn export_cache(&self) -> Vec<(u64, Vec<f64>)> {
+        self.cache.export()
+    }
+
+    /// Re-installs entries exported by [`WhatIfModel::export_cache`].
+    /// Existing keys keep their current value.
+    pub fn import_cache(&self, entries: &[(u64, Vec<f64>)]) {
+        self.cache.import(entries);
     }
 
     /// Sets (or clears) the worker-thread override; `Some(1)` forces the
@@ -580,6 +695,60 @@ mod tests {
         let qs = m.evaluate(&RmConfig::fair(2));
         assert_eq!(qs.len(), 2);
         assert_eq!(m.cache_len(), 0, "noisy evaluations are not memoized");
+    }
+
+    #[test]
+    fn lru_watermark_bounds_entries_and_keeps_hot_ones() {
+        let m = replay_model().with_cache_capacity(CACHE_SHARDS);
+        // Per-shard bound is 1; generate enough distinct configs that some
+        // shard sees more than one key and must evict.
+        let configs: Vec<RmConfig> = (0..64)
+            .map(|i| {
+                RmConfig::new(vec![
+                    TenantConfig::fair_default().with_weight(1.0 + i as f64),
+                    TenantConfig::fair_default(),
+                ])
+            })
+            .collect();
+        for cfg in &configs {
+            m.evaluate(cfg);
+        }
+        assert!(m.cache_len() <= CACHE_SHARDS, "watermark exceeded: {} entries", m.cache_len());
+        assert!(m.sim_count() >= 64, "every distinct config simulated at least once");
+
+        // A re-evaluated evicted config re-simulates but returns the same
+        // value: eviction is invisible except for the extra work.
+        let sims = m.sim_count();
+        let again = m.evaluate(&configs[0]);
+        assert_eq!(again, replay_model().evaluate(&configs[0]));
+        assert!(m.sim_count() >= sims, "values never change, only re-simulation count");
+    }
+
+    #[test]
+    fn export_import_round_trips_warm_entries() {
+        let m = replay_model();
+        let cfg_a = RmConfig::fair(2);
+        let cfg_b = RmConfig::new(vec![
+            TenantConfig::fair_default().with_weight(3.0),
+            TenantConfig::fair_default(),
+        ]);
+        let qs_a = m.evaluate(&cfg_a);
+        let qs_b = m.evaluate(&cfg_b);
+        let exported = m.export_cache();
+        assert_eq!(exported.len(), 2);
+        assert!(exported.windows(2).all(|w| w[0].0 < w[1].0), "key-sorted for stable snapshots");
+
+        // A fresh model with the same context answers from the imported
+        // entries without simulating.
+        let fresh = replay_model();
+        fresh.import_cache(&exported);
+        assert_eq!(fresh.cache_len(), 2);
+        assert_eq!(fresh.evaluate(&cfg_a), qs_a);
+        assert_eq!(fresh.evaluate(&cfg_b), qs_b);
+        assert_eq!(fresh.sim_count(), 0, "warm restore: no re-simulation");
+        // Importing on top of existing entries is idempotent.
+        fresh.import_cache(&exported);
+        assert_eq!(fresh.cache_len(), 2);
     }
 
     #[test]

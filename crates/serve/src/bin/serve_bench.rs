@@ -1,0 +1,223 @@
+//! `serve_bench` — load generator for the serving runtime.
+//!
+//! ```text
+//! serve_bench [--domains N] [--secs S] [--clients C] [--shards N]
+//!             [--connect HOST:PORT] [--shutdown] [--out FILE]
+//!             [--min-decisions K]
+//! ```
+//!
+//! Default mode spawns an in-process `tempo-serve` server (sim clock, real
+//! TCP loopback sockets) and hammers it; `--connect` points the same load
+//! at an externally started daemon instead (the CI smoke test does both
+//! halves: `tempo-serve` in the background, `serve_bench --connect` against
+//! it). Each client thread owns a slice of the domains and loops
+//! ingest-burst → advance until the deadline; the process exits non-zero
+//! unless every domain made at least `--min-decisions` decisions and the
+//! server drained cleanly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
+use tempo_serve::proto::{decode, encode, Request, Response};
+use tempo_serve::{ClockMode, Server, ServerConfig};
+
+/// One JSONL/TCP connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to tempo-serve");
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().expect("clone stream");
+        Client { reader: BufReader::new(stream), writer }
+    }
+
+    fn call(&mut self, request: &Request) -> Response {
+        self.writer.write_all(format!("{}\n", encode(request)).as_bytes()).expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        decode(&line).expect("parse response")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let parse = |name: &str, default: u64| {
+        flag_value(name).map_or(default, |v| v.parse().unwrap_or_else(|_| panic!("bad {name}")))
+    };
+    let domains = parse("--domains", 64).max(1);
+    let secs = flag_value("--secs").map_or(2.0, |v| v.parse::<f64>().expect("bad --secs"));
+    let clients = parse("--clients", domains.min(8)).max(1) as usize;
+    let shards = parse("--shards", tempo_serve::server::default_shards() as u64) as usize;
+    let min_decisions = parse("--min-decisions", 1);
+    let external = flag_value("--connect");
+    let shutdown_external = args.iter().any(|a| a == "--shutdown");
+    let out = flag_value("--out");
+
+    // Spawn an in-process server unless pointed at an external one.
+    let spawned = if external.is_none() {
+        Some(
+            Server::start(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                shards,
+                clock: ClockMode::Sim,
+            })
+            .expect("start in-process tempo-serve"),
+        )
+    } else {
+        None
+    };
+    let addr = external.unwrap_or_else(|| spawned.as_ref().unwrap().local_addr().to_string());
+
+    let mut control = Client::connect(&addr);
+    let sim_clock = match control.call(&Request::Hello) {
+        Response::Hello { clock, .. } => clock == "sim",
+        other => panic!("handshake failed: {other:?}"),
+    };
+
+    // Create the fleet.
+    let ids: Vec<u64> = (0..domains)
+        .map(|i| {
+            match control
+                .call(&Request::CreateDomain { spec: contention_spec(&format!("domain-{i}"), i) })
+            {
+                Response::Created { domain } => domain,
+                other => panic!("create domain {i} failed: {other:?}"),
+            }
+        })
+        .collect();
+
+    // Clients hammer their slice until the deadline.
+    let stop = Arc::new(AtomicBool::new(false));
+    let decisions = Arc::new(AtomicU64::new(0));
+    let skipped = Arc::new(AtomicU64::new(0));
+    let events = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let my_ids: Vec<u64> = ids.iter().copied().skip(c).step_by(clients).collect();
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let decisions = Arc::clone(&decisions);
+            let skipped = Arc::clone(&skipped);
+            let events = Arc::clone(&events);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr);
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for &id in &my_ids {
+                        let base = round * (DEMO_WINDOW / 4);
+                        let burst = contention_burst(base, 6, id ^ round);
+                        match client.call(&Request::Ingest { domain: id, jobs: burst }) {
+                            Response::Ingested { accepted, .. } => {
+                                events.fetch_add(accepted, Ordering::Relaxed);
+                            }
+                            other => panic!("ingest failed: {other:?}"),
+                        }
+                        match client.call(&Request::Advance { domain: id, steps: 1 }) {
+                            Response::Advanced { decisions: recs, .. } => {
+                                for rec in recs {
+                                    if rec.skipped {
+                                        skipped.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        decisions.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            other => panic!("advance failed: {other:?}"),
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    round += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Main thread paces the deadline and, under a sim clock, rolls time
+    // forward so windows keep moving.
+    while started.elapsed().as_secs_f64() < secs {
+        std::thread::sleep(Duration::from_millis(25));
+        if sim_clock {
+            control.call(&Request::Tick { micros: DEMO_WINDOW / 8 });
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let metrics = match control.call(&Request::Metrics) {
+        Response::Metrics { metrics } => metrics,
+        other => panic!("metrics failed: {other:?}"),
+    };
+    let total_decisions = decisions.load(Ordering::SeqCst);
+    let total_events = events.load(Ordering::SeqCst);
+    let dps = total_decisions as f64 / elapsed;
+    let eps = total_events as f64 / elapsed;
+    println!(
+        "serve_bench: {domains} domains / {clients} clients / {:.1}s — \
+         {total_decisions} decisions ({dps:.1}/s), {total_events} ingest events ({eps:.1}/s), \
+         {} skipped, {} cache entries, {} sims",
+        elapsed,
+        skipped.load(Ordering::SeqCst),
+        metrics.total_cache_entries,
+        metrics.total_sims
+    );
+    if let Some(path) = out {
+        let json = format!(
+            "{{\n  \"domains\": {domains},\n  \"clients\": {clients},\n  \"secs\": {elapsed},\n  \
+             \"decisions\": {total_decisions},\n  \"ingest_events\": {total_events},\n  \
+             \"decisions_per_sec\": {dps},\n  \"ingest_events_per_sec\": {eps}\n}}\n"
+        );
+        std::fs::write(&path, json).expect("write --out report");
+        println!("wrote {path}");
+    }
+
+    // Shut the spawned server down and verify the drain; `--shutdown` asks
+    // the same of an external daemon (CI smoke stops the background
+    // `tempo-serve` this way).
+    if let Some(server) = spawned {
+        assert!(matches!(control.call(&Request::Shutdown), Response::ShuttingDown));
+        let runtime = server.join();
+        let final_metrics = runtime.metrics();
+        assert_eq!(final_metrics.domains, domains, "all domains survived to shutdown");
+        println!("serve_bench: server drained cleanly");
+    } else if shutdown_external {
+        assert!(matches!(control.call(&Request::Shutdown), Response::ShuttingDown));
+        println!("serve_bench: asked external server to shut down");
+    }
+
+    // The floor is per-domain: one healthy domain must not mask a wedged
+    // fleet (exactly the sharding failure class this smoke exists to catch).
+    let starved: Vec<String> = metrics
+        .per_domain
+        .iter()
+        .filter(|m| ids.contains(&m.id) && m.decisions < min_decisions)
+        .map(|m| format!("{} ({}/{})", m.name, m.decisions, min_decisions))
+        .collect();
+    if !starved.is_empty() {
+        eprintln!(
+            "serve_bench: FAILED — {} of {domains} domains under the {min_decisions}-decision \
+             floor: {}",
+            starved.len(),
+            starved.join(", ")
+        );
+        std::process::exit(1);
+    }
+    assert_eq!(
+        metrics.total_ingested, total_events,
+        "server-side ingest accounting matches the client side"
+    );
+}

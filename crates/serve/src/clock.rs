@@ -1,0 +1,100 @@
+//! Pluggable time for the serving runtime.
+//!
+//! Everything in `tempo-serve` that asks "what time is it" goes through the
+//! [`Clock`] trait. Production daemons use [`WallClock`]; tests, the parity
+//! suite, and deterministic replay use [`SimClock`], which only moves when
+//! told to — making an entire multi-domain runtime a pure function of its
+//! inputs (ingested jobs, advance calls, tick calls).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use tempo_workload::time::Time;
+
+/// A monotonic microsecond clock on the runtime's own epoch (time 0 is
+/// "when the runtime started", matching the simulated-time axis of
+/// `tempo_workload::time`).
+pub trait Clock: Send + Sync {
+    fn now(&self) -> Time;
+}
+
+/// Real time: microseconds elapsed since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        Self { start: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Time {
+        self.start.elapsed().as_micros() as Time
+    }
+}
+
+/// Simulated time: moves only via [`SimClock::advance`]/[`SimClock::set`].
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: AtomicU64,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock already at `t`.
+    pub fn at(t: Time) -> Self {
+        Self { now: AtomicU64::new(t) }
+    }
+
+    /// Moves time forward by `dt`; returns the new now.
+    pub fn advance(&self, dt: Time) -> Time {
+        self.now.fetch_add(dt, Ordering::SeqCst) + dt
+    }
+
+    /// Jumps to an absolute time. Saturating to monotonic: setting the clock
+    /// backwards is a no-op (windows must never regress).
+    pub fn set(&self, t: Time) -> Time {
+        self.now.fetch_max(t, Ordering::SeqCst).max(t)
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Time {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_moves_only_when_told() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.now(), 10);
+        assert_eq!(c.set(5), 10, "never regresses");
+        assert_eq!(c.set(25), 25);
+        assert_eq!(c.now(), 25);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

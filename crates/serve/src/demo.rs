@@ -1,0 +1,92 @@
+//! Canned domain shapes for load generation, smoke tests, and examples.
+//!
+//! The spec mirrors the paper's §8.2 contention setup at toy scale: a
+//! deadline tenant bursting against a best-effort stream on a tight
+//! cluster, so every advance has real tuning work to do while staying cheap
+//! enough to run hundreds of domains on a laptop.
+
+use crate::domain::DomainSpec;
+use tempo_qs::{QsKind, SloSet, SloSpec};
+use tempo_sim::{ClusterSpec, RmConfig, TenantConfig};
+use tempo_workload::time::{Time, MIN, SEC};
+use tempo_workload::trace::{JobSpec, TaskSpec};
+
+/// Re-tuning window length used by [`contention_spec`].
+pub const DEMO_WINDOW: Time = 4 * MIN;
+
+/// A two-tenant contention domain: tenant 0 carries a deadline SLO, tenant
+/// 1 a best-effort average-response-time SLO.
+pub fn contention_spec(name: &str, seed: u64) -> DomainSpec {
+    let slos = SloSet::new(vec![
+        SloSpec::new(Some(0), QsKind::DeadlineMiss { gamma: 0.25 }).with_threshold(0.0),
+        SloSpec::new(Some(1), QsKind::AvgResponseTime),
+    ]);
+    let initial = RmConfig::new(vec![
+        TenantConfig::fair_default().with_weight(2.0),
+        TenantConfig::fair_default(),
+    ]);
+    DomainSpec::new(name, ClusterSpec::new(8, 4), slos, initial, DEMO_WINDOW)
+        .with_seed(seed)
+        .with_probes(3)
+}
+
+/// A deterministic burst of `count` submissions starting at `base`,
+/// alternating deadline jobs (tenant 0) and best-effort jobs (tenant 1).
+/// `salt` varies durations/spacing so domains don't all ingest identical
+/// streams.
+pub fn contention_burst(base: Time, count: u64, salt: u64) -> Vec<JobSpec> {
+    let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move |span: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % span
+    };
+    (0..count)
+        .map(|i| {
+            let submit = base + i * 20 * SEC + next(10) * SEC;
+            if i % 2 == 0 {
+                JobSpec::new(
+                    0,
+                    0,
+                    submit,
+                    vec![
+                        TaskSpec::map((15 + next(10)) * SEC),
+                        TaskSpec::map((15 + next(10)) * SEC),
+                        TaskSpec::reduce((30 + next(15)) * SEC),
+                    ],
+                )
+                .with_deadline(submit + 2 * MIN)
+            } else {
+                JobSpec::new(
+                    0,
+                    1,
+                    submit,
+                    vec![
+                        TaskSpec::map((20 + next(15)) * SEC),
+                        TaskSpec::reduce((45 + next(20)) * SEC),
+                    ],
+                )
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    #[test]
+    fn demo_domain_tunes_on_demo_bursts() {
+        let mut d = Domain::new(contention_spec("demo", 3)).unwrap();
+        d.ingest(contention_burst(0, 8, 3));
+        let rec = d.advance(0);
+        assert!(!rec.skipped);
+        assert_eq!(rec.observed_qs.len(), 2);
+    }
+
+    #[test]
+    fn bursts_are_deterministic_per_salt() {
+        assert_eq!(contention_burst(0, 6, 9), contention_burst(0, 6, 9));
+        assert_ne!(contention_burst(0, 6, 9), contention_burst(0, 6, 10));
+    }
+}

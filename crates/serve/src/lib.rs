@@ -1,0 +1,40 @@
+//! # tempo-serve
+//!
+//! The serving layer of the Tempo reproduction: where `tempo-core` gives
+//! you *one* self-tuning controller you step by hand, this crate runs
+//! *fleets* of them continuously — the paper's control loop (§4) promoted
+//! from batch harness to daemon.
+//!
+//! * [`runtime::ControllerRuntime`] — a sharded runtime hosting N
+//!   independent tenancy domains ([`domain::Domain`]), each a Tempo
+//!   controller plus a live workload window, driven by a pool of shard
+//!   worker threads over crossbeam channels. Per-domain execution is
+//!   strictly serial (deterministic trajectories); distinct domains run in
+//!   parallel.
+//! * [`clock`] — pluggable time: [`clock::WallClock`] for production,
+//!   [`clock::SimClock`] for deterministic replay and the serve/direct
+//!   parity suite.
+//! * [`proto`] + [`server`] — a JSONL-over-TCP wire protocol served by the
+//!   `tempo-serve` binary, with graceful drain on shutdown.
+//! * Snapshot/restore — [`runtime::RuntimeSnapshot`] captures tuned
+//!   configurations, optimizer state, workload windows, *and* warm What-if
+//!   memo-cache entries, so a restarted daemon resumes bit-identically.
+//!
+//! The companion `serve_bench` binary is the load generator: it drives
+//! hundreds of domains concurrently (embedded or over TCP) and reports
+//! decisions/sec and ingest events/sec.
+
+pub mod clock;
+pub mod demo;
+pub mod domain;
+pub mod proto;
+pub mod runtime;
+pub mod server;
+
+pub use clock::{Clock, SimClock, WallClock};
+pub use domain::{DecisionRecord, Domain, DomainSnapshot, DomainSpec};
+pub use proto::{Request, Response, PROTO_VERSION};
+pub use runtime::{
+    ControllerRuntime, DomainId, DomainMetrics, RuntimeError, RuntimeMetrics, RuntimeSnapshot,
+};
+pub use server::{ClockMode, Server, ServerConfig};

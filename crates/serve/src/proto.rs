@@ -1,0 +1,154 @@
+//! The JSONL wire protocol.
+//!
+//! One request per line, one response per line, both JSON — trivially
+//! scriptable (`nc`, a few lines of Python) and structurally diffable in
+//! deterministic-replay tests. Requests are externally tagged enums:
+//!
+//! ```text
+//! {"Hello":{}}                              → {"Hello":{"proto":1,...}}
+//! {"CreateDomain":{"spec":{...}}}           → {"Created":{"domain":0}}
+//! {"Ingest":{"domain":0,"jobs":[...]}}      → {"Ingested":{"domain":0,"accepted":3}}
+//! {"Advance":{"domain":0,"steps":1}}        → {"Advanced":{"domain":0,"decisions":[...]}}
+//! ```
+//!
+//! Unit-variant requests (`Metrics`, `Snapshot`, ...) may be sent as the
+//! bare string form the serde encoding produces: `"Metrics"`.
+
+use crate::domain::{DecisionRecord, DomainSpec};
+use crate::runtime::{RuntimeMetrics, RuntimeSnapshot};
+use serde::{Deserialize, Serialize};
+use tempo_sim::RmConfig;
+use tempo_workload::JobSpec;
+
+/// Wire protocol revision; bumped on breaking message changes.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Handshake/health probe.
+    Hello,
+    /// Host a new domain.
+    CreateDomain { spec: DomainSpec },
+    /// Feed job submissions into a domain's workload window.
+    Ingest { domain: u64, jobs: Vec<JobSpec> },
+    /// Run `steps` control-loop iterations on one domain.
+    Advance { domain: u64, steps: u64 },
+    /// Advance every hosted domain once.
+    AdvanceAll,
+    /// The configuration a domain's cluster should currently run.
+    Config { domain: u64 },
+    /// Occupancy/throughput counters for every domain.
+    Metrics,
+    /// Capture every domain's resumable state.
+    Snapshot,
+    /// Re-install domains from a snapshot (warm restart).
+    Restore { snapshot: RuntimeSnapshot },
+    /// Advance the server's simulated clock by `micros`. Errors under a
+    /// wall clock.
+    Tick { micros: u64 },
+    /// Stop accepting connections and exit the accept loop.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Hello {
+        proto: u64,
+        shards: u64,
+        domains: u64,
+        clock: String,
+    },
+    Created {
+        domain: u64,
+    },
+    Ingested {
+        domain: u64,
+        accepted: u64,
+    },
+    Advanced {
+        domain: u64,
+        decisions: Vec<DecisionRecord>,
+    },
+    /// `AdvanceAll` outcome: per-domain records, id-sorted.
+    AdvancedAll {
+        decisions: Vec<(u64, DecisionRecord)>,
+    },
+    Config {
+        domain: u64,
+        config: RmConfig,
+    },
+    Metrics {
+        metrics: RuntimeMetrics,
+    },
+    Snapshot {
+        snapshot: RuntimeSnapshot,
+    },
+    Restored {
+        domains: Vec<u64>,
+    },
+    Ticked {
+        now: u64,
+    },
+    ShuttingDown,
+    Error {
+        message: String,
+    },
+}
+
+/// Encodes a message as one JSONL line (no trailing newline).
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    serde_json::to_string(msg).expect("wire message serializes")
+}
+
+/// Decodes one JSONL line.
+pub fn decode<T: serde::Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_workload::time::SEC;
+    use tempo_workload::trace::TaskSpec;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Hello,
+            Request::Ingest {
+                domain: 3,
+                jobs: vec![JobSpec::new(0, 1, 5 * SEC, vec![TaskSpec::map(SEC)])],
+            },
+            Request::Advance { domain: 3, steps: 2 },
+            Request::AdvanceAll,
+            Request::Config { domain: 0 },
+            Request::Metrics,
+            Request::Snapshot,
+            Request::Tick { micros: 1_000_000 },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = encode(&req);
+            assert!(!line.contains('\n'), "one line per message");
+            let back: Request = decode(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn unit_variants_accept_bare_string_form() {
+        let m: Request = decode("\"Metrics\"").unwrap();
+        assert_eq!(m, Request::Metrics);
+        let s: Request = decode("  \"Shutdown\" ").unwrap();
+        assert_eq!(s, Request::Shutdown);
+    }
+
+    #[test]
+    fn malformed_lines_error_without_panicking() {
+        assert!(decode::<Request>("{\"Nope\":{}}").is_err());
+        assert!(decode::<Request>("not json").is_err());
+        assert!(decode::<Request>("").is_err());
+    }
+}

@@ -1,0 +1,502 @@
+//! The sharded controller runtime.
+//!
+//! [`ControllerRuntime`] hosts N independent tenancy domains across a pool
+//! of shard worker threads. Each domain lives on exactly one shard and every
+//! operation on it runs on that shard's worker — an actor discipline that
+//! makes per-domain execution strictly serial (so trajectories are
+//! deterministic) while different domains run fully in parallel.
+//!
+//! Callers talk to shards over crossbeam channels: an operation is a boxed
+//! closure sent to the owning shard, and the result comes back on a
+//! one-shot reply channel. The embeddable API ([`ControllerRuntime::ingest`],
+//! [`ControllerRuntime::advance`], ...) and the TCP wire protocol are both
+//! thin clients of this dispatch.
+
+use crate::clock::Clock;
+use crate::domain::{DecisionRecord, Domain, DomainSnapshot, DomainSpec};
+use crossbeam::channel::{self, Sender};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use tempo_sim::RmConfig;
+use tempo_workload::time::Time;
+use tempo_workload::JobSpec;
+
+/// Identifies a domain within a runtime. Dense, assigned at creation.
+pub type DomainId = u64;
+
+/// Why a runtime operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    UnknownDomain(DomainId),
+    InvalidSpec(String),
+    /// The owning shard worker is gone (it panicked or the runtime shut
+    /// down mid-call).
+    ShardDown,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownDomain(id) => write!(f, "unknown domain {id}"),
+            RuntimeError::InvalidSpec(msg) => write!(f, "invalid domain spec: {msg}"),
+            RuntimeError::ShardDown => write!(f, "shard worker unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Point-in-time health/occupancy counters for one domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainMetrics {
+    pub id: DomainId,
+    pub name: String,
+    /// Advance calls (decisions + skipped).
+    pub steps: u64,
+    /// Control-loop iterations actually run.
+    pub decisions: u64,
+    pub skipped: u64,
+    /// Jobs ingested over the domain's lifetime.
+    pub ingested: u64,
+    /// What-if memo-cache occupancy (computed entries).
+    pub cache_entries: u64,
+    /// Simulations the domain's What-if Model has run.
+    pub sims: u64,
+}
+
+/// Aggregated runtime metrics (the wire protocol's `Metrics` reply).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeMetrics {
+    pub domains: u64,
+    pub shards: u64,
+    pub clock_now: Time,
+    pub total_decisions: u64,
+    pub total_ingested: u64,
+    pub total_cache_entries: u64,
+    pub total_sims: u64,
+    pub per_domain: Vec<DomainMetrics>,
+}
+
+/// Serializable state of a whole runtime: every domain, warm caches
+/// included. Restore with [`ControllerRuntime::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeSnapshot {
+    /// Clock reading at snapshot time (restored into a [`crate::SimClock`]
+    /// by deterministic-replay setups; informational under wall clocks).
+    pub clock_now: Time,
+    /// Domain states, id-sorted.
+    pub domains: Vec<DomainSnapshot>,
+}
+
+/// A unit of work executed on a shard worker thread.
+type ShardJob = Box<dyn FnOnce(&mut ShardState) + Send>;
+
+/// What one shard worker owns: its slice of the domain map.
+struct ShardState {
+    domains: BTreeMap<DomainId, Domain>,
+}
+
+struct ShardHandle {
+    tx: Sender<ShardJob>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// The sharded multi-domain serving runtime. Cheap to share: all methods
+/// take `&self` and may be called concurrently from any number of threads.
+pub struct ControllerRuntime {
+    shards: Vec<ShardHandle>,
+    clock: Arc<dyn Clock>,
+    next_id: AtomicU64,
+    /// Guards restore (which rewrites `next_id` and domain placement)
+    /// against concurrent creates.
+    create_lock: Mutex<()>,
+}
+
+impl ControllerRuntime {
+    /// Spawns `shards` worker threads sharing `clock`.
+    pub fn new(shards: usize, clock: Arc<dyn Clock>) -> Self {
+        let shards = shards.max(1);
+        let handles = (0..shards)
+            .map(|i| {
+                let (tx, rx) = channel::unbounded::<ShardJob>();
+                let worker = std::thread::Builder::new()
+                    .name(format!("tempo-serve-shard-{i}"))
+                    .spawn(move || {
+                        let mut state = ShardState { domains: BTreeMap::new() };
+                        while let Ok(job) = rx.recv() {
+                            job(&mut state);
+                        }
+                    })
+                    .expect("spawn shard worker");
+                ShardHandle { tx, worker: Some(worker) }
+            })
+            .collect();
+        Self { shards: handles, clock, next_id: AtomicU64::new(0), create_lock: Mutex::new(()) }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Domain → shard placement: fixed by id, so snapshots restore onto the
+    /// same shard layout they were taken from (given the same shard count).
+    fn shard_of(&self, id: DomainId) -> &ShardHandle {
+        &self.shards[(id % self.shards.len() as u64) as usize]
+    }
+
+    /// Runs `f` on the shard owning `id` and waits for the result.
+    fn on_shard<R, F>(&self, id: DomainId, f: F) -> Result<R, RuntimeError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ShardState) -> R + Send + 'static,
+    {
+        let (reply_tx, reply_rx) = channel::bounded::<R>(1);
+        let job: ShardJob = Box::new(move |state| {
+            let _ = reply_tx.send(f(state));
+        });
+        self.shard_of(id).tx.send(job).map_err(|_| RuntimeError::ShardDown)?;
+        reply_rx.recv().map_err(|_| RuntimeError::ShardDown)
+    }
+
+    /// Runs `f` on every shard concurrently and returns the results in
+    /// shard order.
+    fn on_all_shards<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ShardState) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let replies: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let (reply_tx, reply_rx) = channel::bounded::<R>(1);
+                let f = Arc::clone(&f);
+                let job: ShardJob = Box::new(move |state| {
+                    let _ = reply_tx.send(f(state));
+                });
+                let sent = shard.tx.send(job).is_ok();
+                (sent, reply_rx)
+            })
+            .collect();
+        replies.into_iter().filter(|(sent, _)| *sent).filter_map(|(_, rx)| rx.recv().ok()).collect()
+    }
+
+    /// Creates a domain from `spec`; returns its id. The spec is validated
+    /// (inside [`Domain::new`]) before any state is committed, and the
+    /// heavyweight controller construction happens outside `create_lock` so
+    /// concurrent creates don't serialize on it.
+    pub fn create_domain(&self, spec: DomainSpec) -> Result<DomainId, RuntimeError> {
+        let domain = Domain::new(spec).map_err(RuntimeError::InvalidSpec)?;
+        let _guard = self.create_lock.lock().expect("create lock");
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.on_shard(id, move |state| {
+            state.domains.insert(id, domain);
+        })?;
+        Ok(id)
+    }
+
+    /// Ingests job submissions into a domain's workload window; returns how
+    /// many jobs were accepted.
+    pub fn ingest(&self, id: DomainId, jobs: Vec<JobSpec>) -> Result<u64, RuntimeError> {
+        self.on_shard(id, move |state| {
+            state
+                .domains
+                .get_mut(&id)
+                .map(|d| d.ingest(jobs))
+                .ok_or(RuntimeError::UnknownDomain(id))
+        })?
+    }
+
+    /// Runs one control-loop iteration on a domain against the window
+    /// ending at the runtime clock's current reading.
+    pub fn advance(&self, id: DomainId) -> Result<DecisionRecord, RuntimeError> {
+        let now = self.clock.now();
+        self.on_shard(id, move |state| {
+            state
+                .domains
+                .get_mut(&id)
+                .map(|d| d.advance(now))
+                .ok_or(RuntimeError::UnknownDomain(id))
+        })?
+    }
+
+    /// Advances every domain once, all shards in parallel, using a single
+    /// consistent clock reading. Records come back id-sorted.
+    pub fn advance_all(&self) -> Vec<(DomainId, DecisionRecord)> {
+        let now = self.clock.now();
+        let mut out: Vec<(DomainId, DecisionRecord)> = self
+            .on_all_shards(move |state| {
+                state.domains.iter_mut().map(|(id, d)| (*id, d.advance(now))).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// The configuration a domain's cluster should currently run.
+    pub fn current_config(&self, id: DomainId) -> Result<RmConfig, RuntimeError> {
+        self.on_shard(id, move |state| {
+            state
+                .domains
+                .get(&id)
+                .map(|d| d.current_config())
+                .ok_or(RuntimeError::UnknownDomain(id))
+        })?
+    }
+
+    /// Runs a read-only closure against a domain on its owning shard —
+    /// the embeddable escape hatch for diagnostics (parity suites compare
+    /// optimizer histories through this).
+    pub fn inspect<R, F>(&self, id: DomainId, f: F) -> Result<R, RuntimeError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&Domain) -> R + Send + 'static,
+    {
+        self.on_shard(id, move |state| {
+            state.domains.get(&id).map(f).ok_or(RuntimeError::UnknownDomain(id))
+        })?
+    }
+
+    /// Occupancy and throughput counters across every domain, id-sorted.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        let mut per_domain: Vec<DomainMetrics> = self
+            .on_all_shards(|state| {
+                state
+                    .domains
+                    .iter()
+                    .map(|(id, d)| DomainMetrics {
+                        id: *id,
+                        name: d.spec().name.clone(),
+                        steps: d.steps(),
+                        decisions: d.decisions(),
+                        skipped: d.skipped(),
+                        ingested: d.ingested(),
+                        cache_entries: d.cache_len() as u64,
+                        sims: d.sim_count(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        per_domain.sort_by_key(|m| m.id);
+        RuntimeMetrics {
+            domains: per_domain.len() as u64,
+            shards: self.shards.len() as u64,
+            clock_now: self.clock.now(),
+            total_decisions: per_domain.iter().map(|m| m.decisions).sum(),
+            total_ingested: per_domain.iter().map(|m| m.ingested).sum(),
+            total_cache_entries: per_domain.iter().map(|m| m.cache_entries).sum(),
+            total_sims: per_domain.iter().map(|m| m.sims).sum(),
+            per_domain,
+        }
+    }
+
+    /// Captures every domain's resumable state, id-sorted.
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        let mut domains: Vec<DomainSnapshot> = self
+            .on_all_shards(|state| {
+                state.domains.iter().map(|(id, d)| d.snapshot(*id)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        domains.sort_by_key(|d| d.id);
+        RuntimeSnapshot { clock_now: self.clock.now(), domains }
+    }
+
+    /// Restores domains from a snapshot (ids preserved), replacing any
+    /// same-id domains already hosted. Returns the restored ids.
+    pub fn restore(&self, snapshot: RuntimeSnapshot) -> Result<Vec<DomainId>, RuntimeError> {
+        let _guard = self.create_lock.lock().expect("create lock");
+        let mut ids = Vec::with_capacity(snapshot.domains.len());
+        let mut max_id = self.next_id.load(Ordering::SeqCst);
+        for ds in snapshot.domains {
+            let id = ds.id;
+            let domain = Domain::restore(ds).map_err(RuntimeError::InvalidSpec)?;
+            self.on_shard(id, move |state| {
+                state.domains.insert(id, domain);
+            })?;
+            ids.push(id);
+            max_id = max_id.max(id + 1);
+        }
+        self.next_id.store(max_id, Ordering::SeqCst);
+        Ok(ids)
+    }
+
+    /// Stops accepting work and joins every shard worker. Queued operations
+    /// submitted before the call complete first (channels drain in order).
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for shard in &mut self.shards {
+            // Dropping the sender closes the queue; the worker drains what
+            // is left and exits its recv loop.
+            let (closed_tx, _closed_rx) = channel::bounded::<ShardJob>(1);
+            let tx = std::mem::replace(&mut shard.tx, closed_tx);
+            drop(tx);
+            drop(_closed_rx);
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl Drop for ControllerRuntime {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::domain::DomainSpec;
+    use tempo_qs::{QsKind, SloSet, SloSpec};
+    use tempo_sim::{ClusterSpec, TenantConfig};
+    use tempo_workload::time::{MIN, SEC};
+    use tempo_workload::trace::TaskSpec;
+
+    fn spec(name: &str, seed: u64) -> DomainSpec {
+        let slos = SloSet::new(vec![
+            SloSpec::new(Some(0), QsKind::DeadlineMiss { gamma: 0.25 }).with_threshold(0.0),
+            SloSpec::new(Some(1), QsKind::AvgResponseTime),
+        ]);
+        let initial = RmConfig::new(vec![
+            TenantConfig::fair_default().with_weight(2.0),
+            TenantConfig::fair_default(),
+        ]);
+        DomainSpec::new(name, ClusterSpec::new(8, 4), slos, initial, 4 * MIN)
+            .with_seed(seed)
+            .with_probes(3)
+    }
+
+    fn jobs(base: u64) -> Vec<JobSpec> {
+        (0..4u64)
+            .map(|i| {
+                JobSpec::new(
+                    0,
+                    (i % 2) as u16,
+                    base + i * 30 * SEC,
+                    vec![TaskSpec::map(20 * SEC), TaskSpec::reduce(30 * SEC)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn domains_are_isolated_across_shards() {
+        let rt = ControllerRuntime::new(3, Arc::new(SimClock::new()));
+        let a = rt.create_domain(spec("a", 1)).unwrap();
+        let b = rt.create_domain(spec("b", 2)).unwrap();
+        assert_ne!(a, b);
+        rt.ingest(a, jobs(0)).unwrap();
+        let rec = rt.advance(a).unwrap();
+        assert!(!rec.skipped);
+        // Domain b saw nothing.
+        let rec_b = rt.advance(b).unwrap();
+        assert!(rec_b.skipped);
+        let m = rt.metrics();
+        assert_eq!(m.domains, 2);
+        assert_eq!(m.total_decisions, 1);
+        assert_eq!(m.per_domain[0].ingested, 4);
+        assert_eq!(m.per_domain[1].ingested, 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unknown_domains_and_bad_specs_error() {
+        let rt = ControllerRuntime::new(2, Arc::new(SimClock::new()));
+        assert_eq!(rt.advance(99), Err(RuntimeError::UnknownDomain(99)));
+        assert_eq!(rt.ingest(99, vec![]), Err(RuntimeError::UnknownDomain(99)));
+        let mut bad = spec("bad", 1);
+        bad.window_len = 0;
+        assert!(matches!(rt.create_domain(bad), Err(RuntimeError::InvalidSpec(_))));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn advance_all_uses_one_clock_reading() {
+        let clock = Arc::new(SimClock::new());
+        let rt = ControllerRuntime::new(4, Arc::<SimClock>::clone(&clock));
+        let ids: Vec<_> =
+            (0..6).map(|i| rt.create_domain(spec(&format!("d{i}"), i)).unwrap()).collect();
+        for &id in &ids {
+            rt.ingest(id, jobs(0)).unwrap();
+        }
+        clock.advance(2 * MIN);
+        let records = rt.advance_all();
+        assert_eq!(records.len(), 6);
+        assert!(records.windows(2).all(|w| w[0].0 < w[1].0), "id-sorted");
+        let windows: Vec<_> = records.iter().map(|(_, r)| r.window).collect();
+        assert!(windows.iter().all(|w| *w == windows[0]), "single consistent now");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_make_progress() {
+        let rt = Arc::new(ControllerRuntime::new(4, Arc::new(SimClock::new())));
+        let ids: Vec<_> =
+            (0..8).map(|i| rt.create_domain(spec(&format!("d{i}"), i)).unwrap()).collect();
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let rt = Arc::clone(&rt);
+                std::thread::spawn(move || {
+                    rt.ingest(id, jobs(0)).unwrap();
+                    for _ in 0..2 {
+                        rt.advance(id).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let m = rt.metrics();
+        assert_eq!(m.total_decisions, 16);
+        Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_a_fresh_runtime() {
+        let clock = Arc::new(SimClock::new());
+        let rt = ControllerRuntime::new(2, Arc::<SimClock>::clone(&clock));
+        let a = rt.create_domain(spec("a", 7)).unwrap();
+        let b = rt.create_domain(spec("b", 8)).unwrap();
+        rt.ingest(a, jobs(0)).unwrap();
+        rt.ingest(b, jobs(MIN)).unwrap();
+        rt.advance_all();
+        let snap = rt.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        rt.shutdown();
+
+        let clock2 = Arc::new(SimClock::at(snap.clock_now));
+        let rt2 = ControllerRuntime::new(2, Arc::<SimClock>::clone(&clock2));
+        let parsed: RuntimeSnapshot = serde_json::from_str(&json).unwrap();
+        let ids = rt2.restore(parsed).unwrap();
+        assert_eq!(ids, vec![a, b]);
+        // New domains never collide with restored ids.
+        let c = rt2.create_domain(spec("c", 9)).unwrap();
+        assert!(c > b);
+        let m = rt2.metrics();
+        assert_eq!(m.domains, 3);
+        assert_eq!(m.total_decisions, 2);
+        rt2.shutdown();
+    }
+}

@@ -1,0 +1,463 @@
+//! The `tempo-serve` TCP server: JSONL protocol over `std::net`.
+//!
+//! One accept thread, one handler thread per connection, all thin clients
+//! of the shared [`ControllerRuntime`]. Graceful shutdown is cooperative: a
+//! `Shutdown` request (or [`Server::request_shutdown`]) raises a flag,
+//! handler reads poll it via short socket timeouts, and the accept loop is
+//! unblocked by a loopback poke — every thread drains and joins before
+//! [`Server::join`] returns.
+
+use crate::clock::{Clock, SimClock, WallClock};
+use crate::proto::{decode, encode, Request, Response, PROTO_VERSION};
+use crate::runtime::ControllerRuntime;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the server's runtime reads time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Real time ([`WallClock`]).
+    Wall,
+    /// Simulated time, driven by `Tick` requests ([`SimClock`]) —
+    /// deterministic replay mode.
+    Sim,
+}
+
+/// Server settings.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Shard worker threads.
+    pub shards: usize,
+    pub clock: ClockMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:7077".into(), shards: default_shards(), clock: ClockMode::Wall }
+    }
+}
+
+/// Default shard count: the machine's parallelism.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A running server. Dropping it without [`Server::join`] aborts less
+/// gracefully (threads are detached); prefer `join`.
+pub struct Server {
+    runtime: Arc<ControllerRuntime>,
+    sim: Option<Arc<SimClock>>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let (runtime, sim) = match config.clock {
+            ClockMode::Wall => {
+                (ControllerRuntime::new(config.shards, Arc::new(WallClock::new())), None)
+            }
+            ClockMode::Sim => {
+                let sim = Arc::new(SimClock::new());
+                let clock: Arc<dyn Clock> = Arc::<SimClock>::clone(&sim);
+                (ControllerRuntime::new(config.shards, clock), Some(sim))
+            }
+        };
+        let runtime = Arc::new(runtime);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_runtime = Arc::clone(&runtime);
+        let accept_sim = sim.clone();
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("tempo-serve-accept".into())
+            .spawn(move || {
+                accept_loop(listener, accept_runtime, accept_sim, accept_shutdown);
+            })
+            .expect("spawn accept thread");
+
+        Ok(Server { runtime, sim, local_addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The hosted runtime (embedded callers can bypass the socket).
+    pub fn runtime(&self) -> &Arc<ControllerRuntime> {
+        &self.runtime
+    }
+
+    /// The simulated clock, in [`ClockMode::Sim`].
+    pub fn sim_clock(&self) -> Option<&Arc<SimClock>> {
+        self.sim.as_ref()
+    }
+
+    /// Raises the shutdown flag and unblocks the accept loop. Returns
+    /// immediately; use [`Server::join`] to wait for drain.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so it observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Whether a shutdown has been requested (by a client or locally).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server has fully drained (accept loop exited, every
+    /// connection handler joined), then returns the runtime so the caller
+    /// can snapshot it before dropping (which joins the shard workers).
+    pub fn join(mut self) -> Arc<ControllerRuntime> {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        Arc::clone(&self.runtime)
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    runtime: Arc<ControllerRuntime>,
+    sim: Option<Arc<SimClock>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let runtime = Arc::clone(&runtime);
+        let sim = sim.clone();
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("tempo-serve-conn".into())
+            .spawn(move || handle_connection(stream, runtime, sim, flag))
+            .expect("spawn connection handler");
+        let mut list = handlers.lock().expect("handler list");
+        // Reap finished handlers so a long-lived daemon serving many
+        // short-lived connections doesn't accumulate join state forever.
+        list.retain(|h| !h.is_finished());
+        list.push(handle);
+    }
+    for handle in handlers.lock().expect("handler list").drain(..) {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    runtime: Arc<ControllerRuntime>,
+    sim: Option<Arc<SimClock>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    // Short read timeouts keep the handler responsive to the shutdown flag
+    // without busy-waiting.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Frame lines at the byte level: `read_line` would *discard* a partial
+    // read whose accumulated bytes aren't yet valid UTF-8 (a timeout firing
+    // mid-way through a multibyte character), silently corrupting the
+    // stream. `read_until` keeps every byte across timeouts.
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_until(b'\n', &mut pending) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                if pending.last() != Some(&b'\n') {
+                    continue; // EOF without newline; next read returns 0
+                }
+                let raw = std::mem::take(&mut pending);
+                let Ok(line) = std::str::from_utf8(&raw) else {
+                    let resp = Response::Error { message: "request is not valid UTF-8".into() };
+                    let ok = writer
+                        .write_all(format!("{}\n", encode(&resp)).as_bytes())
+                        .and_then(|()| writer.flush())
+                        .is_ok();
+                    if !ok {
+                        break;
+                    }
+                    continue;
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (response, stop) = dispatch(&runtime, sim.as_deref(), &shutdown, line);
+                let ok = writer
+                    .write_all(format!("{}\n", encode(&response)).as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_ok();
+                if stop {
+                    // Unblock the accept loop so it observes the flag; the
+                    // handler's local address *is* the server's bound
+                    // address.
+                    if let Ok(addr) = writer.local_addr() {
+                        let _ = TcpStream::connect(addr);
+                    }
+                }
+                if !ok || stop {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Timeout poll: partial bytes are already in `pending`.
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Executes one request; the bool asks the handler (and, transitively, the
+/// whole server) to stop.
+fn dispatch(
+    runtime: &ControllerRuntime,
+    sim: Option<&SimClock>,
+    shutdown: &AtomicBool,
+    line: &str,
+) -> (Response, bool) {
+    let request: Request = match decode(line) {
+        Ok(r) => r,
+        Err(e) => return (Response::Error { message: format!("bad request: {e}") }, false),
+    };
+    let fail = |e: crate::runtime::RuntimeError| Response::Error { message: e.to_string() };
+    let response = match request {
+        Request::Hello => {
+            let m = runtime.metrics();
+            Response::Hello {
+                proto: PROTO_VERSION,
+                shards: m.shards,
+                domains: m.domains,
+                clock: if sim.is_some() { "sim".into() } else { "wall".into() },
+            }
+        }
+        Request::CreateDomain { spec } => match runtime.create_domain(spec) {
+            Ok(domain) => Response::Created { domain },
+            Err(e) => fail(e),
+        },
+        Request::Ingest { domain, jobs } => match runtime.ingest(domain, jobs) {
+            Ok(accepted) => Response::Ingested { domain, accepted },
+            Err(e) => fail(e),
+        },
+        Request::Advance { domain, steps } => {
+            let steps = steps.clamp(1, 10_000);
+            let mut decisions = Vec::with_capacity(steps as usize);
+            let mut error = None;
+            for _ in 0..steps {
+                match runtime.advance(domain) {
+                    Ok(rec) => decisions.push(rec),
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            match error {
+                Some(e) if decisions.is_empty() => fail(e),
+                _ => Response::Advanced { domain, decisions },
+            }
+        }
+        Request::AdvanceAll => Response::AdvancedAll { decisions: runtime.advance_all() },
+        Request::Config { domain } => match runtime.current_config(domain) {
+            Ok(config) => Response::Config { domain, config },
+            Err(e) => fail(e),
+        },
+        Request::Metrics => Response::Metrics { metrics: runtime.metrics() },
+        Request::Snapshot => Response::Snapshot { snapshot: runtime.snapshot() },
+        Request::Restore { snapshot } => match runtime.restore(snapshot) {
+            Ok(domains) => Response::Restored { domains },
+            Err(e) => fail(e),
+        },
+        Request::Tick { micros } => match sim {
+            Some(clock) => Response::Ticked { now: clock.advance(micros) },
+            None => Response::Error { message: "Tick requires --sim-clock".into() },
+        },
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            return (Response::ShuttingDown, true);
+        }
+    };
+    (response, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainSpec;
+    use tempo_qs::{QsKind, SloSet, SloSpec};
+    use tempo_sim::{ClusterSpec, RmConfig, TenantConfig};
+    use tempo_workload::time::{MIN, SEC};
+    use tempo_workload::trace::{JobSpec, TaskSpec};
+
+    fn spec(name: &str) -> DomainSpec {
+        let slos = SloSet::new(vec![
+            SloSpec::new(Some(0), QsKind::DeadlineMiss { gamma: 0.25 }).with_threshold(0.0),
+            SloSpec::new(Some(1), QsKind::AvgResponseTime),
+        ]);
+        let initial = RmConfig::new(vec![
+            TenantConfig::fair_default().with_weight(2.0),
+            TenantConfig::fair_default(),
+        ]);
+        DomainSpec::new(name, ClusterSpec::new(8, 4), slos, initial, 4 * MIN).with_probes(3)
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let writer = stream.try_clone().expect("clone stream");
+            Client { reader: BufReader::new(stream), writer }
+        }
+
+        fn call(&mut self, request: &Request) -> Response {
+            self.writer
+                .write_all(format!("{}\n", encode(request)).as_bytes())
+                .expect("send request");
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read response");
+            decode(&line).expect("parse response")
+        }
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 2,
+            clock: ClockMode::Sim,
+        })
+        .expect("start server");
+        let mut client = Client::connect(server.local_addr());
+
+        match client.call(&Request::Hello) {
+            Response::Hello { proto, clock, .. } => {
+                assert_eq!(proto, PROTO_VERSION);
+                assert_eq!(clock, "sim");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let domain = match client.call(&Request::CreateDomain { spec: spec("wire") }) {
+            Response::Created { domain } => domain,
+            other => panic!("unexpected {other:?}"),
+        };
+
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| {
+                JobSpec::new(
+                    0,
+                    (i % 2) as u16,
+                    i * 30 * SEC,
+                    vec![TaskSpec::map(20 * SEC), TaskSpec::reduce(30 * SEC)],
+                )
+            })
+            .collect();
+        match client.call(&Request::Ingest { domain, jobs }) {
+            Response::Ingested { accepted, .. } => assert_eq!(accepted, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        match client.call(&Request::Tick { micros: 2 * MIN }) {
+            Response::Ticked { now } => assert_eq!(now, 2 * MIN),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        match client.call(&Request::Advance { domain, steps: 2 }) {
+            Response::Advanced { decisions, .. } => {
+                assert_eq!(decisions.len(), 2);
+                assert!(decisions.iter().all(|d| !d.skipped));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        match client.call(&Request::Metrics) {
+            Response::Metrics { metrics } => {
+                assert_eq!(metrics.domains, 1);
+                assert_eq!(metrics.total_decisions, 2);
+                assert_eq!(metrics.total_ingested, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Bad input degrades to an error response, not a dropped connection.
+        match client.call(&Request::Advance { domain: 999, steps: 1 }) {
+            Response::Error { message } => assert!(message.contains("unknown domain")),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        assert_eq!(client.call(&Request::Shutdown), Response::ShuttingDown);
+        let runtime = server.join();
+        assert_eq!(runtime.metrics().total_decisions, 2);
+    }
+
+    #[test]
+    fn snapshot_restore_across_server_instances() {
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 2,
+            clock: ClockMode::Sim,
+        })
+        .expect("start server");
+        let mut client = Client::connect(server.local_addr());
+        let domain = match client.call(&Request::CreateDomain { spec: spec("resume") }) {
+            Response::Created { domain } => domain,
+            other => panic!("unexpected {other:?}"),
+        };
+        let jobs: Vec<JobSpec> =
+            (0..3).map(|i| JobSpec::new(0, 0, i * MIN, vec![TaskSpec::map(30 * SEC)])).collect();
+        client.call(&Request::Ingest { domain, jobs });
+        client.call(&Request::Advance { domain, steps: 1 });
+        let snapshot = match client.call(&Request::Snapshot) {
+            Response::Snapshot { snapshot } => snapshot,
+            other => panic!("unexpected {other:?}"),
+        };
+        client.call(&Request::Shutdown);
+        server.join();
+
+        // A fresh daemon restores the state and keeps counting from there.
+        let server2 = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4, // shard count need not match
+            clock: ClockMode::Sim,
+        })
+        .expect("start server 2");
+        let mut client2 = Client::connect(server2.local_addr());
+        match client2.call(&Request::Restore { snapshot }) {
+            Response::Restored { domains } => assert_eq!(domains, vec![domain]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client2.call(&Request::Metrics) {
+            Response::Metrics { metrics } => {
+                assert_eq!(metrics.total_decisions, 1);
+                assert_eq!(metrics.total_ingested, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        client2.call(&Request::Shutdown);
+        server2.join();
+    }
+}

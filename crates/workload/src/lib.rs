@@ -25,7 +25,9 @@ pub mod swim;
 pub mod synthetic;
 pub mod time;
 pub mod trace;
+pub mod window;
 
 pub use model::{ArrivalProcess, CountDist, DeadlinePolicy, JobShape, TenantModel, WorkloadModel};
 pub use time::Time;
 pub use trace::{JobSpec, TaskKind, TaskSpec, TenantId, Trace, NUM_KINDS};
+pub use window::{WindowLog, WindowLogState};

@@ -5,8 +5,14 @@
 //! Panics in spawned threads propagate when the scope joins (std resumes the
 //! unwind in the parent), so the `Result` is always `Ok` — same observable
 //! behaviour as crossbeam for callers that `.expect()` the scope result.
+//!
+//! The [`channel`] module vendors the slice of `crossbeam-channel` the
+//! workspace uses: multi-producer FIFO queues connecting the serve runtime's
+//! shard workers to their callers.
 
 use std::any::Any;
+
+pub mod channel;
 
 /// Scope handle passed to the closure; `spawn` mirrors crossbeam's signature
 /// where the spawned closure receives the scope again (for nested spawns).

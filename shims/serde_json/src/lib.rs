@@ -296,12 +296,24 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
+                _ if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-decode from the byte position to keep UTF-8 intact.
+                    // Decode exactly one UTF-8 scalar from its ≤4 bytes.
+                    // (Validating from here to the *end* of the input would
+                    // make string parsing quadratic in document size, which
+                    // multi-megabyte serve snapshots turn into a hang.)
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                    let c = s.chars().next().expect("non-empty by construction");
+                    let end = (start + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[start..end];
+                    let prefix = match std::str::from_utf8(chunk) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err(Error::new("invalid utf-8 in string")),
+                    };
+                    let c = prefix.chars().next().expect("non-empty valid prefix");
                     out.push(c);
                     self.pos = start + c.len_utf8();
                 }
@@ -344,6 +356,29 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multibyte_strings_round_trip_and_parse_in_linear_time() {
+        // One scalar decoded per step — including at the very end of input
+        // and directly before a closing quote.
+        let cases = ["héllo wörld", "日本語テキスト", "emoji 🚀 tail", "é"];
+        for s in cases {
+            let json = to_string(&String::from(s)).unwrap();
+            assert_eq!(from_str::<String>(&json).unwrap(), s);
+        }
+        // A large string-heavy document must parse in linear time; the
+        // pre-fix quadratic path took minutes on megabyte inputs, so a
+        // coarse wall-clock bound is a meaningful regression guard.
+        let doc = format!("[{}]", vec!["\"padding-ascii-and-ünïcode\""; 20_000].join(","));
+        let started = std::time::Instant::now();
+        let parsed: Vec<String> = from_str(&doc).unwrap();
+        assert_eq!(parsed.len(), 20_000);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing is superlinear again: {:?}",
+            started.elapsed()
+        );
+    }
 
     #[test]
     fn scalars_round_trip() {
