@@ -15,8 +15,12 @@ use tempo_core::pald::{Pald, PaldConfig};
 use tempo_core::whatif::{WhatIfModel, WorkloadSource};
 use tempo_core::{scenario, ConfigSpace, WhatIfObjective};
 use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
-use tempo_serve::{ControllerRuntime, SimClock};
-use tempo_sim::{predict, RmConfig};
+use tempo_serve::proto::{Request, Response};
+use tempo_serve::server::default_shards;
+use tempo_serve::{
+    Client, ClockMode, ControllerRuntime, DomainSpec, Proto, Server, ServerConfig, SimClock,
+};
+use tempo_sim::{predict, ClusterSpec, RmConfig, TenantConfig};
 use tempo_workload::time::HOUR;
 
 /// Throughput numbers for the predict→optimize hot path.
@@ -57,6 +61,15 @@ pub struct PerfReport {
     pub serve_decisions_per_sec: f64,
     /// Job submissions/sec ingested by the same runtime while deciding.
     pub serve_ingest_events_per_sec: f64,
+    /// Decisions/sec over real TCP loopback with the legacy JSONL codec, one
+    /// request in flight (the pre-PR6 wire behaviour; the speedup's
+    /// denominator). `NaN` when read from a pre-PR6 baseline.
+    pub serve_decisions_per_sec_jsonl_wire: f64,
+    /// Decisions/sec over the same wire with the framed binary codec,
+    /// fused `IngestAdvance` frames, and a 32-deep pipeline.
+    pub serve_decisions_per_sec_binary: f64,
+    /// `binary pipelined / jsonl sync` on the wire — the data-plane win.
+    pub serve_pipelined_speedup: f64,
 }
 
 /// Fraction of an evaluations/sec baseline a run may lose before the CI
@@ -189,6 +202,8 @@ pub fn perf(scale: Scale) -> PerfReport {
         Scale::Full => 256,
     };
     let (serve_decisions, serve_events) = serve_throughput(serve_domains, min_secs);
+    let wire_jsonl = serve_wire_throughput(serve_domains, min_secs, Proto::Jsonl, 1, false);
+    let wire_binary = serve_wire_throughput(serve_domains, min_secs, Proto::Binary, 32, true);
 
     PerfReport {
         scale: match scale {
@@ -206,7 +221,96 @@ pub fn perf(scale: Scale) -> PerfReport {
         serve_domains: serve_domains as f64,
         serve_decisions_per_sec: serve_decisions,
         serve_ingest_events_per_sec: serve_events,
+        serve_decisions_per_sec_jsonl_wire: wire_jsonl,
+        serve_decisions_per_sec_binary: wire_binary,
+        serve_pipelined_speedup: if wire_jsonl > 0.0 { wire_binary / wire_jsonl } else { 0.0 },
     }
+}
+
+/// A deliberately light contention domain — tiny cluster, single probe — so
+/// each advance is a real decision but cheap enough that the wire path, not
+/// the controller, is the measured quantity. (`serve_decisions_per_sec`
+/// keeps the full-weight domains; this pair of wire metrics isolates the
+/// codec + round-trip cost that the binary pipelined plane removes.)
+fn light_wire_spec(name: &str, seed: u64) -> DomainSpec {
+    use tempo_qs::{QsKind, SloSet, SloSpec};
+    let slos = SloSet::new(vec![
+        SloSpec::new(Some(0), QsKind::DeadlineMiss { gamma: 0.25 }).with_threshold(0.0),
+        SloSpec::new(Some(1), QsKind::AvgResponseTime),
+    ]);
+    let initial = RmConfig::new(vec![
+        TenantConfig::fair_default().with_weight(2.0),
+        TenantConfig::fair_default(),
+    ]);
+    DomainSpec::new(name, ClusterSpec::new(4, 2), slos, initial, DEMO_WINDOW)
+        .with_seed(seed)
+        .with_probes(1)
+}
+
+/// Wire throughput: a real TCP loopback server (sim clock) driven by one
+/// client at the given protocol/pipelining settings. Each round ingests a
+/// burst into every domain and advances it — fused `IngestAdvance` frames
+/// when `batch`, separate ingest/advance pairs otherwise — then rolls the
+/// sim clock. Returns unskipped decisions/sec as seen by the client.
+fn serve_wire_throughput(
+    domains: u64,
+    min_secs: f64,
+    proto: Proto,
+    pipeline: usize,
+    batch: bool,
+) -> f64 {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: default_shards(),
+        clock: ClockMode::Sim,
+    })
+    .expect("start perf wire server");
+    let mut client = Client::connect(server.local_addr(), proto).expect("connect perf client");
+    let ids: Vec<u64> = (0..domains)
+        .map(|i| {
+            let spec = light_wire_spec(&format!("wire-{i}"), i);
+            match client.call(&Request::CreateDomain { spec }).expect("create wire domain") {
+                Response::Created { domain } => domain,
+                other => panic!("create wire domain failed: {other:?}"),
+            }
+        })
+        .collect();
+
+    let mut round = 0u64;
+    let throughput = rate(min_secs, 2, || {
+        let base = round * (DEMO_WINDOW / 8);
+        let mut requests: Vec<Request> = ids
+            .iter()
+            .flat_map(|&id| {
+                let jobs = contention_burst(base, 4, id ^ round);
+                if batch {
+                    vec![Request::IngestAdvance { domain: id, jobs, steps: 1 }]
+                } else {
+                    vec![
+                        Request::Ingest { domain: id, jobs },
+                        Request::Advance { domain: id, steps: 1 },
+                    ]
+                }
+            })
+            .collect();
+        requests.push(Request::Tick { micros: DEMO_WINDOW / 8 });
+        round += 1;
+        let responses = client.call_pipelined(&requests, pipeline).expect("pipelined wire round");
+        responses
+            .iter()
+            .map(|response| match response {
+                Response::Advanced { decisions, .. }
+                | Response::IngestAdvanced { decisions, .. } => {
+                    decisions.iter().filter(|d| !d.skipped).count() as u64
+                }
+                Response::Ingested { .. } | Response::Ticked { .. } => 0,
+                other => panic!("wire round failed: {other:?}"),
+            })
+            .sum()
+    });
+    assert!(matches!(client.call(&Request::Shutdown).expect("shutdown"), Response::ShuttingDown));
+    server.join();
+    throughput
 }
 
 /// Sustained multi-domain serving throughput: a sharded
@@ -288,6 +392,16 @@ pub fn check_against_baseline(
             baseline.serve_decisions_per_sec,
         ));
     }
+    // Pre-PR6 baselines lack the binary wire metric: same skip rule. The
+    // speedup ratio is reported but not gated (it divides two measurements
+    // of the same machine and compounds their noise).
+    if baseline.serve_decisions_per_sec_binary.is_finite() {
+        metrics.push((
+            "serve_decisions_per_sec_binary",
+            current.serve_decisions_per_sec_binary,
+            baseline.serve_decisions_per_sec_binary,
+        ));
+    }
     for (name, cur, base) in metrics {
         let ratio = if base > 0.0 { cur / base } else { f64::INFINITY };
         let ok = ratio >= floor;
@@ -326,6 +440,15 @@ impl std::fmt::Display for PerfReport {
                 fmt(self.serve_decisions_per_sec),
             ],
             vec!["serve ingest events/sec".into(), fmt(self.serve_ingest_events_per_sec)],
+            vec![
+                "serve wire decisions/sec (jsonl, sync)".into(),
+                fmt(self.serve_decisions_per_sec_jsonl_wire),
+            ],
+            vec![
+                "serve wire decisions/sec (binary, pipelined)".into(),
+                fmt(self.serve_decisions_per_sec_binary),
+            ],
+            vec!["serve pipelined speedup".into(), format!("{:.2}x", self.serve_pipelined_speedup)],
         ];
         writeln!(
             f,
@@ -357,14 +480,19 @@ mod tests {
             serve_domains: 64.0,
             serve_decisions_per_sec: 2000.0,
             serve_ingest_events_per_sec: 12_000.0,
+            serve_decisions_per_sec_jsonl_wire: 1500.0,
+            serve_decisions_per_sec_binary: 9000.0,
+            serve_pipelined_speedup: 6.0,
         };
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.threads, 4);
         assert!((back.whatif_evals_per_sec_batched - 31.5).abs() < 1e-9);
         assert!((back.serve_decisions_per_sec - 2000.0).abs() < 1e-9);
+        assert!((back.serve_decisions_per_sec_binary - 9000.0).abs() < 1e-9);
         assert!(r.to_string().contains("batch speedup"));
         assert!(r.to_string().contains("serve decisions/sec"));
+        assert!(r.to_string().contains("serve pipelined speedup"));
     }
 
     #[test]
@@ -391,6 +519,33 @@ mod tests {
     }
 
     #[test]
+    fn pre_pr6_baselines_skip_the_wire_gate() {
+        // A PR5-era baseline has serve numbers but no binary wire metric:
+        // that gate (and only that gate) is skipped.
+        let old = r#"{
+            "scale": "quick", "threads": 1, "trace_tasks": 10,
+            "whatif_evals_per_sec_serial": 100.0,
+            "whatif_evals_per_sec_batched": 100.0,
+            "batch_speedup": 1.0,
+            "whatif_evals_per_sec_abc_stochastic": 100.0,
+            "pald_iters_per_sec": 1.0,
+            "predictor_tasks_per_sec": 1.0,
+            "serve_domains": 64.0,
+            "serve_decisions_per_sec": 100.0,
+            "serve_ingest_events_per_sec": 100.0
+        }"#;
+        let baseline: PerfReport = serde_json::from_str(old).unwrap();
+        assert!(baseline.serve_decisions_per_sec_binary.is_nan());
+        let mut current = baseline.clone();
+        current.serve_decisions_per_sec_jsonl_wire = 100.0;
+        current.serve_decisions_per_sec_binary = 700.0;
+        current.serve_pipelined_speedup = 7.0;
+        let verdict = check_against_baseline(&current, &baseline).unwrap();
+        assert!(verdict.contains("serve_decisions_per_sec"));
+        assert!(!verdict.contains("serve_decisions_per_sec_binary"));
+    }
+
+    #[test]
     fn regression_gate_trips_beyond_tolerance() {
         let mut base = PerfReport {
             scale: "quick".into(),
@@ -405,6 +560,9 @@ mod tests {
             serve_domains: 64.0,
             serve_decisions_per_sec: 100.0,
             serve_ingest_events_per_sec: 100.0,
+            serve_decisions_per_sec_jsonl_wire: 100.0,
+            serve_decisions_per_sec_binary: 500.0,
+            serve_pipelined_speedup: 5.0,
         };
         let current = base.clone();
         assert!(check_against_baseline(&current, &base).is_ok());

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! serve_bench [--domains N] [--secs S] [--clients C] [--shards N]
+//!             [--proto jsonl|binary] [--pipeline N] [--batch]
 //!             [--connect HOST:PORT] [--shutdown] [--out FILE]
 //!             [--min-decisions K]
 //! ```
@@ -14,36 +15,21 @@
 //! ingest-burst → advance until the deadline; the process exits non-zero
 //! unless every domain made at least `--min-decisions` decisions and the
 //! server drained cleanly.
+//!
+//! `--proto binary` negotiates the framed binary codec, `--pipeline N`
+//! keeps N requests in flight per connection (out-of-order completion over
+//! binary, write-ahead over JSONL), and `--batch` folds each ingest+advance
+//! round into a single `IngestAdvance` frame.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
-use tempo_serve::proto::{decode, encode, Request, Response};
-use tempo_serve::{ClockMode, Server, ServerConfig};
+use tempo_serve::proto::{Request, Response};
+use tempo_serve::{Client, ClockMode, Proto, Server, ServerConfig};
 
-/// One JSONL/TCP connection.
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: &str) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect to tempo-serve");
-        stream.set_nodelay(true).ok();
-        let writer = stream.try_clone().expect("clone stream");
-        Client { reader: BufReader::new(stream), writer }
-    }
-
-    fn call(&mut self, request: &Request) -> Response {
-        self.writer.write_all(format!("{}\n", encode(request)).as_bytes()).expect("send");
-        let mut line = String::new();
-        self.reader.read_line(&mut line).expect("recv");
-        decode(&line).expect("parse response")
-    }
+fn connect(addr: &str, proto: Proto) -> Client {
+    Client::connect(addr, proto).expect("connect to tempo-serve")
 }
 
 fn main() {
@@ -58,6 +44,10 @@ fn main() {
     let clients = parse("--clients", domains.min(8)).max(1) as usize;
     let shards = parse("--shards", tempo_serve::server::default_shards() as u64) as usize;
     let min_decisions = parse("--min-decisions", 1);
+    let proto = flag_value("--proto")
+        .map_or(Proto::Jsonl, |v| Proto::parse(&v).unwrap_or_else(|e| panic!("{e}")));
+    let pipeline = parse("--pipeline", 1).max(1) as usize;
+    let batch = args.iter().any(|a| a == "--batch");
     let external = flag_value("--connect");
     let shutdown_external = args.iter().any(|a| a == "--shutdown");
     let out = flag_value("--out");
@@ -77,10 +67,16 @@ fn main() {
     };
     let addr = external.unwrap_or_else(|| spawned.as_ref().unwrap().local_addr().to_string());
 
-    let mut control = Client::connect(&addr);
-    let sim_clock = match control.call(&Request::Hello) {
+    let mut control = connect(&addr, proto);
+    let sim_clock = match control.call(&Request::Hello).expect("handshake") {
         Response::Hello { clock, .. } => clock == "sim",
         other => panic!("handshake failed: {other:?}"),
+    };
+    // Ingest accounting below is a delta: an external daemon may already
+    // carry traffic from earlier runs (CI drives one daemon twice).
+    let initial_ingested = match control.call(&Request::Metrics).expect("initial metrics") {
+        Response::Metrics { metrics } => metrics.total_ingested,
+        other => panic!("initial metrics failed: {other:?}"),
     };
 
     // Create the fleet.
@@ -88,6 +84,7 @@ fn main() {
         .map(|i| {
             match control
                 .call(&Request::CreateDomain { spec: contention_spec(&format!("domain-{i}"), i) })
+                .expect("create domain")
             {
                 Response::Created { domain } => domain,
                 other => panic!("create domain {i} failed: {other:?}"),
@@ -100,6 +97,7 @@ fn main() {
     let decisions = Arc::new(AtomicU64::new(0));
     let skipped = Arc::new(AtomicU64::new(0));
     let events = Arc::new(AtomicU64::new(0));
+    let busy = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
@@ -109,20 +107,39 @@ fn main() {
             let decisions = Arc::clone(&decisions);
             let skipped = Arc::clone(&skipped);
             let events = Arc::clone(&events);
+            let busy = Arc::clone(&busy);
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addr);
+                let mut client = connect(&addr, proto);
                 let mut round = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    for &id in &my_ids {
-                        let base = round * (DEMO_WINDOW / 4);
-                        let burst = contention_burst(base, 6, id ^ round);
-                        match client.call(&Request::Ingest { domain: id, jobs: burst }) {
+                    let base = round * (DEMO_WINDOW / 4);
+                    // One round = every owned domain gets a burst and an
+                    // advance, issued as a pipelined window of either
+                    // fused `IngestAdvance` frames or ingest/advance pairs.
+                    let requests: Vec<Request> = my_ids
+                        .iter()
+                        .flat_map(|&id| {
+                            let jobs = contention_burst(base, 6, id ^ round);
+                            if batch {
+                                vec![Request::IngestAdvance { domain: id, jobs, steps: 1 }]
+                            } else {
+                                vec![
+                                    Request::Ingest { domain: id, jobs },
+                                    Request::Advance { domain: id, steps: 1 },
+                                ]
+                            }
+                        })
+                        .collect();
+                    let responses =
+                        client.call_pipelined(&requests, pipeline).expect("pipelined round");
+                    for response in responses {
+                        match response {
                             Response::Ingested { accepted, .. } => {
                                 events.fetch_add(accepted, Ordering::Relaxed);
                             }
-                            other => panic!("ingest failed: {other:?}"),
-                        }
-                        match client.call(&Request::Advance { domain: id, steps: 1 }) {
+                            Response::Busy { .. } => {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                            }
                             Response::Advanced { decisions: recs, .. } => {
                                 for rec in recs {
                                     if rec.skipped {
@@ -132,10 +149,25 @@ fn main() {
                                     }
                                 }
                             }
-                            other => panic!("advance failed: {other:?}"),
-                        }
-                        if stop.load(Ordering::Relaxed) {
-                            break;
+                            Response::IngestAdvanced {
+                                accepted,
+                                retry_after_micros,
+                                decisions: recs,
+                                ..
+                            } => {
+                                events.fetch_add(accepted, Ordering::Relaxed);
+                                if retry_after_micros.is_some() {
+                                    busy.fetch_add(1, Ordering::Relaxed);
+                                }
+                                for rec in recs {
+                                    if rec.skipped {
+                                        skipped.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        decisions.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            other => panic!("request failed: {other:?}"),
                         }
                     }
                     round += 1;
@@ -149,7 +181,7 @@ fn main() {
     while started.elapsed().as_secs_f64() < secs {
         std::thread::sleep(Duration::from_millis(25));
         if sim_clock {
-            control.call(&Request::Tick { micros: DEMO_WINDOW / 8 });
+            control.call(&Request::Tick { micros: DEMO_WINDOW / 8 }).expect("tick");
         }
     }
     stop.store(true, Ordering::SeqCst);
@@ -158,7 +190,7 @@ fn main() {
     }
     let elapsed = started.elapsed().as_secs_f64();
 
-    let metrics = match control.call(&Request::Metrics) {
+    let metrics = match control.call(&Request::Metrics).expect("metrics") {
         Response::Metrics { metrics } => metrics,
         other => panic!("metrics failed: {other:?}"),
     };
@@ -166,18 +198,27 @@ fn main() {
     let total_events = events.load(Ordering::SeqCst);
     let dps = total_decisions as f64 / elapsed;
     let eps = total_events as f64 / elapsed;
+    let proto_name = match proto {
+        Proto::Jsonl => "jsonl",
+        Proto::Binary => "binary",
+    };
     println!(
-        "serve_bench: {domains} domains / {clients} clients / {:.1}s — \
+        "serve_bench: {domains} domains / {clients} clients / {:.1}s \
+         [{proto_name}, pipeline {pipeline}{}] — \
          {total_decisions} decisions ({dps:.1}/s), {total_events} ingest events ({eps:.1}/s), \
-         {} skipped, {} cache entries, {} sims",
+         {} skipped, {} busy, {} cache entries, {} sims",
         elapsed,
+        if batch { ", batched" } else { "" },
         skipped.load(Ordering::SeqCst),
+        busy.load(Ordering::SeqCst),
         metrics.total_cache_entries,
         metrics.total_sims
     );
     if let Some(path) = out {
         let json = format!(
             "{{\n  \"domains\": {domains},\n  \"clients\": {clients},\n  \"secs\": {elapsed},\n  \
+             \"proto\": \"{proto_name}\",\n  \"pipeline\": {pipeline},\n  \
+             \"batch\": {batch},\n  \
              \"decisions\": {total_decisions},\n  \"ingest_events\": {total_events},\n  \
              \"decisions_per_sec\": {dps},\n  \"ingest_events_per_sec\": {eps}\n}}\n"
         );
@@ -189,13 +230,19 @@ fn main() {
     // the same of an external daemon (CI smoke stops the background
     // `tempo-serve` this way).
     if let Some(server) = spawned {
-        assert!(matches!(control.call(&Request::Shutdown), Response::ShuttingDown));
+        assert!(matches!(
+            control.call(&Request::Shutdown).expect("shutdown"),
+            Response::ShuttingDown
+        ));
         let runtime = server.join();
         let final_metrics = runtime.metrics();
         assert_eq!(final_metrics.domains, domains, "all domains survived to shutdown");
         println!("serve_bench: server drained cleanly");
     } else if shutdown_external {
-        assert!(matches!(control.call(&Request::Shutdown), Response::ShuttingDown));
+        assert!(matches!(
+            control.call(&Request::Shutdown).expect("shutdown"),
+            Response::ShuttingDown
+        ));
         println!("serve_bench: asked external server to shut down");
     }
 
@@ -217,7 +264,8 @@ fn main() {
         std::process::exit(1);
     }
     assert_eq!(
-        metrics.total_ingested, total_events,
+        metrics.total_ingested - initial_ingested,
+        total_events,
         "server-side ingest accounting matches the client side"
     );
 }

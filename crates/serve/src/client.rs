@@ -1,0 +1,173 @@
+//! TCP client for the serve wire protocol, speaking either codec.
+//!
+//! [`Client::call`] is the classic synchronous request/response round.
+//! [`Client::call_pipelined`] keeps a window of requests in flight: over the
+//! binary codec responses are matched by correlation id (the server may
+//! complete them out of order), over JSONL the client simply writes ahead
+//! and relies on the server's in-order replies. Either way the writes for a
+//! full window are coalesced into one syscall.
+
+use crate::codec::{self, BINARY_PREFIX, BINARY_VERSION, JSONL_PREFIX, MAX_FRAME_LEN};
+use crate::proto::{decode, encode_line, Request, Response};
+use bytes::BytesMut;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Which wire codec a [`Client`] negotiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// Line-delimited JSON (the legacy, `nc`-friendly codec).
+    Jsonl,
+    /// Length-prefixed binary frames with correlation ids.
+    Binary,
+}
+
+impl Proto {
+    /// Parses a `--proto` flag value.
+    pub fn parse(s: &str) -> Result<Proto, String> {
+        match s {
+            "jsonl" => Ok(Proto::Jsonl),
+            "binary" => Ok(Proto::Binary),
+            other => Err(format!("unknown proto {other:?} (expected jsonl|binary)")),
+        }
+    }
+}
+
+/// A connected wire-protocol client with reusable encode/decode buffers.
+pub struct Client {
+    proto: Proto,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Reusable JSONL line buffers (encode side / decode side).
+    line_out: String,
+    line_in: String,
+    /// Reusable binary frame encode buffer.
+    frame_out: BytesMut,
+    /// Next correlation id to assign (binary only).
+    next_corr: u64,
+}
+
+fn bad_data(e: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.into())
+}
+
+impl Client {
+    /// Connects and sends the negotiation prefix for `proto`.
+    pub fn connect(addr: impl ToSocketAddrs, proto: Proto) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = stream.try_clone()?;
+        match proto {
+            Proto::Jsonl => writer.write_all(&[JSONL_PREFIX])?,
+            Proto::Binary => writer.write_all(&[BINARY_PREFIX, BINARY_VERSION])?,
+        }
+        Ok(Client {
+            proto,
+            reader: BufReader::new(stream),
+            writer,
+            line_out: String::new(),
+            line_in: String::new(),
+            frame_out: BytesMut::with_capacity(4096),
+            next_corr: 0,
+        })
+    }
+
+    /// The negotiated codec.
+    pub fn proto(&self) -> Proto {
+        self.proto
+    }
+
+    /// One synchronous request/response round.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        let mut responses = self.call_pipelined(std::slice::from_ref(request), 1)?;
+        Ok(responses.pop().expect("one response per request"))
+    }
+
+    /// Issues `requests` with up to `window` in flight at once; returns the
+    /// responses in request order.
+    pub fn call_pipelined(
+        &mut self,
+        requests: &[Request],
+        window: usize,
+    ) -> io::Result<Vec<Response>> {
+        let window = window.max(1);
+        match self.proto {
+            Proto::Jsonl => self.pipelined_jsonl(requests, window),
+            Proto::Binary => self.pipelined_binary(requests, window),
+        }
+    }
+
+    fn pipelined_jsonl(
+        &mut self,
+        requests: &[Request],
+        window: usize,
+    ) -> io::Result<Vec<Response>> {
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut sent = 0;
+        while responses.len() < requests.len() {
+            // Top the window off, all queued lines in one write.
+            if sent < requests.len() && sent - responses.len() < window {
+                self.line_out.clear();
+                while sent < requests.len() && sent - responses.len() < window {
+                    encode_line(&requests[sent], &mut self.line_out);
+                    sent += 1;
+                }
+                self.writer.write_all(self.line_out.as_bytes())?;
+                self.writer.flush()?;
+            }
+            self.line_in.clear();
+            if self.reader.read_line(&mut self.line_in)? == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            responses.push(decode(&self.line_in).map_err(bad_data)?);
+        }
+        Ok(responses)
+    }
+
+    fn pipelined_binary(
+        &mut self,
+        requests: &[Request],
+        window: usize,
+    ) -> io::Result<Vec<Response>> {
+        let base = self.next_corr;
+        self.next_corr += requests.len() as u64;
+        let mut responses: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+        let mut sent = 0;
+        let mut received = 0;
+        while received < requests.len() {
+            if sent < requests.len() && sent - received < window {
+                self.frame_out.clear();
+                while sent < requests.len() && sent - received < window {
+                    codec::encode_frame(base + sent as u64, &requests[sent], &mut self.frame_out);
+                    sent += 1;
+                }
+                self.writer.write_all(&self.frame_out)?;
+                self.writer.flush()?;
+            }
+            let (corr, body) = self.read_frame()?;
+            let idx =
+                corr.checked_sub(base).filter(|&i| (i as usize) < requests.len()).ok_or_else(
+                    || bad_data(format!("response for unknown correlation id {corr}")),
+                )? as usize;
+            if responses[idx].replace(codec::decode_binary(&body).map_err(bad_data)?).is_some() {
+                return Err(bad_data(format!("duplicate response for correlation id {corr}")));
+            }
+            received += 1;
+        }
+        Ok(responses.into_iter().map(|r| r.expect("all received")).collect())
+    }
+
+    fn read_frame(&mut self) -> io::Result<(u64, Vec<u8>)> {
+        let mut len = [0u8; 4];
+        self.reader.read_exact(&mut len)?;
+        let body_len = u32::from_le_bytes(len) as usize;
+        if !(8..=MAX_FRAME_LEN).contains(&body_len) {
+            return Err(bad_data(format!("bad frame length {body_len}")));
+        }
+        let mut corr = [0u8; 8];
+        self.reader.read_exact(&mut corr)?;
+        let mut body = vec![0u8; body_len - 8];
+        self.reader.read_exact(&mut body)?;
+        Ok((u64::from_le_bytes(corr), body))
+    }
+}

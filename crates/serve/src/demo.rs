@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn demo_domain_tunes_on_demo_bursts() {
         let mut d = Domain::new(contention_spec("demo", 3)).unwrap();
-        d.ingest(contention_burst(0, 8, 3));
+        d.ingest(0, contention_burst(0, 8, 3));
         let rec = d.advance(0);
         assert!(!rec.skipped);
         assert_eq!(rec.observed_qs.len(), 2);

@@ -53,6 +53,62 @@ pub struct DomainSpec {
     /// LRU watermark on memo-cache entries
     /// ([`WhatIfModel::set_cache_capacity`]).
     pub cache_capacity: Option<usize>,
+    /// Per-domain ingest budget; `None` (the default) accepts everything.
+    /// Old wire specs without the field deserialize as `None`.
+    pub ingest_budget: Option<IngestBudget>,
+}
+
+/// What to do with a burst that exceeds the domain's ingest budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackpressurePolicy {
+    /// Drop the excess permanently (lossy, the client keeps streaming):
+    /// the burst's accepted prefix is ingested, the rest is shed.
+    Shed,
+    /// Reject the whole burst with [`IngestOutcome::Busy`] so the client
+    /// can retry it after `retry_after_micros` (lossless with backoff).
+    Delay,
+}
+
+/// A token-bucket ingest budget: at most `jobs_per_window` job submissions
+/// per [`DomainSpec::window_len`] of clock time, with burst capacity equal
+/// to one window's worth. Refills are a pure function of clock readings, so
+/// budgeted domains stay deterministic under a [`crate::SimClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IngestBudget {
+    pub jobs_per_window: u64,
+    pub policy: BackpressurePolicy,
+}
+
+impl IngestBudget {
+    pub fn shed(jobs_per_window: u64) -> Self {
+        Self { jobs_per_window, policy: BackpressurePolicy::Shed }
+    }
+
+    pub fn delay(jobs_per_window: u64) -> Self {
+        Self { jobs_per_window, policy: BackpressurePolicy::Delay }
+    }
+}
+
+/// What one ingest call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestOutcome {
+    /// `accepted` jobs entered the workload window; under
+    /// [`BackpressurePolicy::Shed`] this may be fewer than were offered
+    /// (the rest were dropped and counted in `shed_count`).
+    Accepted { accepted: u64 },
+    /// The burst was rejected whole ([`BackpressurePolicy::Delay`]); retry
+    /// after roughly `retry_after_micros` of clock time.
+    Busy { retry_after_micros: u64 },
+}
+
+impl IngestOutcome {
+    /// Jobs that actually entered the window.
+    pub fn accepted(&self) -> u64 {
+        match self {
+            IngestOutcome::Accepted { accepted } => *accepted,
+            IngestOutcome::Busy { .. } => 0,
+        }
+    }
 }
 
 impl DomainSpec {
@@ -80,7 +136,13 @@ impl DomainSpec {
             observation_noise: NoiseModel::NONE,
             clear_cache_windows: Some(32),
             cache_capacity: Some(4096),
+            ingest_budget: None,
         }
+    }
+
+    pub fn with_ingest_budget(mut self, budget: IngestBudget) -> Self {
+        self.ingest_budget = Some(budget);
+        self
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -147,6 +209,11 @@ impl DomainSpec {
         if !(self.trust_radius > 0.0 && self.trust_radius <= 1.0) {
             return Err("trust radius outside (0, 1]".into());
         }
+        if let Some(budget) = &self.ingest_budget {
+            if budget.jobs_per_window == 0 {
+                return Err("ingest budget must allow at least one job per window".into());
+            }
+        }
         self.initial.validate().map_err(|e| format!("invalid initial RM configuration: {e}"))?;
         for slo in &self.slos.slos {
             if let Some(t) = slo.tenant {
@@ -200,6 +267,15 @@ pub struct Domain {
     last_end: Time,
     /// The window + shifted segment the What-if Model currently replays.
     installed: Option<((Time, Time), Trace)>,
+    /// Ingest-budget tokens currently available (meaningless without a
+    /// budget). Starts full: a fresh domain can absorb one window's burst.
+    tokens: f64,
+    /// Clock reading of the last token refill.
+    last_refill: Time,
+    /// Jobs dropped by the [`BackpressurePolicy::Shed`] policy.
+    shed: u64,
+    /// Jobs turned away with a retry by [`BackpressurePolicy::Delay`].
+    delayed: u64,
 }
 
 impl Domain {
@@ -224,6 +300,7 @@ impl Domain {
         let space = ConfigSpace::new(spec.initial.tenants.len(), &spec.cluster)
             .with_policy(spec.initial.policy);
         let tempo = Tempo::new(space, whatif, spec.loop_config(), &spec.initial);
+        let tokens = spec.ingest_budget.map_or(0.0, |b| b.jobs_per_window as f64);
         Ok(Self {
             spec,
             tempo,
@@ -233,6 +310,10 @@ impl Domain {
             skipped: 0,
             last_end: 0,
             installed: None,
+            tokens,
+            last_refill: 0,
+            shed: 0,
+            delayed: 0,
         })
     }
 
@@ -250,10 +331,67 @@ impl Domain {
         self.tempo.current_config()
     }
 
-    /// Ingests a batch of job submissions; returns how many were accepted.
-    /// Ids are re-assigned from the domain's dense counter.
-    pub fn ingest(&mut self, jobs: Vec<JobSpec>) -> u64 {
-        self.log.extend(jobs)
+    /// Ingests a batch of job submissions at clock reading `now`, enforcing
+    /// the spec's ingest budget (if any). Ids are re-assigned from the
+    /// domain's dense counter.
+    ///
+    /// This is the shard-worker half of the backpressure loop: the budget is
+    /// charged on the thread that owns the domain, so no amount of client
+    /// concurrency can over-admit a tenant.
+    pub fn ingest(&mut self, now: Time, jobs: Vec<JobSpec>) -> IngestOutcome {
+        let Some(budget) = self.spec.ingest_budget else {
+            return IngestOutcome::Accepted { accepted: self.log.extend(jobs) };
+        };
+        let capacity = budget.jobs_per_window as f64;
+        let rate = capacity / self.spec.window_len as f64; // tokens per µs
+        let dt = now.saturating_sub(self.last_refill);
+        self.last_refill = self.last_refill.max(now);
+        self.tokens = (self.tokens + dt as f64 * rate).min(capacity);
+
+        // A burst wider than the whole budget is charged one full window's
+        // worth, so oversized-but-rare bursts make progress instead of
+        // livelocking behind a bucket that can never hold them.
+        let offered = jobs.len() as u64;
+        let need = (offered as f64).min(capacity);
+        if need <= self.tokens {
+            self.tokens -= need;
+            return IngestOutcome::Accepted { accepted: self.log.extend(jobs) };
+        }
+        match budget.policy {
+            BackpressurePolicy::Shed => {
+                // Admit the prefix the remaining tokens cover; drop the rest.
+                let admit = (self.tokens.floor() as u64).min(offered);
+                self.tokens -= admit as f64;
+                self.shed += offered - admit;
+                let mut jobs = jobs;
+                jobs.truncate(admit as usize);
+                IngestOutcome::Accepted { accepted: self.log.extend(jobs) }
+            }
+            BackpressurePolicy::Delay => {
+                self.delayed += offered;
+                let deficit = need - self.tokens;
+                IngestOutcome::Busy { retry_after_micros: (deficit / rate).ceil() as u64 }
+            }
+        }
+    }
+
+    /// Jobs dropped past the budget under the shed policy.
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// Jobs turned away with a retry hint under the delay policy.
+    pub fn delayed_count(&self) -> u64 {
+        self.delayed
+    }
+
+    /// Fraction of the ingest budget currently consumed (0 = idle bucket,
+    /// 1 = exhausted); 0 for unbudgeted domains.
+    pub fn ingest_budget_occupancy(&self) -> f64 {
+        match self.spec.ingest_budget {
+            Some(b) => 1.0 - self.tokens / b.jobs_per_window as f64,
+            None => 0.0,
+        }
     }
 
     /// Jobs accepted over the domain's lifetime.
@@ -368,6 +506,10 @@ impl Domain {
             installed: self.installed.clone(),
             tempo: self.tempo.snapshot(),
             cache: self.tempo.whatif.export_cache(),
+            tokens: self.tokens,
+            last_refill: self.last_refill,
+            shed: self.shed,
+            delayed: self.delayed,
         }
     }
 
@@ -385,6 +527,10 @@ impl Domain {
             installed,
             tempo: tempo_snapshot,
             cache,
+            tokens,
+            last_refill,
+            shed,
+            delayed,
         } = snapshot;
         let mut domain = Domain::new(spec)?;
         // Wire-derived snapshots must be rejected gracefully, not let into
@@ -431,6 +577,10 @@ impl Domain {
         domain.decisions = decisions;
         domain.skipped = skipped;
         domain.last_end = last_end;
+        domain.tokens = tokens;
+        domain.last_refill = last_refill;
+        domain.shed = shed;
+        domain.delayed = delayed;
         Ok(domain)
     }
 }
@@ -452,6 +602,12 @@ pub struct DomainSnapshot {
     pub tempo: TempoSnapshot,
     /// Warm memo-cache entries ([`WhatIfModel::export_cache`]).
     pub cache: Vec<(u64, Vec<f64>)>,
+    /// Ingest-budget bucket state ([`IngestBudget`]), so a restored tenant
+    /// resumes with exactly the admission credit it had.
+    pub tokens: f64,
+    pub last_refill: Time,
+    pub shed: u64,
+    pub delayed: u64,
 }
 
 #[cfg(test)]
@@ -499,6 +655,58 @@ mod tests {
     }
 
     #[test]
+    fn delay_budget_rejects_whole_bursts_with_a_retry_hint() {
+        // Budget: 4 jobs per 4-minute window → refill rate 1 job/min.
+        let spec = demo_spec(1).with_ingest_budget(IngestBudget::delay(4));
+        let mut d = Domain::new(spec).unwrap();
+        // A fresh bucket is full; an oversized burst is charged one full
+        // window's worth and admitted (rare big bursts make progress).
+        assert_eq!(d.ingest(0, burst(0)), IngestOutcome::Accepted { accepted: 6 });
+        assert_eq!(d.ingest_budget_occupancy(), 1.0, "bucket drained");
+        // Bucket empty: the next burst is turned away whole, lossless.
+        assert_eq!(d.ingest(0, burst(0)), IngestOutcome::Busy { retry_after_micros: 4 * MIN });
+        assert_eq!(d.delayed_count(), 6);
+        assert_eq!(d.shed_count(), 0);
+        assert_eq!(d.ingested(), 6, "rejected jobs never entered the window");
+        // Half a window later: half the tokens are back, still not enough.
+        assert_eq!(
+            d.ingest(2 * MIN, burst(0)),
+            IngestOutcome::Busy { retry_after_micros: 2 * MIN }
+        );
+        // Waiting out the hint admits the burst.
+        assert_eq!(d.ingest(4 * MIN, burst(0)), IngestOutcome::Accepted { accepted: 6 });
+    }
+
+    #[test]
+    fn shed_budget_admits_a_prefix_and_drops_the_rest() {
+        let spec = demo_spec(1).with_ingest_budget(IngestBudget::shed(4));
+        let mut d = Domain::new(spec).unwrap();
+        assert_eq!(d.ingest(0, burst(0)), IngestOutcome::Accepted { accepted: 6 });
+        // Empty bucket: everything sheds, the client is never told to retry.
+        assert_eq!(d.ingest(0, burst(0)), IngestOutcome::Accepted { accepted: 0 });
+        assert_eq!(d.shed_count(), 6);
+        // One token refilled: a 1-job prefix is admitted, 5 shed.
+        assert_eq!(d.ingest(MIN, burst(0)), IngestOutcome::Accepted { accepted: 1 });
+        assert_eq!(d.shed_count(), 11);
+        assert_eq!(d.delayed_count(), 0);
+        assert_eq!(d.ingested(), 7);
+    }
+
+    #[test]
+    fn budget_state_survives_snapshot_restore() {
+        let spec = demo_spec(1).with_ingest_budget(IngestBudget::delay(4));
+        let mut d = Domain::new(spec).unwrap();
+        d.ingest(0, burst(0));
+        d.ingest(0, burst(0));
+        let restored = Domain::restore(d.snapshot(0)).unwrap();
+        assert_eq!(restored.delayed_count(), d.delayed_count());
+        assert_eq!(restored.ingest_budget_occupancy(), d.ingest_budget_occupancy());
+        // Identical future behaviour: both still reject at t=0.
+        let mut d2 = restored;
+        assert_eq!(d2.ingest(0, burst(0)), d.ingest(0, burst(0)));
+    }
+
+    #[test]
     fn validation_rejects_degenerate_specs() {
         let mut s = demo_spec(1);
         s.window_len = 0;
@@ -521,7 +729,7 @@ mod tests {
         assert!(rec.skipped);
         assert_eq!(rec.step, 1);
         assert_eq!(d.decisions(), 0);
-        d.ingest(burst(0));
+        d.ingest(0, burst(0));
         let rec = d.advance(0);
         assert!(!rec.skipped);
         assert_eq!(rec.step, 2);
@@ -532,12 +740,12 @@ mod tests {
     #[test]
     fn windows_roll_with_the_clock_and_evict_history() {
         let mut d = Domain::new(demo_spec(4)).unwrap();
-        d.ingest(burst(0));
+        d.ingest(0, burst(0));
         d.advance(0);
         let buffered = d.log.len();
         assert!(buffered > 0);
         // Jump two windows ahead: the old burst is out of range and evicted.
-        d.ingest(burst(9 * MIN));
+        d.ingest(0, burst(9 * MIN));
         let rec = d.advance(12 * MIN);
         assert_eq!(rec.window, (8 * MIN, 12 * MIN));
         assert!(!rec.skipped);
@@ -550,7 +758,7 @@ mod tests {
     #[test]
     fn repeated_advances_on_a_static_window_keep_tuning() {
         let mut d = Domain::new(demo_spec(5)).unwrap();
-        d.ingest(burst(0));
+        d.ingest(0, burst(0));
         let mut iterations = Vec::new();
         for _ in 0..3 {
             let rec = d.advance(0);
@@ -564,7 +772,7 @@ mod tests {
     #[test]
     fn restore_rejects_inconsistent_snapshots_gracefully() {
         let mut d = Domain::new(demo_spec(7)).unwrap();
-        d.ingest(burst(0));
+        d.ingest(0, burst(0));
         d.advance(0);
         // Wire-derived snapshots can be arbitrarily corrupt; each mismatch
         // must surface as Err (never reach core's assertions and panic the
@@ -592,9 +800,9 @@ mod tests {
     #[test]
     fn snapshot_restore_resumes_bit_identically() {
         let mut straight = Domain::new(demo_spec(6)).unwrap();
-        straight.ingest(burst(0));
+        straight.ingest(0, burst(0));
         straight.advance(0);
-        straight.ingest(burst(5 * MIN));
+        straight.ingest(0, burst(5 * MIN));
         straight.advance(6 * MIN);
 
         let snap = straight.snapshot(42);
@@ -607,7 +815,7 @@ mod tests {
         assert_eq!(resumed.ingested(), straight.ingested());
         // Both copies now see identical future input.
         for (t, b) in [(6 * MIN, burst(7 * MIN)), (9 * MIN, burst(8 * MIN))] {
-            assert_eq!(straight.ingest(b.clone()), resumed.ingest(b));
+            assert_eq!(straight.ingest(t, b.clone()), resumed.ingest(t, b));
             for _ in 0..2 {
                 assert_eq!(straight.advance(t), resumed.advance(t), "diverged at t={t}");
             }

@@ -14,25 +14,39 @@
 //! * [`clock`] — pluggable time: [`clock::WallClock`] for production,
 //!   [`clock::SimClock`] for deterministic replay and the serve/direct
 //!   parity suite.
-//! * [`proto`] + [`server`] — a JSONL-over-TCP wire protocol served by the
-//!   `tempo-serve` binary, with graceful drain on shutdown.
+//! * [`proto`] + [`codec`] + [`server`] — a TCP wire protocol with two
+//!   negotiated codecs sharing one message set: legacy JSONL (strict
+//!   request/response, `nc`-scriptable) and length-prefixed binary frames
+//!   with correlation ids, which the server pipelines out of order across
+//!   domains. [`client::Client`] speaks both.
+//! * Per-tenant ingest backpressure — domains can carry an
+//!   [`domain::IngestBudget`] (token bucket per re-tuning window) that
+//!   sheds or delays over-budget bursts ([`proto::Response::Busy`])
+//!   without slowing sibling domains on the same shard.
 //! * Snapshot/restore — [`runtime::RuntimeSnapshot`] captures tuned
 //!   configurations, optimizer state, workload windows, *and* warm What-if
 //!   memo-cache entries, so a restarted daemon resumes bit-identically.
 //!
 //! The companion `serve_bench` binary is the load generator: it drives
-//! hundreds of domains concurrently (embedded or over TCP) and reports
-//! decisions/sec and ingest events/sec.
+//! hundreds of domains concurrently (embedded or over TCP, either codec,
+//! with a configurable pipeline depth) and reports decisions/sec and
+//! ingest events/sec.
 
+pub mod client;
 pub mod clock;
+pub mod codec;
 pub mod demo;
 pub mod domain;
 pub mod proto;
 pub mod runtime;
 pub mod server;
 
+pub use client::{Client, Proto};
 pub use clock::{Clock, SimClock, WallClock};
-pub use domain::{DecisionRecord, Domain, DomainSnapshot, DomainSpec};
+pub use domain::{
+    BackpressurePolicy, DecisionRecord, Domain, DomainSnapshot, DomainSpec, IngestBudget,
+    IngestOutcome,
+};
 pub use proto::{Request, Response, PROTO_VERSION};
 pub use runtime::{
     ControllerRuntime, DomainId, DomainMetrics, RuntimeError, RuntimeMetrics, RuntimeSnapshot,

@@ -34,6 +34,12 @@ pub enum Request {
     Ingest { domain: u64, jobs: Vec<JobSpec> },
     /// Run `steps` control-loop iterations on one domain.
     Advance { domain: u64, steps: u64 },
+    /// Batched ingest-then-advance: folds the common
+    /// ingest → advance → read-decisions round into one frame. Equivalent
+    /// to `Ingest` followed by `Advance` on the same domain; if the ingest
+    /// is rejected by a `Delay` budget the advance still runs (the window
+    /// simply lacks the rejected burst).
+    IngestAdvance { domain: u64, jobs: Vec<JobSpec>, steps: u64 },
     /// Advance every hosted domain once.
     AdvanceAll,
     /// The configuration a domain's cluster should currently run.
@@ -67,8 +73,24 @@ pub enum Response {
         domain: u64,
         accepted: u64,
     },
+    /// The domain's ingest budget rejected the burst whole
+    /// ([`crate::BackpressurePolicy::Delay`]); resend it after roughly
+    /// `retry_after_micros` of server-clock time.
+    Busy {
+        domain: u64,
+        retry_after_micros: u64,
+    },
     Advanced {
         domain: u64,
+        decisions: Vec<DecisionRecord>,
+    },
+    /// `IngestAdvance` outcome. `accepted`/`retry_after_micros` mirror the
+    /// `Ingested`/`Busy` split; `decisions` mirrors `Advanced`.
+    IngestAdvanced {
+        domain: u64,
+        accepted: u64,
+        /// `Some` iff the ingest half was rejected by a `Delay` budget.
+        retry_after_micros: Option<u64>,
         decisions: Vec<DecisionRecord>,
     },
     /// `AdvanceAll` outcome: per-domain records, id-sorted.
@@ -102,6 +124,13 @@ pub fn encode<T: Serialize>(msg: &T) -> String {
     serde_json::to_string(msg).expect("wire message serializes")
 }
 
+/// Appends a message plus trailing newline to a reusable line buffer —
+/// the zero-fresh-allocation encode path connection loops use.
+pub fn encode_line<T: Serialize>(msg: &T, out: &mut String) {
+    serde_json::append_to_string(msg, out);
+    out.push('\n');
+}
+
 /// Decodes one JSONL line.
 pub fn decode<T: serde::Deserialize>(line: &str) -> Result<T, String> {
     serde_json::from_str(line.trim()).map_err(|e| e.to_string())
@@ -122,6 +151,11 @@ mod tests {
                 jobs: vec![JobSpec::new(0, 1, 5 * SEC, vec![TaskSpec::map(SEC)])],
             },
             Request::Advance { domain: 3, steps: 2 },
+            Request::IngestAdvance {
+                domain: 3,
+                jobs: vec![JobSpec::new(1, 0, 2 * SEC, vec![TaskSpec::reduce(SEC)])],
+                steps: 1,
+            },
             Request::AdvanceAll,
             Request::Config { domain: 0 },
             Request::Metrics,

@@ -13,7 +13,7 @@
 //! thin clients of this dispatch.
 
 use crate::clock::Clock;
-use crate::domain::{DecisionRecord, Domain, DomainSnapshot, DomainSpec};
+use crate::domain::{DecisionRecord, Domain, DomainSnapshot, DomainSpec, IngestOutcome};
 use crossbeam::channel::{self, Sender};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -66,6 +66,13 @@ pub struct DomainMetrics {
     pub cache_entries: u64,
     /// Simulations the domain's What-if Model has run.
     pub sims: u64,
+    /// Jobs dropped by a `Shed` ingest budget.
+    pub shed_count: u64,
+    /// Jobs turned away (whole bursts) by a `Delay` ingest budget.
+    pub delayed_count: u64,
+    /// Fraction of the ingest budget currently spent: 0.0 = idle bucket,
+    /// 1.0 = saturated. Always 0.0 for unbudgeted domains.
+    pub ingest_budget_occupancy: f64,
 }
 
 /// Aggregated runtime metrics (the wire protocol's `Metrics` reply).
@@ -78,6 +85,8 @@ pub struct RuntimeMetrics {
     pub total_ingested: u64,
     pub total_cache_entries: u64,
     pub total_sims: u64,
+    pub total_shed: u64,
+    pub total_delayed: u64,
     pub per_domain: Vec<DomainMetrics>,
 }
 
@@ -204,16 +213,51 @@ impl ControllerRuntime {
         Ok(id)
     }
 
-    /// Ingests job submissions into a domain's workload window; returns how
-    /// many jobs were accepted.
-    pub fn ingest(&self, id: DomainId, jobs: Vec<JobSpec>) -> Result<u64, RuntimeError> {
+    /// Ingests job submissions into a domain's workload window. The domain's
+    /// ingest budget (if any) is refilled from the runtime clock, so the
+    /// outcome may be `Busy` or a shed-trimmed `Accepted`.
+    pub fn ingest(&self, id: DomainId, jobs: Vec<JobSpec>) -> Result<IngestOutcome, RuntimeError> {
+        let now = self.clock.now();
         self.on_shard(id, move |state| {
             state
                 .domains
                 .get_mut(&id)
-                .map(|d| d.ingest(jobs))
+                .map(|d| d.ingest(now, jobs))
                 .ok_or(RuntimeError::UnknownDomain(id))
         })?
+    }
+
+    /// Runs `f` against the domain on its owning shard and waits for the
+    /// result — the blocking counterpart of
+    /// [`ControllerRuntime::on_domain_async`], used where one clock reading
+    /// must cover a compound operation (`IngestAdvance`).
+    pub fn on_domain<R, F>(&self, id: DomainId, f: F) -> Result<R, RuntimeError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Domain) -> R + Send + 'static,
+    {
+        self.on_shard(id, move |state| {
+            state.domains.get_mut(&id).map(f).ok_or(RuntimeError::UnknownDomain(id))
+        })?
+    }
+
+    /// Fire-and-forget dispatch: runs `f` against the domain on its owning
+    /// shard without blocking for a reply. The pipelined wire server is
+    /// built on this — a connection's reader thread dispatches frames as
+    /// fast as they arrive and `f` hands each result to the writer side.
+    ///
+    /// Same-domain operations dispatched in order execute in order (each
+    /// shard is a FIFO actor); `f` gets `Err(UnknownDomain)` if the id is
+    /// unplaced when the job runs.
+    pub fn on_domain_async<F>(&self, id: DomainId, f: F) -> Result<(), RuntimeError>
+    where
+        F: FnOnce(Result<&mut Domain, RuntimeError>) + Send + 'static,
+    {
+        let job: ShardJob = Box::new(move |state| match state.domains.get_mut(&id) {
+            Some(d) => f(Ok(d)),
+            None => f(Err(RuntimeError::UnknownDomain(id))),
+        });
+        self.shard_of(id).tx.send(job).map_err(|_| RuntimeError::ShardDown)
     }
 
     /// Runs one control-loop iteration on a domain against the window
@@ -284,6 +328,9 @@ impl ControllerRuntime {
                         ingested: d.ingested(),
                         cache_entries: d.cache_len() as u64,
                         sims: d.sim_count(),
+                        shed_count: d.shed_count(),
+                        delayed_count: d.delayed_count(),
+                        ingest_budget_occupancy: d.ingest_budget_occupancy(),
                     })
                     .collect::<Vec<_>>()
             })
@@ -299,6 +346,8 @@ impl ControllerRuntime {
             total_ingested: per_domain.iter().map(|m| m.ingested).sum(),
             total_cache_entries: per_domain.iter().map(|m| m.cache_entries).sum(),
             total_sims: per_domain.iter().map(|m| m.sims).sum(),
+            total_shed: per_domain.iter().map(|m| m.shed_count).sum(),
+            total_delayed: per_domain.iter().map(|m| m.delayed_count).sum(),
             per_domain,
         }
     }
@@ -471,6 +520,75 @@ mod tests {
         let m = rt.metrics();
         assert_eq!(m.total_decisions, 16);
         Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn over_budget_tenant_backpressures_without_slowing_siblings() {
+        use crate::domain::IngestBudget;
+        let clock = Arc::new(SimClock::new());
+        // One shard on purpose: the greedy tenant and its siblings share a
+        // worker thread, so isolation must come from the budget, not luck.
+        let rt = ControllerRuntime::new(1, Arc::<SimClock>::clone(&clock));
+        let greedy =
+            rt.create_domain(spec("greedy", 1).with_ingest_budget(IngestBudget::delay(4))).unwrap();
+        let calm_a = rt.create_domain(spec("calm-a", 2)).unwrap();
+        let calm_b = rt.create_domain(spec("calm-b", 3)).unwrap();
+
+        // The greedy tenant drains its bucket, then gets turned away.
+        assert_eq!(rt.ingest(greedy, jobs(0)).unwrap(), IngestOutcome::Accepted { accepted: 4 });
+        let busy = rt.ingest(greedy, jobs(0)).unwrap();
+        assert!(
+            matches!(busy, IngestOutcome::Busy { retry_after_micros } if retry_after_micros > 0)
+        );
+
+        // Siblings on the same shard keep ingesting and deciding at full
+        // rate while the greedy tenant is backpressured.
+        for _ in 0..3 {
+            assert_eq!(rt.ingest(calm_a, jobs(0)).unwrap().accepted(), 4);
+            assert_eq!(rt.ingest(calm_b, jobs(0)).unwrap().accepted(), 4);
+            clock.advance(30 * SEC);
+            assert!(!rt.advance(calm_a).unwrap().skipped);
+            assert!(!rt.advance(calm_b).unwrap().skipped);
+        }
+
+        let m = rt.metrics();
+        assert_eq!(m.total_delayed, 4);
+        assert_eq!(m.total_shed, 0);
+        let gm = m.per_domain.iter().find(|d| d.id == greedy).unwrap();
+        assert_eq!(gm.delayed_count, 4);
+        assert!(gm.ingest_budget_occupancy > 0.0);
+        let am = m.per_domain.iter().find(|d| d.id == calm_a).unwrap();
+        assert_eq!(am.ingested, 12, "sibling saw every job");
+        assert_eq!(am.decisions, 3, "sibling never skipped");
+
+        // Once the retry hint elapses the greedy tenant is admitted again.
+        clock.advance(4 * MIN);
+        assert_eq!(rt.ingest(greedy, jobs(0)).unwrap().accepted(), 4);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn async_dispatch_preserves_same_domain_order() {
+        let rt = ControllerRuntime::new(2, Arc::new(SimClock::new()));
+        let id = rt.create_domain(spec("a", 1)).unwrap();
+        let (tx, rx) = channel::unbounded::<u64>();
+        for i in 0..16u64 {
+            let tx = tx.clone();
+            rt.on_domain_async(id, move |d| {
+                let _ = tx.send(d.map(|d| d.ingested()).unwrap_or(u64::MAX) + i);
+            })
+            .unwrap();
+        }
+        let seen: Vec<u64> = (0..16).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>(), "FIFO per shard");
+        // Unknown domains surface through the callback, not a panic.
+        let (tx2, rx2) = channel::bounded::<Result<(), RuntimeError>>(1);
+        rt.on_domain_async(999, move |d| {
+            let _ = tx2.send(d.map(|_| ()));
+        })
+        .unwrap();
+        assert_eq!(rx2.recv().unwrap(), Err(RuntimeError::UnknownDomain(999)));
+        rt.shutdown();
     }
 
     #[test]

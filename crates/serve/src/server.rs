@@ -1,21 +1,43 @@
-//! The `tempo-serve` TCP server: JSONL protocol over `std::net`.
+//! The `tempo-serve` TCP server: negotiated JSONL or binary framing over
+//! `std::net`.
 //!
 //! One accept thread, one handler thread per connection, all thin clients
-//! of the shared [`ControllerRuntime`]. Graceful shutdown is cooperative: a
-//! `Shutdown` request (or [`Server::request_shutdown`]) raises a flag,
-//! handler reads poll it via short socket timeouts, and the accept loop is
-//! unblocked by a loopback poke — every thread drains and joins before
-//! [`Server::join`] returns.
+//! of the shared [`ControllerRuntime`]. The first byte of a connection
+//! picks the codec ([`codec::BINARY_PREFIX`] + version for binary frames,
+//! anything else for legacy JSONL — raw `nc` sessions keep working).
+//!
+//! JSONL connections are strict request/response, served inline on the
+//! handler thread with responses coalesced while more complete request
+//! lines are already buffered. Binary connections are pipelined: the
+//! handler thread decodes frames and fires domain-targeted operations at
+//! the owning shards without waiting ([`ControllerRuntime::on_domain_async`]),
+//! and a per-connection writer thread streams completions back tagged with
+//! the request's correlation id — so responses may legally arrive out of
+//! order while per-domain order is preserved.
+//!
+//! Graceful shutdown is cooperative: a `Shutdown` request (or
+//! [`Server::request_shutdown`]) raises a flag, handler reads poll it via
+//! short socket timeouts, and the accept loop is unblocked by a loopback
+//! poke — every thread drains and joins before [`Server::join`] returns.
 
 use crate::clock::{Clock, SimClock, WallClock};
-use crate::proto::{decode, encode, Request, Response, PROTO_VERSION};
-use crate::runtime::ControllerRuntime;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use crate::codec::{self, BINARY_PREFIX, BINARY_VERSION};
+use crate::domain::{Domain, IngestOutcome};
+use crate::proto::{decode, encode_line, Request, Response, PROTO_VERSION};
+use crate::runtime::{ControllerRuntime, RuntimeError};
+use bytes::BytesMut;
+use crossbeam::channel::{self, Receiver, Sender};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use tempo_workload::time::Time;
+use tempo_workload::JobSpec;
+
+/// Step-count clamp for `Advance`/`IngestAdvance` requests.
+const MAX_STEPS: u64 = 10_000;
 
 /// How the server's runtime reads time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,25 +181,90 @@ fn accept_loop(
     }
 }
 
+/// Reads one byte, riding out the shutdown-poll timeouts. `None` means the
+/// connection closed, errored, or the server is shutting down.
+fn read_negotiation_byte(mut stream: &TcpStream, shutdown: &AtomicBool) -> Option<u8> {
+    let mut byte = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return None,
+            Ok(_) => return Some(byte[0]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return None,
+        }
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     runtime: Arc<ControllerRuntime>,
     sim: Option<Arc<SimClock>>,
     shutdown: Arc<AtomicBool>,
 ) {
-    // Short read timeouts keep the handler responsive to the shutdown flag
+    // Short read timeouts keep handlers responsive to the shutdown flag
     // without busy-waiting.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    // The first byte negotiates the codec.
+    let Some(first) = read_negotiation_byte(&stream, &shutdown) else { return };
+    match first {
+        BINARY_PREFIX => {
+            let Some(version) = read_negotiation_byte(&stream, &shutdown) else { return };
+            if version != BINARY_VERSION {
+                let mut buf = BytesMut::new();
+                let resp = Response::Error {
+                    message: format!(
+                        "unsupported binary version {version} (server speaks {BINARY_VERSION})"
+                    ),
+                };
+                codec::encode_frame(0, &resp, &mut buf);
+                let mut writer = &stream;
+                let _ = writer.write_all(&buf);
+                return;
+            }
+            handle_binary(stream, runtime, sim, shutdown);
+        }
+        codec::JSONL_PREFIX => handle_jsonl(stream, runtime, sim, shutdown, Vec::new()),
+        // Anything else is the first byte of a bare JSONL session (`nc`
+        // with no explicit prefix): keep it as part of the stream.
+        other => handle_jsonl(stream, runtime, sim, shutdown, vec![other]),
+    }
+}
+
+/// Pokes the server's own accept loop so it observes the shutdown flag; the
+/// connection's local address *is* the server's bound address.
+fn poke_accept_loop(stream: &TcpStream) {
+    if let Ok(addr) = stream.local_addr() {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+// ------------------------------------------------------------------- JSONL
+
+fn handle_jsonl(
+    stream: TcpStream,
+    runtime: Arc<ControllerRuntime>,
+    sim: Option<Arc<SimClock>>,
+    shutdown: Arc<AtomicBool>,
+    mut pending: Vec<u8>,
+) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    // Reusable line buffer: responses accumulate here and go out in one
+    // write+flush only once no further complete request line is already
+    // buffered — pipelined JSONL clients get coalesced replies instead of
+    // a syscall pair per message.
+    let mut out = String::new();
     // Frame lines at the byte level: `read_line` would *discard* a partial
     // read whose accumulated bytes aren't yet valid UTF-8 (a timeout firing
     // mid-way through a multibyte character), silently corrupting the
     // stream. `read_until` keeps every byte across timeouts.
-    let mut pending: Vec<u8> = Vec::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -189,32 +276,30 @@ fn handle_connection(
                     continue; // EOF without newline; next read returns 0
                 }
                 let raw = std::mem::take(&mut pending);
-                let Ok(line) = std::str::from_utf8(&raw) else {
-                    let resp = Response::Error { message: "request is not valid UTF-8".into() };
-                    let ok = writer
-                        .write_all(format!("{}\n", encode(&resp)).as_bytes())
-                        .and_then(|()| writer.flush())
-                        .is_ok();
-                    if !ok {
-                        break;
+                let mut stop = false;
+                match std::str::from_utf8(&raw) {
+                    Err(_) => encode_line(
+                        &Response::Error { message: "request is not valid UTF-8".into() },
+                        &mut out,
+                    ),
+                    Ok(line) if line.trim().is_empty() => {}
+                    Ok(line) => {
+                        let (response, requested_stop) =
+                            dispatch_line(&runtime, sim.as_deref(), &shutdown, line);
+                        encode_line(&response, &mut out);
+                        stop = requested_stop;
                     }
-                    continue;
-                };
-                if line.trim().is_empty() {
-                    continue;
                 }
-                let (response, stop) = dispatch(&runtime, sim.as_deref(), &shutdown, line);
-                let ok = writer
-                    .write_all(format!("{}\n", encode(&response)).as_bytes())
-                    .and_then(|()| writer.flush())
-                    .is_ok();
+                // Coalesce: hold the flush while complete request lines are
+                // already sitting in the read buffer.
+                let more_buffered = !stop && reader.buffer().contains(&b'\n');
+                let mut ok = true;
+                if !out.is_empty() && !more_buffered {
+                    ok = writer.write_all(out.as_bytes()).and_then(|()| writer.flush()).is_ok();
+                    out.clear();
+                }
                 if stop {
-                    // Unblock the accept loop so it observes the flag; the
-                    // handler's local address *is* the server's bound
-                    // address.
-                    if let Ok(addr) = writer.local_addr() {
-                        let _ = TcpStream::connect(addr);
-                    }
+                    poke_accept_loop(&writer);
                 }
                 if !ok || stop {
                     break;
@@ -228,19 +313,28 @@ fn handle_connection(
     }
 }
 
-/// Executes one request; the bool asks the handler (and, transitively, the
-/// whole server) to stop.
-fn dispatch(
+/// Decodes and executes one JSONL request; the bool asks the handler (and,
+/// transitively, the whole server) to stop.
+fn dispatch_line(
     runtime: &ControllerRuntime,
     sim: Option<&SimClock>,
     shutdown: &AtomicBool,
     line: &str,
 ) -> (Response, bool) {
-    let request: Request = match decode(line) {
-        Ok(r) => r,
-        Err(e) => return (Response::Error { message: format!("bad request: {e}") }, false),
-    };
-    let fail = |e: crate::runtime::RuntimeError| Response::Error { message: e.to_string() };
+    match decode(line) {
+        Ok(request) => dispatch(runtime, sim, shutdown, request),
+        Err(e) => (Response::Error { message: format!("bad request: {e}") }, false),
+    }
+}
+
+/// Executes one request synchronously; the bool asks the handler to stop.
+fn dispatch(
+    runtime: &ControllerRuntime,
+    sim: Option<&SimClock>,
+    shutdown: &AtomicBool,
+    request: Request,
+) -> (Response, bool) {
+    let fail = |e: RuntimeError| Response::Error { message: e.to_string() };
     let response = match request {
         Request::Hello => {
             let m = runtime.metrics();
@@ -256,11 +350,11 @@ fn dispatch(
             Err(e) => fail(e),
         },
         Request::Ingest { domain, jobs } => match runtime.ingest(domain, jobs) {
-            Ok(accepted) => Response::Ingested { domain, accepted },
+            Ok(outcome) => ingest_response(domain, outcome),
             Err(e) => fail(e),
         },
         Request::Advance { domain, steps } => {
-            let steps = steps.clamp(1, 10_000);
+            let steps = steps.clamp(1, MAX_STEPS);
             let mut decisions = Vec::with_capacity(steps as usize);
             let mut error = None;
             for _ in 0..steps {
@@ -275,6 +369,14 @@ fn dispatch(
             match error {
                 Some(e) if decisions.is_empty() => fail(e),
                 _ => Response::Advanced { domain, decisions },
+            }
+        }
+        Request::IngestAdvance { domain, jobs, steps } => {
+            let now = runtime.clock().now();
+            let op = DomainOp::IngestAdvance { jobs, steps };
+            match runtime.on_domain(domain, move |d| run_domain_op(domain, d, now, op)) {
+                Ok(resp) => resp,
+                Err(e) => fail(e),
             }
         }
         Request::AdvanceAll => Response::AdvancedAll { decisions: runtime.advance_all() },
@@ -300,10 +402,185 @@ fn dispatch(
     (response, false)
 }
 
+// ------------------------------------------------------------------ binary
+
+/// The domain-targeted subset of [`Request`], runnable on the owning shard
+/// without blocking the connection's reader.
+enum DomainOp {
+    Ingest { jobs: Vec<JobSpec> },
+    Advance { steps: u64 },
+    IngestAdvance { jobs: Vec<JobSpec>, steps: u64 },
+    Config,
+}
+
+/// Splits a request into its async-dispatchable form, or hands it back for
+/// synchronous (global) execution.
+#[allow(clippy::result_large_err)] // Err is the ownership hand-back, not an error path
+fn split_domain_op(request: Request) -> Result<(u64, DomainOp), Request> {
+    match request {
+        Request::Ingest { domain, jobs } => Ok((domain, DomainOp::Ingest { jobs })),
+        Request::Advance { domain, steps } => Ok((domain, DomainOp::Advance { steps })),
+        Request::IngestAdvance { domain, jobs, steps } => {
+            Ok((domain, DomainOp::IngestAdvance { jobs, steps }))
+        }
+        Request::Config { domain } => Ok((domain, DomainOp::Config)),
+        other => Err(other),
+    }
+}
+
+fn ingest_response(domain: u64, outcome: IngestOutcome) -> Response {
+    match outcome {
+        IngestOutcome::Accepted { accepted } => Response::Ingested { domain, accepted },
+        IngestOutcome::Busy { retry_after_micros } => Response::Busy { domain, retry_after_micros },
+    }
+}
+
+/// Executes one domain-targeted operation directly against the domain, on
+/// its owning shard, against the clock reading taken at dispatch.
+fn run_domain_op(domain: u64, d: &mut Domain, now: Time, op: DomainOp) -> Response {
+    match op {
+        DomainOp::Ingest { jobs } => ingest_response(domain, d.ingest(now, jobs)),
+        DomainOp::Advance { steps } => {
+            let steps = steps.clamp(1, MAX_STEPS);
+            let decisions = (0..steps).map(|_| d.advance(now)).collect();
+            Response::Advanced { domain, decisions }
+        }
+        DomainOp::IngestAdvance { jobs, steps } => {
+            let (accepted, retry_after_micros) = match d.ingest(now, jobs) {
+                IngestOutcome::Accepted { accepted } => (accepted, None),
+                IngestOutcome::Busy { retry_after_micros } => (0, Some(retry_after_micros)),
+            };
+            let steps = steps.clamp(1, MAX_STEPS);
+            let decisions = (0..steps).map(|_| d.advance(now)).collect();
+            Response::IngestAdvanced { domain, accepted, retry_after_micros, decisions }
+        }
+        DomainOp::Config => Response::Config { domain, config: d.current_config() },
+    }
+}
+
+fn handle_binary(
+    stream: TcpStream,
+    runtime: Arc<ControllerRuntime>,
+    sim: Option<Arc<SimClock>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    // Completions flow to a dedicated writer thread, which is what lets the
+    // reader keep dispatching while earlier requests are still running.
+    let (resp_tx, resp_rx) = channel::unbounded::<(u64, Response)>();
+    let writer_thread = std::thread::Builder::new()
+        .name("tempo-serve-conn-writer".into())
+        .spawn(move || binary_writer_loop(writer, resp_rx))
+        .expect("spawn connection writer");
+
+    let mut reader = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    'conn: loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Drain every complete frame already buffered before reading more.
+        loop {
+            match codec::take_frame(&mut pending) {
+                Ok(None) => break,
+                Ok(Some((corr, body))) => {
+                    if !dispatch_frame(&runtime, sim.as_deref(), &shutdown, corr, &body, &resp_tx) {
+                        poke_accept_loop(&reader);
+                        break 'conn;
+                    }
+                }
+                Err(e) => {
+                    // Framing is unrecoverable: report and drop the
+                    // connection (there is no resync point in the stream).
+                    let _ = resp_tx.send((0, Response::Error { message: e }));
+                    break 'conn;
+                }
+            }
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    // Shard-queued completions still hold sender clones; the writer drains
+    // them all and exits once the last one is gone.
+    drop(resp_tx);
+    let _ = writer_thread.join();
+}
+
+/// Decodes and routes one binary frame. Returns `false` when the connection
+/// should stop (shutdown requested).
+fn dispatch_frame(
+    runtime: &Arc<ControllerRuntime>,
+    sim: Option<&SimClock>,
+    shutdown: &AtomicBool,
+    corr: u64,
+    body: &[u8],
+    resp_tx: &Sender<(u64, Response)>,
+) -> bool {
+    let request: Request = match codec::decode_binary(body) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = resp_tx.send((corr, Response::Error { message: format!("bad request: {e}") }));
+            return true;
+        }
+    };
+    match split_domain_op(request) {
+        Ok((domain, op)) => {
+            // Clock is read at dispatch, not execution: a pipelined window
+            // of operations shares the submission-time view of now.
+            let now = runtime.clock().now();
+            let tx = resp_tx.clone();
+            let dispatched = runtime.on_domain_async(domain, move |d| {
+                let response = match d {
+                    Ok(d) => run_domain_op(domain, d, now, op),
+                    Err(e) => Response::Error { message: e.to_string() },
+                };
+                let _ = tx.send((corr, response));
+            });
+            if let Err(e) = dispatched {
+                let _ = resp_tx.send((corr, Response::Error { message: e.to_string() }));
+            }
+            true
+        }
+        Err(request) => {
+            // Global requests run inline; their shard-fanning operations
+            // queue behind already-dispatched domain ops, so a pipelined
+            // `Metrics` still observes every earlier completion.
+            let (response, stop) = dispatch(runtime, sim, shutdown, request);
+            let _ = resp_tx.send((corr, response));
+            !stop
+        }
+    }
+}
+
+/// Streams completion frames back to the client, coalescing everything
+/// already queued into one write+flush.
+fn binary_writer_loop(mut writer: TcpStream, resp_rx: Receiver<(u64, Response)>) {
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    while let Ok((corr, response)) = resp_rx.recv() {
+        buf.clear();
+        codec::encode_frame(corr, &response, &mut buf);
+        while let Ok((corr, response)) = resp_rx.try_recv() {
+            codec::encode_frame(corr, &response, &mut buf);
+        }
+        if writer.write_all(&buf).and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::domain::DomainSpec;
+    use crate::client::{Client, Proto};
+    use crate::domain::{DomainSpec, IngestBudget};
     use tempo_qs::{QsKind, SloSet, SloSpec};
     use tempo_sim::{ClusterSpec, RmConfig, TenantConfig};
     use tempo_workload::time::{MIN, SEC};
@@ -321,52 +598,13 @@ mod tests {
         DomainSpec::new(name, ClusterSpec::new(8, 4), slos, initial, 4 * MIN).with_probes(3)
     }
 
-    struct Client {
-        reader: BufReader<TcpStream>,
-        writer: TcpStream,
+    fn start_sim_server(shards: usize) -> Server {
+        Server::start(ServerConfig { addr: "127.0.0.1:0".into(), shards, clock: ClockMode::Sim })
+            .expect("start server")
     }
 
-    impl Client {
-        fn connect(addr: SocketAddr) -> Client {
-            let stream = TcpStream::connect(addr).expect("connect");
-            let writer = stream.try_clone().expect("clone stream");
-            Client { reader: BufReader::new(stream), writer }
-        }
-
-        fn call(&mut self, request: &Request) -> Response {
-            self.writer
-                .write_all(format!("{}\n", encode(request)).as_bytes())
-                .expect("send request");
-            let mut line = String::new();
-            self.reader.read_line(&mut line).expect("read response");
-            decode(&line).expect("parse response")
-        }
-    }
-
-    #[test]
-    fn end_to_end_over_tcp() {
-        let server = Server::start(ServerConfig {
-            addr: "127.0.0.1:0".into(),
-            shards: 2,
-            clock: ClockMode::Sim,
-        })
-        .expect("start server");
-        let mut client = Client::connect(server.local_addr());
-
-        match client.call(&Request::Hello) {
-            Response::Hello { proto, clock, .. } => {
-                assert_eq!(proto, PROTO_VERSION);
-                assert_eq!(clock, "sim");
-            }
-            other => panic!("unexpected {other:?}"),
-        }
-
-        let domain = match client.call(&Request::CreateDomain { spec: spec("wire") }) {
-            Response::Created { domain } => domain,
-            other => panic!("unexpected {other:?}"),
-        };
-
-        let jobs: Vec<JobSpec> = (0..4)
+    fn wire_jobs(count: u64) -> Vec<JobSpec> {
+        (0..count)
             .map(|i| {
                 JobSpec::new(
                     0,
@@ -375,18 +613,37 @@ mod tests {
                     vec![TaskSpec::map(20 * SEC), TaskSpec::reduce(30 * SEC)],
                 )
             })
-            .collect();
-        match client.call(&Request::Ingest { domain, jobs }) {
+            .collect()
+    }
+
+    fn end_to_end(proto: Proto) {
+        let server = start_sim_server(2);
+        let mut client = Client::connect(server.local_addr(), proto).expect("connect");
+
+        match client.call(&Request::Hello).unwrap() {
+            Response::Hello { proto, clock, .. } => {
+                assert_eq!(proto, PROTO_VERSION);
+                assert_eq!(clock, "sim");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let domain = match client.call(&Request::CreateDomain { spec: spec("wire") }).unwrap() {
+            Response::Created { domain } => domain,
+            other => panic!("unexpected {other:?}"),
+        };
+
+        match client.call(&Request::Ingest { domain, jobs: wire_jobs(4) }).unwrap() {
             Response::Ingested { accepted, .. } => assert_eq!(accepted, 4),
             other => panic!("unexpected {other:?}"),
         }
 
-        match client.call(&Request::Tick { micros: 2 * MIN }) {
+        match client.call(&Request::Tick { micros: 2 * MIN }).unwrap() {
             Response::Ticked { now } => assert_eq!(now, 2 * MIN),
             other => panic!("unexpected {other:?}"),
         }
 
-        match client.call(&Request::Advance { domain, steps: 2 }) {
+        match client.call(&Request::Advance { domain, steps: 2 }).unwrap() {
             Response::Advanced { decisions, .. } => {
                 assert_eq!(decisions.len(), 2);
                 assert!(decisions.iter().all(|d| !d.skipped));
@@ -394,7 +651,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
 
-        match client.call(&Request::Metrics) {
+        match client.call(&Request::Metrics).unwrap() {
             Response::Metrics { metrics } => {
                 assert_eq!(metrics.domains, 1);
                 assert_eq!(metrics.total_decisions, 2);
@@ -404,60 +661,180 @@ mod tests {
         }
 
         // Bad input degrades to an error response, not a dropped connection.
-        match client.call(&Request::Advance { domain: 999, steps: 1 }) {
+        match client.call(&Request::Advance { domain: 999, steps: 1 }).unwrap() {
             Response::Error { message } => assert!(message.contains("unknown domain")),
             other => panic!("unexpected {other:?}"),
         }
 
-        assert_eq!(client.call(&Request::Shutdown), Response::ShuttingDown);
+        assert_eq!(client.call(&Request::Shutdown).unwrap(), Response::ShuttingDown);
         let runtime = server.join();
         assert_eq!(runtime.metrics().total_decisions, 2);
     }
 
     #[test]
+    fn end_to_end_over_tcp_jsonl() {
+        end_to_end(Proto::Jsonl);
+    }
+
+    #[test]
+    fn end_to_end_over_tcp_binary() {
+        end_to_end(Proto::Binary);
+    }
+
+    #[test]
+    fn binary_pipelining_matches_request_order_across_domains() {
+        let server = start_sim_server(2);
+        let mut client = Client::connect(server.local_addr(), Proto::Binary).expect("connect");
+        let mut domains = Vec::new();
+        for i in 0..4 {
+            match client.call(&Request::CreateDomain { spec: spec(&format!("d{i}")) }).unwrap() {
+                Response::Created { domain } => domains.push(domain),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // A whole window of batched ingest+advance rounds in flight at once,
+        // interleaved across domains that live on different shards.
+        let requests: Vec<Request> = (0..16)
+            .map(|i| Request::IngestAdvance {
+                domain: domains[i % domains.len()],
+                jobs: wire_jobs(2),
+                steps: 1,
+            })
+            .collect();
+        let responses = client.call_pipelined(&requests, 8).unwrap();
+        assert_eq!(responses.len(), 16);
+        for (req, resp) in requests.iter().zip(&responses) {
+            let Request::IngestAdvance { domain, .. } = req else { unreachable!() };
+            match resp {
+                Response::IngestAdvanced { domain: d, accepted, decisions, .. } => {
+                    assert_eq!(d, domain, "responses matched to their requests");
+                    assert_eq!(*accepted, 2);
+                    assert_eq!(decisions.len(), 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // A trailing Metrics observes every pipelined completion.
+        match client.call(&Request::Metrics).unwrap() {
+            Response::Metrics { metrics } => {
+                assert_eq!(metrics.total_ingested, 32);
+                assert_eq!(
+                    metrics.total_decisions
+                        + metrics.per_domain.iter().map(|d| d.skipped).sum::<u64>(),
+                    16
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        client.call(&Request::Shutdown).unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn busy_tenants_surface_backpressure_on_the_wire() {
+        let server = start_sim_server(1);
+        let mut client = Client::connect(server.local_addr(), Proto::Binary).expect("connect");
+        let spec = spec("greedy").with_ingest_budget(IngestBudget::delay(4));
+        let domain = match client.call(&Request::CreateDomain { spec }).unwrap() {
+            Response::Created { domain } => domain,
+            other => panic!("unexpected {other:?}"),
+        };
+        match client.call(&Request::Ingest { domain, jobs: wire_jobs(4) }).unwrap() {
+            Response::Ingested { accepted, .. } => assert_eq!(accepted, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(&Request::Ingest { domain, jobs: wire_jobs(4) }).unwrap() {
+            Response::Busy { domain: d, retry_after_micros } => {
+                assert_eq!(d, domain);
+                assert!(retry_after_micros > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(&Request::Metrics).unwrap() {
+            Response::Metrics { metrics } => assert_eq!(metrics.total_delayed, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        client.call(&Request::Shutdown).unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn bare_jsonl_without_negotiation_prefix_still_works() {
+        // A raw `nc`-style session: first byte is `{`, not a prefix.
+        let server = start_sim_server(1);
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"\"Hello\"\n").expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        match decode::<Response>(&line).expect("parse") {
+            Response::Hello { proto, .. } => assert_eq!(proto, PROTO_VERSION),
+            other => panic!("unexpected {other:?}"),
+        }
+        writer.write_all(b"\"Shutdown\"\n").expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        server.join();
+    }
+
+    #[test]
+    fn unsupported_binary_version_is_rejected_with_an_error_frame() {
+        let server = start_sim_server(1);
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.write_all(&[BINARY_PREFIX, 99]).expect("send");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read");
+        let (corr, body) = codec::take_frame(&mut raw).expect("frame").expect("complete");
+        assert_eq!(corr, 0);
+        match codec::decode_binary::<Response>(&body).expect("decode") {
+            Response::Error { message } => assert!(message.contains("version")),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.request_shutdown();
+        server.join();
+    }
+
+    #[test]
     fn snapshot_restore_across_server_instances() {
-        let server = Server::start(ServerConfig {
-            addr: "127.0.0.1:0".into(),
-            shards: 2,
-            clock: ClockMode::Sim,
-        })
-        .expect("start server");
-        let mut client = Client::connect(server.local_addr());
-        let domain = match client.call(&Request::CreateDomain { spec: spec("resume") }) {
+        let server = start_sim_server(2);
+        let mut client = Client::connect(server.local_addr(), Proto::Jsonl).expect("connect");
+        let domain = match client.call(&Request::CreateDomain { spec: spec("resume") }).unwrap() {
             Response::Created { domain } => domain,
             other => panic!("unexpected {other:?}"),
         };
         let jobs: Vec<JobSpec> =
             (0..3).map(|i| JobSpec::new(0, 0, i * MIN, vec![TaskSpec::map(30 * SEC)])).collect();
-        client.call(&Request::Ingest { domain, jobs });
-        client.call(&Request::Advance { domain, steps: 1 });
-        let snapshot = match client.call(&Request::Snapshot) {
+        client.call(&Request::Ingest { domain, jobs }).unwrap();
+        client.call(&Request::Advance { domain, steps: 1 }).unwrap();
+        let snapshot = match client.call(&Request::Snapshot).unwrap() {
             Response::Snapshot { snapshot } => snapshot,
             other => panic!("unexpected {other:?}"),
         };
-        client.call(&Request::Shutdown);
+        client.call(&Request::Shutdown).unwrap();
         server.join();
 
-        // A fresh daemon restores the state and keeps counting from there.
+        // A fresh daemon restores the state and keeps counting from there —
+        // over the binary codec this time.
         let server2 = Server::start(ServerConfig {
             addr: "127.0.0.1:0".into(),
             shards: 4, // shard count need not match
             clock: ClockMode::Sim,
         })
         .expect("start server 2");
-        let mut client2 = Client::connect(server2.local_addr());
-        match client2.call(&Request::Restore { snapshot }) {
+        let mut client2 = Client::connect(server2.local_addr(), Proto::Binary).expect("connect");
+        match client2.call(&Request::Restore { snapshot }).unwrap() {
             Response::Restored { domains } => assert_eq!(domains, vec![domain]),
             other => panic!("unexpected {other:?}"),
         }
-        match client2.call(&Request::Metrics) {
+        match client2.call(&Request::Metrics).unwrap() {
             Response::Metrics { metrics } => {
                 assert_eq!(metrics.total_decisions, 1);
                 assert_eq!(metrics.total_ingested, 3);
             }
             other => panic!("unexpected {other:?}"),
         }
-        client2.call(&Request::Shutdown);
+        client2.call(&Request::Shutdown).unwrap();
         server2.join();
     }
 }

@@ -56,6 +56,11 @@ pub struct CalendarQueue<T> {
     clock: Time,
     /// Next insertion sequence number (the FIFO tie-break at equal times).
     seq: u64,
+    /// EWMA of the non-zero inter-pop gaps (µs, 1/8 weight; 0 = cold). This
+    /// is the *realized* event spacing, which a far-future tail cannot
+    /// inflate the way the min/max spread can — rebuilds prefer it once the
+    /// queue has popped at least one gap.
+    gap_ewma: Time,
 }
 
 impl<T> Default for CalendarQueue<T> {
@@ -68,11 +73,17 @@ impl<T> CalendarQueue<T> {
     pub fn new() -> Self {
         let mut buckets = Vec::with_capacity(MIN_BUCKETS);
         buckets.resize_with(MIN_BUCKETS, Vec::new);
-        Self { buckets, shift: DEFAULT_SHIFT, len: 0, clock: 0, seq: 0 }
+        Self { buckets, shift: DEFAULT_SHIFT, len: 0, clock: 0, seq: 0, gap_ewma: 0 }
     }
 
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Current bucket width in microseconds. Starts at `2^DEFAULT_SHIFT` and
+    /// adapts on rebuilds to track the observed inter-event gap.
+    pub fn bucket_width(&self) -> Time {
+        1 << self.shift
     }
 
     pub fn is_empty(&self) -> bool {
@@ -88,6 +99,7 @@ impl<T> CalendarQueue<T> {
         self.len = 0;
         self.clock = 0;
         self.seq = 0;
+        self.gap_ewma = 0;
     }
 
     #[inline]
@@ -193,6 +205,20 @@ impl<T> CalendarQueue<T> {
     fn take(&mut self, b: usize, i: usize) -> (Time, T) {
         let e = self.buckets[b].swap_remove(i);
         self.len -= 1;
+        // Fold the realized gap into the width estimate. Zero gaps are
+        // same-instant drains (burst arrivals, `pop_at`): they say nothing
+        // about event *spacing*, so they don't shrink the estimate. Once
+        // seeded the EWMA never reaches zero again (`est + (gap - est)/8 ≥ 1`
+        // for `gap ≥ 1`), so zero doubles as the cold sentinel.
+        let gap = e.time - self.clock;
+        if gap > 0 {
+            self.gap_ewma = if self.gap_ewma == 0 {
+                gap
+            } else {
+                let est = self.gap_ewma as i64;
+                (est + ((gap as i64 - est) >> 3)) as Time
+            };
+        }
         self.clock = e.time;
         if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / SHRINK_AT {
             self.rebuild();
@@ -201,9 +227,15 @@ impl<T> CalendarQueue<T> {
     }
 
     /// Re-sizes the bucket array to the live population and re-derives the
-    /// bucket width from the event-time spread (targeting ~1 entry per
-    /// occupied bucket), then redistributes every entry. Deterministic: a
-    /// pure function of the queue contents.
+    /// bucket width, then redistributes every entry. Deterministic: a pure
+    /// function of the queue contents and pop history.
+    ///
+    /// Width selection prefers the inter-pop gap EWMA once it is warm: the
+    /// realized spacing tracks where pops actually happen, so one far-future
+    /// outlier (which would blow up the min/max spread and funnel the dense
+    /// cluster into a single bucket) leaves the width untouched. Cold queues
+    /// — resized before the first gap is observed — fall back to the
+    /// `(max - min) / len` spread of the live population.
     fn rebuild(&mut self) {
         let mut entries: Vec<Entry<T>> = Vec::with_capacity(self.len);
         for b in &mut self.buckets {
@@ -213,16 +245,24 @@ impl<T> CalendarQueue<T> {
         if target != self.buckets.len() {
             self.buckets.resize_with(target, Vec::new);
         }
-        if !entries.is_empty() {
+        if self.gap_ewma > 0 {
+            self.shift = Self::shift_for_gap(self.gap_ewma);
+        } else if !entries.is_empty() {
             let lo = entries.iter().map(|e| e.time).min().expect("non-empty");
             let hi = entries.iter().map(|e| e.time).max().expect("non-empty");
-            let gap = (hi - lo) / entries.len() as Time;
-            self.shift = if gap <= 1 { 0 } else { 63 - gap.leading_zeros() }.min(42);
+            self.shift = Self::shift_for_gap((hi - lo) / entries.len() as Time);
         }
         for e in entries {
             let b = self.bucket_of(e.time);
             self.buckets[b].push(e);
         }
+    }
+
+    /// `log2(bucket width)` targeting ~one event per bucket at gap `gap`,
+    /// capped at 2^42 µs (~52 days) so the slot arithmetic stays far from
+    /// overflow.
+    fn shift_for_gap(gap: Time) -> u32 {
+        if gap <= 1 { 0 } else { 63 - gap.leading_zeros() }.min(42)
     }
 }
 
@@ -326,6 +366,28 @@ mod tests {
         q.push(1, 88);
         assert_eq!(q.pop(), Some((1, 88)));
         assert_eq!(q.pop(), Some((3, 77)));
+    }
+
+    #[test]
+    fn bucket_width_starts_at_default_and_resets_on_clear() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.bucket_width(), 1 << 20);
+        // Warm the gap estimate and force a shrink rebuild at ~1 ms spacing.
+        for i in 0..200u64 {
+            q.push(i * 1_000, i);
+        }
+        for _ in 0..195 {
+            q.pop();
+        }
+        assert!(q.bucket_width() < 1 << 12, "width {} should track ~1ms gaps", q.bucket_width());
+        // `clear` forgets the estimate along with the contents: the next
+        // run's rebuilds (enough pushes here to cross the grow threshold)
+        // start from its own population, not this one's.
+        q.clear();
+        for i in 0..80u64 {
+            q.push(i * (1 << 24), i);
+        }
+        assert!(q.bucket_width() > 1 << 20, "width {} should re-derive", q.bucket_width());
     }
 
     #[test]

@@ -108,9 +108,46 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Empties the buffer while keeping its allocation — the reuse primitive
+    /// per-connection encode buffers are built on.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
     /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+// The real `BytesMut` exposes its contents through `Deref`/`DerefMut`
+// (`&mut buf[range]` patches a length prefix in place); mirror that so the
+// framing code is manifest-swap compatible.
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -163,6 +200,23 @@ impl Buf for Bytes {
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance {cnt} past end of buffer ({})", self.len());
         self.start += cnt;
+    }
+}
+
+/// Zero-copy decoding straight out of a borrowed slice (a frame sitting in a
+/// connection's read buffer): the cursor is the slice reference itself.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance {cnt} past end of buffer ({})", self.len());
+        *self = &self[cnt..];
     }
 }
 

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
 
 /// Runner configuration (`ProptestConfig` in the real crate).
 #[derive(Debug, Clone)]
@@ -42,6 +43,80 @@ pub trait Strategy {
         Self: Sized,
     {
         Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply cloneable, like the real crate's
+    /// `BoxedStrategy`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Recursive tree strategy: applies `expand` to the accumulated
+    /// strategy `depth` times, so generated values nest containers up to
+    /// `depth` levels over the base (leaf) strategy. The size hints are
+    /// accepted for API compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strategy = self.boxed();
+        for _ in 0..depth {
+            // Mix the expanded level with the accumulated one so trees of
+            // every depth up to the limit appear, not only maximal ones.
+            let expanded = expand(strategy.clone()).boxed();
+            strategy = UnionStrategy::new(vec![strategy, expanded]).boxed();
+        }
+        strategy
+    }
+}
+
+/// A reference-counted type-erased strategy ([`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice between strategies of one value type (`prop_oneof!`).
+pub struct UnionStrategy<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> UnionStrategy<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for UnionStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let pick = rng.gen_range(0..self.options.len());
+        self.options[pick].generate(rng)
     }
 }
 
@@ -266,8 +341,17 @@ pub fn run_cases<S: Strategy>(
 /// Everything a property-test module imports.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice between strategies sharing a value type. The real crate's
+/// per-arm weights (`N => strategy`) are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::UnionStrategy::new(vec![$($crate::Strategy::boxed($strategy)),+])
     };
 }
 

@@ -108,6 +108,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` itself round-trips as-is, so generic codecs (JSON text, the binary
+// wire framing) can be property-tested directly over arbitrary trees.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -42,6 +42,13 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Serializes a value as compact JSON appended to `out` — the reusable-buffer
+/// path (`out.clear()` between messages keeps the allocation) hot encode
+/// loops use instead of [`to_string`].
+pub fn append_to_string<T: Serialize + ?Sized>(value: &T, out: &mut String) {
+    write_value(out, &value.to_value(), None, 0);
+}
+
 /// Serializes a value to two-space-indented JSON.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();

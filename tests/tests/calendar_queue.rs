@@ -111,6 +111,43 @@ fn bucket_collisions_across_years_stay_ordered() {
     pin_against_heap(script);
 }
 
+#[test]
+fn bucket_width_tracks_realized_gaps_not_outlier_spread() {
+    // A dense 1 ms-spaced cluster plus one event a year out. The min/max
+    // spread heuristic would size buckets for the outlier (funnelling the
+    // whole cluster into one bucket); the inter-pop gap EWMA must keep the
+    // width near the cluster's spacing once the queue has popped through it.
+    const YEAR: Time = 365 * 24 * 3600 * 1_000_000;
+    const GAP: Time = 1_000;
+    let mut q: CalendarQueue<u64> = CalendarQueue::new();
+    let mut heap: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+    q.push(YEAR, 0);
+    heap.push(Reverse((YEAR, 0)));
+    for i in 1..=120u64 {
+        q.push(i * GAP, i);
+        heap.push(Reverse((i * GAP, i)));
+    }
+    // The growth rebuild ran cold (no pops yet): width is derived from the
+    // outlier-polluted spread and lands orders of magnitude above the gap.
+    assert!(q.bucket_width() > GAP << 10, "cold width {} should be skewed", q.bucket_width());
+    // Popping through the dense cluster warms the gap estimate; the shrink
+    // rebuild on the way down must re-derive the width from it.
+    for _ in 0..115 {
+        let expect = heap.pop().map(|Reverse((t, s))| (t, s));
+        assert_eq!(q.pop(), expect);
+    }
+    let width = q.bucket_width();
+    assert!(
+        (GAP / 4..=GAP * 4).contains(&width),
+        "warm width {width} should sit near the realized gap {GAP}"
+    );
+    // Adaptation never bends the ordering contract.
+    while let Some(Reverse((t, s))) = heap.pop() {
+        assert_eq!(q.pop(), Some((t, s)));
+    }
+    assert!(q.pop().is_none());
+}
+
 /// Preemption-heavy, burst-heavy trace: many same-instant arrivals, two
 /// starvation timeouts firing, reduce barriers, and noise-driven retries.
 fn stress_trace() -> Trace {

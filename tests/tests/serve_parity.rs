@@ -15,7 +15,11 @@ use tempo_core::whatif::{WhatIfModel, WorkloadSource};
 use tempo_core::ConfigSpace;
 use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
 use tempo_serve::domain::observation_seed;
-use tempo_serve::{Clock, ControllerRuntime, DecisionRecord, DomainSpec, SimClock};
+use tempo_serve::proto::{Request, Response};
+use tempo_serve::{
+    Client, Clock, ClockMode, ControllerRuntime, DecisionRecord, DomainSpec, Proto, Server,
+    ServerConfig, SimClock,
+};
 use tempo_sim::observe;
 use tempo_workload::time::Time;
 use tempo_workload::window::WindowLog;
@@ -125,7 +129,7 @@ fn serve_parity_daemon_trajectory_matches_direct_loop() {
             let burst = contention_burst(phase_base(phase), 6, specs[slot].seed ^ phase);
             let served = runtime.ingest(id, burst.clone()).expect("ingest");
             let direct_n = direct[slot].ingest(burst);
-            assert_eq!(served, direct_n);
+            assert_eq!(served.accepted(), direct_n);
         }
         for _ in 0..2 {
             let now = clock.now();
@@ -194,6 +198,74 @@ fn serve_parity_advance_all_matches_per_domain_advance() {
     }
     fleet.shutdown();
     solo.shutdown();
+}
+
+/// Drives one scripted domain through a real TCP daemon and returns its
+/// decision records. `batched` folds each phase's ingest+advance into a
+/// single `IngestAdvance` frame.
+fn wire_trajectory(proto: Proto, batched: bool) -> Vec<DecisionRecord> {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 2,
+        clock: ClockMode::Sim,
+    })
+    .expect("start server");
+    let mut client = Client::connect(server.local_addr(), proto).expect("connect");
+    let spec = contention_spec("wire-parity", 33);
+    let domain = match client.call(&Request::CreateDomain { spec }).expect("create") {
+        Response::Created { domain } => domain,
+        other => panic!("unexpected {other:?}"),
+    };
+    let mut records = Vec::new();
+    for phase in 0..4u64 {
+        let burst = contention_burst(phase_base(phase), 6, 33 ^ phase);
+        if batched {
+            match client
+                .call(&Request::IngestAdvance { domain, jobs: burst, steps: 2 })
+                .expect("ingest-advance")
+            {
+                Response::IngestAdvanced { accepted, retry_after_micros, decisions, .. } => {
+                    assert_eq!(accepted, 6);
+                    assert_eq!(retry_after_micros, None);
+                    records.extend(decisions);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        } else {
+            match client.call(&Request::Ingest { domain, jobs: burst }).expect("ingest") {
+                Response::Ingested { accepted, .. } => assert_eq!(accepted, 6),
+                other => panic!("unexpected {other:?}"),
+            }
+            match client.call(&Request::Advance { domain, steps: 2 }).expect("advance") {
+                Response::Advanced { decisions, .. } => records.extend(decisions),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        client.call(&Request::Tick { micros: DEMO_WINDOW / 2 }).expect("tick");
+    }
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join();
+    records
+}
+
+#[test]
+fn serve_parity_wire_codecs_match_direct_loop() {
+    // The reference trajectory, straight from tempo_core.
+    let mut direct = DirectLoop::new(contention_spec("wire-parity", 33));
+    let mut expected = Vec::new();
+    for phase in 0..4u64 {
+        let now = phase_base(phase);
+        assert_eq!(direct.ingest(contention_burst(now, 6, 33 ^ phase)), 6);
+        expected.push(direct.advance(now));
+        expected.push(direct.advance(now));
+    }
+    assert!(expected.iter().all(|r| !r.skipped));
+
+    // Daemon over legacy JSONL, over binary frames, and over the fused
+    // `IngestAdvance` form must all be bit-identical to it.
+    assert_eq!(wire_trajectory(Proto::Jsonl, false), expected, "jsonl daemon diverged");
+    assert_eq!(wire_trajectory(Proto::Binary, false), expected, "binary daemon diverged");
+    assert_eq!(wire_trajectory(Proto::Binary, true), expected, "batched IngestAdvance diverged");
 }
 
 proptest! {
