@@ -5,6 +5,7 @@
 //!             [--proto jsonl|binary] [--pipeline N] [--batch]
 //!             [--connect HOST:PORT] [--shutdown] [--out FILE]
 //!             [--min-decisions K] [--zipf S] [--resident-bytes N]
+//!             [--retry N]
 //! ```
 //!
 //! Default mode spawns an in-process `tempo-serve` server (sim clock, real
@@ -37,10 +38,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
 use tempo_serve::proto::{Request, Response};
-use tempo_serve::{Client, ClockMode, FleetConfig, Proto, Server, ServerConfig};
+use tempo_serve::{
+    Client, ClientStats, ClockMode, FleetConfig, Proto, RetryPolicy, Server, ServerConfig,
+};
 
-fn connect(addr: &str, proto: Proto) -> Client {
-    Client::connect(addr, proto).expect("connect to tempo-serve")
+fn connect(addr: &str, proto: Proto, retry: Option<RetryPolicy>) -> Client {
+    match retry {
+        Some(policy) => Client::connect_retry(addr, proto, policy),
+        None => Client::connect(addr, proto),
+    }
+    .expect("connect to tempo-serve")
 }
 
 /// Zipf(s) sampler over ranks `0..n`: rank `i` is drawn with probability
@@ -97,6 +104,13 @@ fn main() {
     let external = flag_value("--connect");
     let shutdown_external = args.iter().any(|a| a == "--shutdown");
     let out = flag_value("--out");
+    // `--retry N` arms the client retry policy (N attempts per call,
+    // exponential backoff, transparent reconnect) — the knob the chaos
+    // smoke uses to ride out injected connection drops and stalls.
+    let retry = flag_value("--retry").map(|v| RetryPolicy {
+        max_attempts: v.parse().expect("bad --retry"),
+        ..RetryPolicy::default()
+    });
 
     // Spawn an in-process server unless pointed at an external one.
     let spawned = if external.is_none() {
@@ -109,6 +123,7 @@ fn main() {
                     resident_bytes_watermark: resident_bytes,
                     ..FleetConfig::default()
                 },
+                ..ServerConfig::default()
             })
             .expect("start in-process tempo-serve"),
         )
@@ -117,7 +132,7 @@ fn main() {
     };
     let addr = external.unwrap_or_else(|| spawned.as_ref().unwrap().local_addr().to_string());
 
-    let mut control = connect(&addr, proto);
+    let mut control = connect(&addr, proto, retry);
     let sim_clock = match control.call(&Request::Hello).expect("handshake") {
         Response::Hello { clock, .. } => clock == "sim",
         other => panic!("handshake failed: {other:?}"),
@@ -197,7 +212,10 @@ fn main() {
             let events = Arc::clone(&events);
             let busy = Arc::clone(&busy);
             std::thread::spawn(move || {
-                let mut client = connect(&addr, proto);
+                // Per-thread jitter seeds keep retrying clients from
+                // thundering back in lockstep after a shared stall.
+                let retry = retry.map(|p| RetryPolicy { jitter_seed: c as u64 + 1, ..p });
+                let mut client = connect(&addr, proto, retry);
                 let mut rng = 0x9E3779B97F4A7C15u64 ^ (c as u64).wrapping_mul(0xD1B54A32D192ED03);
                 let mut round = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -235,8 +253,17 @@ fn main() {
                             }
                         })
                         .collect();
-                    let responses =
-                        client.call_pipelined(&requests, pipeline).expect("pipelined round");
+                    let responses = match client.call_pipelined(&requests, pipeline) {
+                        Ok(r) => r,
+                        // With retry armed the server may genuinely be gone
+                        // (chaos kill): exit the loop with the stats we have
+                        // instead of panicking the whole bench.
+                        Err(e) if retry.is_some() => {
+                            eprintln!("serve_bench: client {c} giving up: {e}");
+                            break;
+                        }
+                        Err(e) => panic!("pipelined round: {e}"),
+                    };
                     for response in responses {
                         match response {
                             Response::Ingested { accepted, .. } => {
@@ -277,6 +304,7 @@ fn main() {
                     }
                     round += 1;
                 }
+                client.stats()
             })
         })
         .collect();
@@ -305,10 +333,28 @@ fn main() {
         }
     }
     stop.store(true, Ordering::SeqCst);
+    let mut retry_stats = ClientStats::default();
     for h in handles {
-        h.join().expect("client thread");
+        let s = h.join().expect("client thread");
+        retry_stats.attempts += s.attempts;
+        retry_stats.retries += s.retries;
+        retry_stats.reconnects += s.reconnects;
+        retry_stats.busy_retries += s.busy_retries;
+        retry_stats.exhausted += s.exhausted;
     }
     let elapsed = started.elapsed().as_secs_f64();
+    if retry.is_some() {
+        let c = control.stats();
+        println!(
+            "serve_bench: retry — {} attempts, {} retries, {} reconnects, \
+             {} busy retries, {} exhausted",
+            retry_stats.attempts + c.attempts,
+            retry_stats.retries + c.retries,
+            retry_stats.reconnects + c.reconnects,
+            retry_stats.busy_retries + c.busy_retries,
+            retry_stats.exhausted + c.exhausted
+        );
+    }
 
     // Deterministic floor catch-up: on a loaded single-core box a client
     // thread can be starved out of its entire timed budget, which says
@@ -506,9 +552,19 @@ fn main() {
             std::process::exit(1);
         }
     }
-    assert_eq!(
-        metrics.total_ingested - initial_ingested,
-        total_events,
-        "server-side ingest accounting matches the client side"
-    );
+    if retry_stats.retries == 0 && control.stats().retries == 0 {
+        assert_eq!(
+            metrics.total_ingested - initial_ingested,
+            total_events,
+            "server-side ingest accounting matches the client side"
+        );
+    } else {
+        // Retry is at-least-once: a resend after a torn connection may have
+        // re-executed an ingest the client never saw acknowledged, so the
+        // server can only have counted at least what the clients did.
+        assert!(
+            metrics.total_ingested - initial_ingested >= total_events,
+            "server-side ingest accounting fell below the client side under retry"
+        );
+    }
 }

@@ -4,6 +4,7 @@
 //! tempo-serve [--addr 127.0.0.1:7077] [--shards N] [--sim-clock]
 //!             [--snapshot FILE] [--port-file FILE]
 //!             [--resident-bytes N] [--idle-ticks N]
+//!             [--journal DIR] [--journal-checkpoint N] [--fault-plan SPEC]
 //! ```
 //!
 //! Hosts a sharded [`tempo_serve::ControllerRuntime`] behind the JSONL/TCP
@@ -16,16 +17,26 @@
 //! binary snapshots (they rehydrate transparently on their next request).
 //! `--idle-ticks N` additionally hibernates domains untouched for N
 //! dispatch ticks on each `Tick` maintenance sweep.
+//!
+//! `--journal DIR` makes the daemon crash-only: every state-mutating
+//! request is appended to a checksummed operations journal in DIR, a
+//! checkpoint is cut every `--journal-checkpoint` ops (default 1024), and a
+//! restart replays checkpoint + journal suffix to the exact pre-crash state
+//! — `kill -9` is the supported shutdown path. `--fault-plan SPEC`
+//! (`seed=7,shard=0.001,journal=0.01,conn=0.05,stall=0.1,stall-ms=25`)
+//! arms the deterministic fault injector for chaos testing.
 
+use std::sync::Arc;
 use tempo_serve::proto;
-use tempo_serve::{ClockMode, RuntimeSnapshot, Server, ServerConfig};
+use tempo_serve::{ClockMode, FaultPlan, RuntimeSnapshot, Server, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: tempo-serve [--addr HOST:PORT] [--shards N] [--sim-clock] \
-             [--snapshot FILE] [--port-file FILE] [--resident-bytes N] [--idle-ticks N]"
+             [--snapshot FILE] [--port-file FILE] [--resident-bytes N] [--idle-ticks N] \
+             [--journal DIR] [--journal-checkpoint N] [--fault-plan SPEC]"
         );
         return;
     }
@@ -47,6 +58,18 @@ fn main() {
     }
     if let Some(ticks) = flag_value("--idle-ticks") {
         config.fleet.idle_ticks = Some(ticks.parse().expect("--idle-ticks takes a tick count"));
+    }
+    if let Some(dir) = flag_value("--journal") {
+        config.journal_dir = Some(dir.into());
+    }
+    if let Some(every) = flag_value("--journal-checkpoint") {
+        config.checkpoint_every =
+            every.parse().expect("--journal-checkpoint takes a positive op count");
+    }
+    if let Some(spec) = flag_value("--fault-plan") {
+        let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("--fault-plan: {e}"));
+        eprintln!("tempo-serve: fault plan armed: {plan:?}");
+        config.faults = Arc::new(plan);
     }
     let snapshot_path = flag_value("--snapshot");
     let port_file = flag_value("--port-file");
@@ -74,7 +97,22 @@ fn main() {
     }
 
     println!("tempo-serve listening on {addr}");
+    let journal = server.journal().cloned();
     let runtime = server.join();
+
+    // Graceful exit cuts a final checkpoint so the next boot replays
+    // nothing. (A crash skips this — that's what the journal is for.)
+    if let Some(journal) = &journal {
+        let snapshot = runtime.snapshot();
+        match journal.write_checkpoint(&snapshot) {
+            Ok(()) => eprintln!(
+                "tempo-serve: final checkpoint ({} domain(s)) in {}",
+                snapshot.domains.len(),
+                journal.dir().display()
+            ),
+            Err(e) => eprintln!("tempo-serve: final checkpoint failed: {e}"),
+        }
+    }
 
     if let Some(path) = &snapshot_path {
         let snapshot = runtime.snapshot();

@@ -223,19 +223,40 @@ pub fn decode_binary<T: serde::Deserialize>(mut body: &[u8]) -> Result<T, String
     T::from_value(&value).map_err(|e| e.to_string())
 }
 
+/// Magic byte opening every encoded domain snapshot.
+pub const SNAPSHOT_MAGIC: u8 = b'S';
+/// Version of the snapshot encoding. Bump on incompatible layout changes;
+/// decoders reject other versions rather than feeding the deserializer
+/// garbage.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
 /// Encodes a domain snapshot to its compact binary form — the encoding the
 /// fleet's hibernation store holds cold domains in. Equivalent to the JSONL
 /// text form by construction (both encode the same `Value` tree) at a
-/// fraction of the size.
+/// fraction of the size, behind a 2-byte magic + version header.
 pub fn encode_snapshot(snapshot: &crate::domain::DomainSnapshot) -> Vec<u8> {
     let mut buf = BytesMut::new();
+    buf.put_u8(SNAPSHOT_MAGIC);
+    buf.put_u8(SNAPSHOT_VERSION);
     encode_binary(snapshot, &mut buf);
     buf.as_slice().to_vec()
 }
 
-/// Decodes a domain snapshot from its binary form.
+/// Decodes a domain snapshot from its binary form, validating the header.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<crate::domain::DomainSnapshot, String> {
-    decode_binary(bytes)
+    if bytes.len() < 2 {
+        return Err(format!("snapshot header truncated ({} bytes)", bytes.len()));
+    }
+    if bytes[0] != SNAPSHOT_MAGIC {
+        return Err("snapshot magic mismatch (not a binary domain snapshot)".into());
+    }
+    if bytes[1] != SNAPSHOT_VERSION {
+        return Err(format!(
+            "snapshot version {} unsupported (this build speaks version {SNAPSHOT_VERSION})",
+            bytes[1]
+        ));
+    }
+    decode_binary(&bytes[2..])
 }
 
 /// Appends one complete frame (`len ‖ correlation id ‖ message`) to `buf`.

@@ -1,0 +1,289 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! Crash-only software is only testable if the crashes are reproducible:
+//! [`FaultPlan`] turns a single seed into a deterministic schedule of shard
+//! worker panics, journal write I/O errors, and connection drops/stalls.
+//! Every injection point in the runtime and server consults a
+//! [`FaultInjector`] — a plain trait with no-op defaults, so production code
+//! carries no `#[cfg(test)]` forks and the zero-fault path costs a virtual
+//! call per operation, not a branch per feature flag.
+//!
+//! The schedule is a pure function of `(seed, fault kind, event index)`:
+//! two plans built from the same seed agree on every decision, which is what
+//! lets the chaos tests assert "same seed ⇒ same failure schedule" and lets
+//! a failing CI run be replayed locally from its logged seed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Injection points the serving stack consults. All methods default to
+/// "no fault", so `impl FaultInjector for MyProbe {}` with one override is a
+/// valid targeted injector (the supervision tests do exactly that).
+pub trait FaultInjector: Send + Sync {
+    /// Should the `index`-th instrumented operation on `shard` panic the
+    /// worker mid-job? (The supervisor catches it and degrades the active
+    /// domain.)
+    fn shard_panic(&self, shard: usize, index: u64) -> bool {
+        let _ = (shard, index);
+        false
+    }
+
+    /// Should the `index`-th journal append fail with an I/O error? (The
+    /// server logs and keeps serving; the un-journaled op may be lost on
+    /// crash.)
+    fn journal_write_fails(&self, index: u64) -> bool {
+        let _ = index;
+        false
+    }
+
+    /// Should the `index`-th accepted connection be dropped before the
+    /// protocol handshake? (Clients see EOF and must reconnect.)
+    fn drop_connection(&self, index: u64) -> bool {
+        let _ = index;
+        false
+    }
+
+    /// Artificial delay before servicing the `index`-th accepted
+    /// connection, if any.
+    fn stall_connection(&self, index: u64) -> Option<Duration> {
+        let _ = index;
+        None
+    }
+}
+
+/// The production injector: never faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+/// A no-fault injector handle (the default for servers and runtimes).
+pub fn no_faults() -> Arc<dyn FaultInjector> {
+    Arc::new(NoFaults)
+}
+
+/// Fault kinds a [`FaultPlan`] schedules; each hashes its events through a
+/// distinct stream so the rates are independent.
+const KIND_SHARD: u64 = 0x5348_4152;
+const KIND_JOURNAL: u64 = 0x4A4F_5552;
+const KIND_CONN: u64 = 0x434F_4E4E;
+const KIND_STALL: u64 = 0x5354_414C;
+
+/// A seed-driven, rate-parameterized fault schedule.
+///
+/// Rates are probabilities in `[0, 1]` applied per event (per instrumented
+/// shard op, per journal append, per accepted connection). A rate of 0
+/// disables that fault kind entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Probability an instrumented shard op panics its worker.
+    pub shard_panic_rate: f64,
+    /// Probability a journal append fails with an injected I/O error.
+    pub journal_error_rate: f64,
+    /// Probability an accepted connection is dropped pre-handshake.
+    pub conn_drop_rate: f64,
+    /// Probability an accepted connection is stalled before service.
+    pub conn_stall_rate: f64,
+    /// How long a stalled connection waits.
+    pub stall: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            shard_panic_rate: 0.0,
+            journal_error_rate: 0.0,
+            conn_drop_rate: 0.0,
+            conn_stall_rate: 0.0,
+            stall: Duration::from_millis(10),
+        }
+    }
+}
+
+/// SplitMix64 — the finalizer is a bijection on u64 with good avalanche,
+/// which is all a schedule hash needs. (Also the client's retry-jitter
+/// source: deterministic per seed, no RNG dependency.)
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    pub fn with_shard_panics(mut self, rate: f64) -> Self {
+        self.shard_panic_rate = rate;
+        self
+    }
+
+    pub fn with_journal_errors(mut self, rate: f64) -> Self {
+        self.journal_error_rate = rate;
+        self
+    }
+
+    pub fn with_conn_drops(mut self, rate: f64) -> Self {
+        self.conn_drop_rate = rate;
+        self
+    }
+
+    pub fn with_conn_stalls(mut self, rate: f64, stall: Duration) -> Self {
+        self.conn_stall_rate = rate;
+        self.stall = stall;
+        self
+    }
+
+    /// Parses the CLI syntax used by `--fault-plan`:
+    /// `seed=7,shard=0.001,journal=0.01,conn=0.05,stall=0.1,stall-ms=25`.
+    /// Keys are optional and order-free; unknown keys are an error.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan entry '{part}' is not key=value"))?;
+            let bad = |e: std::num::ParseFloatError| format!("fault-plan {key}: {e}");
+            match key.trim() {
+                "seed" => {
+                    plan.seed =
+                        value.trim().parse().map_err(|e| format!("fault-plan seed: {e}"))?;
+                }
+                "shard" => plan.shard_panic_rate = value.trim().parse().map_err(bad)?,
+                "journal" => plan.journal_error_rate = value.trim().parse().map_err(bad)?,
+                "conn" => plan.conn_drop_rate = value.trim().parse().map_err(bad)?,
+                "stall" => plan.conn_stall_rate = value.trim().parse().map_err(bad)?,
+                "stall-ms" => {
+                    let ms: u64 =
+                        value.trim().parse().map_err(|e| format!("fault-plan stall-ms: {e}"))?;
+                    plan.stall = Duration::from_millis(ms);
+                }
+                other => return Err(format!("fault-plan key '{other}' is not recognized")),
+            }
+        }
+        for (name, rate) in [
+            ("shard", plan.shard_panic_rate),
+            ("journal", plan.journal_error_rate),
+            ("conn", plan.conn_drop_rate),
+            ("stall", plan.conn_stall_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault-plan {name} rate {rate} outside [0, 1]"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether the `index`-th event of `kind` fires at `rate`: a uniform
+    /// draw in `[0, 1)` derived purely from `(seed, kind, index)`.
+    fn fires(&self, kind: u64, index: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let h =
+            splitmix64(self.seed ^ kind.wrapping_mul(0xA24B_AED4_963E_E407) ^ splitmix64(index));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn shard_panic(&self, shard: usize, index: u64) -> bool {
+        self.fires(KIND_SHARD.wrapping_add(shard as u64), index, self.shard_panic_rate)
+    }
+
+    fn journal_write_fails(&self, index: u64) -> bool {
+        self.fires(KIND_JOURNAL, index, self.journal_error_rate)
+    }
+
+    fn drop_connection(&self, index: u64) -> bool {
+        self.fires(KIND_CONN, index, self.conn_drop_rate)
+    }
+
+    fn stall_connection(&self, index: u64) -> Option<Duration> {
+        self.fires(KIND_STALL, index, self.conn_stall_rate).then_some(self.stall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(plan: &FaultPlan, events: u64) -> Vec<(u64, bool, bool, bool, bool)> {
+        (0..events)
+            .map(|i| {
+                (
+                    i,
+                    plan.shard_panic(1, i),
+                    plan.journal_write_fails(i),
+                    plan.drop_connection(i),
+                    plan.stall_connection(i).is_some(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(42)
+            .with_shard_panics(0.05)
+            .with_journal_errors(0.1)
+            .with_conn_drops(0.2)
+            .with_conn_stalls(0.2, Duration::from_millis(5));
+        let b = a;
+        assert_eq!(schedule(&a, 512), schedule(&b, 512));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(1).with_conn_drops(0.5);
+        let b = FaultPlan::new(2).with_conn_drops(0.5);
+        assert_ne!(schedule(&a, 512), schedule(&b, 512), "distinct seeds share a schedule");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::new(7).with_journal_errors(0.25);
+        let fired = (0..10_000).filter(|&i| plan.journal_write_fails(i)).count();
+        assert!((2000..3000).contains(&fired), "25% rate fired {fired}/10000 times");
+        // Independent streams: the same seed at the same indices makes its
+        // own decisions per kind.
+        let plan = plan.with_conn_drops(0.25);
+        let both =
+            (0..10_000).filter(|&i| plan.journal_write_fails(i) && plan.drop_connection(i)).count();
+        assert!(both < 1000, "kind streams look correlated: {both} joint firings");
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let plan = FaultPlan::new(9);
+        assert!(schedule(&plan, 2048).iter().all(|&(_, a, b, c, d)| !(a || b || c || d)));
+        let none = NoFaults;
+        assert!(!none.shard_panic(0, 0));
+        assert!(!none.journal_write_fails(0));
+        assert!(!none.drop_connection(0));
+        assert!(none.stall_connection(0).is_none());
+    }
+
+    #[test]
+    fn parse_round_trips_the_cli_syntax() {
+        let plan = FaultPlan::parse(
+            "seed=11, shard=0.001, journal=0.01, conn=0.05, stall=0.1, stall-ms=25",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 11);
+        assert_eq!(plan.shard_panic_rate, 0.001);
+        assert_eq!(plan.journal_error_rate, 0.01);
+        assert_eq!(plan.conn_drop_rate, 0.05);
+        assert_eq!(plan.conn_stall_rate, 0.1);
+        assert_eq!(plan.stall, Duration::from_millis(25));
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        assert!(FaultPlan::parse("bogus=1").unwrap_err().contains("not recognized"));
+        assert!(FaultPlan::parse("conn").unwrap_err().contains("key=value"));
+        assert!(FaultPlan::parse("conn=1.5").unwrap_err().contains("outside"));
+    }
+}

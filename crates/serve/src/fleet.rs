@@ -102,6 +102,10 @@ pub(crate) enum DomainState {
     /// Serialized to snapshot bytes in the fleet store (or in flight to it —
     /// the hibernate job publishing the bytes may still be queued).
     Hibernated,
+    /// Lost to a shard-worker panic: not in any shard's domain map and not
+    /// in the store. Operations are refused until the repair path rebuilds
+    /// the domain from the journal and reinstalls it.
+    Degraded,
 }
 
 /// Per-domain placement and accounting record.
@@ -197,6 +201,13 @@ impl FleetState {
         self.lock().store.remove(&id)
     }
 
+    /// Marks `id` degraded after a shard-worker panic (see
+    /// [`FleetInner::mark_degraded`]). Called from the panicking worker's
+    /// supervisor, so it must not itself panic on missing ids.
+    pub(crate) fn mark_degraded(&self, id: DomainId) {
+        self.lock().mark_degraded(id);
+    }
+
     /// Cost/size sample after one shard job: `steps` advance steps ran in
     /// `micros`, and the domain's size estimate is now `est_bytes`.
     pub(crate) fn note_op(&self, id: DomainId, micros: f64, steps: u64, est_bytes: u64) {
@@ -223,6 +234,7 @@ impl FleetState {
 }
 
 /// How a dispatch should reach a domain.
+#[derive(Debug)]
 pub(crate) enum Routing {
     /// No placement entry: deliver to a fallback shard so the job observes
     /// `UnknownDomain` through the normal callback path.
@@ -230,6 +242,8 @@ pub(crate) enum Routing {
     /// Deliver to `shard`; when `rehydrate`, enqueue a rehydrate job first
     /// (the domain was hibernated and has just been marked resident).
     To { shard: usize, rehydrate: bool },
+    /// The domain was lost to a shard panic and awaits journal repair.
+    Degraded,
 }
 
 impl FleetInner {
@@ -320,6 +334,9 @@ impl FleetInner {
         self.touch_seq += 1;
         let touch = self.touch_seq;
         let Some(e) = self.entries.get_mut(&id) else { return Routing::Unplaced };
+        if e.state == DomainState::Degraded {
+            return Routing::Degraded;
+        }
         if e.state == DomainState::Resident {
             self.lru.remove(&(e.last_touch, id));
         }
@@ -353,6 +370,27 @@ impl FleetInner {
         self.resident_bytes = self.resident_bytes.saturating_sub(est);
         self.hibernations += 1;
         Some(shard)
+    }
+
+    /// Marks `id` degraded after a shard-worker panic lost its in-memory
+    /// state: out of the LRU and resident accounting (the memory is gone
+    /// with the panicked job), and out of the store — any hibernated bytes
+    /// predate the ops the journal will replay. `reinstall` clears the mark.
+    pub(crate) fn mark_degraded(&mut self, id: DomainId) {
+        let Some(e) = self.entries.get_mut(&id) else { return };
+        let prior = e.state;
+        e.state = DomainState::Degraded;
+        let (touch, est) = (e.last_touch, e.est_bytes);
+        match prior {
+            DomainState::Resident => {
+                self.lru.remove(&(touch, id));
+                self.resident_bytes = self.resident_bytes.saturating_sub(est);
+            }
+            DomainState::Hibernated => {
+                self.store.remove(&id);
+            }
+            DomainState::Degraded => {}
+        }
     }
 
     /// LRU eviction plan: marks least-recently-touched resident domains
@@ -496,6 +534,7 @@ mod tests {
             advance_ewma_micros: 0.0,
             hibernations: 0,
             rehydrations: 0,
+            degraded: false,
         }
     }
 
@@ -551,7 +590,7 @@ mod tests {
                 assert_eq!(shard, 1);
                 assert!(rehydrate);
             }
-            Routing::Unplaced => panic!("placed domain"),
+            other => panic!("expected placement, got {other:?}"),
         }
         assert_eq!(inner.resident_bytes, 64);
         assert_eq!(inner.entries[&9].rehydrations, 1);

@@ -46,20 +46,24 @@ pub mod clock;
 pub mod codec;
 pub mod demo;
 pub mod domain;
+pub mod fault;
 pub mod fleet;
 pub mod proto;
 pub mod runtime;
 pub mod server;
+pub mod wal;
 
-pub use client::{Client, Proto};
+pub use client::{Client, ClientStats, Proto, RetryPolicy};
 pub use clock::{Clock, SimClock, WallClock};
 pub use domain::{
     BackpressurePolicy, DecisionRecord, Domain, DomainSnapshot, DomainSpec, IngestBudget,
     IngestOutcome,
 };
+pub use fault::{FaultInjector, FaultPlan, NoFaults};
 pub use fleet::FleetConfig;
 pub use proto::{Request, Response, PROTO_VERSION};
 pub use runtime::{
     ControllerRuntime, DomainId, DomainMetrics, RuntimeError, RuntimeMetrics, RuntimeSnapshot,
 };
 pub use server::{ClockMode, Server, ServerConfig};
+pub use wal::{Journal, JournalOp, JournalRecord, RecoveryReport};

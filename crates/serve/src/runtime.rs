@@ -23,11 +23,13 @@
 use crate::clock::Clock;
 use crate::codec;
 use crate::domain::{DecisionRecord, Domain, DomainSnapshot, DomainSpec, IngestOutcome};
+use crate::fault::{FaultInjector, NoFaults};
 use crate::fleet::{DomainState, FleetConfig, FleetState, Routing};
 use crossbeam::channel::{self, Sender};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -50,6 +52,9 @@ pub enum RuntimeError {
     /// The owning shard worker is gone (it panicked or the runtime shut
     /// down mid-call).
     ShardDown,
+    /// The domain's in-memory state was lost to a shard-worker panic and
+    /// has not been repaired (from the journal) yet.
+    DomainDegraded(DomainId),
 }
 
 impl fmt::Display for RuntimeError {
@@ -59,6 +64,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::InvalidSpec(msg) => write!(f, "invalid domain spec: {msg}"),
             RuntimeError::Fleet(msg) => write!(f, "fleet request invalid: {msg}"),
             RuntimeError::ShardDown => write!(f, "shard worker unavailable"),
+            RuntimeError::DomainDegraded(id) => {
+                write!(f, "domain {id} degraded by a shard fault (awaiting journal repair)")
+            }
         }
     }
 }
@@ -103,6 +111,9 @@ pub struct DomainMetrics {
     /// Times this domain has been hibernated / rehydrated.
     pub hibernations: u64,
     pub rehydrations: u64,
+    /// Whether the domain's state was lost to a shard-worker panic and is
+    /// awaiting journal repair (counters shown are its last good capture).
+    pub degraded: bool,
 }
 
 /// Aggregated runtime metrics (the wire protocol's `Metrics` reply).
@@ -119,6 +130,8 @@ pub struct RuntimeMetrics {
     pub total_delayed: u64,
     /// Domains currently materialized in memory.
     pub resident_domains: u64,
+    /// Domains lost to shard-worker panics and awaiting journal repair.
+    pub degraded_domains: u64,
     /// Estimated bytes held by resident domains right now, and the high
     /// watermark of that estimate over the runtime's lifetime.
     pub resident_bytes: u64,
@@ -150,6 +163,15 @@ type ShardJob = Box<dyn FnOnce(&mut ShardState) + Send>;
 struct ShardState {
     domains: BTreeMap<DomainId, Domain>,
     fleet: Arc<FleetState>,
+    /// This worker's shard index (for fault-schedule lookups and logs).
+    shard: usize,
+    faults: Arc<dyn FaultInjector>,
+    /// Instrumented operations this worker has run (the fault-schedule
+    /// event index).
+    ops: u64,
+    /// The domain the currently-executing instrumented job targets; the
+    /// supervisor reads it after a panic to know what was lost.
+    active: Option<DomainId>,
 }
 
 impl ShardState {
@@ -221,6 +243,7 @@ fn base_metrics(id: DomainId, d: &Domain) -> DomainMetrics {
         advance_ewma_micros: 0.0,
         hibernations: 0,
         rehydrations: 0,
+        degraded: false,
     }
 }
 
@@ -232,6 +255,11 @@ where
     F: FnOnce(&mut ShardState) + Send + 'static,
 {
     Box::new(move |state| {
+        state.ops += 1;
+        state.active = Some(id);
+        if state.faults.shard_panic(state.shard, state.ops) {
+            panic!("injected shard fault (shard {}, op {})", state.shard, state.ops);
+        }
         let steps_before = state.domains.get(&id).map(|d| d.steps()).unwrap_or(0);
         let start = Instant::now();
         f(state);
@@ -240,6 +268,7 @@ where
             let steps = d.steps().saturating_sub(steps_before);
             state.fleet.note_op(id, micros, steps, d.estimated_bytes());
         }
+        state.active = None;
     })
 }
 
@@ -269,20 +298,61 @@ impl ControllerRuntime {
     }
 
     /// Spawns `shards` worker threads sharing `clock` under the given fleet
-    /// policy.
+    /// policy, with no fault injection.
     pub fn with_fleet(shards: usize, clock: Arc<dyn Clock>, config: FleetConfig) -> Self {
+        Self::with_fleet_faults(shards, clock, config, Arc::new(NoFaults))
+    }
+
+    /// Full-control constructor: fleet policy plus a fault injector
+    /// consulted on every instrumented shard operation.
+    ///
+    /// Each shard worker is supervised: a panic — injected or real — is
+    /// caught, the in-flight domain's (now untrustworthy) state is removed
+    /// and marked degraded in the fleet table, and the worker keeps
+    /// serving its queue. Sibling domains on the same shard are untouched;
+    /// the degraded domain refuses operations until the journal repair
+    /// path rebuilds and reinstalls it.
+    pub fn with_fleet_faults(
+        shards: usize,
+        clock: Arc<dyn Clock>,
+        config: FleetConfig,
+        faults: Arc<dyn FaultInjector>,
+    ) -> Self {
         let shards = shards.max(1);
         let fleet = Arc::new(FleetState::new(config, shards));
         let handles = (0..shards)
             .map(|i| {
                 let (tx, rx) = channel::unbounded::<ShardJob>();
                 let fleet = Arc::clone(&fleet);
+                let faults = Arc::clone(&faults);
                 let worker = std::thread::Builder::new()
                     .name(format!("tempo-serve-shard-{i}"))
                     .spawn(move || {
-                        let mut state = ShardState { domains: BTreeMap::new(), fleet };
+                        let mut state = ShardState {
+                            domains: BTreeMap::new(),
+                            fleet,
+                            shard: i,
+                            faults,
+                            ops: 0,
+                            active: None,
+                        };
                         while let Ok(job) = rx.recv() {
-                            job(&mut state);
+                            if catch_unwind(AssertUnwindSafe(|| job(&mut state))).is_err() {
+                                match state.active.take() {
+                                    Some(id) => {
+                                        state.domains.remove(&id);
+                                        state.fleet.mark_degraded(id);
+                                        eprintln!(
+                                            "tempo-serve: shard {i} worker panicked; \
+                                             domain {id} degraded, worker resumed"
+                                        );
+                                    }
+                                    None => eprintln!(
+                                        "tempo-serve: shard {i} worker panicked in a \
+                                         non-domain job; worker resumed"
+                                    ),
+                                }
+                            }
                         }
                     })
                     .expect("spawn shard worker");
@@ -352,6 +422,7 @@ impl ControllerRuntime {
                 }
                 self.shards[shard].tx.send(job).map_err(|_| RuntimeError::ShardDown)
             }
+            Routing::Degraded => Err(RuntimeError::DomainDegraded(id)),
         }
     }
 
@@ -507,7 +578,13 @@ impl ControllerRuntime {
     /// refresh touch recency, so it never interferes with the LRU policy.
     /// A cold domain's trajectory resumes on its next targeted operation.
     pub fn advance_all(&self) -> Vec<(DomainId, DecisionRecord)> {
-        let now = self.clock.now();
+        self.advance_all_at(self.clock.now())
+    }
+
+    /// [`ControllerRuntime::advance_all`] with the clock reading supplied
+    /// by the caller — journal replay uses this to re-run a recorded sweep
+    /// at its original time rather than the recovery clock's.
+    pub fn advance_all_at(&self, now: Time) -> Vec<(DomainId, DecisionRecord)> {
         let mut out: Vec<(DomainId, DecisionRecord)> = self
             .on_all_shards(move |state| {
                 let fleet = Arc::clone(&state.fleet);
@@ -675,6 +752,18 @@ impl ControllerRuntime {
         victims.len() as u64
     }
 
+    /// Domains currently marked degraded (lost to a shard-worker panic),
+    /// id-sorted. The journal repair path sweeps this.
+    pub fn degraded_domains(&self) -> Vec<DomainId> {
+        let inner = self.fleet.lock();
+        inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.state == DomainState::Degraded)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
     /// Occupancy and throughput counters across every domain, id-sorted.
     /// Never rehydrates: hibernated domains report the counters captured
     /// when they left memory, overlaid with live fleet accounting.
@@ -689,12 +778,16 @@ impl ControllerRuntime {
         let inner = self.fleet.lock();
         let shard_loads = inner.shard_loads();
         let mut resident_domains = 0u64;
+        let mut degraded_domains = 0u64;
         let mut per_domain = Vec::with_capacity(inner.entries.len());
         for (&id, e) in &inner.entries {
             let resident = e.state == DomainState::Resident;
+            let degraded = e.state == DomainState::Degraded;
             resident_domains += u64::from(resident);
+            degraded_domains += u64::from(degraded);
             let mut m = swept.get(&id).cloned().unwrap_or_else(|| e.cached.clone());
             m.resident = resident;
+            m.degraded = degraded;
             m.shard = e.shard as u64;
             m.last_touch_tick = e.last_touch;
             m.estimated_bytes = e.est_bytes;
@@ -719,6 +812,7 @@ impl ControllerRuntime {
             total_shed: per_domain.iter().map(|m| m.shed_count).sum(),
             total_delayed: per_domain.iter().map(|m| m.delayed_count).sum(),
             resident_domains,
+            degraded_domains,
             resident_bytes,
             peak_resident_bytes,
             total_hibernations,
@@ -750,8 +844,14 @@ impl ControllerRuntime {
             let mut in_flight = false;
             {
                 let inner = self.fleet.lock();
-                for &id in inner.entries.keys() {
+                for (&id, e) in &inner.entries {
                     if resident.contains(&id) {
+                        continue;
+                    }
+                    // A degraded domain has no trustworthy state anywhere;
+                    // the snapshot simply omits it (the journal is its only
+                    // recovery source).
+                    if e.state == DomainState::Degraded {
                         continue;
                     }
                     match inner.store.get(&id) {

@@ -23,13 +23,16 @@
 use crate::clock::{Clock, SimClock, WallClock};
 use crate::codec::{self, BINARY_PREFIX, BINARY_VERSION};
 use crate::domain::{Domain, IngestOutcome};
+use crate::fault::{no_faults, FaultInjector};
 use crate::fleet::FleetConfig;
 use crate::proto::{decode, encode_line, Request, Response, PROTO_VERSION};
 use crate::runtime::{ControllerRuntime, RuntimeError};
+use crate::wal::{self, Journal, JournalOp, JournalRecord};
 use bytes::BytesMut;
 use crossbeam::channel::{self, Receiver, Sender};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -51,7 +54,7 @@ pub enum ClockMode {
 }
 
 /// Server settings.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (read it back from
     /// [`Server::local_addr`]).
@@ -62,6 +65,27 @@ pub struct ServerConfig {
     /// Fleet-management policy (hibernation watermark, idle ticks,
     /// rebalance factor).
     pub fleet: FleetConfig,
+    /// Directory for the durable operations journal. `None` = the
+    /// pre-crash-only behavior: nothing survives a kill.
+    pub journal_dir: Option<PathBuf>,
+    /// Checkpoint (and truncate the journal) every this many journaled ops.
+    pub checkpoint_every: u64,
+    /// Fault injector threaded through the runtime's shard workers, the
+    /// journal's appends, and the accept loop's connections.
+    pub faults: Arc<dyn FaultInjector>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("shards", &self.shards)
+            .field("clock", &self.clock)
+            .field("fleet", &self.fleet)
+            .field("journal_dir", &self.journal_dir)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ServerConfig {
@@ -71,6 +95,9 @@ impl Default for ServerConfig {
             shards: default_shards(),
             clock: ClockMode::Wall,
             fleet: FleetConfig::default(),
+            journal_dir: None,
+            checkpoint_every: 1024,
+            faults: no_faults(),
         }
     }
 }
@@ -85,6 +112,7 @@ pub fn default_shards() -> usize {
 pub struct Server {
     runtime: Arc<ControllerRuntime>,
     sim: Option<Arc<SimClock>>,
+    journal: Option<Arc<Journal>>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
@@ -92,34 +120,109 @@ pub struct Server {
 
 impl Server {
     /// Binds and starts serving in background threads.
+    ///
+    /// With a journal directory configured, recovery runs here — before the
+    /// accept thread exists, so no request can observe a half-recovered
+    /// runtime: the latest checkpoint is restored, a torn journal tail is
+    /// truncated, and the surviving records replay at their recorded clock
+    /// readings. Unrecoverable journal state (corrupt checkpoint, future
+    /// format version) fails the start rather than serving wrong state.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let fleet = config.fleet;
+        let faults = Arc::clone(&config.faults);
         let (runtime, sim) = match config.clock {
             ClockMode::Wall => {
                 let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
-                (ControllerRuntime::with_fleet(config.shards, clock, config.fleet), None)
+                (
+                    ControllerRuntime::with_fleet_faults(
+                        config.shards,
+                        clock,
+                        fleet,
+                        Arc::clone(&faults),
+                    ),
+                    None,
+                )
             }
             ClockMode::Sim => {
                 let sim = Arc::new(SimClock::new());
                 let clock: Arc<dyn Clock> = Arc::<SimClock>::clone(&sim);
-                (ControllerRuntime::with_fleet(config.shards, clock, config.fleet), Some(sim))
+                (
+                    ControllerRuntime::with_fleet_faults(
+                        config.shards,
+                        clock,
+                        fleet,
+                        Arc::clone(&faults),
+                    ),
+                    Some(sim),
+                )
             }
         };
         let runtime = Arc::new(runtime);
         let shutdown = Arc::new(AtomicBool::new(false));
 
+        let corrupt = |e: String| std::io::Error::new(ErrorKind::InvalidData, e);
+        let journal = match &config.journal_dir {
+            Some(dir) => {
+                let (journal, recovered) =
+                    Journal::open(dir, config.checkpoint_every, Arc::clone(&faults))
+                        .map_err(corrupt)?;
+                let report = wal::replay(&runtime, sim.as_deref(), recovered).map_err(corrupt)?;
+                if report.checkpoint_domains > 0
+                    || report.replayed > 0
+                    || report.truncated_bytes > 0
+                {
+                    eprintln!(
+                        "tempo-serve: recovered {} checkpoint domain(s) + {} journal record(s) \
+                         ({} torn byte(s) truncated{})",
+                        report.checkpoint_domains,
+                        report.replayed,
+                        report.truncated_bytes,
+                        if report.discarded_stale_journal {
+                            ", stale journal discarded"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                Some(Arc::new(journal))
+            }
+            None => None,
+        };
+
         let accept_runtime = Arc::clone(&runtime);
         let accept_sim = sim.clone();
+        let accept_journal = journal.clone();
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
             .name("tempo-serve-accept".into())
             .spawn(move || {
-                accept_loop(listener, accept_runtime, accept_sim, accept_shutdown);
+                accept_loop(
+                    listener,
+                    accept_runtime,
+                    accept_sim,
+                    accept_journal,
+                    faults,
+                    accept_shutdown,
+                );
             })
             .expect("spawn accept thread");
 
-        Ok(Server { runtime, sim, local_addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            runtime,
+            sim,
+            journal,
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The operations journal, when one is configured. The daemon uses this
+    /// to write a final checkpoint on graceful exit.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -165,20 +268,39 @@ fn accept_loop(
     listener: TcpListener,
     runtime: Arc<ControllerRuntime>,
     sim: Option<Arc<SimClock>>,
+    journal: Option<Arc<Journal>>,
+    faults: Arc<dyn FaultInjector>,
     shutdown: Arc<AtomicBool>,
 ) {
     let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut conn_index = 0u64;
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        conn_index += 1;
+        let index = conn_index;
         let runtime = Arc::clone(&runtime);
         let sim = sim.clone();
+        let journal = journal.clone();
+        let faults = Arc::clone(&faults);
         let flag = Arc::clone(&shutdown);
         let handle = std::thread::Builder::new()
             .name("tempo-serve-conn".into())
-            .spawn(move || handle_connection(stream, runtime, sim, flag))
+            .spawn(move || {
+                // Connection faults fire before the handshake, so a dropped
+                // connection never half-executed anything: a retrying client
+                // reconnects and resends without double-execution.
+                if faults.drop_connection(index) {
+                    drop(stream);
+                    return;
+                }
+                if let Some(stall) = faults.stall_connection(index) {
+                    std::thread::sleep(stall);
+                }
+                handle_connection(stream, runtime, sim, journal, flag)
+            })
             .expect("spawn connection handler");
         let mut list = handlers.lock().expect("handler list");
         // Reap finished handlers so a long-lived daemon serving many
@@ -212,6 +334,7 @@ fn handle_connection(
     stream: TcpStream,
     runtime: Arc<ControllerRuntime>,
     sim: Option<Arc<SimClock>>,
+    journal: Option<Arc<Journal>>,
     shutdown: Arc<AtomicBool>,
 ) {
     // Short read timeouts keep handlers responsive to the shutdown flag
@@ -235,12 +358,12 @@ fn handle_connection(
                 let _ = writer.write_all(&buf);
                 return;
             }
-            handle_binary(stream, runtime, sim, shutdown);
+            handle_binary(stream, runtime, sim, journal, shutdown);
         }
-        codec::JSONL_PREFIX => handle_jsonl(stream, runtime, sim, shutdown, Vec::new()),
+        codec::JSONL_PREFIX => handle_jsonl(stream, runtime, sim, journal, shutdown, Vec::new()),
         // Anything else is the first byte of a bare JSONL session (`nc`
         // with no explicit prefix): keep it as part of the stream.
-        other => handle_jsonl(stream, runtime, sim, shutdown, vec![other]),
+        other => handle_jsonl(stream, runtime, sim, journal, shutdown, vec![other]),
     }
 }
 
@@ -258,6 +381,7 @@ fn handle_jsonl(
     stream: TcpStream,
     runtime: Arc<ControllerRuntime>,
     sim: Option<Arc<SimClock>>,
+    journal: Option<Arc<Journal>>,
     shutdown: Arc<AtomicBool>,
     mut pending: Vec<u8>,
 ) {
@@ -294,8 +418,13 @@ fn handle_jsonl(
                     ),
                     Ok(line) if line.trim().is_empty() => {}
                     Ok(line) => {
-                        let (response, requested_stop) =
-                            dispatch_line(&runtime, sim.as_deref(), &shutdown, line);
+                        let (response, requested_stop) = dispatch_line(
+                            &runtime,
+                            sim.as_deref(),
+                            journal.as_deref(),
+                            &shutdown,
+                            line,
+                        );
                         encode_line(&response, &mut out);
                         stop = requested_stop;
                     }
@@ -307,6 +436,11 @@ fn handle_jsonl(
                 if !out.is_empty() && !more_buffered {
                     ok = writer.write_all(out.as_bytes()).and_then(|()| writer.flush()).is_ok();
                     out.clear();
+                    // Journal upkeep between rounds, off the shard threads:
+                    // due checkpoints and degraded-domain repair.
+                    if let Some(journal) = &journal {
+                        wal::run_maintenance(journal, &runtime);
+                    }
                 }
                 if stop {
                     poke_accept_loop(&writer);
@@ -328,23 +462,51 @@ fn handle_jsonl(
 fn dispatch_line(
     runtime: &ControllerRuntime,
     sim: Option<&SimClock>,
+    journal: Option<&Journal>,
     shutdown: &AtomicBool,
     line: &str,
 ) -> (Response, bool) {
     match decode(line) {
-        Ok(request) => dispatch(runtime, sim, shutdown, request),
+        Ok(request) => dispatch(runtime, sim, journal, shutdown, request),
         Err(e) => (Response::Error { message: format!("bad request: {e}") }, false),
     }
 }
 
 /// Executes one request synchronously; the bool asks the handler to stop.
+///
+/// Journaling is write-behind: every state-mutating operation is appended
+/// to the journal *after* it executed (and only when it executed — errors
+/// and read-only requests are never logged). The crash-only contract: an op
+/// whose response never reached the client may or may not survive a crash;
+/// an op journaled before the crash always replays.
 fn dispatch(
     runtime: &ControllerRuntime,
     sim: Option<&SimClock>,
+    journal: Option<&Journal>,
     shutdown: &AtomicBool,
     request: Request,
 ) -> (Response, bool) {
     let fail = |e: RuntimeError| Response::Error { message: e.to_string() };
+    // Domain-targeted requests share one execution path with the binary
+    // pipeline: a single clock reading at dispatch covers the whole op.
+    let request = match split_domain_op(request) {
+        Ok((domain, op)) => {
+            let now = runtime.clock().now();
+            let logged = journal.and_then(|_| journal_op(domain, &op));
+            let response =
+                match runtime.on_domain(domain, move |d| run_domain_op(domain, d, now, op)) {
+                    Ok(response) => {
+                        if let (Some(journal), Some(op)) = (journal, logged) {
+                            journal.append_logged(&JournalRecord { now, op });
+                        }
+                        response
+                    }
+                    Err(e) => fail(e),
+                };
+            return (response, false);
+        }
+        Err(request) => request,
+    };
     let response = match request {
         Request::Hello => {
             let m = runtime.metrics();
@@ -355,74 +517,115 @@ fn dispatch(
                 clock: if sim.is_some() { "sim".into() } else { "wall".into() },
             }
         }
-        Request::CreateDomain { spec } => match runtime.create_domain(spec) {
-            Ok(domain) => Response::Created { domain },
-            Err(e) => fail(e),
-        },
-        Request::Ingest { domain, jobs } => match runtime.ingest(domain, jobs) {
-            Ok(outcome) => ingest_response(domain, outcome),
-            Err(e) => fail(e),
-        },
-        Request::Advance { domain, steps } => {
-            let steps = steps.clamp(1, MAX_STEPS);
-            let mut decisions = Vec::with_capacity(steps as usize);
-            let mut error = None;
-            for _ in 0..steps {
-                match runtime.advance(domain) {
-                    Ok(rec) => decisions.push(rec),
-                    Err(e) => {
-                        error = Some(e);
-                        break;
+        Request::CreateDomain { spec } => {
+            let logged = journal.map(|_| spec.clone());
+            match runtime.create_domain(spec) {
+                Ok(domain) => {
+                    if let (Some(journal), Some(spec)) = (journal, logged) {
+                        journal.append_logged(&JournalRecord {
+                            now: runtime.clock().now(),
+                            op: JournalOp::CreateDomain { id: domain, spec },
+                        });
                     }
+                    Response::Created { domain }
                 }
-            }
-            match error {
-                Some(e) if decisions.is_empty() => fail(e),
-                _ => Response::Advanced { domain, decisions },
-            }
-        }
-        Request::IngestAdvance { domain, jobs, steps } => {
-            let now = runtime.clock().now();
-            let op = DomainOp::IngestAdvance { jobs, steps };
-            match runtime.on_domain(domain, move |d| run_domain_op(domain, d, now, op)) {
-                Ok(resp) => resp,
                 Err(e) => fail(e),
             }
         }
-        Request::AdvanceAll => Response::AdvancedAll { decisions: runtime.advance_all() },
-        Request::Config { domain } => match runtime.current_config(domain) {
-            Ok(config) => Response::Config { domain, config },
-            Err(e) => fail(e),
-        },
+        Request::AdvanceAll => {
+            let now = runtime.clock().now();
+            let decisions = runtime.advance_all_at(now);
+            if let Some(journal) = journal {
+                journal.append_logged(&JournalRecord {
+                    now,
+                    op: JournalOp::AdvanceAll {
+                        domains: decisions.iter().map(|(id, _)| *id).collect(),
+                    },
+                });
+            }
+            Response::AdvancedAll { decisions }
+        }
         Request::Metrics => Response::Metrics { metrics: runtime.metrics() },
         Request::Snapshot => Response::Snapshot { snapshot: runtime.snapshot() },
-        Request::Restore { snapshot } => match runtime.restore(snapshot) {
-            Ok(domains) => Response::Restored { domains },
-            Err(e) => fail(e),
-        },
+        Request::Restore { snapshot } => {
+            let logged = journal.map(|_| snapshot.clone());
+            match runtime.restore(snapshot) {
+                Ok(domains) => {
+                    if let (Some(journal), Some(snapshot)) = (journal, logged) {
+                        journal.append_logged(&JournalRecord {
+                            now: runtime.clock().now(),
+                            op: JournalOp::Restore { snapshot },
+                        });
+                    }
+                    Response::Restored { domains }
+                }
+                Err(e) => fail(e),
+            }
+        }
         Request::Tick { micros } => match sim {
             Some(clock) => {
                 let now = clock.advance(micros);
                 // Ticks double as the fleet's maintenance heartbeat:
                 // watermark enforcement and idle-tick hibernation run here.
                 runtime.maintain();
+                if let Some(journal) = journal {
+                    journal.append_logged(&JournalRecord { now, op: JournalOp::Tick { micros } });
+                }
                 Response::Ticked { now }
             }
             None => Response::Error { message: "Tick requires --sim-clock".into() },
         },
         Request::Hibernate { domain } => match runtime.hibernate(domain) {
-            Ok(was_resident) => Response::Hibernated { domain, was_resident },
+            Ok(was_resident) => {
+                // Only a hibernation that did something is journaled
+                // (replay tolerates it no-oping anyway).
+                if was_resident {
+                    if let Some(journal) = journal {
+                        journal.append_logged(&JournalRecord {
+                            now: runtime.clock().now(),
+                            op: JournalOp::Hibernate { domain },
+                        });
+                    }
+                }
+                Response::Hibernated { domain, was_resident }
+            }
             Err(e) => fail(e),
         },
         Request::Migrate { domain, shard } => match runtime.migrate(domain, shard as usize) {
-            Ok(moved) => Response::Migrated { domain, shard, moved },
+            Ok(moved) => {
+                if moved {
+                    if let Some(journal) = journal {
+                        journal.append_logged(&JournalRecord {
+                            now: runtime.clock().now(),
+                            op: JournalOp::Migrate { domain, shard },
+                        });
+                    }
+                }
+                Response::Migrated { domain, shard, moved }
+            }
             Err(e) => fail(e),
         },
-        Request::Rebalance => Response::Rebalanced { moves: runtime.rebalance() },
+        Request::Rebalance => {
+            let moves = runtime.rebalance();
+            // Journaled even when no move happened: rebalance resets the
+            // per-shard load window, which shapes later rebalances.
+            if let Some(journal) = journal {
+                journal.append_logged(&JournalRecord {
+                    now: runtime.clock().now(),
+                    op: JournalOp::Rebalance,
+                });
+            }
+            Response::Rebalanced { moves }
+        }
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             return (Response::ShuttingDown, true);
         }
+        // Handled by split_domain_op above.
+        Request::Ingest { .. }
+        | Request::Advance { .. }
+        | Request::IngestAdvance { .. }
+        | Request::Config { .. } => unreachable!("domain ops split before the match"),
     };
     (response, false)
 }
@@ -460,6 +663,24 @@ fn ingest_response(domain: u64, outcome: IngestOutcome) -> Response {
     }
 }
 
+/// The journal image of a domain op, `None` for read-only ops. `Busy`
+/// outcomes are journaled too: refilling the ingest budget's token bucket
+/// mutated domain state, and replaying the op reproduces it exactly.
+fn journal_op(domain: u64, op: &DomainOp) -> Option<JournalOp> {
+    match op {
+        DomainOp::Ingest { jobs } => Some(JournalOp::Ingest { domain, jobs: jobs.clone() }),
+        DomainOp::Advance { steps } => {
+            Some(JournalOp::Advance { domain, steps: (*steps).clamp(1, MAX_STEPS) })
+        }
+        DomainOp::IngestAdvance { jobs, steps } => Some(JournalOp::IngestAdvance {
+            domain,
+            jobs: jobs.clone(),
+            steps: (*steps).clamp(1, MAX_STEPS),
+        }),
+        DomainOp::Config => None,
+    }
+}
+
 /// Executes one domain-targeted operation directly against the domain, on
 /// its owning shard, against the clock reading taken at dispatch.
 fn run_domain_op(domain: u64, d: &mut Domain, now: Time, op: DomainOp) -> Response {
@@ -487,6 +708,7 @@ fn handle_binary(
     stream: TcpStream,
     runtime: Arc<ControllerRuntime>,
     sim: Option<Arc<SimClock>>,
+    journal: Option<Arc<Journal>>,
     shutdown: Arc<AtomicBool>,
 ) {
     let writer = match stream.try_clone() {
@@ -513,7 +735,15 @@ fn handle_binary(
             match codec::take_frame(&mut pending) {
                 Ok(None) => break,
                 Ok(Some((corr, body))) => {
-                    if !dispatch_frame(&runtime, sim.as_deref(), &shutdown, corr, &body, &resp_tx) {
+                    if !dispatch_frame(
+                        &runtime,
+                        sim.as_deref(),
+                        journal.as_ref(),
+                        &shutdown,
+                        corr,
+                        &body,
+                        &resp_tx,
+                    ) {
                         poke_accept_loop(&reader);
                         break 'conn;
                     }
@@ -525,6 +755,12 @@ fn handle_binary(
                     break 'conn;
                 }
             }
+        }
+        // Journal upkeep runs on this connection thread, never a shard
+        // worker (a checkpoint sweeps every shard and would self-deadlock
+        // from one).
+        if let Some(journal) = &journal {
+            wal::run_maintenance(journal, &runtime);
         }
         match reader.read(&mut chunk) {
             Ok(0) => break,
@@ -544,6 +780,7 @@ fn handle_binary(
 fn dispatch_frame(
     runtime: &Arc<ControllerRuntime>,
     sim: Option<&SimClock>,
+    journal: Option<&Arc<Journal>>,
     shutdown: &AtomicBool,
     corr: u64,
     body: &[u8],
@@ -561,10 +798,22 @@ fn dispatch_frame(
             // Clock is read at dispatch, not execution: a pipelined window
             // of operations shares the submission-time view of now.
             let now = runtime.clock().now();
+            // Journaled from the shard callback, right after execution —
+            // per-domain journal order therefore equals execution order,
+            // which is what replay reproduces. An op that never executes
+            // (shard panic, unknown domain) is never journaled.
+            let logged = journal.and_then(|_| journal_op(domain, &op));
+            let journal = journal.cloned();
             let tx = resp_tx.clone();
             let dispatched = runtime.on_domain_async(domain, move |d| {
                 let response = match d {
-                    Ok(d) => run_domain_op(domain, d, now, op),
+                    Ok(d) => {
+                        let response = run_domain_op(domain, d, now, op);
+                        if let (Some(journal), Some(op)) = (journal.as_deref(), logged) {
+                            journal.append_logged(&JournalRecord { now, op });
+                        }
+                        response
+                    }
                     Err(e) => Response::Error { message: e.to_string() },
                 };
                 let _ = tx.send((corr, response));
@@ -578,7 +827,8 @@ fn dispatch_frame(
             // Global requests run inline; their shard-fanning operations
             // queue behind already-dispatched domain ops, so a pipelined
             // `Metrics` still observes every earlier completion.
-            let (response, stop) = dispatch(runtime, sim, shutdown, request);
+            let (response, stop) =
+                dispatch(runtime, sim, journal.map(|j| j.as_ref()), shutdown, request);
             let _ = resp_tx.send((corr, response));
             !stop
         }
@@ -628,7 +878,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             shards,
             clock: ClockMode::Sim,
-            fleet: FleetConfig::default(),
+            ..ServerConfig::default()
         })
         .expect("start server")
     }
@@ -834,6 +1084,7 @@ mod tests {
             shards: 2,
             clock: ClockMode::Sim,
             fleet: FleetConfig::default().with_watermark(6 * 1024),
+            ..ServerConfig::default()
         })
         .expect("start server");
         let mut client = Client::connect(server.local_addr(), Proto::Binary).expect("connect");
@@ -917,7 +1168,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             shards: 4, // shard count need not match
             clock: ClockMode::Sim,
-            fleet: FleetConfig::default(),
+            ..ServerConfig::default()
         })
         .expect("start server 2");
         let mut client2 = Client::connect(server2.local_addr(), Proto::Binary).expect("connect");

@@ -17,8 +17,8 @@ use tempo_serve::demo::{contention_burst, contention_spec, DEMO_WINDOW};
 use tempo_serve::domain::observation_seed;
 use tempo_serve::proto::{Request, Response};
 use tempo_serve::{
-    Client, Clock, ClockMode, ControllerRuntime, DecisionRecord, DomainSpec, FleetConfig, Proto,
-    Server, ServerConfig, SimClock,
+    Client, Clock, ClockMode, ControllerRuntime, DecisionRecord, DomainSpec, Proto, Server,
+    ServerConfig, SimClock,
 };
 use tempo_sim::observe;
 use tempo_workload::time::Time;
@@ -208,7 +208,7 @@ fn wire_trajectory(proto: Proto, batched: bool) -> Vec<DecisionRecord> {
         addr: "127.0.0.1:0".into(),
         shards: 2,
         clock: ClockMode::Sim,
-        fleet: FleetConfig::default(),
+        ..ServerConfig::default()
     })
     .expect("start server");
     let mut client = Client::connect(server.local_addr(), proto).expect("connect");

@@ -312,3 +312,82 @@ fn proto_flag_parses() {
     assert_eq!(Proto::parse("binary"), Ok(Proto::Binary));
     assert!(Proto::parse("carrier-pigeon").is_err());
 }
+
+/// Feeds `bytes` through every decode surface a peer can reach: the frame
+/// splitter, the typed binary decoders, the versioned snapshot decoder, and
+/// the JSONL line decoder. Every one must return `Err` or `Ok` — a panic
+/// here is a remote crash vector.
+fn exercise_decoders(bytes: &[u8]) {
+    let mut pending = bytes.to_vec();
+    while let Ok(Some((_, body))) = take_frame(&mut pending) {
+        let _ = decode_binary::<Value>(&body);
+        let _ = decode_binary::<Request>(&body);
+        let _ = decode_binary::<Response>(&body);
+    }
+    let _ = decode_binary::<Value>(bytes);
+    let _ = decode_binary::<Request>(bytes);
+    let _ = decode_binary::<Response>(bytes);
+    let _ = decode_snapshot(bytes);
+    let _ = decode::<Request>(&String::from_utf8_lossy(bytes));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Defensive decode: a well-formed frame with a handful of byte flips
+    /// and an arbitrary truncation point must never panic a decoder —
+    /// corruption is an `Err`, full stop.
+    #[test]
+    fn mutated_frames_never_panic_the_decoders(
+        v in value_strategy(),
+        corr in any::<u64>(),
+        flips in prop::collection::vec((0usize..1_000_000, 1u8..=255), 1..6),
+        cut in 0usize..1_000_000,
+    ) {
+        let mut wire = BytesMut::new();
+        encode_frame(corr, &v, &mut wire);
+        let mut bytes = wire.to_vec();
+        for (idx, mask) in flips {
+            let i = idx % bytes.len();
+            bytes[i] ^= mask;
+        }
+        bytes.truncate(cut % (bytes.len() + 1));
+        exercise_decoders(&bytes);
+    }
+
+    /// Pure noise — including length prefixes that claim absurd sizes — is
+    /// rejected without panicking or preallocating unbounded memory.
+    #[test]
+    fn random_bytes_never_panic_the_decoders(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        exercise_decoders(&bytes);
+    }
+}
+
+#[test]
+fn snapshot_headers_reject_forward_versions() {
+    let clock = Arc::new(SimClock::new());
+    let runtime = ControllerRuntime::new(1, Arc::<SimClock>::clone(&clock));
+    let id = runtime.create_domain(contention_spec("ver", 3)).expect("create");
+    runtime.ingest(id, contention_burst(0, 3, 1)).expect("ingest");
+    let snapshot = runtime.snapshot();
+    runtime.shutdown();
+    let bytes = encode_snapshot(&snapshot.domains[0]);
+
+    // A snapshot stamped by a future release must be refused with an error
+    // that names the version problem, not misdecoded as garbage.
+    let mut future = bytes.clone();
+    future[1] = future[1].wrapping_add(1);
+    let err = decode_snapshot(&future).expect_err("future version accepted");
+    assert!(err.contains("version"), "unhelpful version error: {err}");
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(decode_snapshot(&bad_magic).is_err(), "bad magic accepted");
+    assert!(decode_snapshot(&bytes[..1]).is_err(), "truncated header accepted");
+    assert!(decode_snapshot(&[]).is_err(), "empty snapshot accepted");
+
+    // The current stamp still round-trips.
+    assert!(decode_snapshot(&bytes).is_ok());
+}
