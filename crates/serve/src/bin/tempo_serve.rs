@@ -102,9 +102,14 @@ fn main() {
 
     // Graceful exit cuts a final checkpoint so the next boot replays
     // nothing. (A crash skips this — that's what the journal is for.)
+    // Quiesced like every checkpoint: shard queues may still be draining
+    // dispatched work, so the capture and the journal cut must share one
+    // quiescent window.
     if let Some(journal) = &journal {
-        let snapshot = runtime.snapshot();
-        match journal.write_checkpoint(&snapshot) {
+        let (snapshot, result) = runtime.quiesced_snapshot(|snapshot| {
+            journal.write_checkpoint_with(snapshot, || runtime.clock().now())
+        });
+        match result {
             Ok(()) => eprintln!(
                 "tempo-serve: final checkpoint ({} domain(s)) in {}",
                 snapshot.domains.len(),

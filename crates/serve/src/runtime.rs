@@ -585,10 +585,27 @@ impl ControllerRuntime {
     /// by the caller — journal replay uses this to re-run a recorded sweep
     /// at its original time rather than the recovery clock's.
     pub fn advance_all_at(&self, now: Time) -> Vec<(DomainId, DecisionRecord)> {
+        self.advance_all_at_with(now, |_| {})
+    }
+
+    /// [`ControllerRuntime::advance_all_at`] with a per-shard completion
+    /// hook: `on_shard_done` runs on each shard's own worker thread right
+    /// after that shard's domains advanced — and therefore before any later
+    /// operation on that shard — with the ids it advanced. The journaled
+    /// server uses this to append the sweep to the ops journal in exact
+    /// per-domain execution order even under concurrent connections.
+    pub fn advance_all_at_with<F>(
+        &self,
+        now: Time,
+        on_shard_done: F,
+    ) -> Vec<(DomainId, DecisionRecord)>
+    where
+        F: Fn(&[DomainId]) + Send + Sync + 'static,
+    {
         let mut out: Vec<(DomainId, DecisionRecord)> = self
             .on_all_shards(move |state| {
                 let fleet = Arc::clone(&state.fleet);
-                state
+                let records = state
                     .domains
                     .iter_mut()
                     .map(|(id, d)| {
@@ -600,7 +617,10 @@ impl ControllerRuntime {
                         fleet.note_op(*id, micros, steps, d.estimated_bytes());
                         (*id, rec)
                     })
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<_>>();
+                let ids: Vec<DomainId> = records.iter().map(|(id, _)| *id).collect();
+                on_shard_done(&ids);
+                records
             })
             .into_iter()
             .flatten()
@@ -752,6 +772,13 @@ impl ControllerRuntime {
         victims.len() as u64
     }
 
+    /// Whether `id` is known to the fleet table at all — resident,
+    /// hibernated, or degraded. Journal replay uses this to recognize a
+    /// create that is already covered by the checkpoint.
+    pub fn contains_domain(&self, id: DomainId) -> bool {
+        self.fleet.lock().entries.contains_key(&id)
+    }
+
     /// Domains currently marked degraded (lost to a shard-worker panic),
     /// id-sorted. The journal repair path sweeps this.
     pub fn degraded_domains(&self) -> Vec<DomainId> {
@@ -875,6 +902,79 @@ impl ControllerRuntime {
             );
             std::thread::sleep(Duration::from_micros(200));
         }
+    }
+
+    /// Stop-the-world capture: every shard worker snapshots its resident
+    /// domains and then parks at a barrier, so while `f` runs nothing
+    /// executes — or journals — anywhere in the runtime. The checkpoint
+    /// path is built on this: taking the state capture and cutting the
+    /// journal inside one quiescent window is what guarantees every
+    /// journaled op lands in exactly one of {checkpoint, journal suffix}.
+    ///
+    /// Park jobs are enqueued under one continuous fleet-lock hold, the
+    /// same discipline as placement transitions (see
+    /// [`ControllerRuntime::dispatch_to`]): a migration's hibernate/
+    /// rehydrate pair is therefore entirely before the barrier (its bytes
+    /// land before the affected shards park) or entirely behind it — a
+    /// rehydrate can never spin for bytes whose hibernate is parked.
+    ///
+    /// `f` must not dispatch work to shards (it would deadlock against the
+    /// barrier); fleet-table reads and journal I/O are fine. Degraded
+    /// domains are omitted, exactly as in [`ControllerRuntime::snapshot`].
+    pub fn quiesced_snapshot<R>(
+        &self,
+        f: impl FnOnce(&RuntimeSnapshot) -> R,
+    ) -> (RuntimeSnapshot, R) {
+        let clock_now = self.clock.now();
+        let (cap_tx, cap_rx) = channel::unbounded::<Vec<DomainSnapshot>>();
+        let mut releases = Vec::with_capacity(self.shards.len());
+        {
+            let _inner = self.fleet.lock();
+            for shard in &self.shards {
+                let cap_tx = cap_tx.clone();
+                let (release_tx, release_rx) = channel::bounded::<()>(1);
+                let job: ShardJob = Box::new(move |state| {
+                    let caps: Vec<DomainSnapshot> =
+                        state.domains.iter().map(|(id, d)| d.snapshot(*id)).collect();
+                    let _ = cap_tx.send(caps);
+                    let _ = release_rx.recv();
+                });
+                if shard.tx.send(job).is_ok() {
+                    releases.push(release_tx);
+                }
+            }
+        }
+        let mut domains: Vec<DomainSnapshot> =
+            (0..releases.len()).filter_map(|_| cap_rx.recv().ok()).flatten().collect();
+        // Every live worker is parked now; cold domains come from the store.
+        // No in-flight wait is needed: a transition whose job is queued
+        // behind the barrier has not removed its domain from the shard map
+        // yet, so the domain was captured as resident above.
+        let resident: HashSet<DomainId> = domains.iter().map(|d| d.id).collect();
+        {
+            let inner = self.fleet.lock();
+            for (&id, e) in &inner.entries {
+                if resident.contains(&id) || e.state == DomainState::Degraded {
+                    continue;
+                }
+                match inner.store.get(&id) {
+                    Some(bytes) => domains
+                        .push(codec::decode_snapshot(bytes).expect("stored snapshot bytes decode")),
+                    // Only reachable if a rehydrate failed to decode its own
+                    // bytes (already logged there); nothing left to capture.
+                    None => {
+                        eprintln!("tempo-serve: domain {id} has no capturable state during quiesce")
+                    }
+                }
+            }
+        }
+        domains.sort_by_key(|d| d.id);
+        let snapshot = RuntimeSnapshot { clock_now, domains };
+        let result = f(&snapshot);
+        for release in releases {
+            let _ = release.send(());
+        }
+        (snapshot, result)
     }
 
     /// Restores domains from a snapshot (ids preserved), replacing any
@@ -1300,6 +1400,49 @@ mod tests {
         // The idle domain comes back on touch.
         rt.ingest(idle, jobs(0)).unwrap();
         assert!(rt.metrics().per_domain.iter().find(|d| d.id == idle).unwrap().resident);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn quiesced_snapshot_matches_snapshot_and_resumes_service() {
+        let rt = ControllerRuntime::new(2, Arc::new(SimClock::new()));
+        let a = rt.create_domain(spec("a", 1)).unwrap();
+        let b = rt.create_domain(spec("b", 2)).unwrap();
+        let c = rt.create_domain(spec("c", 3)).unwrap();
+        rt.ingest(a, jobs(0)).unwrap();
+        rt.advance(a).unwrap();
+        rt.ingest(b, jobs(5)).unwrap();
+        assert!(rt.hibernate(c).unwrap(), "hibernate c");
+        let reference = rt.snapshot();
+        let (quiesced, seen) = rt.quiesced_snapshot(|s| s.domains.len());
+        assert_eq!(quiesced, reference);
+        assert_eq!(seen, 3, "closure sees the full capture, cold domains included");
+        // The barrier released: every shard serves again.
+        rt.advance(a).unwrap();
+        rt.advance(b).unwrap();
+        rt.advance(c).unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn advance_all_at_with_reports_each_shards_domains() {
+        let rt = ControllerRuntime::new(2, Arc::new(SimClock::new()));
+        for i in 0..4u64 {
+            rt.create_domain(spec(&format!("d{i}"), i)).unwrap();
+        }
+        let seen = Arc::new(std::sync::Mutex::new(Vec::<Vec<DomainId>>::new()));
+        let hook_seen = Arc::clone(&seen);
+        let records = rt.advance_all_at_with(rt.clock().now(), move |shard_ids| {
+            hook_seen.lock().unwrap().push(shard_ids.to_vec());
+        });
+        let mut advanced: Vec<DomainId> = records.iter().map(|(id, _)| *id).collect();
+        advanced.sort_unstable();
+        let groups = seen.lock().unwrap();
+        let mut reported: Vec<DomainId> = groups.iter().flatten().copied().collect();
+        reported.sort_unstable();
+        assert_eq!(reported, advanced, "hook reports exactly the advanced ids");
+        assert!(groups.len() <= 2, "at most one hook call per shard, got {}", groups.len());
+        drop(groups);
         rt.shutdown();
     }
 }

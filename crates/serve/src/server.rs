@@ -421,7 +421,7 @@ fn handle_jsonl(
                         let (response, requested_stop) = dispatch_line(
                             &runtime,
                             sim.as_deref(),
-                            journal.as_deref(),
+                            journal.as_ref(),
                             &shutdown,
                             line,
                         );
@@ -462,7 +462,7 @@ fn handle_jsonl(
 fn dispatch_line(
     runtime: &ControllerRuntime,
     sim: Option<&SimClock>,
-    journal: Option<&Journal>,
+    journal: Option<&Arc<Journal>>,
     shutdown: &AtomicBool,
     line: &str,
 ) -> (Response, bool) {
@@ -482,27 +482,31 @@ fn dispatch_line(
 fn dispatch(
     runtime: &ControllerRuntime,
     sim: Option<&SimClock>,
-    journal: Option<&Journal>,
+    journal: Option<&Arc<Journal>>,
     shutdown: &AtomicBool,
     request: Request,
 ) -> (Response, bool) {
     let fail = |e: RuntimeError| Response::Error { message: e.to_string() };
     // Domain-targeted requests share one execution path with the binary
-    // pipeline: a single clock reading at dispatch covers the whole op.
+    // pipeline: a single clock reading at dispatch covers the whole op, and
+    // the journal append runs inside the shard callback, right after
+    // execution — per-domain journal order equals execution order even when
+    // concurrent connections hit the same domain.
     let request = match split_domain_op(request) {
         Ok((domain, op)) => {
             let now = runtime.clock().now();
             let logged = journal.and_then(|_| journal_op(domain, &op));
-            let response =
-                match runtime.on_domain(domain, move |d| run_domain_op(domain, d, now, op)) {
-                    Ok(response) => {
-                        if let (Some(journal), Some(op)) = (journal, logged) {
-                            journal.append_logged(&JournalRecord { now, op });
-                        }
-                        response
-                    }
-                    Err(e) => fail(e),
-                };
+            let journal = journal.map(Arc::clone);
+            let response = match runtime.on_domain(domain, move |d| {
+                let response = run_domain_op(domain, d, now, op);
+                if let (Some(journal), Some(op)) = (journal, logged) {
+                    journal.append_logged(&JournalRecord { now, op });
+                }
+                response
+            }) {
+                Ok(response) => response,
+                Err(e) => fail(e),
+            };
             return (response, false);
         }
         Err(request) => request,
@@ -534,15 +538,25 @@ fn dispatch(
         }
         Request::AdvanceAll => {
             let now = runtime.clock().now();
-            let decisions = runtime.advance_all_at(now);
-            if let Some(journal) = journal {
-                journal.append_logged(&JournalRecord {
-                    now,
-                    op: JournalOp::AdvanceAll {
-                        domains: decisions.iter().map(|(id, _)| *id).collect(),
-                    },
-                });
-            }
+            // Journaled per-shard, from each shard's own worker right after
+            // its domains advanced: the sweep's records interleave with
+            // concurrent per-domain ops in true execution order, which a
+            // single post-hoc record from this thread could not guarantee.
+            let decisions = match journal {
+                Some(journal) => {
+                    let journal = Arc::clone(journal);
+                    runtime.advance_all_at_with(now, move |ids| {
+                        if ids.is_empty() {
+                            return;
+                        }
+                        journal.append_logged(&JournalRecord {
+                            now,
+                            op: JournalOp::AdvanceAll { domains: ids.to_vec() },
+                        });
+                    })
+                }
+                None => runtime.advance_all_at(now),
+            };
             Response::AdvancedAll { decisions }
         }
         Request::Metrics => Response::Metrics { metrics: runtime.metrics() },
@@ -569,6 +583,10 @@ fn dispatch(
                 // watermark enforcement and idle-tick hibernation run here.
                 runtime.maintain();
                 if let Some(journal) = journal {
+                    // The record carries the post-advance reading; replay
+                    // restores it with an idempotent monotonic set, never by
+                    // re-advancing (a record that straddles a checkpoint cut
+                    // must not apply the delta twice).
                     journal.append_logged(&JournalRecord { now, op: JournalOp::Tick { micros } });
                 }
                 Response::Ticked { now }
@@ -827,8 +845,7 @@ fn dispatch_frame(
             // Global requests run inline; their shard-fanning operations
             // queue behind already-dispatched domain ops, so a pipelined
             // `Metrics` still observes every earlier completion.
-            let (response, stop) =
-                dispatch(runtime, sim, journal.map(|j| j.as_ref()), shutdown, request);
+            let (response, stop) = dispatch(runtime, sim, journal, shutdown, request);
             let _ = resp_tx.send((corr, response));
             !stop
         }

@@ -5,8 +5,11 @@
 //! *after* it executed (write-behind: an op the client saw acknowledged may
 //! be lost if the process dies between execute and append — crash-only
 //! semantics, not two-phase commit). Periodically the whole runtime is
-//! checkpointed to `checkpoint.bin` through the same snapshot machinery
-//! hibernation uses, and the journal is reset. Recovery loads the latest
+//! checkpointed to `checkpoint.bin` and the journal is reset, inside one
+//! stop-the-world window ([`ControllerRuntime::quiesced_snapshot`]): every
+//! shard parks while the state is captured and the journal cut, so each
+//! journaled op lands in exactly one of {checkpoint, fresh journal}, never
+//! neither. Recovery loads the latest
 //! valid checkpoint, truncates the journal at the first bad CRC (a torn
 //! tail from `kill -9` is expected, not an error), and replays the suffix.
 //!
@@ -166,7 +169,10 @@ pub struct Recovered {
 /// Counters the daemon surfaces about its journal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JournalStats {
+    /// Records durably appended (successful writes only).
     pub appends: u64,
+    /// Appends that failed (injected or real I/O error): the op executed
+    /// but was not journaled, so a crash may lose it.
     pub append_errors: u64,
     pub checkpoints: u64,
 }
@@ -185,7 +191,11 @@ pub struct Journal {
     faults: Arc<dyn FaultInjector>,
     inner: Mutex<Appender>,
     checkpoint_due: AtomicBool,
-    appends: AtomicU64,
+    /// Append *attempts*, successful or not — this is the fault-schedule
+    /// index, so it must tick once per call to keep injection deterministic.
+    attempts: AtomicU64,
+    /// Successful appends only (what [`JournalStats::appends`] reports).
+    appended: AtomicU64,
     append_errors: AtomicU64,
     checkpoints: AtomicU64,
 }
@@ -256,7 +266,8 @@ impl Journal {
                 records_since_checkpoint: records.len() as u64,
             }),
             checkpoint_due: AtomicBool::new(false),
-            appends: AtomicU64::new(0),
+            attempts: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
             append_errors: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
         };
@@ -270,7 +281,7 @@ impl Journal {
 
     pub fn stats(&self) -> JournalStats {
         JournalStats {
-            appends: self.appends.load(Ordering::SeqCst),
+            appends: self.appended.load(Ordering::SeqCst),
             append_errors: self.append_errors.load(Ordering::SeqCst),
             checkpoints: self.checkpoints.load(Ordering::SeqCst),
         }
@@ -280,7 +291,7 @@ impl Journal {
     /// caller keeps serving either way (see [`Journal::append_logged`]).
     pub fn append(&self, record: &JournalRecord) -> Result<(), String> {
         let mut inner = self.inner.lock().expect("journal lock");
-        let index = self.appends.fetch_add(1, Ordering::SeqCst);
+        let index = self.attempts.fetch_add(1, Ordering::SeqCst);
         if self.faults.journal_write_fails(index) {
             self.append_errors.fetch_add(1, Ordering::SeqCst);
             return Err(format!("injected journal write fault at append {index}"));
@@ -295,6 +306,7 @@ impl Journal {
             self.append_errors.fetch_add(1, Ordering::SeqCst);
             return Err(format!("journal append I/O error: {e}"));
         }
+        self.appended.fetch_add(1, Ordering::SeqCst);
         inner.records_since_checkpoint += 1;
         if inner.records_since_checkpoint >= self.checkpoint_every {
             self.checkpoint_due.store(true, Ordering::SeqCst);
@@ -323,14 +335,44 @@ impl Journal {
         self.checkpoint_due.swap(false, Ordering::SeqCst)
     }
 
+    /// Re-arms the due flag — used when a claimed checkpoint had to be
+    /// deferred (e.g. a degraded domain whose only recovery source is the
+    /// journal the checkpoint would truncate).
+    pub fn mark_checkpoint_due(&self) {
+        self.checkpoint_due.store(true, Ordering::SeqCst);
+    }
+
     /// Writes `snapshot` as the new checkpoint and resets the journal, both
     /// atomically (tmp + rename). Appends wait while this runs, so the
     /// checkpoint/journal cut is a consistent point in the op stream.
     pub fn write_checkpoint(&self, snapshot: &RuntimeSnapshot) -> Result<(), String> {
+        self.write_checkpoint_with(snapshot, || snapshot.clock_now)
+    }
+
+    /// [`Journal::write_checkpoint`] with a clock re-stamp taken *under the
+    /// append lock*. A `Tick` runs on a connection thread, not a shard, so
+    /// quiescing the shards does not stop it: one can advance the clock and
+    /// append after the snapshot captured `clock_now` but before the journal
+    /// is truncated, and its record would vanish with the old journal while
+    /// the checkpoint still carried the older reading. Re-reading the clock
+    /// here closes that window — an advance strictly precedes its record's
+    /// append, so any tick record this truncation destroys is covered by the
+    /// stamped reading. A tick record that instead lands in the fresh
+    /// journal replays as an idempotent `SimClock::set` (monotonic max), so
+    /// over-stamping is harmless.
+    pub fn write_checkpoint_with(
+        &self,
+        snapshot: &RuntimeSnapshot,
+        stamp: impl FnOnce() -> Time,
+    ) -> Result<(), String> {
         let mut inner = self.inner.lock().expect("journal lock");
         let epoch = inner.epoch + 1;
+        let stamped = RuntimeSnapshot {
+            clock_now: stamp().max(snapshot.clock_now),
+            domains: snapshot.domains.clone(),
+        };
         let mut body = BytesMut::new();
-        codec::encode_binary(snapshot, &mut body);
+        codec::encode_binary(&stamped, &mut body);
         let mut bytes = Vec::with_capacity(JOURNAL_HEADER + 4 + body.len());
         bytes.extend_from_slice(&CHECKPOINT_MAGIC);
         bytes.push(JOURNAL_VERSION);
@@ -496,6 +538,13 @@ fn apply_record(
     let now = record.now;
     match record.op {
         JournalOp::CreateDomain { id, spec } => {
+            // A create that executed just before the checkpoint cut but
+            // appended just after it is in both the checkpoint and the
+            // journal; re-creating would reset the domain. Skip it — restore
+            // already advanced the id counter past every checkpointed id.
+            if runtime.contains_domain(id) {
+                return Ok(());
+            }
             let created = runtime.create_domain(spec).map_err(|e| e.to_string())?;
             if created != id {
                 return Err(format!(
@@ -529,12 +578,28 @@ fn apply_record(
                 })
                 .map_err(|e| e.to_string())?;
         }
-        JournalOp::AdvanceAll { .. } => {
-            runtime.advance_all_at(now);
+        JournalOp::AdvanceAll { domains } => {
+            // Advance exactly the recorded ids, not `advance_all_at`: after a
+            // checkpoint restore every domain is resident, while the original
+            // sweep skipped hibernated ones — and the record may cover only
+            // one shard's share of a sweep (the server journals the sweep
+            // per-shard, in each shard's execution order).
+            for id in domains {
+                runtime
+                    .on_domain(id, move |d| {
+                        d.advance(now);
+                    })
+                    .map_err(|e| e.to_string())?;
+            }
         }
-        JournalOp::Tick { micros } => {
+        JournalOp::Tick { micros: _ } => {
+            // `record.now` is the post-advance reading, and `SimClock::set`
+            // is a monotonic max — so replay is idempotent whether the tick's
+            // effect was already captured by a checkpoint or not, and
+            // replaying ticks in journal order reproduces the final clock
+            // even when concurrent ticks appended out of value order.
             if let Some(sim) = sim {
-                sim.advance(micros);
+                sim.set(now);
             }
             runtime.maintain();
         }
@@ -557,32 +622,56 @@ fn apply_record(
 }
 
 /// Journal upkeep run from connection threads after serving requests:
-/// writes a due checkpoint and repairs any degraded domains. Never call
-/// from a shard worker — checkpointing sweeps every shard and would
+/// repairs any degraded domains, then writes a due checkpoint. Never call
+/// from a shard worker — checkpointing parks every shard and would
 /// self-deadlock.
+///
+/// Order matters: a checkpoint omits degraded domains *and* truncates the
+/// journal, which together destroy both of a degraded domain's recovery
+/// sources. Repair therefore runs first, and a claimed checkpoint is
+/// deferred (the due flag re-armed) if any domain is still degraded at the
+/// cut. The degraded check happens inside the quiesced window, where no
+/// shard job can run and newly panic — so "empty then" means "empty for the
+/// whole checkpoint".
 pub fn run_maintenance(journal: &Journal, runtime: &ControllerRuntime) {
-    if journal.take_checkpoint_due() {
-        if let Err(e) = journal.write_checkpoint(&runtime.snapshot()) {
-            eprintln!("tempo-serve: checkpoint failed: {e}");
-        }
-    }
     let degraded = runtime.degraded_domains();
-    if degraded.is_empty() {
-        return;
-    }
-    match journal.read_current() {
-        Ok((checkpoint, records)) => {
-            for id in degraded {
-                match repair_domain(runtime, id, checkpoint.as_ref(), &records) {
-                    Ok(true) => eprintln!("tempo-serve: domain {id} repaired from the journal"),
-                    Ok(false) => {
-                        eprintln!("tempo-serve: domain {id} has no recovery source in the journal")
+    if !degraded.is_empty() {
+        match journal.read_current() {
+            Ok((checkpoint, records)) => {
+                for id in degraded {
+                    match repair_domain(runtime, id, checkpoint.as_ref(), &records) {
+                        Ok(true) => eprintln!("tempo-serve: domain {id} repaired from the journal"),
+                        Ok(false) => {
+                            eprintln!(
+                                "tempo-serve: domain {id} has no recovery source in the journal"
+                            )
+                        }
+                        Err(e) => eprintln!("tempo-serve: domain {id} repair failed: {e}"),
                     }
-                    Err(e) => eprintln!("tempo-serve: domain {id} repair failed: {e}"),
                 }
             }
+            Err(e) => eprintln!("tempo-serve: journal read for repair failed: {e}"),
         }
-        Err(e) => eprintln!("tempo-serve: journal read for repair failed: {e}"),
+    }
+    if journal.take_checkpoint_due() {
+        // Stop-the-world capture: the snapshot and the journal cut happen in
+        // one quiescent window, so every journaled op lands in exactly one
+        // of {checkpoint, fresh journal} — a free-running snapshot would let
+        // an op on an already-captured shard append to the journal this cut
+        // truncates, losing it from both.
+        let (_, result) = runtime.quiesced_snapshot(|snapshot| {
+            if !runtime.degraded_domains().is_empty() {
+                journal.mark_checkpoint_due();
+                eprintln!(
+                    "tempo-serve: checkpoint deferred — degraded domain awaits journal repair"
+                );
+                return Ok(());
+            }
+            journal.write_checkpoint_with(snapshot, || runtime.clock().now())
+        });
+        if let Err(e) = result {
+            eprintln!("tempo-serve: checkpoint failed: {e}");
+        }
     }
 }
 
@@ -847,6 +936,7 @@ mod tests {
         let (journal, _) = Journal::open(&dir, 1024, Arc::new(plan)).unwrap();
         assert!(journal.append(&tick(1, 1)).unwrap_err().contains("injected"));
         assert_eq!(journal.stats().append_errors, 1);
+        assert_eq!(journal.stats().appends, 0, "a failed append is not an append");
         drop(journal);
         let (_, recovered) = Journal::open(&dir, 1024, no_faults()).unwrap();
         assert!(recovered.records.is_empty(), "failed appends wrote nothing");

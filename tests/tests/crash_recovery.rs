@@ -383,3 +383,182 @@ fn shard_panic_degrades_one_domain_and_journal_repair_restores_it() {
     control.shutdown();
     assert_eq!(recovered, expected, "repair diverged from the no-fault run");
 }
+
+/// A due checkpoint must not outrun repair: checkpointing first would omit
+/// the degraded domain from the checkpoint *and* truncate the journal,
+/// destroying both of its recovery sources with no crash involved.
+/// Maintenance repairs first, then cuts — and the repaired domain rides
+/// into the checkpoint.
+#[test]
+fn maintenance_repairs_degraded_domains_before_cutting_a_checkpoint() {
+    let dir = temp_dir("repair-first");
+    let sim = Arc::new(SimClock::new());
+    let faults = Arc::new(ArmedPanic(AtomicBool::new(false)));
+    let runtime = ControllerRuntime::with_fleet_faults(
+        2,
+        Arc::<SimClock>::clone(&sim),
+        FleetConfig::default(),
+        Arc::<ArmedPanic>::clone(&faults),
+    );
+    // Cadence of 1: the very first append arms a checkpoint.
+    let (journal, _) = Journal::open(&dir, 1, no_faults()).expect("open journal");
+
+    let spec = contention_spec("victim", 7);
+    let victim = runtime.create_domain(spec.clone()).expect("create victim");
+    journal
+        .append(&JournalRecord { now: 0, op: JournalOp::CreateDomain { id: victim, spec } })
+        .expect("append create");
+    for round in 0..3u64 {
+        let jobs = contention_burst(0, 4, round);
+        let now = runtime.clock().now();
+        runtime.ingest(victim, jobs.clone()).expect("ingest victim");
+        journal
+            .append(&JournalRecord { now, op: JournalOp::Ingest { domain: victim, jobs } })
+            .expect("append ingest");
+        runtime.advance(victim).expect("advance victim");
+        journal
+            .append(&JournalRecord { now, op: JournalOp::Advance { domain: victim, steps: 1 } })
+            .expect("append advance");
+    }
+
+    faults.0.store(true, Ordering::SeqCst);
+    let err = runtime.ingest(victim, contention_burst(0, 4, 99)).expect_err("panic swallowed");
+    assert!(matches!(err, RuntimeError::ShardDown), "unexpected error: {err}");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while runtime.degraded_domains().is_empty() && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert_eq!(runtime.degraded_domains(), vec![victim]);
+    assert!(journal.checkpoint_due(), "checkpoint came due before the repair");
+
+    wal::run_maintenance(&journal, &runtime);
+
+    assert!(runtime.degraded_domains().is_empty(), "victim repaired before the cut");
+    assert_eq!(journal.stats().checkpoints, 1, "checkpoint written after repair");
+    let (checkpoint, records) = journal.read_current().expect("read journal");
+    assert!(
+        checkpoint.expect("checkpoint exists").domains.iter().any(|d| d.id == victim),
+        "repaired victim rode into the checkpoint"
+    );
+    assert!(records.is_empty(), "journal truncated at the cut");
+    runtime.advance(victim).expect("repaired victim serves");
+    runtime.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A degraded domain the journal knows nothing about cannot be repaired, so
+/// a due checkpoint is deferred — cutting would discard the journal while
+/// the fleet still owes a repair — and the due flag re-arms. Once the
+/// domain is repaired, the deferred checkpoint lands on the next pass.
+#[test]
+fn due_checkpoint_defers_while_a_domain_is_degraded() {
+    let dir = temp_dir("defer");
+    let sim = Arc::new(SimClock::new());
+    let faults = Arc::new(ArmedPanic(AtomicBool::new(false)));
+    let runtime = ControllerRuntime::with_fleet_faults(
+        2,
+        Arc::<SimClock>::clone(&sim),
+        FleetConfig::default(),
+        Arc::<ArmedPanic>::clone(&faults),
+    );
+    let (journal, _) = Journal::open(&dir, 1, no_faults()).expect("open journal");
+
+    // The create is deliberately not journaled: the journal has no record
+    // of this domain, so the repair pass has no source to rebuild it from.
+    let spec = contention_spec("orphan", 3);
+    let victim = runtime.create_domain(spec.clone()).expect("create orphan");
+    let heartbeat = JournalRecord { now: 0, op: JournalOp::Tick { micros: 1 } };
+    journal.append(&heartbeat).expect("append heartbeat");
+
+    faults.0.store(true, Ordering::SeqCst);
+    let err = runtime.ingest(victim, contention_burst(0, 4, 1)).expect_err("panic swallowed");
+    assert!(matches!(err, RuntimeError::ShardDown), "unexpected error: {err}");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while runtime.degraded_domains().is_empty() && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert_eq!(runtime.degraded_domains(), vec![victim]);
+    assert!(journal.checkpoint_due());
+
+    wal::run_maintenance(&journal, &runtime);
+
+    assert_eq!(runtime.degraded_domains(), vec![victim], "unrepairable, stays degraded");
+    assert_eq!(journal.stats().checkpoints, 0, "checkpoint deferred");
+    assert!(journal.checkpoint_due(), "due flag re-armed for the next pass");
+    let (_, records) = journal.read_current().expect("read journal");
+    assert_eq!(records, vec![heartbeat], "journal not truncated by the deferral");
+
+    // Repair by hand (a resubmitted create would journal the same record),
+    // then the deferred checkpoint lands.
+    let resubmitted =
+        vec![JournalRecord { now: 0, op: JournalOp::CreateDomain { id: victim, spec } }];
+    assert!(wal::repair_domain(&runtime, victim, None, &resubmitted).expect("repair"));
+    wal::run_maintenance(&journal, &runtime);
+    assert_eq!(journal.stats().checkpoints, 1, "deferred checkpoint landed after repair");
+    assert!(!journal.checkpoint_due());
+    runtime.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrency pin for the journal's ordering guarantees: four connections
+/// (JSONL and binary alike) hammer overlapping domains while ticks,
+/// fleet-wide sweeps, and checkpoint cuts interleave with the load.
+/// Whatever linearization the shards actually executed, the files on disk
+/// must record one that replays to the identical fleet: a fresh server
+/// recovered from them (no graceful final checkpoint) matches the live
+/// runtime bit for bit.
+#[test]
+fn concurrent_load_with_checkpoint_cuts_recovers_bit_identical() {
+    let dir = temp_dir("concurrent");
+    let server = Server::start(journaled_config(&dir, 5)).expect("start");
+    let addr = server.local_addr();
+    let mut setup = Client::connect(addr, Proto::Jsonl).expect("connect setup");
+    let mut created = Vec::new();
+    let mut clock = 0u64;
+    for seed in 0..4 {
+        drive(&mut setup, &mut created, &mut clock, &Op::Create { seed });
+    }
+    let created = Arc::new(created);
+    let workers: Vec<_> = (0..4usize)
+        .map(|t| {
+            let created = Arc::clone(&created);
+            std::thread::spawn(move || {
+                let proto = if t % 2 == 0 { Proto::Jsonl } else { Proto::Binary };
+                let mut client = Client::connect(addr, proto).expect("connect worker");
+                for round in 0..25u64 {
+                    let domain = created[(t + round as usize) % created.len()];
+                    let salt = t as u64 * 1_000 + round;
+                    let request = match round % 5 {
+                        0 => Request::Tick { micros: DEMO_WINDOW / 7 },
+                        1 => Request::AdvanceAll,
+                        2 => Request::Ingest { domain, jobs: contention_burst(0, 3, salt) },
+                        3 => Request::IngestAdvance {
+                            domain,
+                            jobs: contention_burst(0, 2, salt),
+                            steps: 1,
+                        },
+                        _ => Request::Advance { domain, steps: 1 },
+                    };
+                    if let Response::Error { message } = client.call(&request).expect("worker op") {
+                        panic!("worker op failed: {message}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    let checkpoints = server.journal().expect("journaled server").stats().checkpoints;
+    assert!(checkpoints >= 1, "load never crossed a checkpoint cut");
+
+    let reference = server.runtime().snapshot();
+    assert!(matches!(setup.call(&Request::Shutdown), Ok(Response::ShuttingDown)));
+    server.join();
+
+    let server2 = Server::start(journaled_config(&dir, 5)).expect("recover");
+    assert_eq!(server2.runtime().snapshot(), reference, "concurrent recovery diverged");
+    server2.request_shutdown();
+    server2.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
