@@ -4,7 +4,7 @@
 //! What-if evaluations per second (serial vs batched across cores), full
 //! PALD iterations per second, and the raw Schedule Predictor task rate.
 //! The numbers are emitted as JSON so CI can gate on regressions against the
-//! committed `BENCH_pr4.json` baseline.
+//! committed `BENCH_pr9.json` baseline.
 
 use crate::report::{fmt, render_table};
 use crate::Scale;
@@ -49,6 +49,16 @@ pub struct PerfReport {
     /// queue exist to improve. `NaN` when read from a pre-PR4 baseline
     /// (absent fields deserialize as null → NaN), which skips its gate.
     pub whatif_evals_per_sec_abc_stochastic: f64,
+    /// What-if evaluations/sec on the same stochastic ABC scenario through
+    /// the pooled batch path (`evaluate_batch_salted` + nested sample
+    /// fan-out on the persistent worker pool). ~equal to the serial number
+    /// on one core (the pool short-circuits); the multi-core speedup is
+    /// recorded, not gated. `NaN` when read from a pre-PR9 baseline.
+    pub whatif_evals_per_sec_abc_stochastic_pooled: f64,
+    /// QS-scan throughput in column elements/sec: masked lane-kernel scans
+    /// (`tempo_sim::kernel`) of every SLO over the predicted schedule's job
+    /// columns. `NaN` when read from a pre-PR9 baseline.
+    pub qs_scan_elems_per_sec: f64,
     /// Full PALD iterations (probe batch + LOESS fit + LP/MGDA + step)/sec.
     pub pald_iters_per_sec: f64,
     /// Schedule Predictor throughput in simulated tasks/sec (paper §8.1
@@ -197,6 +207,17 @@ pub fn perf(scale: Scale) -> PerfReport {
         trace_tasks
     });
 
+    // QS-scan throughput: the lane-kernel masked scans over a predicted
+    // schedule's job columns, every SLO of the mixed set per round — the
+    // inner loop `tempo_sim::kernel` exists to accelerate.
+    let qs_schedule = predict(&trace, &cluster, &fair);
+    let qs_slos = scenario::mixed_slos(0.25);
+    let qs_elems_per_round = qs_schedule.num_jobs() as u64 * qs_slos.len() as u64;
+    let qs_scan = rate(min_secs, 2, || {
+        std::hint::black_box(qs_slos.evaluate(&qs_schedule, window.0, window.1));
+        qs_elems_per_round
+    });
+
     // Stochastic ABC: six tenants, synthetic workload draws per evaluation —
     // nothing memoizable, so every eval pays full simulate + QS scans.
     let abc_cluster = scenario::ec2_cluster().scaled(wl_scale);
@@ -219,6 +240,18 @@ pub fn perf(scale: Scale) -> PerfReport {
             std::hint::black_box(abc_model.evaluate_salted(cfg, salt));
             salt += 1;
         }
+        abc_probes.len() as u64
+    });
+
+    // The same stochastic evaluations through the pooled batch path: probes
+    // fan out as pool tasks and each one fans its expectation samples out as
+    // nested sub-tasks on the same persistent workers. On one core this
+    // short-circuits to the serial loop (≈ the metric above); with
+    // TEMPO_THREADS > 1 the recorded ratio is the nested fan-out speedup.
+    let mut salt = 1_000_000u64;
+    let abc_pooled = rate(min_secs, 2, || {
+        std::hint::black_box(abc_model.evaluate_batch_salted(&abc_probes, salt));
+        salt += abc_probes.len() as u64;
         abc_probes.len() as u64
     });
 
@@ -284,6 +317,8 @@ pub fn perf(scale: Scale) -> PerfReport {
         whatif_evals_per_sec_batched: batched,
         batch_speedup: if serial > 0.0 { batched / serial } else { 0.0 },
         whatif_evals_per_sec_abc_stochastic: abc_stochastic,
+        whatif_evals_per_sec_abc_stochastic_pooled: abc_pooled,
+        qs_scan_elems_per_sec: qs_scan,
         pald_iters_per_sec: pald_iters,
         predictor_tasks_per_sec: predictor,
         serve_domains: serve_domains as f64,
@@ -561,6 +596,22 @@ pub fn check_against_baseline(
             baseline.whatif_evals_per_sec_abc_stochastic,
         ));
     }
+    // Pre-PR9 baselines lack the pooled-stochastic and QS-scan metrics:
+    // same skip rule.
+    if baseline.whatif_evals_per_sec_abc_stochastic_pooled.is_finite() {
+        metrics.push((
+            "whatif_evals_per_sec_abc_stochastic_pooled",
+            current.whatif_evals_per_sec_abc_stochastic_pooled,
+            baseline.whatif_evals_per_sec_abc_stochastic_pooled,
+        ));
+    }
+    if baseline.qs_scan_elems_per_sec.is_finite() {
+        metrics.push((
+            "qs_scan_elems_per_sec",
+            current.qs_scan_elems_per_sec,
+            baseline.qs_scan_elems_per_sec,
+        ));
+    }
     // Pre-PR5 baselines lack the serve-runtime metric: same skip rule.
     if baseline.serve_decisions_per_sec.is_finite() {
         metrics.push((
@@ -670,6 +721,11 @@ impl std::fmt::Display for PerfReport {
                 "whatif evals/sec (ABC stochastic)".into(),
                 fmt(self.whatif_evals_per_sec_abc_stochastic),
             ],
+            vec![
+                "whatif evals/sec (ABC stochastic, pooled)".into(),
+                fmt(self.whatif_evals_per_sec_abc_stochastic_pooled),
+            ],
+            vec!["qs scan elems/sec".into(), fmt(self.qs_scan_elems_per_sec)],
             vec!["PALD iterations/sec".into(), fmt(self.pald_iters_per_sec)],
             vec!["predictor tasks/sec".into(), fmt(self.predictor_tasks_per_sec)],
             vec![
@@ -729,6 +785,8 @@ mod tests {
             whatif_evals_per_sec_batched: 31.5,
             batch_speedup: 3.0,
             whatif_evals_per_sec_abc_stochastic: 4.5,
+            whatif_evals_per_sec_abc_stochastic_pooled: 4.6,
+            qs_scan_elems_per_sec: 2_000_000.0,
             pald_iters_per_sec: 2.25,
             predictor_tasks_per_sec: 150_000.0,
             serve_domains: 64.0,
@@ -889,6 +947,8 @@ mod tests {
             whatif_evals_per_sec_batched: 100.0,
             batch_speedup: 1.0,
             whatif_evals_per_sec_abc_stochastic: 100.0,
+            whatif_evals_per_sec_abc_stochastic_pooled: 100.0,
+            qs_scan_elems_per_sec: 1_000_000.0,
             pald_iters_per_sec: 1.0,
             predictor_tasks_per_sec: 1.0,
             serve_domains: 64.0,
@@ -932,6 +992,8 @@ mod tests {
             whatif_evals_per_sec_batched: 100.0,
             batch_speedup: 1.0,
             whatif_evals_per_sec_abc_stochastic: 100.0,
+            whatif_evals_per_sec_abc_stochastic_pooled: 100.0,
+            qs_scan_elems_per_sec: 1_000_000.0,
             pald_iters_per_sec: 1.0,
             predictor_tasks_per_sec: 1.0,
             serve_domains: 64.0,
@@ -974,6 +1036,8 @@ mod tests {
             whatif_evals_per_sec_batched: 100.0,
             batch_speedup: 1.0,
             whatif_evals_per_sec_abc_stochastic: 100.0,
+            whatif_evals_per_sec_abc_stochastic_pooled: 100.0,
+            qs_scan_elems_per_sec: 1_000_000.0,
             pald_iters_per_sec: 1.0,
             predictor_tasks_per_sec: 1.0,
             serve_domains: 64.0,

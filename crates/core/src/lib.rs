@@ -68,6 +68,7 @@
 pub mod baselines;
 pub mod control;
 pub mod pald;
+pub mod pool;
 pub mod provision;
 pub mod scenario;
 pub mod space;
@@ -76,6 +77,7 @@ pub mod whatif;
 
 pub use control::{dominates, IterationRecord, LoopConfig, RevertPolicy, Tempo, WhatIfObjective};
 pub use pald::{run_pald, Pald, PaldConfig, PaldStep, QsObjective};
+pub use pool::WorkerPool;
 pub use provision::{estimate_slos, estimation_error_pct, reconstruct_trace};
 pub use space::ConfigSpace;
 pub use spec::{Scenario, ScenarioSpec, SpecError, TenantSpec, WhatIfSource};

@@ -1,0 +1,322 @@
+//! A persistent work-helping worker pool for what-if evaluation.
+//!
+//! The optimizer's probe batches used to spawn a fresh `crossbeam::scope`
+//! per batch — cheap once, expensive at serving rates where every control
+//! iteration fans out several batches. This pool keeps its threads alive
+//! across batches and adds one property scoped threads cannot give:
+//! **nested fan-out**. A task running on the pool may itself submit a batch
+//! (the stochastic What-if Model fans each evaluation's expectation samples
+//! out as sub-tasks) without risking deadlock, because joining is
+//! *work-helping*: the submitter claims and executes its own batch's tasks
+//! until none remain, then blocks only on tasks already claimed by other
+//! threads. Leaf tasks never block, so every claimed task completes and
+//! every join terminates.
+//!
+//! # Determinism
+//!
+//! The pool provides *placement-free* results: [`WorkerPool::map`] writes
+//! task `i`'s output into slot `i`, so the caller observes results in index
+//! order no matter which thread ran what, when, or how many workers exist.
+//! Callers that reduce floats do so over the returned vector in index order
+//! — making every reduction bit-identical at any thread count (including
+//! one).
+//!
+//! # Panics
+//!
+//! A panicking task poisons only its own batch: the panic payload is parked
+//! in the batch ([`catch_unwind`]), remaining tasks still run, the worker
+//! survives to serve later batches, and the payload re-raises at the
+//! joiner ([`resume_unwind`]). The pool itself is never wedged — a batch
+//! whose task panicked leaves the queue exactly like a successful one.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Duration;
+
+/// How long an idle worker sleeps between checks that its pool is still
+/// alive. Bounds both wake-up latency on a missed notify and thread
+/// lifetime after the last handle drops.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// One submitted batch: `len` tasks, claimed by atomic cursor.
+struct Batch {
+    /// Type-erased borrowed task body. Lifetime-erased to `'static`;
+    /// soundness argument at [`WorkerPool::run`].
+    task: TaskRef,
+    len: usize,
+    /// Next unclaimed index (may overshoot `len` by one per racing thread).
+    next: AtomicUsize,
+    /// Completed-task count; the joiner's latch.
+    done: Mutex<usize>,
+    finished: Condvar,
+    /// First panic payload raised by a task (later ones are dropped —
+    /// resuming one is enough to fail the join loudly).
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Raw pointer to the caller's `&dyn Fn(usize)` with the lifetime erased.
+/// Send/Sync are asserted by the `run` contract: the referent outlives every
+/// dereference because `run` does not return until `done == len`.
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+struct Inner {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    work_ready: Condvar,
+    /// Total execution width (worker threads + the work-helping caller).
+    width: usize,
+}
+
+/// Clonable handle to a persistent worker pool. All clones share the same
+/// threads; dropping the last handle retires them (within [`IDLE_POLL`]).
+#[derive(Clone)]
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("width", &self.inner.width).finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of total execution width `threads`: `threads - 1` background
+    /// workers plus the submitting thread, which always work-helps its own
+    /// batches. `threads <= 1` builds a zero-thread pool whose `run`/`map`
+    /// degrade to the serial loop.
+    pub fn new(threads: usize) -> Self {
+        let width = threads.max(1);
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            width,
+        });
+        for i in 0..width - 1 {
+            let weak = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name(format!("tempo-pool-{i}"))
+                .spawn(move || worker_loop(weak))
+                .expect("spawn pool worker");
+        }
+        WorkerPool { inner }
+    }
+
+    /// Pool width (background workers + caller).
+    pub fn width(&self) -> usize {
+        self.inner.width
+    }
+
+    /// Pool width from the environment: `TEMPO_THREADS` if set (and ≥ 1),
+    /// else the machine's available parallelism.
+    pub fn default_width() -> usize {
+        if let Some(t) =
+            std::env::var("TEMPO_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            if t >= 1 {
+                return t;
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// A pool sized by [`WorkerPool::default_width`].
+    pub fn with_default_width() -> Self {
+        Self::new(Self::default_width())
+    }
+
+    /// Runs `f(0..n)` across the pool and returns when all `n` calls have
+    /// completed. The caller work-helps, so this makes progress even if
+    /// every background worker is busy (or there are none). If any call
+    /// panicked, the first payload is re-raised here after the rest of the
+    /// batch has still run to completion.
+    pub fn run<F>(&self, n: usize, f: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if self.inner.width <= 1 || n == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: the erased borrow is dereferenced only by tasks of this
+        // batch, and this function does not return (or unwind — the waits
+        // below are not cancellable) until `done == n`, i.e. until after
+        // the last dereference. The borrow therefore strictly outlives
+        // every use despite the erased lifetime.
+        let wide: &(dyn Fn(usize) + Sync) = f;
+        let task = TaskRef(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(wide)
+                as *const _
+        });
+        let batch = Arc::new(Batch {
+            task,
+            len: n,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            finished: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        self.inner.queue.lock().expect("pool queue poisoned").push_back(Arc::clone(&batch));
+        self.inner.work_ready.notify_all();
+        // Work-help until no task of our batch is left unclaimed...
+        help(&batch);
+        // ...then wait out the stragglers other threads claimed.
+        let mut done = batch.done.lock().expect("pool latch poisoned");
+        while *done < n {
+            done = batch.finished.wait(done).expect("pool latch poisoned");
+        }
+        drop(done);
+        let payload = batch.panic.lock().expect("pool panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Order-preserving parallel map: returns `[f(0), f(1), .., f(n-1)]`
+    /// with task `i`'s result in slot `i`, independent of scheduling.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let slots = SlotWriter(out.as_mut_ptr());
+        // SAFETY: the atomic cursor hands each index to exactly one task,
+        // so every slot is written by at most one thread; `run` joins the
+        // batch before `out` is touched again.
+        self.run(n, &|i| {
+            let slots = &slots;
+            unsafe { slots.0.add(i).write(Some(f(i))) }
+        });
+        out.into_iter().map(|v| v.expect("pool ran every index")).collect()
+    }
+}
+
+/// Shareable base pointer for `map`'s output slots. Send/Sync hold because
+/// the cursor gives each index a unique writer (see `map`).
+struct SlotWriter<T>(*mut Option<T>);
+unsafe impl<T: Send> Send for SlotWriter<T> {}
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+/// Claims and executes tasks of `batch` until its cursor is exhausted.
+fn help(batch: &Batch) {
+    loop {
+        let i = batch.next.fetch_add(1, Ordering::Relaxed);
+        if i >= batch.len {
+            return;
+        }
+        // SAFETY: see the erasure contract in `WorkerPool::run`.
+        let f = unsafe { &*batch.task.0 };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+            let mut slot = batch.panic.lock().expect("pool panic slot poisoned");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut done = batch.done.lock().expect("pool latch poisoned");
+        *done += 1;
+        if *done == batch.len {
+            batch.finished.notify_all();
+        }
+    }
+}
+
+fn worker_loop(weak: Weak<Inner>) {
+    loop {
+        // Holding only a Weak while idle lets the pool die when the last
+        // handle drops: the upgrade fails and the thread retires.
+        let Some(inner) = weak.upgrade() else { return };
+        let next = {
+            let mut q = inner.queue.lock().expect("pool queue poisoned");
+            // Drop exhausted batches off the front (their joiners hold
+            // their own Arcs; the queue only tracks claimable work).
+            while q.front().is_some_and(|b| b.next.load(Ordering::Relaxed) >= b.len) {
+                q.pop_front();
+            }
+            match q.front() {
+                Some(b) => Some(Arc::clone(b)),
+                None => {
+                    let (guard, _) =
+                        inner.work_ready.wait_timeout(q, IDLE_POLL).expect("pool queue poisoned");
+                    q = guard;
+                    q.front().cloned()
+                }
+            }
+        };
+        drop(inner);
+        if let Some(batch) = next {
+            help(&batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_index_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_pool_matches_parallel() {
+        let serial = WorkerPool::new(1).map(37, |i| i as u64 + 1);
+        for width in [2, 4, 7] {
+            assert_eq!(WorkerPool::new(width).map(37, |i| i as u64 + 1), serial);
+        }
+    }
+
+    #[test]
+    fn nested_batches_complete() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicU64::new(0);
+        let inner_pool = pool.clone();
+        pool.run(5, &|_| {
+            let partial: u64 = inner_pool.map(8, |j| j as u64).iter().sum();
+            total.fetch_add(partial, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5 * 28);
+    }
+
+    #[test]
+    fn panic_poisons_batch_not_pool() {
+        let pool = WorkerPool::new(3);
+        let ran = AtomicU64::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                if i == 7 {
+                    panic!("task 7 exploded");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate to the joiner");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task 7 exploded");
+        // Every other task still ran: the batch drained despite the poison.
+        assert_eq!(ran.load(Ordering::Relaxed), 15);
+        // And the pool is not wedged: the next batch completes normally.
+        assert_eq!(pool.map(10, |i| i), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_task_batches() {
+        let pool = WorkerPool::new(4);
+        pool.run(0, &|_| panic!("never called"));
+        assert_eq!(pool.map(1, |i| i + 41), vec![41]);
+    }
+}

@@ -72,6 +72,12 @@ pub struct WhatIfModel {
     /// Worker-thread override for batched evaluation (`None` = `TEMPO_THREADS`
     /// env var, falling back to the machine's available parallelism).
     threads: Option<usize>,
+    /// Persistent worker pool backing batched and nested-sample evaluation.
+    /// Lazily built at first parallel use (sized by [`Self::batch_threads`]),
+    /// or installed up front with [`Self::set_pool`] to share one pool's
+    /// threads across many models (tempo-serve gives every domain shard a
+    /// clone of the runtime's pool).
+    pool: OnceLock<crate::pool::WorkerPool>,
     /// Content hash of (source, window), mixed into every memo key so cached
     /// predictions are scoped to the workload context they were computed
     /// against. Kept in sync by [`WhatIfModel::set_source_window`] /
@@ -244,6 +250,22 @@ fn mix(h: u64, v: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Simulation seed for expectation sample `s` of an evaluation salted with
+/// `salt`: `salt` selects a splitmix64 stream, `s` steps it, and the mixer's
+/// avalanche decorrelates neighbours.
+///
+/// Replaces the old `salt * 1000 + s` spacing, which aliased as soon as
+/// `samples >= 1000` (sample 1000 of salt 0 collided with sample 0 of
+/// salt 1), silently correlating supposedly independent noisy observations.
+/// The mixer is a bijection of `salt ^ (s+1)·golden`, so two (salt, sample)
+/// pairs collide only if those inputs do — which neighbouring salts and
+/// sample indices up to millions cannot produce (pinned by regression test
+/// up to `samples = 4096`).
+#[inline]
+fn sample_seed(salt: u64, s: u64) -> u64 {
+    mix(salt, s.wrapping_add(1).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
 /// Full (context, config) encoding backing the debug collision check.
 #[cfg(debug_assertions)]
 fn full_encoding(token: u64, config: &RmConfig) -> String {
@@ -325,6 +347,7 @@ impl WhatIfModel {
             noise: NoiseModel::NONE,
             horizon: None,
             threads: None,
+            pool: OnceLock::new(),
             context,
             cache: MemoCache::default(),
             sims: AtomicU64::new(0),
@@ -430,6 +453,21 @@ impl WhatIfModel {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     }
 
+    /// Installs a shared [`WorkerPool`] for this model's parallel
+    /// evaluation. No-op if a pool is already installed (or was lazily
+    /// built); call before the first evaluation. Sharing one pool across
+    /// models (e.g. every tempo-serve domain shard) keeps total thread
+    /// count at the pool's width instead of multiplying per model —
+    /// results are unaffected either way, by the determinism contract.
+    pub fn set_pool(&self, pool: crate::pool::WorkerPool) {
+        let _ = self.pool.set(pool);
+    }
+
+    /// The persistent pool backing parallel evaluation, built on first use.
+    fn pool(&self) -> &crate::pool::WorkerPool {
+        self.pool.get_or_init(|| crate::pool::WorkerPool::new(self.batch_threads()))
+    }
+
     /// Number of QS objectives.
     pub fn k(&self) -> usize {
         self.slos.len()
@@ -451,11 +489,22 @@ impl WhatIfModel {
 
     /// Uncached expectation estimate: mean of `samples` simulations (one for
     /// fully deterministic models).
+    ///
+    /// Multi-sample estimates fan the simulations out across the worker
+    /// pool as nested tasks (this often runs *inside* a pooled batch
+    /// evaluation; the pool's work-helping join makes that safe). Sample
+    /// seeds are pre-assigned and the per-sample QS vectors are reduced in
+    /// sample-index order, so the mean is bit-identical to the serial loop
+    /// at any thread count.
     fn compute_qs(&self, config: &RmConfig, salt: u64) -> Vec<f64> {
         let n = if self.noise.is_none() && !self.source.is_stochastic() { 1 } else { self.samples };
+        let per: Vec<Vec<f64>> = if n > 1 && self.batch_threads() > 1 {
+            self.pool().map(n as usize, |s| self.sample_qs(config, sample_seed(salt, s as u64)))
+        } else {
+            (0..n as u64).map(|s| self.sample_qs(config, sample_seed(salt, s))).collect()
+        };
         let mut acc = vec![0.0; self.k()];
-        for s in 0..n as u64 {
-            let qs = self.sample_qs(config, salt.wrapping_mul(1000).wrapping_add(s));
+        for qs in per {
             for (a, v) in acc.iter_mut().zip(qs) {
                 *a += v;
             }
@@ -506,34 +555,21 @@ impl WhatIfModel {
         })
     }
 
-    /// Order-preserving parallel map over `0..n` evaluations, chunked across
-    /// [`Self::batch_threads`] workers; serial when one thread (or one item)
-    /// makes spawning pointless.
+    /// Order-preserving parallel map over `0..n` evaluations on the
+    /// persistent [`crate::pool::WorkerPool`]; serial when one thread (or
+    /// one item) makes fan-out pointless. Result `i` always lands in slot
+    /// `i`, so output is placement-independent. A panicking evaluation
+    /// poisons only its own slot's batch — the remaining evaluations still
+    /// complete and the pool stays serviceable — before the panic re-raises
+    /// here.
     fn batch_map<F>(&self, n: usize, eval: F) -> Vec<Vec<f64>>
     where
         F: Fn(usize) -> Vec<f64> + Sync,
     {
-        let threads = self.batch_threads().min(n);
-        let mut out: Vec<Option<Vec<f64>>> = vec![None; n];
-        if threads <= 1 {
-            for (i, slot) in out.iter_mut().enumerate() {
-                *slot = Some(eval(i));
-            }
-        } else {
-            let chunk = n.div_ceil(threads);
-            crossbeam::scope(|scope| {
-                for (ci, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-                    let eval = &eval;
-                    scope.spawn(move |_| {
-                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                            *slot = Some(eval(ci * chunk + j));
-                        }
-                    });
-                }
-            })
-            .expect("what-if evaluation thread panicked");
+        if self.batch_threads().min(n) <= 1 {
+            return (0..n).map(eval).collect();
         }
-        out.into_iter().map(|v| v.expect("all slots filled")).collect()
+        self.pool().map(n, eval)
     }
 
     /// Invalidates the memo cache across every context. Rarely needed now
@@ -749,6 +785,23 @@ mod tests {
         // Importing on top of existing entries is idempotent.
         fresh.import_cache(&exported);
         assert_eq!(fresh.cache_len(), 2);
+    }
+
+    /// Regression for the pre-splitmix seed schedule `salt * 1000 + s`,
+    /// which aliased whenever `samples >= 1000` (salt 0 sample 1000 ==
+    /// salt 1 sample 0): distinct `(salt, sample)` pairs must map to
+    /// distinct seeds well past any realistic sample count.
+    #[test]
+    fn sample_seeds_never_alias() {
+        let mut seen = std::collections::HashSet::new();
+        for salt in 0..=64u64 {
+            for s in 0..4096u64 {
+                assert!(
+                    seen.insert(sample_seed(salt, s)),
+                    "seed collision at salt={salt} sample={s}"
+                );
+            }
+        }
     }
 
     #[test]

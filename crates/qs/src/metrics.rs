@@ -11,10 +11,13 @@
 //! 0/1 masks multiplied into the accumulators, so the inner loops stay
 //! branch-free over contiguous columns — this is the read side of the
 //! predict→optimize hot path, which evaluates thousands of schedules per
-//! control iteration.
+//! control iteration. The scans themselves are the lane-unrolled kernels of
+//! [`tempo_sim::kernel`]: striped fixed-width accumulators with a hard-coded
+//! tree reduction, so float results are bit-stable regardless of stream
+//! length or thread count.
 
 use serde::{Deserialize, Serialize};
-use tempo_sim::{tenant_mask, Schedule, ScheduleColumns, NO_TIME};
+use tempo_sim::{kernel, tenant_mask, Schedule, ScheduleColumns};
 use tempo_workload::time::{to_secs_f64, Time};
 use tempo_workload::{TaskKind, TenantId};
 
@@ -95,23 +98,19 @@ pub fn evaluate_qs(
     let cols = &schedule.columns;
     match kind {
         QsKind::AvgResponseTime => {
-            // One masked scan: filtered-out rows contribute exactly 0.0 to
-            // the sum, so the float accumulation order matches a filtered
-            // collect-then-sum bit for bit.
-            let (any, want) = tenant_mask(tenant);
-            let mut sum = 0.0f64;
-            let mut n = 0u64;
-            for i in 0..cols.num_jobs() {
-                let sub = cols.job_submit[i];
-                let fin = cols.job_finish[i];
-                // NO_TIME (unfinished) fails `fin < end` by construction.
-                let keep = (any | (cols.job_tenant[i] == want))
-                    & (sub >= start)
-                    & (sub < end)
-                    & (fin < end);
-                sum += to_secs_f64(fin.wrapping_sub(sub)) * keep as u64 as f64;
-                n += keep as u64;
-            }
+            // One masked lane-kernel scan: filtered-out rows contribute an
+            // exact 0.0, and the lane discipline makes the sum a pure
+            // function of the (value, mask) stream — any reference pushing
+            // the same stream through `kernel::F64LaneSum` matches bit for
+            // bit.
+            let (sum, n) = kernel::job_response_stats(
+                &cols.job_submit,
+                &cols.job_finish,
+                &cols.job_tenant,
+                tenant,
+                start,
+                end,
+            );
             if n == 0 {
                 0.0
             } else {
@@ -129,25 +128,16 @@ pub fn evaluate_qs(
         }
         QsKind::DeadlineMiss { gamma } => {
             assert!(*gamma >= 0.0, "negative slack");
-            let (any, want) = tenant_mask(tenant);
-            let mut with_deadline = 0u64;
-            let mut missed = 0u64;
-            for i in 0..cols.num_jobs() {
-                let sub = cols.job_submit[i];
-                let fin = cols.job_finish[i];
-                let dl = cols.job_deadline[i];
-                let keep = (any | (cols.job_tenant[i] == want))
-                    & (sub >= start)
-                    & (sub < end)
-                    & (fin < end)
-                    & (dl != NO_TIME);
-                // Same slack arithmetic as `JobRecord::missed_deadline`;
-                // the wrapping ops only ever see garbage on masked-out rows.
-                let slack = (gamma * fin.wrapping_sub(sub) as f64).max(0.0) as Time;
-                let miss = fin > dl.saturating_add(slack);
-                with_deadline += keep as u64;
-                missed += (keep & miss) as u64;
-            }
+            let (with_deadline, missed) = kernel::job_deadline_stats(
+                &cols.job_submit,
+                &cols.job_finish,
+                &cols.job_deadline,
+                &cols.job_tenant,
+                tenant,
+                *gamma,
+                start,
+                end,
+            );
             if with_deadline == 0 {
                 return 0.0;
             }
@@ -191,16 +181,7 @@ pub fn response_times(
 
 /// Number of jobs submitted and completed in the window (`|J_i|`).
 fn count_jobs_in(cols: &ScheduleColumns, tenant: Option<TenantId>, start: Time, end: Time) -> u64 {
-    let (any, want) = tenant_mask(tenant);
-    let mut n = 0u64;
-    for i in 0..cols.num_jobs() {
-        let sub = cols.job_submit[i];
-        n += ((any | (cols.job_tenant[i] == want))
-            & (sub >= start)
-            & (sub < end)
-            & (cols.job_finish[i] < end)) as u64;
-    }
-    n
+    kernel::jobs_in_window(&cols.job_submit, &cols.job_finish, &cols.job_tenant, tenant, start, end)
 }
 
 fn utilization(

@@ -36,6 +36,7 @@ pub struct Capacity {
     inputs: Vec<ShareInput>,
     scratch: WaterfillScratch,
     out: Vec<u32>,
+    pool_out: Vec<u32>,
     group_inputs: Vec<ShareInput>,
     group_out: Vec<u32>,
     members: Vec<usize>,
@@ -89,73 +90,90 @@ impl SchedulerBackend for Capacity {
         let n = demands.len();
         targets.clear();
         targets.resize(n, [0; NUM_RESOURCES]);
-        let groups = self.groups.take();
         for r in 0..NUM_RESOURCES {
-            match &groups {
-                None => {
-                    self.allocate_level(capacity[r], r, demands);
-                    for (t, &v) in self.out.iter().enumerate() {
-                        targets[t][r] = v;
+            let mut out = std::mem::take(&mut self.pool_out);
+            self.allocate_pool(r, capacity[r], demands, &mut out);
+            for (t, &v) in out.iter().enumerate() {
+                targets[t][r] = v;
+            }
+            self.pool_out = out;
+        }
+    }
+
+    fn allocate_pool(
+        &mut self,
+        r: usize,
+        capacity: u32,
+        demands: &[TenantDemand],
+        out: &mut Vec<u32>,
+    ) -> bool {
+        let n = demands.len();
+        out.clear();
+        out.resize(n, 0);
+        let groups = self.groups.take();
+        match &groups {
+            None => {
+                self.allocate_level(capacity, r, demands);
+                out.copy_from_slice(&self.out);
+            }
+            Some(parent_of) => {
+                assert_eq!(parent_of.len(), n, "one parent per tenant");
+                let num_groups = parent_of.iter().copied().max().map_or(0, |g| g + 1);
+                // Stage 1: divide the pool among parent queues. A parent
+                // aggregates its leaves: summed guarantees (also its
+                // borrowing weight), demands, and caps.
+                self.group_inputs.clear();
+                for g in 0..num_groups {
+                    let mut guaranteed = 0u64;
+                    let mut demand = 0u64;
+                    let mut max = 0u64;
+                    for (t, d) in demands.iter().enumerate() {
+                        if parent_of[t] != g {
+                            continue;
+                        }
+                        guaranteed += d.min_share[r] as u64;
+                        demand += d.demand[r].min(d.max_share[r]) as u64;
+                        max += d.max_share[r].min(capacity) as u64;
                     }
+                    let clamp = |v: u64| v.min(u32::MAX as u64) as u32;
+                    self.group_inputs.push(ShareInput {
+                        weight: Self::borrow_weight(clamp(guaranteed)),
+                        demand: clamp(demand),
+                        min_share: clamp(guaranteed),
+                        max_share: clamp(max),
+                    });
                 }
-                Some(parent_of) => {
-                    assert_eq!(parent_of.len(), n, "one parent per tenant");
-                    let num_groups = parent_of.iter().copied().max().map_or(0, |g| g + 1);
-                    // Stage 1: divide the pool among parent queues. A parent
-                    // aggregates its leaves: summed guarantees (also its
-                    // borrowing weight), demands, and caps.
-                    self.group_inputs.clear();
-                    for g in 0..num_groups {
-                        let mut guaranteed = 0u64;
-                        let mut demand = 0u64;
-                        let mut max = 0u64;
-                        for (t, d) in demands.iter().enumerate() {
-                            if parent_of[t] != g {
-                                continue;
-                            }
-                            guaranteed += d.min_share[r] as u64;
-                            demand += d.demand[r].min(d.max_share[r]) as u64;
-                            max += d.max_share[r].min(capacity[r]) as u64;
+                fair_targets_into(
+                    capacity,
+                    &self.group_inputs,
+                    &mut self.scratch,
+                    &mut self.group_out,
+                );
+                // Stage 2: each parent's grant is divided among its
+                // leaves by the same policy.
+                for g in 0..num_groups {
+                    let share = self.group_out[g];
+                    self.members.clear();
+                    self.members.extend((0..n).filter(|&t| parent_of[t] == g));
+                    self.inputs.clear();
+                    self.inputs.extend(self.members.iter().map(|&t| {
+                        let d = &demands[t];
+                        ShareInput {
+                            weight: Self::borrow_weight(d.min_share[r]),
+                            demand: d.demand[r],
+                            min_share: d.min_share[r],
+                            max_share: d.max_share[r],
                         }
-                        let clamp = |v: u64| v.min(u32::MAX as u64) as u32;
-                        self.group_inputs.push(ShareInput {
-                            weight: Self::borrow_weight(clamp(guaranteed)),
-                            demand: clamp(demand),
-                            min_share: clamp(guaranteed),
-                            max_share: clamp(max),
-                        });
-                    }
-                    fair_targets_into(
-                        capacity[r],
-                        &self.group_inputs,
-                        &mut self.scratch,
-                        &mut self.group_out,
-                    );
-                    // Stage 2: each parent's grant is divided among its
-                    // leaves by the same policy.
-                    for g in 0..num_groups {
-                        let share = self.group_out[g];
-                        self.members.clear();
-                        self.members.extend((0..n).filter(|&t| parent_of[t] == g));
-                        self.inputs.clear();
-                        self.inputs.extend(self.members.iter().map(|&t| {
-                            let d = &demands[t];
-                            ShareInput {
-                                weight: Self::borrow_weight(d.min_share[r]),
-                                demand: d.demand[r],
-                                min_share: d.min_share[r],
-                                max_share: d.max_share[r],
-                            }
-                        }));
-                        fair_targets_into(share, &self.inputs, &mut self.scratch, &mut self.out);
-                        for (i, &t) in self.members.iter().enumerate() {
-                            targets[t][r] = self.out[i];
-                        }
+                    }));
+                    fair_targets_into(share, &self.inputs, &mut self.scratch, &mut self.out);
+                    for (i, &t) in self.members.iter().enumerate() {
+                        out[t] = self.out[i];
                     }
                 }
             }
         }
         self.groups = groups;
+        true
     }
 }
 

@@ -86,6 +86,15 @@ pub(crate) fn fair_targets_into(
     eff.clear();
     eff.extend(inputs.iter().map(ShareInput::effective_demand));
     let total_eff: u64 = eff.iter().map(|&e| e as u64).sum();
+    if total_eff <= capacity as u64 {
+        // Uncontended pool: the water-fill provably grants every tenant its
+        // full effective demand (work conservation with `distributable ==
+        // total_eff` and the per-tenant cap `target <= eff` force equality),
+        // and the integral bases round to themselves. Skip straight there —
+        // on lightly loaded clusters this is the per-event common case.
+        out.extend_from_slice(eff);
+        return;
+    }
     let distributable = (capacity as u64).min(total_eff) as u32;
     if distributable == 0 {
         out.resize(n, 0);
@@ -227,18 +236,31 @@ impl SchedulerBackend for FairShare {
         targets.clear();
         targets.resize(demands.len(), [0; NUM_RESOURCES]);
         for r in 0..NUM_RESOURCES {
-            self.inputs.clear();
-            self.inputs.extend(demands.iter().map(|d| ShareInput {
-                weight: d.weight,
-                demand: d.demand[r],
-                min_share: d.min_share[r],
-                max_share: d.max_share[r],
-            }));
-            fair_targets_into(capacity[r], &self.inputs, &mut self.scratch, &mut self.out);
-            for (t, &v) in self.out.iter().enumerate() {
+            let mut out = std::mem::take(&mut self.out);
+            self.allocate_pool(r, capacity[r], demands, &mut out);
+            for (t, &v) in out.iter().enumerate() {
                 targets[t][r] = v;
             }
+            self.out = out;
         }
+    }
+
+    fn allocate_pool(
+        &mut self,
+        resource: usize,
+        capacity: u32,
+        demands: &[TenantDemand],
+        out: &mut Vec<u32>,
+    ) -> bool {
+        self.inputs.clear();
+        self.inputs.extend(demands.iter().map(|d| ShareInput {
+            weight: d.weight,
+            demand: d.demand[resource],
+            min_share: d.min_share[resource],
+            max_share: d.max_share[resource],
+        }));
+        fair_targets_into(capacity, &self.inputs, &mut self.scratch, out);
+        true
     }
 }
 

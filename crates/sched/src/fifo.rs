@@ -15,6 +15,7 @@ use crate::{ResourceVec, SchedulerBackend, TenantDemand, NUM_RESOURCES};
 #[derive(Debug, Default, Clone)]
 pub struct Fifo {
     order: Vec<usize>,
+    out: Vec<u32>,
 }
 
 impl Fifo {
@@ -38,23 +39,42 @@ impl SchedulerBackend for Fifo {
         targets.clear();
         targets.resize(n, [0; NUM_RESOURCES]);
         for r in 0..NUM_RESOURCES {
-            self.order.clear();
-            self.order.extend(0..n);
-            // Earliest head-of-line work first; tenant index breaks ties
-            // deterministically. Tenants with nothing queued (stamp = MAX)
-            // sort last but still receive capacity for work they already
-            // hold, keeping the pool bound honest.
-            self.order.sort_by_key(|&t| (demands[t].stamp[r], t));
-            let mut remaining = capacity[r];
-            for &t in &self.order {
-                if remaining == 0 {
-                    break;
-                }
-                let grant = demands[t].effective_demand(r).min(remaining);
-                targets[t][r] = grant;
-                remaining -= grant;
+            let mut out = std::mem::take(&mut self.out);
+            self.allocate_pool(r, capacity[r], demands, &mut out);
+            for (t, &v) in out.iter().enumerate() {
+                targets[t][r] = v;
             }
+            self.out = out;
         }
+    }
+
+    fn allocate_pool(
+        &mut self,
+        resource: usize,
+        capacity: u32,
+        demands: &[TenantDemand],
+        out: &mut Vec<u32>,
+    ) -> bool {
+        let n = demands.len();
+        out.clear();
+        out.resize(n, 0);
+        self.order.clear();
+        self.order.extend(0..n);
+        // Earliest head-of-line work first; tenant index breaks ties
+        // deterministically. Tenants with nothing queued (stamp = MAX)
+        // sort last but still receive capacity for work they already
+        // hold, keeping the pool bound honest.
+        self.order.sort_by_key(|&t| (demands[t].stamp[resource], t));
+        let mut remaining = capacity;
+        for &t in &self.order {
+            if remaining == 0 {
+                break;
+            }
+            let grant = demands[t].effective_demand(resource).min(remaining);
+            out[t] = grant;
+            remaining -= grant;
+        }
+        true
     }
 }
 

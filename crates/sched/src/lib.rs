@@ -125,6 +125,25 @@ pub trait SchedulerBackend {
         targets: &mut Vec<ResourceVec>,
     );
 
+    /// Computes targets for a *single* resource pool, writing one integer
+    /// per tenant into `out`, and returns `true`. Policies that allocate
+    /// each pool independently (FairShare, Capacity, Fifo) override this so
+    /// the engine can refresh only the pool an event actually touched;
+    /// policies whose pools are coupled (DRF's dominant shares) keep the
+    /// default `false`, telling the engine to fall back to a whole-vector
+    /// [`SchedulerBackend::allocate`]. Overrides must produce exactly the
+    /// column `targets[·][resource]` that `allocate` would.
+    fn allocate_pool(
+        &mut self,
+        resource: usize,
+        capacity: u32,
+        demands: &[TenantDemand],
+        out: &mut Vec<u32>,
+    ) -> bool {
+        let _ = (resource, capacity, demands, out);
+        false
+    }
+
     /// Picks the task to preempt among `candidates` (all running tasks of
     /// over-target tenants), returning an index into `candidates`. The
     /// default mirrors the Hadoop Fair Scheduler: kill the most recently

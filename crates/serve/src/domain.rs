@@ -285,10 +285,11 @@ impl Domain {
     /// configuration.
     pub fn new(spec: DomainSpec) -> Result<Self, String> {
         spec.validate()?;
-        // Serve parallelism comes from sharding across domains; keeping each
-        // domain's What-if evaluation serial stops N domains × M cores from
-        // multiplying into cores² threads. (Trajectories are thread-count
-        // invariant, so this is purely a scheduling policy.)
+        // A standalone domain evaluates serially; domains hosted by a
+        // `ControllerRuntime` get [`Domain::install_pool`]ed a clone of the
+        // runtime-wide worker pool instead, so N domains × M cores share
+        // one pool's threads rather than multiplying into cores² threads.
+        // (Trajectories are thread-count invariant either way.)
         let whatif = WhatIfModel::new(
             spec.cluster.clone(),
             spec.slos.clone(),
@@ -319,6 +320,16 @@ impl Domain {
 
     pub fn spec(&self) -> &DomainSpec {
         &self.spec
+    }
+
+    /// Attaches a shared worker pool to this domain's What-if Model and
+    /// lifts the standalone serial default. The runtime installs a clone of
+    /// its fleet-wide pool on every domain that becomes resident, so
+    /// concurrent domains share one bounded set of evaluation threads
+    /// instead of each spawning their own.
+    pub fn install_pool(&mut self, pool: tempo_core::WorkerPool) {
+        self.tempo.whatif.set_threads(None);
+        self.tempo.whatif.set_pool(pool);
     }
 
     /// The controller (read-only: diagnostics and the parity suite).

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use tempo_core::WorkerPool;
 use tempo_sim::RmConfig;
 use tempo_workload::time::Time;
 use tempo_workload::JobSpec;
@@ -163,6 +164,9 @@ type ShardJob = Box<dyn FnOnce(&mut ShardState) + Send>;
 struct ShardState {
     domains: BTreeMap<DomainId, Domain>,
     fleet: Arc<FleetState>,
+    /// Clone of the runtime-wide What-if worker pool, attached to every
+    /// domain that becomes resident on this shard.
+    whatif_pool: WorkerPool,
     /// This worker's shard index (for fault-schedule lookups and logs).
     shard: usize,
     faults: Arc<dyn FaultInjector>,
@@ -175,6 +179,14 @@ struct ShardState {
 }
 
 impl ShardState {
+    /// Makes `domain` resident: attaches the shared What-if worker pool
+    /// (so N domains x M cores collapses onto one pool's threads instead of
+    /// multiplying) and inserts it into the map.
+    fn install(&mut self, id: DomainId, mut domain: Domain) {
+        domain.install_pool(self.whatif_pool.clone());
+        self.domains.insert(id, domain);
+    }
+
     /// Serializes a domain out of memory: removes it from the map, encodes
     /// its snapshot through the binary codec, and publishes the bytes to
     /// the fleet store. No-op if the domain is not hosted here (e.g. it was
@@ -210,7 +222,7 @@ impl ShardState {
         let restored = codec::decode_snapshot(&bytes).and_then(Domain::restore);
         match restored {
             Ok(domain) => {
-                self.domains.insert(id, domain);
+                self.install(id, domain);
             }
             // Unreachable in practice (we encoded the bytes ourselves); a
             // failure leaves the domain unplaced, surfacing as
@@ -320,11 +332,16 @@ impl ControllerRuntime {
     ) -> Self {
         let shards = shards.max(1);
         let fleet = Arc::new(FleetState::new(config, shards));
+        // One What-if worker pool for the whole runtime: every resident
+        // domain's model shares its threads, so evaluation parallelism is
+        // bounded by the pool width regardless of domain count.
+        let whatif_pool = WorkerPool::with_default_width();
         let handles = (0..shards)
             .map(|i| {
                 let (tx, rx) = channel::unbounded::<ShardJob>();
                 let fleet = Arc::clone(&fleet);
                 let faults = Arc::clone(&faults);
+                let whatif_pool = whatif_pool.clone();
                 let worker = std::thread::Builder::new()
                     .name(format!("tempo-serve-shard-{i}"))
                     .spawn(move || {
@@ -335,6 +352,7 @@ impl ControllerRuntime {
                             faults,
                             ops: 0,
                             active: None,
+                            whatif_pool,
                         };
                         while let Ok(job) = rx.recv() {
                             if catch_unwind(AssertUnwindSafe(|| job(&mut state))).is_err() {
@@ -497,7 +515,7 @@ impl ControllerRuntime {
             }
         };
         let job: ShardJob = Box::new(move |state| {
-            state.domains.insert(id, domain);
+            state.install(id, domain);
             let _ = reply_tx.send(());
         });
         self.shards[shard].tx.send(job).map_err(|_| RuntimeError::ShardDown)?;

@@ -110,14 +110,16 @@ pub fn simulate_pooled(
     opts: &SimOptions,
     pool: &mut SimPool,
 ) -> Schedule {
-    trace.validate().expect("invalid trace");
-    config.validate().expect("invalid RM config");
-    if let Some(max_tenant) = trace.jobs.iter().map(|j| j.tenant).max() {
-        assert!(
-            (max_tenant as usize) < config.num_tenants(),
-            "trace references tenant {max_tenant} but config has {} tenants",
-            config.num_tenants()
-        );
+    {
+        trace.validate().expect("invalid trace");
+        config.validate().expect("invalid RM config");
+        if let Some(max_tenant) = trace.jobs.iter().map(|j| j.tenant).max() {
+            assert!(
+                (max_tenant as usize) < config.num_tenants(),
+                "trace references tenant {max_tenant} but config has {} tenants",
+                config.num_tenants()
+            );
+        }
     }
     Engine::new(trace, cluster, config, opts, pool).run()
 }
@@ -248,6 +250,7 @@ pub struct SimPool {
     targets: Vec<[u32; NUM_KINDS]>,
     /// Scratch buffers reused across reschedules.
     demands: Vec<TenantDemand>,
+    pool_targets: Vec<u32>,
     victims: Vec<VictimCandidate>,
     victim_tasks: Vec<TaskId>,
 }
@@ -267,6 +270,7 @@ impl SimPool {
         self.att_next.clear();
         self.targets.clear();
         self.demands.clear();
+        self.pool_targets.clear();
         self.victims.clear();
         self.victim_tasks.clear();
 
@@ -332,6 +336,14 @@ struct Engine<'a> {
     free: [u32; NUM_KINDS],
     /// The allocation policy ([`RmConfig::policy`]).
     backend: Box<dyn SchedulerBackend + Send>,
+    /// Pools whose demand inputs (queue/running contents) may have changed
+    /// since the last `compute_targets` — only these need re-allocation.
+    stale_targets: [bool; NUM_KINDS],
+    /// Pools mutated since their last launch/starvation pass. A pool with a
+    /// clear flag was left at a launch fixpoint with its starvation timers
+    /// current, so `reschedule` can skip it entirely: re-running the passes
+    /// on untouched state provably makes no decision.
+    needs_pass: [bool; NUM_KINDS],
     /// All growable per-run state, borrowed from the caller's pool.
     pool: &'a mut SimPool,
 }
@@ -356,6 +368,8 @@ impl<'a> Engine<'a> {
             launch_counter: 0,
             free: [cluster.capacity(TaskKind::Map), cluster.capacity(TaskKind::Reduce)],
             backend: config.policy.backend(),
+            stale_targets: [true; NUM_KINDS],
+            needs_pass: [true; NUM_KINDS],
             pool,
         };
         for (jix, spec) in trace.jobs.iter().enumerate() {
@@ -368,6 +382,14 @@ impl<'a> Engine<'a> {
         // The queue assigns insertion sequence numbers, preserving the FIFO
         // tie-break at equal times the event heap used.
         self.pool.events.push(time, kind);
+    }
+
+    /// Records that `pool`'s queue/running state changed: its targets are
+    /// stale and it needs a launch/starvation pass at the next reschedule.
+    #[inline]
+    fn touch(&mut self, pool: usize) {
+        self.stale_targets[pool] = true;
+        self.needs_pass[pool] = true;
     }
 
     fn run(mut self) -> Schedule {
@@ -419,6 +441,7 @@ impl<'a> Engine<'a> {
                 TaskKind::Map => {
                     self.pool.tasks[tid as usize].runnable_at = self.now;
                     self.pool.tenants[tenant].queues[TaskKind::Map.index()].push_back(tid);
+                    self.touch(TaskKind::Map.index());
                 }
                 TaskKind::Reduce => held.push(tid),
             }
@@ -453,6 +476,7 @@ impl<'a> Engine<'a> {
         for tid in held {
             self.pool.tasks[tid as usize].runnable_at = self.now;
             self.pool.tenants[tenant].queues[TaskKind::Reduce.index()].push_back(tid);
+            self.touch(TaskKind::Reduce.index());
         }
     }
 
@@ -541,6 +565,7 @@ impl<'a> Engine<'a> {
             p.tasks[moved as usize].run_slot = slot as u32;
         }
         self.free[pool] += 1;
+        self.touch(pool);
     }
 
     /// Starts the clock on a reduce that was idling for the map barrier.
@@ -587,6 +612,7 @@ impl<'a> Engine<'a> {
         };
         self.launch_counter += 1;
         self.free[pool] -= 1;
+        self.touch(pool);
         let slot = {
             let running = &mut self.pool.tenants[tenant].running[pool];
             running.push(tid);
@@ -619,9 +645,20 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Refreshes the per-tenant allocation targets for every pool by handing
-    /// the current demand vectors to the scheduler backend.
+    /// Refreshes the per-tenant allocation targets from the current demand
+    /// vectors — but only for pools whose demand inputs changed since the
+    /// last refresh (`stale_targets`). Backends that allocate pools
+    /// independently recompute just the touched pool's column; coupled
+    /// backends (DRF) fall back to a whole-vector allocation whenever any
+    /// pool is stale. Targets for untouched pools are unchanged by
+    /// construction, so skipping them is behaviour-identical.
     fn compute_targets(&mut self) {
+        let first = self.pool.targets.len() != self.pool.tenants.len();
+        let stale = if first { [true; NUM_KINDS] } else { self.stale_targets };
+        if !(stale[0] || stale[1]) {
+            return;
+        }
+        self.stale_targets = [false; NUM_KINDS];
         self.pool.demands.clear();
         for (tix, tstate) in self.pool.tenants.iter().enumerate() {
             let cfg = &self.config.tenants[tix];
@@ -645,14 +682,41 @@ impl<'a> Engine<'a> {
             });
         }
         let capacity = [self.cluster.pools[0].capacity, self.cluster.pools[1].capacity];
+        if !first && stale[0] != stale[1] {
+            let r = if stale[0] { 0 } else { 1 };
+            let mut out = std::mem::take(&mut self.pool.pool_targets);
+            let done = self.backend.allocate_pool(r, capacity[r], &self.pool.demands, &mut out);
+            if done {
+                for (t, &v) in out.iter().enumerate() {
+                    self.pool.targets[t][r] = v;
+                }
+            }
+            self.pool.pool_targets = out;
+            if done {
+                return;
+            }
+        }
         self.backend.allocate(&capacity, &self.pool.demands, &mut self.pool.targets);
+        // A whole-vector recompute may have moved targets in pools that were
+        // not themselves touched (coupled policies like DRF): both pools need
+        // a launch/starvation pass against their possibly-new targets.
+        self.needs_pass = [true; NUM_KINDS];
     }
 
     fn reschedule(&mut self) {
+        if !(self.needs_pass[0] || self.needs_pass[1]) {
+            return;
+        }
+        // Refresh targets first: a coupled-backend recompute widens
+        // `needs_pass` to both pools.
         self.compute_targets();
-        for pool in 0..NUM_KINDS {
-            self.launch_pass(pool);
-            self.update_starvation(pool);
+        let work = self.needs_pass;
+        self.needs_pass = [false; NUM_KINDS];
+        for (pool, &dirty) in work.iter().enumerate() {
+            if dirty {
+                self.launch_pass(pool);
+                self.update_starvation(pool);
+            }
         }
     }
 

@@ -1,0 +1,586 @@
+//! Lane-unrolled masked-scan kernels for the QS read path.
+//!
+//! Every QS metric is a single masked pass over contiguous schedule columns
+//! (filter predicates folded into 0/1 multiplies, never branches). This
+//! module rewrites those scans as fixed-width kernels: each pass keeps
+//! [`LANES`] independent accumulators, item `i` of the stream always lands in
+//! lane `i % LANES`, and the lanes collapse in one fixed tree at the end.
+//! The shape mirrors a warp reduction on an accelerator — stripe, then
+//! tree-reduce — and buys two things at once:
+//!
+//! * **throughput** — the unrolled bodies expose independent add chains that
+//!   the backend can keep in SIMD registers instead of serializing through
+//!   one accumulator's latency;
+//! * **determinism** — the float sum is a *function of the stream*, not of
+//!   the chunking: lane assignment depends only on the item index and the
+//!   reduction order is hard-coded, so the result is bit-identical for any
+//!   stream length, on any thread, at any parallelism.
+//!
+//! Integer sums (`Time` occupancy integrals, job counts) are exact in any
+//! order; they use the same striped shape purely for speed. The one float
+//! stream (response-time sums) goes through [`F64LaneSum`], which is also
+//! the primitive the row-path parity references push into — row and column
+//! scans agree bit for bit because they run the *same* reduction, not
+//! because one imitates the other.
+
+use crate::record::{Attempt, AttemptOutcome, NO_TIME};
+use tempo_workload::time::{to_secs_f64, Time};
+use tempo_workload::{TaskKind, TenantId};
+
+/// Accumulator width. Eight 64-bit lanes fill a 512-bit vector register and
+/// still fit comfortably in 128-bit SIMD as four independent pairs; power of
+/// two so the lane index is a mask, not a division.
+pub const LANES: usize = 8;
+
+/// Fixed tree reduction: `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+///
+/// The parenthesization is part of the determinism contract — do not
+/// "simplify" it into a linear fold.
+#[inline]
+fn reduce_f64(l: &[f64; LANES]) -> f64 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Streaming masked f64 sum with the lane discipline above.
+///
+/// Push one value per stream item **in stream order** (masked-out items push
+/// an exact `0.0`); [`F64LaneSum::finish`] collapses the lanes. Two scans
+/// that push the same `(value, mask)` stream — e.g. the columnar
+/// `AvgResponseTime` kernel and a row-view reference walking `JobRecord`s —
+/// produce bit-identical sums.
+#[derive(Debug, Clone, Copy)]
+pub struct F64LaneSum {
+    lanes: [f64; LANES],
+    idx: usize,
+}
+
+impl F64LaneSum {
+    #[inline]
+    pub fn new() -> Self {
+        Self { lanes: [0.0; LANES], idx: 0 }
+    }
+
+    /// Adds stream item `self.idx` into its lane.
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        self.lanes[self.idx & (LANES - 1)] += v;
+        self.idx += 1;
+    }
+
+    /// Number of items pushed so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.idx
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.idx == 0
+    }
+
+    /// Collapses the lanes in the fixed tree order.
+    #[inline]
+    pub fn finish(&self) -> f64 {
+        reduce_f64(&self.lanes)
+    }
+}
+
+impl Default for F64LaneSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `AvgResponseTime` scan: masked response-time sum (seconds) and kept-row
+/// count over the job columns. The caller divides.
+///
+/// Mask per row `i`: tenant matches (or `tenant` is `None`), submitted in
+/// `[start, end)`, finished before `end` (unfinished rows carry [`NO_TIME`]
+/// and fail that test by construction).
+pub fn job_response_stats(
+    submit: &[Time],
+    finish: &[Time],
+    job_tenant: &[TenantId],
+    tenant: Option<TenantId>,
+    start: Time,
+    end: Time,
+) -> (f64, u64) {
+    let (any, want) = crate::record::tenant_mask(tenant);
+    let n = submit.len();
+    let mut sum = [0.0f64; LANES];
+    let mut cnt = [0u64; LANES];
+    let mut i = 0;
+    while i + LANES <= n {
+        for l in 0..LANES {
+            let j = i + l;
+            let sub = submit[j];
+            let fin = finish[j];
+            let keep = (any | (job_tenant[j] == want)) & (sub >= start) & (sub < end) & (fin < end);
+            sum[l] += to_secs_f64(fin.wrapping_sub(sub)) * keep as u64 as f64;
+            cnt[l] += keep as u64;
+        }
+        i += LANES;
+    }
+    // `i % LANES == 0` here, so tail item `i + l` still belongs to lane `l`.
+    for (l, j) in (i..n).enumerate() {
+        let sub = submit[j];
+        let fin = finish[j];
+        let keep = (any | (job_tenant[j] == want)) & (sub >= start) & (sub < end) & (fin < end);
+        sum[l] += to_secs_f64(fin.wrapping_sub(sub)) * keep as u64 as f64;
+        cnt[l] += keep as u64;
+    }
+    (reduce_f64(&sum), cnt.iter().sum())
+}
+
+/// `DeadlineMiss` scan: `(rows with a deadline, rows that missed it)` over
+/// the kept job set. Pure integer counts — exact in any order; the lanes are
+/// for speed only.
+#[allow(clippy::too_many_arguments)]
+pub fn job_deadline_stats(
+    submit: &[Time],
+    finish: &[Time],
+    deadline: &[Time],
+    job_tenant: &[TenantId],
+    tenant: Option<TenantId>,
+    gamma: f64,
+    start: Time,
+    end: Time,
+) -> (u64, u64) {
+    let (any, want) = crate::record::tenant_mask(tenant);
+    let n = submit.len();
+    let mut with_dl = [0u64; LANES];
+    let mut missed = [0u64; LANES];
+    let mut body = |l: usize, j: usize| {
+        let sub = submit[j];
+        let fin = finish[j];
+        let dl = deadline[j];
+        let keep = (any | (job_tenant[j] == want))
+            & (sub >= start)
+            & (sub < end)
+            & (fin < end)
+            & (dl != NO_TIME);
+        // Same slack arithmetic as `JobRecord::missed_deadline`; the
+        // wrapping ops only ever see garbage on masked-out rows.
+        let slack = (gamma * fin.wrapping_sub(sub) as f64).max(0.0) as Time;
+        let miss = fin > dl.saturating_add(slack);
+        with_dl[l] += keep as u64;
+        missed[l] += (keep & miss) as u64;
+    };
+    let mut i = 0;
+    while i + LANES <= n {
+        for l in 0..LANES {
+            body(l, i + l);
+        }
+        i += LANES;
+    }
+    for (l, j) in (i..n).enumerate() {
+        body(l, j);
+    }
+    (with_dl.iter().sum(), missed.iter().sum())
+}
+
+/// Jobs of `tenant` submitted and completed inside `[start, end)` — the
+/// `|J_i|` count behind `Throughput`.
+pub fn jobs_in_window(
+    submit: &[Time],
+    finish: &[Time],
+    job_tenant: &[TenantId],
+    tenant: Option<TenantId>,
+    start: Time,
+    end: Time,
+) -> u64 {
+    let (any, want) = crate::record::tenant_mask(tenant);
+    let n = submit.len();
+    let mut cnt = [0u64; LANES];
+    let mut i = 0;
+    while i + LANES <= n {
+        for (l, c) in cnt.iter_mut().enumerate() {
+            let j = i + l;
+            let sub = submit[j];
+            *c += ((any | (job_tenant[j] == want))
+                & (sub >= start)
+                & (sub < end)
+                & (finish[j] < end)) as u64;
+        }
+        i += LANES;
+    }
+    for (l, j) in (i..n).enumerate() {
+        let sub = submit[j];
+        cnt[l] +=
+            ((any | (job_tenant[j] == want)) & (sub >= start) & (sub < end) & (finish[j] < end))
+                as u64;
+    }
+    cnt.iter().sum()
+}
+
+/// Container-time occupied in pool `kind` over `[start, end)`, clipping each
+/// attempt to the window. Exact `Time` integral (integer adds commute).
+pub fn occupancy(
+    attempts: &[Attempt],
+    att_kind: &[TaskKind],
+    att_tenant: &[TenantId],
+    kind: TaskKind,
+    tenant: Option<TenantId>,
+    start: Time,
+    end: Time,
+) -> Time {
+    let (any, want) = crate::record::tenant_mask(tenant);
+    let n = attempts.len();
+    let mut sum = [0 as Time; LANES];
+    let mut body = |l: usize, j: usize| {
+        let a = &attempts[j];
+        let s = a.launch.max(start);
+        let e = a.end.min(end);
+        let keep = (att_kind[j] == kind) & (any | (att_tenant[j] == want)) & (e > s);
+        sum[l] += e.wrapping_sub(s) * keep as Time;
+    };
+    let mut i = 0;
+    while i + LANES <= n {
+        for l in 0..LANES {
+            body(l, i + l);
+        }
+        i += LANES;
+    }
+    for (l, j) in (i..n).enumerate() {
+        body(l, j);
+    }
+    sum.iter().sum()
+}
+
+/// Like [`occupancy`] but counting only useful work: completed attempts,
+/// clocked from their shuffle barrier (`work_start`) instead of launch.
+pub fn useful_work(
+    attempts: &[Attempt],
+    att_kind: &[TaskKind],
+    att_tenant: &[TenantId],
+    kind: TaskKind,
+    tenant: Option<TenantId>,
+    start: Time,
+    end: Time,
+) -> Time {
+    let (any, want) = crate::record::tenant_mask(tenant);
+    let n = attempts.len();
+    let mut sum = [0 as Time; LANES];
+    let mut body = |l: usize, j: usize| {
+        let a = &attempts[j];
+        let s = a.work_start.max(start);
+        let e = a.end.min(end);
+        let keep = (a.outcome == AttemptOutcome::Completed)
+            & (att_kind[j] == kind)
+            & (any | (att_tenant[j] == want))
+            & (e > s);
+        sum[l] += e.wrapping_sub(s) * keep as Time;
+    };
+    let mut i = 0;
+    while i + LANES <= n {
+        for l in 0..LANES {
+            body(l, i + l);
+        }
+        i += LANES;
+    }
+    for (l, j) in (i..n).enumerate() {
+        body(l, j);
+    }
+    sum.iter().sum()
+}
+
+/// Preemption-fraction scan over the task columns: `(tasks of kind, tasks
+/// preempted at least once)`.
+pub fn preempt_stats(
+    task_kind: &[TaskKind],
+    task_tenant: &[TenantId],
+    task_preempt_count: &[u32],
+    kind: TaskKind,
+    tenant: Option<TenantId>,
+) -> (u64, u64) {
+    let (any, want) = crate::record::tenant_mask(tenant);
+    let n = task_kind.len();
+    let mut total = [0u64; LANES];
+    let mut preempted = [0u64; LANES];
+    let mut body = |l: usize, j: usize| {
+        let keep = (task_kind[j] == kind) & (any | (task_tenant[j] == want));
+        total[l] += keep as u64;
+        preempted[l] += (keep & (task_preempt_count[j] > 0)) as u64;
+    };
+    let mut i = 0;
+    while i + LANES <= n {
+        for l in 0..LANES {
+            body(l, i + l);
+        }
+        i += LANES;
+    }
+    for (l, j) in (i..n).enumerate() {
+        body(l, j);
+    }
+    (total.iter().sum(), preempted.iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // ---- scalar references: the pre-kernel single-accumulator scans,
+    // ---- kept verbatim as ground truth for the integer kernels and as the
+    // ---- ulp-neighborhood check for the float one ----
+
+    fn ref_response_stats(
+        submit: &[Time],
+        finish: &[Time],
+        tenant_col: &[TenantId],
+        tenant: Option<TenantId>,
+        start: Time,
+        end: Time,
+    ) -> (f64, u64) {
+        let (any, want) = crate::record::tenant_mask(tenant);
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for j in 0..submit.len() {
+            let keep = (any | (tenant_col[j] == want))
+                & (submit[j] >= start)
+                & (submit[j] < end)
+                & (finish[j] < end);
+            sum += to_secs_f64(finish[j].wrapping_sub(submit[j])) * keep as u64 as f64;
+            n += keep as u64;
+        }
+        (sum, n)
+    }
+
+    /// Stream of masked values matching what the kernel accumulates, pushed
+    /// through the shared primitive — must be bit-identical to the kernel.
+    fn lane_response_sum(
+        submit: &[Time],
+        finish: &[Time],
+        tenant_col: &[TenantId],
+        tenant: Option<TenantId>,
+        start: Time,
+        end: Time,
+    ) -> f64 {
+        let (any, want) = crate::record::tenant_mask(tenant);
+        let mut acc = F64LaneSum::new();
+        for j in 0..submit.len() {
+            let keep = (any | (tenant_col[j] == want))
+                & (submit[j] >= start)
+                & (submit[j] < end)
+                & (finish[j] < end);
+            acc.push(to_secs_f64(finish[j].wrapping_sub(submit[j])) * keep as u64 as f64);
+        }
+        acc.finish()
+    }
+
+    fn arb_attempt() -> impl Strategy<Value = Attempt> {
+        (0u64..2000, 0u64..200, 0u64..2000, 0u8..4).prop_map(|(launch, lag, len, out)| {
+            let work_start = launch + lag;
+            Attempt {
+                launch,
+                work_start,
+                end: work_start + len,
+                outcome: match out {
+                    0 => AttemptOutcome::Completed,
+                    1 => AttemptOutcome::Preempted,
+                    2 => AttemptOutcome::Failed,
+                    _ => AttemptOutcome::CutOff,
+                },
+            }
+        })
+    }
+
+    fn arb_kind() -> impl Strategy<Value = TaskKind> {
+        prop_oneof![Just(TaskKind::Map), Just(TaskKind::Reduce)]
+    }
+
+    /// Lengths covering every `len % LANES` remainder around several chunk
+    /// boundaries, plus empty.
+    fn arb_len() -> impl Strategy<Value = usize> {
+        prop_oneof![Just(0usize), 0usize..=(3 * LANES + 1), 60usize..70]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Float kernel ≡ the shared streaming primitive (bit-identical) and
+        /// lives within rounding distance of the scalar left fold.
+        #[test]
+        fn response_kernel_matches_reference(
+            n in arb_len(),
+            rows in prop::collection::vec(
+                (0u64..3000, 0u64..4000, 0u16..3, any::<bool>()), 70),
+            start in 0u64..1500,
+            len in 0u64..3000,
+            tenant_pick in 0u16..4,
+        ) {
+            let rows = &rows[..n.min(rows.len())];
+            let submit: Vec<Time> = rows.iter().map(|r| r.0).collect();
+            // `finished == false` rows carry the NO_TIME sentinel, like real
+            // columns for jobs cut off at the horizon.
+            let finish: Vec<Time> =
+                rows.iter().map(|r| if r.3 { r.0 + r.1 } else { NO_TIME }).collect();
+            let tenant_col: Vec<TenantId> = rows.iter().map(|r| r.2).collect();
+            let tenant = if tenant_pick == 3 { None } else { Some(tenant_pick) };
+            let (end, overflow) = start.overflowing_add(len.max(1));
+            let end = if overflow { Time::MAX } else { end };
+
+            let (sum, cnt) = job_response_stats(&submit, &finish, &tenant_col, tenant, start, end);
+            let (ref_sum, ref_cnt) =
+                ref_response_stats(&submit, &finish, &tenant_col, tenant, start, end);
+            prop_assert_eq!(cnt, ref_cnt);
+            // Bit-identical to the streaming primitive (same lanes, same tree).
+            let streamed = lane_response_sum(&submit, &finish, &tenant_col, tenant, start, end);
+            prop_assert_eq!(sum.to_bits(), streamed.to_bits());
+            // Reassociation against the scalar fold stays in rounding noise.
+            let tol = 1e-12 * ref_sum.abs().max(1.0);
+            prop_assert!((sum - ref_sum).abs() <= tol, "sum {sum} ref {ref_sum}");
+        }
+
+        /// Integer job kernels are exactly the scalar scans.
+        #[test]
+        fn job_count_kernels_match_reference(
+            n in arb_len(),
+            rows in prop::collection::vec(
+                (0u64..3000, 0u64..4000, 0u16..3, any::<bool>(), any::<bool>(), 0u64..5000),
+                70),
+            gamma in prop_oneof![Just(0.0), Just(0.25), Just(1.0)],
+            start in 0u64..1500,
+            len in 1u64..3000,
+            tenant_pick in 0u16..4,
+        ) {
+            let rows = &rows[..n.min(rows.len())];
+            let submit: Vec<Time> = rows.iter().map(|r| r.0).collect();
+            let finish: Vec<Time> =
+                rows.iter().map(|r| if r.3 { r.0 + r.1 } else { NO_TIME }).collect();
+            let deadline: Vec<Time> =
+                rows.iter().map(|r| if r.4 { r.0 + r.5 } else { NO_TIME }).collect();
+            let tenant_col: Vec<TenantId> = rows.iter().map(|r| r.2).collect();
+            let tenant = if tenant_pick == 3 { None } else { Some(tenant_pick) };
+            let end = start + len;
+
+            // Count kernel vs direct filter.
+            let expect = (0..rows.len())
+                .filter(|&j| {
+                    tenant.is_none_or(|t| tenant_col[j] == t)
+                        && (start..end).contains(&submit[j])
+                        && finish[j] < end
+                })
+                .count() as u64;
+            prop_assert_eq!(
+                jobs_in_window(&submit, &finish, &tenant_col, tenant, start, end), expect);
+
+            // Deadline kernel vs direct filter.
+            let kept: Vec<usize> = (0..rows.len())
+                .filter(|&j| {
+                    tenant.is_none_or(|t| tenant_col[j] == t)
+                        && (start..end).contains(&submit[j])
+                        && finish[j] < end
+                        && deadline[j] != NO_TIME
+                })
+                .collect();
+            let miss = kept
+                .iter()
+                .filter(|&&j| {
+                    let slack =
+                        (gamma * finish[j].wrapping_sub(submit[j]) as f64).max(0.0) as Time;
+                    finish[j] > deadline[j].saturating_add(slack)
+                })
+                .count() as u64;
+            prop_assert_eq!(
+                job_deadline_stats(
+                    &submit, &finish, &deadline, &tenant_col, tenant, gamma, start, end),
+                (kept.len() as u64, miss)
+            );
+        }
+
+        /// Attempt/task kernels are exactly the scalar scans, across every
+        /// remainder, all-masked windows, and mixed tenants/kinds.
+        #[test]
+        fn attempt_kernels_match_reference(
+            n in arb_len(),
+            atts in prop::collection::vec(arb_attempt(), 70),
+            kinds in prop::collection::vec(arb_kind(), 70),
+            tenants in prop::collection::vec(0u16..3, 70),
+            preempts in prop::collection::vec(0u32..3, 70),
+            kind in arb_kind(),
+            window in (0u64..3000, 1u64..4000),
+            tenant_pick in 0u16..4,
+        ) {
+            let (start, len) = window;
+            let n = n.min(atts.len()).min(kinds.len()).min(tenants.len()).min(preempts.len());
+            let atts = &atts[..n];
+            let kinds = &kinds[..n];
+            let tenants = &tenants[..n];
+            let preempts = &preempts[..n];
+            let tenant = if tenant_pick == 3 { None } else { Some(tenant_pick) };
+            let end = start + len;
+
+            let mut occ: Time = 0;
+            let mut useful: Time = 0;
+            for j in 0..n {
+                if kinds[j] != kind || tenant.is_some_and(|t| tenants[j] != t) {
+                    continue;
+                }
+                let (lo, hi) = (atts[j].launch.max(start), atts[j].end.min(end));
+                if hi > lo {
+                    occ += hi - lo;
+                }
+                let (lo, hi) = (atts[j].work_start.max(start), atts[j].end.min(end));
+                if atts[j].outcome == AttemptOutcome::Completed && hi > lo {
+                    useful += hi - lo;
+                }
+            }
+            prop_assert_eq!(occupancy(atts, kinds, tenants, kind, tenant, start, end), occ);
+            prop_assert_eq!(useful_work(atts, kinds, tenants, kind, tenant, start, end), useful);
+
+            let total = (0..n)
+                .filter(|&j| kinds[j] == kind && tenant.is_none_or(|t| tenants[j] == t))
+                .count() as u64;
+            let hit = (0..n)
+                .filter(|&j| {
+                    kinds[j] == kind && tenant.is_none_or(|t| tenants[j] == t) && preempts[j] > 0
+                })
+                .count() as u64;
+            prop_assert_eq!(preempt_stats(kinds, tenants, preempts, kind, tenant), (total, hit));
+        }
+    }
+
+    /// The lane sum is a function of the stream alone: appending items to a
+    /// longer stream never changes how the prefix was accumulated.
+    #[test]
+    fn lane_sum_is_prefix_stable() {
+        let vals: Vec<f64> = (0..67).map(|i| (i as f64) * 0.1 + 1.0 / (i + 1) as f64).collect();
+        for cut in 0..vals.len() {
+            let mut a = F64LaneSum::new();
+            let mut b = F64LaneSum::new();
+            for v in &vals[..cut] {
+                a.push(*v);
+                b.push(*v);
+            }
+            for v in &vals[cut..] {
+                b.push(*v);
+            }
+            // Replaying the full stream reproduces b exactly.
+            let mut c = F64LaneSum::new();
+            for v in &vals {
+                c.push(*v);
+            }
+            assert_eq!(b.finish().to_bits(), c.finish().to_bits());
+            // And pushing exact zeros (masked-out items) after the prefix
+            // leaves the prefix sum intact.
+            for _ in cut..vals.len() {
+                a.push(0.0);
+            }
+            let mut d = F64LaneSum::new();
+            for v in &vals[..cut] {
+                d.push(*v);
+            }
+            assert_eq!(a.finish().to_bits(), d.finish().to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_streams_are_zero() {
+        assert_eq!(F64LaneSum::new().finish(), 0.0);
+        assert_eq!(job_response_stats(&[], &[], &[], None, 0, 10), (0.0, 0));
+        assert_eq!(jobs_in_window(&[], &[], &[], None, 0, 10), 0);
+        assert_eq!(occupancy(&[], &[], &[], TaskKind::Map, None, 0, 10), 0);
+        assert_eq!(preempt_stats(&[], &[], &[], TaskKind::Map, None), (0, 0));
+    }
+}

@@ -30,6 +30,7 @@
 pub mod calendar;
 pub mod config;
 pub mod engine;
+pub mod kernel;
 pub mod noise;
 pub mod predictor;
 pub mod record;

@@ -404,17 +404,15 @@ impl ScheduleColumns {
         start: Time,
         end: Time,
     ) -> Time {
-        let (any_tenant, want) = tenant_mask(tenant);
-        let mut sum: Time = 0;
-        for i in 0..self.attempts.len() {
-            let a = &self.attempts[i];
-            let s = a.launch.max(start);
-            let e = a.end.min(end);
-            let keep =
-                (self.att_kind[i] == kind) & (any_tenant | (self.att_tenant[i] == want)) & (e > s);
-            sum += e.wrapping_sub(s) * keep as Time;
-        }
-        sum
+        crate::kernel::occupancy(
+            &self.attempts,
+            &self.att_kind,
+            &self.att_tenant,
+            kind,
+            tenant,
+            start,
+            end,
+        )
     }
 
     /// Like [`ScheduleColumns::occupancy_in`] but counting only *useful*
@@ -427,19 +425,15 @@ impl ScheduleColumns {
         start: Time,
         end: Time,
     ) -> Time {
-        let (any_tenant, want) = tenant_mask(tenant);
-        let mut sum: Time = 0;
-        for i in 0..self.attempts.len() {
-            let a = &self.attempts[i];
-            let s = a.work_start.max(start);
-            let e = a.end.min(end);
-            let keep = (a.outcome == AttemptOutcome::Completed)
-                & (self.att_kind[i] == kind)
-                & (any_tenant | (self.att_tenant[i] == want))
-                & (e > s);
-            sum += e.wrapping_sub(s) * keep as Time;
-        }
-        sum
+        crate::kernel::useful_work(
+            &self.attempts,
+            &self.att_kind,
+            &self.att_tenant,
+            kind,
+            tenant,
+            start,
+            end,
+        )
     }
 
     /// Debug-only structural validation of the column invariants.
@@ -601,14 +595,13 @@ impl Schedule {
     /// compare-and-count pass with no attempt traversal.
     pub fn preemption_fraction(&self, kind: TaskKind, tenant: Option<TenantId>) -> f64 {
         let c = &self.columns;
-        let (any_tenant, want) = tenant_mask(tenant);
-        let mut total = 0u64;
-        let mut preempted = 0u64;
-        for i in 0..c.num_tasks() {
-            let keep = (c.task_kind[i] == kind) & (any_tenant | (c.task_tenant[i] == want));
-            total += keep as u64;
-            preempted += (keep & (c.task_preempt_count[i] > 0)) as u64;
-        }
+        let (total, preempted) = crate::kernel::preempt_stats(
+            &c.task_kind,
+            &c.task_tenant,
+            &c.task_preempt_count,
+            kind,
+            tenant,
+        );
         if total == 0 {
             0.0
         } else {

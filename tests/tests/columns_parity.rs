@@ -89,15 +89,26 @@ fn ref_jobs_in(s: &Schedule, tenant: Option<TenantId>, start: Time, end: Time) -
 }
 
 fn ref_avg_response_time(s: &Schedule, tenant: Option<TenantId>, start: Time, end: Time) -> f64 {
-    let times: Vec<f64> = ref_jobs_in(s, tenant, start, end)
-        .iter()
-        .filter_map(|j| j.response_time())
-        .map(tempo_workload::time::to_secs_f64)
-        .collect();
-    if times.is_empty() {
+    // Row-path reference: walk the row views in order, pushing every job's
+    // masked response time (an exact 0.0 for filtered-out rows) through the
+    // shared lane primitive. The column kernel accumulates the identical
+    // (value, mask) stream through the same lanes and tree, so agreement is
+    // bit-for-bit — the sum is a function of the stream, not of which
+    // representation was scanned.
+    let mut sum = tempo_sim::kernel::F64LaneSum::new();
+    let mut n = 0u64;
+    for j in s.jobs() {
+        let keep = tenant.is_none_or(|t| j.tenant == t)
+            && (start..end).contains(&j.submit)
+            && j.finish.is_some_and(|f| f < end);
+        let rt = if keep { j.response_time().expect("finished job") } else { 0 };
+        sum.push(tempo_workload::time::to_secs_f64(rt));
+        n += keep as u64;
+    }
+    if n == 0 {
         0.0
     } else {
-        times.iter().sum::<f64>() / times.len() as f64
+        sum.finish() / n as f64
     }
 }
 

@@ -190,6 +190,50 @@ fn ec2_observed_schedule_is_stable_across_builds_and_serde() {
 }
 
 #[test]
+fn stochastic_nested_fanout_identical_across_thread_counts() {
+    // The pool's nested fan-out path: a pooled `evaluate_batch_salted` over a
+    // stochastic source with `samples > 1` runs each batch element as a pool
+    // task that itself fans its expectation samples out as sub-tasks. The
+    // result must be byte-identical (compared as raw f64 bits) whether the
+    // nest ran serially or across 2, 4, or 7 threads — the reduce happens in
+    // sample-index order over pre-assigned seeds either way.
+    let cluster = scenario::ec2_cluster().scaled(0.05);
+    let space = ConfigSpace::new(6, &cluster);
+    let run = |threads: usize| {
+        let model = WhatIfModel::new(
+            cluster.clone(),
+            scenario::mixed_slos(0.25),
+            WorkloadSource::Model {
+                model: tempo_workload::abc::abc_model(0.02),
+                start: 0,
+                end: 10 * MIN,
+            },
+            (0, 10 * MIN),
+        )
+        .with_samples(3)
+        .with_threads(threads);
+        let probes: Vec<RmConfig> = (0..5)
+            .map(|i| {
+                let x: Vec<f64> = (0..space.dim()).map(|j| ((i + j) % 4) as f64 / 3.0).collect();
+                space.decode(&x)
+            })
+            .collect();
+        let out = model.evaluate_batch_salted(&probes, 91);
+        out.into_iter()
+            .map(|qs| qs.into_iter().map(f64::to_bits).collect::<Vec<u64>>())
+            .collect::<Vec<_>>()
+    };
+    let baseline = run(1);
+    for threads in [2, 4, 7] {
+        assert_eq!(
+            baseline,
+            run(threads),
+            "stochastic nested fan-out diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn full_scenario_trajectory_identical_across_thread_counts() {
     // The §8.2 EC2 scenario end to end: observed schedules, reverts,
     // ratchets, and installed configurations must not depend on how many
