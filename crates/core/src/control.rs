@@ -244,6 +244,8 @@ impl Tempo {
     /// (real or stand-in) cluster since the last iteration, and installs the
     /// next configuration.
     pub fn iterate(&mut self, observed: &Schedule) -> IterationRecord {
+        tempo_obs::counter!("tempo_pald_iterations_total", "PALD control-loop iterations executed")
+            .inc();
         let (w0, w1) = self.whatif.window;
         let observed_qs = self.whatif.slos.evaluate(observed, w0, w1);
         let under_config = self.current_config();

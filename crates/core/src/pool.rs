@@ -36,6 +36,38 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::Duration;
 
+/// Telemetry probes for the pool. Counters are write-only and never read
+/// back by the pool, so instrumented and uninstrumented runs schedule
+/// identically; the batch-latency stopwatch reads a wall clock only while
+/// telemetry is enabled and never feeds back into results.
+mod obs {
+    pub(super) fn batches() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!("tempo_pool_batches_total", "Task batches submitted to the worker pool")
+    }
+
+    pub(super) fn tasks() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!("tempo_pool_tasks_total", "Tasks executed across all pool batches")
+    }
+
+    pub(super) fn steals() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!(
+            "tempo_pool_steals_total",
+            "Tasks claimed by background workers rather than the submitting thread"
+        )
+    }
+
+    pub(super) fn queue_depth() -> &'static tempo_obs::Gauge {
+        tempo_obs::gauge!("tempo_pool_queue_depth", "Claimable batches queued in the worker pool")
+    }
+
+    pub(super) fn batch_micros() -> &'static tempo_obs::Histogram {
+        tempo_obs::histogram!(
+            "tempo_pool_batch_duration_micros",
+            "Wall time from batch submission to join, in microseconds"
+        )
+    }
+}
+
 /// How long an idle worker sleeps between checks that its pool is still
 /// alive. Bounds both wake-up latency on a missed notify and thread
 /// lifetime after the last handle drops.
@@ -141,10 +173,14 @@ impl WorkerPool {
         if n == 0 {
             return;
         }
+        obs::batches().inc();
+        obs::tasks().add(n as u64);
+        let sw = tempo_obs::Stopwatch::start();
         if self.inner.width <= 1 || n == 1 {
             for i in 0..n {
                 f(i);
             }
+            sw.observe_into(obs::batch_micros);
             return;
         }
         // SAFETY: the erased borrow is dereferenced only by tasks of this
@@ -165,7 +201,11 @@ impl WorkerPool {
             finished: Condvar::new(),
             panic: Mutex::new(None),
         });
-        self.inner.queue.lock().expect("pool queue poisoned").push_back(Arc::clone(&batch));
+        {
+            let mut q = self.inner.queue.lock().expect("pool queue poisoned");
+            q.push_back(Arc::clone(&batch));
+            obs::queue_depth().set(q.len() as i64);
+        }
         self.inner.work_ready.notify_all();
         // Work-help until no task of our batch is left unclaimed...
         help(&batch);
@@ -175,6 +215,7 @@ impl WorkerPool {
             done = batch.finished.wait(done).expect("pool latch poisoned");
         }
         drop(done);
+        sw.observe_into(obs::batch_micros);
         let payload = batch.panic.lock().expect("pool panic slot poisoned").take();
         if let Some(payload) = payload {
             resume_unwind(payload);
@@ -209,12 +250,15 @@ unsafe impl<T: Send> Send for SlotWriter<T> {}
 unsafe impl<T: Send> Sync for SlotWriter<T> {}
 
 /// Claims and executes tasks of `batch` until its cursor is exhausted.
-fn help(batch: &Batch) {
+/// Returns how many tasks this thread executed.
+fn help(batch: &Batch) -> u64 {
+    let mut executed = 0u64;
     loop {
         let i = batch.next.fetch_add(1, Ordering::Relaxed);
         if i >= batch.len {
-            return;
+            return executed;
         }
+        executed += 1;
         // SAFETY: see the erasure contract in `WorkerPool::run`.
         let f = unsafe { &*batch.task.0 };
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
@@ -255,7 +299,10 @@ fn worker_loop(weak: Weak<Inner>) {
         };
         drop(inner);
         if let Some(batch) = next {
-            help(&batch);
+            let stolen = help(&batch);
+            if stolen > 0 {
+                obs::steals().add(stolen);
+            }
         }
     }
 }

@@ -88,6 +88,44 @@ pub struct WhatIfModel {
     sims: AtomicU64,
 }
 
+/// Telemetry families for the what-if layer. Process-global aggregates; the
+/// per-model [`MemoCache`] atomics below feed per-domain `DomainMetrics`.
+mod obs {
+    pub(super) fn cache_hits() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!(
+            "tempo_whatif_cache_hits_total",
+            "Memoized what-if evaluations served from the cache"
+        )
+    }
+    pub(super) fn cache_misses() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!(
+            "tempo_whatif_cache_misses_total",
+            "What-if evaluations that had to simulate"
+        )
+    }
+    pub(super) fn cache_evictions() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!(
+            "tempo_whatif_cache_evictions_total",
+            "Memo-cache entries evicted by the LRU watermark"
+        )
+    }
+    pub(super) fn sims() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!("tempo_whatif_sims_total", "Prediction simulations actually run")
+    }
+    pub(super) fn probe_batches() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!(
+            "tempo_whatif_probe_batches_total",
+            "Salted probe batches submitted by the optimizer"
+        )
+    }
+    pub(super) fn probe_evals() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!(
+            "tempo_whatif_probe_evals_total",
+            "Configurations evaluated across probe batches"
+        )
+    }
+}
+
 /// Number of independently locked cache shards. Sixteen keeps lock
 /// contention negligible for any plausible probe batch width while staying
 /// cheap to scan for `len()`.
@@ -129,6 +167,12 @@ struct MemoCache {
     /// accumulate contexts across re-tuning windows; the watermark evicts
     /// least-recently-used entries instead of growing without bound.
     capacity: AtomicUsize,
+    /// Lifetime hit/miss/eviction tallies. Like `WhatIfModel::sims` these
+    /// are diagnostics, not state: they are never snapshotted, so restored
+    /// models start from zero and snapshot bytes stay identical.
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl MemoCache {
@@ -178,7 +222,11 @@ impl MemoCache {
                 .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| *k);
             match victim {
-                Some(k) => shard.remove(&k),
+                Some(k) => {
+                    shard.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    obs::cache_evictions().inc();
+                }
                 None => break,
             };
         }
@@ -480,6 +528,7 @@ impl WhatIfModel {
     /// One prediction sample: realize workload, simulate, evaluate QS.
     fn sample_qs(&self, config: &RmConfig, sample: u64) -> Vec<f64> {
         self.sims.fetch_add(1, Ordering::Relaxed);
+        obs::sims().inc();
         let trace = self.source.realize(0x5EED ^ sample);
         let opts =
             SimOptions { horizon: Some(self.sim_horizon()), noise: self.noise, seed: sample };
@@ -527,7 +576,18 @@ impl WhatIfModel {
         }
         // First writer wins; concurrent evaluators of the same config block
         // on the OnceLock instead of racing duplicate simulations.
-        self.cache.slot(self.context, config).qs.get_or_init(|| self.compute_qs(config, 0)).clone()
+        let slot = self.cache.slot(self.context, config);
+        // Approximate under contention (two threads may both tally a miss
+        // before one wins the OnceLock); the tallies are diagnostics, never
+        // inputs to control decisions.
+        if slot.qs.get().is_some() {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            obs::cache_hits().inc();
+        } else {
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+            obs::cache_misses().inc();
+        }
+        slot.qs.get_or_init(|| self.compute_qs(config, 0)).clone()
     }
 
     /// Expected QS vector with the default salt.
@@ -550,6 +610,8 @@ impl WhatIfModel {
     /// [`Self::evaluate_salted`] serially in input order — regardless of the
     /// worker-thread count.
     pub fn evaluate_batch_salted(&self, configs: &[RmConfig], first_salt: u64) -> Vec<Vec<f64>> {
+        obs::probe_batches().inc();
+        obs::probe_evals().add(configs.len() as u64);
         self.batch_map(configs.len(), |i| {
             self.evaluate_salted(&configs[i], first_salt.wrapping_add(i as u64))
         })
@@ -590,6 +652,17 @@ impl WhatIfModel {
     /// cache hits keep this below the evaluation count).
     pub fn sim_count(&self) -> u64 {
         self.sims.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime memo-cache `(hits, misses, evictions)` for this model. Like
+    /// [`Self::sim_count`] these reset to zero on snapshot restore — they
+    /// describe work done by this process, not cache contents.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.misses.load(Ordering::Relaxed),
+            self.cache.evictions.load(Ordering::Relaxed),
+        )
     }
 }
 

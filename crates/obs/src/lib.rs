@@ -1,0 +1,996 @@
+//! Zero-dependency observability for the Tempo workspace.
+//!
+//! crates.io is unreachable in this build environment, so — like the
+//! dependency shims — the telemetry substrate is hand-rolled: lock-free
+//! atomic [`Counter`]s and [`Gauge`]s, log-bucketed (power-of-2, HDR-style)
+//! [`Histogram`]s with p50/p95/p99 extraction, and a bounded [`TraceRing`]
+//! for typed decision/event traces. A process-global registry renders
+//! everything as Prometheus-style text exposition ([`render`]), and
+//! [`Exposition::parse`] reads that format back for digests and tests.
+//!
+//! # The no-op mode contract
+//!
+//! Telemetry is **off by default**. Every mutation — `Counter::add`,
+//! `Gauge::set`, `Histogram::observe` — starts with one relaxed load of a
+//! global flag and returns immediately when it is clear, so a fully
+//! instrumented hot path costs a predictable handful of cycles per probe
+//! when nobody is scraping. Binaries that serve telemetry (the daemon, the
+//! benches) opt in with [`set_enabled`]; libraries never flip the flag.
+//! Wall-clock reads follow the same discipline through [`Stopwatch`]:
+//! disabled telemetry reads no clocks at all.
+//!
+//! # Determinism
+//!
+//! Instruments are strictly write-only from the measured code's point of
+//! view: nothing ever reads a counter to make a control decision, so
+//! telemetry-on and telemetry-off runs produce bit-identical results by
+//! construction. Deterministic simulation paths may bump counters (pure
+//! data, no clocks); only serve-layer code — whose timings never feed back
+//! into results — uses `Stopwatch`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write as IoWrite};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Global enable flag
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns telemetry collection on or off process-wide. Off is the default;
+/// binaries that expose an exposition endpoint call `set_enabled(true)` at
+/// startup. Libraries must never call this.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry collection is currently enabled.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+/// Monotone event counter. `add` is a no-op while telemetry is disabled.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (queue depths, resident counts). Mutations are
+/// no-ops while telemetry is disabled.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge { value: AtomicI64::new(0) }
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets a histogram carries. Bucket 0 holds exact zeros;
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so the top bucket's
+/// upper bound exceeds u64 range and nothing overflows out.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Log-bucketed (power-of-2, HDR-style) histogram of non-negative integer
+/// observations — latencies in microseconds, sizes in bytes.
+///
+/// Scrapes are designed to never look torn: the rendered `_count` is
+/// derived from the bucket array itself (not a separately raced atomic), so
+/// `_count == Σ buckets` holds in every scrape by construction, and each
+/// bucket is individually monotone.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    /// Sum of observed values (approximately consistent with the buckets;
+    /// exact once writers quiesce).
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `1 + floor(log2(v))`, capped at
+/// the top bucket.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the Prometheus `le` label).
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if enabled() {
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an elapsed [`Stopwatch`] in whole microseconds, if the watch
+    /// was live (i.e. telemetry was enabled when it started).
+    #[inline]
+    pub fn observe_since(&self, sw: Stopwatch) {
+        if let Some(start) = sw.0 {
+            self.observe(start.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// Total observations (sum of the bucket array).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-cumulative bucket snapshot.
+    pub fn snapshot(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Linear-interpolated quantile estimate (`q` in `[0, 1]`) over the log
+    /// buckets; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.snapshot(), q)
+    }
+}
+
+/// Quantile over a non-cumulative 64-bucket snapshot with the bucket
+/// boundaries above; shared by live histograms and parsed expositions.
+fn quantile_from_buckets(buckets: &[u64; HIST_BUCKETS], q: f64) -> Option<f64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let before = cum;
+        cum += n;
+        if (cum as f64) >= target {
+            let lo = if i <= 1 { i as f64 } else { (1u64 << (i - 1)) as f64 };
+            let hi = bucket_bound(i) as f64;
+            let frac = (target - before as f64) / n as f64;
+            return Some(lo + frac * (hi - lo).max(0.0));
+        }
+    }
+    Some(bucket_bound(HIST_BUCKETS - 1) as f64)
+}
+
+/// A wall-clock span that only reads the clock when telemetry is enabled.
+/// `Stopwatch::start()` in no-op mode costs one relaxed load.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch(if enabled() { Some(Instant::now()) } else { None })
+    }
+
+    /// Whether the watch is live (telemetry was enabled at start).
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Elapsed microseconds, if live.
+    pub fn elapsed_micros(&self) -> Option<u64> {
+        self.0.map(|t| t.elapsed().as_micros() as u64)
+    }
+
+    /// Observes the elapsed span into a lazily-resolved histogram — the
+    /// lookup closure runs only when the watch is live, so disabled
+    /// telemetry pays neither the clock read nor the registry access.
+    pub fn observe_into<F>(self, hist: F)
+    where
+        F: FnOnce() -> &'static Histogram,
+    {
+        if let Some(start) = self.0 {
+            hist().observe(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry + exposition
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Holds only leaked `&'static` instruments, so it is `Copy` and can be
+/// returned out of the registry lock by value.
+#[derive(Clone, Copy)]
+enum Instrument {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+struct Family {
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Family>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Family>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn register(name: &str, help: &str, labels: &[(&str, &str)], kind: Kind) -> Instrument {
+    let labels: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    let mut reg = registry().lock().expect("obs registry poisoned");
+    let family = reg.entry(name.to_string()).or_insert_with(|| Family {
+        help: help.to_string(),
+        kind,
+        series: Vec::new(),
+    });
+    assert!(
+        family.kind == kind,
+        "metric family {name:?} registered as {} and requested as {}",
+        family.kind.as_str(),
+        kind.as_str(),
+    );
+    if let Some(s) = family.series.iter().find(|s| s.labels == labels) {
+        return s.instrument;
+    }
+    let instrument = match kind {
+        Kind::Counter => Instrument::Counter(Box::leak(Box::new(Counter::new()))),
+        Kind::Gauge => Instrument::Gauge(Box::leak(Box::new(Gauge::new()))),
+        Kind::Histogram => Instrument::Histogram(Box::leak(Box::new(Histogram::new()))),
+    };
+    family.series.push(Series { labels, instrument });
+    instrument
+}
+
+/// Registers (or fetches) the counter `name` with the given label set.
+/// Call-site caching via the [`counter!`] macro avoids the registry lock on
+/// hot paths.
+pub fn counter(name: &str, help: &str, labels: &[(&str, &str)]) -> &'static Counter {
+    match register(name, help, labels, Kind::Counter) {
+        Instrument::Counter(c) => c,
+        _ => unreachable!("kind checked in register"),
+    }
+}
+
+/// Registers (or fetches) the gauge `name` with the given label set.
+pub fn gauge(name: &str, help: &str, labels: &[(&str, &str)]) -> &'static Gauge {
+    match register(name, help, labels, Kind::Gauge) {
+        Instrument::Gauge(g) => g,
+        _ => unreachable!("kind checked in register"),
+    }
+}
+
+/// Registers (or fetches) the histogram `name` with the given label set.
+pub fn histogram(name: &str, help: &str, labels: &[(&str, &str)]) -> &'static Histogram {
+    match register(name, help, labels, Kind::Histogram) {
+        Instrument::Histogram(h) => h,
+        _ => unreachable!("kind checked in register"),
+    }
+}
+
+/// Call-site-cached [`counter`]: resolves the registry entry once per call
+/// site and reuses the `&'static Counter` thereafter. Labels must be
+/// constant at the call site; dynamic label values go through [`counter`].
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $help:expr $(, $lk:expr => $lv:expr)* $(,)?) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::counter($name, $help, &[$(($lk, $lv)),*]))
+    }};
+}
+
+/// Call-site-cached [`gauge`]; see [`counter!`].
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $help:expr $(, $lk:expr => $lv:expr)* $(,)?) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::gauge($name, $help, &[$(($lk, $lv)),*]))
+    }};
+}
+
+/// Call-site-cached [`histogram`]; see [`counter!`].
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $help:expr $(, $lk:expr => $lv:expr)* $(,)?) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::histogram($name, $help, &[$(($lk, $lv)),*]))
+    }};
+}
+
+fn escape_label(v: &str, out: &mut String) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Renders every registered instrument as Prometheus text exposition
+/// (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=...}` + `_sum` +
+/// `_count` for histograms). Stable family and series order.
+pub fn render() -> String {
+    use std::fmt::Write;
+    let reg = registry().lock().expect("obs registry poisoned");
+    let mut out = String::with_capacity(4096);
+    for (name, family) in reg.iter() {
+        let _ = writeln!(out, "# HELP {name} {}", family.help);
+        let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+        for series in &family.series {
+            match &series.instrument {
+                Instrument::Counter(c) => {
+                    out.push_str(name);
+                    write_labels(&mut out, &series.labels, None);
+                    let _ = writeln!(out, " {}", c.get());
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(name);
+                    write_labels(&mut out, &series.labels, None);
+                    let _ = writeln!(out, " {}", g.get());
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let top = snap.iter().rposition(|&n| n > 0).unwrap_or(0);
+                    let mut cum = 0u64;
+                    for (i, &n) in snap.iter().enumerate().take(top + 1) {
+                        cum += n;
+                        let _ = write!(out, "{name}_bucket");
+                        let le = bucket_bound(i).to_string();
+                        write_labels(&mut out, &series.labels, Some(("le", &le)));
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    let _ = write!(out, "{name}_bucket");
+                    write_labels(&mut out, &series.labels, Some(("le", "+Inf")));
+                    let _ = writeln!(out, " {cum}");
+                    let _ = write!(out, "{name}_sum");
+                    write_labels(&mut out, &series.labels, None);
+                    let _ = writeln!(out, " {}", h.sum());
+                    let _ = write!(out, "{name}_count");
+                    write_labels(&mut out, &series.labels, None);
+                    let _ = writeln!(out, " {cum}");
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Exposition parsing (for digests and tests)
+// ---------------------------------------------------------------------------
+
+/// One sample line of a parsed exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name, including `_bucket`/`_sum`/`_count` suffixes.
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether this sample carries every `(key, value)` pair in `subset`.
+    pub fn matches(&self, subset: &[(&str, &str)]) -> bool {
+        subset.iter().all(|(k, v)| self.label(k) == Some(*v))
+    }
+}
+
+/// A parsed Prometheus text exposition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Parses Prometheus text exposition (the subset [`render`] emits:
+    /// `# HELP`/`# TYPE` comments and `name{labels} value` samples).
+    pub fn parse(text: &str) -> Result<Exposition, String> {
+        let mut samples = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+            let (name, labels, value_part) = match line.find('{') {
+                Some(brace) => {
+                    let close = line.rfind('}').ok_or_else(|| err("unclosed label block"))?;
+                    (
+                        line[..brace].to_string(),
+                        parse_labels(&line[brace + 1..close], &err)?,
+                        line[close + 1..].trim(),
+                    )
+                }
+                None => {
+                    let sp = line.find(' ').ok_or_else(|| err("missing value"))?;
+                    (line[..sp].to_string(), Vec::new(), line[sp..].trim())
+                }
+            };
+            let value: f64 = match value_part {
+                "+Inf" => f64::INFINITY,
+                "-Inf" => f64::NEG_INFINITY,
+                "NaN" => f64::NAN,
+                v => v.parse().map_err(|_| err("bad sample value"))?,
+            };
+            samples.push(Sample { name, labels, value });
+        }
+        Ok(Exposition { samples })
+    }
+
+    /// Every sample named `name` whose labels contain `subset`.
+    pub fn find(&self, name: &str, subset: &[(&str, &str)]) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name && s.matches(subset)).collect()
+    }
+
+    /// The single sample named `name` matching `subset`, if any.
+    pub fn value(&self, name: &str, subset: &[(&str, &str)]) -> Option<f64> {
+        self.find(name, subset).first().map(|s| s.value)
+    }
+
+    /// Sum of every series of `name` matching `subset` — collapses a
+    /// labelled family into one number.
+    pub fn sum(&self, name: &str, subset: &[(&str, &str)]) -> f64 {
+        // `+ 0.0` normalizes the empty sum: f64's `Sum` identity is `-0.0`,
+        // which would print as "-0" in reports.
+        self.find(name, subset).iter().map(|s| s.value).sum::<f64>() + 0.0
+    }
+
+    /// Quantile estimate from a rendered histogram's `_bucket` samples
+    /// matching `subset`. `None` when the histogram is absent or empty.
+    pub fn histogram_quantile(&self, name: &str, subset: &[(&str, &str)], q: f64) -> Option<f64> {
+        let bucket_name = format!("{name}_bucket");
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let mut seen = false;
+        for s in self.samples.iter().filter(|s| s.name == bucket_name && s.matches(subset)) {
+            let le = s.label("le")?;
+            seen = true;
+            if le == "+Inf" {
+                continue;
+            }
+            let bound: u64 = le.parse().ok()?;
+            let idx = if bound == 0 { 0 } else { bucket_index(bound) };
+            // Cumulative → non-cumulative happens below; store cumulative.
+            buckets[idx] = s.value as u64;
+        }
+        if !seen {
+            return None;
+        }
+        // De-cumulate in place.
+        let mut prev = 0u64;
+        for b in buckets.iter_mut() {
+            let cur = (*b).max(prev);
+            *b = cur - prev;
+            prev = cur;
+        }
+        quantile_from_buckets(&buckets, q)
+    }
+
+    /// Distinct family names present (sample names with histogram suffixes
+    /// stripped).
+    pub fn families(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .samples
+            .iter()
+            .map(|s| {
+                s.name
+                    .strip_suffix("_bucket")
+                    .or_else(|| s.name.strip_suffix("_sum"))
+                    .or_else(|| s.name.strip_suffix("_count"))
+                    .unwrap_or(&s.name)
+                    .to_string()
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+fn parse_labels(body: &str, err: &dyn Fn(&str) -> String) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| err("label missing ="))?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let mut chars = after.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(err("label value not quoted")),
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, ch) in chars {
+            if escaped {
+                match ch {
+                    'n' => value.push('\n'),
+                    c => value.push(c),
+                }
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(ch);
+            }
+        }
+        let end = end.ok_or_else(|| err("unterminated label value"))?;
+        labels.push((key, value));
+        rest = after[end + 1..].trim_start().trim_start_matches(',').trim_start();
+    }
+    Ok(labels)
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring
+// ---------------------------------------------------------------------------
+
+/// A bounded ring buffer of typed trace events (control-loop decisions,
+/// fault firings). Pushes are cheap (one short mutex hold) and never block
+/// readers for long; when full, the oldest event is dropped.
+///
+/// Unlike the numeric instruments, trace pushes are *not* gated on the
+/// global enable flag: the decision trail answers "why did the controller
+/// pick this config" and must be queryable even when nobody scrapes
+/// metrics. Pushers sit on millisecond-scale control paths where one
+/// mutex hold is noise.
+#[derive(Debug)]
+pub struct TraceRing<T> {
+    capacity: usize,
+    inner: Mutex<RingInner<T>>,
+}
+
+#[derive(Debug)]
+struct RingInner<T> {
+    items: VecDeque<T>,
+    pushed: u64,
+}
+
+impl<T: Clone> TraceRing<T> {
+    pub fn new(capacity: usize) -> TraceRing<T> {
+        TraceRing {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner { items: VecDeque::new(), pushed: 0 }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn push(&self, item: T) {
+        let mut inner = self.inner.lock().expect("trace ring poisoned");
+        if inner.items.len() == self.capacity {
+            inner.items.pop_front();
+        }
+        inner.items.push_back(item);
+        inner.pushed += 1;
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<T> {
+        let inner = self.inner.lock().expect("trace ring poisoned");
+        let skip = inner.items.len().saturating_sub(n);
+        inner.items.iter().skip(skip).cloned().collect()
+    }
+
+    /// The most recent `n` events satisfying `keep`, oldest first.
+    pub fn recent_filtered<F>(&self, n: usize, keep: F) -> Vec<T>
+    where
+        F: Fn(&T) -> bool,
+    {
+        let inner = self.inner.lock().expect("trace ring poisoned");
+        let mut out: Vec<T> =
+            inner.items.iter().rev().filter(|t| keep(t)).take(n).cloned().collect();
+        out.reverse();
+        out
+    }
+
+    /// Total events ever pushed (monotone; not capped by capacity).
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").pushed
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace ring poisoned").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics HTTP endpoint
+// ---------------------------------------------------------------------------
+
+/// A minimal HTTP/1.1 exposition endpoint: every GET (any path) answers
+/// `200 text/plain; version=0.0.4` with [`render`]'s output. One thread,
+/// one connection at a time — scrape traffic, not serving traffic.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 picks an ephemeral port) and starts answering
+    /// scrapes on a background thread.
+    pub fn start(addr: SocketAddr) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("tempo-metrics".to_string())
+            .spawn(move || scrape_loop(listener, thread_stop))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the scrape thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn scrape_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        // Read (and discard) the request head; curl won't send a body.
+        let mut buf = [0u8; 4096];
+        let mut head = Vec::new();
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&buf[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 64 * 1024 {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let body = render();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the global flag or read global counters.
+    fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn counters_noop_when_disabled() {
+        let _g = flag_lock();
+        set_enabled(false);
+        let c = Counter::new();
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        set_enabled(true);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        set_enabled(false);
+        c.inc();
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let _g = flag_lock();
+        set_enabled(true);
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 4, 7, 8, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 1126);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((1.0..=4.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((512.0..=1023.0).contains(&p99), "p99 {p99}");
+        set_enabled(false);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(3), 7);
+    }
+
+    #[test]
+    fn stopwatch_reads_no_clock_when_disabled() {
+        let _g = flag_lock();
+        set_enabled(false);
+        let sw = Stopwatch::start();
+        assert!(!sw.is_live());
+        assert_eq!(sw.elapsed_micros(), None);
+        set_enabled(true);
+        assert!(Stopwatch::start().is_live());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let _g = flag_lock();
+        set_enabled(true);
+        counter("tempo_obs_test_total", "test counter", &[("shard", "0")]).add(7);
+        counter("tempo_obs_test_total", "test counter", &[("shard", "1")]).add(3);
+        gauge("tempo_obs_test_depth", "test gauge", &[]).set(-4);
+        let h = histogram("tempo_obs_test_micros", "test histogram", &[("op", "x")]);
+        for v in [1u64, 2, 2, 900] {
+            h.observe(v);
+        }
+        set_enabled(false);
+
+        let text = render();
+        assert!(text.contains("# TYPE tempo_obs_test_total counter"));
+        assert!(text.contains("# TYPE tempo_obs_test_micros histogram"));
+        let exp = Exposition::parse(&text).unwrap();
+        assert_eq!(exp.value("tempo_obs_test_total", &[("shard", "0")]), Some(7.0));
+        assert_eq!(exp.sum("tempo_obs_test_total", &[]), 10.0);
+        assert_eq!(exp.value("tempo_obs_test_depth", &[]), Some(-4.0));
+        assert_eq!(exp.value("tempo_obs_test_micros_count", &[("op", "x")]), Some(4.0));
+        assert_eq!(exp.value("tempo_obs_test_micros_sum", &[("op", "x")]), Some(905.0));
+        let q = exp.histogram_quantile("tempo_obs_test_micros", &[("op", "x")], 0.5).unwrap();
+        assert!((1.0..=3.0).contains(&q), "median {q}");
+        assert!(exp.families().contains(&"tempo_obs_test_micros".to_string()));
+    }
+
+    #[test]
+    fn rendered_histogram_count_equals_bucket_sum() {
+        let _g = flag_lock();
+        set_enabled(true);
+        let h = histogram("tempo_obs_torn_micros", "torn-read check", &[]);
+        for v in 0..50u64 {
+            h.observe(v * 13);
+        }
+        set_enabled(false);
+        let exp = Exposition::parse(&render()).unwrap();
+        let count = exp.value("tempo_obs_torn_micros_count", &[]).unwrap();
+        let inf = exp
+            .find("tempo_obs_torn_micros_bucket", &[("le", "+Inf")])
+            .first()
+            .map(|s| s.value)
+            .unwrap();
+        assert_eq!(count, inf, "_count must equal the +Inf cumulative bucket");
+        // Cumulative buckets are non-decreasing in le order.
+        let buckets = exp.find("tempo_obs_torn_micros_bucket", &[]);
+        let mut bounds: Vec<(f64, f64)> = buckets
+            .iter()
+            .map(|s| {
+                let le = s.label("le").unwrap();
+                let b = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() };
+                (b, s.value)
+            })
+            .collect();
+        bounds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in bounds.windows(2) {
+            assert!(w[1].1 >= w[0].1, "cumulative buckets must be monotone");
+        }
+    }
+
+    #[test]
+    fn trace_ring_bounds_and_orders() {
+        let ring = TraceRing::new(4);
+        for i in 0..10 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.recent(2), vec![8, 9]);
+        assert_eq!(ring.recent(100), vec![6, 7, 8, 9]);
+        assert_eq!(ring.recent_filtered(2, |&v| v % 2 == 0), vec![6, 8]);
+    }
+
+    #[test]
+    fn metrics_server_answers_scrapes() {
+        let _g = flag_lock();
+        set_enabled(true);
+        counter("tempo_obs_http_total", "http smoke", &[]).inc();
+        set_enabled(false);
+        let server = MetricsServer::start("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain"));
+        assert!(response.contains("tempo_obs_http_total"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Exposition::parse("no_value_here").is_err());
+        assert!(Exposition::parse("name{unclosed 1").is_err());
+        assert!(Exposition::parse("name{k=unquoted} 1").is_err());
+        // Comments and blanks are fine.
+        assert!(Exposition::parse("# HELP x y\n\n").unwrap().samples.is_empty());
+    }
+}

@@ -5,7 +5,7 @@
 //!             [--proto jsonl|binary] [--pipeline N] [--batch]
 //!             [--connect HOST:PORT] [--shutdown] [--out FILE]
 //!             [--min-decisions K] [--zipf S] [--resident-bytes N]
-//!             [--retry N]
+//!             [--retry N] [--metrics-summary]
 //! ```
 //!
 //! Default mode spawns an in-process `tempo-serve` server (sim clock, real
@@ -32,6 +32,11 @@
 //! round-trip per create) so hundred-thousand-domain fleets stay feasible.
 //! The per-domain decision floor is skipped in zipf mode — a cold Zipf
 //! tail is the whole point.
+//!
+//! `--metrics-summary` prints a one-screen end-of-run digest (request
+//! p50/p95/p99 per codec+op, what-if cache hit rate, WAL append p99,
+//! ingest shed/delay counts) sourced from the server's `Telemetry`
+//! exposition — the numbers a human checks first, pre-extracted.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -82,7 +87,66 @@ fn next_unit(state: &mut u64) -> f64 {
     ((*state >> 11) as f64) / ((1u64 << 53) as f64)
 }
 
+/// One-screen digest of the server's Prometheus exposition: the handful of
+/// numbers a human checks after a load run, pre-extracted.
+fn print_metrics_summary(text: &str) {
+    let exp = match tempo_obs::Exposition::parse(text) {
+        Ok(exp) => exp,
+        Err(e) => {
+            eprintln!("serve_bench: telemetry parse failed: {e}");
+            return;
+        }
+    };
+    let quantile = |name: &str, subset: &[(&str, &str)], q: f64| {
+        exp.histogram_quantile(name, subset, q).map_or_else(|| "-".into(), |v| format!("{v:.0}us"))
+    };
+    println!("serve_bench: telemetry digest —");
+    let mut keys: Vec<(String, String)> = exp
+        .samples
+        .iter()
+        .filter(|s| s.name == "tempo_request_duration_micros_count")
+        .filter_map(|s| Some((s.label("codec")?.to_string(), s.label("op")?.to_string())))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    for (codec, op) in &keys {
+        let subset = [("codec", codec.as_str()), ("op", op.as_str())];
+        let count = exp.sum("tempo_request_duration_micros_count", &subset);
+        println!(
+            "  {codec}/{op}: {count:.0} requests, p50 {} / p95 {} / p99 {}",
+            quantile("tempo_request_duration_micros", &subset, 0.50),
+            quantile("tempo_request_duration_micros", &subset, 0.95),
+            quantile("tempo_request_duration_micros", &subset, 0.99),
+        );
+    }
+    let hits = exp.sum("tempo_whatif_cache_hits_total", &[]);
+    let lookups = hits + exp.sum("tempo_whatif_cache_misses_total", &[]);
+    if lookups > 0.0 {
+        println!(
+            "  what-if cache: {:.1}% hit rate ({hits:.0} of {lookups:.0} lookups), {:.0} sims",
+            100.0 * hits / lookups,
+            exp.sum("tempo_whatif_sims_total", &[]),
+        );
+    }
+    let wal_appends = exp.sum("tempo_wal_appends_total", &[]);
+    if wal_appends > 0.0 {
+        println!(
+            "  wal: {wal_appends:.0} appends (p99 {}), {:.0} checkpoints",
+            quantile("tempo_wal_append_duration_micros", &[], 0.99),
+            exp.sum("tempo_wal_checkpoints_total", &[]),
+        );
+    }
+    println!(
+        "  ingest backpressure: {:.0} shed, {:.0} delayed",
+        exp.sum("tempo_ingest_shed_total", &[]),
+        exp.sum("tempo_ingest_delayed_total", &[]),
+    );
+}
+
 fn main() {
+    // The bench always collects telemetry: the in-process server shares this
+    // process, and the digest below reads it back out of the exposition.
+    tempo_obs::set_enabled(true);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag_value =
         |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
@@ -103,6 +167,7 @@ fn main() {
         flag_value("--resident-bytes").map(|v| v.parse::<u64>().expect("bad --resident-bytes"));
     let external = flag_value("--connect");
     let shutdown_external = args.iter().any(|a| a == "--shutdown");
+    let metrics_summary = args.iter().any(|a| a == "--metrics-summary");
     let out = flag_value("--out");
     // `--retry N` arms the client retry policy (N attempts per call,
     // exponential backoff, transparent reconnect) — the knob the chaos
@@ -509,6 +574,15 @@ fn main() {
         );
         std::fs::write(&path, json).expect("write --out report");
         println!("wrote {path}");
+    }
+
+    // The digest reads the server's exposition over the wire, so it must
+    // run while the control connection is still up.
+    if metrics_summary {
+        match control.call(&Request::Telemetry).expect("telemetry") {
+            Response::Telemetry { text } => print_metrics_summary(&text),
+            other => panic!("telemetry failed: {other:?}"),
+        }
     }
 
     // Shut the spawned server down and verify the drain; `--shutdown` asks

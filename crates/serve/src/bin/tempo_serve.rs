@@ -5,6 +5,7 @@
 //!             [--snapshot FILE] [--port-file FILE]
 //!             [--resident-bytes N] [--idle-ticks N]
 //!             [--journal DIR] [--journal-checkpoint N] [--fault-plan SPEC]
+//!             [--metrics-port PORT] [--metrics-port-file FILE]
 //! ```
 //!
 //! Hosts a sharded [`tempo_serve::ControllerRuntime`] behind the JSONL/TCP
@@ -25,18 +26,27 @@
 //! — `kill -9` is the supported shutdown path. `--fault-plan SPEC`
 //! (`seed=7,shard=0.001,journal=0.01,conn=0.05,stall=0.1,stall-ms=25`)
 //! arms the deterministic fault injector for chaos testing.
+//!
+//! `--metrics-port PORT` serves the Prometheus text exposition at
+//! `http://127.0.0.1:PORT/metrics` (port 0 picks an ephemeral port;
+//! `--metrics-port-file` writes the bound port back). The same payload is
+//! reachable in-band via the `Telemetry` wire request. Telemetry collection
+//! is always on in the daemon.
 
 use std::sync::Arc;
 use tempo_serve::proto;
 use tempo_serve::{ClockMode, FaultPlan, RuntimeSnapshot, Server, ServerConfig};
 
 fn main() {
+    // The daemon always collects telemetry; embedded/library users opt in.
+    tempo_obs::set_enabled(true);
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: tempo-serve [--addr HOST:PORT] [--shards N] [--sim-clock] \
              [--snapshot FILE] [--port-file FILE] [--resident-bytes N] [--idle-ticks N] \
-             [--journal DIR] [--journal-checkpoint N] [--fault-plan SPEC]"
+             [--journal DIR] [--journal-checkpoint N] [--fault-plan SPEC] \
+             [--metrics-port PORT] [--metrics-port-file FILE]"
         );
         return;
     }
@@ -71,13 +81,25 @@ fn main() {
         eprintln!("tempo-serve: fault plan armed: {plan:?}");
         config.faults = Arc::new(plan);
     }
+    if let Some(port) = flag_value("--metrics-port") {
+        let port: u16 = port.parse().expect("--metrics-port takes a port number");
+        config.metrics_addr = Some(format!("127.0.0.1:{port}"));
+    }
     let snapshot_path = flag_value("--snapshot");
     let port_file = flag_value("--port-file");
+    let metrics_port_file = flag_value("--metrics-port-file");
 
     let server = Server::start(config).expect("bind tempo-serve listener");
     let addr = server.local_addr();
     if let Some(path) = &port_file {
         std::fs::write(path, format!("{}\n", addr.port())).expect("write port file");
+    }
+    if let Some(metrics_addr) = server.metrics_addr() {
+        eprintln!("tempo-serve: metrics exposition on http://{metrics_addr}/metrics");
+        if let Some(path) = &metrics_port_file {
+            std::fs::write(path, format!("{}\n", metrics_addr.port()))
+                .expect("write metrics port file");
+        }
     }
 
     if let Some(path) = &snapshot_path {

@@ -252,6 +252,20 @@ pub fn observation_seed(seed: u64, step: u64) -> u64 {
     seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// What-if cache/simulation provenance of the most recent non-skipped
+/// advance — what the decision trace reports. Transient diagnostics like
+/// [`tempo_core::whatif::WhatIfModel`]'s sim counter: never snapshotted, so
+/// restore resets it and snapshot bytes stay identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvanceProvenance {
+    /// Memo-cache hits during the iteration.
+    pub cache_hits: u64,
+    /// Memo-cache misses (fresh What-if evaluations) during the iteration.
+    pub cache_misses: u64,
+    /// Simulations the iteration ran.
+    pub sims: u64,
+}
+
 /// A live tenancy domain.
 pub struct Domain {
     spec: DomainSpec,
@@ -276,6 +290,8 @@ pub struct Domain {
     shed: u64,
     /// Jobs turned away with a retry by [`BackpressurePolicy::Delay`].
     delayed: u64,
+    /// Provenance of the most recent non-skipped advance (transient).
+    last_provenance: AdvanceProvenance,
 }
 
 impl Domain {
@@ -315,6 +331,7 @@ impl Domain {
             last_refill: 0,
             shed: 0,
             delayed: 0,
+            last_provenance: AdvanceProvenance::default(),
         })
     }
 
@@ -374,12 +391,19 @@ impl Domain {
                 let admit = (self.tokens.floor() as u64).min(offered);
                 self.tokens -= admit as f64;
                 self.shed += offered - admit;
+                tempo_obs::counter!("tempo_ingest_shed_total", "Jobs dropped past ingest budgets")
+                    .add(offered - admit);
                 let mut jobs = jobs;
                 jobs.truncate(admit as usize);
                 IngestOutcome::Accepted { accepted: self.log.extend(jobs) }
             }
             BackpressurePolicy::Delay => {
                 self.delayed += offered;
+                tempo_obs::counter!(
+                    "tempo_ingest_delayed_total",
+                    "Jobs turned away with a retry hint by delay budgets"
+                )
+                .add(offered);
                 let deficit = need - self.tokens;
                 IngestOutcome::Busy { retry_after_micros: (deficit / rate).ceil() as u64 }
             }
@@ -430,6 +454,17 @@ impl Domain {
     /// Simulations the domain's What-if Model has run.
     pub fn sim_count(&self) -> u64 {
         self.tempo.whatif.sim_count()
+    }
+
+    /// Lifetime memo-cache `(hits, misses, evictions)` of the domain's
+    /// What-if Model. Diagnostics only: resets on restore, like `sim_count`.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        self.tempo.whatif.cache_stats()
+    }
+
+    /// Cache/sim provenance of the most recent non-skipped advance.
+    pub fn last_provenance(&self) -> AdvanceProvenance {
+        self.last_provenance
     }
 
     /// Deterministic count-based estimate of the domain's resident heap
@@ -499,7 +534,15 @@ impl Domain {
         }
 
         let observed = self.observe_window(&segment, step);
+        let (hits_before, misses_before, _) = self.tempo.whatif.cache_stats();
+        let sims_before = self.tempo.whatif.sim_count();
         let record = self.tempo.iterate(&observed);
+        let (hits_after, misses_after, _) = self.tempo.whatif.cache_stats();
+        self.last_provenance = AdvanceProvenance {
+            cache_hits: hits_after - hits_before,
+            cache_misses: misses_after - misses_before,
+            sims: self.tempo.whatif.sim_count() - sims_before,
+        };
         self.decisions += 1;
         DecisionRecord {
             step,

@@ -524,6 +524,9 @@ mod tests {
             ingested: 0,
             cache_entries: 0,
             sims: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
             shed_count: 0,
             delayed_count: 0,
             ingest_budget_occupancy: 0.0,

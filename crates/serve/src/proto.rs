@@ -15,7 +15,7 @@
 //! bare string form the serde encoding produces: `"Metrics"`.
 
 use crate::domain::{DecisionRecord, DomainSpec};
-use crate::runtime::{RuntimeMetrics, RuntimeSnapshot};
+use crate::runtime::{DecisionTrace, RuntimeMetrics, RuntimeSnapshot};
 use serde::{Deserialize, Serialize};
 use tempo_sim::RmConfig;
 use tempo_workload::JobSpec;
@@ -63,6 +63,14 @@ pub enum Request {
     /// Migrate hot domains until no shard carries more than the configured
     /// factor of the mean advance load.
     Rebalance,
+    /// Prometheus-style text exposition of every process metric — the same
+    /// payload `--metrics-port` serves over HTTP, reachable without a second
+    /// port for `nc`-grade tooling.
+    Telemetry,
+    /// The recent control-loop decision trail, newest last. `limit` caps the
+    /// returned entries (default: everything retained); `domain` filters to
+    /// one domain's decisions.
+    TraceQuery { limit: Option<u64>, domain: Option<u64> },
     /// Stop accepting connections and exit the accept loop.
     Shutdown,
 }
@@ -141,6 +149,14 @@ pub enum Response {
     Rebalanced {
         moves: Vec<(u64, u64, u64)>,
     },
+    /// `Telemetry` outcome: the Prometheus text exposition, verbatim.
+    Telemetry {
+        text: String,
+    },
+    /// `TraceQuery` outcome: retained decision traces, oldest first.
+    Traces {
+        traces: Vec<DecisionTrace>,
+    },
     ShuttingDown,
     Error {
         message: String,
@@ -192,6 +208,9 @@ mod tests {
             Request::Hibernate { domain: 3 },
             Request::Migrate { domain: 3, shard: 1 },
             Request::Rebalance,
+            Request::Telemetry,
+            Request::TraceQuery { limit: Some(16), domain: None },
+            Request::TraceQuery { limit: None, domain: Some(3) },
             Request::Shutdown,
         ];
         for req in reqs {

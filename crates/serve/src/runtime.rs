@@ -22,7 +22,9 @@
 
 use crate::clock::Clock;
 use crate::codec;
-use crate::domain::{DecisionRecord, Domain, DomainSnapshot, DomainSpec, IngestOutcome};
+use crate::domain::{
+    AdvanceProvenance, DecisionRecord, Domain, DomainSnapshot, DomainSpec, IngestOutcome,
+};
 use crate::fault::{FaultInjector, NoFaults};
 use crate::fleet::{DomainState, FleetConfig, FleetState, Routing};
 use crossbeam::channel::{self, Sender};
@@ -35,6 +37,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tempo_core::WorkerPool;
+use tempo_obs::TraceRing;
 use tempo_sim::RmConfig;
 use tempo_workload::time::Time;
 use tempo_workload::JobSpec;
@@ -74,6 +77,73 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// Retained decision-trail length. Older entries fall off the ring;
+/// [`TraceRing::pushed`] still counts them.
+const TRACE_CAPACITY: usize = 1024;
+
+/// One control-loop decision as retained by the runtime's bounded trace
+/// ring — the `TraceQuery` wire payload. Captures what the controller chose
+/// and where the evidence came from (What-if cache hits vs fresh
+/// simulations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTrace {
+    pub domain: DomainId,
+    /// Advance step on the domain (matches [`DecisionRecord::step`]).
+    pub step: u64,
+    /// Absolute workload window `[start, end)` the decision tuned on.
+    pub window: (Time, Time),
+    /// Controller iteration index.
+    pub iteration: u64,
+    /// Whether the revert guard rolled back the previous change.
+    pub reverted: bool,
+    /// Observed (priority-weighted) QS vector.
+    pub observed_qs: Vec<f64>,
+    /// The maximin objective over the observation: the worst per-SLO
+    /// quality score.
+    pub objective: f64,
+    /// The configuration the decision chose.
+    pub config: RmConfig,
+    /// What-if memo-cache hits during the iteration (cache provenance).
+    pub cache_hits: u64,
+    /// Memo-cache misses (fresh What-if evaluations) during the iteration.
+    pub cache_misses: u64,
+    /// Simulations the iteration ran.
+    pub sims: u64,
+}
+
+/// Records one non-skipped decision in the trace ring (skipped advances ran
+/// no iteration, so there is no decision to trace). Unconditional — not
+/// gated on the telemetry flag — so `TraceQuery` works without a scraper.
+pub(crate) fn push_trace(
+    traces: &TraceRing<DecisionTrace>,
+    id: DomainId,
+    rec: &DecisionRecord,
+    prov: AdvanceProvenance,
+) {
+    if rec.skipped {
+        return;
+    }
+    tempo_obs::counter!(
+        "tempo_domain_decisions_total",
+        "Control-loop decisions recorded in the trace ring"
+    )
+    .inc();
+    let objective = rec.observed_qs.iter().copied().fold(f64::INFINITY, f64::min);
+    traces.push(DecisionTrace {
+        domain: id,
+        step: rec.step,
+        window: rec.window,
+        iteration: rec.iteration,
+        reverted: rec.reverted,
+        observed_qs: rec.observed_qs.clone(),
+        objective: if objective.is_finite() { objective } else { 0.0 },
+        config: rec.config.clone(),
+        cache_hits: prov.cache_hits,
+        cache_misses: prov.cache_misses,
+        sims: prov.sims,
+    });
+}
+
 /// Point-in-time health/occupancy counters for one domain.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DomainMetrics {
@@ -90,6 +160,12 @@ pub struct DomainMetrics {
     pub cache_entries: u64,
     /// Simulations the domain's What-if Model has run.
     pub sims: u64,
+    /// What-if memo-cache hits / misses / LRU evictions. Like `sims` these
+    /// are process-lifetime diagnostics: they reset when a domain is
+    /// restored (never serialized into snapshots).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
     /// Jobs dropped by a `Shed` ingest budget.
     pub shed_count: u64,
     /// Jobs turned away (whole bursts) by a `Delay` ingest budget.
@@ -127,6 +203,10 @@ pub struct RuntimeMetrics {
     pub total_ingested: u64,
     pub total_cache_entries: u64,
     pub total_sims: u64,
+    /// What-if memo-cache hit/miss/eviction totals across live domains.
+    pub total_cache_hits: u64,
+    pub total_cache_misses: u64,
+    pub total_cache_evictions: u64,
     pub total_shed: u64,
     pub total_delayed: u64,
     /// Domains currently materialized in memory.
@@ -196,6 +276,11 @@ impl ShardState {
         let cached = base_metrics(id, &domain);
         let bytes = codec::encode_snapshot(&domain.snapshot(id));
         self.fleet.store_bytes(id, bytes, cached);
+        tempo_obs::counter!(
+            "tempo_domain_hibernations_total",
+            "Domains serialized out of memory to snapshot bytes"
+        )
+        .inc();
     }
 
     /// Materializes a hibernated domain from its stored snapshot bytes.
@@ -223,6 +308,11 @@ impl ShardState {
         match restored {
             Ok(domain) => {
                 self.install(id, domain);
+                tempo_obs::counter!(
+                    "tempo_domain_rehydrations_total",
+                    "Domains rematerialized from stored snapshot bytes"
+                )
+                .inc();
             }
             // Unreachable in practice (we encoded the bytes ourselves); a
             // failure leaves the domain unplaced, surfacing as
@@ -236,6 +326,7 @@ impl ShardState {
 /// residency, cost accounting) are placeholders here; `metrics()` overlays
 /// them from the fleet table.
 fn base_metrics(id: DomainId, d: &Domain) -> DomainMetrics {
+    let (cache_hits, cache_misses, cache_evictions) = d.cache_stats();
     DomainMetrics {
         id,
         name: d.spec().name.clone(),
@@ -245,6 +336,9 @@ fn base_metrics(id: DomainId, d: &Domain) -> DomainMetrics {
         ingested: d.ingested(),
         cache_entries: d.cache_len() as u64,
         sims: d.sim_count(),
+        cache_hits,
+        cache_misses,
+        cache_evictions,
         shed_count: d.shed_count(),
         delayed_count: d.delayed_count(),
         ingest_budget_occupancy: d.ingest_budget_occupancy(),
@@ -270,6 +364,12 @@ where
         state.ops += 1;
         state.active = Some(id);
         if state.faults.shard_panic(state.shard, state.ops) {
+            tempo_obs::counter!(
+                "tempo_fault_injections_total",
+                "Deterministic fault-injector firings by kind",
+                "kind" => "shard_panic"
+            )
+            .inc();
             panic!("injected shard fault (shard {}, op {})", state.shard, state.ops);
         }
         let steps_before = state.domains.get(&id).map(|d| d.steps()).unwrap_or(0);
@@ -299,6 +399,12 @@ pub struct ControllerRuntime {
     /// Guards restore (which rewrites `next_id` and domain placement)
     /// against concurrent creates.
     create_lock: Mutex<()>,
+    /// Bounded ring of recent control-loop decisions (`TraceQuery`).
+    traces: Arc<TraceRing<DecisionTrace>>,
+    /// Every known domain's spec, retained so maintenance can respawn a
+    /// degraded domain even without a journal (the domain object itself is
+    /// lost with the panicking worker).
+    specs: Mutex<HashMap<DomainId, DomainSpec>>,
 }
 
 impl ControllerRuntime {
@@ -383,6 +489,8 @@ impl ControllerRuntime {
             fleet,
             next_id: AtomicU64::new(0),
             create_lock: Mutex::new(()),
+            traces: Arc::new(TraceRing::new(TRACE_CAPACITY)),
+            specs: Mutex::new(HashMap::new()),
         }
     }
 
@@ -504,6 +612,7 @@ impl ControllerRuntime {
     fn install_domain(&self, id: DomainId, domain: Domain) -> Result<(), RuntimeError> {
         let est = domain.estimated_bytes();
         let cached = base_metrics(id, &domain);
+        self.specs.lock().expect("specs lock").insert(id, domain.spec().clone());
         let (reply_tx, reply_rx) = channel::bounded::<()>(1);
         let mut inner = self.fleet.lock();
         let shard = match inner.reinstall(id, est, cached.clone()) {
@@ -579,11 +688,16 @@ impl ControllerRuntime {
     /// ending at the runtime clock's current reading.
     pub fn advance(&self, id: DomainId) -> Result<DecisionRecord, RuntimeError> {
         let now = self.clock.now();
+        let traces = Arc::clone(&self.traces);
         self.on_shard(id, move |state| {
             state
                 .domains
                 .get_mut(&id)
-                .map(|d| d.advance(now))
+                .map(|d| {
+                    let rec = d.advance(now);
+                    push_trace(&traces, id, &rec, d.last_provenance());
+                    rec
+                })
                 .ok_or(RuntimeError::UnknownDomain(id))
         })?
     }
@@ -620,9 +734,11 @@ impl ControllerRuntime {
     where
         F: Fn(&[DomainId]) + Send + Sync + 'static,
     {
+        let traces = Arc::clone(&self.traces);
         let mut out: Vec<(DomainId, DecisionRecord)> = self
             .on_all_shards(move |state| {
                 let fleet = Arc::clone(&state.fleet);
+                let traces = Arc::clone(&traces);
                 let records = state
                     .domains
                     .iter_mut()
@@ -633,6 +749,7 @@ impl ControllerRuntime {
                         let micros = start.elapsed().as_secs_f64() * 1e6;
                         let steps = d.steps().saturating_sub(before);
                         fleet.note_op(*id, micros, steps, d.estimated_bytes());
+                        push_trace(&traces, *id, &rec, d.last_provenance());
                         (*id, rec)
                     })
                     .collect::<Vec<_>>();
@@ -742,6 +859,7 @@ impl ControllerRuntime {
         e.migrations += 1;
         let resident = e.state == DomainState::Resident;
         inner.migrations += 1;
+        tempo_obs::counter!("tempo_domain_migrations_total", "Domains moved between shards").inc();
         inner.shard_counts[from] -= 1;
         inner.shard_counts[to] += 1;
         if resident {
@@ -809,6 +927,58 @@ impl ControllerRuntime {
             .collect()
     }
 
+    /// The runtime's decision-trace ring (shared with the wire server so
+    /// fire-and-forget dispatch paths can record decisions too).
+    pub fn traces(&self) -> &Arc<TraceRing<DecisionTrace>> {
+        &self.traces
+    }
+
+    /// The most recent retained decisions, oldest first. `limit` defaults
+    /// to everything retained; `domain` filters to one domain's decisions.
+    pub fn recent_traces(
+        &self,
+        limit: Option<u64>,
+        domain: Option<DomainId>,
+    ) -> Vec<DecisionTrace> {
+        let n = limit.map_or(TRACE_CAPACITY, |l| l.min(TRACE_CAPACITY as u64) as usize);
+        match domain {
+            Some(id) => self.traces.recent_filtered(n, |t| t.domain == id),
+            None => self.traces.recent(n),
+        }
+    }
+
+    /// Journal-less self-healing: re-creates every degraded domain fresh
+    /// from its retained spec and reinstalls it. The rebuilt domain starts
+    /// cold — its in-memory trajectory died with the panicking worker, and
+    /// only a journal can resurrect that — but the tenant is served again
+    /// instead of erroring until an operator intervenes. The journaled
+    /// maintenance path uses [`crate::wal::repair_domain`] instead, which
+    /// recovers the full trajectory. Returns the respawned ids.
+    pub fn respawn_degraded(&self) -> Vec<DomainId> {
+        let mut respawned = Vec::new();
+        for id in self.degraded_domains() {
+            let Some(spec) = self.specs.lock().expect("specs lock").get(&id).cloned() else {
+                continue;
+            };
+            match Domain::new(spec) {
+                Ok(domain) => match self.install_domain(id, domain) {
+                    Ok(()) => {
+                        tempo_obs::counter!(
+                            "tempo_domain_respawned_total",
+                            "Degraded domains respawned fresh from their retained spec"
+                        )
+                        .inc();
+                        eprintln!("tempo-serve: domain {id} respawned from its spec (state reset)");
+                        respawned.push(id);
+                    }
+                    Err(e) => eprintln!("tempo-serve: respawn of domain {id} failed: {e}"),
+                },
+                Err(e) => eprintln!("tempo-serve: respawn of domain {id} rejected its spec: {e}"),
+            }
+        }
+        respawned
+    }
+
     /// Occupancy and throughput counters across every domain, id-sorted.
     /// Never rehydrates: hibernated domains report the counters captured
     /// when they left memory, overlaid with live fleet accounting.
@@ -854,6 +1024,9 @@ impl ControllerRuntime {
             total_ingested: per_domain.iter().map(|m| m.ingested).sum(),
             total_cache_entries: per_domain.iter().map(|m| m.cache_entries).sum(),
             total_sims: per_domain.iter().map(|m| m.sims).sum(),
+            total_cache_hits: per_domain.iter().map(|m| m.cache_hits).sum(),
+            total_cache_misses: per_domain.iter().map(|m| m.cache_misses).sum(),
+            total_cache_evictions: per_domain.iter().map(|m| m.cache_evictions).sum(),
             total_shed: per_domain.iter().map(|m| m.shed_count).sum(),
             total_delayed: per_domain.iter().map(|m| m.delayed_count).sum(),
             resident_domains,

@@ -26,7 +26,7 @@ use crate::domain::{Domain, IngestOutcome};
 use crate::fault::{no_faults, FaultInjector};
 use crate::fleet::FleetConfig;
 use crate::proto::{decode, encode_line, Request, Response, PROTO_VERSION};
-use crate::runtime::{ControllerRuntime, RuntimeError};
+use crate::runtime::{push_trace, ControllerRuntime, DecisionTrace, RuntimeError};
 use crate::wal::{self, Journal, JournalOp, JournalRecord};
 use bytes::BytesMut;
 use crossbeam::channel::{self, Receiver, Sender};
@@ -37,11 +37,56 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use tempo_obs::TraceRing;
 use tempo_workload::time::Time;
 use tempo_workload::JobSpec;
 
 /// Step-count clamp for `Advance`/`IngestAdvance` requests.
 const MAX_STEPS: u64 = 10_000;
+
+mod obs {
+    /// Wire latency histogram for one `(codec, op)` pair — dynamic labels,
+    /// so this goes through the registry rather than the call-site-cached
+    /// macro.
+    pub(super) fn request_micros(codec: &'static str, op: &str) -> &'static tempo_obs::Histogram {
+        tempo_obs::histogram(
+            "tempo_request_duration_micros",
+            "Wire request service time by codec and op",
+            &[("codec", codec), ("op", op)],
+        )
+    }
+
+    pub(super) fn conn_faults(kind: &'static str) -> &'static tempo_obs::Counter {
+        tempo_obs::counter(
+            "tempo_fault_injections_total",
+            "Deterministic fault-injector firings by kind",
+            &[("kind", kind)],
+        )
+    }
+}
+
+/// Stable label value for the request-latency histogram.
+fn request_op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Hello => "hello",
+        Request::CreateDomain { .. } => "create_domain",
+        Request::Ingest { .. } => "ingest",
+        Request::Advance { .. } => "advance",
+        Request::IngestAdvance { .. } => "ingest_advance",
+        Request::AdvanceAll => "advance_all",
+        Request::Config { .. } => "config",
+        Request::Metrics => "metrics",
+        Request::Snapshot => "snapshot",
+        Request::Restore { .. } => "restore",
+        Request::Tick { .. } => "tick",
+        Request::Hibernate { .. } => "hibernate",
+        Request::Migrate { .. } => "migrate",
+        Request::Rebalance => "rebalance",
+        Request::Telemetry => "telemetry",
+        Request::TraceQuery { .. } => "trace_query",
+        Request::Shutdown => "shutdown",
+    }
+}
 
 /// How the server's runtime reads time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +118,10 @@ pub struct ServerConfig {
     /// Fault injector threaded through the runtime's shard workers, the
     /// journal's appends, and the accept loop's connections.
     pub faults: Arc<dyn FaultInjector>,
+    /// Bind address for the Prometheus exposition HTTP endpoint
+    /// (`--metrics-port`); `None` disables it. Port 0 picks an ephemeral
+    /// port (read it back from [`Server::metrics_addr`]).
+    pub metrics_addr: Option<String>,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -84,6 +133,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("fleet", &self.fleet)
             .field("journal_dir", &self.journal_dir)
             .field("checkpoint_every", &self.checkpoint_every)
+            .field("metrics_addr", &self.metrics_addr)
             .finish_non_exhaustive()
     }
 }
@@ -98,6 +148,7 @@ impl Default for ServerConfig {
             journal_dir: None,
             checkpoint_every: 1024,
             faults: no_faults(),
+            metrics_addr: None,
         }
     }
 }
@@ -116,6 +167,7 @@ pub struct Server {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics: Option<tempo_obs::MetricsServer>,
 }
 
 impl Server {
@@ -130,6 +182,18 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics = match &config.metrics_addr {
+            Some(addr) => {
+                let addr: SocketAddr = addr.parse().map_err(|e| {
+                    std::io::Error::new(
+                        ErrorKind::InvalidInput,
+                        format!("bad metrics address {addr}: {e}"),
+                    )
+                })?;
+                Some(tempo_obs::MetricsServer::start(addr)?)
+            }
+            None => None,
+        };
         let fleet = config.fleet;
         let faults = Arc::clone(&config.faults);
         let (runtime, sim) = match config.clock {
@@ -216,6 +280,7 @@ impl Server {
             local_addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            metrics,
         })
     }
 
@@ -228,6 +293,12 @@ impl Server {
     /// The bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound address of the Prometheus exposition endpoint, when one is
+    /// configured (resolves ephemeral ports).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|m| m.addr())
     }
 
     /// The hosted runtime (embedded callers can bypass the socket).
@@ -293,10 +364,12 @@ fn accept_loop(
                 // connection never half-executed anything: a retrying client
                 // reconnects and resends without double-execution.
                 if faults.drop_connection(index) {
+                    obs::conn_faults("conn_drop").inc();
                     drop(stream);
                     return;
                 }
                 if let Some(stall) = faults.stall_connection(index) {
+                    obs::conn_faults("conn_stall").inc();
                     std::thread::sleep(stall);
                 }
                 handle_connection(stream, runtime, sim, journal, flag)
@@ -437,9 +510,13 @@ fn handle_jsonl(
                     ok = writer.write_all(out.as_bytes()).and_then(|()| writer.flush()).is_ok();
                     out.clear();
                     // Journal upkeep between rounds, off the shard threads:
-                    // due checkpoints and degraded-domain repair.
+                    // due checkpoints and degraded-domain repair. With no
+                    // journal, degraded domains respawn fresh from their
+                    // retained specs instead.
                     if let Some(journal) = &journal {
                         wal::run_maintenance(journal, &runtime);
+                    } else {
+                        runtime.respawn_degraded();
                     }
                 }
                 if stop {
@@ -467,7 +544,13 @@ fn dispatch_line(
     line: &str,
 ) -> (Response, bool) {
     match decode(line) {
-        Ok(request) => dispatch(runtime, sim, journal, shutdown, request),
+        Ok(request) => {
+            let watch = tempo_obs::Stopwatch::start();
+            let op_name = request_op_name(&request);
+            let result = dispatch(runtime, sim, journal, shutdown, request);
+            watch.observe_into(|| obs::request_micros("jsonl", op_name));
+            result
+        }
         Err(e) => (Response::Error { message: format!("bad request: {e}") }, false),
     }
 }
@@ -497,8 +580,9 @@ fn dispatch(
             let now = runtime.clock().now();
             let logged = journal.and_then(|_| journal_op(domain, &op));
             let journal = journal.map(Arc::clone);
+            let traces = Arc::clone(runtime.traces());
             let response = match runtime.on_domain(domain, move |d| {
-                let response = run_domain_op(domain, d, now, op);
+                let response = run_domain_op(domain, d, now, op, &traces);
                 if let (Some(journal), Some(op)) = (journal, logged) {
                     journal.append_logged(&JournalRecord { now, op });
                 }
@@ -635,6 +719,10 @@ fn dispatch(
             }
             Response::Rebalanced { moves }
         }
+        Request::Telemetry => Response::Telemetry { text: tempo_obs::render() },
+        Request::TraceQuery { limit, domain } => {
+            Response::Traces { traces: runtime.recent_traces(limit, domain) }
+        }
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             return (Response::ShuttingDown, true);
@@ -700,13 +788,26 @@ fn journal_op(domain: u64, op: &DomainOp) -> Option<JournalOp> {
 }
 
 /// Executes one domain-targeted operation directly against the domain, on
-/// its owning shard, against the clock reading taken at dispatch.
-fn run_domain_op(domain: u64, d: &mut Domain, now: Time, op: DomainOp) -> Response {
+/// its owning shard, against the clock reading taken at dispatch. Control
+/// decisions land in the runtime's trace ring (same path as embedded
+/// advances).
+fn run_domain_op(
+    domain: u64,
+    d: &mut Domain,
+    now: Time,
+    op: DomainOp,
+    traces: &TraceRing<DecisionTrace>,
+) -> Response {
+    let advance = |d: &mut Domain| {
+        let rec = d.advance(now);
+        push_trace(traces, domain, &rec, d.last_provenance());
+        rec
+    };
     match op {
         DomainOp::Ingest { jobs } => ingest_response(domain, d.ingest(now, jobs)),
         DomainOp::Advance { steps } => {
             let steps = steps.clamp(1, MAX_STEPS);
-            let decisions = (0..steps).map(|_| d.advance(now)).collect();
+            let decisions = (0..steps).map(|_| advance(d)).collect();
             Response::Advanced { domain, decisions }
         }
         DomainOp::IngestAdvance { jobs, steps } => {
@@ -715,7 +816,7 @@ fn run_domain_op(domain: u64, d: &mut Domain, now: Time, op: DomainOp) -> Respon
                 IngestOutcome::Busy { retry_after_micros } => (0, Some(retry_after_micros)),
             };
             let steps = steps.clamp(1, MAX_STEPS);
-            let decisions = (0..steps).map(|_| d.advance(now)).collect();
+            let decisions = (0..steps).map(|_| advance(d)).collect();
             Response::IngestAdvanced { domain, accepted, retry_after_micros, decisions }
         }
         DomainOp::Config => Response::Config { domain, config: d.current_config() },
@@ -776,9 +877,12 @@ fn handle_binary(
         }
         // Journal upkeep runs on this connection thread, never a shard
         // worker (a checkpoint sweeps every shard and would self-deadlock
-        // from one).
+        // from one). With no journal, degraded domains respawn fresh from
+        // their retained specs instead.
         if let Some(journal) = &journal {
             wal::run_maintenance(journal, &runtime);
+        } else {
+            runtime.respawn_degraded();
         }
         match reader.read(&mut chunk) {
             Ok(0) => break,
@@ -811,6 +915,8 @@ fn dispatch_frame(
             return true;
         }
     };
+    let watch = tempo_obs::Stopwatch::start();
+    let op_name = request_op_name(&request);
     match split_domain_op(request) {
         Ok((domain, op)) => {
             // Clock is read at dispatch, not execution: a pipelined window
@@ -823,10 +929,11 @@ fn dispatch_frame(
             let logged = journal.and_then(|_| journal_op(domain, &op));
             let journal = journal.cloned();
             let tx = resp_tx.clone();
+            let traces = Arc::clone(runtime.traces());
             let dispatched = runtime.on_domain_async(domain, move |d| {
                 let response = match d {
                     Ok(d) => {
-                        let response = run_domain_op(domain, d, now, op);
+                        let response = run_domain_op(domain, d, now, op, &traces);
                         if let (Some(journal), Some(op)) = (journal.as_deref(), logged) {
                             journal.append_logged(&JournalRecord { now, op });
                         }
@@ -834,6 +941,9 @@ fn dispatch_frame(
                     }
                     Err(e) => Response::Error { message: e.to_string() },
                 };
+                // Completion-time reading: the histogram sees the full
+                // pipelined latency (queue wait included), not just decode.
+                watch.observe_into(|| obs::request_micros("binary", op_name));
                 let _ = tx.send((corr, response));
             });
             if let Err(e) = dispatched {
@@ -846,6 +956,7 @@ fn dispatch_frame(
             // queue behind already-dispatched domain ops, so a pipelined
             // `Metrics` still observes every earlier completion.
             let (response, stop) = dispatch(runtime, sim, journal, shutdown, request);
+            watch.observe_into(|| obs::request_micros("binary", op_name));
             let _ = resp_tx.send((corr, response));
             !stop
         }

@@ -59,6 +59,61 @@ use std::sync::{Arc, Mutex};
 use tempo_workload::time::Time;
 use tempo_workload::JobSpec;
 
+mod obs {
+    pub(super) fn appends() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!("tempo_wal_appends_total", "Journal records durably appended")
+    }
+
+    pub(super) fn append_errors() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!(
+            "tempo_wal_append_errors_total",
+            "Journal appends that failed (injected or real I/O error)"
+        )
+    }
+
+    pub(super) fn checkpoints() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!("tempo_wal_checkpoints_total", "Checkpoints written and synced")
+    }
+
+    pub(super) fn append_micros() -> &'static tempo_obs::Histogram {
+        tempo_obs::histogram!(
+            "tempo_wal_append_duration_micros",
+            "Wall time of one successful journal append, in microseconds"
+        )
+    }
+
+    pub(super) fn checkpoint_micros() -> &'static tempo_obs::Histogram {
+        tempo_obs::histogram!(
+            "tempo_wal_checkpoint_duration_micros",
+            "Wall time of one checkpoint write (encode + sync + journal reset), in microseconds"
+        )
+    }
+
+    pub(super) fn recovery_micros() -> &'static tempo_obs::Histogram {
+        tempo_obs::histogram!(
+            "tempo_wal_recovery_duration_micros",
+            "Wall time of one recovery pass (checkpoint restore + journal replay), in microseconds"
+        )
+    }
+
+    pub(super) fn replayed() -> &'static tempo_obs::Counter {
+        tempo_obs::counter!(
+            "tempo_wal_replayed_records_total",
+            "Journal records replayed during recovery passes"
+        )
+    }
+
+    /// Fault-injection firings by kind. `kind` varies per call site, so this
+    /// resolves through the registry instead of the call-site-cached macro.
+    pub(super) fn fault_injections(kind: &str) -> &'static tempo_obs::Counter {
+        tempo_obs::counter(
+            "tempo_fault_injections_total",
+            "Deterministic fault-injector firings by kind",
+            &[("kind", kind)],
+        )
+    }
+}
+
 /// Magic opening `journal.bin`.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"TWAL";
 /// Magic opening `checkpoint.bin`.
@@ -290,10 +345,13 @@ impl Journal {
     /// Appends one record. Fails on injected or real I/O errors — the
     /// caller keeps serving either way (see [`Journal::append_logged`]).
     pub fn append(&self, record: &JournalRecord) -> Result<(), String> {
+        let watch = tempo_obs::Stopwatch::start();
         let mut inner = self.inner.lock().expect("journal lock");
         let index = self.attempts.fetch_add(1, Ordering::SeqCst);
         if self.faults.journal_write_fails(index) {
             self.append_errors.fetch_add(1, Ordering::SeqCst);
+            obs::append_errors().inc();
+            obs::fault_injections("journal").inc();
             return Err(format!("injected journal write fault at append {index}"));
         }
         let mut body = BytesMut::new();
@@ -304,9 +362,12 @@ impl Journal {
         frame.extend_from_slice(body.as_slice());
         if let Err(e) = inner.file.write_all(&frame) {
             self.append_errors.fetch_add(1, Ordering::SeqCst);
+            obs::append_errors().inc();
             return Err(format!("journal append I/O error: {e}"));
         }
         self.appended.fetch_add(1, Ordering::SeqCst);
+        obs::appends().inc();
+        watch.observe_into(obs::append_micros);
         inner.records_since_checkpoint += 1;
         if inner.records_since_checkpoint >= self.checkpoint_every {
             self.checkpoint_due.store(true, Ordering::SeqCst);
@@ -365,6 +426,7 @@ impl Journal {
         snapshot: &RuntimeSnapshot,
         stamp: impl FnOnce() -> Time,
     ) -> Result<(), String> {
+        let watch = tempo_obs::Stopwatch::start();
         let mut inner = self.inner.lock().expect("journal lock");
         let epoch = inner.epoch + 1;
         let stamped = RuntimeSnapshot {
@@ -392,6 +454,8 @@ impl Journal {
         inner.records_since_checkpoint = 0;
         self.checkpoint_due.store(false, Ordering::SeqCst);
         self.checkpoints.fetch_add(1, Ordering::SeqCst);
+        obs::checkpoints().inc();
+        watch.observe_into(obs::checkpoint_micros);
         Ok(())
     }
 
@@ -513,6 +577,7 @@ pub fn replay(
     sim: Option<&SimClock>,
     recovered: Recovered,
 ) -> Result<RecoveryReport, String> {
+    let watch = tempo_obs::Stopwatch::start();
     let Recovered { checkpoint, records, truncated_bytes, discarded_stale_journal } = recovered;
     let mut checkpoint_domains = 0;
     if let Some(snapshot) = checkpoint {
@@ -527,6 +592,8 @@ pub fn replay(
         apply_record(runtime, sim, record)
             .map_err(|e| format!("journal replay failed at record {i}: {e}"))?;
     }
+    obs::replayed().add(replayed);
+    watch.observe_into(obs::recovery_micros);
     Ok(RecoveryReport { checkpoint_domains, replayed, truncated_bytes, discarded_stale_journal })
 }
 

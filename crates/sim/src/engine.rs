@@ -395,20 +395,29 @@ impl<'a> Engine<'a> {
     fn run(mut self) -> Schedule {
         let hard_horizon = self.horizon.unwrap_or(Time::MAX);
         let mut last_time = 0;
+        // Tally events locally and flush once after the loop: one atomic add
+        // per run instead of per event, and never a clock read — this path
+        // must stay deterministic.
+        let mut popped: u64 = 0;
         while let Some((time, kind)) = self.pool.events.pop() {
             if time > hard_horizon {
                 break;
             }
             self.now = time;
             last_time = time;
+            popped += 1;
             self.handle(kind);
             // Drain all events at the same instant before rescheduling, so a
             // burst of arrivals is allocated against in one pass.
             while let Some(kind2) = self.pool.events.pop_at(self.now) {
+                popped += 1;
                 self.handle(kind2);
             }
             self.reschedule();
         }
+        tempo_obs::counter!("tempo_sim_runs_total", "Discrete-event simulations completed").inc();
+        tempo_obs::counter!("tempo_sim_events_total", "Events popped across all simulation runs")
+            .add(popped);
         let horizon = self.horizon.unwrap_or(last_time);
         self.finalize(horizon)
     }

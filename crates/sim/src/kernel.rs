@@ -32,6 +32,15 @@ use tempo_workload::{TaskKind, TenantId};
 /// two so the lane index is a mask, not a division.
 pub const LANES: usize = 8;
 
+/// Tallies elements scanned by one kernel call: a single batched atomic add
+/// outside the unrolled loop, and never a clock read — kernels sit on the
+/// deterministic sim path.
+#[inline]
+fn scanned(n: usize) {
+    tempo_obs::counter!("tempo_qs_scan_elements_total", "Elements scanned by QS reduction kernels")
+        .add(n as u64);
+}
+
 /// Fixed tree reduction: `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
 ///
 /// The parenthesization is part of the determinism contract — do not
@@ -107,6 +116,7 @@ pub fn job_response_stats(
 ) -> (f64, u64) {
     let (any, want) = crate::record::tenant_mask(tenant);
     let n = submit.len();
+    scanned(n);
     let mut sum = [0.0f64; LANES];
     let mut cnt = [0u64; LANES];
     let mut i = 0;
@@ -148,6 +158,7 @@ pub fn job_deadline_stats(
 ) -> (u64, u64) {
     let (any, want) = crate::record::tenant_mask(tenant);
     let n = submit.len();
+    scanned(n);
     let mut with_dl = [0u64; LANES];
     let mut missed = [0u64; LANES];
     let mut body = |l: usize, j: usize| {
@@ -191,6 +202,7 @@ pub fn jobs_in_window(
 ) -> u64 {
     let (any, want) = crate::record::tenant_mask(tenant);
     let n = submit.len();
+    scanned(n);
     let mut cnt = [0u64; LANES];
     let mut i = 0;
     while i + LANES <= n {
@@ -226,6 +238,7 @@ pub fn occupancy(
 ) -> Time {
     let (any, want) = crate::record::tenant_mask(tenant);
     let n = attempts.len();
+    scanned(n);
     let mut sum = [0 as Time; LANES];
     let mut body = |l: usize, j: usize| {
         let a = &attempts[j];
@@ -260,6 +273,7 @@ pub fn useful_work(
 ) -> Time {
     let (any, want) = crate::record::tenant_mask(tenant);
     let n = attempts.len();
+    scanned(n);
     let mut sum = [0 as Time; LANES];
     let mut body = |l: usize, j: usize| {
         let a = &attempts[j];
@@ -295,6 +309,7 @@ pub fn preempt_stats(
 ) -> (u64, u64) {
     let (any, want) = crate::record::tenant_mask(tenant);
     let n = task_kind.len();
+    scanned(n);
     let mut total = [0u64; LANES];
     let mut preempted = [0u64; LANES];
     let mut body = |l: usize, j: usize| {
